@@ -1,0 +1,62 @@
+//! Microbenchmarks of HARD's hardware primitives: the operations the
+//! paper converts from expensive set manipulation into bit logic.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hard_bloom::{BloomShape, BloomVector, ExactSet, LockRegister};
+use hard_types::LockId;
+use std::hint::black_box;
+
+fn locks(n: u64) -> Vec<LockId> {
+    (0..n).map(|i| LockId(0x1000_0000 + i * 4)).collect()
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom/signature");
+    for shape in [BloomShape::B16, BloomShape::B32] {
+        g.bench_function(format!("{shape}"), |b| {
+            b.iter(|| shape.signature(black_box(LockId(0xDEAD_BEE4))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let shape = BloomShape::B16;
+    let ls = locks(3);
+    let a = BloomVector::from_locks(shape, &ls[..2]);
+    let b2 = BloomVector::from_locks(shape, &ls[1..]);
+    let ea = ExactSet::from_locks(&ls[..2]);
+    let eb = ExactSet::from_locks(&ls[1..]);
+
+    let mut g = c.benchmark_group("set/intersect");
+    g.bench_function("bloom-16b", |b| {
+        b.iter(|| black_box(a).intersect(&black_box(b2)))
+    });
+    g.bench_function("exact-btree", |b| {
+        b.iter(|| black_box(&ea).intersect(black_box(&eb)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("set/emptiness");
+    g.bench_function("bloom-16b", |b| b.iter(|| black_box(a).is_empty_set()));
+    g.bench_function("exact-btree", |b| b.iter(|| black_box(&ea).is_empty_set()));
+    g.finish();
+}
+
+fn bench_lock_register(c: &mut Criterion) {
+    let l = LockId(0x40);
+    c.bench_function("register/acquire-release", |b| {
+        b.iter_batched(
+            || LockRegister::new(BloomShape::B16),
+            |mut r| {
+                r.acquire(black_box(l));
+                r.release(black_box(l));
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_signature, bench_set_ops, bench_lock_register);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Hierarchy throughput: hit/miss/coherence paths of the simulated
+//! memory system.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hard_cache::policy::NullFactory;
+use hard_cache::{Hierarchy, HierarchyConfig};
+use hard_types::{AccessKind, Addr, CoreId};
+use std::hint::black_box;
+
+fn bench_l1_hit(c: &mut Criterion) {
+    let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory);
+    h.ensure(CoreId(0), Addr(0x1000), AccessKind::Read);
+    c.bench_function("cache/l1-hit", |b| {
+        b.iter(|| h.ensure(black_box(CoreId(0)), black_box(Addr(0x1000)), AccessKind::Read))
+    });
+}
+
+fn bench_l2_miss_stream(c: &mut Criterion) {
+    c.bench_function("cache/cold-stream-1k-lines", |b| {
+        b.iter_batched(
+            || Hierarchy::new(HierarchyConfig::default(), NullFactory),
+            |mut h| {
+                for i in 0..1024u64 {
+                    h.ensure(CoreId(0), Addr(i * 32), AccessKind::Read);
+                }
+                h
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_coherence_pingpong(c: &mut Criterion) {
+    let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory);
+    c.bench_function("cache/write-pingpong", |b| {
+        b.iter(|| {
+            h.ensure(CoreId(0), Addr(0x2000), AccessKind::Write);
+            h.ensure(CoreId(1), Addr(0x2000), AccessKind::Write);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_l1_hit,
+    bench_l2_miss_stream,
+    bench_coherence_pingpong
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Per-trace detector cost: how fast each detector consumes the same
+//! workload traces. The contrast between `hard` (bit operations in the
+//! cache) and `lockset-ideal` (exact sets in an unbounded table) is the
+//! paper's core efficiency argument, transposed to simulation time;
+//! the directory and hybrid variants price the §3.4/§7 alternatives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hard::{
+    DirectoryHardMachine, HardConfig, HardMachine, HbMachine, HbMachineConfig, HybridMachine,
+};
+use hard_harness::{race_free_trace, CampaignConfig};
+use hard_hb::{IdealHappensBefore, IdealHbConfig};
+use hard_lockset::{IdealLockset, IdealLocksetConfig};
+use hard_trace::{run_detector, Trace};
+use hard_workloads::App;
+
+fn trace(app: App) -> Trace {
+    race_free_trace(app, &CampaignConfig::reduced(0.2, 1))
+}
+
+fn bench_app(c: &mut Criterion, app: App) {
+    let t = trace(app);
+    let mut g = c.benchmark_group(format!("detector/{}", app.name()));
+    g.sample_size(15);
+    g.throughput(criterion::Throughput::Elements(t.len() as u64));
+    g.bench_function("hard", |b| {
+        b.iter_batched(
+            || HardMachine::new(HardConfig::default()),
+            |mut m| {
+                run_detector(&mut m, &t);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hard-directory", |b| {
+        b.iter_batched(
+            || DirectoryHardMachine::new(HardConfig::default()),
+            |mut m| {
+                run_detector(&mut m, &t);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hard+hb", |b| {
+        b.iter_batched(
+            || HybridMachine::new(HardConfig::default()),
+            |mut m| {
+                run_detector(&mut m, &t);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hb-hw", |b| {
+        b.iter_batched(
+            || HbMachine::new(HbMachineConfig::default()),
+            |mut m| {
+                run_detector(&mut m, &t);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lockset-ideal", |b| {
+        b.iter_batched(
+            || IdealLockset::new(IdealLocksetConfig::default()),
+            |mut m| {
+                run_detector(&mut m, &t);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hb-ideal", |b| {
+        b.iter_batched(
+            || IdealHappensBefore::new(IdealHbConfig::new(t.num_threads)),
+            |mut m| {
+                run_detector(&mut m, &t);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    // One cache-resident app and one streaming app.
+    bench_app(c, App::WaterNsquared);
+    bench_app(c, App::Raytrace);
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end regeneration cost of each paper artifact at reduced
+//! scale. One bench per table/figure, so `cargo bench -p hard-bench
+//! --bench tables` exercises the entire evaluation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hard_harness::experiments::{bloom_analysis, fig8, table2, table3, table45, table6};
+use hard_harness::CampaignConfig;
+use std::hint::black_box;
+
+fn cfg() -> CampaignConfig {
+    CampaignConfig::reduced(0.05, 2)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table2", |b| b.iter(|| black_box(table2::run(&cfg()))));
+    g.bench_function("table3", |b| b.iter(|| black_box(table3::run(&cfg()))));
+    g.bench_function("table45", |b| b.iter(|| black_box(table45::run(&cfg()))));
+    g.bench_function("table6", |b| b.iter(|| black_box(table6::run(&cfg()))));
+    g.bench_function("fig8", |b| b.iter(|| black_box(fig8::run(&cfg()))));
+    g.bench_function("bloom-analysis", |b| {
+        b.iter(|| black_box(bloom_analysis::run(10_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

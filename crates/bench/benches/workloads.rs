@@ -1,0 +1,64 @@
+//! Workload-pipeline throughput: generation, scheduling, injection and
+//! trace serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hard_trace::{codec, SchedConfig, Scheduler};
+use hard_workloads::{inject_race, App, WorkloadConfig};
+use std::hint::black_box;
+
+fn cfg() -> WorkloadConfig {
+    WorkloadConfig::reduced(0.1)
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload/generate");
+    g.sample_size(20);
+    for app in [App::WaterNsquared, App::Cholesky] {
+        g.bench_function(app.name(), |b| b.iter(|| black_box(app.generate(&cfg()))));
+    }
+    g.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let p = App::WaterNsquared.generate(&cfg());
+    let mut g = c.benchmark_group("workload/schedule");
+    g.sample_size(20);
+    g.bench_function("water-reduced", |b| {
+        b.iter(|| black_box(Scheduler::new(SchedConfig::default()).run(&p)))
+    });
+    g.finish();
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let p = App::Barnes.generate(&cfg());
+    c.bench_function("workload/inject", |b| {
+        b.iter(|| black_box(inject_race(&p, 7)))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let p = App::WaterNsquared.generate(&cfg());
+    let trace = Scheduler::new(SchedConfig::default()).run(&p);
+    let mut buf = Vec::new();
+    codec::encode(&trace, &mut buf).unwrap();
+    let mut g = c.benchmark_group("trace/codec");
+    g.sample_size(20);
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            codec::encode(&trace, &mut out).unwrap();
+            out
+        })
+    });
+    g.bench_function("decode", |b| b.iter(|| codec::decode(buf.as_slice()).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_scheduling,
+    bench_injection,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Benchmark-only crate. The Criterion benches live under `benches/`:
+//!
+//! * `bloom_ops` — the hardware primitive costs (signature mapping,
+//!   AND/OR, emptiness test, lock register updates);
+//! * `cache_ops` — hierarchy throughput (hits, misses, coherence);
+//! * `detectors` — per-event cost of each detector on a workload trace;
+//! * `tables` — end-to-end regeneration of each paper table at reduced
+//!   scale.

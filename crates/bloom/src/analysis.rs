@@ -1,0 +1,200 @@
+//! Collision (missed-race) probability model of paper §3.2.
+//!
+//! With the vector divided into 4 parts of `n` bits each, a candidate
+//! set of size `m`, and uniformly distributed lock addresses, the
+//! probability that an unrelated lock collides with one part of the
+//! candidate set's vector is
+//!
+//! ```text
+//! CR_part = 1 − ((n − 1) / n)^m
+//! ```
+//!
+//! and the probability that it collides with *all four* parts — i.e.
+//! that an empty intersection looks non-empty and a race is missed — is
+//!
+//! ```text
+//! CR_whole = CR_part^4
+//! ```
+//!
+//! For the paper's 16-bit vector (`n = 4`) and `m = 1, 2, 3` this gives
+//! 0.0039, 0.037 and 0.111. [`monte_carlo_collision_rate`] validates the
+//! closed form empirically with random lock addresses.
+
+use crate::vector::{BloomShape, BloomVector, PARTS};
+use hard_types::{LockId, Xoshiro256};
+
+/// Closed-form per-part collision probability `CR_part` (§3.2).
+///
+/// `part_len` is the number of bits in one part (the paper's `n`);
+/// `set_size` is the candidate-set size (the paper's `m`).
+///
+/// # Panics
+///
+/// Panics if `part_len < 2`, matching the paper's `n > 1` assumption.
+#[must_use]
+pub fn cr_part(part_len: u32, set_size: u32) -> f64 {
+    assert!(part_len > 1, "the model requires n > 1");
+    let n = f64::from(part_len);
+    1.0 - ((n - 1.0) / n).powi(set_size as i32)
+}
+
+/// Closed-form whole-vector collision (missed-race) probability
+/// `CR_whole = CR_part^4` (§3.2).
+#[must_use]
+pub fn cr_whole(part_len: u32, set_size: u32) -> f64 {
+    cr_part(part_len, set_size).powi(PARTS as i32)
+}
+
+/// Result of a Monte-Carlo collision experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CollisionEstimate {
+    /// Number of trials in which the probe lock collided with all four
+    /// parts of the candidate vector despite not being a member.
+    pub collisions: u64,
+    /// Total number of counted trials.
+    pub trials: u64,
+}
+
+impl CollisionEstimate {
+    /// The estimated collision rate.
+    #[must_use]
+    pub fn rate(self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Monte-Carlo estimate of the missed-race probability: build a
+/// candidate set of `set_size` random locks, probe with a random
+/// non-member lock, and count how often the probe's signature is fully
+/// covered (so `candidate ∩ {probe}` falsely tests non-empty).
+///
+/// Trials in which the probe *is* a member (same lock address) are
+/// re-drawn; signature-sharing non-members count as collisions, exactly
+/// as the closed form does.
+#[must_use]
+pub fn monte_carlo_collision_rate(
+    shape: BloomShape,
+    set_size: u32,
+    trials: u64,
+    seed: u64,
+) -> CollisionEstimate {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut collisions = 0u64;
+    let mut counted = 0u64;
+    while counted < trials {
+        let members: Vec<LockId> = (0..set_size)
+            .map(|_| LockId(rng.next_u64() & !0x3))
+            .collect();
+        let candidate = BloomVector::from_locks(shape, &members);
+        let probe = LockId(rng.next_u64() & !0x3);
+        if members.contains(&probe) {
+            continue; // a true member, not a collision; redraw
+        }
+        let held = BloomVector::from_locks(shape, &[probe]);
+        if !candidate.intersect(&held).is_empty_set() {
+            collisions += 1;
+        }
+        counted += 1;
+    }
+    CollisionEstimate {
+        collisions,
+        trials: counted,
+    }
+}
+
+/// The paper's guideline: smallest vector with missed-race probability
+/// below `threshold` for sets up to `max_set_size`. Returns the part
+/// length (`n`).
+#[must_use]
+pub fn smallest_part_len(max_set_size: u32, threshold: f64) -> u32 {
+    let mut n = 2u32;
+    while cr_whole(n, max_set_size) > threshold {
+        n *= 2;
+        assert!(n <= 1 << 16, "no practical vector satisfies the threshold");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_for_16bit_vector() {
+        // §3.2: for n = 4 and m = 1, 2, 3: 0.0039, 0.037, 0.111.
+        assert!((cr_whole(4, 1) - 0.0039).abs() < 0.0001);
+        assert!((cr_whole(4, 2) - 0.037).abs() < 0.002);
+        assert!((cr_whole(4, 3) - 0.111).abs() < 0.002);
+    }
+
+    #[test]
+    fn cr_part_monotone_in_set_size() {
+        for m in 1..10 {
+            assert!(cr_part(4, m) < cr_part(4, m + 1));
+        }
+    }
+
+    #[test]
+    fn cr_whole_decreases_with_part_len() {
+        assert!(cr_whole(8, 3) < cr_whole(4, 3));
+        assert!(cr_whole(16, 3) < cr_whole(8, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 1")]
+    fn cr_part_rejects_degenerate_part() {
+        let _ = cr_part(1, 1);
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form_m1() {
+        let est = monte_carlo_collision_rate(BloomShape::B16, 1, 200_000, 42);
+        let expected = cr_whole(4, 1);
+        assert!(
+            (est.rate() - expected).abs() < 0.002,
+            "MC {} vs analytic {expected}",
+            est.rate()
+        );
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form_m3() {
+        let est = monte_carlo_collision_rate(BloomShape::B16, 3, 200_000, 43);
+        let expected = cr_whole(4, 3);
+        // m > 1 signatures overlap slightly, so allow a wider band.
+        assert!(
+            (est.rate() - expected).abs() < 0.02,
+            "MC {} vs analytic {expected}",
+            est.rate()
+        );
+    }
+
+    #[test]
+    fn wider_vector_collides_less_empirically() {
+        let e16 = monte_carlo_collision_rate(BloomShape::B16, 2, 50_000, 7);
+        let e32 = monte_carlo_collision_rate(BloomShape::B32, 2, 50_000, 7);
+        assert!(e32.rate() < e16.rate());
+    }
+
+    #[test]
+    fn smallest_part_len_guideline() {
+        // ≤1% missed-race probability for single-lock sets is met by
+        // the 16-bit vector (n = 4), exactly the paper's choice.
+        assert_eq!(smallest_part_len(1, 0.01), 4);
+        // Larger sets need a wider vector.
+        assert!(smallest_part_len(3, 0.01) > 4);
+    }
+
+    #[test]
+    fn estimate_rate_handles_zero_trials() {
+        let e = CollisionEstimate {
+            collisions: 0,
+            trials: 0,
+        };
+        assert_eq!(e.rate(), 0.0);
+    }
+}

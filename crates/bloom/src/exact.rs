@@ -1,0 +1,212 @@
+//! Exact lock-set representation for the *ideal* lockset detector.
+//!
+//! The paper's "ideal" configuration (§4) maintains candidate sets "at
+//! variable granularity for all variables using complete set
+//! representation, as in software implementations of the lockset
+//! algorithm". [`ExactSet`] is that representation: either the universe
+//! of all possible locks (the initial candidate set) or a finite set of
+//! lock addresses.
+
+use hard_types::LockId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An exact lock set: the universe, or a finite set.
+#[derive(Clone, PartialEq, Eq)]
+pub enum ExactSet {
+    /// "All possible locks" — the initial candidate set C(v).
+    Universe,
+    /// A concrete, possibly empty, set of locks.
+    Finite(BTreeSet<LockId>),
+}
+
+impl ExactSet {
+    /// The universe ("all possible locks").
+    #[must_use]
+    pub fn full() -> ExactSet {
+        ExactSet::Universe
+    }
+
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> ExactSet {
+        ExactSet::Finite(BTreeSet::new())
+    }
+
+    /// A finite set from a list of locks.
+    #[must_use]
+    pub fn from_locks(locks: &[LockId]) -> ExactSet {
+        ExactSet::Finite(locks.iter().copied().collect())
+    }
+
+    /// Adds a lock. Adding to the universe is a no-op.
+    pub fn insert(&mut self, lock: LockId) {
+        if let ExactSet::Finite(s) = self {
+            s.insert(lock);
+        }
+    }
+
+    /// Removes a lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on the universe — removal from "all possible
+    /// locks" is never meaningful in the algorithm, so reaching it is a
+    /// logic error.
+    pub fn remove(&mut self, lock: LockId) {
+        match self {
+            ExactSet::Universe => panic!("cannot remove a lock from the universe set"),
+            ExactSet::Finite(s) => {
+                s.remove(&lock);
+            }
+        }
+    }
+
+    /// Membership test (exact; no false positives).
+    #[must_use]
+    pub fn contains(&self, lock: LockId) -> bool {
+        match self {
+            ExactSet::Universe => true,
+            ExactSet::Finite(s) => s.contains(&lock),
+        }
+    }
+
+    /// Exact set intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &ExactSet) -> ExactSet {
+        match (self, other) {
+            (ExactSet::Universe, o) => o.clone(),
+            (s, ExactSet::Universe) => s.clone(),
+            (ExactSet::Finite(a), ExactSet::Finite(b)) => {
+                ExactSet::Finite(a.intersection(b).copied().collect())
+            }
+        }
+    }
+
+    /// True iff the set is empty (the universe never is).
+    #[must_use]
+    pub fn is_empty_set(&self) -> bool {
+        match self {
+            ExactSet::Universe => false,
+            ExactSet::Finite(s) => s.is_empty(),
+        }
+    }
+
+    /// Number of locks, or `None` for the universe.
+    ///
+    /// (`is_empty` is spelled [`ExactSet::is_empty_set`] to mirror the
+    /// bloom vector's one-sided test.)
+    #[allow(clippy::len_without_is_empty)]
+    #[must_use]
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            ExactSet::Universe => None,
+            ExactSet::Finite(s) => Some(s.len()),
+        }
+    }
+
+    /// True iff this is the universe value.
+    #[must_use]
+    pub fn is_universe(&self) -> bool {
+        matches!(self, ExactSet::Universe)
+    }
+}
+
+impl Default for ExactSet {
+    fn default() -> Self {
+        ExactSet::full()
+    }
+}
+
+impl fmt::Debug for ExactSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactSet::Universe => write!(f, "ExactSet(U)"),
+            ExactSet::Finite(s) => {
+                write!(f, "ExactSet{{")?;
+                for (i, l) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl FromIterator<LockId> for ExactSet {
+    fn from_iter<T: IntoIterator<Item = LockId>>(iter: T) -> Self {
+        ExactSet::Finite(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_absorbs_intersection() {
+        let u = ExactSet::full();
+        let s = ExactSet::from_locks(&[LockId(1), LockId(2)]);
+        assert_eq!(u.intersect(&s), s);
+        assert_eq!(s.intersect(&u), s);
+        assert_eq!(u.intersect(&ExactSet::full()), ExactSet::Universe);
+    }
+
+    #[test]
+    fn finite_intersection() {
+        let a = ExactSet::from_locks(&[LockId(1), LockId(2), LockId(3)]);
+        let b = ExactSet::from_locks(&[LockId(2), LockId(3), LockId(4)]);
+        let i = a.intersect(&b);
+        assert_eq!(i, ExactSet::from_locks(&[LockId(2), LockId(3)]));
+    }
+
+    #[test]
+    fn emptiness_is_exact() {
+        assert!(ExactSet::empty().is_empty_set());
+        assert!(!ExactSet::full().is_empty_set());
+        let a = ExactSet::from_locks(&[LockId(1)]);
+        let b = ExactSet::from_locks(&[LockId(2)]);
+        assert!(a.intersect(&b).is_empty_set());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ExactSet::empty();
+        s.insert(LockId(5));
+        assert!(s.contains(LockId(5)));
+        assert!(!s.contains(LockId(6)));
+        s.remove(LockId(5));
+        assert!(s.is_empty_set());
+    }
+
+    #[test]
+    fn insert_into_universe_is_noop() {
+        let mut u = ExactSet::full();
+        u.insert(LockId(1));
+        assert!(u.is_universe());
+        assert!(u.contains(LockId(999)));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn remove_from_universe_panics() {
+        ExactSet::full().remove(LockId(1));
+    }
+
+    #[test]
+    fn len_and_collect() {
+        let s: ExactSet = [LockId(1), LockId(2), LockId(2)].into_iter().collect();
+        assert_eq!(s.len(), Some(2));
+        assert_eq!(ExactSet::full().len(), None);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", ExactSet::full()).is_empty());
+        assert!(!format!("{:?}", ExactSet::empty()).is_empty());
+        assert!(format!("{:?}", ExactSet::from_locks(&[LockId(4)])).contains("lock@0x4"));
+    }
+}

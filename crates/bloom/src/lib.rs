@@ -1,0 +1,48 @@
+//! Bloom-filter lock sets for HARD (paper §3.2–§3.3).
+//!
+//! HARD represents both per-line *candidate sets* (the locks that have
+//! protected a memory granule so far) and per-core *thread lock sets*
+//! (the locks currently held) as short bloom-filter bit vectors:
+//!
+//! * [`BloomShape`] describes a vector layout: 4 parts of `n` bits each,
+//!   indexed directly by address bits 2.. (Figure 4 of the paper). The
+//!   default is the 16-bit layout (`n = 4`); the Table 6 sensitivity
+//!   study also uses the 32-bit layout (`n = 8`).
+//! * [`BloomVector`] is a vector plus its shape, with the bitwise set
+//!   operations the paper highlights: intersection is a single AND,
+//!   union a single OR, and emptiness is "some part is all zero".
+//! * [`LockRegister`] pairs a `BloomVector` with the 2-bit saturating
+//!   [`CounterRegister`] that makes lock *release* possible despite hash
+//!   collisions (§3.3).
+//! * [`ExactSet`] is the exact set representation used by the *ideal*
+//!   lockset implementation the paper compares against (§4), including
+//!   the "all possible locks" universe value.
+//! * [`analysis`] contains the closed-form collision model of §3.2 and
+//!   a Monte-Carlo estimator that validates it.
+//!
+//! # Examples
+//!
+//! ```
+//! use hard_bloom::{BloomShape, BloomVector};
+//! use hard_types::LockId;
+//!
+//! // Thread holds L3; the line was protected by L1 and L2 so far.
+//! let mut candidate = BloomVector::empty(BloomShape::B16);
+//! candidate.insert(LockId(0x1000));
+//! candidate.insert(LockId(0x2000));
+//! let mut held = BloomVector::empty(BloomShape::B16);
+//! held.insert(LockId(0x3000));
+//!
+//! let new_candidate = candidate.intersect(&held);
+//! // No common lock protects the line: a (potential) race.
+//! assert!(new_candidate.is_empty_set() || new_candidate.bits() != 0);
+//! ```
+
+pub mod analysis;
+pub mod exact;
+pub mod registers;
+pub mod vector;
+
+pub use exact::ExactSet;
+pub use registers::{CounterRegister, LockRegister};
+pub use vector::{BloomShape, BloomVector};

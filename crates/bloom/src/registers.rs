@@ -1,0 +1,306 @@
+//! The per-core Lock Register and Counter Register (paper §3.3).
+//!
+//! Each processor stores the running thread's lock set in a bloom-filter
+//! **Lock Register**. Adding a lock is an OR, but *removing* one cannot
+//! simply clear its signature bits: another held lock may hash to the
+//! same bit. HARD therefore adds a **Counter Register**: one 2-bit
+//! saturating counter per vector bit. Acquire increments the signature
+//! bits' counters (saturating); release decrements them and clears a
+//! vector bit only when its counter reaches zero.
+
+use crate::vector::{BloomShape, BloomVector};
+use hard_types::LockId;
+use std::fmt;
+
+/// Maximum value of a 2-bit saturating counter.
+pub const COUNTER_MAX: u8 = 3;
+
+/// The per-bit 2-bit saturating counters backing a [`LockRegister`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CounterRegister {
+    counters: Vec<u8>,
+}
+
+impl CounterRegister {
+    /// All-zero counters for a vector of `shape`.
+    #[must_use]
+    pub fn new(shape: BloomShape) -> CounterRegister {
+        CounterRegister {
+            counters: vec![0; shape.total_bits() as usize],
+        }
+    }
+
+    /// Value of counter `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range for the register's shape.
+    #[must_use]
+    pub fn get(&self, bit: u32) -> u8 {
+        self.counters[bit as usize]
+    }
+
+    /// Increments counter `bit`, saturating at [`COUNTER_MAX`].
+    /// Returns the new value.
+    pub fn increment(&mut self, bit: u32) -> u8 {
+        let c = &mut self.counters[bit as usize];
+        if *c < COUNTER_MAX {
+            *c += 1;
+        }
+        *c
+    }
+
+    /// Decrements counter `bit` (floor zero). Returns the new value.
+    pub fn decrement(&mut self, bit: u32) -> u8 {
+        let c = &mut self.counters[bit as usize];
+        if *c > 0 {
+            *c -= 1;
+        }
+        *c
+    }
+
+    /// True if every counter is zero (no locks held, absent saturation
+    /// artifacts).
+    #[must_use]
+    pub fn all_zero(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+    }
+}
+
+/// A core's thread-lock-set register pair (§3.3).
+///
+/// # Examples
+///
+/// ```
+/// use hard_bloom::{BloomShape, LockRegister};
+/// use hard_types::LockId;
+///
+/// let mut reg = LockRegister::new(BloomShape::B16);
+/// reg.acquire(LockId(0x40));
+/// assert!(reg.vector().contains(LockId(0x40)));
+/// reg.release(LockId(0x40));
+/// assert!(reg.is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct LockRegister {
+    vector: BloomVector,
+    counters: CounterRegister,
+    /// Number of acquires minus releases; used for statistics and
+    /// consistency checks, not by the hardware algorithm.
+    depth: u32,
+}
+
+impl LockRegister {
+    /// An empty lock register (no locks held).
+    #[must_use]
+    pub fn new(shape: BloomShape) -> LockRegister {
+        LockRegister {
+            vector: BloomVector::empty(shape),
+            counters: CounterRegister::new(shape),
+            depth: 0,
+        }
+    }
+
+    /// The current bloom vector (what gets ANDed with candidate sets).
+    #[must_use]
+    pub fn vector(&self) -> BloomVector {
+        self.vector
+    }
+
+    /// The backing counters.
+    #[must_use]
+    pub fn counters(&self) -> &CounterRegister {
+        &self.counters
+    }
+
+    /// Current nesting depth (held-lock count).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// True when the register holds no locks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vector.bits() == 0
+    }
+
+    /// Acquire: OR the lock's signature into the vector and bump the
+    /// signature bits' counters.
+    pub fn acquire(&mut self, lock: LockId) {
+        let sig = self.vector.shape().signature(lock);
+        for bit in 0..self.vector.shape().total_bits() {
+            if sig & (1u64 << bit) != 0 {
+                self.counters.increment(bit);
+            }
+        }
+        self.vector = self
+            .vector
+            .union(&BloomVector::from_bits(self.vector.shape(), sig));
+        self.depth += 1;
+    }
+
+    /// Release: decrement the signature bits' counters and clear the
+    /// vector bits whose counter reached zero.
+    ///
+    /// Releasing a lock that was never acquired is a program bug in the
+    /// monitored application; the hardware tolerates it (counters floor
+    /// at zero) exactly like the real design would.
+    pub fn release(&mut self, lock: LockId) {
+        let shape = self.vector.shape();
+        let sig = shape.signature(lock);
+        let mut bits = self.vector.bits();
+        for bit in 0..shape.total_bits() {
+            if sig & (1u64 << bit) != 0 && self.counters.decrement(bit) == 0 {
+                bits &= !(1u64 << bit);
+            }
+        }
+        self.vector = BloomVector::from_bits(shape, bits);
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Clears everything (used at thread switch / program start).
+    pub fn clear(&mut self) {
+        let shape = self.vector.shape();
+        *self = LockRegister::new(shape);
+    }
+}
+
+impl fmt::Debug for LockRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LockRegister(depth={}, vector={:?})",
+            self.depth, self.vector
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let mut r = LockRegister::new(BloomShape::B16);
+        let l = LockId(0x80);
+        r.acquire(l);
+        assert!(!r.is_empty());
+        assert!(r.vector().contains(l));
+        assert_eq!(r.depth(), 1);
+        r.release(l);
+        assert!(r.is_empty());
+        assert!(r.counters().all_zero());
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn colliding_locks_survive_partial_release() {
+        // Two distinct locks with identical signatures (differ only in
+        // address bits outside 2..9): releasing one must keep the
+        // other's membership intact thanks to the counters.
+        let a = LockId(0x0000_0040);
+        let b = LockId(0x1000_0040);
+        let shape = BloomShape::B16;
+        assert_eq!(shape.signature(a), shape.signature(b));
+        let mut r = LockRegister::new(shape);
+        r.acquire(a);
+        r.acquire(b);
+        r.release(a);
+        assert!(r.vector().contains(b), "b must survive releasing a");
+        r.release(b);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn partially_overlapping_locks() {
+        // Locks sharing some but not all bits: releasing one clears only
+        // the bits not shared with the other.
+        let shape = BloomShape::B16;
+        let mk = |p0: u64, p1: u64, p2: u64, p3: u64| {
+            LockId((p0 | (p1 << 2) | (p2 << 4) | (p3 << 6)) << 2)
+        };
+        let a = mk(0, 0, 0, 0);
+        let b = mk(0, 1, 2, 3); // shares part-0 bit with a
+        let mut r = LockRegister::new(shape);
+        r.acquire(a);
+        r.acquire(b);
+        r.release(a);
+        assert!(r.vector().contains(b));
+        assert!(!r.vector().contains(a) || shape.signature(a) & r.vector().bits() != shape.signature(a));
+    }
+
+    #[test]
+    fn counter_saturation_is_sticky() {
+        // Acquiring the same lock 5 times saturates its counters at 3;
+        // releasing 5 times floors at 0. After saturation, 3 releases
+        // clear the bits even though 5 acquires happened — exactly the
+        // hardware's (rare) imprecision.
+        let shape = BloomShape::B16;
+        let l = LockId(0x100);
+        let mut r = LockRegister::new(shape);
+        for _ in 0..5 {
+            r.acquire(l);
+        }
+        for _ in 0..3 {
+            r.release(l);
+        }
+        assert!(
+            !r.vector().contains(l),
+            "saturated counters under-count: bits clear after 3 releases"
+        );
+    }
+
+    #[test]
+    fn release_unheld_lock_is_tolerated() {
+        let mut r = LockRegister::new(BloomShape::B16);
+        r.release(LockId(0x4)); // no panic; counters floor at zero
+        assert!(r.is_empty());
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn clear_resets_all_state() {
+        let mut r = LockRegister::new(BloomShape::B32);
+        r.acquire(LockId(0x40));
+        r.acquire(LockId(0x80));
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.counters().all_zero());
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn counter_register_bounds() {
+        let mut c = CounterRegister::new(BloomShape::B16);
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.increment(0), 1);
+        assert_eq!(c.increment(0), 2);
+        assert_eq!(c.increment(0), 3);
+        assert_eq!(c.increment(0), 3, "saturates at 3");
+        assert_eq!(c.decrement(0), 2);
+        assert_eq!(c.decrement(0), 1);
+        assert_eq!(c.decrement(0), 0);
+        assert_eq!(c.decrement(0), 0, "floors at 0");
+    }
+
+    #[test]
+    fn nested_distinct_locks() {
+        let shape = BloomShape::B16;
+        let locks: Vec<LockId> = (0..4).map(|i| LockId(0x40 * (i + 1))).collect();
+        let mut r = LockRegister::new(shape);
+        for &l in &locks {
+            r.acquire(l);
+        }
+        assert_eq!(r.depth(), 4);
+        for &l in &locks {
+            assert!(r.vector().contains(l));
+        }
+        // LIFO release order, as lock-based code typically does.
+        for &l in locks.iter().rev() {
+            r.release(l);
+        }
+        assert!(r.is_empty());
+        assert!(r.counters().all_zero());
+    }
+}

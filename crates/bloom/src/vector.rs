@@ -1,0 +1,435 @@
+//! The bloom-filter bit vector and its address mapping (paper Figure 4).
+
+use hard_types::LockId;
+use std::fmt;
+
+/// Layout of a HARD bloom-filter vector.
+///
+/// The vector is divided into `PARTS` (always 4, as in the paper) parts
+/// of `part_len` bits each. A lock address contributes
+/// `log2(part_len)` consecutive address bits per part, starting at
+/// address bit 2 (word-aligned locks make bits 0–1 uninformative); each
+/// part's index selects exactly one bit of that part to set.
+///
+/// The paper's default is the 16-bit layout ([`BloomShape::B16`]:
+/// 4 parts × 4 bits, 2 index bits per part, consuming address bits
+/// 2–9). The Table 6 study also evaluates a 32-bit layout
+/// ([`BloomShape::B32`]: 4 parts × 8 bits, 3 index bits per part,
+/// consuming address bits 2–13).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BloomShape {
+    part_len: u32,
+}
+
+/// Number of parts in every HARD bloom vector (fixed by the paper).
+pub const PARTS: u32 = 4;
+
+/// Lowest address bit used by the mapping; bits 0–1 are skipped because
+/// lock objects are at least word aligned.
+pub const ADDR_LOW_BIT: u32 = 2;
+
+impl BloomShape {
+    /// The paper's default 16-bit vector: 4 parts × 4 bits.
+    pub const B16: BloomShape = BloomShape { part_len: 4 };
+
+    /// The 32-bit vector of the Table 6 sensitivity study:
+    /// 4 parts × 8 bits.
+    pub const B32: BloomShape = BloomShape { part_len: 8 };
+
+    /// Creates a shape with 4 parts of `part_len` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `part_len` is a power of two in `[2, 16]`, which
+    /// keeps the whole vector within 64 bits and the index computable
+    /// from address bits.
+    #[must_use]
+    pub fn new(part_len: u32) -> BloomShape {
+        assert!(
+            part_len.is_power_of_two() && (2..=16).contains(&part_len),
+            "part_len must be a power of two in [2, 16], got {part_len}"
+        );
+        BloomShape { part_len }
+    }
+
+    /// Bits per part.
+    #[must_use]
+    pub fn part_len(self) -> u32 {
+        self.part_len
+    }
+
+    /// Total vector length in bits (what the paper calls the BFVector
+    /// size: 16 or 32).
+    #[must_use]
+    pub fn total_bits(self) -> u32 {
+        self.part_len * PARTS
+    }
+
+    /// Address bits consumed per part.
+    #[must_use]
+    pub fn index_bits(self) -> u32 {
+        self.part_len.trailing_zeros()
+    }
+
+    /// The all-ones vector value ("all possible locks").
+    #[must_use]
+    pub fn full_mask(self) -> u64 {
+        if self.total_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.total_bits()) - 1
+        }
+    }
+
+    /// Mask selecting part `i` (0-based) of the vector.
+    #[must_use]
+    fn part_mask(self, i: u32) -> u64 {
+        debug_assert!(i < PARTS);
+        let ones = (1u64 << self.part_len) - 1;
+        ones << (i * self.part_len)
+    }
+
+    /// Maps a lock address to its signature: the vector with exactly
+    /// one bit set per part (Figure 4).
+    #[must_use]
+    pub fn signature(self, lock: LockId) -> u64 {
+        let idx_bits = self.index_bits();
+        let mut sig = 0u64;
+        for part in 0..PARTS {
+            let idx = (lock.0 >> (ADDR_LOW_BIT as u64 + (part * idx_bits) as u64))
+                & ((self.part_len - 1) as u64);
+            sig |= 1u64 << (part * self.part_len + idx as u32);
+        }
+        sig
+    }
+}
+
+impl Default for BloomShape {
+    fn default() -> Self {
+        BloomShape::B16
+    }
+}
+
+impl fmt::Display for BloomShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.total_bits())
+    }
+}
+
+/// A bloom-filter vector: the hardware BFVector.
+///
+/// All set operations are branch-free bit logic, mirroring how cheaply
+/// the hardware performs them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BloomVector {
+    shape: BloomShape,
+    bits: u64,
+}
+
+impl BloomVector {
+    /// The vector representing the empty set (all bits zero).
+    #[must_use]
+    pub fn empty(shape: BloomShape) -> BloomVector {
+        BloomVector { shape, bits: 0 }
+    }
+
+    /// The vector representing "all possible locks" (all bits one).
+    ///
+    /// This is the value a candidate set is initialised to when a line
+    /// is fetched from memory, and the value every vector is flash-reset
+    /// to after a barrier (§3.5).
+    #[must_use]
+    pub fn full(shape: BloomShape) -> BloomVector {
+        BloomVector {
+            shape,
+            bits: shape.full_mask(),
+        }
+    }
+
+    /// Builds a vector containing exactly the given locks.
+    #[must_use]
+    pub fn from_locks(shape: BloomShape, locks: &[LockId]) -> BloomVector {
+        let mut v = BloomVector::empty(shape);
+        for &l in locks {
+            v.insert(l);
+        }
+        v
+    }
+
+    /// The layout of this vector.
+    #[must_use]
+    pub fn shape(self) -> BloomShape {
+        self.shape
+    }
+
+    /// The raw bit pattern (within [`BloomShape::full_mask`]).
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Reconstructs a vector from raw bits, e.g. when metadata arrives
+    /// in a coherence message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has bits outside the shape's mask, which would
+    /// indicate a corrupted message.
+    #[must_use]
+    pub fn from_bits(shape: BloomShape, bits: u64) -> BloomVector {
+        assert_eq!(
+            bits & !shape.full_mask(),
+            0,
+            "bit pattern {bits:#x} exceeds {shape} vector"
+        );
+        BloomVector { shape, bits }
+    }
+
+    /// Adds a lock: bitwise OR with the lock's signature.
+    pub fn insert(&mut self, lock: LockId) {
+        self.bits |= self.shape.signature(lock);
+    }
+
+    /// Membership test (may report false positives, never false
+    /// negatives): all of the lock's signature bits are set.
+    #[must_use]
+    pub fn contains(self, lock: LockId) -> bool {
+        let sig = self.shape.signature(lock);
+        self.bits & sig == sig
+    }
+
+    /// Set intersection: a single bitwise AND (the operation HARD
+    /// performs on every shared access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; the hardware fixes one vector width
+    /// machine-wide.
+    #[must_use]
+    pub fn intersect(self, other: &BloomVector) -> BloomVector {
+        assert_eq!(self.shape, other.shape, "mismatched bloom shapes");
+        BloomVector {
+            shape: self.shape,
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Set union: a single bitwise OR (used when adding a lock to the
+    /// lock register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn union(self, other: &BloomVector) -> BloomVector {
+        assert_eq!(self.shape, other.shape, "mismatched bloom shapes");
+        BloomVector {
+            shape: self.shape,
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// The paper's emptiness test: the set is empty iff at least one
+    /// part has no bit set. An empty candidate set signals a potential
+    /// race.
+    ///
+    /// The test is exact in one direction: a truly empty set is always
+    /// reported empty. Hash collisions can make a truly empty
+    /// intersection appear non-empty (a possible missed race, Figure 5),
+    /// never the other way around.
+    #[must_use]
+    pub fn is_empty_set(self) -> bool {
+        (0..PARTS).any(|i| self.bits & self.shape.part_mask(i) == 0)
+    }
+
+    /// Resets to "all possible locks" (barrier flash-clear, §3.5).
+    pub fn reset_full(&mut self) {
+        self.bits = self.shape.full_mask();
+    }
+}
+
+impl fmt::Debug for BloomVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BloomVector({}, {:0width$b})",
+            self.shape,
+            self.bits,
+            width = self.shape.total_bits() as usize
+        )
+    }
+}
+
+impl fmt::Binary for BloomVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_paper_dimensions() {
+        assert_eq!(BloomShape::B16.total_bits(), 16);
+        assert_eq!(BloomShape::B16.index_bits(), 2);
+        assert_eq!(BloomShape::B32.total_bits(), 32);
+        assert_eq!(BloomShape::B32.index_bits(), 3);
+        assert_eq!(BloomShape::B16.full_mask(), 0xFFFF);
+        assert_eq!(BloomShape::B32.full_mask(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "part_len")]
+    fn shape_rejects_bad_part_len() {
+        let _ = BloomShape::new(3);
+    }
+
+    #[test]
+    fn signature_sets_one_bit_per_part() {
+        for addr in [0u64, 0x4, 0xFF0, 0xDEAD_BEE4, !3u64] {
+            for shape in [BloomShape::B16, BloomShape::B32] {
+                let sig = shape.signature(LockId(addr));
+                for part in 0..PARTS {
+                    let part_bits = (sig >> (part * shape.part_len()))
+                        & ((1u64 << shape.part_len()) - 1);
+                    assert_eq!(part_bits.count_ones(), 1, "part {part} of {addr:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_uses_address_bits_2_to_9_for_b16() {
+        // Figure 4: bits 2..9 select the vector bits. Changing bits
+        // outside that range must not change the signature.
+        let shape = BloomShape::B16;
+        let base = 0x0000_03FCu64; // bits 2..9 all ones
+        assert_eq!(
+            shape.signature(LockId(base)),
+            shape.signature(LockId(base | 0xFFFF_FC00)),
+        );
+        assert_eq!(
+            shape.signature(LockId(base)),
+            shape.signature(LockId(base | 0x3)),
+        );
+        // ...while changing an in-range bit does.
+        assert_ne!(
+            shape.signature(LockId(base)),
+            shape.signature(LockId(base ^ 0x4)),
+        );
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = BloomVector::empty(BloomShape::B16);
+        assert!(e.is_empty_set());
+        assert_eq!(e.bits(), 0);
+        let f = BloomVector::full(BloomShape::B16);
+        assert!(!f.is_empty_set());
+        assert_eq!(f.bits(), 0xFFFF);
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut v = BloomVector::empty(BloomShape::B16);
+        let l = LockId(0x1234);
+        assert!(!v.contains(l));
+        v.insert(l);
+        assert!(v.contains(l));
+        assert!(!v.is_empty_set());
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let f = BloomVector::full(BloomShape::B16);
+        for a in (0..4096).step_by(4) {
+            assert!(f.contains(LockId(a)));
+        }
+    }
+
+    #[test]
+    fn intersect_disjoint_parts_is_empty() {
+        // Two locks whose part-0 indices differ produce an empty AND in
+        // part 0, so the intersection tests empty.
+        let shape = BloomShape::B16;
+        let a = BloomVector::from_locks(shape, &[LockId(0x0)]);
+        let b = BloomVector::from_locks(shape, &[LockId(0x4)]);
+        assert!(a.intersect(&b).is_empty_set());
+    }
+
+    #[test]
+    fn figure5_collision_hides_empty_intersection() {
+        // Reconstruct the paper's Figure 5: C(v) = {L1, L2}, L(t) = {L3}
+        // with L3's signature covered bit-by-bit by the union of L1 and
+        // L2, so the AND is non-empty in every part even though the true
+        // intersection is empty.
+        let shape = BloomShape::B16;
+        // Part indices (part0..part3) per lock, encoded into addr bits
+        // 2..9 (2 bits per part, little end = part 0).
+        let mk = |p0: u64, p1: u64, p2: u64, p3: u64| {
+            LockId((p0 | (p1 << 2) | (p2 << 4) | (p3 << 6)) << 2)
+        };
+        let l1 = mk(0, 1, 2, 3);
+        let l2 = mk(1, 2, 3, 0);
+        let l3 = mk(0, 2, 2, 0); // part-wise covered by l1 ∪ l2
+        let candidate = BloomVector::from_locks(shape, &[l1, l2]);
+        let held = BloomVector::from_locks(shape, &[l3]);
+        let inter = candidate.intersect(&held);
+        assert!(
+            !inter.is_empty_set(),
+            "collision should hide the empty intersection (false negative)"
+        );
+    }
+
+    #[test]
+    fn union_is_or() {
+        let shape = BloomShape::B16;
+        let a = BloomVector::from_locks(shape, &[LockId(0x10)]);
+        let b = BloomVector::from_locks(shape, &[LockId(0x20)]);
+        let u = a.union(&b);
+        assert!(u.contains(LockId(0x10)));
+        assert!(u.contains(LockId(0x20)));
+        assert_eq!(u.bits(), a.bits() | b.bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bloom shapes")]
+    fn intersect_mixed_shapes_panics() {
+        let a = BloomVector::empty(BloomShape::B16);
+        let b = BloomVector::empty(BloomShape::B32);
+        let _ = a.intersect(&b);
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let v = BloomVector::from_bits(BloomShape::B16, 0xABCD);
+        assert_eq!(v.bits(), 0xABCD);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn from_bits_rejects_out_of_range() {
+        let _ = BloomVector::from_bits(BloomShape::B16, 0x1_0000);
+    }
+
+    #[test]
+    fn reset_full_restores_universe() {
+        let mut v = BloomVector::empty(BloomShape::B32);
+        v.insert(LockId(0x44));
+        v.reset_full();
+        assert_eq!(v, BloomVector::full(BloomShape::B32));
+    }
+
+    #[test]
+    fn emptiness_is_sound_never_misses_true_empty() {
+        // A zero vector is always empty; any single-lock vector never is.
+        for shape in [BloomShape::B16, BloomShape::B32] {
+            assert!(BloomVector::empty(shape).is_empty_set());
+            for a in (0..1024).step_by(4) {
+                assert!(!BloomVector::from_locks(shape, &[LockId(a)]).is_empty_set());
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the bloom-filter structures.
+
+use hard_bloom::{BloomShape, BloomVector, ExactSet, LockRegister};
+use hard_types::LockId;
+use proptest::prelude::*;
+
+fn arb_lock() -> impl Strategy<Value = LockId> {
+    // Word-aligned addresses, as lock objects are in practice.
+    (0u64..=u64::MAX / 4).prop_map(|v| LockId(v << 2))
+}
+
+fn arb_shape() -> impl Strategy<Value = BloomShape> {
+    prop_oneof![Just(BloomShape::B16), Just(BloomShape::B32)]
+}
+
+proptest! {
+    /// One-sided error: a member is always reported as contained.
+    #[test]
+    fn member_always_contained(shape in arb_shape(), locks in prop::collection::vec(arb_lock(), 1..8)) {
+        let v = BloomVector::from_locks(shape, &locks);
+        for &l in &locks {
+            prop_assert!(v.contains(l));
+        }
+    }
+
+    /// The bloom emptiness test never reports a non-empty set as empty:
+    /// any vector containing at least one inserted lock is non-empty.
+    #[test]
+    fn inserted_never_empty(shape in arb_shape(), lock in arb_lock()) {
+        let v = BloomVector::from_locks(shape, &[lock]);
+        prop_assert!(!v.is_empty_set());
+    }
+
+    /// Bloom intersection over-approximates exact intersection: if the
+    /// bloom intersection tests empty, the exact intersection is empty.
+    /// (The converse can fail — that is the Figure 5 false negative.)
+    #[test]
+    fn bloom_empty_implies_exact_empty(
+        shape in arb_shape(),
+        a in prop::collection::vec(arb_lock(), 0..6),
+        b in prop::collection::vec(arb_lock(), 0..6),
+    ) {
+        let bloom = BloomVector::from_locks(shape, &a)
+            .intersect(&BloomVector::from_locks(shape, &b));
+        let exact = ExactSet::from_locks(&a).intersect(&ExactSet::from_locks(&b));
+        if bloom.is_empty_set() {
+            prop_assert!(exact.is_empty_set());
+        }
+    }
+
+    /// AND/OR are commutative and idempotent on vectors.
+    #[test]
+    fn lattice_laws(
+        shape in arb_shape(),
+        a in prop::collection::vec(arb_lock(), 0..5),
+        b in prop::collection::vec(arb_lock(), 0..5),
+    ) {
+        let va = BloomVector::from_locks(shape, &a);
+        let vb = BloomVector::from_locks(shape, &b);
+        prop_assert_eq!(va.intersect(&vb), vb.intersect(&va));
+        prop_assert_eq!(va.union(&vb), vb.union(&va));
+        prop_assert_eq!(va.intersect(&va), va);
+        prop_assert_eq!(va.union(&va), va);
+    }
+
+    /// Intersecting with full is the identity; with empty, empty.
+    #[test]
+    fn unit_and_zero(shape in arb_shape(), a in prop::collection::vec(arb_lock(), 0..5)) {
+        let va = BloomVector::from_locks(shape, &a);
+        prop_assert_eq!(va.intersect(&BloomVector::full(shape)), va);
+        prop_assert_eq!(va.intersect(&BloomVector::empty(shape)), BloomVector::empty(shape));
+    }
+
+    /// Lock register: acquiring a multiset of locks and releasing them
+    /// in any order restores the empty register, as long as no counter
+    /// saturates (≤3 copies of any signature bit).
+    #[test]
+    fn register_roundtrip(shape in arb_shape(), locks in prop::collection::vec(arb_lock(), 0..3)) {
+        let mut reg = LockRegister::new(shape);
+        for &l in &locks {
+            reg.acquire(l);
+        }
+        for &l in &locks {
+            prop_assert!(reg.vector().contains(l));
+        }
+        let mut rev = locks.clone();
+        rev.reverse();
+        for &l in &rev {
+            reg.release(l);
+        }
+        prop_assert!(reg.is_empty());
+        prop_assert!(reg.counters().all_zero());
+    }
+
+    /// While locks are held, the register vector equals the union of
+    /// the held locks' signatures.
+    #[test]
+    fn register_vector_is_union_of_signatures(
+        shape in arb_shape(),
+        locks in prop::collection::vec(arb_lock(), 1..3),
+    ) {
+        let mut reg = LockRegister::new(shape);
+        for &l in &locks {
+            reg.acquire(l);
+        }
+        let expect = BloomVector::from_locks(shape, &locks);
+        prop_assert_eq!(reg.vector(), expect);
+    }
+
+    /// Exact sets: intersection is a lower bound of both operands.
+    #[test]
+    fn exact_intersection_lower_bound(
+        a in prop::collection::vec(arb_lock(), 0..8),
+        b in prop::collection::vec(arb_lock(), 0..8),
+    ) {
+        let sa = ExactSet::from_locks(&a);
+        let sb = ExactSet::from_locks(&b);
+        let i = sa.intersect(&sb);
+        for &l in a.iter().chain(b.iter()) {
+            if i.contains(l) {
+                prop_assert!(sa.contains(l) && sb.contains(l));
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! A generic set-associative cache array with LRU replacement.
+
+use crate::cstate::CState;
+use crate::geometry::CacheGeometry;
+use hard_types::Addr;
+
+/// One cache line: identity, coherence state and attached metadata.
+#[derive(Clone, Debug)]
+pub struct Line<M> {
+    /// Line-aligned base address (we store the full address rather than
+    /// the tag; the simulator favours clarity over bit-packing).
+    pub addr: Addr,
+    /// Coherence state (always [`CState::Modified`] or a plain
+    /// valid/dirty notion in the L2, which is not a coherence
+    /// participant).
+    pub state: CState,
+    /// The attached metadata (candidate set + LState for HARD,
+    /// timestamps for happens-before).
+    pub meta: M,
+    lru: u64,
+}
+
+/// A line evicted to make room for an insertion.
+#[derive(Clone, Debug)]
+pub struct Evicted<M> {
+    /// The victim's line address.
+    pub addr: Addr,
+    /// The victim's coherence state at eviction.
+    pub state: CState,
+    /// The victim's metadata (to be written back or dropped).
+    pub meta: M,
+}
+
+/// A set-associative cache with LRU replacement, generic over per-line
+/// metadata.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache<M> {
+    geom: CacheGeometry,
+    sets: Vec<Vec<Line<M>>>,
+    tick: u64,
+}
+
+impl<M> SetAssocCache<M> {
+    /// An empty cache of the given geometry.
+    #[must_use]
+    pub fn new(geom: CacheGeometry) -> SetAssocCache<M> {
+        SetAssocCache {
+            geom,
+            sets: (0..geom.num_sets()).map(|_| Vec::new()).collect(),
+            tick: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Number of currently valid lines.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up the line containing `addr` without touching LRU state.
+    #[must_use]
+    pub fn peek(&self, addr: Addr) -> Option<&Line<M>> {
+        let line_addr = self.geom.line_of(addr);
+        self.sets[self.geom.set_index(line_addr)]
+            .iter()
+            .find(|l| l.addr == line_addr)
+    }
+
+    /// Looks up the line containing `addr`, refreshing its LRU age.
+    pub fn probe(&mut self, addr: Addr) -> Option<&mut Line<M>> {
+        let line_addr = self.geom.line_of(addr);
+        let tick = self.bump();
+        let set = &mut self.sets[self.geom.set_index(line_addr)];
+        let line = set.iter_mut().find(|l| l.addr == line_addr)?;
+        line.lru = tick;
+        Some(line)
+    }
+
+    /// Inserts a line (which must not already be present), evicting the
+    /// LRU victim if the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present — the hierarchy must probe
+    /// first.
+    pub fn insert(&mut self, addr: Addr, state: CState, meta: M) -> Option<Evicted<M>> {
+        let line_addr = self.geom.line_of(addr);
+        let ways = self.geom.ways() as usize;
+        let tick = self.bump();
+        let set_idx = self.geom.set_index(line_addr);
+        let set = &mut self.sets[set_idx];
+        assert!(
+            set.iter().all(|l| l.addr != line_addr),
+            "line {line_addr} already present"
+        );
+        let victim = if set.len() == ways {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("full set is non-empty");
+            let v = set.swap_remove(vi);
+            Some(Evicted {
+                addr: v.addr,
+                state: v.state,
+                meta: v.meta,
+            })
+        } else {
+            None
+        };
+        self.sets[set_idx].push(Line {
+            addr: line_addr,
+            state,
+            meta,
+            lru: tick,
+        });
+        victim
+    }
+
+    /// Removes the line containing `addr`, returning it.
+    pub fn remove(&mut self, addr: Addr) -> Option<Line<M>> {
+        let line_addr = self.geom.line_of(addr);
+        let set = &mut self.sets[self.geom.set_index(line_addr)];
+        let i = set.iter().position(|l| l.addr == line_addr)?;
+        Some(set.swap_remove(i))
+    }
+
+    /// Iterates over all valid lines.
+    pub fn iter(&self) -> impl Iterator<Item = &Line<M>> {
+        self.sets.iter().flatten()
+    }
+
+    /// Mutably iterates over all valid lines (for metadata flash
+    /// operations such as HARD's barrier reset).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Line<M>> {
+        self.sets.iter_mut().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache<u32> {
+        // 2 sets × 2 ways of 32-byte lines.
+        SetAssocCache::new(CacheGeometry::new(128, 2, 32))
+    }
+
+    #[test]
+    fn insert_probe_roundtrip() {
+        let mut c = small();
+        assert!(c.insert(Addr(0x20), CState::Exclusive, 7).is_none());
+        assert_eq!(c.occupancy(), 1);
+        let line = c.probe(Addr(0x24)).expect("same line");
+        assert_eq!(line.meta, 7);
+        assert_eq!(line.state, CState::Exclusive);
+        assert!(c.peek(Addr(0x40)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds lines 0x00, 0x40 (with 2 sets of 32B lines,
+        // set = (addr/32) & 1).
+        c.insert(Addr(0x00), CState::Exclusive, 1);
+        c.insert(Addr(0x40), CState::Exclusive, 2);
+        // Touch 0x00 so 0x40 becomes LRU.
+        c.probe(Addr(0x00));
+        let ev = c.insert(Addr(0x80), CState::Exclusive, 3).expect("eviction");
+        assert_eq!(ev.addr, Addr(0x40));
+        assert_eq!(ev.meta, 2);
+        assert!(c.peek(Addr(0x00)).is_some());
+        assert!(c.peek(Addr(0x80)).is_some());
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        c.insert(Addr(0x00), CState::Exclusive, 1);
+        c.insert(Addr(0x20), CState::Exclusive, 2); // set 1
+        c.insert(Addr(0x40), CState::Exclusive, 3); // set 0
+        assert_eq!(c.occupancy(), 3);
+    }
+
+    #[test]
+    fn remove_returns_line() {
+        let mut c = small();
+        c.insert(Addr(0x00), CState::Modified, 9);
+        let l = c.remove(Addr(0x1F)).expect("same line");
+        assert_eq!(l.meta, 9);
+        assert_eq!(l.state, CState::Modified);
+        assert_eq!(c.occupancy(), 0);
+        assert!(c.remove(Addr(0x00)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_insert_panics() {
+        let mut c = small();
+        c.insert(Addr(0x00), CState::Exclusive, 1);
+        c.insert(Addr(0x04), CState::Exclusive, 2); // same line
+    }
+
+    #[test]
+    fn iter_mut_allows_flash_updates() {
+        let mut c = small();
+        c.insert(Addr(0x00), CState::Exclusive, 1);
+        c.insert(Addr(0x20), CState::Exclusive, 2);
+        for line in c.iter_mut() {
+            line.meta = 0;
+        }
+        assert!(c.iter().all(|l| l.meta == 0));
+    }
+}

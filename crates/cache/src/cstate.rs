@@ -1,0 +1,72 @@
+//! MESI coherence states.
+//!
+//! Note the distinction the paper draws in §3.1: the coherence state
+//! (*CState*) is independent of the lockset pruning state (*LState*,
+//! `hard_lockset::LState`). This module is the CState.
+
+use std::fmt;
+
+/// MESI coherence state of an L1 copy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CState {
+    /// Modified: exclusive and dirty.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: possibly multiple copies, clean.
+    Shared,
+    /// Invalid.
+    Invalid,
+}
+
+impl CState {
+    /// True when the copy may be read without a bus transaction.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        !matches!(self, CState::Invalid)
+    }
+
+    /// True when the copy may be written without a bus transaction.
+    #[must_use]
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, CState::Modified | CState::Exclusive)
+    }
+
+    /// True when this is the sole up-to-date copy among L1s.
+    #[must_use]
+    pub fn is_exclusive_kind(self) -> bool {
+        matches!(self, CState::Modified | CState::Exclusive)
+    }
+}
+
+impl fmt::Display for CState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CState::Modified => "M",
+            CState::Exclusive => "E",
+            CState::Shared => "S",
+            CState::Invalid => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(CState::Modified.is_valid());
+        assert!(!CState::Invalid.is_valid());
+        assert!(CState::Exclusive.can_write_silently());
+        assert!(!CState::Shared.can_write_silently());
+        assert!(CState::Modified.is_exclusive_kind());
+        assert!(!CState::Shared.is_exclusive_kind());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", CState::Shared), "S");
+    }
+}

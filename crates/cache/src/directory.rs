@@ -1,0 +1,136 @@
+//! Directory-resident detection metadata (paper §3.4, second half).
+//!
+//! "For a directory-based protocol, the candidate set and the LState
+//! are stored in the directory instead of together with each cache
+//! line. Every shared access gets the candidate set and LState
+//! information from the directory, and then puts the new information
+//! back."
+//!
+//! [`MetaDirectory`] is that home-node store: one metadata entry per
+//! cached line, created on first access, retired when the line is
+//! displaced from the L2 (the detection window is the same as the
+//! snoopy design's). Management is simpler — there is exactly one copy,
+//! so no broadcasts — but *every* monitored access performs a directory
+//! round trip, even L1 hits, which is the §3.4 traffic trade-off the
+//! `hard` crate's directory machine measures.
+
+use crate::policy::MetaFactory;
+use hard_types::{Addr, CoreId};
+use std::collections::BTreeMap;
+
+/// The per-line metadata directory.
+#[derive(Clone, Debug)]
+pub struct MetaDirectory<F: MetaFactory> {
+    factory: F,
+    entries: BTreeMap<Addr, F::Meta>,
+    requests: u64,
+}
+
+impl<F: MetaFactory> MetaDirectory<F> {
+    /// An empty directory.
+    #[must_use]
+    pub fn new(factory: F) -> MetaDirectory<F> {
+        MetaDirectory {
+            factory,
+            entries: BTreeMap::new(),
+            requests: 0,
+        }
+    }
+
+    /// Gets (creating if absent) the metadata entry for `line`,
+    /// counting one get+put-back round trip.
+    ///
+    /// `core` initializes fresh entries, mirroring the fetch-time
+    /// initialization of the snoopy design.
+    pub fn access(&mut self, line: Addr, core: CoreId) -> &mut F::Meta {
+        self.requests += 1;
+        self.entries
+            .entry(line)
+            .or_insert_with(|| self.factory.fresh(core))
+    }
+
+    /// Reads the entry without counting a request (tests/inspection).
+    #[must_use]
+    pub fn peek(&self, line: Addr) -> Option<&F::Meta> {
+        self.entries.get(&line)
+    }
+
+    /// Retires the entry for a line displaced from the L2; the
+    /// detection metadata is lost exactly as in the in-cache design.
+    pub fn retire(&mut self, line: Addr) {
+        self.entries.remove(&line);
+    }
+
+    /// Applies `f` to every live entry (barrier flash-reset).
+    pub fn flash(&mut self, mut f: impl FnMut(&mut F::Meta)) {
+        for meta in self.entries.values_mut() {
+            f(meta);
+        }
+    }
+
+    /// Number of directory round trips performed.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the directory holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug)]
+    struct CountFactory;
+
+    impl MetaFactory for CountFactory {
+        type Meta = u32;
+
+        fn fresh(&self, core: CoreId) -> u32 {
+            core.0 * 100
+        }
+    }
+
+    #[test]
+    fn access_creates_then_reuses() {
+        let mut d = MetaDirectory::new(CountFactory);
+        assert!(d.is_empty());
+        let m = d.access(Addr(0x40), CoreId(2));
+        assert_eq!(*m, 200);
+        *m = 7;
+        assert_eq!(*d.access(Addr(0x40), CoreId(0)), 7, "entry persists");
+        assert_eq!(d.requests(), 2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn retire_loses_the_entry() {
+        let mut d = MetaDirectory::new(CountFactory);
+        *d.access(Addr(0x40), CoreId(0)) = 9;
+        d.retire(Addr(0x40));
+        assert!(d.peek(Addr(0x40)).is_none());
+        // Re-access re-initializes, as after an L2 displacement.
+        assert_eq!(*d.access(Addr(0x40), CoreId(1)), 100);
+    }
+
+    #[test]
+    fn flash_touches_all_entries() {
+        let mut d = MetaDirectory::new(CountFactory);
+        d.access(Addr(0x40), CoreId(0));
+        d.access(Addr(0x80), CoreId(1));
+        d.flash(|m| *m = 1);
+        assert_eq!(*d.peek(Addr(0x40)).unwrap(), 1);
+        assert_eq!(*d.peek(Addr(0x80)).unwrap(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! The metadata-initialization seam between the cache hierarchy and the
+//! race detectors built on top of it.
+
+use hard_types::CoreId;
+
+/// Creates the metadata attached to a line freshly fetched from memory.
+///
+/// HARD initializes a fetched line's candidate set to all-ones and its
+/// LState to Exclusive (paper §3.1); the happens-before policy starts
+/// with empty timestamps; the null (baseline) policy attaches nothing.
+pub trait MetaFactory {
+    /// The per-line metadata type.
+    type Meta: Clone;
+
+    /// Metadata for a line fetched from memory by `core`.
+    fn fresh(&self, core: CoreId) -> Self::Meta;
+}
+
+/// The no-metadata factory used for baseline (HARD-disabled) timing
+/// runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullFactory;
+
+impl MetaFactory for NullFactory {
+    type Meta = ();
+
+    fn fresh(&self, _core: CoreId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_factory_produces_unit() {
+        #[allow(clippy::let_unit_value)]
+        let meta = NullFactory.fresh(CoreId(0));
+        let _: () = meta;
+    }
+}

@@ -1,0 +1,101 @@
+//! Hierarchy statistics: hit/miss/eviction counters and bus traffic.
+
+use std::fmt;
+
+/// Counters accumulated by the memory hierarchy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 accesses that hit.
+    pub l1_hits: u64,
+    /// L1 accesses that missed.
+    pub l1_misses: u64,
+    /// L1 misses served by the shared L2.
+    pub l2_hits: u64,
+    /// L1 misses that went to memory.
+    pub l2_misses: u64,
+    /// L1 misses served by another core's L1 (cache-to-cache transfer).
+    pub c2c_transfers: u64,
+    /// Write upgrades (S -> M) that only invalidated other copies.
+    pub upgrades: u64,
+    /// L1 evictions (capacity/conflict).
+    pub l1_evictions: u64,
+    /// L2 evictions; each one loses the line's detection metadata.
+    pub l2_evictions: u64,
+    /// L2 evictions that back-invalidated at least one L1 copy.
+    pub l2_back_invalidations: u64,
+    /// Dirty writebacks from L1 to L2.
+    pub writebacks: u64,
+    /// Metadata broadcasts on shared lines (paper §3.4) — HARD's main
+    /// extra bus traffic.
+    pub meta_broadcasts: u64,
+    /// Bus data transactions (BusRd / BusRdX responses).
+    pub bus_data: u64,
+    /// Bus control-only transactions (upgrades/invalidations).
+    pub bus_control: u64,
+}
+
+impl MemStats {
+    /// Total memory accesses observed.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.l1_hits + self.l1_misses
+    }
+
+    /// Total bus transactions including metadata broadcasts.
+    #[must_use]
+    pub fn bus_transactions(&self) -> u64 {
+        self.bus_data + self.bus_control + self.meta_broadcasts
+    }
+
+    /// L1 hit rate in `[0, 1]` (1.0 for an untouched hierarchy).
+    #[must_use]
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 {}/{} hits, L2 {} hits / {} misses, c2c {}, evict L1 {} L2 {}, bcast {}",
+            self.l1_hits,
+            self.accesses(),
+            self.l2_hits,
+            self.l2_misses,
+            self.c2c_transfers,
+            self.l1_evictions,
+            self.l2_evictions,
+            self.meta_broadcasts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_totals() {
+        let s = MemStats {
+            l1_hits: 90,
+            l1_misses: 10,
+            bus_data: 8,
+            bus_control: 2,
+            meta_broadcasts: 5,
+            ..MemStats::default()
+        };
+        assert_eq!(s.accesses(), 100);
+        assert!((s.l1_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(s.bus_transactions(), 15);
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_is_one() {
+        assert_eq!(MemStats::default().l1_hit_rate(), 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the memory hierarchy's invariants.
+
+use hard_cache::policy::MetaFactory;
+use hard_cache::{CacheGeometry, Hierarchy, HierarchyConfig};
+use hard_types::{AccessKind, Addr, CoreId};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+struct SeqFactory;
+
+impl MetaFactory for SeqFactory {
+    type Meta = u64;
+
+    fn fresh(&self, core: CoreId) -> u64 {
+        u64::from(core.0) + 1
+    }
+}
+
+fn tiny() -> HierarchyConfig {
+    HierarchyConfig {
+        num_cores: 3,
+        l1: CacheGeometry::new(128, 2, 32),
+        l2: CacheGeometry::new(512, 2, 32),
+    }
+}
+
+fn arb_accesses() -> impl Strategy<Value = Vec<(u32, u64, bool)>> {
+    // (core, line index over a small hot range, is_write)
+    prop::collection::vec((0u32..3, 0u64..24, any::<bool>()), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inclusion: every valid L1 line is present in the L2.
+    #[test]
+    fn inclusion_invariant(accs in arb_accesses()) {
+        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        for (c, l, w) in accs {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            let addr = Addr(l * 32);
+            h.ensure(CoreId(c), addr, kind);
+            // After every step the requester holds the line...
+            prop_assert!(h.meta(CoreId(c), addr).is_some());
+        }
+    }
+
+    /// Coherence: if any L1 copy is M or E, it is the only copy; S
+    /// copies may be plural. Checked after every single access.
+    #[test]
+    fn single_writer_invariant(accs in arb_accesses()) {
+        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        for (c, l, w) in accs {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            h.ensure(CoreId(c), Addr(l * 32), kind);
+            for la in 0..24u64 {
+                let addr = Addr(la * 32);
+                let states: Vec<_> = (0..3)
+                    .filter_map(|cc| h.l1_state(CoreId(cc), addr))
+                    .collect();
+                if states.iter().any(|s| s.is_exclusive_kind()) {
+                    prop_assert_eq!(
+                        states.len(),
+                        1,
+                        "M/E copy of {:?} coexists with others: {:?}",
+                        addr,
+                        states
+                    );
+                }
+            }
+        }
+    }
+
+    /// A write by core A followed by any access from core B always
+    /// yields B a copy carrying A-era metadata (piggyback), never a
+    /// freshly fabricated one — unless the line was displaced from the
+    /// L2 in between.
+    #[test]
+    fn metadata_piggybacks_on_transfer(l in 0u64..8, wb in any::<bool>()) {
+        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        let addr = Addr(l * 32);
+        h.ensure(CoreId(0), addr, AccessKind::Write);
+        *h.meta_mut(CoreId(0), addr).unwrap() = 0xABCD;
+        let kind = if wb { AccessKind::Write } else { AccessKind::Read };
+        h.ensure(CoreId(1), addr, kind);
+        prop_assert_eq!(h.meta(CoreId(1), addr), Some(&0xABCD));
+    }
+
+    /// Statistics are consistent: hits + misses equals accesses, and
+    /// each ensure call counts exactly one access.
+    #[test]
+    fn stats_add_up(accs in arb_accesses()) {
+        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        let n = accs.len() as u64;
+        for (c, l, w) in accs {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            h.ensure(CoreId(c), Addr(l * 32), kind);
+        }
+        prop_assert_eq!(h.stats().accesses(), n);
+        prop_assert_eq!(h.stats().l1_hits + h.stats().l1_misses, n);
+        prop_assert!(h.stats().l2_hits + h.stats().l2_misses <= h.stats().l1_misses);
+    }
+
+    /// Displacement marking is sound: `was_meta_lost` is set for every
+    /// line reported through the eviction log, and refetching such a
+    /// line yields factory-fresh metadata.
+    #[test]
+    fn displacement_resets_metadata(stream in prop::collection::vec(0u64..64, 30..120)) {
+        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        let probe = Addr(0);
+        h.ensure(CoreId(0), probe, AccessKind::Write);
+        *h.meta_mut(CoreId(0), probe).unwrap() = 0xFFFF;
+        for l in stream {
+            h.ensure(CoreId(0), Addr((1 + l) * 32), AccessKind::Read);
+        }
+        let evicted: Vec<Addr> = h.drain_l2_evictions();
+        if evicted.contains(&probe) {
+            prop_assert!(h.was_meta_lost(probe));
+            let r = h.ensure(CoreId(0), probe, AccessKind::Read);
+            prop_assert!(r.refetch_after_loss);
+            prop_assert_eq!(h.meta(CoreId(0), probe), Some(&1), "factory fresh");
+        }
+    }
+}

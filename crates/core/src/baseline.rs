@@ -1,0 +1,177 @@
+//! The HARD-disabled reference machine for overhead measurements.
+//!
+//! Figure 8 reports HARD's execution-time overhead "as percentages of
+//! the original execution time without HARD". This machine is that
+//! original: the identical CMP and timing model, with no metadata, no
+//! candidate checks, no lock-register updates and no broadcasts. Both
+//! machines consume the same deterministic trace, so the cycle delta is
+//! attributable purely to HARD.
+
+use crate::config::HardConfig;
+use hard_cache::{BusTimeline, Hierarchy, MemStats};
+use hard_trace::{Op, TraceEvent};
+use hard_types::{AccessKind, Addr, CoreId, Cycles, ThreadId};
+
+/// The baseline (no-detection) machine.
+#[derive(Debug)]
+pub struct BaselineMachine {
+    cfg: HardConfig,
+    hierarchy: Hierarchy<hard_cache::policy::NullFactory>,
+    running: Vec<Option<ThreadId>>,
+    core_time: Vec<u64>,
+    bus: BusTimeline,
+}
+
+impl BaselineMachine {
+    /// A fresh baseline machine with the same shape and latencies as
+    /// the HARD machine it is compared against.
+    #[must_use]
+    pub fn new(cfg: HardConfig) -> BaselineMachine {
+        let n = cfg.hierarchy.num_cores;
+        BaselineMachine {
+            hierarchy: Hierarchy::new(cfg.hierarchy, hard_cache::policy::NullFactory),
+            running: vec![None; n],
+            core_time: vec![0; n],
+            bus: BusTimeline::new(),
+            cfg,
+        }
+    }
+
+    /// Memory-system statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        self.hierarchy.stats()
+    }
+
+    /// Execution time so far: the maximum core clock.
+    #[must_use]
+    pub fn total_cycles(&self) -> Cycles {
+        Cycles(self.core_time.iter().copied().max().unwrap_or(0))
+    }
+
+    /// The shared-bus timeline.
+    #[must_use]
+    pub fn bus(&self) -> &BusTimeline {
+        &self.bus
+    }
+
+    fn core_of(&mut self, thread: ThreadId) -> CoreId {
+        let core = CoreId(thread.0 % self.cfg.hierarchy.num_cores as u32);
+        let slot = &mut self.running[core.index()];
+        if *slot != Some(thread) {
+            if slot.is_some() {
+                self.core_time[core.index()] += self.cfg.latency.context_switch;
+            }
+            *slot = Some(thread);
+        }
+        core
+    }
+
+    fn timed_ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) {
+        let r = self.hierarchy.ensure(core, addr, kind);
+        let lat = &self.cfg.latency;
+        let c = core.index();
+        let occ = lat.bus_occupancy(&r);
+        let start = if occ > 0 {
+            self.bus.acquire(self.core_time[c], occ)
+        } else {
+            self.core_time[c]
+        };
+        self.core_time[c] = start + lat.service_latency(&r);
+    }
+
+    /// Consumes one trace event, advancing the clocks.
+    pub fn on_event(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Op { thread, op } => match op {
+                Op::Read { addr, size, .. } | Op::Write { addr, size, .. } => {
+                    let kind = if matches!(op, Op::Write { .. }) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let core = self.core_of(thread);
+                    let lines: Vec<Addr> = self
+                        .cfg
+                        .hierarchy
+                        .l1
+                        .lines_in(addr, u64::from(size))
+                        .collect();
+                    for line in lines {
+                        self.timed_ensure(core, line, kind);
+                    }
+                }
+                Op::Lock { lock, .. } | Op::Unlock { lock, .. } => {
+                    let core = self.core_of(thread);
+                    self.timed_ensure(core, lock.addr(), AccessKind::Write);
+                    self.core_time[core.index()] += self.cfg.latency.sync_op;
+                }
+                Op::Barrier { .. } | Op::Fork { .. } | Op::Join { .. } => {
+                    let c = self.core_of(thread).index();
+                    self.core_time[c] += self.cfg.latency.sync_op;
+                }
+                Op::Compute { cycles } => {
+                    let c = self.core_of(thread).index();
+                    self.core_time[c] += u64::from(cycles);
+                }
+            },
+            TraceEvent::BarrierComplete { .. } => {
+                let max = self.core_time.iter().copied().max().unwrap_or(0);
+                for t in &mut self.core_time {
+                    *t = max;
+                }
+            }
+        }
+    }
+
+    /// Runs a whole trace and returns the total execution time.
+    pub fn run(&mut self, trace: &hard_trace::Trace) -> Cycles {
+        for e in &trace.events {
+            self.on_event(e);
+        }
+        self.total_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::HardMachine;
+    use hard_trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler};
+    use hard_types::{LockId, SiteId};
+
+    #[test]
+    fn baseline_and_hard_have_identical_cache_behaviour() {
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            let tp = b.thread(t);
+            for i in 0..50u64 {
+                tp.lock(LockId(0x40), SiteId(1000 + t * 100 + i as u32))
+                    .write(Addr(0x1000 + (i % 8) * 32), 4, SiteId(i as u32))
+                    .unlock(LockId(0x40), SiteId(2000 + t * 100 + i as u32))
+                    .compute(10);
+            }
+        }
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+
+        let mut base = BaselineMachine::new(HardConfig::default());
+        let base_cycles = base.run(&trace);
+
+        let mut hard = HardMachine::new(HardConfig::default());
+        run_detector(&mut hard, &trace);
+        let hard_cycles = hard.total_cycles();
+
+        // Same residency behaviour...
+        assert_eq!(base.stats().l1_hits, hard.stats().l1_hits);
+        assert_eq!(base.stats().l2_misses, hard.stats().l2_misses);
+        // ...but HARD costs at least the lock-register updates.
+        assert!(hard_cycles.0 >= base_cycles.0);
+        let overhead =
+            (hard_cycles.0 - base_cycles.0) as f64 / base_cycles.0 as f64;
+        assert!(
+            overhead < 0.10,
+            "HARD overhead should be small, got {:.1}%",
+            overhead * 100.0
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Machine configuration (Table 1) and HARD design knobs.
+
+use hard_bloom::BloomShape;
+use hard_cache::{CacheGeometry, HierarchyConfig, LatencyModel};
+use hard_types::Granularity;
+use std::fmt;
+
+/// Full configuration of a HARD machine.
+///
+/// The default value reproduces Table 1: a 4-core CMP with 16 KB 4-way
+/// L1s and a 1 MB 8-way L2 (32-byte lines everywhere), a 16-bit bloom
+/// vector per line, line-granularity metadata and barrier pruning
+/// enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardConfig {
+    /// Cache and core-count shape.
+    pub hierarchy: HierarchyConfig,
+    /// Bloom-filter vector layout (Table 6 varies this).
+    pub bloom: BloomShape,
+    /// Candidate-set / LState granularity (Table 3 varies 4–32 B; must
+    /// not exceed the line size).
+    pub granularity: Granularity,
+    /// Enable the §3.5 barrier flash-reset.
+    pub barrier_pruning: bool,
+    /// Enable the §3.4 metadata broadcast that keeps all valid copies
+    /// of a shared line's candidate set and LState current. Disabling
+    /// it (ablation only) leaves stale sharer copies and delays or
+    /// loses detections — the broadcasts are load-bearing.
+    pub metadata_broadcast: bool,
+    /// Cycle costs for the timing model.
+    pub latency: LatencyModel,
+}
+
+impl Default for HardConfig {
+    fn default() -> Self {
+        HardConfig {
+            hierarchy: HierarchyConfig::default(),
+            bloom: BloomShape::B16,
+            granularity: Granularity::new(32),
+            barrier_pruning: true,
+            metadata_broadcast: true,
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+impl HardConfig {
+    /// Number of metadata granules per cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the granularity exceeds the line size.
+    #[must_use]
+    pub fn granules_per_line(&self) -> usize {
+        let line = self.hierarchy.l1.line_bytes();
+        let g = self.granularity.bytes();
+        assert!(
+            g <= line,
+            "metadata granularity {g}B exceeds the {line}B line size"
+        );
+        (line / g) as usize
+    }
+
+    /// A copy with a different L2 capacity (Tables 4/5 sweep 128 KB –
+    /// 1 MB at fixed associativity and line size).
+    #[must_use]
+    pub fn with_l2_size(mut self, bytes: u64) -> HardConfig {
+        let l2 = self.hierarchy.l2;
+        self.hierarchy.l2 = CacheGeometry::new(bytes, l2.ways(), l2.line_bytes());
+        self
+    }
+
+    /// A copy with a different metadata granularity (Table 3).
+    #[must_use]
+    pub fn with_granularity(mut self, bytes: u64) -> HardConfig {
+        self.granularity = Granularity::new(bytes);
+        self
+    }
+
+    /// A copy with a different bloom vector layout (Table 6).
+    #[must_use]
+    pub fn with_bloom(mut self, shape: BloomShape) -> HardConfig {
+        self.bloom = shape;
+        self
+    }
+
+    /// A copy with the Figure 3 L2 organization: L2 lines twice the L1
+    /// line size, each holding one metadata slot per L1-line sector.
+    /// (Table 1 uses equal line sizes; both are supported.)
+    #[must_use]
+    pub fn with_figure3_l2(mut self) -> HardConfig {
+        let l2 = self.hierarchy.l2;
+        self.hierarchy.l2 = CacheGeometry::new(
+            l2.size_bytes(),
+            l2.ways(),
+            self.hierarchy.l1.line_bytes() * 2,
+        );
+        self
+    }
+}
+
+impl fmt::Display for HardConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cores, L1 {}, L2 {}, BF {}, {} granularity, barriers {}",
+            self.hierarchy.num_cores,
+            self.hierarchy.l1,
+            self.hierarchy.l2,
+            self.bloom,
+            self.granularity,
+            if self.barrier_pruning { "pruned" } else { "raw" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = HardConfig::default();
+        assert_eq!(c.hierarchy.num_cores, 4);
+        assert_eq!(c.hierarchy.l1.size_bytes(), 16 * 1024);
+        assert_eq!(c.hierarchy.l1.ways(), 4);
+        assert_eq!(c.hierarchy.l2.size_bytes(), 1024 * 1024);
+        assert_eq!(c.hierarchy.l2.ways(), 8);
+        assert_eq!(c.hierarchy.l1.line_bytes(), 32);
+        assert_eq!(c.bloom.total_bits(), 16);
+        assert_eq!(c.granularity.bytes(), 32);
+        assert!(c.barrier_pruning);
+        assert_eq!(c.latency.l1_hit, 3);
+        assert_eq!(c.latency.l2_hit, 10);
+        assert_eq!(c.latency.memory, 200);
+    }
+
+    #[test]
+    fn granules_per_line() {
+        assert_eq!(HardConfig::default().granules_per_line(), 1);
+        assert_eq!(HardConfig::default().with_granularity(4).granules_per_line(), 8);
+        assert_eq!(HardConfig::default().with_granularity(8).granules_per_line(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_granularity_rejected() {
+        let _ = HardConfig::default().with_granularity(64).granules_per_line();
+    }
+
+    #[test]
+    fn figure3_builder_doubles_the_l2_line() {
+        let c = HardConfig::default().with_figure3_l2();
+        assert_eq!(c.hierarchy.l2.line_bytes(), 64);
+        assert_eq!(c.hierarchy.l2.size_bytes(), 1024 * 1024);
+        assert_eq!(c.hierarchy.l1.line_bytes(), 32);
+        // Metadata granularity stays tied to the L1 line.
+        assert_eq!(c.granules_per_line(), 1);
+    }
+
+    #[test]
+    fn l2_sweep_builder() {
+        let c = HardConfig::default().with_l2_size(128 * 1024);
+        assert_eq!(c.hierarchy.l2.size_bytes(), 128 * 1024);
+        assert_eq!(c.hierarchy.l2.ways(), 8);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = format!("{}", HardConfig::default());
+        assert!(s.contains("4 cores") && s.contains("16b"), "{s}");
+    }
+}

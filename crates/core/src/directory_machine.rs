@@ -1,0 +1,322 @@
+//! HARD on a directory-based coherence protocol (paper §3.4).
+//!
+//! The candidate sets and LStates live in the home directory instead of
+//! travelling with the cache lines: management is simpler (one copy, no
+//! broadcasts), but every monitored access performs a directory round
+//! trip — even L1 hits — so the detection traffic is higher. The paper
+//! notes the lookup "can be done on the background, but may delay the
+//! detection"; the machine models it as posted bus traffic that does
+//! not stall the core.
+//!
+//! Detection behaviour is identical to the snoopy [`crate::HardMachine`]
+//! because both designs keep exactly one coherent view of each line's
+//! metadata and lose it on the same L2 displacements — the integration
+//! tests assert report-for-report equality.
+
+use crate::config::HardConfig;
+use crate::metadata::{HardLineMeta, HardMetaFactory};
+use hard_bloom::LockRegister;
+use hard_cache::policy::NullFactory;
+use hard_cache::{BusTimeline, Hierarchy, MemStats, MetaDirectory};
+use hard_lockset::{dummy_lock, fork_transfer, lockset_access};
+use hard_trace::{Detector, Op, RaceReport, TraceEvent};
+use hard_types::{AccessKind, Addr, CoreId, Cycles, LockId, SiteId, ThreadId};
+use std::collections::BTreeSet;
+
+/// HARD with directory-resident metadata. See the [module docs](self).
+#[derive(Debug)]
+pub struct DirectoryHardMachine {
+    cfg: HardConfig,
+    hierarchy: Hierarchy<NullFactory>,
+    directory: MetaDirectory<HardMetaFactory>,
+    registers: Vec<LockRegister>,
+    running: Vec<Option<ThreadId>>,
+    reports: Vec<RaceReport>,
+    reported: BTreeSet<(Addr, SiteId)>,
+    core_time: Vec<u64>,
+    bus: BusTimeline,
+}
+
+impl DirectoryHardMachine {
+    /// A fresh machine.
+    #[must_use]
+    pub fn new(cfg: HardConfig) -> DirectoryHardMachine {
+        let factory = HardMetaFactory {
+            shape: cfg.bloom,
+            granules_per_line: cfg.granules_per_line(),
+        };
+        let n = cfg.hierarchy.num_cores;
+        DirectoryHardMachine {
+            hierarchy: Hierarchy::new(cfg.hierarchy, NullFactory),
+            directory: MetaDirectory::new(factory),
+            registers: (0..n).map(|_| LockRegister::new(cfg.bloom)).collect(),
+            running: vec![None; n],
+            reports: Vec::new(),
+            reported: BTreeSet::new(),
+            core_time: vec![0; n],
+            bus: BusTimeline::new(),
+            cfg,
+        }
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &HardConfig {
+        &self.cfg
+    }
+
+    /// Memory-system statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        self.hierarchy.stats()
+    }
+
+    /// Directory metadata round trips performed (the §3.4 traffic
+    /// trade-off: compare with the snoopy machine's broadcast count).
+    #[must_use]
+    pub fn directory_requests(&self) -> u64 {
+        self.directory.requests()
+    }
+
+    /// Execution time so far.
+    #[must_use]
+    pub fn total_cycles(&self) -> Cycles {
+        Cycles(self.core_time.iter().copied().max().unwrap_or(0))
+    }
+
+    /// True if the line containing `addr` lost its metadata to an L2
+    /// displacement.
+    #[must_use]
+    pub fn was_meta_lost(&self, addr: Addr) -> bool {
+        self.hierarchy.was_meta_lost(addr)
+    }
+
+    fn core_of(&mut self, thread: ThreadId) -> CoreId {
+        let core = CoreId(thread.0 % self.cfg.hierarchy.num_cores as u32);
+        let slot = &mut self.running[core.index()];
+        if *slot != Some(thread) {
+            if slot.is_some() {
+                self.core_time[core.index()] += self.cfg.latency.context_switch;
+            }
+            *slot = Some(thread);
+        }
+        while self.registers.len() <= thread.index() {
+            self.registers.push(LockRegister::new(self.cfg.bloom));
+        }
+        core
+    }
+
+    fn timed_ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) {
+        let r = self.hierarchy.ensure(core, addr, kind);
+        // Metadata entries die with the line's L2 residency.
+        for line in self.hierarchy.drain_l2_evictions() {
+            self.directory.retire(line);
+        }
+        let lat = &self.cfg.latency;
+        let c = core.index();
+        let occ = lat.bus_occupancy(&r);
+        let start = if occ > 0 {
+            self.bus.acquire(self.core_time[c], occ)
+        } else {
+            self.core_time[c]
+        };
+        self.core_time[c] = start + lat.service_latency(&r);
+    }
+
+    fn on_access(
+        &mut self,
+        index: usize,
+        thread: ThreadId,
+        addr: Addr,
+        size: u8,
+        kind: AccessKind,
+        site: SiteId,
+    ) {
+        let core = self.core_of(thread);
+        let gran = self.cfg.granularity;
+        let line_bytes = self.hierarchy.line_bytes();
+        let lines: Vec<Addr> = self
+            .cfg
+            .hierarchy
+            .l1
+            .lines_in(addr, u64::from(size))
+            .collect();
+        for line_addr in lines {
+            self.timed_ensure(core, line_addr, kind);
+            // The directory round trip: get the line's metadata, run
+            // the lockset update, put it back. Posted on the bus.
+            let held = self.registers[thread.index()].vector();
+            let mut racy: Vec<Addr> = Vec::new();
+            {
+                let meta: &mut HardLineMeta = self.directory.access(line_addr, core);
+                let lo = addr.0.max(line_addr.0);
+                let hi = (addr.0 + u64::from(size)).min(line_addr.0 + line_bytes);
+                for g in gran.granules_in(Addr(lo), hi - lo) {
+                    let gi = ((g.0 - line_addr.0) / gran.bytes()) as usize;
+                    let out = lockset_access(&mut meta[gi], thread, kind, &held);
+                    if out.race {
+                        racy.push(g);
+                    }
+                }
+            }
+            let occ = self.cfg.latency.meta_broadcast_occupancy;
+            self.bus
+                .acquire(self.core_time[core.index()], occ);
+            for g in racy {
+                if self.reported.insert((g, site)) {
+                    self.reports.push(RaceReport {
+                        addr,
+                        size,
+                        site,
+                        thread,
+                        kind,
+                        event_index: index,
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_lock_op(&mut self, thread: ThreadId, lock: LockId, acquire: bool) {
+        let core = self.core_of(thread);
+        self.timed_ensure(core, lock.addr(), AccessKind::Write);
+        let lat = &self.cfg.latency;
+        self.core_time[core.index()] += lat.sync_op + lat.lock_register_update;
+        if acquire {
+            self.registers[thread.index()].acquire(lock);
+        } else {
+            self.registers[thread.index()].release(lock);
+        }
+    }
+}
+
+impl Detector for DirectoryHardMachine {
+    fn name(&self) -> &str {
+        "hard-directory"
+    }
+
+    fn on_event(&mut self, index: usize, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Op { thread, op } => match op {
+                Op::Read { addr, size, site } => {
+                    self.on_access(index, thread, addr, size, AccessKind::Read, site);
+                }
+                Op::Write { addr, size, site } => {
+                    self.on_access(index, thread, addr, size, AccessKind::Write, site);
+                }
+                Op::Lock { lock, .. } => self.on_lock_op(thread, lock, true),
+                Op::Unlock { lock, .. } => self.on_lock_op(thread, lock, false),
+                Op::Fork { child, .. } => {
+                    self.directory.flash(|meta| {
+                        for g in meta.iter_mut() {
+                            fork_transfer(g, thread);
+                        }
+                    });
+                    let c = self.core_of(thread).index();
+                    while self.registers.len() <= child.index() {
+                        self.registers.push(LockRegister::new(self.cfg.bloom));
+                    }
+                    self.registers[child.index()].acquire(dummy_lock(child));
+                    self.core_time[c] += self.cfg.latency.sync_op;
+                }
+                Op::Join { child, .. } => {
+                    let c = self.core_of(thread).index();
+                    self.registers[thread.index()].acquire(dummy_lock(child));
+                    self.core_time[c] += self.cfg.latency.sync_op;
+                }
+                Op::Barrier { .. } => {
+                    let c = self.core_of(thread).index();
+                    self.core_time[c] += self.cfg.latency.sync_op;
+                }
+                Op::Compute { cycles } => {
+                    let c = self.core_of(thread).index();
+                    self.core_time[c] += u64::from(cycles);
+                }
+            },
+            TraceEvent::BarrierComplete { .. } => {
+                let max = self.core_time.iter().copied().max().unwrap_or(0);
+                for t in &mut self.core_time {
+                    *t = max;
+                }
+                if self.cfg.barrier_pruning {
+                    let shape = self.cfg.bloom;
+                    self.directory.flash(|meta| {
+                        for g in meta.iter_mut() {
+                            g.barrier_reset(shape);
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::HardMachine;
+    use hard_trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler};
+
+    #[test]
+    fn detects_the_basic_race() {
+        let x = Addr(0x2000);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).write(x, 4, SiteId(1));
+        b.thread(1).write(x, 4, SiteId(2));
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        let mut m = DirectoryHardMachine::new(HardConfig::default());
+        let r = run_detector(&mut m, &trace);
+        assert!(r.iter().any(|r| r.addr == x));
+        assert!(m.directory_requests() >= 2, "every access pays a round trip");
+    }
+
+    #[test]
+    fn agrees_with_snoopy_machine_report_for_report() {
+        let mut b = ProgramBuilder::new(4);
+        for t in 0..4u32 {
+            let tp = b.thread(t);
+            for i in 0..20u64 {
+                tp.lock(LockId(0x1000_0000), SiteId(100 + t))
+                    .write(Addr(0x1000 + (i % 4) * 32), 4, SiteId(i as u32))
+                    .unlock(LockId(0x1000_0000), SiteId(200 + t))
+                    .write(Addr(0x8000 + u64::from(t) * 4), 4, SiteId(50 + t));
+            }
+        }
+        let trace = Scheduler::new(SchedConfig { seed: 3, max_quantum: 5 }).run(&b.build());
+        let mut snoopy = HardMachine::new(HardConfig::default());
+        let rs = run_detector(&mut snoopy, &trace);
+        let mut dir = DirectoryHardMachine::new(HardConfig::default());
+        let rd = run_detector(&mut dir, &trace);
+        assert_eq!(rs, rd, "both §3.4 designs detect identically");
+        // ...but the directory pays a round trip per access, far more
+        // than the snoopy design's occasional broadcasts.
+        assert!(dir.directory_requests() > snoopy.stats().meta_broadcasts);
+    }
+
+    #[test]
+    fn displacement_still_loses_metadata() {
+        let mut cfg = HardConfig::default();
+        cfg.hierarchy.l1 = hard_cache::CacheGeometry::new(128, 2, 32);
+        cfg.hierarchy.l2 = hard_cache::CacheGeometry::new(256, 2, 32);
+        cfg.barrier_pruning = false;
+        let x = Addr(0x0);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).write(x, 4, SiteId(1));
+        let tp = b.thread(0);
+        for i in 1..64u64 {
+            tp.write(Addr(i * 32), 4, SiteId(100 + i as u32));
+        }
+        b.thread(1).barrier(hard_types::BarrierId(0), SiteId(200));
+        b.thread(0).barrier(hard_types::BarrierId(0), SiteId(201));
+        b.thread(1).write(x, 4, SiteId(2));
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        let mut m = DirectoryHardMachine::new(cfg);
+        let r = run_detector(&mut m, &trace);
+        assert!(!r.iter().any(|r| r.addr == x), "evidence displaced");
+        assert!(m.was_meta_lost(x));
+    }
+}

@@ -1,0 +1,530 @@
+//! The HARD machine: detection and timing on the simulated CMP.
+
+use crate::config::HardConfig;
+use crate::metadata::{HardLineMeta, HardMetaFactory};
+use hard_bloom::LockRegister;
+use hard_cache::{BusTimeline, Hierarchy, MemStats, ServedBy};
+use hard_lockset::{dummy_lock, fork_transfer, lockset_access};
+use hard_trace::{Detector, Op, RaceReport, TraceEvent};
+use hard_types::{AccessKind, Addr, CoreId, Cycles, LockId, SiteId, ThreadId};
+use std::collections::BTreeSet;
+
+
+
+/// HARD: a CMP whose caches carry bloom-filter candidate sets and
+/// LStates, with per-core Lock/Counter Registers (paper §3).
+///
+/// The machine is a [`Detector`] (it reports races) and a timing model
+/// (it tracks per-core cycles and shared-bus contention; see
+/// [`HardMachine::total_cycles`]).
+#[derive(Debug)]
+pub struct HardMachine {
+    cfg: HardConfig,
+    hierarchy: Hierarchy<HardMetaFactory>,
+    /// One Lock/Counter Register pair per *thread*: the hardware holds
+    /// the running thread's pair; on a context switch the OS swaps it
+    /// like any other register state (§3.3 stores "the lock set of the
+    /// running thread").
+    registers: Vec<LockRegister>,
+    /// The thread currently occupying each core, for context-switch
+    /// accounting.
+    running: Vec<Option<ThreadId>>,
+    reports: Vec<RaceReport>,
+    reported: BTreeSet<(Addr, SiteId)>,
+    core_time: Vec<u64>,
+    bus: BusTimeline,
+    detection_enabled: bool,
+}
+
+impl HardMachine {
+    /// A fresh machine.
+    #[must_use]
+    pub fn new(cfg: HardConfig) -> HardMachine {
+        let factory = HardMetaFactory {
+            shape: cfg.bloom,
+            granules_per_line: cfg.granules_per_line(),
+        };
+        let n = cfg.hierarchy.num_cores;
+        HardMachine {
+            hierarchy: Hierarchy::new(cfg.hierarchy, factory),
+            registers: (0..n).map(|_| LockRegister::new(cfg.bloom)).collect(),
+            running: vec![None; n],
+            reports: Vec::new(),
+            reported: BTreeSet::new(),
+            core_time: vec![0; n],
+            bus: BusTimeline::new(),
+            detection_enabled: true,
+            cfg,
+        }
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &HardConfig {
+        &self.cfg
+    }
+
+    /// Memory-system statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        self.hierarchy.stats()
+    }
+
+    /// The shared-bus timeline (for utilization reporting).
+    #[must_use]
+    pub fn bus(&self) -> &BusTimeline {
+        &self.bus
+    }
+
+    /// Execution time so far: the maximum core clock.
+    #[must_use]
+    pub fn total_cycles(&self) -> Cycles {
+        Cycles(self.core_time.iter().copied().max().unwrap_or(0))
+    }
+
+    /// True if the line containing `addr` ever lost its metadata to an
+    /// L2 displacement — the paper's only cause of missed races in the
+    /// default configuration (§5.1).
+    #[must_use]
+    pub fn was_meta_lost(&self, addr: Addr) -> bool {
+        self.hierarchy.was_meta_lost(addr)
+    }
+
+    /// The lock register of `thread` (inspection/debugging). The
+    /// hardware register physically lives in the core the thread runs
+    /// on; the OS swaps it on context switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` was never seen by the machine.
+    #[must_use]
+    pub fn lock_register(&self, thread: ThreadId) -> &LockRegister {
+        &self.registers[thread.index()]
+    }
+
+    /// Maps a thread to its core. With at most `num_cores` threads this
+    /// is the paper's one-thread-per-core pinning; beyond that, threads
+    /// share cores round-robin and pay a context switch whenever the
+    /// core's occupant changes.
+    fn core_of(&mut self, thread: ThreadId) -> CoreId {
+        let core = CoreId(thread.0 % self.cfg.hierarchy.num_cores as u32);
+        let slot = &mut self.running[core.index()];
+        if *slot != Some(thread) {
+            if slot.is_some() {
+                self.core_time[core.index()] += self.cfg.latency.context_switch;
+            }
+            *slot = Some(thread);
+        }
+        while self.registers.len() <= thread.index() {
+            self.registers.push(LockRegister::new(self.cfg.bloom));
+        }
+        core
+    }
+
+    /// Performs the cache access and advances the core clock; returns
+    /// whether the metadata path should charge the candidate check.
+    fn timed_ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> ServedBy {
+        let r = self.hierarchy.ensure(core, addr, kind);
+        let lat = &self.cfg.latency;
+        let c = core.index();
+        // Every data transfer also carries the 18 metadata bits (§3.4).
+        let piggyback = if self.detection_enabled && r.bus_data > 0 {
+            lat.meta_piggyback_occupancy
+        } else {
+            0
+        };
+        let occ = lat.bus_occupancy(&r) + piggyback;
+        let start = if occ > 0 {
+            self.bus.acquire(self.core_time[c], occ)
+        } else {
+            self.core_time[c]
+        };
+        let mut t = start + lat.service_latency(&r) + piggyback;
+        // The candidate check overlaps an L1 hit entirely; on misses the
+        // metadata arrives with the line and the AND+test tacks on.
+        if self.detection_enabled && r.served_by != ServedBy::L1 {
+            t += lat.candidate_check;
+        }
+        self.core_time[c] = t;
+        r.served_by
+    }
+
+    fn on_access(
+        &mut self,
+        index: usize,
+        thread: ThreadId,
+        addr: Addr,
+        size: u8,
+        kind: AccessKind,
+        site: SiteId,
+    ) {
+        let core = self.core_of(thread);
+        let line_bytes = self.hierarchy.line_bytes();
+        let gran = self.cfg.granularity;
+        let lines: Vec<Addr> = self
+            .cfg
+            .hierarchy
+            .l1
+            .lines_in(addr, u64::from(size))
+            .collect();
+        for line_addr in lines {
+            self.timed_ensure(core, line_addr, kind);
+            // Clip the access to this line and update each overlapped
+            // granule's candidate set and LState.
+            let lo = addr.0.max(line_addr.0);
+            let hi = (addr.0 + u64::from(size)).min(line_addr.0 + line_bytes);
+            let held = self.registers[thread.index()].vector();
+            let mut changed = false;
+            let mut racy_granules: Vec<Addr> = Vec::new();
+            {
+                let meta: &mut HardLineMeta = self
+                    .hierarchy
+                    .meta_mut(core, line_addr)
+                    .expect("line was just ensured resident");
+                for g in gran.granules_in(Addr(lo), hi - lo) {
+                    let gi = ((g.0 - line_addr.0) / gran.bytes()) as usize;
+                    // §3.4 keeps candidate sets AND LStates consistent
+                    // across copies, so any metadata change on a shared
+                    // line is broadcast — including pure state
+                    // transitions (e.g. Virgin→Exclusive on a read).
+                    let before = meta[gi].clone();
+                    let out = lockset_access(&mut meta[gi], thread, kind, &held);
+                    changed |= meta[gi] != before;
+                    if out.race {
+                        racy_granules.push(g);
+                    }
+                }
+            }
+            // §3.4: a changed candidate set on a line with other valid
+            // copies is broadcast so all L1s and the L2 stay current.
+            if self.cfg.metadata_broadcast && changed && self.hierarchy.sharers(line_addr) > 1 {
+                self.hierarchy.broadcast_meta(core, line_addr);
+                // The broadcast is posted: it occupies the bus (delaying
+                // later transactions) without stalling this core.
+                let occ = self.cfg.latency.meta_broadcast_occupancy;
+                self.bus.acquire(self.core_time[core.index()], occ);
+            }
+            for g in racy_granules {
+                if self.reported.insert((g, site)) {
+                    self.reports.push(RaceReport {
+                        addr,
+                        size,
+                        site,
+                        thread,
+                        kind,
+                        event_index: index,
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_lock_op(&mut self, thread: ThreadId, lock: LockId, acquire: bool) {
+        let core = self.core_of(thread);
+        // The lock variable itself is memory traffic (test-and-set),
+        // but lock/unlock instructions are recognized by HARD and do
+        // not run the lockset update on their own line.
+        let was_enabled = self.detection_enabled;
+        self.detection_enabled = false;
+        self.timed_ensure(core, lock.addr(), AccessKind::Write);
+        self.detection_enabled = was_enabled;
+        let lat = &self.cfg.latency;
+        self.core_time[core.index()] += lat.sync_op + lat.lock_register_update;
+        if acquire {
+            self.registers[thread.index()].acquire(lock);
+        } else {
+            self.registers[thread.index()].release(lock);
+        }
+    }
+
+    fn on_barrier_complete(&mut self) {
+        // All cores leave the barrier together.
+        let max = self.core_time.iter().copied().max().unwrap_or(0);
+        for t in &mut self.core_time {
+            *t = max;
+        }
+        if self.cfg.barrier_pruning {
+            let shape = self.cfg.bloom;
+            self.hierarchy.flash_meta(|meta| {
+                for g in meta.iter_mut() {
+                    g.barrier_reset(shape);
+                }
+            });
+        }
+    }
+}
+
+impl Detector for HardMachine {
+    fn name(&self) -> &str {
+        "hard"
+    }
+
+    fn on_event(&mut self, index: usize, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Op { thread, op } => match op {
+                Op::Read { addr, size, site } => {
+                    self.on_access(index, thread, addr, size, AccessKind::Read, site);
+                }
+                Op::Write { addr, size, site } => {
+                    self.on_access(index, thread, addr, size, AccessKind::Write, site);
+                }
+                Op::Lock { lock, .. } => self.on_lock_op(thread, lock, true),
+                Op::Unlock { lock, .. } => self.on_lock_op(thread, lock, false),
+                Op::Fork { child, .. } => {
+                    // §3.1 ownership model: the parent's exclusively
+                    // owned granules go back to Virgin so the child can
+                    // adopt them without a false foreign transition.
+                    self.hierarchy.flash_meta(|meta| {
+                        for g in meta.iter_mut() {
+                            fork_transfer(g, thread);
+                        }
+                    });
+                    let c = self.core_of(thread).index();
+                    // §3.1 dummy lock: the child holds it for life.
+                    while self.registers.len() <= child.index() {
+                        self.registers.push(LockRegister::new(self.cfg.bloom));
+                    }
+                    self.registers[child.index()].acquire(dummy_lock(child));
+                    self.core_time[c] += self.cfg.latency.sync_op;
+                }
+                Op::Join { child, .. } => {
+                    // The parent inherits the child's dummy lock.
+                    let c = self.core_of(thread).index();
+                    self.registers[thread.index()].acquire(dummy_lock(child));
+                    self.core_time[c] += self.cfg.latency.sync_op;
+                }
+                Op::Barrier { .. } => {
+                    let c = self.core_of(thread).index();
+                    self.core_time[c] += self.cfg.latency.sync_op;
+                }
+                Op::Compute { cycles } => {
+                    let c = self.core_of(thread).index();
+                    self.core_time[c] += u64::from(cycles);
+                }
+            },
+            TraceEvent::BarrierComplete { .. } => self.on_barrier_complete(),
+        }
+    }
+
+    fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler, Trace};
+    use hard_types::BarrierId;
+
+    fn sched(seed: u64) -> Scheduler {
+        Scheduler::new(SchedConfig { seed, max_quantum: 4 })
+    }
+
+    fn detect(trace: &Trace, cfg: HardConfig) -> (Vec<RaceReport>, HardMachine) {
+        let mut m = HardMachine::new(cfg);
+        let r = run_detector(&mut m, trace);
+        (r, m)
+    }
+
+    #[test]
+    fn unprotected_sharing_is_flagged() {
+        let x = Addr(0x2000);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).write(x, 4, SiteId(1));
+        b.thread(1).write(x, 4, SiteId(2));
+        let trace = sched(0).run(&b.build());
+        let (r, _) = detect(&trace, HardConfig::default());
+        assert!(r.iter().any(|r| r.overlaps(x, Addr(x.0 + 4))));
+    }
+
+    #[test]
+    fn figure1_race_caught_in_every_interleaving() {
+        let lock = LockId(0x40);
+        let x = Addr(0x2000);
+        let y = Addr(0x3000);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0)
+            .write(x, 4, SiteId(1))
+            .lock(lock, SiteId(2))
+            .write(y, 4, SiteId(3))
+            .unlock(lock, SiteId(4));
+        b.thread(1)
+            .lock(lock, SiteId(5))
+            .write(y, 4, SiteId(6))
+            .unlock(lock, SiteId(7))
+            .write(x, 4, SiteId(8));
+        let p = b.build();
+        for seed in 0..16 {
+            let trace = sched(seed).run(&p);
+            let (r, _) = detect(&trace, HardConfig::default());
+            assert!(
+                r.iter().any(|r| r.overlaps(x, Addr(x.0 + 4))),
+                "seed {seed}: HARD is interleaving-insensitive"
+            );
+        }
+    }
+
+    #[test]
+    fn consistent_locking_is_clean() {
+        let mut b = ProgramBuilder::new(4);
+        for t in 0..4u32 {
+            let tp = b.thread(t);
+            for i in 0..20u32 {
+                tp.lock(LockId(0x40), SiteId(t * 1000 + i))
+                    .write(Addr(0x1000), 4, SiteId(5))
+                    .read(Addr(0x1000), 4, SiteId(6))
+                    .unlock(LockId(0x40), SiteId(t * 1000 + 500 + i));
+            }
+        }
+        let trace = sched(1).run(&b.build());
+        let (r, m) = detect(&trace, HardConfig::default());
+        assert!(r.is_empty(), "{r:?}");
+        assert!(m.total_cycles().0 > 0);
+    }
+
+    #[test]
+    fn barrier_pruning_suppresses_phase_alarms() {
+        let a = Addr(0x500);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0)
+            .write(a, 4, SiteId(1))
+            .barrier(BarrierId(0), SiteId(2));
+        b.thread(1)
+            .barrier(BarrierId(0), SiteId(3))
+            .write(a, 4, SiteId(4));
+        let p = b.build();
+        let trace = sched(2).run(&p);
+        let (with, _) = detect(&trace, HardConfig::default());
+        assert!(with.is_empty());
+        let raw_cfg = HardConfig { barrier_pruning: false, ..HardConfig::default() };
+        let (without, _) = detect(&trace, raw_cfg);
+        assert!(!without.is_empty(), "pruning disabled: alarm expected");
+    }
+
+    #[test]
+    fn l2_displacement_causes_missed_race() {
+        // Tiny caches: thrash the L2 between the two racy accesses so
+        // the candidate-set evidence is displaced and the race missed.
+        let mut cfg = HardConfig::default();
+        cfg.hierarchy.l1 = hard_cache::CacheGeometry::new(128, 2, 32);
+        cfg.hierarchy.l2 = hard_cache::CacheGeometry::new(256, 2, 32);
+        let x = Addr(0x0);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).write(x, 4, SiteId(1));
+        // Thrash: walk far more lines than the 256-byte L2 holds.
+        let tp = b.thread(0);
+        for i in 1..64u64 {
+            tp.write(Addr(i * 32), 4, SiteId(100 + i as u32));
+        }
+        b.thread(1).barrier(BarrierId(9), SiteId(200));
+        b.thread(0).barrier(BarrierId(9), SiteId(201));
+        b.thread(1).write(x, 4, SiteId(2));
+        let p = b.build();
+        let trace = sched(0).run(&p);
+        // Disable pruning so the barrier (used here only for ordering)
+        // does not also reset metadata — we want to isolate eviction.
+        let mut cfg_raw = cfg;
+        cfg_raw.barrier_pruning = false;
+        let (r, m) = detect(&trace, cfg_raw);
+        assert!(
+            !r.iter().any(|r| r.overlaps(x, Addr(x.0 + 4))),
+            "evidence was evicted: race missed"
+        );
+        assert!(m.was_meta_lost(x), "the miss is attributable to L2 displacement");
+        assert!(m.stats().l2_evictions > 0);
+    }
+
+    #[test]
+    fn metadata_broadcasts_happen_on_shared_lines() {
+        // Two threads read-share a line, then take turns updating the
+        // candidate set under different locks: changes on the shared
+        // line must broadcast.
+        let x = Addr(0x1000);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).read(x, 4, SiteId(1));
+        b.thread(1).read(x, 4, SiteId(2));
+        for t in 0..2u32 {
+            b.thread(t)
+                .lock(LockId(0x40), SiteId(10 + t))
+                .read(x, 4, SiteId(20 + t))
+                .unlock(LockId(0x40), SiteId(30 + t));
+        }
+        let trace = sched(3).run(&b.build());
+        let (_, m) = detect(&trace, HardConfig::default());
+        assert!(
+            m.stats().meta_broadcasts > 0,
+            "candidate-set change on a shared line must broadcast"
+        );
+    }
+
+    #[test]
+    fn timing_advances_and_barrier_syncs_cores() {
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).compute(1000).barrier(BarrierId(0), SiteId(1));
+        b.thread(1).compute(10).barrier(BarrierId(0), SiteId(2));
+        let trace = sched(0).run(&b.build());
+        let (_, m) = detect(&trace, HardConfig::default());
+        // Both cores end at the barrier: total = slowest core.
+        assert!(m.total_cycles().0 >= 1000);
+    }
+
+    #[test]
+    fn more_threads_than_cores_multiplex() {
+        // Six threads on the 4-core machine: threads 0 and 4 share
+        // core 0 and pay context switches; detection is unaffected.
+        let x = Addr(0x2000);
+        let mut b = ProgramBuilder::new(6);
+        for t in 0..6u32 {
+            let tp = b.thread(t);
+            for i in 0..3u32 {
+                tp.write(x, 4, SiteId(t * 10 + i)).compute(5);
+            }
+        }
+        let trace = sched(1).run(&b.build());
+        let (r, m) = detect(&trace, HardConfig::default());
+        assert!(
+            r.iter().any(|rr| rr.addr == x),
+            "the unprotected sharing is still flagged"
+        );
+        // Context switches register in the timing: rerun with a free
+        // switch and compare.
+        let mut free_cfg = HardConfig::default();
+        free_cfg.latency.context_switch = 0;
+        let (_, free) = detect(&trace, free_cfg);
+        assert!(
+            m.total_cycles().0 > free.total_cycles().0,
+            "context switches must cost cycles ({} vs {})",
+            m.total_cycles(),
+            free.total_cycles()
+        );
+    }
+
+    #[test]
+    fn figure3_l2_detects_like_table1_when_nothing_evicts() {
+        // With a footprint far below both L2 configurations, the L2
+        // line organization cannot change detection.
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            let tp = b.thread(t);
+            for i in 0..10u64 {
+                tp.write(Addr(0x1000 + (i % 4) * 32), 4, SiteId(t * 100 + i as u32));
+            }
+        }
+        let trace = sched(2).run(&b.build());
+        let (table1, _) = detect(&trace, HardConfig::default());
+        let (fig3, _) = detect(&trace, HardConfig::default().with_figure3_l2());
+        assert_eq!(table1, fig3);
+    }
+
+    #[test]
+    fn lock_register_tracks_held_locks() {
+        let mut b = ProgramBuilder::new(1);
+        b.thread(0).lock(LockId(0x40), SiteId(0));
+        let trace = sched(0).run(&b.build());
+        let mut m = HardMachine::new(HardConfig::default());
+        run_detector(&mut m, &trace);
+        assert!(m.lock_register(ThreadId(0)).vector().contains(LockId(0x40)));
+        assert_eq!(m.lock_register(ThreadId(0)).depth(), 1);
+    }
+}

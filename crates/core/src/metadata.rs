@@ -1,0 +1,102 @@
+//! Per-line metadata layouts and factories for the two hardware
+//! detectors.
+//!
+//! A cache line holds one metadata slot per granule (Table 3 varies the
+//! granularity from 4 B to 32 B within 32 B lines). For HARD a slot is
+//! a bloom-filter candidate set plus LState; for the hardware
+//! happens-before baseline it is a timestamp record.
+
+use hard_bloom::{BloomShape, BloomVector};
+use hard_cache::MetaFactory;
+use hard_hb::LineClocks;
+use hard_lockset::GranuleMeta;
+use hard_types::CoreId;
+
+/// HARD's per-line metadata: one candidate set + LState per granule.
+pub type HardLineMeta = Vec<GranuleMeta<BloomVector>>;
+
+/// Creates HARD metadata for freshly fetched lines: every granule gets
+/// an all-ones BFVector (paper §3.1) in the Virgin state, so the first
+/// *access* to each granule establishes its Exclusive owner.
+///
+/// The paper states the fetched line's LState is initialized to
+/// Exclusive; at the default line granularity the fetch is triggered by
+/// the very access that would perform the Virgin→Exclusive transition,
+/// so the two formulations coincide. At sub-line granularities (the
+/// Table 3 sweep) per-granule Virgin is the faithful generalization:
+/// marking *unaccessed* granules as owned by the fetching core would
+/// make every other thread's first touch of its own data look foreign
+/// and flood the fine-granularity configurations with false alarms —
+/// the opposite of the paper's Table 3 result.
+#[derive(Clone, Copy, Debug)]
+pub struct HardMetaFactory {
+    /// Vector layout.
+    pub shape: BloomShape,
+    /// Granules per line.
+    pub granules_per_line: usize,
+}
+
+impl MetaFactory for HardMetaFactory {
+    type Meta = HardLineMeta;
+
+    fn fresh(&self, _core: CoreId) -> HardLineMeta {
+        (0..self.granules_per_line)
+            .map(|_| GranuleMeta::virgin(self.shape))
+            .collect()
+    }
+}
+
+/// Hardware happens-before per-line metadata: one timestamp record per
+/// granule.
+pub type HbLineMeta = Vec<LineClocks>;
+
+/// Creates empty happens-before histories for freshly fetched lines.
+#[derive(Clone, Copy, Debug)]
+pub struct HbMetaFactory {
+    /// Vector-clock width.
+    pub num_threads: usize,
+    /// Granules per line.
+    pub granules_per_line: usize,
+}
+
+impl MetaFactory for HbMetaFactory {
+    type Meta = HbLineMeta;
+
+    fn fresh(&self, _core: CoreId) -> HbLineMeta {
+        (0..self.granules_per_line)
+            .map(|_| LineClocks::new(self.num_threads))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_lockset::LState;
+
+    #[test]
+    fn hard_factory_initializes_per_paper() {
+        let f = HardMetaFactory {
+            shape: BloomShape::B16,
+            granules_per_line: 8,
+        };
+        let meta = f.fresh(CoreId(2));
+        assert_eq!(meta.len(), 8);
+        for g in &meta {
+            assert_eq!(g.state, LState::Virgin, "first access sets Exclusive");
+            assert_eq!(g.owner, None);
+            assert_eq!(g.candidate, BloomVector::full(BloomShape::B16));
+        }
+    }
+
+    #[test]
+    fn hb_factory_initializes_empty() {
+        let f = HbMetaFactory {
+            num_threads: 4,
+            granules_per_line: 1,
+        };
+        let meta = f.fresh(CoreId(0));
+        assert_eq!(meta.len(), 1);
+        assert!(meta[0].is_empty());
+    }
+}

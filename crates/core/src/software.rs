@@ -1,0 +1,151 @@
+//! Cost model of a *software* lockset implementation (Eraser-style).
+//!
+//! The paper's motivation (§1–§2): software lockset instruments every
+//! shared access — a call into the monitor, a candidate-set table
+//! lookup, an exact set intersection, a state update — and slows
+//! applications down 10–30×. HARD replaces all of that with bit logic
+//! in the cache pipeline at <3 % overhead. This module prices the
+//! software path on the same trace the machines execute, so the
+//! motivating comparison can be regenerated (`hard-exp software`).
+
+use hard_trace::{Op, Trace, TraceEvent};
+
+/// Per-operation instrumentation costs, in cycles.
+///
+/// Defaults follow the usual budget of a binary-instrumented monitor:
+/// tens of cycles to enter/exit the instrumentation and hash into the
+/// shadow table, plus set-operation work per access, and heavier
+/// bookkeeping on lock operations. These land Eraser-like workloads in
+/// the paper's reported 10–30× slowdown band.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoftwareLocksetCost {
+    /// Instrumentation entry/exit plus shadow-table hash per memory
+    /// access.
+    pub access_overhead: u64,
+    /// Candidate-set lookup, intersection and writeback per access.
+    pub set_ops: u64,
+    /// Extra work on a lock or unlock (update the thread lock set,
+    /// possibly allocate a new set representative).
+    pub lock_overhead: u64,
+}
+
+impl Default for SoftwareLocksetCost {
+    fn default() -> Self {
+        SoftwareLocksetCost {
+            access_overhead: 90,
+            set_ops: 60,
+            lock_overhead: 150,
+        }
+    }
+}
+
+/// Result of pricing a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoftwareEstimate {
+    /// Instrumentation cycles added by the software monitor.
+    pub added_cycles: u64,
+    /// Memory accesses instrumented.
+    pub accesses: u64,
+    /// Lock operations instrumented.
+    pub lock_ops: u64,
+}
+
+impl SoftwareEstimate {
+    /// The slowdown factor over a baseline of `base_cycles`.
+    #[must_use]
+    pub fn slowdown(&self, base_cycles: u64) -> f64 {
+        if base_cycles == 0 {
+            1.0
+        } else {
+            (base_cycles + self.added_cycles) as f64 / base_cycles as f64
+        }
+    }
+}
+
+/// Prices the software monitor over `trace`.
+///
+/// Every access is charged: like Eraser, the software monitor cannot
+/// know in advance which accesses touch shared data, so it instruments
+/// them all.
+#[must_use]
+pub fn estimate_software_lockset(trace: &Trace, cost: &SoftwareLocksetCost) -> SoftwareEstimate {
+    let mut e = SoftwareEstimate {
+        added_cycles: 0,
+        accesses: 0,
+        lock_ops: 0,
+    };
+    for event in &trace.events {
+        if let TraceEvent::Op { op, .. } = event {
+            match op {
+                Op::Read { .. } | Op::Write { .. } => {
+                    e.accesses += 1;
+                    e.added_cycles += cost.access_overhead + cost.set_ops;
+                }
+                Op::Lock { .. } | Op::Unlock { .. } => {
+                    e.lock_ops += 1;
+                    e.added_cycles += cost.lock_overhead;
+                }
+                _ => {}
+            }
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineMachine;
+    use crate::config::HardConfig;
+    use hard_trace::{ProgramBuilder, SchedConfig, Scheduler};
+    use hard_types::{Addr, LockId, SiteId};
+
+    #[test]
+    fn counts_and_prices_operations() {
+        let mut b = ProgramBuilder::new(1);
+        b.thread(0)
+            .lock(LockId(0x40), SiteId(0))
+            .write(Addr(0x100), 4, SiteId(1))
+            .read(Addr(0x100), 4, SiteId(2))
+            .unlock(LockId(0x40), SiteId(3))
+            .compute(10);
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        let e = estimate_software_lockset(&trace, &SoftwareLocksetCost::default());
+        assert_eq!(e.accesses, 2);
+        assert_eq!(e.lock_ops, 2);
+        assert_eq!(e.added_cycles, 2 * (90 + 60) + 2 * 150);
+    }
+
+    #[test]
+    fn software_slowdown_is_an_order_of_magnitude() {
+        // A cache-friendly loop: base cycles are a few per access, the
+        // software monitor's hundreds per access give a 10-30x hit.
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            let tp = b.thread(t);
+            for i in 0..500u64 {
+                tp.read(Addr(0x1000 + (i % 64) * 4), 4, SiteId(1))
+                    .write(Addr(0x1000 + (i % 64) * 4), 4, SiteId(2));
+            }
+        }
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        let mut base = BaselineMachine::new(HardConfig::default());
+        let base_cycles = base.run(&trace).0;
+        let e = estimate_software_lockset(&trace, &SoftwareLocksetCost::default());
+        let slowdown = e.slowdown(base_cycles);
+        assert!(
+            (5.0..60.0).contains(&slowdown),
+            "software lockset slowdown {slowdown:.1}x should be Eraser-like"
+        );
+    }
+
+    #[test]
+    fn empty_trace_has_unit_slowdown() {
+        let e = SoftwareEstimate {
+            added_cycles: 0,
+            accesses: 0,
+            lock_ops: 0,
+        };
+        assert_eq!(e.slowdown(0), 1.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! `hard-exp`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all>
+//!          [--scale F] [--runs N] [--markdown]
+//! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F]
+//! hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]
+//! ```
+
+use hard_harness::experiments::{ablation, bloom_analysis, claims, cord, fig8, robustness, server, table1, table2, table3, table45, table6, window, workload_stats};
+use hard_harness::{execute, CampaignConfig, DetectorKind, InjectMode};
+use hard_trace::codec;
+use hard_workloads::{App, Scale};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    scale: f64,
+    runs: usize,
+    markdown: bool,
+    app: Option<String>,
+    file: Option<String>,
+    inject: Option<u64>,
+    detector: String,
+    mode: InjectMode,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        scale: 1.0,
+        runs: 10,
+        markdown: false,
+        app: None,
+        file: None,
+        inject: None,
+        detector: "hard".into(),
+        mode: InjectMode::OmitPair,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--runs" => {
+                args.runs = it
+                    .next()
+                    .ok_or("--runs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --runs: {e}"))?;
+            }
+            "--markdown" => args.markdown = true,
+            "--app" => args.app = Some(it.next().ok_or("--app needs a name")?),
+            "--file" => args.file = Some(it.next().ok_or("--file needs a path")?),
+            "--inject" => {
+                args.inject = Some(
+                    it.next()
+                        .ok_or("--inject needs a seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --inject: {e}"))?,
+                );
+            }
+            "--detector" => {
+                args.detector = it.next().ok_or("--detector needs a name")?;
+            }
+            "--mode" => {
+                args.mode = match it.next().ok_or("--mode needs a value")?.as_str() {
+                    "omit" => InjectMode::OmitPair,
+                    "wrong-lock" => InjectMode::WrongLock,
+                    other => return Err(format!("unknown mode: {other}")),
+                };
+            }
+            cmd if args.command.is_empty() && !cmd.starts_with('-') => {
+                args.command = cmd.to_string();
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.command.is_empty() {
+        return Err("no command given".into());
+    }
+    Ok(args)
+}
+
+fn campaign(args: &Args) -> CampaignConfig {
+    CampaignConfig {
+        scale: if (args.scale - 1.0).abs() < f64::EPSILON {
+            Scale::Full
+        } else {
+            Scale::Reduced(args.scale)
+        },
+        runs: args.runs,
+        mode: args.mode,
+        ..CampaignConfig::default()
+    }
+}
+
+fn emit(table: &hard_harness::TextTable, markdown: bool) {
+    if markdown {
+        println!("{}", table.to_markdown());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn run_command(args: &Args) -> Result<(), String> {
+    let cfg = campaign(args);
+    match args.command.as_str() {
+        "table1" => {
+            println!("Table 1 — simulated architecture parameters");
+            emit(&table1::run(), args.markdown);
+        }
+        "table2" => {
+            println!(
+                "Table 2 — effectiveness, {} runs/app (HARD vs happens-before)",
+                cfg.runs
+            );
+            emit(&table2::run(&cfg).render(), args.markdown);
+        }
+        "table3" => {
+            println!("Table 3 — candidate set / LState granularity sweep");
+            emit(&table3::run(&cfg).render(), args.markdown);
+        }
+        "table4" => {
+            println!("Table 4 — bugs detected vs. L2 size");
+            emit(&table45::run(&cfg).render_bugs(), args.markdown);
+        }
+        "table5" => {
+            println!("Table 5 — false alarms vs. L2 size");
+            emit(&table45::run(&cfg).render_alarms(), args.markdown);
+        }
+        "table45" => {
+            let t = table45::run(&cfg);
+            println!("Table 4 — bugs detected vs. L2 size");
+            emit(&t.render_bugs(), args.markdown);
+            println!("Table 5 — false alarms vs. L2 size");
+            emit(&t.render_alarms(), args.markdown);
+        }
+        "table6" => {
+            println!("Table 6 — bloom filter vector size sweep");
+            emit(&table6::run(&cfg).render(), args.markdown);
+        }
+        "fig8" => {
+            println!("Figure 8 — HARD execution overhead (% of baseline)");
+            emit(&fig8::run(&cfg).render(), args.markdown);
+        }
+        "bloom" => {
+            println!("Bloom collision analysis (paper §3.2)");
+            emit(&bloom_analysis::run(200_000).render(), args.markdown);
+        }
+        "cord" => {
+            println!("Vector vs scalar-clock happens-before (CORD-style cost/precision)");
+            emit(&cord::run(&cfg).render(), args.markdown);
+        }
+        "workloads" => {
+            println!("Synthetic workload characterization (race-free runs)");
+            emit(&workload_stats::run(&cfg).render(), args.markdown);
+        }
+        "verify" => {
+            let c = claims::run(&cfg);
+            println!("Paper-claim checklist ({} runs/app):", cfg.runs);
+            emit(&c.render(), args.markdown);
+            if !c.all_pass() {
+                return Err("some claims failed".into());
+            }
+        }
+        "robustness" => {
+            println!("Scheduler robustness: aggregate detection vs quantum bound");
+            emit(&robustness::run(&cfg).render(), args.markdown);
+        }
+        "server" => {
+            println!(
+                "Server workload (§7 future work): fork/join threading, {} runs",
+                cfg.runs
+            );
+            emit(&server::run(&cfg).render(), args.markdown);
+        }
+        "window" => {
+            println!("Detection window (paper §3.6): metadata lifetime in accesses");
+            emit(&window::run(&cfg).render(), args.markdown);
+        }
+        "record" => {
+            let name = args.app.as_deref().ok_or("record needs --app <name>")?;
+            let app = App::all()
+                .into_iter()
+                .find(|a| a.name() == name)
+                .ok_or_else(|| format!("unknown app: {name}"))?;
+            let path = args.file.as_deref().ok_or("record needs --file <path>")?;
+            let trace = match args.inject {
+                None => hard_harness::race_free_trace(app, &cfg),
+                Some(seed) => hard_harness::injected_trace(app, &cfg, seed as usize).0,
+            };
+            let f = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {path}: {e}"))?;
+            codec::encode(&trace, std::io::BufWriter::new(f))
+                .map_err(|e| format!("encode failed: {e}"))?;
+            println!(
+                "recorded {} ({} events, {} threads) to {path}",
+                app,
+                trace.len(),
+                trace.num_threads
+            );
+        }
+        "replay" => {
+            let path = args.file.as_deref().ok_or("replay needs --file <path>")?;
+            let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let trace = codec::decode(std::io::BufReader::new(f))
+                .map_err(|e| format!("decode failed: {e}"))?;
+            trace
+                .validate()
+                .map_err(|e| format!("trace is not a plausible execution: {e}"))?;
+            let kind = match args.detector.as_str() {
+                "hard" => DetectorKind::hard_default(),
+                "lockset-ideal" => DetectorKind::lockset_ideal(),
+                "hb" => DetectorKind::hb_default(),
+                "hb-ideal" => DetectorKind::hb_ideal(),
+                other => return Err(format!("unknown detector: {other}")),
+            };
+            let run = execute(&kind, &trace, &[]);
+            println!(
+                "replayed {} events through {}: {} report(s)",
+                trace.len(),
+                kind.label(),
+                run.reports.len()
+            );
+            for r in run.reports.iter().take(20) {
+                println!("  {r}");
+            }
+            if run.reports.len() > 20 {
+                println!("  ... and {} more", run.reports.len() - 20);
+            }
+        }
+        "ablation" => {
+            let a = ablation::run(&cfg);
+            println!("Ablation — barrier pruning (§3.5) and the §7 combination");
+            emit(&a.render_alarms(), args.markdown);
+            println!("Ablation — metadata management (§3.4) and monitoring cost (§1)");
+            emit(&a.render_costs(), args.markdown);
+        }
+        "all" => {
+            for cmd in [
+                "table1", "table2", "table3", "table45", "table6", "fig8", "bloom",
+                "ablation", "window", "server", "workloads", "cord",
+            ] {
+                let sub = Args {
+                    command: cmd.into(),
+                    scale: args.scale,
+                    runs: args.runs,
+                    markdown: args.markdown,
+                    app: None,
+                    file: None,
+                    inject: None,
+                    detector: args.detector.clone(),
+                    mode: args.mode,
+                };
+                run_command(&sub)?;
+                println!();
+            }
+        }
+        other => return Err(format!("unknown command: {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all> \
+                 [--scale F] [--runs N] [--markdown]\n       \
+                 hard-exp record --app <name> --file <path> [--inject SEED]\n       \
+                 hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.starts_with("unknown command") {
+                eprintln!(
+                    "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|\
+                     ablation|window|server|robustness|verify|record|replay|all>"
+                );
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Campaign machinery: trace construction, bug scoring and alarm
+//! counting, following the paper's methodology (§4–§5):
+//!
+//! * 10 runs per application, one injected dynamic race per run;
+//! * all detectors observe *identical executions*;
+//! * false positives are measured on the race-free execution and
+//!   counted at source level (distinct static sites).
+
+use crate::detectors::DetectorRun;
+use hard_trace::{SchedConfig, Scheduler, Trace};
+use hard_types::{Addr, SiteId};
+use hard_workloads::{inject_race, inject_wrong_lock, App, Injection, WorkloadConfig};
+use std::collections::BTreeSet;
+
+/// How the per-run bug is injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InjectMode {
+    /// The paper's §4 mechanism: omit a dynamic lock/unlock pair.
+    #[default]
+    OmitPair,
+    /// Replace a section's lock with a fresh, wrong one — a second bug
+    /// class with the same lockset-visible symptom.
+    WrongLock,
+}
+
+/// Parameters of one application campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Workload size multiplier.
+    pub scale: hard_workloads::Scale,
+    /// Number of injected runs (the paper uses 10).
+    pub runs: usize,
+    /// Scheduler quantum bound.
+    pub max_quantum: u32,
+    /// Bug class injected per run.
+    pub mode: InjectMode,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            scale: hard_workloads::Scale::Full,
+            runs: 10,
+            max_quantum: 16,
+            mode: InjectMode::OmitPair,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A reduced-scale campaign for tests.
+    #[must_use]
+    pub fn reduced(factor: f64, runs: usize) -> CampaignConfig {
+        CampaignConfig {
+            scale: hard_workloads::Scale::Reduced(factor),
+            runs,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// The workload configuration for `app`.
+    #[must_use]
+    pub fn workload(&self, app: App) -> WorkloadConfig {
+        WorkloadConfig {
+            num_threads: 4,
+            // A stable per-app structure seed.
+            seed: 0xA00 + app as u64,
+            scale: self.scale,
+        }
+    }
+}
+
+/// The race-free execution of `app` (used for false-alarm counting and
+/// for the Figure 8 timing runs).
+#[must_use]
+pub fn race_free_trace(app: App, cfg: &CampaignConfig) -> Trace {
+    let program = app.generate(&cfg.workload(app));
+    Scheduler::new(SchedConfig {
+        seed: 0x5EED_0000 + app as u64,
+        max_quantum: cfg.max_quantum,
+    })
+    .run(&program)
+}
+
+/// Run `run_idx` of `app`'s campaign: the program with one injected
+/// race, scheduled with a per-run interleaving seed.
+#[must_use]
+pub fn injected_trace(app: App, cfg: &CampaignConfig, run_idx: usize) -> (Trace, Injection) {
+    let program = app.generate(&cfg.workload(app));
+    let seed = 0xBEEF + run_idx as u64;
+    let (injected, info) = match cfg.mode {
+        InjectMode::OmitPair => inject_race(&program, seed),
+        InjectMode::WrongLock => inject_wrong_lock(&program, seed),
+    };
+    let trace = Scheduler::new(SchedConfig {
+        seed: 0x1000_0000 + (app as u64) * 1000 + run_idx as u64,
+        max_quantum: cfg.max_quantum,
+    })
+    .run(&injected);
+    (trace, info)
+}
+
+/// Outcome of one detector on one injected run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BugOutcome {
+    /// A report overlapped the injected race's target accesses.
+    Detected,
+    /// Missed, and the target's metadata was lost to L2 displacement —
+    /// the paper's §5.1 explanation for every HARD default miss.
+    MissedDisplaced,
+    /// Missed for another reason (interleaving ordering for
+    /// happens-before, first-toucher or bloom effects for lockset).
+    Missed,
+}
+
+impl BugOutcome {
+    /// True for [`BugOutcome::Detected`].
+    #[must_use]
+    pub fn is_detected(self) -> bool {
+        matches!(self, BugOutcome::Detected)
+    }
+}
+
+/// Scores a detector run against the injected ground truth.
+#[must_use]
+pub fn score(run: &DetectorRun, injection: &Injection) -> BugOutcome {
+    let detected = run.reports.iter().any(|r| {
+        injection.overlaps(r.addr, Addr(r.addr.0 + u64::from(r.size)))
+    });
+    if detected {
+        BugOutcome::Detected
+    } else if run.meta_lost.iter().any(|&l| l) {
+        BugOutcome::MissedDisplaced
+    } else {
+        BugOutcome::Missed
+    }
+}
+
+/// The probe addresses for an injection: one representative byte per
+/// target access.
+#[must_use]
+pub fn probes(injection: &Injection) -> Vec<Addr> {
+    injection
+        .section
+        .exposed_accesses
+        .iter()
+        .map(|&(a, _, _)| a)
+        .collect()
+}
+
+/// Runs `f` once per application on its own OS thread and returns the
+/// results in the paper's application order.
+///
+/// Every campaign cell is a pure function of its seeds, so fanning the
+/// six applications out changes nothing but wall-clock time.
+pub fn per_app<R: Send>(f: impl Fn(App) -> R + Sync) -> Vec<R> {
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = App::all()
+            .into_iter()
+            .map(|app| s.spawn(move || f(app)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    })
+}
+
+/// Counts false alarms the way the paper does: distinct static source
+/// sites among the reports.
+#[must_use]
+pub fn alarm_sites(run: &DetectorRun) -> BTreeSet<SiteId> {
+    run.reports.iter().map(|r| r.site).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::{execute, DetectorKind};
+
+    #[test]
+    fn traces_are_deterministic() {
+        let cfg = CampaignConfig::reduced(0.05, 2);
+        let a = race_free_trace(App::WaterNsquared, &cfg);
+        let b = race_free_trace(App::WaterNsquared, &cfg);
+        assert_eq!(a, b);
+        let (ta, ia) = injected_trace(App::WaterNsquared, &cfg, 0);
+        let (tb, ib) = injected_trace(App::WaterNsquared, &cfg, 0);
+        assert_eq!(ta, tb);
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn runs_differ_by_index() {
+        let cfg = CampaignConfig::reduced(0.05, 2);
+        let (a, _) = injected_trace(App::Barnes, &cfg, 0);
+        let (b, _) = injected_trace(App::Barnes, &cfg, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn injected_targets_are_never_alarmed_race_free() {
+        // The scoring shortcut (detected = report overlaps targets)
+        // relies on lock-protected variables being silent in race-free
+        // runs; verify on a couple of apps.
+        let cfg = CampaignConfig::reduced(0.05, 3);
+        for app in [App::Barnes, App::WaterNsquared] {
+            let rf = race_free_trace(app, &cfg);
+            let run = execute(&DetectorKind::lockset_ideal(), &rf, &[]);
+            for i in 0..cfg.runs {
+                let (_, inj) = injected_trace(app, &cfg, i);
+                for r in &run.reports {
+                    assert!(
+                        !inj.overlaps(r.addr, Addr(r.addr.0 + u64::from(r.size))),
+                        "{app}: race-free alarm at {} overlaps an injectable target",
+                        r.addr
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_lockset_scores_detected_on_an_injected_run() {
+        let cfg = CampaignConfig::reduced(0.05, 1);
+        let (trace, inj) = injected_trace(App::Barnes, &cfg, 0);
+        let run = execute(&DetectorKind::lockset_ideal(), &trace, &probes(&inj));
+        // Not guaranteed for every app/run, but barnes run 0 at this
+        // scale is a dense-conflict injection; pin it as a regression.
+        assert_eq!(score(&run, &inj), BugOutcome::Detected);
+    }
+}

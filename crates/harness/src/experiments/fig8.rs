@@ -1,0 +1,175 @@
+//! Figure 8: HARD's execution-time overhead per application, as a
+//! percentage of the run time without HARD (paper: 0.1 % – 2.6 %).
+//!
+//! Both machines consume the identical race-free trace; the baseline
+//! is the same CMP with detection disabled (`hard::BaselineMachine`).
+
+use crate::campaign::{race_free_trace, CampaignConfig};
+use crate::table::TextTable;
+use hard::{BaselineMachine, HardConfig, HardMachine};
+use hard_trace::run_detector;
+use hard_workloads::App;
+
+/// One application bar of the figure, with the §5.1 decomposition into
+/// the paper's three overhead sources.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig8Row {
+    /// The application.
+    pub app: App,
+    /// Cycles without HARD.
+    pub base_cycles: u64,
+    /// Cycles with HARD.
+    pub hard_cycles: u64,
+    /// Metadata broadcasts performed.
+    pub broadcasts: u64,
+    /// Cycles attributable to the extra bus traffic (metadata
+    /// piggyback + broadcasts) — the paper's "main contributor".
+    pub from_bus: u64,
+    /// Cycles attributable to the candidate-set check on shared
+    /// accesses.
+    pub from_check: u64,
+    /// Cycles attributable to the Lock/Counter Register updates.
+    pub from_registers: u64,
+}
+
+impl Fig8Row {
+    /// The overhead as a fraction (e.g. `0.012` = 1.2 %).
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        if self.base_cycles == 0 {
+            0.0
+        } else {
+            (self.hard_cycles as f64 - self.base_cycles as f64) / self.base_cycles as f64
+        }
+    }
+}
+
+/// The full Figure 8 result.
+#[derive(Clone, Debug)]
+pub struct Fig8 {
+    /// Bars in the paper's order.
+    pub rows: Vec<Fig8Row>,
+}
+
+fn cycles_with(cfg: HardConfig, trace: &hard_trace::Trace) -> u64 {
+    let mut m = HardMachine::new(cfg);
+    run_detector(&mut m, trace);
+    m.total_cycles().0
+}
+
+/// Runs the overhead measurement, one worker thread per application,
+/// decomposing the delta by re-running with each cost zeroed.
+#[must_use]
+pub fn run(cfg: &CampaignConfig) -> Fig8 {
+    let rows = crate::campaign::per_app(|app| {
+        let trace = race_free_trace(app, cfg);
+        let mut base = BaselineMachine::new(HardConfig::default());
+        let base_cycles = base.run(&trace).0;
+
+        let full = HardConfig::default();
+        let mut hard = HardMachine::new(full);
+        run_detector(&mut hard, &trace);
+        let hard_cycles = hard.total_cycles().0;
+
+        // Zero one cost at a time; the attribution of a source is the
+        // cycles that disappear with it.
+        let mut no_bus = full;
+        no_bus.latency.meta_piggyback_occupancy = 0;
+        no_bus.latency.meta_broadcast_occupancy = 0;
+        let mut no_check = full;
+        no_check.latency.candidate_check = 0;
+        let mut no_reg = full;
+        no_reg.latency.lock_register_update = 0;
+
+        Fig8Row {
+            app,
+            base_cycles,
+            hard_cycles,
+            broadcasts: hard.stats().meta_broadcasts,
+            from_bus: hard_cycles.saturating_sub(cycles_with(no_bus, &trace)),
+            from_check: hard_cycles.saturating_sub(cycles_with(no_check, &trace)),
+            from_registers: hard_cycles.saturating_sub(cycles_with(no_reg, &trace)),
+        }
+    });
+    Fig8 { rows }
+}
+
+impl Fig8 {
+    /// The maximum overhead across applications.
+    #[must_use]
+    pub fn max_overhead(&self) -> f64 {
+        self.rows.iter().map(Fig8Row::overhead).fold(0.0, f64::max)
+    }
+
+    /// Renders the figure as a table with an ASCII bar.
+    #[must_use]
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "application",
+            "base cycles",
+            "HARD cycles",
+            "overhead %",
+            "bus traffic",
+            "cand. check",
+            "registers",
+            "bar",
+        ]);
+        for r in &self.rows {
+            let pct = r.overhead() * 100.0;
+            let bar = "#".repeat(((pct * 10.0).round() as usize).min(60));
+            let delta = (r.hard_cycles - r.base_cycles).max(1);
+            let share = |part: u64| format!("{:.0}%", part as f64 * 100.0 / delta as f64);
+            t.row(vec![
+                r.app.name().into(),
+                r.base_cycles.to_string(),
+                r.hard_cycles.to_string(),
+                format!("{pct:.2}"),
+                share(r.from_bus),
+                share(r.from_check),
+                share(r.from_registers),
+                bar,
+            ]);
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_positive_and_small() {
+        let cfg = CampaignConfig::reduced(0.1, 1);
+        let f = run(&cfg);
+        assert_eq!(f.rows.len(), 6);
+        for r in &f.rows {
+            assert!(r.hard_cycles >= r.base_cycles, "{}", r.app);
+            assert!(
+                r.overhead() < 0.10,
+                "{}: overhead {:.2}% is not 'minimal'",
+                r.app,
+                r.overhead() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn bus_traffic_is_the_main_contributor() {
+        // §5.1: "Of the three, the bus traffic increase is the main
+        // contributor to the performance degradation observed."
+        let cfg = CampaignConfig::reduced(0.1, 1);
+        let f = run(&cfg);
+        let bus: u64 = f.rows.iter().map(|r| r.from_bus).sum();
+        let check: u64 = f.rows.iter().map(|r| r.from_check).sum();
+        let regs: u64 = f.rows.iter().map(|r| r.from_registers).sum();
+        assert!(bus > check, "bus {bus} vs check {check}");
+        assert!(bus > regs, "bus {bus} vs registers {regs}");
+    }
+}

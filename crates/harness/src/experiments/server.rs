@@ -1,0 +1,152 @@
+//! The §7 future-work evaluation: HARD on a server-style fork/join
+//! application ("apache and mysql"-shaped threading instead of
+//! barrier-phased SPLASH kernels).
+
+use crate::campaign::{alarm_sites, probes, score, BugOutcome, CampaignConfig};
+use crate::detectors::{execute, DetectorKind};
+use crate::table::TextTable;
+use hard_trace::{SchedConfig, Scheduler, Trace};
+use hard_workloads::apps::server;
+use hard_workloads::{inject_race, Injection, WorkloadConfig};
+
+/// Per-detector tallies on the server workload.
+#[derive(Clone, Debug)]
+pub struct ServerResult {
+    /// `(pool threads, detector label, bugs detected, displacement
+    /// misses, alarms)`.
+    pub rows: Vec<(usize, String, usize, usize, usize)>,
+    /// Injected runs.
+    pub runs: usize,
+}
+
+fn workload(cfg: &CampaignConfig, threads: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        num_threads: threads,
+        seed: 0x5E47,
+        scale: cfg.scale,
+    }
+}
+
+fn race_free(cfg: &CampaignConfig, threads: usize) -> Trace {
+    let p = server::generate(&workload(cfg, threads));
+    Scheduler::new(SchedConfig {
+        seed: 0x5EED_5E17,
+        max_quantum: cfg.max_quantum,
+    })
+    .run(&p)
+}
+
+fn injected(cfg: &CampaignConfig, threads: usize, run_idx: usize) -> (Trace, Injection) {
+    let p = server::generate(&workload(cfg, threads));
+    let (injected, info) = inject_race(&p, 0xFACE + run_idx as u64);
+    let trace = Scheduler::new(SchedConfig {
+        seed: 0x2000_0000 + run_idx as u64,
+        max_quantum: cfg.max_quantum,
+    })
+    .run(&injected);
+    (trace, info)
+}
+
+fn detector_set(threads: usize) -> [DetectorKind; 4] {
+    [
+        DetectorKind::hard_default(),
+        DetectorKind::lockset_ideal(),
+        DetectorKind::HbHw(hard::HbMachineConfig::default().with_num_threads(threads)),
+        DetectorKind::hb_ideal(),
+    ]
+}
+
+/// Runs the server campaign: the paper-shaped 4-thread pool and an
+/// 8-thread pool multiplexed onto the same 4 cores.
+#[must_use]
+pub fn run(cfg: &CampaignConfig) -> ServerResult {
+    let mut rows = Vec::new();
+    for threads in [4usize, 8] {
+        let kinds = detector_set(threads);
+        let rf = race_free(cfg, threads);
+        let mut tallies: Vec<(usize, String, usize, usize, usize)> = kinds
+            .iter()
+            .map(|k| {
+                (
+                    threads,
+                    k.label().to_string(),
+                    0,
+                    0,
+                    alarm_sites(&execute(k, &rf, &[])).len(),
+                )
+            })
+            .collect();
+        for run_idx in 0..cfg.runs {
+            let (trace, info) = injected(cfg, threads, run_idx);
+            let pr = probes(&info);
+            for (k, row) in kinds.iter().zip(tallies.iter_mut()) {
+                match score(&execute(k, &trace, &pr), &info) {
+                    BugOutcome::Detected => row.2 += 1,
+                    BugOutcome::MissedDisplaced => row.3 += 1,
+                    BugOutcome::Missed => {}
+                }
+            }
+        }
+        rows.extend(tallies);
+    }
+    ServerResult {
+        rows,
+        runs: cfg.runs,
+    }
+}
+
+impl ServerResult {
+    /// Renders the campaign.
+    #[must_use]
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "pool",
+            "detector",
+            "bugs detected",
+            "displacement misses",
+            "false alarms",
+        ]);
+        for (threads, label, detected, displaced, alarms) in &self.rows {
+            t.row(vec![
+                format!("{threads} threads"),
+                label.clone(),
+                format!("{detected}/{}", self.runs),
+                displaced.to_string(),
+                alarms.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for ServerResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_campaign_has_sensible_shape() {
+        let cfg = CampaignConfig::reduced(0.3, 4);
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 8, "4 detectors x 2 pool sizes");
+        for threads in [4usize, 8] {
+            let get = |label: &str| {
+                r.rows
+                    .iter()
+                    .find(|(t, l, ..)| *t == threads && l == label)
+                    .unwrap()
+            };
+            let hard = get("HARD");
+            let ideal = get("lockset-ideal");
+            let hb = get("HB");
+            assert!(ideal.2 >= hard.2, "{threads}: ideal dominates HARD");
+            assert!(hard.2 >= hb.2, "{threads}: lockset beats happens-before");
+            assert!(hard.2 >= r.runs / 2, "{threads}: most injections caught");
+        }
+    }
+}

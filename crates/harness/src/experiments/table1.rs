@@ -1,0 +1,55 @@
+//! Table 1: parameters of the simulated architecture.
+//!
+//! Not an experiment — the live defaults of the simulator, printed in
+//! the paper's format so a reader can diff them against Table 1.
+
+use crate::table::TextTable;
+use hard::HardConfig;
+
+/// Renders the default machine parameters.
+#[must_use]
+pub fn run() -> TextTable {
+    let c = HardConfig::default();
+    let mut t = TextTable::new(vec!["parameter", "value"]);
+    t.row(vec!["cores".into(), c.hierarchy.num_cores.to_string()]);
+    t.row(vec!["L1 cache".into(), format!("{}", c.hierarchy.l1)]);
+    t.row(vec![
+        "L1 latency".into(),
+        format!("{} cycles", c.latency.l1_hit),
+    ]);
+    t.row(vec!["L2 cache".into(), format!("{}", c.hierarchy.l2)]);
+    t.row(vec![
+        "L2 latency".into(),
+        format!("{} cycles", c.latency.l2_hit),
+    ]);
+    t.row(vec![
+        "memory latency".into(),
+        format!("{} cycles", c.latency.memory),
+    ]);
+    t.row(vec!["BFVector".into(), format!("{}/line", c.bloom)]);
+    t.row(vec![
+        "metadata granularity".into(),
+        format!("{}", c.granularity),
+    ]);
+    t.row(vec![
+        "barrier pruning".into(),
+        c.barrier_pruning.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_values() {
+        let s = run().to_string();
+        assert!(s.contains("16KB 4-way 32B/line"));
+        assert!(s.contains("1024KB 8-way 32B/line"));
+        assert!(s.contains("3 cycles"));
+        assert!(s.contains("10 cycles"));
+        assert!(s.contains("200 cycles"));
+        assert!(s.contains("16b/line"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Tables 4 and 5: effect of the L2 cache size (128 KB – 1 MB) on
+//! detected bugs (Table 4, expected weakly rising) and false alarms
+//! (Table 5, expected weakly rising) for HARD and happens-before.
+
+use crate::campaign::{
+    alarm_sites, injected_trace, probes, race_free_trace, score, CampaignConfig,
+};
+use crate::detectors::{execute, DetectorKind};
+use crate::table::TextTable;
+use hard::{HardConfig, HbMachineConfig};
+use hard_workloads::App;
+
+/// The L2 capacities swept (bytes).
+pub const L2_SIZES: [u64; 4] = [128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
+
+/// One application row of the sweep.
+#[derive(Clone, Debug)]
+pub struct L2SweepRow {
+    /// The application.
+    pub app: App,
+    /// Bugs detected by HARD per L2 size.
+    pub hard_bugs: [usize; 4],
+    /// Bugs detected by happens-before per L2 size.
+    pub hb_bugs: [usize; 4],
+    /// HARD false alarms per L2 size.
+    pub hard_alarms: [usize; 4],
+    /// Happens-before false alarms per L2 size.
+    pub hb_alarms: [usize; 4],
+}
+
+/// The combined Tables 4+5 result.
+#[derive(Clone, Debug)]
+pub struct L2Sweep {
+    /// Rows in the paper's order.
+    pub rows: Vec<L2SweepRow>,
+    /// Runs per application.
+    pub runs: usize,
+}
+
+/// Runs the L2 sweep, one worker thread per application.
+#[must_use]
+pub fn run(cfg: &CampaignConfig) -> L2Sweep {
+    let rows = crate::campaign::per_app(|app| {
+        let mut row = L2SweepRow {
+            app,
+            hard_bugs: [0; 4],
+            hb_bugs: [0; 4],
+            hard_alarms: [0; 4],
+            hb_alarms: [0; 4],
+        };
+        let rf = race_free_trace(app, cfg);
+        let injected: Vec<_> = (0..cfg.runs).map(|i| injected_trace(app, cfg, i)).collect();
+        for (si, &size) in L2_SIZES.iter().enumerate() {
+            let hard = DetectorKind::Hard(HardConfig::default().with_l2_size(size));
+            let hb = DetectorKind::HbHw(HbMachineConfig::default().with_l2_size(size));
+            row.hard_alarms[si] = alarm_sites(&execute(&hard, &rf, &[])).len();
+            row.hb_alarms[si] = alarm_sites(&execute(&hb, &rf, &[])).len();
+            for (trace, injection) in &injected {
+                let pr = probes(injection);
+                if score(&execute(&hard, trace, &pr), injection).is_detected() {
+                    row.hard_bugs[si] += 1;
+                }
+                if score(&execute(&hb, trace, &pr), injection).is_detected() {
+                    row.hb_bugs[si] += 1;
+                }
+            }
+        }
+        row
+    });
+    L2Sweep {
+        rows,
+        runs: cfg.runs,
+    }
+}
+
+impl L2Sweep {
+    /// Renders Table 4 (bugs detected).
+    #[must_use]
+    pub fn render_bugs(&self) -> TextTable {
+        let mut headers = vec!["application".to_string()];
+        for side in ["HARD", "HB"] {
+            for s in L2_SIZES {
+                headers.push(format!("{side} {}KB", s / 1024));
+            }
+        }
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut cells = vec![r.app.name().to_string()];
+            for arr in [&r.hard_bugs, &r.hb_bugs] {
+                for v in arr.iter() {
+                    cells.push(v.to_string());
+                }
+            }
+            t.row(cells);
+        }
+        t
+    }
+
+    /// Renders Table 5 (false alarms).
+    #[must_use]
+    pub fn render_alarms(&self) -> TextTable {
+        let mut headers = vec!["application".to_string()];
+        for side in ["HARD", "HB"] {
+            for s in L2_SIZES {
+                headers.push(format!("{side} {}KB", s / 1024));
+            }
+        }
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut cells = vec![r.app.name().to_string()];
+            for arr in [&r.hard_alarms, &r.hb_alarms] {
+                for v in arr.iter() {
+                    cells.push(v.to_string());
+                }
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for L2Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table 4 — bugs detected vs. L2 size")?;
+        writeln!(f, "{}", self.render_bugs())?;
+        writeln!(f, "Table 5 — false alarms vs. L2 size")?;
+        write!(f, "{}", self.render_alarms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_l2_never_detects_fewer_bugs_in_aggregate() {
+        let cfg = CampaignConfig::reduced(0.08, 3);
+        let t = run(&cfg);
+        let total = |i: usize| -> usize { t.rows.iter().map(|r| r.hard_bugs[i]).sum() };
+        assert!(
+            total(3) >= total(0),
+            "1MB ({}) must detect at least as many as 128KB ({})",
+            total(3),
+            total(0)
+        );
+        let s = t.to_string();
+        assert!(s.contains("Table 4") && s.contains("Table 5"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Workload characterization: the synthetic applications' vital signs
+//! at full scale, for auditing the signatures DESIGN.md claims.
+
+use crate::campaign::{race_free_trace, CampaignConfig};
+use crate::table::TextTable;
+use hard_trace::TraceStats;
+use hard_workloads::App;
+
+/// One application's vital signs.
+#[derive(Clone, Debug)]
+pub struct WorkloadRow {
+    /// The application.
+    pub app: App,
+    /// Trace statistics of the race-free run.
+    pub stats: TraceStats,
+    /// Total trace events.
+    pub events: usize,
+}
+
+/// The characterization result.
+#[derive(Clone, Debug)]
+pub struct WorkloadStats {
+    /// One row per application.
+    pub rows: Vec<WorkloadRow>,
+}
+
+/// Measures every application.
+#[must_use]
+pub fn run(cfg: &CampaignConfig) -> WorkloadStats {
+    let rows = crate::campaign::per_app(|app| {
+        let trace = race_free_trace(app, cfg);
+        WorkloadRow {
+            app,
+            stats: TraceStats::from_trace(&trace),
+            events: trace.len(),
+        }
+    });
+    WorkloadStats { rows }
+}
+
+impl WorkloadStats {
+    /// Renders the characterization.
+    #[must_use]
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "application",
+            "events",
+            "accesses",
+            "locks",
+            "distinct locks",
+            "barriers",
+            "lock density",
+            "word footprint",
+        ]);
+        for r in &self.rows {
+            let s = &r.stats;
+            t.row(vec![
+                r.app.name().into(),
+                r.events.to_string(),
+                s.accesses().to_string(),
+                s.locks.to_string(),
+                s.distinct_locks.to_string(),
+                s.barrier_completes.to_string(),
+                format!("{:.4}", s.locks as f64 / s.accesses().max(1) as f64),
+                format!("{}KB", s.footprint_bytes / 1024),
+            ]);
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_match_the_design_claims() {
+        let cfg = CampaignConfig::reduced(0.1, 1);
+        let s = run(&cfg);
+        let get = |app: App| s.rows.iter().find(|r| r.app == app).unwrap();
+        // ocean: barrier-dominated, almost lock-free.
+        let ocean = get(App::Ocean);
+        assert_eq!(ocean.stats.barrier_completes, 8);
+        assert!(ocean.stats.distinct_locks <= 6);
+        // barnes: lock-dense.
+        let barnes = get(App::Barnes);
+        let density = barnes.stats.locks as f64 / barnes.stats.accesses() as f64;
+        assert!(density > 0.02, "barnes lock density {density}");
+        // water: small footprint.
+        let water = get(App::WaterNsquared);
+        let cholesky = get(App::Cholesky);
+        assert!(water.stats.footprint_bytes < cholesky.stats.footprint_bytes / 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment campaigns regenerating every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! Each experiment module produces a structured result plus a rendered
+//! ASCII table whose rows match the paper's:
+//!
+//! | Paper artifact | Module | CLI |
+//! |---|---|---|
+//! | Table 1 (machine parameters) | [`experiments::table1`] | `hard-exp table1` |
+//! | Table 2 (overall effectiveness) | [`experiments::table2`] | `hard-exp table2` |
+//! | Table 3 (granularity sweep) | [`experiments::table3`] | `hard-exp table3` |
+//! | Tables 4+5 (L2 size sweep) | [`experiments::table45`] | `hard-exp table4` / `table5` |
+//! | Table 6 (bloom vector sweep) | [`experiments::table6`] | `hard-exp table6` |
+//! | Figure 8 (execution overhead) | [`experiments::fig8`] | `hard-exp fig8` |
+//! | §3.2 collision analysis | [`experiments::bloom_analysis`] | `hard-exp bloom` |
+//!
+//! The shared machinery lives in [`campaign`]: deterministic trace
+//! construction, the detector registry ([`detectors::DetectorKind`]),
+//! bug-outcome scoring with miss-reason classification, and
+//! source-level false-alarm counting.
+
+pub mod campaign;
+pub mod detectors;
+pub mod experiments;
+pub mod table;
+
+pub use campaign::{
+    alarm_sites, injected_trace, per_app, probes, race_free_trace, score, BugOutcome,
+    CampaignConfig, InjectMode,
+};
+pub use detectors::{execute, DetectorKind, DetectorRun};
+pub use table::TextTable;

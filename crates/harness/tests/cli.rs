@@ -1,0 +1,119 @@
+//! End-to-end tests of the `hard-exp` binary.
+
+use std::process::Command;
+
+fn hard_exp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hard-exp"))
+}
+
+#[test]
+fn table1_prints_the_machine_parameters() {
+    let out = hard_exp().arg("table1").output().expect("spawn");
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("16KB 4-way 32B/line"), "{s}");
+    assert!(s.contains("200 cycles"), "{s}");
+}
+
+#[test]
+fn bad_command_fails_with_usage() {
+    let out = hard_exp().arg("table99").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn missing_command_fails_with_usage() {
+    let out = hard_exp().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn bad_flag_value_is_reported() {
+    let out = hard_exp()
+        .args(["table2", "--scale", "banana"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --scale"));
+}
+
+#[test]
+fn markdown_mode_emits_pipes() {
+    let out = hard_exp()
+        .args(["table1", "--markdown"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("| parameter | value |"), "{s}");
+}
+
+#[test]
+fn record_then_replay_roundtrips() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("hard-exp-cli-test-{}.trc", std::process::id()));
+    let path_s = path.to_str().expect("utf8 temp path");
+
+    let rec = hard_exp()
+        .args([
+            "record", "--app", "water-nsquared", "--file", path_s, "--scale", "0.1",
+            "--inject", "2",
+        ])
+        .output()
+        .expect("spawn record");
+    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    assert!(String::from_utf8_lossy(&rec.stdout).contains("recorded water-nsquared"));
+
+    let rep = hard_exp()
+        .args(["replay", "--file", path_s, "--detector", "hard"])
+        .output()
+        .expect("spawn replay");
+    assert!(rep.status.success(), "{}", String::from_utf8_lossy(&rep.stderr));
+    let s = String::from_utf8_lossy(&rep.stdout);
+    assert!(s.contains("replayed") && s.contains("HARD"), "{s}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_rejects_garbage_files() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("hard-exp-cli-garbage-{}.trc", std::process::id()));
+    std::fs::write(&path, b"definitely not a trace").expect("write");
+    let out = hard_exp()
+        .args(["replay", "--file", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("decode failed"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn record_rejects_unknown_apps() {
+    let out = hard_exp()
+        .args(["record", "--app", "doom", "--file", "/tmp/x.trc"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown app"));
+}
+
+#[test]
+fn verify_passes_at_tiny_scale() {
+    let out = hard_exp()
+        .args(["verify", "--scale", "0.1", "--runs", "3"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("PASS"));
+    assert!(!s.contains("FAIL"), "{s}");
+}

@@ -1,0 +1,187 @@
+//! Vector clocks over a fixed thread population.
+
+use hard_types::ThreadId;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock with one component per thread.
+///
+/// # Examples
+///
+/// ```
+/// use hard_hb::VectorClock;
+/// use hard_types::ThreadId;
+///
+/// let mut a = VectorClock::new(2);
+/// a.tick(ThreadId(0));
+/// let mut b = VectorClock::new(2);
+/// b.join(&a);
+/// b.tick(ThreadId(1));
+/// assert!(a.happens_before(&b));
+/// assert!(!b.happens_before(&a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    c: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock for `num_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    #[must_use]
+    pub fn new(num_threads: usize) -> VectorClock {
+        assert!(num_threads > 0, "a clock needs at least one component");
+        VectorClock {
+            c: vec![0; num_threads],
+        }
+    }
+
+    /// Number of components (one per thread).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.c.len()
+    }
+
+    /// True iff every component is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.c.iter().all(|&v| v == 0)
+    }
+
+    /// Component of thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn get(&self, t: ThreadId) -> u64 {
+        self.c[t.index()]
+    }
+
+    /// Advances thread `t`'s own component.
+    pub fn tick(&mut self, t: ThreadId) {
+        self.c[t.index()] += 1;
+    }
+
+    /// Pointwise maximum (the join of the clock lattice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different widths.
+    pub fn join(&mut self, other: &VectorClock) {
+        assert_eq!(self.c.len(), other.c.len(), "clock width mismatch");
+        for (a, b) in self.c.iter_mut().zip(&other.c) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True iff `self ≤ other` pointwise: everything `self` knows,
+    /// `other` knows. An *event* at epoch `(t, c)` happens before a
+    /// clock `v` iff `c <= v[t]`; see [`VectorClock::epoch_before`].
+    #[must_use]
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.c.iter().zip(&other.c).all(|(a, b)| a <= b)
+    }
+
+    /// True iff the epoch `(t, c)` — "thread `t`'s clock was `c`" — is
+    /// ordered before this clock: `c <= self[t]`.
+    #[must_use]
+    pub fn epoch_before(&self, t: ThreadId, c: u64) -> bool {
+        c <= self.c[t.index()]
+    }
+
+    /// Partial-order comparison: `Some(Equal | Less | Greater)` when
+    /// ordered, `None` when concurrent.
+    #[must_use]
+    pub fn partial_cmp_clock(&self, other: &VectorClock) -> Option<Ordering> {
+        let le = self.happens_before(other);
+        let ge = other.happens_before(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock() {
+        let c = VectorClock::new(3);
+        assert!(c.is_zero());
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.get(ThreadId(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn zero_width_rejected() {
+        let _ = VectorClock::new(0);
+    }
+
+    #[test]
+    fn tick_advances_own_component() {
+        let mut c = VectorClock::new(2);
+        c.tick(ThreadId(1));
+        assert_eq!(c.get(ThreadId(1)), 1);
+        assert_eq!(c.get(ThreadId(0)), 0);
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new(2);
+        a.tick(ThreadId(0));
+        a.tick(ThreadId(0));
+        let mut b = VectorClock::new(2);
+        b.tick(ThreadId(1));
+        a.join(&b);
+        assert_eq!(a.get(ThreadId(0)), 2);
+        assert_eq!(a.get(ThreadId(1)), 1);
+    }
+
+    #[test]
+    fn ordering_cases() {
+        let mut a = VectorClock::new(2);
+        a.tick(ThreadId(0));
+        let mut b = a.clone();
+        b.tick(ThreadId(1));
+        assert_eq!(a.partial_cmp_clock(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_clock(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_clock(&a), Some(Ordering::Equal));
+
+        let mut c = VectorClock::new(2);
+        c.tick(ThreadId(1));
+        assert_eq!(a.partial_cmp_clock(&c), None, "concurrent clocks");
+    }
+
+    #[test]
+    fn epoch_ordering() {
+        let mut v = VectorClock::new(2);
+        v.tick(ThreadId(0));
+        v.tick(ThreadId(0));
+        assert!(v.epoch_before(ThreadId(0), 2));
+        assert!(!v.epoch_before(ThreadId(0), 3));
+        assert!(v.epoch_before(ThreadId(1), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn join_width_mismatch_panics() {
+        let mut a = VectorClock::new(2);
+        a.join(&VectorClock::new(3));
+    }
+}

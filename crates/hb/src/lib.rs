@@ -1,0 +1,36 @@
+//! Happens-before race detection (the baseline HARD is compared with).
+//!
+//! All prior hardware race detectors the paper discusses implement the
+//! happens-before algorithm: establish a partial temporal order of
+//! accesses from program order plus synchronization edges, and report
+//! two conflicting accesses that are unordered. This crate provides:
+//!
+//! * [`clock::VectorClock`] — fixed-width (per-thread) vector clocks;
+//! * [`sync::SyncClocks`] — the thread/lock/barrier clock state shared
+//!   by the ideal detector and the hardware policy (lock clocks model
+//!   release-to-acquire edges, barriers join all threads);
+//! * [`meta::LineClocks`] + [`meta::hb_access`] — per-granule access
+//!   history (last-write epoch plus per-thread read clocks) and the
+//!   race check, usable at any granularity;
+//! * [`ideal::IdealHappensBefore`] — the paper's ideal happens-before:
+//!   variable granularity, unbounded metadata store;
+//! * [`scalar::ScalarHappensBefore`] — a CORD-style scalar-clock
+//!   variant (the cost-effective alternative among the paper's cited
+//!   baselines), precise enough for ordered programs but able to miss
+//!   races by scalar coincidence.
+//!
+//! The *hardware* happens-before detector (line granularity, metadata
+//! only in the cache) is assembled in the `hard` crate on top of the
+//! same [`meta`] and [`sync`] building blocks.
+
+pub mod clock;
+pub mod ideal;
+pub mod meta;
+pub mod scalar;
+pub mod sync;
+
+pub use clock::VectorClock;
+pub use ideal::{IdealHappensBefore, IdealHbConfig};
+pub use meta::{hb_access, HbOutcome, LineClocks};
+pub use scalar::{ScalarHappensBefore, ScalarHbConfig, ScalarSync};
+pub use sync::SyncClocks;

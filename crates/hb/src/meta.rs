@@ -1,0 +1,173 @@
+//! Per-granule access history and the happens-before race check.
+//!
+//! The hardware proposals the paper compares against store per-line
+//! timestamps in the cache; this module is that metadata plus the check
+//! itself, shared by the ideal detector (unbounded store) and the
+//! hardware policy (in-cache only).
+
+use crate::clock::VectorClock;
+use hard_types::{AccessKind, ThreadId};
+
+/// Access history of one granule: the epoch of the last write and, per
+/// thread, the epoch of its last read.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LineClocks {
+    /// `(writer, epoch)` of the most recent write, if any.
+    pub last_write: Option<(ThreadId, u64)>,
+    /// Per-thread epoch of each thread's most recent read (0 = never).
+    pub read_epochs: Vec<u64>,
+}
+
+impl LineClocks {
+    /// Empty history for `num_threads` threads.
+    #[must_use]
+    pub fn new(num_threads: usize) -> LineClocks {
+        LineClocks {
+            last_write: None,
+            read_epochs: vec![0; num_threads],
+        }
+    }
+
+    /// True iff no access has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.last_write.is_none() && self.read_epochs.iter().all(|&e| e == 0)
+    }
+}
+
+/// Result of a happens-before access check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HbOutcome {
+    /// The access races with the recorded last write.
+    pub race_with_write: bool,
+    /// The access (a write) races with a recorded read.
+    pub race_with_read: bool,
+}
+
+impl HbOutcome {
+    /// True if any race was found.
+    #[must_use]
+    pub fn is_race(self) -> bool {
+        self.race_with_write || self.race_with_read
+    }
+}
+
+/// Applies an access by `thread` (whose current clock is `clock`) of
+/// kind `kind` to `meta`, checking the happens-before conditions:
+///
+/// * every access must be ordered after the last write, and
+/// * a write must additionally be ordered after every recorded read.
+///
+/// The history is then updated with the new access.
+pub fn hb_access(
+    meta: &mut LineClocks,
+    thread: ThreadId,
+    clock: &VectorClock,
+    kind: AccessKind,
+) -> HbOutcome {
+    let mut out = HbOutcome::default();
+    if let Some((wt, we)) = meta.last_write {
+        if wt != thread && !clock.epoch_before(wt, we) {
+            out.race_with_write = true;
+        }
+    }
+    if kind.is_write() {
+        for (u, &re) in meta.read_epochs.iter().enumerate() {
+            let ut = ThreadId(u as u32);
+            if re != 0 && ut != thread && !clock.epoch_before(ut, re) {
+                out.race_with_read = true;
+            }
+        }
+        meta.last_write = Some((thread, clock.get(thread)));
+        // A write supersedes older reads for future write checks ONLY
+        // if they are ordered before it; keeping them all is safe and
+        // matches full-vector-clock detectors.
+        meta.read_epochs[thread.index()] = 0;
+    } else {
+        meta.read_epochs[thread.index()] = clock.get(thread);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    fn clock(e0: u64, e1: u64) -> VectorClock {
+        let mut c = VectorClock::new(2);
+        for _ in 0..e0 {
+            c.tick(T0);
+        }
+        for _ in 0..e1 {
+            c.tick(T1);
+        }
+        c
+    }
+
+    #[test]
+    fn unordered_write_write_races() {
+        let mut m = LineClocks::new(2);
+        assert!(m.is_empty());
+        let o0 = hb_access(&mut m, T0, &clock(1, 0), AccessKind::Write);
+        assert!(!o0.is_race());
+        assert!(!m.is_empty());
+        // T1 writes without having seen T0's epoch 1: race.
+        let o1 = hb_access(&mut m, T1, &clock(0, 1), AccessKind::Write);
+        assert!(o1.race_with_write);
+    }
+
+    #[test]
+    fn ordered_write_write_is_clean() {
+        let mut m = LineClocks::new(2);
+        hb_access(&mut m, T0, &clock(1, 0), AccessKind::Write);
+        // T1 has joined T0's clock (e.g. via lock or barrier).
+        let o = hb_access(&mut m, T1, &clock(1, 1), AccessKind::Write);
+        assert!(!o.is_race());
+    }
+
+    #[test]
+    fn unordered_read_after_write_races() {
+        let mut m = LineClocks::new(2);
+        hb_access(&mut m, T0, &clock(1, 0), AccessKind::Write);
+        let o = hb_access(&mut m, T1, &clock(0, 1), AccessKind::Read);
+        assert!(o.race_with_write);
+        assert!(!o.race_with_read);
+    }
+
+    #[test]
+    fn unordered_write_after_read_races() {
+        let mut m = LineClocks::new(2);
+        hb_access(&mut m, T0, &clock(1, 0), AccessKind::Read);
+        let o = hb_access(&mut m, T1, &clock(0, 1), AccessKind::Write);
+        assert!(o.race_with_read);
+    }
+
+    #[test]
+    fn concurrent_reads_are_clean() {
+        let mut m = LineClocks::new(2);
+        let o0 = hb_access(&mut m, T0, &clock(1, 0), AccessKind::Read);
+        let o1 = hb_access(&mut m, T1, &clock(0, 1), AccessKind::Read);
+        assert!(!o0.is_race() && !o1.is_race());
+    }
+
+    #[test]
+    fn same_thread_never_races_with_itself() {
+        let mut m = LineClocks::new(2);
+        hb_access(&mut m, T0, &clock(1, 0), AccessKind::Write);
+        let o = hb_access(&mut m, T0, &clock(1, 0), AccessKind::Write);
+        assert!(!o.is_race());
+        let o = hb_access(&mut m, T0, &clock(1, 0), AccessKind::Read);
+        assert!(!o.is_race());
+    }
+
+    #[test]
+    fn write_after_ordered_read_is_clean() {
+        let mut m = LineClocks::new(2);
+        hb_access(&mut m, T0, &clock(1, 0), AccessKind::Read);
+        let o = hb_access(&mut m, T1, &clock(1, 1), AccessKind::Write);
+        assert!(!o.is_race());
+    }
+}

@@ -1,0 +1,174 @@
+//! Synchronization-clock state: the part of happens-before tracking
+//! that lives *outside* the per-line metadata.
+//!
+//! Thread clocks and lock clocks correspond to what a hardware
+//! implementation keeps in per-core registers and in the lock objects'
+//! memory; they are never lost to cache displacement. Only the
+//! per-granule access histories ([`crate::meta::LineClocks`]) are
+//! subject to the hardware's in-cache approximation.
+
+use crate::clock::VectorClock;
+use hard_types::{LockId, ThreadId};
+use std::collections::BTreeMap;
+
+/// Thread, lock and barrier clocks with the standard happens-before
+/// update rules.
+#[derive(Clone, Debug)]
+pub struct SyncClocks {
+    threads: Vec<VectorClock>,
+    locks: BTreeMap<LockId, VectorClock>,
+    num_threads: usize,
+}
+
+impl SyncClocks {
+    /// Initial clocks for `num_threads` threads: each thread starts at
+    /// epoch 1 in its own component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    #[must_use]
+    pub fn new(num_threads: usize) -> SyncClocks {
+        let threads = (0..num_threads)
+            .map(|t| {
+                let mut c = VectorClock::new(num_threads);
+                c.tick(ThreadId(t as u32));
+                c
+            })
+            .collect();
+        SyncClocks {
+            threads,
+            locks: BTreeMap::new(),
+            num_threads,
+        }
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The current clock of thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn thread(&self, t: ThreadId) -> &VectorClock {
+        &self.threads[t.index()]
+    }
+
+    /// Lock acquire: the acquiring thread learns everything the last
+    /// releaser knew (release-to-acquire edge).
+    pub fn acquire(&mut self, t: ThreadId, lock: LockId) {
+        if let Some(lc) = self.locks.get(&lock) {
+            self.threads[t.index()].join(lc);
+        }
+    }
+
+    /// Lock release: the lock clock becomes the releaser's clock, and
+    /// the releaser starts a new epoch.
+    pub fn release(&mut self, t: ThreadId, lock: LockId) {
+        let tc = &mut self.threads[t.index()];
+        self.locks.insert(lock, tc.clone());
+        tc.tick(t);
+    }
+
+    /// Thread creation edge: the child starts knowing everything the
+    /// parent knew at the fork; the parent begins a new epoch.
+    pub fn fork(&mut self, parent: ThreadId, child: ThreadId) {
+        let pc = self.threads[parent.index()].clone();
+        self.threads[child.index()].join(&pc);
+        self.threads[parent.index()].tick(parent);
+    }
+
+    /// Thread completion edge: the parent learns everything the child
+    /// did before finishing.
+    pub fn join_thread(&mut self, parent: ThreadId, child: ThreadId) {
+        let cc = self.threads[child.index()].clone();
+        self.threads[parent.index()].join(&cc);
+    }
+
+    /// Barrier completion: all threads join the common supremum and
+    /// start new epochs. Everything before the barrier happens before
+    /// everything after it.
+    pub fn barrier_all(&mut self) {
+        let mut sup = VectorClock::new(self.num_threads);
+        for c in &self.threads {
+            sup.join(c);
+        }
+        for (i, c) in self.threads.iter_mut().enumerate() {
+            *c = sup.clone();
+            c.tick(ThreadId(i as u32));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const L: LockId = LockId(0x40);
+
+    #[test]
+    fn initial_epochs_are_concurrent() {
+        let s = SyncClocks::new(2);
+        assert_eq!(s.num_threads(), 2);
+        assert_eq!(s.thread(T0).partial_cmp_clock(s.thread(T1)), None);
+    }
+
+    #[test]
+    fn release_acquire_creates_edge() {
+        let mut s = SyncClocks::new(2);
+        let before_release = s.thread(T0).clone();
+        s.release(T0, L);
+        s.acquire(T1, L);
+        assert!(
+            before_release.happens_before(s.thread(T1)),
+            "t0's pre-release knowledge flows to t1"
+        );
+    }
+
+    #[test]
+    fn acquire_of_untouched_lock_is_noop() {
+        let mut s = SyncClocks::new(2);
+        let before = s.thread(T1).clone();
+        s.acquire(T1, L);
+        assert_eq!(s.thread(T1), &before);
+    }
+
+    #[test]
+    fn release_starts_new_epoch() {
+        let mut s = SyncClocks::new(2);
+        let e0 = s.thread(T0).get(T0);
+        s.release(T0, L);
+        assert_eq!(s.thread(T0).get(T0), e0 + 1);
+    }
+
+    #[test]
+    fn same_lock_does_not_order_unrelated_past() {
+        // t1 acquires before t0 ever releases: no edge.
+        let mut s = SyncClocks::new(2);
+        s.acquire(T1, L);
+        s.release(T1, L);
+        assert_eq!(s.thread(T1).get(T0), 0, "t1 learned nothing about t0");
+    }
+
+    #[test]
+    fn barrier_orders_everything() {
+        let mut s = SyncClocks::new(3);
+        let snapshots: Vec<VectorClock> =
+            (0..3).map(|t| s.thread(ThreadId(t)).clone()).collect();
+        s.barrier_all();
+        for snap in &snapshots {
+            for t in 0..3 {
+                assert!(snap.happens_before(s.thread(ThreadId(t))));
+            }
+        }
+        // Post-barrier epochs are concurrent again.
+        assert_eq!(s.thread(T0).partial_cmp_clock(s.thread(T1)), None);
+    }
+}

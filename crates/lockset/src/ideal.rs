@@ -1,0 +1,347 @@
+//! The ideal lockset implementation (paper §4).
+//!
+//! "We maintain the candidate set at variable granularity for all
+//! variables using complete set representation, as in software
+//! implementations of the lockset algorithm." — i.e. exact sets,
+//! configurable (default 4-byte) granularity, and an unbounded metadata
+//! store (the infinite-L2 idealization).
+
+use crate::meta::{dummy_lock, fork_transfer, lockset_access, GranuleMeta};
+use hard_bloom::ExactSet;
+use hard_trace::{Detector, Op, RaceReport, TraceEvent};
+use hard_types::{AccessKind, Addr, Granularity, SiteId, ThreadId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the ideal lockset detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdealLocksetConfig {
+    /// Monitoring granularity; the paper's ideal uses 4 bytes
+    /// ("variable granularity").
+    pub granularity: Granularity,
+    /// Apply HARD's barrier pruning (§3.5). The paper's ideal lockset
+    /// numbers include it (barrier-heavy apps like ocean show almost no
+    /// ideal false alarms); disable for the ablation.
+    pub barrier_pruning: bool,
+}
+
+impl Default for IdealLocksetConfig {
+    fn default() -> Self {
+        IdealLocksetConfig {
+            granularity: Granularity::new(4),
+            barrier_pruning: true,
+        }
+    }
+}
+
+/// The ideal lockset detector. See the [module docs](self).
+#[derive(Debug)]
+pub struct IdealLockset {
+    cfg: IdealLocksetConfig,
+    granules: BTreeMap<Addr, GranuleMeta<ExactSet>>,
+    held: Vec<ExactSet>,
+    reports: Vec<RaceReport>,
+    reported: BTreeSet<(Addr, SiteId)>,
+}
+
+impl IdealLockset {
+    /// A fresh detector.
+    #[must_use]
+    pub fn new(cfg: IdealLocksetConfig) -> IdealLockset {
+        IdealLockset {
+            cfg,
+            granules: BTreeMap::new(),
+            held: Vec::new(),
+            reports: Vec::new(),
+            reported: BTreeSet::new(),
+        }
+    }
+
+    /// The detector's configuration.
+    #[must_use]
+    pub fn config(&self) -> IdealLocksetConfig {
+        self.cfg
+    }
+
+    /// Number of granules with live metadata (unbounded store).
+    #[must_use]
+    pub fn tracked_granules(&self) -> usize {
+        self.granules.len()
+    }
+
+    /// The current metadata of the granule containing `addr`, if any.
+    #[must_use]
+    pub fn granule_meta(&self, addr: Addr) -> Option<&GranuleMeta<ExactSet>> {
+        self.granules.get(&self.cfg.granularity.granule_of(addr))
+    }
+
+    fn held_mut(&mut self, t: ThreadId) -> &mut ExactSet {
+        if self.held.len() <= t.index() {
+            self.held.resize(t.index() + 1, ExactSet::empty());
+        }
+        &mut self.held[t.index()]
+    }
+
+    fn on_access(
+        &mut self,
+        index: usize,
+        thread: ThreadId,
+        addr: Addr,
+        size: u8,
+        kind: AccessKind,
+        site: SiteId,
+    ) {
+        if self.held.len() <= thread.index() {
+            self.held.resize(thread.index() + 1, ExactSet::empty());
+        }
+        let gran = self.cfg.granularity;
+        for g in gran.granules_in(addr, u64::from(size)) {
+            let meta = self
+                .granules
+                .entry(g)
+                .or_insert_with(|| GranuleMeta::virgin(()));
+            let outcome = lockset_access(meta, thread, kind, &self.held[thread.index()]);
+            if outcome.race && self.reported.insert((g, site)) {
+                self.reports.push(RaceReport {
+                    addr,
+                    size,
+                    site,
+                    thread,
+                    kind,
+                    event_index: index,
+                });
+            }
+        }
+    }
+}
+
+impl Detector for IdealLockset {
+    fn name(&self) -> &str {
+        "lockset-ideal"
+    }
+
+    fn on_event(&mut self, index: usize, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Op { thread, op } => match op {
+                Op::Read { addr, size, site } => {
+                    self.on_access(index, thread, addr, size, AccessKind::Read, site);
+                }
+                Op::Write { addr, size, site } => {
+                    self.on_access(index, thread, addr, size, AccessKind::Write, site);
+                }
+                Op::Lock { lock, .. } => {
+                    self.held_mut(thread).insert(lock);
+                }
+                Op::Unlock { lock, .. } => {
+                    let held = self.held_mut(thread);
+                    if held.contains(lock) {
+                        held.remove(lock);
+                    }
+                }
+                Op::Fork { child, .. } => {
+                    // Ownership model: the parent's exclusive data is
+                    // up for adoption by the next toucher.
+                    for meta in self.granules.values_mut() {
+                        fork_transfer(meta, thread);
+                    }
+                    // The child implicitly holds its dummy lock.
+                    self.held_mut(child).insert(dummy_lock(child));
+                }
+                Op::Join { child, .. } => {
+                    // The parent holds the finished child's dummy lock
+                    // from here on: post-join accesses share it.
+                    self.held_mut(thread).insert(dummy_lock(child));
+                }
+                Op::Barrier { .. } | Op::Compute { .. } => {}
+            },
+            TraceEvent::BarrierComplete { .. } => {
+                if self.cfg.barrier_pruning {
+                    for meta in self.granules.values_mut() {
+                        meta.barrier_reset(());
+                    }
+                }
+            }
+        }
+    }
+
+    fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler, Trace};
+    use hard_types::{BarrierId, LockId};
+
+    fn run(p: &hard_trace::Program, seed: u64) -> Trace {
+        Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(p)
+    }
+
+    fn detect(trace: &Trace, cfg: IdealLocksetConfig) -> Vec<RaceReport> {
+        let mut d = IdealLockset::new(cfg);
+        run_detector(&mut d, trace)
+    }
+
+    #[test]
+    fn figure1_race_detected_in_any_interleaving() {
+        // Figure 1: both threads access x (0x2000) without locks, but
+        // their lock operations on the lock protecting y order the
+        // accesses. Lockset must flag x under EVERY interleaving.
+        let lock = LockId(0x40);
+        let x = Addr(0x2000);
+        let y = Addr(0x3000);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0)
+            .write(x, 4, SiteId(1))
+            .lock(lock, SiteId(2))
+            .write(y, 4, SiteId(3))
+            .unlock(lock, SiteId(4));
+        b.thread(1)
+            .lock(lock, SiteId(5))
+            .write(y, 4, SiteId(6))
+            .unlock(lock, SiteId(7))
+            .write(x, 4, SiteId(8));
+        let p = b.build();
+        for seed in 0..16 {
+            let trace = run(&p, seed);
+            let reports = detect(&trace, IdealLocksetConfig::default());
+            assert!(
+                reports.iter().any(|r| r.overlaps(x, Addr(x.0 + 4))),
+                "seed {seed}: race on x must be flagged"
+            );
+            assert!(
+                !reports.iter().any(|r| r.overlaps(y, Addr(y.0 + 4))),
+                "seed {seed}: y is properly locked"
+            );
+        }
+    }
+
+    #[test]
+    fn properly_locked_program_is_clean() {
+        let lock = LockId(0x40);
+        let mut b = ProgramBuilder::new(4);
+        for t in 0..4u32 {
+            let tp = b.thread(t);
+            for i in 0..10u32 {
+                tp.lock(lock, SiteId(t * 100 + i))
+                    .write(Addr(0x1000), 4, SiteId(t * 100 + 50 + i))
+                    .unlock(lock, SiteId(t * 100 + 80 + i));
+            }
+        }
+        let trace = run(&b.build(), 3);
+        assert!(detect(&trace, IdealLocksetConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn initialization_then_read_only_is_clean() {
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0)
+            .write(Addr(0x100), 4, SiteId(0)) // unlocked init
+            .barrier(BarrierId(0), SiteId(1))
+            .read(Addr(0x100), 4, SiteId(2));
+        b.thread(1)
+            .barrier(BarrierId(0), SiteId(3))
+            .read(Addr(0x100), 4, SiteId(4));
+        let trace = run(&b.build(), 1);
+        assert!(detect(&trace, IdealLocksetConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn barrier_pruning_suppresses_figure7_false_positive() {
+        // Figure 7: t0 writes A before the barrier, t1 writes A after.
+        // Without pruning lockset reports a false race; with pruning it
+        // stays silent.
+        let a = Addr(0x500);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0)
+            .write(a, 4, SiteId(1))
+            .barrier(BarrierId(0), SiteId(2));
+        b.thread(1)
+            .barrier(BarrierId(0), SiteId(3))
+            .read(a, 4, SiteId(4))
+            .write(a, 4, SiteId(5));
+        let p = b.build();
+        let trace = run(&p, 2);
+
+        let with = detect(&trace, IdealLocksetConfig::default());
+        assert!(with.is_empty(), "barrier pruning must suppress the alarm");
+
+        let without = detect(
+            &trace,
+            IdealLocksetConfig {
+                barrier_pruning: false,
+                ..IdealLocksetConfig::default()
+            },
+        );
+        assert!(
+            !without.is_empty(),
+            "without pruning the barrier pattern is (falsely) reported"
+        );
+    }
+
+    #[test]
+    fn wider_granularity_creates_false_sharing_alarms() {
+        // Two variables in the same 32-byte line, each protected by its
+        // own lock: clean at 4 B, falsely flagged at 32 B.
+        let v1 = Addr(0x1000);
+        let v2 = Addr(0x1010);
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            let tp = b.thread(t);
+            for i in 0..4u32 {
+                tp.lock(LockId(0x40), SiteId(1000 + t * 10 + i))
+                    .write(v1, 4, SiteId(1))
+                    .unlock(LockId(0x40), SiteId(2000 + t * 10 + i))
+                    .lock(LockId(0x80), SiteId(3000 + t * 10 + i))
+                    .write(v2, 4, SiteId(2))
+                    .unlock(LockId(0x80), SiteId(4000 + t * 10 + i));
+            }
+        }
+        let p = b.build();
+        let trace = run(&p, 5);
+        let fine = detect(&trace, IdealLocksetConfig::default());
+        assert!(fine.is_empty(), "4B granularity separates the variables");
+        let coarse = detect(
+            &trace,
+            IdealLocksetConfig {
+                granularity: Granularity::new(32),
+                ..IdealLocksetConfig::default()
+            },
+        );
+        assert!(!coarse.is_empty(), "32B granularity merges the candidate sets");
+    }
+
+    #[test]
+    fn reports_dedupe_by_granule_and_site() {
+        let x = Addr(0x100);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).write(x, 4, SiteId(1));
+        let tp = b.thread(1);
+        for _ in 0..10 {
+            tp.write(x, 4, SiteId(2)); // same static site, many instances
+        }
+        let trace = run(&b.build(), 0);
+        let reports = detect(&trace, IdealLocksetConfig::default());
+        let at_site2 = reports.iter().filter(|r| r.site == SiteId(2)).count();
+        assert_eq!(
+            at_site2, 1,
+            "ten dynamic instances at site 2 collapse to one alarm"
+        );
+        assert!(reports.len() <= 2, "at most one alarm per involved site");
+    }
+
+    #[test]
+    fn tracked_granules_grow_with_footprint() {
+        let mut b = ProgramBuilder::new(1);
+        for i in 0..8u64 {
+            b.thread(0).write(Addr(i * 4), 4, SiteId(i as u32));
+        }
+        let trace = run(&b.build(), 0);
+        let mut d = IdealLockset::new(IdealLocksetConfig::default());
+        run_detector(&mut d, &trace);
+        assert_eq!(d.tracked_granules(), 8);
+        assert!(d.granule_meta(Addr(0)).is_some());
+        assert!(d.granule_meta(Addr(0x1000)).is_none());
+    }
+}

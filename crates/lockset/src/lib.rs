@@ -1,0 +1,52 @@
+//! The lockset race-detection algorithm (paper §2), independent of any
+//! cache hardware.
+//!
+//! This crate implements the algorithm that HARD accelerates:
+//!
+//! * [`state::LState`] — the Eraser/HARD variable-state machine
+//!   (Figure 2) that prunes initialization and read-shared false
+//!   positives;
+//! * [`setrepr::SetRepr`] — the seam between *exact* candidate sets
+//!   (ideal implementation) and *bloom-filter* candidate sets (HARD's
+//!   hardware approximation);
+//! * [`meta::GranuleMeta`] + [`meta::lockset_access`] — the per-granule
+//!   metadata and the single transition function shared by the ideal
+//!   detector and the HARD cache policy;
+//! * [`ideal::IdealLockset`] — the paper's "ideal" configuration:
+//!   variable (4-byte) granularity, complete set representation,
+//!   unbounded metadata storage;
+//! * [`bloom_table::BloomLockset`] — an ablation detector with bloom
+//!   sets but unbounded storage, isolating the bloom approximation from
+//!   the cache-displacement approximation.
+//!
+//! # Examples
+//!
+//! A missing lock on a shared counter is caught regardless of the
+//! observed interleaving:
+//!
+//! ```
+//! use hard_lockset::ideal::{IdealLockset, IdealLocksetConfig};
+//! use hard_trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler};
+//! use hard_types::{Addr, LockId, SiteId};
+//!
+//! let mut b = ProgramBuilder::new(2);
+//! b.thread(0).write(Addr(0x1000), 4, SiteId(1)); // forgot the lock
+//! b.thread(1).write(Addr(0x1000), 4, SiteId(3)); // forgot the lock
+//! let _ = LockId(0x40); // locks would normally protect the store
+//! let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+//!
+//! let mut det = IdealLockset::new(IdealLocksetConfig::default());
+//! let reports = run_detector(&mut det, &trace);
+//! assert!(!reports.is_empty());
+//! ```
+
+pub mod bloom_table;
+pub mod ideal;
+pub mod meta;
+pub mod setrepr;
+pub mod state;
+
+pub use ideal::{IdealLockset, IdealLocksetConfig};
+pub use meta::{dummy_lock, fork_transfer, lockset_access, AccessOutcome, GranuleMeta};
+pub use setrepr::SetRepr;
+pub use state::LState;

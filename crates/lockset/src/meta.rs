@@ -1,0 +1,272 @@
+//! Per-granule metadata and the core access transition.
+//!
+//! [`lockset_access`] is the single function both the ideal detector
+//! and the HARD cache policy call on every monitored access: it applies
+//! the Figure 2 state transition, intersects the candidate set with the
+//! thread's lock set when required, and says whether a race must be
+//! reported.
+
+use crate::setrepr::SetRepr;
+use crate::state::{transition, LState};
+use hard_types::{AccessKind, ThreadId};
+
+/// Metadata attached to one monitored granule (one cache line in the
+/// hardware, one variable in the ideal implementation).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GranuleMeta<S> {
+    /// The pruning state (2 bits in hardware).
+    pub state: LState,
+    /// Owning thread while [`LState::Exclusive`]. In hardware this is
+    /// implicit (the line lives in the owner's L1); the simulator keeps
+    /// it explicit.
+    pub owner: Option<ThreadId>,
+    /// The candidate set `C(v)`.
+    pub candidate: S,
+}
+
+impl<S: SetRepr> GranuleMeta<S> {
+    /// Fresh metadata as the *ideal* algorithm creates it: Virgin state
+    /// and a full candidate set.
+    #[must_use]
+    pub fn virgin(ctx: S::Ctx) -> GranuleMeta<S> {
+        GranuleMeta {
+            state: LState::Virgin,
+            owner: None,
+            candidate: S::full(ctx),
+        }
+    }
+
+    /// Fresh metadata as the *hardware* creates it on a fetch from
+    /// memory: Exclusive state owned by the fetching thread, full
+    /// candidate set (paper §3.1).
+    #[must_use]
+    pub fn fetched(ctx: S::Ctx, owner: ThreadId) -> GranuleMeta<S> {
+        GranuleMeta {
+            state: LState::Exclusive,
+            owner: Some(owner),
+            candidate: S::full(ctx),
+        }
+    }
+
+    /// Barrier pruning (§3.5): discard all pre-barrier access evidence.
+    ///
+    /// The candidate set returns to "all possible locks" and the
+    /// sharing state returns to Virgin, so the next accessor starts a
+    /// fresh Exclusive epoch. Resetting only the vector would not
+    /// suppress the paper's own Figure 7 example (the post-barrier
+    /// thread holds no locks, so its first update would empty the set
+    /// regardless); discarding the sharing history implements the
+    /// stated intent that pre- and post-barrier accesses are ordered by
+    /// happens-before and must not be compared.
+    pub fn barrier_reset(&mut self, ctx: S::Ctx) {
+        self.candidate.reset_full(ctx);
+        self.state = LState::Virgin;
+        self.owner = None;
+    }
+}
+
+/// The synthetic per-thread "dummy lock" used to model join ordering
+/// (paper §3.1, citing Choi et al.): a forked thread implicitly holds
+/// its dummy lock for its entire life, and the joining parent acquires
+/// it at the join, so parent-after-join accesses share a candidate lock
+/// with the child's accesses.
+///
+/// Dummy locks live in a reserved address region no workload allocates
+/// from.
+#[must_use]
+pub fn dummy_lock(t: ThreadId) -> hard_types::LockId {
+    hard_types::LockId(0x7FFF_0000 + u64::from(t.0) * 4)
+}
+
+/// The fork-time ownership transfer (paper §3.1, citing von Praun &
+/// Gross): data the parent initialized is handed to whichever thread
+/// touches it next, instead of looking like cross-thread sharing.
+/// Granules exclusively owned by `parent` return to Virgin with their
+/// candidate set preserved.
+pub fn fork_transfer<S: SetRepr>(meta: &mut GranuleMeta<S>, parent: ThreadId) {
+    if meta.state == LState::Exclusive && meta.owner == Some(parent) {
+        meta.state = LState::Virgin;
+        meta.owner = None;
+    }
+}
+
+/// Result of applying one access to a granule's metadata.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessOutcome {
+    /// The candidate set was intersected with the thread lock set and
+    /// its value changed. (The hardware broadcasts metadata on shared
+    /// lines when this is true.)
+    pub candidate_changed: bool,
+    /// The access must be reported as a potential race.
+    pub race: bool,
+}
+
+/// Applies one access by `thread` of kind `kind` to `meta`, using the
+/// thread's current lock set `held`.
+///
+/// Returns whether the candidate set changed and whether a race is
+/// reported. This is exactly the paper's per-access algorithm: Figure 2
+/// decides if `C(v) ∩= L(t)` runs and if an empty result is reported.
+pub fn lockset_access<S: SetRepr + PartialEq>(
+    meta: &mut GranuleMeta<S>,
+    thread: ThreadId,
+    kind: AccessKind,
+    held: &S,
+) -> AccessOutcome {
+    let t = transition(meta.state, meta.owner, thread, kind);
+    meta.state = t.next;
+    meta.owner = t.next_owner;
+    let mut outcome = AccessOutcome {
+        candidate_changed: false,
+        race: false,
+    };
+    if t.update_candidate {
+        let new = meta.candidate.intersect(held);
+        if new != meta.candidate {
+            meta.candidate = new;
+            outcome.candidate_changed = true;
+        }
+        if t.report_if_empty && meta.candidate.is_empty_set() {
+            outcome.race = true;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_bloom::ExactSet;
+    use hard_types::LockId;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    fn held(locks: &[LockId]) -> ExactSet {
+        ExactSet::from_locks(locks)
+    }
+
+    #[test]
+    fn initialization_without_locks_is_silent() {
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        let none = held(&[]);
+        for _ in 0..3 {
+            let o = lockset_access(&mut m, T0, AccessKind::Write, &none);
+            assert!(!o.race);
+        }
+        assert_eq!(m.state, LState::Exclusive);
+        assert!(m.candidate.is_universe(), "C(v) untouched while Exclusive");
+    }
+
+    #[test]
+    fn consistent_locking_never_reports() {
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        let l = held(&[LockId(0x40)]);
+        lockset_access(&mut m, T0, AccessKind::Write, &l);
+        let o1 = lockset_access(&mut m, T1, AccessKind::Write, &l);
+        assert!(!o1.race);
+        assert_eq!(m.state, LState::SharedModified);
+        let o2 = lockset_access(&mut m, T0, AccessKind::Read, &l);
+        assert!(!o2.race);
+    }
+
+    #[test]
+    fn missing_lock_is_reported() {
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        lockset_access(&mut m, T0, AccessKind::Write, &held(&[LockId(0x40)]));
+        let o = lockset_access(&mut m, T1, AccessKind::Write, &held(&[]));
+        assert!(o.race, "write with empty intersection must report");
+    }
+
+    #[test]
+    fn disjoint_locks_are_reported() {
+        // The first access only establishes Exclusive; the second
+        // (foreign) access seeds C(v) with the *second* thread's locks;
+        // the third access, holding a disjoint lock, empties C(v).
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        lockset_access(&mut m, T0, AccessKind::Write, &held(&[LockId(0x40)]));
+        let o1 = lockset_access(&mut m, T1, AccessKind::Write, &held(&[LockId(0x80)]));
+        assert!(!o1.race, "C(v) = {{L2}} is not yet empty");
+        let o2 = lockset_access(&mut m, T0, AccessKind::Write, &held(&[LockId(0x40)]));
+        assert!(o2.race, "no common lock protects the granule");
+    }
+
+    #[test]
+    fn read_only_sharing_not_reported() {
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        lockset_access(&mut m, T0, AccessKind::Write, &held(&[])); // init
+        let o1 = lockset_access(&mut m, T1, AccessKind::Read, &held(&[]));
+        assert!(!o1.race);
+        assert_eq!(m.state, LState::Shared);
+        let o2 = lockset_access(&mut m, T0, AccessKind::Read, &held(&[]));
+        assert!(!o2.race, "read-only data needs no locks");
+    }
+
+    #[test]
+    fn write_after_read_sharing_is_reported() {
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        lockset_access(&mut m, T0, AccessKind::Write, &held(&[])); // init
+        lockset_access(&mut m, T1, AccessKind::Read, &held(&[])); // Shared, C(v) = {}
+        let o = lockset_access(&mut m, T1, AccessKind::Write, &held(&[]));
+        assert!(o.race);
+        assert_eq!(m.state, LState::SharedModified);
+    }
+
+    #[test]
+    fn candidate_changed_flag_tracks_shrinkage() {
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        let l12 = held(&[LockId(0x40), LockId(0x80)]);
+        let l1 = held(&[LockId(0x40)]);
+        lockset_access(&mut m, T0, AccessKind::Write, &l12); // Exclusive; no update
+        let o1 = lockset_access(&mut m, T1, AccessKind::Write, &l12);
+        assert!(o1.candidate_changed, "universe -> {{L1, L2}}");
+        let o2 = lockset_access(&mut m, T0, AccessKind::Write, &l12);
+        assert!(!o2.candidate_changed, "stable candidate set");
+        let o3 = lockset_access(&mut m, T1, AccessKind::Write, &l1);
+        assert!(o3.candidate_changed, "{{L1, L2}} -> {{L1}}");
+        assert!(!o3.race);
+    }
+
+    #[test]
+    fn barrier_reset_discards_all_evidence() {
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        lockset_access(&mut m, T0, AccessKind::Write, &held(&[]));
+        lockset_access(&mut m, T1, AccessKind::Read, &held(&[LockId(4)]));
+        assert_eq!(m.state, LState::Shared);
+        m.barrier_reset(());
+        assert!(m.candidate.is_universe());
+        assert_eq!(m.state, LState::Virgin, "sharing history is discarded");
+        assert_eq!(m.owner, None);
+    }
+
+    #[test]
+    fn figure7_pattern_is_silent_after_barrier_reset() {
+        // t0 owns the granule before the barrier; after the reset t1's
+        // unlocked accesses are a fresh Exclusive epoch: no report.
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        lockset_access(&mut m, T0, AccessKind::Write, &held(&[]));
+        m.barrier_reset(());
+        let o1 = lockset_access(&mut m, T1, AccessKind::Read, &held(&[]));
+        let o2 = lockset_access(&mut m, T1, AccessKind::Write, &held(&[]));
+        assert!(!o1.race && !o2.race);
+        assert_eq!(m.state, LState::Exclusive);
+        assert_eq!(m.owner, Some(T1));
+    }
+
+    #[test]
+    fn fetched_meta_matches_hardware_init() {
+        let m = GranuleMeta::<ExactSet>::fetched((), T1);
+        assert_eq!(m.state, LState::Exclusive);
+        assert_eq!(m.owner, Some(T1));
+        assert!(m.candidate.is_universe());
+    }
+
+    #[test]
+    fn repeated_race_reports_on_every_violating_access() {
+        let mut m = GranuleMeta::<ExactSet>::virgin(());
+        lockset_access(&mut m, T0, AccessKind::Write, &held(&[LockId(4)]));
+        lockset_access(&mut m, T1, AccessKind::Write, &held(&[]));
+        let o = lockset_access(&mut m, T0, AccessKind::Read, &held(&[]));
+        assert!(o.race, "Shared-Modified with empty C(v) keeps reporting");
+    }
+}

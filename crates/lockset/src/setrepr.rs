@@ -1,0 +1,100 @@
+//! The candidate-set representation seam.
+//!
+//! The lockset algorithm is agnostic to how sets of locks are stored;
+//! HARD's contribution is precisely a cheaper representation. This
+//! trait lets the same transition logic ([`crate::meta`]) run over the
+//! exact sets of the ideal implementation and over HARD's bloom-filter
+//! vectors.
+
+use hard_bloom::{BloomShape, BloomVector, ExactSet};
+
+/// A lock-set representation usable as a candidate set.
+///
+/// `Ctx` carries representation parameters (the bloom shape); exact
+/// sets need none.
+pub trait SetRepr: Clone {
+    /// Representation parameters needed to construct values.
+    type Ctx: Copy;
+
+    /// The "all possible locks" value a candidate set starts as.
+    fn full(ctx: Self::Ctx) -> Self;
+
+    /// Set intersection (the per-access update `C(v) ∩= L(t)`).
+    #[must_use]
+    fn intersect(&self, other: &Self) -> Self;
+
+    /// Emptiness test; an empty candidate set indicates a potential
+    /// race. Bloom vectors may answer "non-empty" for a truly empty
+    /// set (hash collision), never the reverse.
+    fn is_empty_set(&self) -> bool;
+
+    /// Resets to the full value (barrier pruning, §3.5).
+    fn reset_full(&mut self, ctx: Self::Ctx);
+}
+
+impl SetRepr for ExactSet {
+    type Ctx = ();
+
+    fn full(_: ()) -> Self {
+        ExactSet::full()
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        ExactSet::intersect(self, other)
+    }
+
+    fn is_empty_set(&self) -> bool {
+        ExactSet::is_empty_set(self)
+    }
+
+    fn reset_full(&mut self, _: ()) {
+        *self = ExactSet::full();
+    }
+}
+
+impl SetRepr for BloomVector {
+    type Ctx = BloomShape;
+
+    fn full(shape: BloomShape) -> Self {
+        BloomVector::full(shape)
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        BloomVector::intersect(*self, other)
+    }
+
+    fn is_empty_set(&self) -> bool {
+        BloomVector::is_empty_set(*self)
+    }
+
+    fn reset_full(&mut self, _: BloomShape) {
+        BloomVector::reset_full(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_types::LockId;
+
+    fn check_laws<S: SetRepr + PartialEq + std::fmt::Debug>(ctx: S::Ctx, some: S) {
+        let full = S::full(ctx);
+        assert!(!full.is_empty_set());
+        assert_eq!(some.intersect(&full), some, "full is the identity");
+        let mut reset = some;
+        reset.reset_full(ctx);
+        assert_eq!(reset, full);
+    }
+
+    #[test]
+    fn exact_obeys_laws() {
+        check_laws((), ExactSet::from_locks(&[LockId(4), LockId(8)]));
+    }
+
+    #[test]
+    fn bloom_obeys_laws() {
+        for shape in [BloomShape::B16, BloomShape::B32] {
+            check_laws(shape, BloomVector::from_locks(shape, &[LockId(4), LockId(8)]));
+        }
+    }
+}

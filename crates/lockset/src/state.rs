@@ -1,0 +1,252 @@
+//! The variable state machine for false-positive pruning (Figure 2).
+//!
+//! Each monitored granule carries a 2-bit state. The state decides
+//! whether the candidate set is updated and whether an empty candidate
+//! set is reported as a race:
+//!
+//! * **Virgin** — allocated, never accessed. (The hardware never stores
+//!   this state: fetching a line initializes it straight to Exclusive;
+//!   the ideal detector starts variables here.)
+//! * **Exclusive** — touched by exactly one thread so far. Candidate
+//!   set is *not* updated, nothing is reported: single-thread
+//!   initialization without locks stays silent.
+//! * **Shared** — read by multiple threads, never written by a second
+//!   thread. Candidate set *is* updated, but empty sets are not
+//!   reported (read-only data needs no locks).
+//! * **Shared-Modified** — read and written by multiple threads.
+//!   Candidate set updated and races reported.
+
+use hard_types::{AccessKind, ThreadId};
+use std::fmt;
+
+/// The per-granule lockset state (2 bits in hardware).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LState {
+    /// Never accessed (ideal detector only; hardware initializes to
+    /// [`LState::Exclusive`] on fetch).
+    #[default]
+    Virgin,
+    /// Accessed by one thread only.
+    Exclusive,
+    /// Read by several threads; written by at most the first.
+    Shared,
+    /// Read and written by several threads.
+    SharedModified,
+}
+
+impl LState {
+    /// Hardware encoding of the state (the 2 `LState` bits).
+    #[must_use]
+    pub fn encode(self) -> u8 {
+        match self {
+            LState::Virgin => 0,
+            LState::Exclusive => 1,
+            LState::Shared => 2,
+            LState::SharedModified => 3,
+        }
+    }
+
+    /// Decodes the 2-bit hardware encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3` (not a 2-bit value).
+    #[must_use]
+    pub fn decode(bits: u8) -> LState {
+        match bits {
+            0 => LState::Virgin,
+            1 => LState::Exclusive,
+            2 => LState::Shared,
+            3 => LState::SharedModified,
+            _ => panic!("LState encoding must be 2 bits, got {bits}"),
+        }
+    }
+}
+
+impl fmt::Display for LState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LState::Virgin => "Virgin",
+            LState::Exclusive => "Exclusive",
+            LState::Shared => "Shared",
+            LState::SharedModified => "Shared-Modified",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What an access implies for the candidate set, per Figure 2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// The state after the access.
+    pub next: LState,
+    /// The owning thread after the access (meaningful in
+    /// [`LState::Exclusive`]).
+    pub next_owner: Option<ThreadId>,
+    /// Whether the candidate set must be intersected with the thread's
+    /// lock set.
+    pub update_candidate: bool,
+    /// Whether an empty candidate set after the update must be reported
+    /// as a potential race.
+    pub report_if_empty: bool,
+}
+
+/// Computes the Figure 2 transition for an access by `thread` of kind
+/// `kind` on a granule in state `state` owned by `owner`.
+#[must_use]
+pub fn transition(
+    state: LState,
+    owner: Option<ThreadId>,
+    thread: ThreadId,
+    kind: AccessKind,
+) -> Transition {
+    match state {
+        LState::Virgin => Transition {
+            next: LState::Exclusive,
+            next_owner: Some(thread),
+            update_candidate: false,
+            report_if_empty: false,
+        },
+        LState::Exclusive => {
+            if owner == Some(thread) {
+                Transition {
+                    next: LState::Exclusive,
+                    next_owner: owner,
+                    update_candidate: false,
+                    report_if_empty: false,
+                }
+            } else if kind.is_write() {
+                Transition {
+                    next: LState::SharedModified,
+                    next_owner: None,
+                    update_candidate: true,
+                    report_if_empty: true,
+                }
+            } else {
+                Transition {
+                    next: LState::Shared,
+                    next_owner: None,
+                    update_candidate: true,
+                    report_if_empty: false,
+                }
+            }
+        }
+        LState::Shared => {
+            if kind.is_write() {
+                Transition {
+                    next: LState::SharedModified,
+                    next_owner: None,
+                    update_candidate: true,
+                    report_if_empty: true,
+                }
+            } else {
+                Transition {
+                    next: LState::Shared,
+                    next_owner: None,
+                    update_candidate: true,
+                    report_if_empty: false,
+                }
+            }
+        }
+        LState::SharedModified => Transition {
+            next: LState::SharedModified,
+            next_owner: None,
+            update_candidate: true,
+            report_if_empty: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    #[test]
+    fn virgin_first_access_goes_exclusive() {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let t = transition(LState::Virgin, None, T0, kind);
+            assert_eq!(t.next, LState::Exclusive);
+            assert_eq!(t.next_owner, Some(T0));
+            assert!(!t.update_candidate);
+            assert!(!t.report_if_empty);
+        }
+    }
+
+    #[test]
+    fn exclusive_same_thread_stays_silent() {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let t = transition(LState::Exclusive, Some(T0), T0, kind);
+            assert_eq!(t.next, LState::Exclusive);
+            assert_eq!(t.next_owner, Some(T0));
+            assert!(!t.update_candidate, "no C(v) update during initialization");
+        }
+    }
+
+    #[test]
+    fn exclusive_foreign_read_goes_shared() {
+        let t = transition(LState::Exclusive, Some(T0), T1, AccessKind::Read);
+        assert_eq!(t.next, LState::Shared);
+        assert!(t.update_candidate);
+        assert!(!t.report_if_empty, "read-only sharing is not reported");
+    }
+
+    #[test]
+    fn exclusive_foreign_write_goes_shared_modified() {
+        let t = transition(LState::Exclusive, Some(T0), T1, AccessKind::Write);
+        assert_eq!(t.next, LState::SharedModified);
+        assert!(t.update_candidate);
+        assert!(t.report_if_empty);
+    }
+
+    #[test]
+    fn shared_read_stays_shared() {
+        let t = transition(LState::Shared, None, T1, AccessKind::Read);
+        assert_eq!(t.next, LState::Shared);
+        assert!(t.update_candidate);
+        assert!(!t.report_if_empty);
+    }
+
+    #[test]
+    fn shared_write_escalates() {
+        let t = transition(LState::Shared, None, T0, AccessKind::Write);
+        assert_eq!(t.next, LState::SharedModified);
+        assert!(t.report_if_empty);
+    }
+
+    #[test]
+    fn shared_modified_is_absorbing() {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let t = transition(LState::SharedModified, None, T1, kind);
+            assert_eq!(t.next, LState::SharedModified);
+            assert!(t.update_candidate);
+            assert!(t.report_if_empty);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in [
+            LState::Virgin,
+            LState::Exclusive,
+            LState::Shared,
+            LState::SharedModified,
+        ] {
+            assert_eq!(LState::decode(s.encode()), s);
+            assert!(s.encode() <= 3, "must fit 2 hardware bits");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 bits")]
+    fn decode_rejects_wide_values() {
+        let _ = LState::decode(4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", LState::SharedModified), "Shared-Modified");
+    }
+}

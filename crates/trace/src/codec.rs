@@ -1,0 +1,329 @@
+//! Binary (de)serialization for traces.
+//!
+//! The format is a small, versioned, little-endian codec: recorded
+//! traces can be replayed through detectors without regenerating the
+//! workload (useful for debugging a single campaign run). We own the
+//! codec instead of pulling in a serialization framework: the format is
+//! seven record shapes and must stay stable for recorded experiments.
+
+use crate::event::{Trace, TraceEvent};
+use crate::op::Op;
+use hard_types::{Addr, BarrierId, LockId, SiteId, ThreadId};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every trace stream.
+pub const MAGIC: &[u8; 8] = b"HARDTRC1";
+
+/// Errors produced while decoding a trace.
+#[derive(Debug)]
+pub enum DecodeTraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic([u8; 8]),
+    /// An unknown event tag was encountered.
+    BadTag(u8),
+}
+
+impl fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            DecodeTraceError::BadMagic(m) => write!(f, "bad trace magic {m:?}"),
+            DecodeTraceError::BadTag(t) => write!(f, "unknown trace event tag {t}"),
+        }
+    }
+}
+
+impl Error for DecodeTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecodeTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeTraceError {
+    fn from(e: io::Error) -> Self {
+        DecodeTraceError::Io(e)
+    }
+}
+
+const TAG_READ: u8 = 0;
+const TAG_WRITE: u8 = 1;
+const TAG_LOCK: u8 = 2;
+const TAG_UNLOCK: u8 = 3;
+const TAG_BARRIER: u8 = 4;
+const TAG_COMPUTE: u8 = 5;
+const TAG_BARRIER_COMPLETE: u8 = 6;
+const TAG_FORK: u8 = 7;
+const TAG_JOIN: u8 = 8;
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serializes `trace` to `w`. Note that a `&mut W` also satisfies the
+/// `W: Write` bound, so callers can keep ownership of their writer.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn encode<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    put_u32(&mut w, trace.num_threads as u32)?;
+    put_u64(&mut w, trace.events.len() as u64)?;
+    for e in &trace.events {
+        match *e {
+            TraceEvent::Op { thread, op } => {
+                match op {
+                    Op::Read { addr, size, site } => {
+                        w.write_all(&[TAG_READ, size])?;
+                        put_u32(&mut w, thread.0)?;
+                        put_u64(&mut w, addr.0)?;
+                        put_u32(&mut w, site.0)?;
+                    }
+                    Op::Write { addr, size, site } => {
+                        w.write_all(&[TAG_WRITE, size])?;
+                        put_u32(&mut w, thread.0)?;
+                        put_u64(&mut w, addr.0)?;
+                        put_u32(&mut w, site.0)?;
+                    }
+                    Op::Lock { lock, site } => {
+                        w.write_all(&[TAG_LOCK])?;
+                        put_u32(&mut w, thread.0)?;
+                        put_u64(&mut w, lock.0)?;
+                        put_u32(&mut w, site.0)?;
+                    }
+                    Op::Unlock { lock, site } => {
+                        w.write_all(&[TAG_UNLOCK])?;
+                        put_u32(&mut w, thread.0)?;
+                        put_u64(&mut w, lock.0)?;
+                        put_u32(&mut w, site.0)?;
+                    }
+                    Op::Barrier { barrier, site } => {
+                        w.write_all(&[TAG_BARRIER])?;
+                        put_u32(&mut w, thread.0)?;
+                        put_u32(&mut w, barrier.0)?;
+                        put_u32(&mut w, site.0)?;
+                    }
+                    Op::Compute { cycles } => {
+                        w.write_all(&[TAG_COMPUTE])?;
+                        put_u32(&mut w, thread.0)?;
+                        put_u32(&mut w, cycles)?;
+                    }
+                    Op::Fork { child, site } => {
+                        w.write_all(&[TAG_FORK])?;
+                        put_u32(&mut w, thread.0)?;
+                        put_u32(&mut w, child.0)?;
+                        put_u32(&mut w, site.0)?;
+                    }
+                    Op::Join { child, site } => {
+                        w.write_all(&[TAG_JOIN])?;
+                        put_u32(&mut w, thread.0)?;
+                        put_u32(&mut w, child.0)?;
+                        put_u32(&mut w, site.0)?;
+                    }
+                }
+            }
+            TraceEvent::BarrierComplete { barrier } => {
+                w.write_all(&[TAG_BARRIER_COMPLETE])?;
+                put_u32(&mut w, barrier.0)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a trace from `r`. A `&mut R` also satisfies `R: Read`.
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] on I/O failure, bad magic, or an
+/// unknown event tag.
+pub fn decode<R: Read>(mut r: R) -> Result<Trace, DecodeTraceError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(DecodeTraceError::BadMagic(magic));
+    }
+    let num_threads = get_u32(&mut r)? as usize;
+    let n = get_u64(&mut r)? as usize;
+    let mut events = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        let tag = get_u8(&mut r)?;
+        let e = match tag {
+            TAG_READ | TAG_WRITE => {
+                let size = get_u8(&mut r)?;
+                let thread = ThreadId(get_u32(&mut r)?);
+                let addr = Addr(get_u64(&mut r)?);
+                let site = SiteId(get_u32(&mut r)?);
+                let op = if tag == TAG_READ {
+                    Op::Read { addr, size, site }
+                } else {
+                    Op::Write { addr, size, site }
+                };
+                TraceEvent::Op { thread, op }
+            }
+            TAG_LOCK | TAG_UNLOCK => {
+                let thread = ThreadId(get_u32(&mut r)?);
+                let lock = LockId(get_u64(&mut r)?);
+                let site = SiteId(get_u32(&mut r)?);
+                let op = if tag == TAG_LOCK {
+                    Op::Lock { lock, site }
+                } else {
+                    Op::Unlock { lock, site }
+                };
+                TraceEvent::Op { thread, op }
+            }
+            TAG_BARRIER => {
+                let thread = ThreadId(get_u32(&mut r)?);
+                let barrier = BarrierId(get_u32(&mut r)?);
+                let site = SiteId(get_u32(&mut r)?);
+                TraceEvent::Op {
+                    thread,
+                    op: Op::Barrier { barrier, site },
+                }
+            }
+            TAG_COMPUTE => {
+                let thread = ThreadId(get_u32(&mut r)?);
+                let cycles = get_u32(&mut r)?;
+                TraceEvent::Op {
+                    thread,
+                    op: Op::Compute { cycles },
+                }
+            }
+            TAG_FORK | TAG_JOIN => {
+                let thread = ThreadId(get_u32(&mut r)?);
+                let child = ThreadId(get_u32(&mut r)?);
+                let site = SiteId(get_u32(&mut r)?);
+                let op = if tag == TAG_FORK {
+                    Op::Fork { child, site }
+                } else {
+                    Op::Join { child, site }
+                };
+                TraceEvent::Op { thread, op }
+            }
+            TAG_BARRIER_COMPLETE => TraceEvent::BarrierComplete {
+                barrier: BarrierId(get_u32(&mut r)?),
+            },
+            t => return Err(DecodeTraceError::BadTag(t)),
+        };
+        events.push(e);
+    }
+    Ok(Trace {
+        events,
+        num_threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent::Op {
+                    thread: ThreadId(0),
+                    op: Op::Lock { lock: LockId(0x40), site: SiteId(1) },
+                },
+                TraceEvent::Op {
+                    thread: ThreadId(0),
+                    op: Op::Write { addr: Addr(0x1000), size: 4, site: SiteId(2) },
+                },
+                TraceEvent::Op {
+                    thread: ThreadId(0),
+                    op: Op::Unlock { lock: LockId(0x40), site: SiteId(3) },
+                },
+                TraceEvent::Op {
+                    thread: ThreadId(1),
+                    op: Op::Read { addr: Addr(0x1000), size: 8, site: SiteId(4) },
+                },
+                TraceEvent::Op {
+                    thread: ThreadId(1),
+                    op: Op::Barrier { barrier: BarrierId(0), site: SiteId(5) },
+                },
+                TraceEvent::Op {
+                    thread: ThreadId(1),
+                    op: Op::Compute { cycles: 77 },
+                },
+                TraceEvent::BarrierComplete { barrier: BarrierId(0) },
+            ],
+            num_threads: 2,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        encode(&t, &mut buf).unwrap();
+        let back = decode(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = decode(&b"NOTATRCE"[..]).unwrap_err();
+        assert!(matches!(err, DecodeTraceError::BadMagic(_)));
+        assert!(format!("{err}").contains("magic"));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        encode(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = decode(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, DecodeTraceError::Io(_)));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(0xFF);
+        let err = decode(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, DecodeTraceError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace { events: vec![], num_threads: 4 };
+        let mut buf = Vec::new();
+        encode(&t, &mut buf).unwrap();
+        let back = decode(buf.as_slice()).unwrap();
+        assert_eq!(back.num_threads, 4);
+        assert!(back.is_empty());
+    }
+}

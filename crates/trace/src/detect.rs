@@ -1,0 +1,129 @@
+//! Detector-facing abstractions shared by every race detector in the
+//! workspace (HARD, ideal lockset, hardware and ideal happens-before).
+
+use crate::event::{Trace, TraceEvent};
+use hard_types::{AccessKind, Addr, SiteId, ThreadId};
+use std::fmt;
+
+/// One reported (potential) data race.
+///
+/// The paper maps dynamic reports back to source code and counts
+/// distinct static locations; [`RaceReport::site`] carries the static
+/// site of the access that triggered the report so the harness can do
+/// the same.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RaceReport {
+    /// Address of the access that triggered the report.
+    pub addr: Addr,
+    /// Size of the triggering access in bytes.
+    pub size: u8,
+    /// Static site of the triggering access.
+    pub site: SiteId,
+    /// The accessing thread.
+    pub thread: ThreadId,
+    /// Whether the triggering access was a read or a write.
+    pub kind: AccessKind,
+    /// Index of the triggering event in the global trace.
+    pub event_index: usize,
+}
+
+impl RaceReport {
+    /// True if the triggering access overlaps the byte range
+    /// `[lo, hi)` — used to match reports against an injected race's
+    /// target data.
+    #[must_use]
+    pub fn overlaps(&self, lo: Addr, hi: Addr) -> bool {
+        let a0 = self.addr.0;
+        let a1 = a0 + u64::from(self.size);
+        a0 < hi.0 && lo.0 < a1
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race: {} {} {}+{} at {} (event {})",
+            self.thread, self.kind, self.addr, self.size, self.site, self.event_index
+        )
+    }
+}
+
+/// A dynamic race detector consuming a global event stream.
+///
+/// All detectors in the workspace observe the *same* trace; this trait
+/// is the seam that lets the harness run HARD, happens-before and the
+/// ideal variants over identical executions.
+pub trait Detector {
+    /// Short human-readable detector name for reports.
+    fn name(&self) -> &str;
+
+    /// Observes event number `index` of the trace.
+    fn on_event(&mut self, index: usize, event: &TraceEvent);
+
+    /// The reports accumulated so far.
+    fn reports(&self) -> &[RaceReport];
+}
+
+/// Drives `detector` over every event of `trace`, returning the final
+/// report list.
+///
+/// # Examples
+///
+/// ```
+/// use hard_trace::{run_detector, Detector, RaceReport, Trace, TraceEvent};
+///
+/// /// A detector that counts events and reports nothing.
+/// struct Null(usize);
+/// impl Detector for Null {
+///     fn name(&self) -> &str { "null" }
+///     fn on_event(&mut self, _i: usize, _e: &TraceEvent) { self.0 += 1 }
+///     fn reports(&self) -> &[RaceReport] { &[] }
+/// }
+///
+/// let trace = Trace { events: vec![], num_threads: 1 };
+/// let mut d = Null(0);
+/// assert!(run_detector(&mut d, &trace).is_empty());
+/// ```
+pub fn run_detector<D: Detector + ?Sized>(detector: &mut D, trace: &Trace) -> Vec<RaceReport> {
+    for (i, e) in trace.events.iter().enumerate() {
+        detector.on_event(i, e);
+    }
+    detector.reports().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_logic() {
+        let r = RaceReport {
+            addr: Addr(100),
+            size: 4,
+            site: SiteId(1),
+            thread: ThreadId(0),
+            kind: AccessKind::Write,
+            event_index: 7,
+        };
+        assert!(r.overlaps(Addr(100), Addr(104)));
+        assert!(r.overlaps(Addr(103), Addr(200)));
+        assert!(r.overlaps(Addr(0), Addr(101)));
+        assert!(!r.overlaps(Addr(104), Addr(200)));
+        assert!(!r.overlaps(Addr(0), Addr(100)));
+    }
+
+    #[test]
+    fn display_mentions_site_and_event() {
+        let r = RaceReport {
+            addr: Addr(0x20),
+            size: 4,
+            site: SiteId(9),
+            thread: ThreadId(1),
+            kind: AccessKind::Read,
+            event_index: 3,
+        };
+        let s = format!("{r}");
+        assert!(s.contains("site9") && s.contains("event 3"), "{s}");
+    }
+}

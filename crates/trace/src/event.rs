@@ -1,0 +1,277 @@
+//! The globally ordered event stream a scheduler run produces.
+
+use crate::op::Op;
+use hard_types::{BarrierId, ThreadId};
+use std::fmt;
+
+/// One event of the global interleaving.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// Thread `thread` performed `op`. For [`Op::Lock`] this is the
+    /// moment the acquire *succeeded*; blocking time is not an event.
+    Op { thread: ThreadId, op: Op },
+    /// All threads have arrived at `barrier`; the barrier opens. HARD's
+    /// barrier pruning (§3.5) flash-resets candidate sets at this point.
+    BarrierComplete { barrier: BarrierId },
+}
+
+impl TraceEvent {
+    /// The issuing thread, if the event belongs to one.
+    #[must_use]
+    pub fn thread(&self) -> Option<ThreadId> {
+        match *self {
+            TraceEvent::Op { thread, .. } => Some(thread),
+            TraceEvent::BarrierComplete { .. } => None,
+        }
+    }
+
+    /// The program operation, if the event carries one.
+    #[must_use]
+    pub fn op(&self) -> Option<&Op> {
+        match self {
+            TraceEvent::Op { op, .. } => Some(op),
+            TraceEvent::BarrierComplete { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Op { thread, op } => write!(f, "{thread}: {op}"),
+            TraceEvent::BarrierComplete { barrier } => write!(f, "-- {barrier} complete --"),
+        }
+    }
+}
+
+/// A complete interleaved execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    /// The events in global order.
+    pub events: Vec<TraceEvent>,
+    /// Number of threads in the program that produced the trace.
+    pub num_threads: usize,
+}
+
+impl Trace {
+    /// Iterates over only the per-thread operations (skipping barrier
+    /// completion markers).
+    pub fn ops(&self) -> impl Iterator<Item = (ThreadId, &Op)> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Op { thread, op } => Some((*thread, op)),
+            TraceEvent::BarrierComplete { .. } => None,
+        })
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks that the event stream is a plausible execution: thread
+    /// ids are in range, the lock events respect mutual exclusion, and
+    /// forked threads only act after their fork. Intended for traces
+    /// decoded from untrusted files before they are replayed through a
+    /// detector (a malformed stream cannot crash a detector, but its
+    /// reports would be meaningless).
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        use crate::op::Op;
+        use hard_types::LockId;
+        use std::collections::BTreeMap;
+        let mut lock_owner: BTreeMap<LockId, ThreadId> = BTreeMap::new();
+        let mut started = vec![true; self.num_threads];
+        // Threads that are fork targets start unstarted; infer them.
+        for e in &self.events {
+            if let TraceEvent::Op { op: Op::Fork { child, .. }, .. } = e {
+                if child.index() < self.num_threads {
+                    started[child.index()] = false;
+                }
+            }
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            let TraceEvent::Op { thread, op } = e else {
+                continue;
+            };
+            if thread.index() >= self.num_threads {
+                return Err(format!("event {i}: thread {thread} out of range"));
+            }
+            match *op {
+                Op::Lock { lock, .. } => {
+                    if let Some(owner) = lock_owner.get(&lock) {
+                        return Err(format!(
+                            "event {i}: {thread} acquires {lock} held by {owner}"
+                        ));
+                    }
+                    lock_owner.insert(lock, *thread);
+                }
+                Op::Unlock { lock, .. } => {
+                    // Race injection removes lock/unlock *pairs*, so
+                    // even injected traces never release an unheld
+                    // lock: such a stream is corrupt.
+                    match lock_owner.get(&lock) {
+                        Some(owner) if owner == thread => {
+                            lock_owner.remove(&lock);
+                        }
+                        Some(owner) => {
+                            return Err(format!(
+                                "event {i}: {thread} releases {lock} held by {owner}"
+                            ))
+                        }
+                        None => {
+                            return Err(format!(
+                                "event {i}: {thread} releases unheld {lock}"
+                            ))
+                        }
+                    }
+                }
+                Op::Fork { child, .. } => {
+                    if child.index() >= self.num_threads {
+                        return Err(format!("event {i}: fork of unknown {child}"));
+                    }
+                    if started[child.index()] {
+                        return Err(format!("event {i}: {child} forked twice or running"));
+                    }
+                    started[child.index()] = true;
+                }
+                _ => {}
+            }
+            if !started[thread.index()] {
+                return Err(format!("event {i}: {thread} acts before its fork"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_types::{Addr, SiteId};
+
+    #[test]
+    fn accessors() {
+        let e = TraceEvent::Op {
+            thread: ThreadId(1),
+            op: Op::Read { addr: Addr(4), size: 4, site: SiteId(0) },
+        };
+        assert_eq!(e.thread(), Some(ThreadId(1)));
+        assert!(e.op().is_some());
+        let b = TraceEvent::BarrierComplete { barrier: BarrierId(0) };
+        assert_eq!(b.thread(), None);
+        assert!(b.op().is_none());
+    }
+
+    #[test]
+    fn validate_accepts_scheduled_traces() {
+        use crate::program::ProgramBuilder;
+        use crate::sched::{SchedConfig, Scheduler};
+        use hard_types::LockId;
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            b.thread(t)
+                .lock(LockId(0x40), SiteId(t))
+                .write(Addr(0x100), 4, SiteId(10 + t))
+                .unlock(LockId(0x40), SiteId(20 + t));
+        }
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        assert_eq!(trace.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_double_acquire() {
+        use hard_types::LockId;
+        let t = Trace {
+            events: vec![
+                TraceEvent::Op {
+                    thread: ThreadId(0),
+                    op: Op::Lock { lock: LockId(0x40), site: SiteId(0) },
+                },
+                TraceEvent::Op {
+                    thread: ThreadId(1),
+                    op: Op::Lock { lock: LockId(0x40), site: SiteId(1) },
+                },
+            ],
+            num_threads: 2,
+        };
+        assert!(t.validate().unwrap_err().contains("acquires"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_thread() {
+        let t = Trace {
+            events: vec![TraceEvent::Op {
+                thread: ThreadId(7),
+                op: Op::Compute { cycles: 1 },
+            }],
+            num_threads: 2,
+        };
+        assert!(t.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_release() {
+        use hard_types::LockId;
+        let t = Trace {
+            events: vec![
+                TraceEvent::Op {
+                    thread: ThreadId(0),
+                    op: Op::Lock { lock: LockId(0x40), site: SiteId(0) },
+                },
+                TraceEvent::Op {
+                    thread: ThreadId(1),
+                    op: Op::Unlock { lock: LockId(0x40), site: SiteId(1) },
+                },
+            ],
+            num_threads: 2,
+        };
+        assert!(t.validate().unwrap_err().contains("releases"));
+    }
+
+    #[test]
+    fn validate_rejects_pre_fork_activity() {
+        let t = Trace {
+            events: vec![
+                TraceEvent::Op {
+                    thread: ThreadId(1),
+                    op: Op::Compute { cycles: 1 },
+                },
+                TraceEvent::Op {
+                    thread: ThreadId(0),
+                    op: Op::Fork { child: ThreadId(1), site: SiteId(0) },
+                },
+            ],
+            num_threads: 2,
+        };
+        assert!(t.validate().unwrap_err().contains("before its fork"));
+    }
+
+    #[test]
+    fn ops_iterator_skips_barrier_markers() {
+        let t = Trace {
+            events: vec![
+                TraceEvent::Op {
+                    thread: ThreadId(0),
+                    op: Op::Compute { cycles: 1 },
+                },
+                TraceEvent::BarrierComplete { barrier: BarrierId(0) },
+                TraceEvent::Op {
+                    thread: ThreadId(1),
+                    op: Op::Compute { cycles: 2 },
+                },
+            ],
+            num_threads: 2,
+        };
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.ops().count(), 2);
+    }
+}

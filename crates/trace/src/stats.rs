@@ -1,0 +1,164 @@
+//! Summary statistics over traces, used by tests, the harness and the
+//! workload calibration notes in EXPERIMENTS.md.
+
+use crate::event::{Trace, TraceEvent};
+use crate::op::Op;
+use hard_types::{Addr, Granularity, LockId};
+use std::collections::BTreeSet;
+
+/// Aggregate counts of one trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of load operations.
+    pub reads: usize,
+    /// Number of store operations.
+    pub writes: usize,
+    /// Number of successful lock acquires.
+    pub locks: usize,
+    /// Number of lock releases.
+    pub unlocks: usize,
+    /// Number of per-thread barrier arrivals.
+    pub barrier_arrivals: usize,
+    /// Number of completed barrier episodes.
+    pub barrier_completes: usize,
+    /// Number of compute operations.
+    pub computes: usize,
+    /// Number of fork operations.
+    pub forks: usize,
+    /// Number of join operations.
+    pub joins: usize,
+    /// Distinct lock addresses used.
+    pub distinct_locks: usize,
+    /// Data footprint in bytes (distinct 4-byte granules × 4).
+    pub footprint_bytes: u64,
+    /// Maximum number of locks simultaneously held by any thread.
+    pub max_lock_nesting: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> TraceStats {
+        let mut s = TraceStats::default();
+        let mut locks_seen: BTreeSet<LockId> = BTreeSet::new();
+        let word = Granularity::new(4);
+        let mut granules: BTreeSet<Addr> = BTreeSet::new();
+        let mut held: Vec<BTreeSet<LockId>> = vec![BTreeSet::new(); trace.num_threads];
+        for e in &trace.events {
+            match e {
+                TraceEvent::Op { thread, op } => match *op {
+                    Op::Read { addr, size, .. } => {
+                        s.reads += 1;
+                        granules.extend(word.granules_in(addr, u64::from(size)));
+                    }
+                    Op::Write { addr, size, .. } => {
+                        s.writes += 1;
+                        granules.extend(word.granules_in(addr, u64::from(size)));
+                    }
+                    Op::Lock { lock, .. } => {
+                        s.locks += 1;
+                        locks_seen.insert(lock);
+                        let h = &mut held[thread.index()];
+                        h.insert(lock);
+                        s.max_lock_nesting = s.max_lock_nesting.max(h.len());
+                    }
+                    Op::Unlock { lock, .. } => {
+                        s.unlocks += 1;
+                        locks_seen.insert(lock);
+                        held[thread.index()].remove(&lock);
+                    }
+                    Op::Barrier { .. } => s.barrier_arrivals += 1,
+                    Op::Fork { .. } => s.forks += 1,
+                    Op::Join { .. } => s.joins += 1,
+                    Op::Compute { .. } => s.computes += 1,
+                },
+                TraceEvent::BarrierComplete { .. } => s.barrier_completes += 1,
+            }
+        }
+        s.distinct_locks = locks_seen.len();
+        s.footprint_bytes = granules.len() as u64 * 4;
+        s
+    }
+
+    /// Total memory accesses.
+    #[must_use]
+    pub fn accesses(&self) -> usize {
+        self.reads + self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::sched::{SchedConfig, Scheduler};
+    use hard_types::{BarrierId, SiteId};
+
+    #[test]
+    fn counts_everything() {
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            b.thread(t)
+                .lock(LockId(0x40), SiteId(t))
+                .write(Addr(0x1000), 4, SiteId(10 + t))
+                .read(Addr(0x1004), 4, SiteId(20 + t))
+                .unlock(LockId(0x40), SiteId(30 + t))
+                .barrier(BarrierId(0), SiteId(40 + t))
+                .compute(3);
+        }
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.accesses(), 4);
+        assert_eq!(s.locks, 2);
+        assert_eq!(s.unlocks, 2);
+        assert_eq!(s.barrier_arrivals, 2);
+        assert_eq!(s.barrier_completes, 1);
+        assert_eq!(s.computes, 2);
+        assert_eq!(s.forks, 0);
+        assert_eq!(s.joins, 0);
+        assert_eq!(s.distinct_locks, 1);
+        assert_eq!(s.footprint_bytes, 8);
+        assert_eq!(s.max_lock_nesting, 1);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_words() {
+        let mut b = ProgramBuilder::new(1);
+        b.thread(0)
+            .write(Addr(0x0), 8, SiteId(0)) // two words
+            .write(Addr(0x4), 4, SiteId(1)); // overlaps second word
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.footprint_bytes, 8);
+    }
+
+    #[test]
+    fn counts_forks_and_joins() {
+        use hard_types::ThreadId;
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0)
+            .fork(ThreadId(1), SiteId(0))
+            .join(ThreadId(1), SiteId(1));
+        b.thread(1).compute(1);
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.forks, 1);
+        assert_eq!(s.joins, 1);
+    }
+
+    #[test]
+    fn nesting_depth_tracks_multiple_locks() {
+        let mut b = ProgramBuilder::new(1);
+        b.thread(0)
+            .lock(LockId(0x40), SiteId(0))
+            .lock(LockId(0x80), SiteId(1))
+            .unlock(LockId(0x80), SiteId(2))
+            .unlock(LockId(0x40), SiteId(3));
+        let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.max_lock_nesting, 2);
+        assert_eq!(s.distinct_locks, 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the program model and scheduler.
+
+use hard_trace::{codec, Op, Program, SchedConfig, Scheduler, ThreadProgram, Trace, TraceEvent};
+use hard_types::{Addr, BarrierId, LockId, SiteId, ThreadId};
+use proptest::prelude::*;
+
+/// A random well-formed thread program: balanced lock/unlock around
+/// accesses, plus unlocked accesses and compute ops. Every thread gets
+/// the same number of arrivals at barrier 0.
+fn arb_program(max_threads: usize) -> impl Strategy<Value = Program> {
+    let op_block = prop_oneof![
+        // Unlocked access.
+        (0u64..64, any::<bool>()).prop_map(|(w, wr)| {
+            vec![if wr {
+                Op::Write { addr: Addr(0x1000 + w * 4), size: 4, site: SiteId(w as u32) }
+            } else {
+                Op::Read { addr: Addr(0x1000 + w * 4), size: 4, site: SiteId(w as u32) }
+            }]
+        }),
+        // A balanced critical section.
+        (0u64..4, 0u64..64).prop_map(|(l, w)| {
+            let lock = LockId(0x4000_0000 + l * 4);
+            vec![
+                Op::Lock { lock, site: SiteId(900 + l as u32) },
+                Op::Write { addr: Addr(0x1000 + w * 4), size: 4, site: SiteId(w as u32) },
+                Op::Unlock { lock, site: SiteId(950 + l as u32) },
+            ]
+        }),
+        // Compute.
+        (1u32..50).prop_map(|c| vec![Op::Compute { cycles: c }]),
+    ];
+    let thread = prop::collection::vec(op_block, 0..12).prop_map(|blocks| {
+        let mut tp = ThreadProgram::new();
+        for b in blocks {
+            for op in b {
+                tp.push(op);
+            }
+        }
+        tp
+    });
+    (2..=max_threads).prop_flat_map(move |n| {
+        prop::collection::vec(thread.clone(), n..=n).prop_map(|mut threads| {
+            // One barrier arrival per thread keeps arrivals balanced.
+            for tp in &mut threads {
+                tp.barrier(BarrierId(0), SiteId(999));
+            }
+            Program::new(threads)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated programs are well-formed.
+    #[test]
+    fn generated_programs_validate(p in arb_program(4)) {
+        prop_assert_eq!(p.validate(), Ok(()));
+    }
+
+    /// The scheduler emits every operation exactly once, in per-thread
+    /// program order.
+    #[test]
+    fn scheduler_preserves_program_order(p in arb_program(4), seed in 0u64..32) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 5 }).run(&p);
+        prop_assert_eq!(trace.ops().count(), p.total_ops());
+        let mut pcs = vec![0usize; p.num_threads()];
+        for (tid, op) in trace.ops() {
+            let t = tid.index();
+            prop_assert_eq!(*op, p.threads()[t].ops()[pcs[t]]);
+            pcs[t] += 1;
+        }
+        for (t, pc) in pcs.iter().enumerate() {
+            prop_assert_eq!(*pc, p.threads()[t].len(), "thread {} incomplete", t);
+        }
+    }
+
+    /// Identical seeds give identical traces; the trace is a pure
+    /// function of (program, seed).
+    #[test]
+    fn scheduler_is_deterministic(p in arb_program(4), seed in 0u64..16) {
+        let a = Scheduler::new(SchedConfig { seed, max_quantum: 7 }).run(&p);
+        let b = Scheduler::new(SchedConfig { seed, max_quantum: 7 }).run(&p);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Mutual exclusion: between a lock's acquire by thread T and its
+    /// release, no other thread acquires it.
+    #[test]
+    fn mutual_exclusion_holds(p in arb_program(4), seed in 0u64..16) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+        let mut owner: std::collections::BTreeMap<LockId, ThreadId> = Default::default();
+        for (tid, op) in trace.ops() {
+            match *op {
+                Op::Lock { lock, .. } => {
+                    prop_assert!(owner.insert(lock, tid).is_none(), "double acquire");
+                }
+                Op::Unlock { lock, .. } => {
+                    prop_assert_eq!(owner.remove(&lock), Some(tid), "foreign release");
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(owner.is_empty(), "locks leaked at exit");
+    }
+
+    /// Barrier semantics: exactly one completion marker, after every
+    /// thread's arrival.
+    #[test]
+    fn barrier_completes_after_all_arrivals(p in arb_program(4), seed in 0u64..8) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p);
+        let completes: Vec<usize> = trace
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, TraceEvent::BarrierComplete { .. }).then_some(i))
+            .collect();
+        prop_assert_eq!(completes.len(), 1);
+        let arrivals: Vec<usize> = trace
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                matches!(e, TraceEvent::Op { op: Op::Barrier { .. }, .. }).then_some(i)
+            })
+            .collect();
+        prop_assert_eq!(arrivals.len(), p.num_threads());
+        prop_assert!(arrivals.iter().all(|&a| a < completes[0]));
+    }
+
+    /// The codec is lossless on arbitrary scheduled traces.
+    #[test]
+    fn codec_roundtrips(p in arb_program(4), seed in 0u64..8) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 6 }).run(&p);
+        let mut buf = Vec::new();
+        codec::encode(&trace, &mut buf).unwrap();
+        let back: Trace = codec::decode(buf.as_slice()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+}

@@ -1,0 +1,112 @@
+//! barnes: Barnes-Hut N-body simulation.
+//!
+//! Signature: a hot tree root plus per-node locks on the octree's upper
+//! levels, all of them touched *frequently* by every thread during tree
+//! construction — conflicting accesses to the same node are temporally
+//! dense, which is why happens-before detects every injected race here
+//! (10/10 in the paper, same as HARD). Moderate footprint, moderate
+//! false sharing among per-body flags.
+
+use crate::common::{AppBuilder, WorkloadConfig};
+use hard_trace::Program;
+
+/// Generates the barnes-like program.
+#[must_use]
+pub fn generate(cfg: &WorkloadConfig) -> Program {
+    let mut b = AppBuilder::new(cfg);
+    let threads = b.threads as u32;
+
+    let root = b.locked_var(); // tree root: hottest node
+    let nodes: Vec<_> = (0..16).map(|_| b.locked_var()).collect();
+    let rotations: Vec<_> = (0..5).map(|_| b.rotation_var()).collect();
+    let era_gate = b.locked_var();
+    let flags: Vec<_> = (0..5).map(|_| b.flag_pair()).collect();
+    let benign: Vec<_> = (0..4).map(|_| b.benign_race()).collect();
+    let clusters = b.fs_clusters(&[(4, 4), (8, 5), (16, 4)]);
+
+    let phases = 3;
+    let inserts_per_node = b.scaled(6);
+    let stream_chunk = (b.scaled(96 * 1024 / (16 * 6)) as u64).max(32) / 32 * 32;
+    let barriers: Vec<_> = (0..phases).map(|_| b.barrier_point()).collect();
+    // The body array is cache-resident across phases.
+    let regions: Vec<_> = (0..threads)
+        .map(|t| b.stream_region(t, stream_chunk.max(32) * 96))
+        .collect();
+    let mut sweep_pos = vec![0u64; threads as usize];
+
+    for (phase, bp) in barriers.iter().enumerate() {
+        for node in &nodes {
+            for t in 0..threads {
+                b.read_locked(t, node);
+            }
+        }
+        for t in 0..threads {
+            b.read_locked(t, &root);
+            b.read_locked(t, &era_gate);
+        }
+        // Tree build: bodies are inserted by walking from the root to a
+        // random node; both get locked updates, so the same node is
+        // contended by all threads within a short window.
+        let sweep_len = nodes.len() * inserts_per_node;
+        for t in 0..threads {
+            let sched = b.fs_schedule(&clusters, phase, phases, sweep_len, t);
+            for touches in &sched {
+                b.update(t, &root);
+                let ni = b.rng.gen_index(nodes.len());
+                let node = nodes[ni];
+                b.update(t, &node);
+                let region = regions[t as usize];
+                b.stream_over(t, &region, sweep_pos[t as usize], stream_chunk);
+                sweep_pos[t as usize] += stream_chunk;
+                b.compute(t, 100);
+                for &ci in touches {
+                    let c = clusters[ci].clone();
+                    b.fs_touch_one(&c, t);
+                }
+            }
+        }
+        for r in &rotations {
+            for t in 0..threads {
+                b.rotation_update(t, r, false);
+            }
+        }
+        for t in 0..threads {
+            b.update(t, &era_gate);
+        }
+        for r in &rotations {
+            for t in 0..threads {
+                b.rotation_update(t, r, true);
+            }
+        }
+        for (i, f) in flags.iter().enumerate() {
+            let producer = (i as u32) % threads;
+            b.flag_produce(producer, f);
+            b.flag_consume((producer + 1) % threads, f);
+        }
+        for &v in &benign {
+            for t in 0..threads {
+                b.benign_write(t, v);
+            }
+        }
+        b.arrive_all(bp);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_trace::{SchedConfig, Scheduler, TraceStats};
+
+    #[test]
+    fn has_the_barnes_signature() {
+        let p = generate(&WorkloadConfig::reduced(0.05));
+        let trace = Scheduler::new(SchedConfig::default()).run(&p);
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.barrier_completes, 3);
+        assert!(s.distinct_locks >= 17, "root + 16 nodes at least");
+        // The root is the hottest lock: lock density is high relative
+        // to accesses.
+        assert!(s.locks as f64 / s.accesses() as f64 > 0.02);
+    }
+}

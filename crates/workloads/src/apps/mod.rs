@@ -1,0 +1,141 @@
+//! The application generators: the paper's six SPLASH-2-like kernels
+//! (the [`App`] enum) plus the §7 future-work [`server`] workload
+//! (fork/join threading) and the Table 6 footnote's [`radix`] kernel
+//! (three-deep lock nesting); neither is part of the six-app tables.
+//!
+//! Each module reproduces one application's synchronization and
+//! sharing signature; see the crate docs and DESIGN.md for what
+//! "signature" means and EXPERIMENTS.md for the calibration notes.
+
+pub mod barnes;
+pub mod cholesky;
+pub mod fmm;
+pub mod ocean;
+pub mod radix;
+pub mod raytrace;
+pub mod server;
+pub mod water;
+
+use crate::common::WorkloadConfig;
+use hard_trace::Program;
+use std::fmt;
+
+/// The benchmark applications of the paper's evaluation (§4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum App {
+    /// Sparse Cholesky factorization: task queue + panel locks, large
+    /// footprint, heavy false sharing.
+    Cholesky,
+    /// Barnes-Hut N-body: hot tree nodes under per-node locks.
+    Barnes,
+    /// Fast multipole method: sparse cell updates, much hand-crafted
+    /// synchronization, large footprint.
+    Fmm,
+    /// Ocean simulation: barrier-dominated grid phases, wide lines of
+    /// false sharing, very few locks.
+    Ocean,
+    /// Water-nsquared: per-molecule locks visited once per phase in
+    /// thread-specific orders — the happens-before stress case.
+    WaterNsquared,
+    /// Raytrace: work-queue scheduling plus sparse region updates.
+    Raytrace,
+}
+
+impl App {
+    /// All six applications, in the paper's table order.
+    #[must_use]
+    pub fn all() -> [App; 6] {
+        [
+            App::Cholesky,
+            App::Barnes,
+            App::Fmm,
+            App::Ocean,
+            App::WaterNsquared,
+            App::Raytrace,
+        ]
+    }
+
+    /// The application's name as printed in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Cholesky => "cholesky",
+            App::Barnes => "barnes",
+            App::Fmm => "fmm",
+            App::Ocean => "ocean",
+            App::WaterNsquared => "water-nsquared",
+            App::Raytrace => "raytrace",
+        }
+    }
+
+    /// Generates the application's program for `cfg`.
+    #[must_use]
+    pub fn generate(self, cfg: &WorkloadConfig) -> Program {
+        match self {
+            App::Cholesky => cholesky::generate(cfg),
+            App::Barnes => barnes::generate(cfg),
+            App::Fmm => fmm::generate(cfg),
+            App::Ocean => ocean::generate(cfg),
+            App::WaterNsquared => water::generate(cfg),
+            App::Raytrace => raytrace::generate(cfg),
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{enumerate_critical_sections, inject_race};
+
+    #[test]
+    fn all_apps_generate_valid_programs() {
+        let cfg = WorkloadConfig::reduced(0.1);
+        for app in App::all() {
+            let p = app.generate(&cfg);
+            assert_eq!(p.validate(), Ok(()), "{app}");
+            assert!(p.total_ops() > 100, "{app} is non-trivial");
+            assert!(!p.locks_used().is_empty(), "{app} uses locks");
+        }
+    }
+
+    #[test]
+    fn all_apps_are_injectable() {
+        let cfg = WorkloadConfig::reduced(0.1);
+        for app in App::all() {
+            let p = app.generate(&cfg);
+            let cs = enumerate_critical_sections(&p);
+            assert!(cs.len() > 10, "{app} has enough critical sections");
+            for seed in 0..3 {
+                let (injected, info) = inject_race(&p, seed);
+                assert_eq!(injected.validate(), Ok(()), "{app} seed {seed}");
+                assert!(
+                    !info.section.exposed_accesses.is_empty(),
+                    "{app}: the omitted section exposes accesses"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::reduced(0.1);
+        for app in App::all() {
+            assert_eq!(app.generate(&cfg), app.generate(&cfg), "{app}");
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = App::all().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            ["cholesky", "barnes", "fmm", "ocean", "water-nsquared", "raytrace"]
+        );
+    }
+}

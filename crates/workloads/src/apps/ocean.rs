@@ -1,0 +1,119 @@
+//! ocean: regular-grid ocean current simulation.
+//!
+//! Signature: the most barrier-dominated application — eight phases of
+//! grid relaxation with per-thread partitions, almost no locks (just a
+//! few global reduction scalars), wide-spaced false sharing at
+//! partition boundaries (visible only at 32 B granularity: the paper's
+//! alarms jump from 1–2 to 62 at 32 B), and the largest streaming
+//! footprint (HARD misses 2/10 to displacement; Table 4 shows the
+//! count recovering with L2 size).
+
+use crate::common::{AppBuilder, WorkloadConfig};
+use hard_trace::Program;
+
+/// Generates the ocean-like program.
+#[must_use]
+pub fn generate(cfg: &WorkloadConfig) -> Program {
+    let mut b = AppBuilder::new(cfg);
+    let threads = b.threads as u32;
+
+    // Global reductions (error norm, diagnostics) — the only locks.
+    let sums: Vec<_> = (0..4).map(|_| b.locked_var()).collect();
+    let benign = b.benign_race();
+    let flag = b.flag_pair();
+    // Partition-boundary rows false-share at 16-byte spacing: silent
+    // until the 32-byte granularity merges neighbouring partitions.
+    let clusters: Vec<_> = (0..14).map(|_| b.fs_cluster(16)).collect();
+    // Grid rows handed between neighbouring partitions across barriers
+    // (the paper's Figure 7 pattern): written by one thread per phase,
+    // by the next thread the following phase, never locked. Race free
+    // thanks to the barriers; without §3.5 pruning lockset would alarm
+    // on every one of them.
+    let handoff_rows: Vec<_> = (0..8).map(|_| b.layout.isolated_word()).collect();
+    let handoff_site_r = b.layout.site();
+    let handoff_site_w = b.layout.site();
+
+    let phases = 8;
+    let stream_chunk = (b.scaled(288 * 1024 / 8) as u64).max(32);
+    let barriers: Vec<_> = (0..phases).map(|_| b.barrier_point()).collect();
+
+    for (phase, bp) in barriers.iter().enumerate() {
+        for s in &sums {
+            for t in 0..threads {
+                b.read_locked(t, s);
+            }
+        }
+        // Red/black relaxation sweeps over each thread's partition:
+        // pure streaming with a reduction update spliced in at a
+        // thread-specific point of the sweep.
+        for t in 0..threads {
+            let reduction_at = b.rng.gen_index(8);
+            let sched = b.fs_schedule(&clusters, phase, phases, 8, t);
+            for (step, touches) in sched.iter().enumerate() {
+                b.stream_private(t, stream_chunk);
+                b.compute(t, 40);
+                if step == reduction_at {
+                    let si = b.rng.gen_index(sums.len());
+                    let s = sums[si];
+                    b.update(t, &s);
+                }
+                // Boundary-row exchange counters at partition edges.
+                for &cj in touches {
+                    let c = clusters[cj].clone();
+                    b.fs_touch_one(&c, t);
+                }
+            }
+            // Each boundary row belongs to a rotating owner: read the
+            // neighbour's last-phase values, relax, write new ones.
+            for (i, &row) in handoff_rows.iter().enumerate() {
+                let owner = ((phase + i) % threads as usize) as u32;
+                if owner == t {
+                    b.pb
+                        .thread(t)
+                        .read(row, 4, handoff_site_r)
+                        .write(row, 4, handoff_site_w);
+                }
+            }
+        }
+        // One benign convergence marker and one hand-off per run, not
+        // per phase: ocean's residual alarm count is ~1 in the paper.
+        if phase == phases / 2 {
+            for t in 0..threads {
+                b.benign_write(t, benign);
+            }
+            b.flag_produce(0, &flag);
+            b.flag_consume(1, &flag);
+        }
+        b.arrive_all(bp);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_trace::{SchedConfig, Scheduler, TraceStats};
+
+    #[test]
+    fn has_the_ocean_signature() {
+        let p = generate(&WorkloadConfig::reduced(0.05));
+        let trace = Scheduler::new(SchedConfig::default()).run(&p);
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.barrier_completes, 8, "barrier-dominated");
+        assert!(s.distinct_locks <= 6, "almost lock-free");
+        assert!(
+            (s.locks as f64) / (s.accesses() as f64) < 0.05,
+            "locks are rare relative to grid traffic"
+        );
+    }
+
+    #[test]
+    fn false_sharing_is_exclusively_wide_spaced() {
+        // All clusters use 16-byte spacing: at 4/8/16B granularity the
+        // partitions never share a granule.
+        let p = generate(&WorkloadConfig::reduced(0.05));
+        // Structural check via the shared-region addresses of cluster
+        // lines is implicit; here we just pin the generator's shape.
+        assert!(p.total_ops() > 500);
+    }
+}

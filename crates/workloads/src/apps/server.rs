@@ -1,0 +1,147 @@
+//! server: a request-serving application in the style of the paper's
+//! §7 future work ("we plan to evaluate HARD for more applications
+//! especially server programs, such as apache and mysql").
+//!
+//! Unlike the barrier-phased SPLASH-2 kernels, the server uses
+//! fork/join threading: a dispatcher forks worker threads, feeds them
+//! through a locked request queue, and joins them at shutdown. Workers
+//! update per-session state under per-session locks (8-byte record
+//! fields), bump global statistics under a hot lock, and run on
+//! cache-resident connection buffers. A shutdown flag is published
+//! without synchronization — the residual hand-crafted-sync alarm.
+//!
+//! Not part of [`super::App::all`]: the six-application tables stay
+//! exactly the paper's; the server campaign is the separate
+//! `hard-exp server` experiment.
+
+use crate::common::{AppBuilder, WorkloadConfig};
+use hard_trace::Program;
+use hard_types::ThreadId;
+
+/// Generates the server-like program.
+///
+/// # Panics
+///
+/// Panics if `cfg.num_threads < 2` (a dispatcher plus at least one
+/// worker).
+#[must_use]
+pub fn generate(cfg: &WorkloadConfig) -> Program {
+    assert!(cfg.num_threads >= 2, "server needs a dispatcher and workers");
+    let mut b = AppBuilder::new(cfg);
+    let threads = b.threads as u32;
+    let workers = threads - 1;
+
+    let queue = b.locked_var(); // request queue head
+    let stats = b.locked_var(); // served-request counter
+    let sessions: Vec<_> = (0..12).map(|_| b.locked_var()).collect();
+    let shutdown = b.flag_pair(); // unsynchronized shutdown publication
+    let clusters = b.fs_clusters(&[(4, 2), (8, 2)]); // per-worker counters
+
+    let requests = b.scaled(24);
+    let buffer_chunk = (b.scaled(8 * 1024) as u64).max(32) / 32 * 32;
+    let buffers: Vec<_> = (1..threads)
+        .map(|w| b.stream_region(w, buffer_chunk.max(32) * 4))
+        .collect();
+
+    // Dispatcher: fork the pool, enqueue the work, then wait for every
+    // worker and read the final statistics.
+    let fork_site = b.layout.site();
+    let join_site = b.layout.site();
+    for w in 1..threads {
+        b.pb.thread(0).fork(ThreadId(w), fork_site);
+    }
+    for _ in 0..requests {
+        b.update(0, &queue);
+    }
+    b.flag_produce(0, &shutdown);
+    for w in 1..threads {
+        b.pb.thread(0).join(ThreadId(w), join_site);
+    }
+    b.read_locked(0, &stats);
+
+    // Workers: pop requests, touch the session state, account, and
+    // sweep their connection buffer.
+    for w in 1..threads {
+        let mut order: Vec<usize> = (0..sessions.len()).collect();
+        b.rng.shuffle(&mut order);
+        let per_worker = requests / workers as usize;
+        let mut sweep = 0u64;
+        for (k, &si) in order.iter().cycle().take(per_worker.max(1)).enumerate() {
+            b.update(w, &queue); // pop
+            let session = sessions[si];
+            // The session record: an 8-byte field updated under the
+            // session lock.
+            b.pb
+                .thread(w)
+                .lock(session.lock, b_site(&session))
+                .read(session.addr, 8, r_site(&session))
+                .write(session.addr, 8, w_site(&session))
+                .unlock(session.lock, u_site(&session));
+            b.update(w, &stats);
+            let buf = buffers[(w - 1) as usize];
+            b.stream_over(w, &buf, sweep, buffer_chunk);
+            sweep += buffer_chunk;
+            b.compute(w, 150);
+            if k % 4 == 0 {
+                for c in &clusters.clone() {
+                    b.fs_touch_one(c, w);
+                }
+            }
+        }
+        b.flag_consume(w, &shutdown);
+    }
+    b.finish()
+}
+
+// LockedVar's site fields are private to `common`; the server reuses
+// its public pieces through these helpers so the session record can do
+// 8-byte accesses (update() is fixed at 4 bytes).
+fn b_site(v: &crate::common::LockedVar) -> hard_types::SiteId {
+    v.sites().0
+}
+fn r_site(v: &crate::common::LockedVar) -> hard_types::SiteId {
+    v.sites().1
+}
+fn w_site(v: &crate::common::LockedVar) -> hard_types::SiteId {
+    v.sites().2
+}
+fn u_site(v: &crate::common::LockedVar) -> hard_types::SiteId {
+    v.sites().3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{enumerate_critical_sections, inject_race};
+    use hard_trace::{SchedConfig, Scheduler, TraceStats};
+
+    #[test]
+    fn generates_a_valid_fork_join_program() {
+        let p = generate(&WorkloadConfig::reduced(0.3));
+        assert_eq!(p.validate(), Ok(()));
+        let trace = Scheduler::new(SchedConfig::default()).run(&p);
+        let s = TraceStats::from_trace(&trace);
+        assert_eq!(s.forks, 3, "the dispatcher forks three workers");
+        assert_eq!(s.joins, 3);
+        assert_eq!(s.barrier_completes, 0, "servers don't barrier");
+        assert!(s.locks > 20);
+    }
+
+    #[test]
+    fn sessions_are_injectable() {
+        let p = generate(&WorkloadConfig::reduced(0.3));
+        let cs = enumerate_critical_sections(&p);
+        assert!(cs.len() > 10);
+        for seed in 0..3 {
+            let (injected, info) = inject_race(&p, seed);
+            assert_eq!(injected.validate(), Ok(()), "seed {seed}");
+            assert!(!info.section.exposed_accesses.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::reduced(0.3);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+}

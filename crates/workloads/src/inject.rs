@@ -1,0 +1,443 @@
+//! Dynamic race injection (paper §4).
+//!
+//! "For each application, we randomly inject a single dynamic instance
+//! of a data race into each run … by omitting a randomly selected
+//! dynamic instance of a lock primitive and the corresponding unlock
+//! primitive."
+//!
+//! [`enumerate_critical_sections`] finds every dynamic lock/unlock pair
+//! in a program together with the shared accesses it protects;
+//! [`inject_race`] removes one such pair and returns the ground truth
+//! the harness scores detectors against.
+
+use hard_trace::{Op, Program};
+use hard_types::{AccessKind, Addr, LockId, ThreadId, Xoshiro256};
+use std::collections::BTreeSet;
+
+/// One dynamic critical section of a thread program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalSection {
+    /// The executing thread.
+    pub thread: ThreadId,
+    /// The lock taken.
+    pub lock: LockId,
+    /// Index of the `Lock` op in the thread's program.
+    pub lock_index: usize,
+    /// Index of the matching `Unlock` op.
+    pub unlock_index: usize,
+    /// The `(addr, size, kind)` of accesses inside the section that are
+    /// *not* protected by another (nested) lock — the accesses that
+    /// become racy when the pair is omitted.
+    pub exposed_accesses: Vec<(Addr, u8, AccessKind)>,
+}
+
+impl CriticalSection {
+    /// The target byte ranges that become racy when this section's lock
+    /// is omitted.
+    #[must_use]
+    pub fn target_ranges(&self) -> Vec<(Addr, Addr)> {
+        self.exposed_accesses
+            .iter()
+            .map(|&(a, s, _)| (a, Addr(a.0 + u64::from(s))))
+            .collect()
+    }
+}
+
+/// Finds every dynamic critical section in `program`.
+///
+/// Nested sections are handled: an access counts as *exposed* for the
+/// outermost lock only if no other lock is simultaneously held at that
+/// point (removing the outer pair leaves it protected otherwise).
+#[must_use]
+pub fn enumerate_critical_sections(program: &Program) -> Vec<CriticalSection> {
+    let mut out = Vec::new();
+    for (t, tp) in program.threads().iter().enumerate() {
+        let thread = ThreadId(t as u32);
+        // Stack of open sections: (lock, lock_index, exposed accesses).
+        type OpenSection = (LockId, usize, Vec<(Addr, u8, AccessKind)>);
+        let mut open: Vec<OpenSection> = Vec::new();
+        for (i, op) in tp.ops().iter().enumerate() {
+            match *op {
+                Op::Lock { lock, .. } => open.push((lock, i, Vec::new())),
+                Op::Unlock { lock, .. } => {
+                    let pos = open
+                        .iter()
+                        .rposition(|(l, _, _)| *l == lock)
+                        .unwrap_or_else(|| {
+                            panic!("{thread}: unlock of unheld {lock} at op {i}")
+                        });
+                    let (l, li, accesses) = open.remove(pos);
+                    out.push(CriticalSection {
+                        thread,
+                        lock: l,
+                        lock_index: li,
+                        unlock_index: i,
+                        exposed_accesses: accesses,
+                    });
+                }
+                // An access is exposed only for the section whose
+                // removal leaves it wholly unprotected: when exactly
+                // one lock is held, that section.
+                Op::Read { addr, size, .. } if open.len() == 1 => {
+                    open[0].2.push((addr, size, AccessKind::Read));
+                }
+                Op::Write { addr, size, .. } if open.len() == 1 => {
+                    open[0].2.push((addr, size, AccessKind::Write));
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "{thread}: unbalanced locks at end of program");
+    }
+    out
+}
+
+/// The ground truth of one injected race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Injection {
+    /// The critical section whose lock/unlock pair was omitted.
+    pub section: CriticalSection,
+}
+
+impl Injection {
+    /// True if the byte range `[lo, hi)` overlaps any target access of
+    /// the injected race.
+    #[must_use]
+    pub fn overlaps(&self, lo: Addr, hi: Addr) -> bool {
+        self.section
+            .target_ranges()
+            .iter()
+            .any(|&(a, b)| a.0 < hi.0 && lo.0 < b.0)
+    }
+}
+
+/// Per-word protection summary used for injection eligibility.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct WordInfo {
+    /// Threads that read the word.
+    readers: BTreeSet<u32>,
+    /// Threads that write the word.
+    writers: BTreeSet<u32>,
+    /// The distinct held-lock sets observed across all accesses, as
+    /// sorted lock lists. A *consistently protected* word has exactly
+    /// one context: `[its lock]`.
+    contexts: BTreeSet<Vec<LockId>>,
+}
+
+fn word_map(program: &Program) -> std::collections::BTreeMap<u64, WordInfo> {
+    let word = |a: Addr| a.0 >> 2;
+    let mut map: std::collections::BTreeMap<u64, WordInfo> = Default::default();
+    for (t, tp) in program.threads().iter().enumerate() {
+        let mut held: Vec<LockId> = Vec::new();
+        for op in tp.ops() {
+            match *op {
+                Op::Lock { lock, .. } => held.push(lock),
+                Op::Unlock { lock, .. } => {
+                    if let Some(p) = held.iter().rposition(|&l| l == lock) {
+                        held.remove(p);
+                    }
+                }
+                Op::Read { addr, size, .. } | Op::Write { addr, size, .. } => {
+                    let is_write = matches!(op, Op::Write { .. });
+                    let mut ctx = held.clone();
+                    ctx.sort();
+                    for w in word(addr)..=word(Addr(addr.0 + u64::from(size) - 1)) {
+                        let info = map.entry(w).or_default();
+                        if is_write {
+                            info.writers.insert(t as u32);
+                        } else {
+                            info.readers.insert(t as u32);
+                        }
+                        info.contexts.insert(ctx.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    map
+}
+
+/// Removes one randomly chosen critical section's lock/unlock pair from
+/// `program`, returning the modified program and the ground truth.
+///
+/// Only sections whose omission creates a *new, manifestable* race are
+/// eligible — the paper's injections delete the protection of properly
+/// protected data. Concretely, a section qualifies when some exposed
+/// word is (1) **consistently protected**: every access to it anywhere
+/// in the program holds exactly the section's lock (this excludes data
+/// that already generates reports, such as lock-rotation variables);
+/// (2) **conflicting**: accessed by another thread, with a write on at
+/// least one side; and (3) the section itself **writes** the word —
+/// omitting a read-only section leaves a race only the surrounding
+/// writers can expose, which even an ideal lockset can miss when the
+/// bare read initializes the granule's state (the paper's 60 injected
+/// bugs are all detectable by the ideal lockset, implying
+/// write-sections).
+///
+/// # Panics
+///
+/// Panics if the program contains no eligible critical section.
+///
+/// # Examples
+///
+/// ```
+/// use hard_workloads::{inject_race, App, WorkloadConfig};
+///
+/// let program = App::Barnes.generate(&WorkloadConfig::reduced(0.1));
+/// let (injected, info) = inject_race(&program, 42);
+/// assert_eq!(injected.total_ops(), program.total_ops() - 2);
+/// assert!(!info.section.exposed_accesses.is_empty());
+/// ```
+#[must_use]
+pub fn inject_race(program: &Program, seed: u64) -> (Program, Injection) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let sections = enumerate_critical_sections(program);
+    let words = word_map(program);
+    let word = |a: Addr| a.0 >> 2;
+
+    let eligible: Vec<&CriticalSection> = sections
+        .iter()
+        .filter(|cs| {
+            let me = cs.thread.0;
+            cs.exposed_accesses.iter().any(|&(a, s, kind)| {
+                kind.is_write()
+                    && (word(a)..=word(Addr(a.0 + u64::from(s) - 1))).any(|w| {
+                    let Some(info) = words.get(&w) else {
+                        return false;
+                    };
+                    let consistent = info.contexts.len() == 1
+                        && info.contexts.iter().next() == Some(&vec![cs.lock]);
+                    let others_conflict = info.writers.iter().any(|&o| o != me)
+                        || info.readers.iter().any(|&o| o != me);
+                    consistent && others_conflict
+                    })
+            })
+        })
+        .collect();
+    assert!(
+        !eligible.is_empty(),
+        "no critical section can manifest as a race in this program"
+    );
+
+    let chosen = (*eligible[rng.gen_index(eligible.len())]).clone();
+    let mut injected = program.clone();
+    let tp = injected.thread_mut(chosen.thread);
+    // Remove the higher index first so the lower one stays valid.
+    tp.remove(chosen.unlock_index);
+    tp.remove(chosen.lock_index);
+    (injected, Injection { section: chosen })
+}
+
+/// Replaces one randomly chosen critical section's lock with a fresh,
+/// otherwise-unused lock — the "wrong lock" bug class: the section is
+/// still mutually exclusive against nothing, so its accesses race with
+/// the properly locked ones exactly like an omitted pair, but the
+/// access pattern keeps its critical-section shape (same instruction
+/// count, a lock still held).
+///
+/// Eligibility matches [`inject_race`]. The replacement lock is taken
+/// from the dedicated region above all workload locks.
+///
+/// # Panics
+///
+/// Panics if the program contains no eligible critical section.
+#[must_use]
+pub fn inject_wrong_lock(program: &Program, seed: u64) -> (Program, Injection) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let sections = enumerate_critical_sections(program);
+    let words = word_map(program);
+    let word = |a: Addr| a.0 >> 2;
+
+    let eligible: Vec<&CriticalSection> = sections
+        .iter()
+        .filter(|cs| {
+            let me = cs.thread.0;
+            cs.exposed_accesses.iter().any(|&(a, s, kind)| {
+                kind.is_write()
+                    && (word(a)..=word(Addr(a.0 + u64::from(s) - 1))).any(|w| {
+                        let Some(info) = words.get(&w) else {
+                            return false;
+                        };
+                        let consistent = info.contexts.len() == 1
+                            && info.contexts.iter().next() == Some(&vec![cs.lock]);
+                        let others_conflict = info.writers.iter().any(|&o| o != me)
+                            || info.readers.iter().any(|&o| o != me);
+                        consistent && others_conflict
+                    })
+            })
+        })
+        .collect();
+    assert!(
+        !eligible.is_empty(),
+        "no critical section can manifest as a race in this program"
+    );
+
+    let chosen = (*eligible[rng.gen_index(eligible.len())]).clone();
+    let wrong = LockId(0x6FFF_0000 + (seed % 256) * 4);
+    let mut injected = program.clone();
+    let tp = injected.thread_mut(chosen.thread);
+    let fix = |op: Op| match op {
+        Op::Lock { site, .. } => Op::Lock { lock: wrong, site },
+        Op::Unlock { site, .. } => Op::Unlock { lock: wrong, site },
+        other => other,
+    };
+    let lock_op = fix(tp.ops()[chosen.lock_index]);
+    let unlock_op = fix(tp.ops()[chosen.unlock_index]);
+    // Rebuild the two ops in place (remove + insert preserves indexes
+    // because we replace rather than delete).
+    tp.replace(chosen.lock_index, lock_op);
+    tp.replace(chosen.unlock_index, unlock_op);
+    (injected, Injection { section: chosen })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hard_trace::ProgramBuilder;
+    use hard_types::SiteId;
+
+    fn site(n: u32) -> SiteId {
+        SiteId(n)
+    }
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            b.thread(t)
+                .lock(LockId(0x40), site(t * 10))
+                .read(Addr(0x1000), 4, site(t * 10 + 1))
+                .write(Addr(0x1000), 4, site(t * 10 + 2))
+                .unlock(LockId(0x40), site(t * 10 + 3))
+                .lock(LockId(0x44), site(t * 10 + 4))
+                .write(Addr(0x2000 + u64::from(t) * 0x1000), 4, site(t * 10 + 5))
+                .unlock(LockId(0x44), site(t * 10 + 6));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn enumeration_finds_all_sections() {
+        let cs = enumerate_critical_sections(&sample());
+        assert_eq!(cs.len(), 4);
+        assert!(cs.iter().all(|c| c.lock_index < c.unlock_index));
+        let first = cs.iter().find(|c| c.lock == LockId(0x40)).unwrap();
+        assert_eq!(first.exposed_accesses.len(), 2);
+    }
+
+    #[test]
+    fn nested_sections_expose_correctly() {
+        let mut b = ProgramBuilder::new(1);
+        b.thread(0)
+            .lock(LockId(0x40), site(0))
+            .write(Addr(0x100), 4, site(1)) // exposed for outer
+            .lock(LockId(0x44), site(2))
+            .write(Addr(0x200), 4, site(3)) // protected by inner
+            .unlock(LockId(0x44), site(4))
+            .write(Addr(0x300), 4, site(5)) // exposed for outer
+            .unlock(LockId(0x40), site(6));
+        let cs = enumerate_critical_sections(&b.build());
+        let outer = cs.iter().find(|c| c.lock == LockId(0x40)).unwrap();
+        let inner = cs.iter().find(|c| c.lock == LockId(0x44)).unwrap();
+        assert_eq!(
+            outer.exposed_accesses,
+            vec![
+                (Addr(0x100), 4, AccessKind::Write),
+                (Addr(0x300), 4, AccessKind::Write)
+            ]
+        );
+        // The inner access is nested under two locks: removing the
+        // inner pair alone leaves it protected by the outer lock.
+        assert_eq!(inner.exposed_accesses, Vec::<(Addr, u8, AccessKind)>::new());
+    }
+
+    #[test]
+    fn injection_removes_exactly_one_pair() {
+        let p = sample();
+        let before = p.total_ops();
+        let (inj, info) = inject_race(&p, 7);
+        assert_eq!(inj.total_ops(), before - 2);
+        assert_eq!(inj.validate(), Ok(()), "balance is preserved");
+        // Only the shared variable's sections are eligible (0x2000
+        // region is thread-private here).
+        assert_eq!(info.section.lock, LockId(0x40));
+        assert!(info.overlaps(Addr(0x1000), Addr(0x1004)));
+        assert!(!info.overlaps(Addr(0x3000), Addr(0x3004)));
+    }
+
+    #[test]
+    fn different_seeds_pick_different_sections() {
+        let p = sample();
+        let picks: BTreeSet<(u32, usize)> = (0..32)
+            .map(|s| {
+                let (_, i) = inject_race(&p, s);
+                (i.section.thread.0, i.section.lock_index)
+            })
+            .collect();
+        assert!(picks.len() > 1, "32 seeds should hit both eligible sections");
+    }
+
+    #[test]
+    #[should_panic(expected = "no critical section")]
+    fn injection_requires_manifestable_race() {
+        // Each thread's section touches only private data.
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            b.thread(t)
+                .lock(LockId(0x40), site(t))
+                .write(Addr(0x1000 + u64::from(t) * 0x1000), 4, site(10 + t))
+                .unlock(LockId(0x40), site(20 + t));
+        }
+        let _ = inject_race(&b.build(), 0);
+    }
+
+    #[test]
+    fn wrong_lock_injection_preserves_shape() {
+        let p = sample();
+        let before = p.total_ops();
+        let (inj, info) = inject_wrong_lock(&p, 3);
+        assert_eq!(inj.total_ops(), before, "ops replaced, not removed");
+        assert_eq!(inj.validate(), Ok(()), "lock balance preserved");
+        // The section's lock changed to a fresh one.
+        let new_lock = match inj.thread(info.section.thread).ops()[info.section.lock_index] {
+            Op::Lock { lock, .. } => lock,
+            ref other => panic!("expected a lock op, got {other:?}"),
+        };
+        assert_ne!(new_lock, info.section.lock);
+        assert!(new_lock.0 >= 0x6FFF_0000, "from the wrong-lock region");
+        assert!(info.overlaps(Addr(0x1000), Addr(0x1004)));
+    }
+
+    #[test]
+    fn wrong_lock_breaks_the_discipline() {
+        // After the injection, the target word is accessed under two
+        // different locks program-wide — the lockset-violating shape.
+        let p = sample();
+        let (inj, info) = inject_wrong_lock(&p, 5);
+        let words = word_map(&inj);
+        let target = info.section.exposed_accesses[0].0;
+        let infow = words.get(&(target.0 >> 2)).expect("tracked");
+        assert!(
+            infow.contexts.len() >= 2,
+            "two distinct protection contexts must now exist: {infow:?}"
+        );
+    }
+
+    #[test]
+    fn read_read_sharing_is_not_eligible() {
+        // Both threads only read the shared word inside their sections;
+        // one writes it elsewhere... no: reads only => no race.
+        let mut b = ProgramBuilder::new(2);
+        for t in 0..2u32 {
+            b.thread(t)
+                .lock(LockId(0x40), site(t))
+                .read(Addr(0x1000), 4, site(10 + t))
+                .unlock(LockId(0x40), site(20 + t));
+        }
+        let p = b.build();
+        let cs = enumerate_critical_sections(&p);
+        assert_eq!(cs.len(), 2);
+        let result = std::panic::catch_unwind(|| inject_race(&p, 0));
+        assert!(result.is_err(), "read-read sharing cannot race");
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic SPLASH-2-like workloads and dynamic race injection.
+//!
+//! The paper evaluates HARD on six lock-based SPLASH-2 applications
+//! (cholesky, barnes, fmm, ocean, water-nsquared, raytrace) with
+//! randomly injected races. The originals are C binaries run under
+//! SESC; what determines lockset/happens-before behaviour is not their
+//! arithmetic but their *synchronization and sharing signature*: which
+//! data is protected by which locks, how threads interleave on it, how
+//! barriers phase the computation, how variables share cache lines, and
+//! how much unrelated data streams through the caches between accesses.
+//!
+//! Each generator in [`apps`] reproduces one application's signature
+//! with the paper-relevant ingredients:
+//!
+//! * **lock-protected shared updates** — the injectable critical
+//!   sections the race injector targets;
+//! * **a hot global lock** (task queues, global accumulators) whose
+//!   release→acquire chains transitively order distant accesses — the
+//!   mechanism that makes happens-before miss races that lockset
+//!   catches;
+//! * **per-thread streaming** over private data — cache pressure that
+//!   displaces metadata (HARD's missed races, Tables 4/5);
+//! * **false-sharing clusters** — independently synchronized variables
+//!   co-located in one line at controlled spacing (Table 3's
+//!   granularity sensitivity);
+//! * **lock rotation, flag hand-offs and benign races** — the residual
+//!   false-alarm sources of §5.1.
+//!
+//! [`inject`] implements the paper's §4 bug injection: omit one
+//! randomly selected *dynamic* lock/unlock pair and record the accesses
+//! it protected as the ground-truth race targets.
+
+pub mod apps;
+pub mod common;
+pub mod inject;
+pub mod layout;
+
+pub use apps::App;
+pub use common::{Scale, WorkloadConfig};
+pub use inject::{enumerate_critical_sections, inject_race, inject_wrong_lock, CriticalSection, Injection};
+pub use layout::Layout;

@@ -1,0 +1,55 @@
+//! Figure 7 of the paper: the false positive barriers cause for plain
+//! lockset, and HARD's §3.5 pruning that removes it.
+//!
+//! Before the barrier, only thread 0 reads and writes the array `A`;
+//! after the barrier, only thread 1 does. The code is race free — the
+//! barrier orders all the accesses — but neither thread holds a lock,
+//! so plain lockset reports a race. HARD flash-resets every line's
+//! candidate set (and sharing state) when a barrier completes, so the
+//! pre-barrier evidence is discarded and the alarm disappears.
+//!
+//! Run with: `cargo run --example barrier_pruning`
+
+use hard_repro::core::{HardConfig, HardMachine};
+use hard_repro::trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler};
+use hard_repro::types::{Addr, BarrierId, SiteId};
+
+fn main() {
+    let a = Addr(0x4000); // A[0..7]
+    let mut builder = ProgramBuilder::new(2);
+    {
+        let t0 = builder.thread(0);
+        for i in 0..8u64 {
+            t0.write(a.offset(i * 4), 4, SiteId(1));
+            t0.read(a.offset(i * 4), 4, SiteId(2));
+        }
+        t0.barrier(BarrierId(0), SiteId(3));
+    }
+    {
+        let t1 = builder.thread(1);
+        t1.barrier(BarrierId(0), SiteId(4));
+        for i in 0..8u64 {
+            t1.read(a.offset(i * 4), 4, SiteId(5));
+            t1.write(a.offset(i * 4), 4, SiteId(6));
+        }
+    }
+    let program = builder.build();
+    let trace = Scheduler::new(SchedConfig::default()).run(&program);
+
+    let with_pruning = {
+        let mut m = HardMachine::new(HardConfig::default());
+        run_detector(&mut m, &trace).len()
+    };
+    let without_pruning = {
+        let cfg = HardConfig { barrier_pruning: false, ..HardConfig::default() };
+        let mut m = HardMachine::new(cfg);
+        run_detector(&mut m, &trace).len()
+    };
+
+    println!("Figure 7 scenario: A[] handed from thread 0 to thread 1 by a barrier");
+    println!("  lockset without barrier pruning: {without_pruning} false alarm(s)");
+    println!("  HARD with barrier pruning (§3.5): {with_pruning} alarm(s)");
+    assert!(without_pruning > 0, "plain lockset must report the false race");
+    assert_eq!(with_pruning, 0, "pruning must silence the barrier pattern");
+    println!("\nbarrier pruning removed the false positive.");
+}

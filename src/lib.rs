@@ -1,0 +1,35 @@
+//! `hard-repro`: a reproduction of *HARD: Hardware-Assisted
+//! Lockset-based Race Detection* (HPCA 2007) — facade crate
+//! re-exporting the whole workspace under stable module names.
+//!
+//! Start with [`core`] (the HARD machine and its siblings), [`trace`]
+//! (the program/trace model every detector consumes), and [`harness`]
+//! (the experiment campaigns regenerating the paper's tables and
+//! figures). See the repository's README.md, DESIGN.md and
+//! EXPERIMENTS.md for the guided tour.
+//!
+//! # Examples
+//!
+//! ```
+//! use hard_repro::core::{HardConfig, HardMachine};
+//! use hard_repro::trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler};
+//! use hard_repro::types::{Addr, SiteId};
+//!
+//! let mut b = ProgramBuilder::new(2);
+//! b.thread(0).write(Addr(0x1000), 4, SiteId(1));
+//! b.thread(1).write(Addr(0x1000), 4, SiteId(2));
+//! let trace = Scheduler::new(SchedConfig::default()).run(&b.build());
+//!
+//! let mut machine = HardMachine::new(HardConfig::default());
+//! assert!(!run_detector(&mut machine, &trace).is_empty());
+//! ```
+
+pub use hard as core;
+pub use hard_bloom as bloom;
+pub use hard_cache as cache;
+pub use hard_harness as harness;
+pub use hard_hb as hb;
+pub use hard_lockset as lockset;
+pub use hard_trace as trace;
+pub use hard_types as types;
+pub use hard_workloads as workloads;

@@ -1,0 +1,141 @@
+//! Differential property tests: on footprints that never leave the
+//! cache, each hardware machine must agree *exactly* with its
+//! unbounded counterpart at the same granularity — the cache, the
+//! coherence protocol and the metadata broadcasts must be functionally
+//! invisible. Any divergence is a coherence or piggyback bug (this
+//! suite is what would have caught the LState-broadcast bug found
+//! during development).
+
+use hard_repro::core::{HardConfig, HardMachine, HbMachine, HbMachineConfig};
+use hard_repro::hb::{IdealHappensBefore, IdealHbConfig};
+use hard_repro::lockset::bloom_table::{BloomLockset, BloomLocksetConfig};
+use hard_repro::trace::{run_detector, Program, SchedConfig, Scheduler, ThreadProgram};
+use hard_repro::types::{Addr, BarrierId, Granularity, LockId, SiteId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Random small programs over a handful of lines and locks: unlocked
+/// accesses, critical sections, barriers.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let block = prop_oneof![
+        // Unlocked access to one of 8 lines.
+        (0u64..8, any::<bool>()).prop_map(|(l, wr)| {
+            let addr = Addr(0x1000 + l * 32);
+            vec![if wr {
+                hard_repro::trace::Op::Write { addr, size: 4, site: SiteId(l as u32) }
+            } else {
+                hard_repro::trace::Op::Read { addr, size: 4, site: SiteId(l as u32) }
+            }]
+        }),
+        // A critical section on one of 3 locks.
+        (0u64..3, 0u64..8).prop_map(|(k, l)| {
+            let lock = LockId(0x1000_0000 + k * 4);
+            let addr = Addr(0x1000 + l * 32);
+            vec![
+                hard_repro::trace::Op::Lock { lock, site: SiteId(100 + k as u32) },
+                hard_repro::trace::Op::Write { addr, size: 4, site: SiteId(l as u32) },
+                hard_repro::trace::Op::Unlock { lock, site: SiteId(200 + k as u32) },
+            ]
+        }),
+    ];
+    let thread = prop::collection::vec(block, 0..10).prop_map(|blocks| {
+        let mut tp = ThreadProgram::new();
+        for b in blocks {
+            for op in b {
+                tp.push(op);
+            }
+        }
+        tp
+    });
+    prop::collection::vec(thread, 2..=4).prop_map(|mut threads| {
+        for tp in &mut threads {
+            tp.barrier(BarrierId(0), SiteId(999));
+        }
+        Program::new(threads)
+    })
+}
+
+fn report_keys(reports: &[hard_repro::trace::RaceReport]) -> BTreeSet<(Addr, SiteId)> {
+    let g = Granularity::new(32);
+    reports.iter().map(|r| (g.granule_of(r.addr), r.site)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// HARD (in-cache, coherent, broadcast-kept metadata) equals the
+    /// unbounded bloom lockset when nothing is ever displaced.
+    #[test]
+    fn hard_equals_unbounded_bloom_without_evictions(p in arb_program(), seed in 0u64..8) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+
+        let mut hard = HardMachine::new(HardConfig::default());
+        let hard_reports = run_detector(&mut hard, &trace);
+        prop_assert_eq!(hard.stats().l2_evictions, 0, "footprint fits the L2");
+
+        let mut table = BloomLockset::new(BloomLocksetConfig::default());
+        let table_reports = run_detector(&mut table, &trace);
+
+        prop_assert_eq!(
+            report_keys(&hard_reports),
+            report_keys(&table_reports),
+            "coherence must be functionally invisible"
+        );
+    }
+
+    /// The hardware happens-before machine equals the ideal detector at
+    /// matching (line) granularity when nothing is displaced.
+    #[test]
+    fn hb_machine_equals_ideal_at_line_granularity(p in arb_program(), seed in 0u64..8) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+
+        let mut hw = HbMachine::new(HbMachineConfig::default());
+        let hw_reports = run_detector(&mut hw, &trace);
+        prop_assert_eq!(hw.stats().l2_evictions, 0);
+
+        let mut ideal = IdealHappensBefore::new(IdealHbConfig {
+            num_threads: trace.num_threads,
+            granularity: Granularity::new(32),
+        });
+        let ideal_reports = run_detector(&mut ideal, &trace);
+
+        prop_assert_eq!(
+            report_keys(&hw_reports),
+            report_keys(&ideal_reports),
+            "timestamp coherence must be functionally invisible"
+        );
+    }
+
+    /// The §3.4 broadcast is load-bearing: with it disabled, the
+    /// snoopy machine may fall out of agreement with the unbounded
+    /// reference (stale sharer copies), and must never report MORE.
+    #[test]
+    fn disabling_broadcasts_only_loses_detections(p in arb_program(), seed in 0u64..4) {
+        use hard_repro::core::HardConfig;
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+        let stale_cfg = HardConfig { metadata_broadcast: false, ..HardConfig::default() };
+        let mut stale = HardMachine::new(stale_cfg);
+        let stale_reports = run_detector(&mut stale, &trace);
+        let mut table = BloomLockset::new(BloomLocksetConfig::default());
+        let table_reports = run_detector(&mut table, &trace);
+        let stale_keys = report_keys(&stale_reports);
+        let table_keys = report_keys(&table_reports);
+        prop_assert!(
+            stale_keys.is_subset(&table_keys),
+            "staleness can hide races but must not invent them"
+        );
+    }
+
+    /// The snoopy and directory HARD machines agree on arbitrary small
+    /// programs, not just the workload campaigns.
+    #[test]
+    fn snoopy_equals_directory(p in arb_program(), seed in 0u64..4) {
+        use hard_repro::core::DirectoryHardMachine;
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+        let mut snoopy = HardMachine::new(HardConfig::default());
+        let rs = run_detector(&mut snoopy, &trace);
+        let mut dir = DirectoryHardMachine::new(HardConfig::default());
+        let rd = run_detector(&mut dir, &trace);
+        prop_assert_eq!(rs, rd);
+    }
+}

@@ -1,0 +1,214 @@
+//! Fork/join support end-to-end (paper §3.1: ownership model for fork,
+//! dummy locks for join, both "can be incorporated into HARD").
+
+use hard_repro::core::{HardConfig, HardMachine};
+use hard_repro::hb::{IdealHappensBefore, IdealHbConfig};
+use hard_repro::lockset::{IdealLockset, IdealLocksetConfig};
+use hard_repro::trace::{run_detector, Op, ProgramBuilder, SchedConfig, Scheduler, TraceEvent};
+use hard_repro::types::{Addr, SiteId, ThreadId};
+
+/// Parent initializes, forks a child that works on the data, joins, and
+/// reads the result — the canonical race-free fork/join pattern, with
+/// no locks anywhere.
+fn handoff_program() -> hard_repro::trace::Program {
+    let data = Addr(0x1000);
+    let result = Addr(0x2000);
+    let mut b = ProgramBuilder::new(2);
+    b.thread(0)
+        .write(data, 4, SiteId(1)) // parent initializes
+        .fork(ThreadId(1), SiteId(2))
+        .compute(50)
+        .join(ThreadId(1), SiteId(3))
+        .read(result, 4, SiteId(4)) // parent consumes the result
+        .write(result, 4, SiteId(5));
+    b.thread(1)
+        .read(data, 4, SiteId(6)) // child reads the parent's data
+        .write(data, 4, SiteId(7)) // and works on it
+        .write(result, 4, SiteId(8)); // then publishes a result
+    b.build()
+}
+
+#[test]
+fn scheduler_orders_fork_and_join() {
+    let p = handoff_program();
+    assert_eq!(p.validate(), Ok(()));
+    for seed in 0..16 {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+        assert_eq!(trace.ops().count(), p.total_ops(), "seed {seed}");
+        let pos = |pred: &dyn Fn(ThreadId, &Op) -> bool| {
+            trace
+                .events
+                .iter()
+                .position(|e| match e {
+                    TraceEvent::Op { thread, op } => pred(*thread, op),
+                    TraceEvent::BarrierComplete { .. } => false,
+                })
+                .expect("event present")
+        };
+        let fork_at = pos(&|_, op| matches!(op, Op::Fork { .. }));
+        let join_at = pos(&|_, op| matches!(op, Op::Join { .. }));
+        let child_first = pos(&|t, _| t == ThreadId(1));
+        let child_last = trace
+            .events
+            .iter()
+            .rposition(|e| e.thread() == Some(ThreadId(1)))
+            .unwrap();
+        assert!(fork_at < child_first, "child runs only after the fork");
+        assert!(child_last < join_at, "join completes only after the child");
+    }
+}
+
+#[test]
+fn fork_join_handoff_is_clean_for_all_detectors() {
+    let p = handoff_program();
+    for seed in 0..16 {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+
+        let mut hb = IdealHappensBefore::new(IdealHbConfig::new(2));
+        let hb_reports = run_detector(&mut hb, &trace);
+        assert!(
+            hb_reports.is_empty(),
+            "seed {seed}: fork/join edges order everything for HB: {hb_reports:?}"
+        );
+
+        let mut ls = IdealLockset::new(IdealLocksetConfig::default());
+        let ls_reports = run_detector(&mut ls, &trace);
+        assert!(
+            ls_reports.is_empty(),
+            "seed {seed}: ownership transfer + dummy locks silence lockset: {ls_reports:?}"
+        );
+
+        let mut hard = HardMachine::new(HardConfig::default());
+        let hard_reports = run_detector(&mut hard, &trace);
+        assert!(
+            hard_reports.is_empty(),
+            "seed {seed}: HARD with §3.1 handling stays silent: {hard_reports:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_parent_child_race_is_still_caught() {
+    // The parent races with its still-running child on `shared` — fork/join
+    // handling must NOT hide true races.
+    let shared = Addr(0x3000);
+    let mut b = ProgramBuilder::new(2);
+    b.thread(0)
+        .fork(ThreadId(1), SiteId(1))
+        .write(shared, 4, SiteId(2))
+        .write(shared, 4, SiteId(3))
+        .join(ThreadId(1), SiteId(4));
+    b.thread(1)
+        .write(shared, 4, SiteId(5))
+        .write(shared, 4, SiteId(6));
+    let p = b.build();
+    let mut hard_caught = 0;
+    for seed in 0..32 {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 1 }).run(&p);
+        let mut hard = HardMachine::new(HardConfig::default());
+        if !run_detector(&mut hard, &trace).is_empty() {
+            hard_caught += 1;
+        }
+    }
+    assert!(
+        hard_caught > 16,
+        "the true parent/child race must be caught in most interleavings ({hard_caught}/32)"
+    );
+}
+
+#[test]
+fn two_children_racing_are_caught_despite_dummy_locks() {
+    // Each child holds its own dummy lock; the dummies intersect to
+    // nothing, so the cross-child race is reported.
+    let shared = Addr(0x4000);
+    let mut b = ProgramBuilder::new(3);
+    b.thread(0)
+        .fork(ThreadId(1), SiteId(1))
+        .fork(ThreadId(2), SiteId(2))
+        .join(ThreadId(1), SiteId(3))
+        .join(ThreadId(2), SiteId(4));
+    b.thread(1).write(shared, 4, SiteId(5)).write(shared, 4, SiteId(6));
+    b.thread(2).write(shared, 4, SiteId(7)).write(shared, 4, SiteId(8));
+    let p = b.build();
+    let mut caught = 0;
+    for seed in 0..32 {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 1 }).run(&p);
+        // The race is catchable exactly when the children's writes
+        // interleave (a sequential c1..c2.. order hides it inside the
+        // Exclusive state, as for any lockset detector).
+        let order: Vec<u32> = trace
+            .ops()
+            .filter(|(_, op)| op.as_access().is_some())
+            .map(|(t, _)| t.0)
+            .collect();
+        let interleaved = order.windows(2).filter(|w| w[0] != w[1]).count() > 1;
+        let mut ls = IdealLockset::new(IdealLocksetConfig::default());
+        let hit = run_detector(&mut ls, &trace)
+            .iter()
+            .any(|r| r.addr == shared);
+        assert_eq!(
+            hit, interleaved,
+            "seed {seed}: dummies must not mask interleaved cross-child races ({order:?})"
+        );
+        if hit {
+            caught += 1;
+        }
+    }
+    assert!(caught > 8, "some interleavings must catch it ({caught}/32)");
+}
+
+#[test]
+fn a_worker_pool_larger_than_the_machine_multiplexes() {
+    // An eight-thread server-style pool on the 4-core machine: the
+    // dispatcher forks seven workers that hammer a shared counter
+    // under a lock — clean — and one forgets the lock once — caught.
+    use hard_repro::types::LockId;
+    let counter = Addr(0x5000);
+    let lock = LockId(0x1000_0000);
+    let mut b = ProgramBuilder::new(8);
+    for w in 1..8u32 {
+        b.thread(0).fork(ThreadId(w), SiteId(w));
+    }
+    for w in 1..8u32 {
+        let tp = b.thread(w);
+        for i in 0..4u32 {
+            let forgot = w == 5 && i == 2;
+            if !forgot {
+                tp.lock(lock, SiteId(100 + w * 10 + i));
+            }
+            tp.read(counter, 4, SiteId(1)).write(counter, 4, SiteId(2));
+            if !forgot {
+                tp.unlock(lock, SiteId(200 + w * 10 + i));
+            }
+        }
+    }
+    for w in 1..8u32 {
+        b.thread(0).join(ThreadId(w), SiteId(300 + w));
+    }
+    let p = b.build();
+    assert_eq!(p.validate(), Ok(()));
+    let mut caught = 0;
+    for seed in 0..8 {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+        let mut m = HardMachine::new(HardConfig::default());
+        if run_detector(&mut m, &trace)
+            .iter()
+            .any(|r| r.addr == counter)
+        {
+            caught += 1;
+        }
+    }
+    assert!(caught >= 6, "the forgotten lock is caught while multiplexed ({caught}/8)");
+}
+
+#[test]
+fn programs_mixing_fork_and_barriers_are_rejected() {
+    let mut b = ProgramBuilder::new(2);
+    b.thread(0)
+        .fork(ThreadId(1), SiteId(1))
+        .barrier(hard_repro::types::BarrierId(0), SiteId(2))
+        .join(ThreadId(1), SiteId(3));
+    b.thread(1).barrier(hard_repro::types::BarrierId(0), SiteId(4));
+    let err = b.build().validate().unwrap_err();
+    assert!(err.contains("barrier"), "{err}");
+}

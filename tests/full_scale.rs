@@ -1,0 +1,72 @@
+//! Full-scale golden regressions: the exact numbers recorded in
+//! EXPERIMENTS.md. Everything is seeded, so these are bit-reproducible
+//! — but they take a couple of minutes, so they are `#[ignore]`d by
+//! default. Run with:
+//!
+//! ```bash
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+
+use hard_repro::harness::experiments::{fig8, table2, table3};
+use hard_repro::harness::CampaignConfig;
+use hard_repro::workloads::App;
+
+#[test]
+#[ignore = "full-scale campaign (~1 min in release)"]
+fn table2_headline_numbers() {
+    let t = table2::run(&CampaignConfig::default());
+    assert_eq!(t.hard_total_detected(), 56, "HARD total");
+    assert_eq!(t.hb_total_detected(), 45, "happens-before total");
+    for r in &t.rows {
+        assert_eq!(r.hard_ideal.detected, 10, "{}: ideal lockset", r.app);
+        assert_eq!(
+            r.hard.missed_other, 0,
+            "{}: HARD misses must be displacement misses",
+            r.app
+        );
+    }
+    // The recorded per-app false-alarm counts.
+    let alarms: Vec<(App, usize)> = t.rows.iter().map(|r| (r.app, r.hard.alarms)).collect();
+    assert_eq!(
+        alarms,
+        vec![
+            (App::Cholesky, 66),
+            (App::Barnes, 43),
+            (App::Fmm, 58),
+            (App::Ocean, 29),
+            (App::WaterNsquared, 4),
+            (App::Raytrace, 36),
+        ]
+    );
+}
+
+#[test]
+#[ignore = "full-scale granularity sweep (~2 min in release)"]
+fn table3_recorded_rows() {
+    let t = table3::run(&CampaignConfig::default());
+    let row = |app: App| t.rows.iter().find(|r| r.app == app).unwrap();
+    // Bugs constant across granularities for every app.
+    for r in &t.rows {
+        assert!(r.hard_bugs.iter().all(|&b| b == r.hard_bugs[0]), "{}", r.app);
+        assert!(r.hb_bugs.iter().all(|&b| b == r.hb_bugs[0]), "{}", r.app);
+    }
+    // The recorded alarm staircases.
+    assert_eq!(row(App::Cholesky).hard_alarms, [24, 36, 54, 66]);
+    assert_eq!(row(App::Ocean).hard_alarms, [1, 1, 1, 29]);
+    assert_eq!(row(App::WaterNsquared).hard_alarms, [0, 0, 2, 4]);
+}
+
+#[test]
+#[ignore = "full-scale timing runs (~10 s in release)"]
+fn fig8_overhead_band() {
+    let f = fig8::run(&CampaignConfig::default());
+    for r in &f.rows {
+        let pct = r.overhead() * 100.0;
+        assert!(
+            (0.5..3.5).contains(&pct),
+            "{}: overhead {pct:.2}% left the recorded band",
+            r.app
+        );
+    }
+    assert!(f.max_overhead() * 100.0 < 3.0);
+}

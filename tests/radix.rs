@@ -1,0 +1,86 @@
+//! Cross-crate radix checks: the Table 6 footnote's "candidate set and
+//! lock set size 3" property, end-to-end through the detectors.
+
+use hard_repro::bloom::analysis::cr_whole;
+use hard_repro::core::{HardConfig, HardMachine};
+use hard_repro::lockset::{IdealLockset, IdealLocksetConfig};
+use hard_repro::trace::{run_detector, SchedConfig, Scheduler};
+use hard_repro::types::Addr;
+use hard_repro::workloads::apps::radix;
+use hard_repro::workloads::{inject_race, WorkloadConfig};
+
+fn trace(seed: u64) -> hard_repro::trace::Trace {
+    let p = radix::generate(&WorkloadConfig::reduced(0.2));
+    Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p)
+}
+
+#[test]
+fn histogram_candidate_sets_have_three_locks() {
+    let t = trace(0);
+    // Barrier pruning resets every candidate set at the trace's final
+    // barrier; disable it so the stabilized sets are inspectable.
+    let cfg = IdealLocksetConfig {
+        barrier_pruning: false,
+        ..IdealLocksetConfig::default()
+    };
+    let mut d = IdealLockset::new(cfg);
+    run_detector(&mut d, &t);
+    // Histogram cells live in the shared region; find a tracked granule
+    // with a finite candidate set of size 3.
+    let mut found = false;
+    for addr in (0x2000_0000u64..0x2000_0800).step_by(4) {
+        if let Some(meta) = d.granule_meta(Addr(addr)) {
+            if meta.candidate.len() == Some(3) {
+                found = true;
+                break;
+            }
+        }
+    }
+    assert!(found, "some cell must stabilize at a 3-lock candidate set");
+}
+
+#[test]
+fn radix_is_race_free_under_every_detector() {
+    for seed in 0..4 {
+        let t = trace(seed);
+        let mut ideal = IdealLockset::new(IdealLocksetConfig::default());
+        assert!(
+            run_detector(&mut ideal, &t).is_empty(),
+            "seed {seed}: the nested discipline is consistent"
+        );
+        let mut hard = HardMachine::new(HardConfig::default());
+        assert!(
+            run_detector(&mut hard, &t).is_empty(),
+            "seed {seed}: the 16-bit registers handle depth-3 nesting"
+        );
+    }
+}
+
+#[test]
+fn injected_rank_races_are_caught() {
+    let p = radix::generate(&WorkloadConfig::reduced(0.2));
+    let mut caught = 0;
+    for seed in 0..6 {
+        let (injected, info) = inject_race(&p, seed);
+        let t = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&injected);
+        let mut hard = HardMachine::new(HardConfig::default());
+        let reports = run_detector(&mut hard, &t);
+        if reports
+            .iter()
+            .any(|r| info.overlaps(r.addr, Addr(r.addr.0 + u64::from(r.size))))
+        {
+            caught += 1;
+        }
+    }
+    assert!(caught >= 4, "rank races are dense and catchable ({caught}/6)");
+}
+
+#[test]
+fn the_m3_collision_risk_is_the_papers() {
+    // §3.2 + Table 6 footnote: with candidate sets of size 3 the 16-bit
+    // vector's missed-race probability is ~0.111 — still tolerable, and
+    // the reason the paper checked radix separately.
+    let risk = cr_whole(4, 3);
+    assert!((risk - 0.111).abs() < 0.002);
+    assert!(cr_whole(8, 3) < risk / 5.0, "the 32-bit vector slashes it");
+}
