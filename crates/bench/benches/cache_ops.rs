@@ -8,20 +8,27 @@ use hard_types::{AccessKind, Addr, CoreId};
 use std::hint::black_box;
 
 fn bench_l1_hit(c: &mut Criterion) {
-    let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory);
-    h.ensure(CoreId(0), Addr(0x1000), AccessKind::Read);
+    let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap();
+    h.ensure(CoreId(0), Addr(0x1000), AccessKind::Read).unwrap();
     c.bench_function("cache/l1-hit", |b| {
-        b.iter(|| h.ensure(black_box(CoreId(0)), black_box(Addr(0x1000)), AccessKind::Read))
+        b.iter(|| {
+            h.ensure(
+                black_box(CoreId(0)),
+                black_box(Addr(0x1000)),
+                AccessKind::Read,
+            )
+            .unwrap()
+        })
     });
 }
 
 fn bench_l2_miss_stream(c: &mut Criterion) {
     c.bench_function("cache/cold-stream-1k-lines", |b| {
         b.iter_batched(
-            || Hierarchy::new(HierarchyConfig::default(), NullFactory),
+            || Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap(),
             |mut h| {
                 for i in 0..1024u64 {
-                    h.ensure(CoreId(0), Addr(i * 32), AccessKind::Read);
+                    h.ensure(CoreId(0), Addr(i * 32), AccessKind::Read).unwrap();
                 }
                 h
             },
@@ -31,11 +38,13 @@ fn bench_l2_miss_stream(c: &mut Criterion) {
 }
 
 fn bench_coherence_pingpong(c: &mut Criterion) {
-    let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory);
+    let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap();
     c.bench_function("cache/write-pingpong", |b| {
         b.iter(|| {
-            h.ensure(CoreId(0), Addr(0x2000), AccessKind::Write);
-            h.ensure(CoreId(1), Addr(0x2000), AccessKind::Write);
+            h.ensure(CoreId(0), Addr(0x2000), AccessKind::Write)
+                .unwrap();
+            h.ensure(CoreId(1), Addr(0x2000), AccessKind::Write)
+                .unwrap();
         })
     });
 }

@@ -50,7 +50,9 @@ fn bench_codec(c: &mut Criterion) {
             out
         })
     });
-    g.bench_function("decode", |b| b.iter(|| codec::decode(buf.as_slice()).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| codec::decode(buf.as_slice()).unwrap())
+    });
     g.finish();
 }
 

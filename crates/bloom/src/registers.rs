@@ -164,6 +164,33 @@ impl LockRegister {
         let shape = self.vector.shape();
         *self = LockRegister::new(shape);
     }
+
+    /// Flips one vector bit — the fault-injection model of a particle
+    /// strike on the Lock Register.
+    ///
+    /// The counters are left alone: a real strike hits one storage
+    /// cell, and the register's parity bit (modelled by the machine's
+    /// corruption bookkeeping) flags the mismatch on the next read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the register's vector width.
+    pub fn flip_vector_bit(&mut self, bit: u32) {
+        let mut v = self.vector;
+        v.flip_bit(bit);
+        self.vector = v;
+    }
+
+    /// Rebuilds the register from the OS's software lock shadow — the
+    /// recovery path after a parity check catches register corruption.
+    /// The shadow lists the thread's currently held locks in
+    /// acquisition order (with multiplicity for recursive acquires).
+    pub fn rebuild_from(&mut self, held: &[LockId]) {
+        self.clear();
+        for &l in held {
+            self.acquire(l);
+        }
+    }
 }
 
 impl fmt::Debug for LockRegister {
@@ -227,7 +254,9 @@ mod tests {
         r.acquire(b);
         r.release(a);
         assert!(r.vector().contains(b));
-        assert!(!r.vector().contains(a) || shape.signature(a) & r.vector().bits() != shape.signature(a));
+        assert!(
+            !r.vector().contains(a) || shape.signature(a) & r.vector().bits() != shape.signature(a)
+        );
     }
 
     #[test]
@@ -268,6 +297,20 @@ mod tests {
         assert!(r.is_empty());
         assert!(r.counters().all_zero());
         assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn flip_and_rebuild_roundtrip() {
+        let held = [LockId(0x40), LockId(0x80), LockId(0x40)];
+        let mut r = LockRegister::new(BloomShape::B16);
+        for &l in &held {
+            r.acquire(l);
+        }
+        let pristine = r.clone();
+        r.flip_vector_bit(3);
+        assert_ne!(r.vector(), pristine.vector(), "the strike lands");
+        r.rebuild_from(&held);
+        assert_eq!(r, pristine, "shadow rebuild restores the exact state");
     }
 
     #[test]

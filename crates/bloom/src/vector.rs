@@ -246,6 +246,21 @@ impl BloomVector {
     pub fn reset_full(&mut self) {
         self.bits = self.shape.full_mask();
     }
+
+    /// Flips one bit of the vector — the fault-injection model of a
+    /// particle strike on the BFVector storage cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the shape's vector width.
+    pub fn flip_bit(&mut self, bit: u32) {
+        assert!(
+            bit < self.shape.total_bits(),
+            "bit {bit} outside a {} vector",
+            self.shape
+        );
+        self.bits ^= 1u64 << bit;
+    }
 }
 
 impl fmt::Debug for BloomVector {
@@ -292,8 +307,8 @@ mod tests {
             for shape in [BloomShape::B16, BloomShape::B32] {
                 let sig = shape.signature(LockId(addr));
                 for part in 0..PARTS {
-                    let part_bits = (sig >> (part * shape.part_len()))
-                        & ((1u64 << shape.part_len()) - 1);
+                    let part_bits =
+                        (sig >> (part * shape.part_len())) & ((1u64 << shape.part_len()) - 1);
                     assert_eq!(part_bits.count_ones(), 1, "part {part} of {addr:#x}");
                 }
             }
@@ -420,6 +435,22 @@ mod tests {
         v.insert(LockId(0x44));
         v.reset_full();
         assert_eq!(v, BloomVector::full(BloomShape::B32));
+    }
+
+    #[test]
+    fn flip_bit_is_an_involution() {
+        let mut v = BloomVector::full(BloomShape::B16);
+        v.flip_bit(5);
+        assert_eq!(v.bits(), 0xFFFF & !(1 << 5));
+        v.flip_bit(5);
+        assert_eq!(v, BloomVector::full(BloomShape::B16));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn flip_bit_rejects_out_of_range() {
+        let mut v = BloomVector::empty(BloomShape::B16);
+        v.flip_bit(16);
     }
 
     #[test]

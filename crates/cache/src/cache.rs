@@ -2,7 +2,7 @@
 
 use crate::cstate::CState;
 use crate::geometry::CacheGeometry;
-use hard_types::Addr;
+use hard_types::{Addr, HardError};
 
 /// One cache line: identity, coherence state and attached metadata.
 #[derive(Clone, Debug)]
@@ -90,32 +90,37 @@ impl<M> SetAssocCache<M> {
     /// Inserts a line (which must not already be present), evicting the
     /// LRU victim if the set is full.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the line is already present — the hierarchy must probe
-    /// first.
-    pub fn insert(&mut self, addr: Addr, state: CState, meta: M) -> Option<Evicted<M>> {
+    /// Returns [`HardError::DuplicateLine`] if the line is already
+    /// present — the hierarchy must probe first.
+    pub fn insert(
+        &mut self,
+        addr: Addr,
+        state: CState,
+        meta: M,
+    ) -> Result<Option<Evicted<M>>, HardError> {
         let line_addr = self.geom.line_of(addr);
         let ways = self.geom.ways() as usize;
         let tick = self.bump();
         let set_idx = self.geom.set_index(line_addr);
         let set = &mut self.sets[set_idx];
-        assert!(
-            set.iter().all(|l| l.addr != line_addr),
-            "line {line_addr} already present"
-        );
-        let victim = if set.len() == ways {
-            let (vi, _) = set
-                .iter()
+        if set.iter().any(|l| l.addr == line_addr) {
+            return Err(HardError::DuplicateLine { line: line_addr });
+        }
+        let victim = if set.len() >= ways {
+            set.iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.lru)
-                .expect("full set is non-empty");
-            let v = set.swap_remove(vi);
-            Some(Evicted {
-                addr: v.addr,
-                state: v.state,
-                meta: v.meta,
-            })
+                .map(|(vi, _)| vi)
+                .map(|vi| {
+                    let v = set.swap_remove(vi);
+                    Evicted {
+                        addr: v.addr,
+                        state: v.state,
+                        meta: v.meta,
+                    }
+                })
         } else {
             None
         };
@@ -125,7 +130,7 @@ impl<M> SetAssocCache<M> {
             meta,
             lru: tick,
         });
-        victim
+        Ok(victim)
     }
 
     /// Removes the line containing `addr`, returning it.
@@ -160,7 +165,10 @@ mod tests {
     #[test]
     fn insert_probe_roundtrip() {
         let mut c = small();
-        assert!(c.insert(Addr(0x20), CState::Exclusive, 7).is_none());
+        assert!(c
+            .insert(Addr(0x20), CState::Exclusive, 7)
+            .unwrap()
+            .is_none());
         assert_eq!(c.occupancy(), 1);
         let line = c.probe(Addr(0x24)).expect("same line");
         assert_eq!(line.meta, 7);
@@ -173,11 +181,14 @@ mod tests {
         let mut c = small();
         // Set 0 holds lines 0x00, 0x40 (with 2 sets of 32B lines,
         // set = (addr/32) & 1).
-        c.insert(Addr(0x00), CState::Exclusive, 1);
-        c.insert(Addr(0x40), CState::Exclusive, 2);
+        c.insert(Addr(0x00), CState::Exclusive, 1).unwrap();
+        c.insert(Addr(0x40), CState::Exclusive, 2).unwrap();
         // Touch 0x00 so 0x40 becomes LRU.
         c.probe(Addr(0x00));
-        let ev = c.insert(Addr(0x80), CState::Exclusive, 3).expect("eviction");
+        let ev = c
+            .insert(Addr(0x80), CState::Exclusive, 3)
+            .unwrap()
+            .expect("eviction");
         assert_eq!(ev.addr, Addr(0x40));
         assert_eq!(ev.meta, 2);
         assert!(c.peek(Addr(0x00)).is_some());
@@ -187,16 +198,16 @@ mod tests {
     #[test]
     fn different_sets_do_not_conflict() {
         let mut c = small();
-        c.insert(Addr(0x00), CState::Exclusive, 1);
-        c.insert(Addr(0x20), CState::Exclusive, 2); // set 1
-        c.insert(Addr(0x40), CState::Exclusive, 3); // set 0
+        c.insert(Addr(0x00), CState::Exclusive, 1).unwrap();
+        c.insert(Addr(0x20), CState::Exclusive, 2).unwrap(); // set 1
+        c.insert(Addr(0x40), CState::Exclusive, 3).unwrap(); // set 0
         assert_eq!(c.occupancy(), 3);
     }
 
     #[test]
     fn remove_returns_line() {
         let mut c = small();
-        c.insert(Addr(0x00), CState::Modified, 9);
+        c.insert(Addr(0x00), CState::Modified, 9).unwrap();
         let l = c.remove(Addr(0x1F)).expect("same line");
         assert_eq!(l.meta, 9);
         assert_eq!(l.state, CState::Modified);
@@ -205,18 +216,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already present")]
-    fn double_insert_panics() {
+    fn double_insert_is_an_error() {
         let mut c = small();
-        c.insert(Addr(0x00), CState::Exclusive, 1);
-        c.insert(Addr(0x04), CState::Exclusive, 2); // same line
+        c.insert(Addr(0x00), CState::Exclusive, 1).unwrap();
+        let err = c.insert(Addr(0x04), CState::Exclusive, 2); // same line
+        assert_eq!(
+            err.err(),
+            Some(hard_types::HardError::DuplicateLine { line: Addr(0x00) })
+        );
+        assert_eq!(c.occupancy(), 1, "the original line is untouched");
     }
 
     #[test]
     fn iter_mut_allows_flash_updates() {
         let mut c = small();
-        c.insert(Addr(0x00), CState::Exclusive, 1);
-        c.insert(Addr(0x20), CState::Exclusive, 2);
+        c.insert(Addr(0x00), CState::Exclusive, 1).unwrap();
+        c.insert(Addr(0x20), CState::Exclusive, 2).unwrap();
         for line in c.iter_mut() {
             line.meta = 0;
         }

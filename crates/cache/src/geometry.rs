@@ -33,8 +33,14 @@ impl CacheGeometry {
     /// `ways` lines.
     #[must_use]
     pub fn new(size_bytes: u64, ways: u32, line_bytes: u64) -> CacheGeometry {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
         assert!(ways > 0, "need at least one way");
         let lines = size_bytes / line_bytes;
         assert!(

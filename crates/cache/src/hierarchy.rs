@@ -12,7 +12,7 @@ use crate::cstate::CState;
 use crate::geometry::CacheGeometry;
 use crate::policy::MetaFactory;
 use crate::stats::MemStats;
-use hard_types::{AccessKind, Addr, CoreId};
+use hard_types::{AccessKind, Addr, CoreId, HardError};
 use std::collections::BTreeSet;
 
 /// Hierarchy shape (Table 1 defaults).
@@ -95,20 +95,24 @@ pub struct Hierarchy<F: MetaFactory> {
 impl<F: MetaFactory> Hierarchy<F> {
     /// An empty hierarchy.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the L1 and L2 line sizes differ (the simulator keeps
-    /// one machine-wide line size, as Table 1 does) or if there are no
-    /// cores.
-    #[must_use]
-    pub fn new(cfg: HierarchyConfig, factory: F) -> Hierarchy<F> {
-        assert!(cfg.num_cores > 0, "need at least one core");
+    /// Returns [`HardError::InvalidConfig`] if there are no cores or if
+    /// the L2 line size is not the L1's (Table 1) or twice it
+    /// (Figure 3) — the simulator keeps one machine-wide line size.
+    pub fn new(cfg: HierarchyConfig, factory: F) -> Result<Hierarchy<F>, HardError> {
+        if cfg.num_cores == 0 {
+            return Err(HardError::InvalidConfig {
+                what: "need at least one core".into(),
+            });
+        }
         let factor = cfg.l2.line_bytes() / cfg.l1.line_bytes();
-        assert!(
-            cfg.l2.line_bytes().is_multiple_of(cfg.l1.line_bytes()) && (1..=2).contains(&factor),
-            "the L2 line must equal the L1 line (Table 1) or twice it (Figure 3)"
-        );
-        Hierarchy {
+        if !cfg.l2.line_bytes().is_multiple_of(cfg.l1.line_bytes()) || !(1..=2).contains(&factor) {
+            return Err(HardError::InvalidConfig {
+                what: "the L2 line must equal the L1 line (Table 1) or twice it (Figure 3)".into(),
+            });
+        }
+        Ok(Hierarchy {
             l1: (0..cfg.num_cores)
                 .map(|_| SetAssocCache::new(cfg.l1))
                 .collect(),
@@ -119,7 +123,7 @@ impl<F: MetaFactory> Hierarchy<F> {
             stats: MemStats::default(),
             lost_meta: BTreeSet::new(),
             eviction_log: Vec::new(),
-        }
+        })
     }
 
     /// The sector index of an L1 line within its L2 line.
@@ -197,13 +201,19 @@ impl<F: MetaFactory> Hierarchy<F> {
     /// copy and the L2 (paper §3.4: performed when a shared line's
     /// candidate set changes). Counts one metadata bus transaction.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `core` does not hold the line.
-    pub fn broadcast_meta(&mut self, core: CoreId, addr: Addr) {
+    /// Returns [`HardError::CoherenceViolation`] if `core` does not
+    /// hold the line — possible when a fault displaced it between the
+    /// access and the broadcast.
+    pub fn broadcast_meta(&mut self, core: CoreId, addr: Addr) -> Result<(), HardError> {
         let meta = self.l1[core.index()]
             .peek(addr)
-            .unwrap_or_else(|| panic!("broadcast from {core} without a copy of {addr}"))
+            .ok_or(HardError::CoherenceViolation {
+                core,
+                line: self.cfg.l1.line_of(addr),
+                what: "broadcast sourced from a core without a copy",
+            })?
             .meta
             .clone();
         for (i, l1) in self.l1.iter_mut().enumerate() {
@@ -218,6 +228,7 @@ impl<F: MetaFactory> Hierarchy<F> {
             *slot = Some(meta.clone());
         }
         self.stats.meta_broadcasts += 1;
+        Ok(())
     }
 
     /// Pushes `core`'s metadata for `addr`'s line down to the L2 copy
@@ -272,8 +283,14 @@ impl<F: MetaFactory> Hierarchy<F> {
     }
 
     /// Inserts a line into an L1, handling the victim writeback.
-    fn l1_insert(&mut self, core: CoreId, addr: Addr, state: CState, meta: F::Meta) {
-        if let Some(victim) = self.l1[core.index()].insert(addr, state, meta) {
+    fn l1_insert(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        state: CState,
+        meta: F::Meta,
+    ) -> Result<(), HardError> {
+        if let Some(victim) = self.l1[core.index()].insert(addr, state, meta)? {
             self.stats.l1_evictions += 1;
             if victim.state == CState::Modified {
                 self.stats.writebacks += 1;
@@ -289,6 +306,7 @@ impl<F: MetaFactory> Hierarchy<F> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Makes the line containing `addr` resident in `core`'s L1 with
@@ -296,7 +314,19 @@ impl<F: MetaFactory> Hierarchy<F> {
     /// reports how the access was served.
     ///
     /// `addr` may be any address within the line.
-    pub fn ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> EnsureResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardError::CoherenceViolation`] or
+    /// [`HardError::DuplicateLine`] if an MESI invariant does not hold;
+    /// impossible in a fault-free run, but reachable when a fault layer
+    /// perturbs the caches between accesses.
+    pub fn ensure(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> Result<EnsureResult, HardError> {
         let line_addr = self.cfg.l1.line_of(addr);
         let c = core.index();
 
@@ -305,17 +335,17 @@ impl<F: MetaFactory> Hierarchy<F> {
             match kind {
                 AccessKind::Read => {
                     self.stats.l1_hits += 1;
-                    return EnsureResult::hit();
+                    return Ok(EnsureResult::hit());
                 }
                 AccessKind::Write => match line.state {
                     CState::Modified => {
                         self.stats.l1_hits += 1;
-                        return EnsureResult::hit();
+                        return Ok(EnsureResult::hit());
                     }
                     CState::Exclusive => {
                         line.state = CState::Modified;
                         self.stats.l1_hits += 1;
-                        return EnsureResult::hit();
+                        return Ok(EnsureResult::hit());
                     }
                     CState::Shared => {
                         // Bus upgrade: invalidate the other copies.
@@ -328,14 +358,20 @@ impl<F: MetaFactory> Hierarchy<F> {
                                 l1.remove(line_addr);
                             }
                         }
-                        return EnsureResult {
+                        return Ok(EnsureResult {
                             served_by: ServedBy::L1Upgrade,
                             bus_data: 0,
                             bus_control: 1,
                             refetch_after_loss: false,
-                        };
+                        });
                     }
-                    CState::Invalid => unreachable!("invalid lines are not stored"),
+                    CState::Invalid => {
+                        return Err(HardError::CoherenceViolation {
+                            core,
+                            line: line_addr,
+                            what: "an invalid line was stored in an L1",
+                        })
+                    }
                 },
             }
         }
@@ -364,7 +400,13 @@ impl<F: MetaFactory> Hierarchy<F> {
             result.bus_data += 1;
             result.served_by = ServedBy::Peer;
             let (peer_meta, was_modified) = {
-                let line = self.l1[o].probe(line_addr).expect("owner holds the line");
+                let line = self.l1[o]
+                    .probe(line_addr)
+                    .ok_or(HardError::CoherenceViolation {
+                        core: CoreId(o as u32),
+                        line: line_addr,
+                        what: "snooped owner no longer holds the line",
+                    })?;
                 let m = line.meta.clone();
                 let dirty = line.state == CState::Modified;
                 if kind.is_write() {
@@ -409,7 +451,11 @@ impl<F: MetaFactory> Hierarchy<F> {
                 self.l2
                     .probe(line_addr)
                     .and_then(|l| l.meta[idx].clone())
-                    .expect("sector just checked valid")
+                    .ok_or(HardError::CoherenceViolation {
+                        core,
+                        line: line_addr,
+                        what: "a valid L2 sector vanished during the fill",
+                    })?
             } else {
                 // Fetch from memory: fresh metadata (paper §3.1).
                 self.stats.l2_misses += 1;
@@ -425,9 +471,7 @@ impl<F: MetaFactory> Hierarchy<F> {
                 } else {
                     let mut sectors = vec![None; self.sectors];
                     sectors[idx] = Some(fresh.clone());
-                    if let Some(victim) =
-                        self.l2.insert(line_addr, CState::Exclusive, sectors)
-                    {
+                    if let Some(victim) = self.l2.insert(line_addr, CState::Exclusive, sectors)? {
                         self.l2_evicted(victim.addr, &victim.meta);
                     }
                 }
@@ -435,8 +479,8 @@ impl<F: MetaFactory> Hierarchy<F> {
             }
         };
 
-        let others_hold = (0..self.cfg.num_cores)
-            .any(|i| i != c && self.l1[i].peek(line_addr).is_some());
+        let others_hold =
+            (0..self.cfg.num_cores).any(|i| i != c && self.l1[i].peek(line_addr).is_some());
         let new_state = if kind.is_write() {
             CState::Modified
         } else if others_hold {
@@ -444,8 +488,35 @@ impl<F: MetaFactory> Hierarchy<F> {
         } else {
             CState::Exclusive
         };
-        self.l1_insert(core, line_addr, new_state, meta);
-        result
+        self.l1_insert(core, line_addr, new_state, meta)?;
+        Ok(result)
+    }
+
+    /// The line addresses currently resident in `core`'s L1, in set
+    /// order. Used by the fault layer to pick corruption victims; only
+    /// called when a (rare) fault actually fires.
+    #[must_use]
+    pub fn resident_lines(&self, core: CoreId) -> Vec<Addr> {
+        self.l1[core.index()].iter().map(|l| l.addr).collect()
+    }
+
+    /// Number of valid L2 lines (victim pool for spurious
+    /// displacement faults).
+    #[must_use]
+    pub fn l2_occupancy(&self) -> usize {
+        self.l2.occupancy()
+    }
+
+    /// Forcibly displaces the `n`-th valid L2 line (and, via
+    /// inclusion, every covered L1 copy), exactly as a genuine
+    /// capacity eviction would: metadata of valid sectors is lost and
+    /// recorded. Models a spurious displacement fault. Returns the
+    /// displaced L2 line address, or `None` if `n` is out of range.
+    pub fn force_displace(&mut self, n: usize) -> Option<Addr> {
+        let victim_addr = self.l2.iter().nth(n).map(|l| l.addr)?;
+        let victim = self.l2.remove(victim_addr)?;
+        self.l2_evicted(victim.addr, &victim.meta);
+        Some(victim.addr)
     }
 }
 
@@ -480,11 +551,11 @@ mod tests {
 
     #[test]
     fn cold_miss_then_hit() {
-        let mut h = Hierarchy::new(tiny_cfg(), StampFactory);
-        let r = h.ensure(C0, Addr(0x100), AccessKind::Read);
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        let r = h.ensure(C0, Addr(0x100), AccessKind::Read).unwrap();
         assert_eq!(r.served_by, ServedBy::Memory);
         assert!(!r.refetch_after_loss);
-        let r2 = h.ensure(C0, Addr(0x104), AccessKind::Read);
+        let r2 = h.ensure(C0, Addr(0x104), AccessKind::Read).unwrap();
         assert_eq!(r2.served_by, ServedBy::L1);
         assert_eq!(h.stats().l1_hits, 1);
         assert_eq!(h.stats().l2_misses, 1);
@@ -493,10 +564,10 @@ mod tests {
 
     #[test]
     fn read_sharing_transfers_metadata() {
-        let mut h = Hierarchy::new(tiny_cfg(), StampFactory);
-        h.ensure(C0, Addr(0x100), AccessKind::Read);
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        h.ensure(C0, Addr(0x100), AccessKind::Read).unwrap();
         *h.meta_mut(C0, Addr(0x100)).unwrap() = 42;
-        let r = h.ensure(C1, Addr(0x100), AccessKind::Read);
+        let r = h.ensure(C1, Addr(0x100), AccessKind::Read).unwrap();
         assert_eq!(r.served_by, ServedBy::Peer);
         assert_eq!(h.meta(C1, Addr(0x100)), Some(&42), "metadata piggybacks");
         assert_eq!(h.sharers(Addr(0x100)), 2);
@@ -509,11 +580,11 @@ mod tests {
 
     #[test]
     fn write_invalidates_peers() {
-        let mut h = Hierarchy::new(tiny_cfg(), StampFactory);
-        h.ensure(C0, Addr(0x100), AccessKind::Read);
-        h.ensure(C1, Addr(0x100), AccessKind::Read);
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        h.ensure(C0, Addr(0x100), AccessKind::Read).unwrap();
+        h.ensure(C1, Addr(0x100), AccessKind::Read).unwrap();
         assert_eq!(h.sharers(Addr(0x100)), 2);
-        let r = h.ensure(C1, Addr(0x100), AccessKind::Write);
+        let r = h.ensure(C1, Addr(0x100), AccessKind::Write).unwrap();
         assert_eq!(r.served_by, ServedBy::L1Upgrade);
         assert_eq!(h.sharers(Addr(0x100)), 1);
         assert!(h.meta(C0, Addr(0x100)).is_none());
@@ -522,10 +593,10 @@ mod tests {
 
     #[test]
     fn write_miss_steals_modified_line() {
-        let mut h = Hierarchy::new(tiny_cfg(), StampFactory);
-        h.ensure(C0, Addr(0x100), AccessKind::Write);
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        h.ensure(C0, Addr(0x100), AccessKind::Write).unwrap();
         *h.meta_mut(C0, Addr(0x100)).unwrap() = 7;
-        let r = h.ensure(C1, Addr(0x100), AccessKind::Write);
+        let r = h.ensure(C1, Addr(0x100), AccessKind::Write).unwrap();
         assert_eq!(r.served_by, ServedBy::Peer);
         assert_eq!(h.meta(C1, Addr(0x100)), Some(&7));
         assert_eq!(h.sharers(Addr(0x100)), 1, "old owner invalidated");
@@ -534,10 +605,10 @@ mod tests {
 
     #[test]
     fn silent_e_to_m_upgrade() {
-        let mut h = Hierarchy::new(tiny_cfg(), StampFactory);
-        h.ensure(C0, Addr(0x100), AccessKind::Read);
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        h.ensure(C0, Addr(0x100), AccessKind::Read).unwrap();
         let before = h.stats().bus_transactions();
-        let r = h.ensure(C0, Addr(0x100), AccessKind::Write);
+        let r = h.ensure(C0, Addr(0x100), AccessKind::Write).unwrap();
         assert_eq!(r.served_by, ServedBy::L1);
         assert_eq!(h.stats().bus_transactions(), before, "no bus traffic");
         assert_eq!(h.l1[0].peek(Addr(0x100)).unwrap().state, CState::Modified);
@@ -545,11 +616,11 @@ mod tests {
 
     #[test]
     fn broadcast_updates_all_copies_and_l2() {
-        let mut h = Hierarchy::new(tiny_cfg(), StampFactory);
-        h.ensure(C0, Addr(0x100), AccessKind::Read);
-        h.ensure(C1, Addr(0x100), AccessKind::Read);
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        h.ensure(C0, Addr(0x100), AccessKind::Read).unwrap();
+        h.ensure(C1, Addr(0x100), AccessKind::Read).unwrap();
         *h.meta_mut(C0, Addr(0x100)).unwrap() = 99;
-        h.broadcast_meta(C0, Addr(0x100));
+        h.broadcast_meta(C0, Addr(0x100)).unwrap();
         assert_eq!(h.meta(C1, Addr(0x100)), Some(&99));
         assert_eq!(h.l2.peek(Addr(0x100)).unwrap().meta[0], Some(99));
         assert_eq!(h.stats().meta_broadcasts, 1);
@@ -560,19 +631,19 @@ mod tests {
         // The tiny L2 has 2 ways per set; three lines mapping to the
         // same L2 set displace the first.
         let cfg = tiny_cfg();
-        let mut h = Hierarchy::new(cfg, StampFactory);
+        let mut h = Hierarchy::new(cfg, StampFactory).unwrap();
         // L2 has 4 sets of 32B lines: set = (addr/32) & 3.
         // 0x000, 0x080, 0x100 all map to L2 set 0.
-        h.ensure(C0, Addr(0x000), AccessKind::Read);
+        h.ensure(C0, Addr(0x000), AccessKind::Read).unwrap();
         *h.meta_mut(C0, Addr(0x000)).unwrap() = 5;
-        h.ensure(C0, Addr(0x080), AccessKind::Read);
-        h.ensure(C0, Addr(0x100), AccessKind::Read);
+        h.ensure(C0, Addr(0x080), AccessKind::Read).unwrap();
+        h.ensure(C0, Addr(0x100), AccessKind::Read).unwrap();
         assert_eq!(h.stats().l2_evictions, 1);
         assert!(h.was_meta_lost(Addr(0x000)));
         // Back-invalidation removed the L1 copy too (inclusion).
         assert!(h.meta(C0, Addr(0x000)).is_none());
         // Refetch restores *fresh* metadata, not the old value.
-        let r = h.ensure(C0, Addr(0x000), AccessKind::Read);
+        let r = h.ensure(C0, Addr(0x000), AccessKind::Read).unwrap();
         assert_eq!(r.served_by, ServedBy::Memory);
         assert!(r.refetch_after_loss);
         assert_eq!(h.meta(C0, Addr(0x000)), Some(&1000));
@@ -580,51 +651,69 @@ mod tests {
 
     #[test]
     fn l1_eviction_writes_metadata_back_to_l2() {
-        let mut h = Hierarchy::new(tiny_cfg(), StampFactory);
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
         // L1 has 2 sets; lines 0x00, 0x40, 0x80 all map to L1 set 0
         // (set = (addr/32) & 1) but different L2 sets.
-        h.ensure(C0, Addr(0x000), AccessKind::Read);
+        h.ensure(C0, Addr(0x000), AccessKind::Read).unwrap();
         *h.meta_mut(C0, Addr(0x000)).unwrap() = 77;
-        h.ensure(C0, Addr(0x040), AccessKind::Read);
-        h.ensure(C0, Addr(0x080), AccessKind::Read); // evicts 0x000 from L1
+        h.ensure(C0, Addr(0x040), AccessKind::Read).unwrap();
+        h.ensure(C0, Addr(0x080), AccessKind::Read).unwrap(); // evicts 0x000 from L1
         assert_eq!(h.stats().l1_evictions, 1);
         assert!(h.meta(C0, Addr(0x000)).is_none());
-        assert_eq!(h.l2.peek(Addr(0x000)).unwrap().meta[0], Some(77), "meta preserved in L2");
+        assert_eq!(
+            h.l2.peek(Addr(0x000)).unwrap().meta[0],
+            Some(77),
+            "meta preserved in L2"
+        );
         // Re-reading restores the preserved metadata from the L2.
-        let r = h.ensure(C0, Addr(0x000), AccessKind::Read);
+        let r = h.ensure(C0, Addr(0x000), AccessKind::Read).unwrap();
         assert_eq!(r.served_by, ServedBy::L2);
         assert_eq!(h.meta(C0, Addr(0x000)), Some(&77));
     }
 
     #[test]
     fn flash_meta_touches_every_line() {
-        let mut h = Hierarchy::new(tiny_cfg(), StampFactory);
-        h.ensure(C0, Addr(0x000), AccessKind::Read);
-        h.ensure(C1, Addr(0x020), AccessKind::Read);
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        h.ensure(C0, Addr(0x000), AccessKind::Read).unwrap();
+        h.ensure(C1, Addr(0x020), AccessKind::Read).unwrap();
         h.flash_meta(|m| *m = 1);
         assert_eq!(h.meta(C0, Addr(0x000)), Some(&1));
         assert_eq!(h.meta(C1, Addr(0x020)), Some(&1));
-        assert!(h.l2.iter().all(|l| l.meta.iter().flatten().all(|m| *m == 1)));
+        assert!(h
+            .l2
+            .iter()
+            .all(|l| l.meta.iter().flatten().all(|m| *m == 1)));
     }
 
     #[test]
     fn null_factory_hierarchy_works() {
-        let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory);
-        let r = h.ensure(C0, Addr(0x1234), AccessKind::Write);
+        let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap();
+        let r = h.ensure(C0, Addr(0x1234), AccessKind::Write).unwrap();
         assert_eq!(r.served_by, ServedBy::Memory);
-        let r2 = h.ensure(C0, Addr(0x1234), AccessKind::Write);
+        let r2 = h.ensure(C0, Addr(0x1234), AccessKind::Write).unwrap();
         assert_eq!(r2.served_by, ServedBy::L1);
     }
 
     #[test]
-    #[should_panic(expected = "twice it")]
     fn oversized_l2_lines_rejected() {
         let cfg = HierarchyConfig {
             num_cores: 1,
             l1: CacheGeometry::new(128, 2, 32),
             l2: CacheGeometry::new(512, 2, 128), // 4x: beyond Figure 3
         };
-        let _ = Hierarchy::new(cfg, NullFactory);
+        let err = Hierarchy::new(cfg, NullFactory).expect_err("must be rejected");
+        assert!(
+            matches!(err, hard_types::HardError::InvalidConfig { .. }),
+            "{err}"
+        );
+        let none = Hierarchy::new(
+            HierarchyConfig {
+                num_cores: 0,
+                ..HierarchyConfig::default()
+            },
+            NullFactory,
+        );
+        assert!(none.is_err(), "zero cores must be rejected");
     }
 
     fn sectored_cfg() -> HierarchyConfig {
@@ -637,12 +726,12 @@ mod tests {
 
     #[test]
     fn sectored_l2_validates_sectors_independently() {
-        let mut h = Hierarchy::new(sectored_cfg(), StampFactory);
+        let mut h = Hierarchy::new(sectored_cfg(), StampFactory).unwrap();
         // Two L1 lines sharing one L2 line (0x00 and 0x20).
-        let r0 = h.ensure(C0, Addr(0x00), AccessKind::Read);
+        let r0 = h.ensure(C0, Addr(0x00), AccessKind::Read).unwrap();
         assert_eq!(r0.served_by, ServedBy::Memory);
         // The sibling sector is NOT validated by the first fetch.
-        let r1 = h.ensure(C0, Addr(0x20), AccessKind::Read);
+        let r1 = h.ensure(C0, Addr(0x20), AccessKind::Read).unwrap();
         assert_eq!(r1.served_by, ServedBy::Memory, "own sector fetch");
         assert_eq!(h.stats().l2_misses, 2);
         assert_eq!(h.stats().l2_evictions, 0, "sector fill evicts nothing");
@@ -650,16 +739,16 @@ mod tests {
 
     #[test]
     fn sectored_l2_eviction_loses_both_sectors() {
-        let mut h = Hierarchy::new(sectored_cfg(), StampFactory);
+        let mut h = Hierarchy::new(sectored_cfg(), StampFactory).unwrap();
         // Fill both sectors of L2 line 0x00.
-        h.ensure(C0, Addr(0x00), AccessKind::Read);
-        h.ensure(C0, Addr(0x20), AccessKind::Read);
+        h.ensure(C0, Addr(0x00), AccessKind::Read).unwrap();
+        h.ensure(C0, Addr(0x20), AccessKind::Read).unwrap();
         *h.meta_mut(C0, Addr(0x00)).unwrap() = 5;
         *h.meta_mut(C0, Addr(0x20)).unwrap() = 6;
         // Thrash L2 set 0: with 512B/2-way/64B lines there are 4 sets;
         // L2 set of 0x00 is shared by 0x100, 0x200, ...
-        h.ensure(C0, Addr(0x100), AccessKind::Read);
-        h.ensure(C0, Addr(0x200), AccessKind::Read);
+        h.ensure(C0, Addr(0x100), AccessKind::Read).unwrap();
+        h.ensure(C0, Addr(0x200), AccessKind::Read).unwrap();
         assert!(h.stats().l2_evictions >= 1);
         assert!(h.was_meta_lost(Addr(0x00)));
         assert!(h.was_meta_lost(Addr(0x20)), "the sibling sector died too");
@@ -669,22 +758,22 @@ mod tests {
 
     #[test]
     fn sectored_l2_roundtrips_metadata_per_sector() {
-        let mut h = Hierarchy::new(sectored_cfg(), StampFactory);
-        h.ensure(C0, Addr(0x00), AccessKind::Read);
-        h.ensure(C0, Addr(0x20), AccessKind::Read);
+        let mut h = Hierarchy::new(sectored_cfg(), StampFactory).unwrap();
+        h.ensure(C0, Addr(0x00), AccessKind::Read).unwrap();
+        h.ensure(C0, Addr(0x20), AccessKind::Read).unwrap();
         *h.meta_mut(C0, Addr(0x00)).unwrap() = 7;
         *h.meta_mut(C0, Addr(0x20)).unwrap() = 8;
         // Evict both from the tiny L1 set (L1: 2 sets, 0x00/0x40 in
         // set 0; 0x20/0x60 in set 1) by touching conflicting lines.
-        h.ensure(C0, Addr(0x40), AccessKind::Read);
-        h.ensure(C0, Addr(0x80), AccessKind::Read); // evicts 0x00
-        h.ensure(C0, Addr(0x60), AccessKind::Read);
-        h.ensure(C0, Addr(0xA0), AccessKind::Read); // evicts 0x20
-        // Refetch: the sector metadata written back to L2 must return.
-        let r0 = h.ensure(C0, Addr(0x00), AccessKind::Read);
+        h.ensure(C0, Addr(0x40), AccessKind::Read).unwrap();
+        h.ensure(C0, Addr(0x80), AccessKind::Read).unwrap(); // evicts 0x00
+        h.ensure(C0, Addr(0x60), AccessKind::Read).unwrap();
+        h.ensure(C0, Addr(0xA0), AccessKind::Read).unwrap(); // evicts 0x20
+                                                             // Refetch: the sector metadata written back to L2 must return.
+        let r0 = h.ensure(C0, Addr(0x00), AccessKind::Read).unwrap();
         assert_eq!(r0.served_by, ServedBy::L2);
         assert_eq!(h.meta(C0, Addr(0x00)), Some(&7));
-        let r1 = h.ensure(C0, Addr(0x20), AccessKind::Read);
+        let r1 = h.ensure(C0, Addr(0x20), AccessKind::Read).unwrap();
         assert_eq!(r1.served_by, ServedBy::L2);
         assert_eq!(h.meta(C0, Addr(0x20)), Some(&8));
     }

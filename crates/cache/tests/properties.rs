@@ -35,11 +35,11 @@ proptest! {
     /// Inclusion: every valid L1 line is present in the L2.
     #[test]
     fn inclusion_invariant(accs in arb_accesses()) {
-        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        let mut h = Hierarchy::new(tiny(), SeqFactory).unwrap();
         for (c, l, w) in accs {
             let kind = if w { AccessKind::Write } else { AccessKind::Read };
             let addr = Addr(l * 32);
-            h.ensure(CoreId(c), addr, kind);
+            h.ensure(CoreId(c), addr, kind).unwrap();
             // After every step the requester holds the line...
             prop_assert!(h.meta(CoreId(c), addr).is_some());
         }
@@ -49,10 +49,10 @@ proptest! {
     /// copies may be plural. Checked after every single access.
     #[test]
     fn single_writer_invariant(accs in arb_accesses()) {
-        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        let mut h = Hierarchy::new(tiny(), SeqFactory).unwrap();
         for (c, l, w) in accs {
             let kind = if w { AccessKind::Write } else { AccessKind::Read };
-            h.ensure(CoreId(c), Addr(l * 32), kind);
+            h.ensure(CoreId(c), Addr(l * 32), kind).unwrap();
             for la in 0..24u64 {
                 let addr = Addr(la * 32);
                 let states: Vec<_> = (0..3)
@@ -77,12 +77,12 @@ proptest! {
     /// L2 in between.
     #[test]
     fn metadata_piggybacks_on_transfer(l in 0u64..8, wb in any::<bool>()) {
-        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        let mut h = Hierarchy::new(tiny(), SeqFactory).unwrap();
         let addr = Addr(l * 32);
-        h.ensure(CoreId(0), addr, AccessKind::Write);
+        h.ensure(CoreId(0), addr, AccessKind::Write).unwrap();
         *h.meta_mut(CoreId(0), addr).unwrap() = 0xABCD;
         let kind = if wb { AccessKind::Write } else { AccessKind::Read };
-        h.ensure(CoreId(1), addr, kind);
+        h.ensure(CoreId(1), addr, kind).unwrap();
         prop_assert_eq!(h.meta(CoreId(1), addr), Some(&0xABCD));
     }
 
@@ -90,11 +90,11 @@ proptest! {
     /// each ensure call counts exactly one access.
     #[test]
     fn stats_add_up(accs in arb_accesses()) {
-        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        let mut h = Hierarchy::new(tiny(), SeqFactory).unwrap();
         let n = accs.len() as u64;
         for (c, l, w) in accs {
             let kind = if w { AccessKind::Write } else { AccessKind::Read };
-            h.ensure(CoreId(c), Addr(l * 32), kind);
+            h.ensure(CoreId(c), Addr(l * 32), kind).unwrap();
         }
         prop_assert_eq!(h.stats().accesses(), n);
         prop_assert_eq!(h.stats().l1_hits + h.stats().l1_misses, n);
@@ -106,17 +106,17 @@ proptest! {
     /// line yields factory-fresh metadata.
     #[test]
     fn displacement_resets_metadata(stream in prop::collection::vec(0u64..64, 30..120)) {
-        let mut h = Hierarchy::new(tiny(), SeqFactory);
+        let mut h = Hierarchy::new(tiny(), SeqFactory).unwrap();
         let probe = Addr(0);
-        h.ensure(CoreId(0), probe, AccessKind::Write);
+        h.ensure(CoreId(0), probe, AccessKind::Write).unwrap();
         *h.meta_mut(CoreId(0), probe).unwrap() = 0xFFFF;
         for l in stream {
-            h.ensure(CoreId(0), Addr((1 + l) * 32), AccessKind::Read);
+            h.ensure(CoreId(0), Addr((1 + l) * 32), AccessKind::Read).unwrap();
         }
         let evicted: Vec<Addr> = h.drain_l2_evictions();
         if evicted.contains(&probe) {
             prop_assert!(h.was_meta_lost(probe));
-            let r = h.ensure(CoreId(0), probe, AccessKind::Read);
+            let r = h.ensure(CoreId(0), probe, AccessKind::Read).unwrap();
             prop_assert!(r.refetch_after_loss);
             prop_assert_eq!(h.meta(CoreId(0), probe), Some(&1), "factory fresh");
         }

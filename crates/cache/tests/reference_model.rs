@@ -1,7 +1,7 @@
 //! The set-associative cache checked against an executable reference
 //! model (a per-set LRU list), over random operation sequences.
 
-use hard_cache::{CacheGeometry, CState, SetAssocCache};
+use hard_cache::{CState, CacheGeometry, SetAssocCache};
 use hard_types::Addr;
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -89,7 +89,10 @@ proptest! {
                     let addr = Addr(l * 32);
                     // `insert` requires absence; mirror a real user.
                     if sut.peek(addr).is_none() {
-                        let got = sut.insert(addr, CState::Exclusive, m).map(|e| e.addr);
+                        let got = sut
+                            .insert(addr, CState::Exclusive, m)
+                            .unwrap()
+                            .map(|e| e.addr);
                         let want = reference.insert(addr, m);
                         prop_assert_eq!(got, want, "victim choice must match LRU");
                     }

@@ -25,16 +25,32 @@ pub struct BaselineMachine {
 impl BaselineMachine {
     /// A fresh baseline machine with the same shape and latencies as
     /// the HARD machine it is compared against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid; use
+    /// [`BaselineMachine::try_new`] to handle that as an error.
     #[must_use]
     pub fn new(cfg: HardConfig) -> BaselineMachine {
+        Self::try_new(cfg).expect("HardConfig must describe a valid machine")
+    }
+
+    /// A fresh baseline machine, or the configuration error that
+    /// prevents one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hard_types::HardError::InvalidConfig`] for invalid
+    /// cache shapes.
+    pub fn try_new(cfg: HardConfig) -> Result<BaselineMachine, hard_types::HardError> {
         let n = cfg.hierarchy.num_cores;
-        BaselineMachine {
-            hierarchy: Hierarchy::new(cfg.hierarchy, hard_cache::policy::NullFactory),
+        Ok(BaselineMachine {
+            hierarchy: Hierarchy::new(cfg.hierarchy, hard_cache::policy::NullFactory)?,
             running: vec![None; n],
             core_time: vec![0; n],
             bus: BusTimeline::new(),
             cfg,
-        }
+        })
     }
 
     /// Memory-system statistics.
@@ -68,7 +84,12 @@ impl BaselineMachine {
     }
 
     fn timed_ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) {
-        let r = self.hierarchy.ensure(core, addr, kind);
+        let Ok(r) = self.hierarchy.ensure(core, addr, kind) else {
+            // This machine injects no faults, so a coherence error is a
+            // simulator bug; skip the access rather than unwind.
+            debug_assert!(false, "coherence invariant broken on a fault-free machine");
+            return;
+        };
         let lat = &self.cfg.latency;
         let c = core.index();
         let occ = lat.bus_occupancy(&r);
@@ -166,8 +187,7 @@ mod tests {
         assert_eq!(base.stats().l2_misses, hard.stats().l2_misses);
         // ...but HARD costs at least the lock-register updates.
         assert!(hard_cycles.0 >= base_cycles.0);
-        let overhead =
-            (hard_cycles.0 - base_cycles.0) as f64 / base_cycles.0 as f64;
+        let overhead = (hard_cycles.0 - base_cycles.0) as f64 / base_cycles.0 as f64;
         assert!(
             overhead < 0.10,
             "HARD overhead should be small, got {:.1}%",

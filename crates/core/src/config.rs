@@ -2,7 +2,7 @@
 
 use hard_bloom::BloomShape;
 use hard_cache::{CacheGeometry, HierarchyConfig, LatencyModel};
-use hard_types::Granularity;
+use hard_types::{FaultPlan, Granularity};
 use std::fmt;
 
 /// Full configuration of a HARD machine.
@@ -29,6 +29,10 @@ pub struct HardConfig {
     pub metadata_broadcast: bool,
     /// Cycle costs for the timing model.
     pub latency: LatencyModel,
+    /// Hardware faults to inject ([`FaultPlan::none`] by default). A
+    /// none-plan machine is bit-identical to one without the fault
+    /// layer: the injector's RNG is never sampled.
+    pub faults: FaultPlan,
 }
 
 impl Default for HardConfig {
@@ -40,6 +44,7 @@ impl Default for HardConfig {
             barrier_pruning: true,
             metadata_broadcast: true,
             latency: LatencyModel::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -84,6 +89,14 @@ impl HardConfig {
         self
     }
 
+    /// A copy with a fault-injection plan (the robustness campaigns
+    /// sweep the plan's rates; everything else stays at Table 1).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> HardConfig {
+        self.faults = faults;
+        self
+    }
+
     /// A copy with the Figure 3 L2 organization: L2 lines twice the L1
     /// line size, each holding one metadata slot per L1-line sector.
     /// (Table 1 uses equal line sizes; both are supported.)
@@ -109,7 +122,11 @@ impl fmt::Display for HardConfig {
             self.hierarchy.l2,
             self.bloom,
             self.granularity,
-            if self.barrier_pruning { "pruned" } else { "raw" }
+            if self.barrier_pruning {
+                "pruned"
+            } else {
+                "raw"
+            }
         )
     }
 }
@@ -130,6 +147,7 @@ mod tests {
         assert_eq!(c.bloom.total_bits(), 16);
         assert_eq!(c.granularity.bytes(), 32);
         assert!(c.barrier_pruning);
+        assert!(c.faults.is_none(), "Table 1 machines are fault-free");
         assert_eq!(c.latency.l1_hit, 3);
         assert_eq!(c.latency.l2_hit, 10);
         assert_eq!(c.latency.memory, 200);
@@ -138,14 +156,26 @@ mod tests {
     #[test]
     fn granules_per_line() {
         assert_eq!(HardConfig::default().granules_per_line(), 1);
-        assert_eq!(HardConfig::default().with_granularity(4).granules_per_line(), 8);
-        assert_eq!(HardConfig::default().with_granularity(8).granules_per_line(), 4);
+        assert_eq!(
+            HardConfig::default()
+                .with_granularity(4)
+                .granules_per_line(),
+            8
+        );
+        assert_eq!(
+            HardConfig::default()
+                .with_granularity(8)
+                .granules_per_line(),
+            4
+        );
     }
 
     #[test]
     #[should_panic(expected = "exceeds")]
     fn oversized_granularity_rejected() {
-        let _ = HardConfig::default().with_granularity(64).granules_per_line();
+        let _ = HardConfig::default()
+            .with_granularity(64)
+            .granules_per_line();
     }
 
     #[test]
@@ -163,6 +193,14 @@ mod tests {
         let c = HardConfig::default().with_l2_size(128 * 1024);
         assert_eq!(c.hierarchy.l2.size_bytes(), 128 * 1024);
         assert_eq!(c.hierarchy.l2.ways(), 8);
+    }
+
+    #[test]
+    fn fault_builder_sets_the_plan() {
+        let plan = FaultPlan::uniform(9, 500);
+        let c = HardConfig::default().with_faults(plan);
+        assert_eq!(c.faults, plan);
+        assert_eq!(c.hierarchy, HardConfig::default().hierarchy);
     }
 
     #[test]

@@ -39,15 +39,30 @@ pub struct DirectoryHardMachine {
 
 impl DirectoryHardMachine {
     /// A fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid; use
+    /// [`DirectoryHardMachine::try_new`] to handle that as an error.
     #[must_use]
     pub fn new(cfg: HardConfig) -> DirectoryHardMachine {
+        Self::try_new(cfg).expect("HardConfig must describe a valid machine")
+    }
+
+    /// A fresh machine, or the configuration error that prevents one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hard_types::HardError::InvalidConfig`] for invalid
+    /// cache shapes.
+    pub fn try_new(cfg: HardConfig) -> Result<DirectoryHardMachine, hard_types::HardError> {
         let factory = HardMetaFactory {
             shape: cfg.bloom,
             granules_per_line: cfg.granules_per_line(),
         };
         let n = cfg.hierarchy.num_cores;
-        DirectoryHardMachine {
-            hierarchy: Hierarchy::new(cfg.hierarchy, NullFactory),
+        Ok(DirectoryHardMachine {
+            hierarchy: Hierarchy::new(cfg.hierarchy, NullFactory)?,
             directory: MetaDirectory::new(factory),
             registers: (0..n).map(|_| LockRegister::new(cfg.bloom)).collect(),
             running: vec![None; n],
@@ -56,7 +71,7 @@ impl DirectoryHardMachine {
             core_time: vec![0; n],
             bus: BusTimeline::new(),
             cfg,
-        }
+        })
     }
 
     /// The machine's configuration.
@@ -107,7 +122,12 @@ impl DirectoryHardMachine {
     }
 
     fn timed_ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) {
-        let r = self.hierarchy.ensure(core, addr, kind);
+        let Ok(r) = self.hierarchy.ensure(core, addr, kind) else {
+            // This machine injects no faults, so a coherence error is a
+            // simulator bug; skip the access rather than unwind.
+            debug_assert!(false, "coherence invariant broken on a fault-free machine");
+            return;
+        };
         // Metadata entries die with the line's L2 residency.
         for line in self.hierarchy.drain_l2_evictions() {
             self.directory.retire(line);
@@ -160,8 +180,7 @@ impl DirectoryHardMachine {
                 }
             }
             let occ = self.cfg.latency.meta_broadcast_occupancy;
-            self.bus
-                .acquire(self.core_time[core.index()], occ);
+            self.bus.acquire(self.core_time[core.index()], occ);
             for g in racy {
                 if self.reported.insert((g, site)) {
                     self.reports.push(RaceReport {
@@ -271,7 +290,10 @@ mod tests {
         let mut m = DirectoryHardMachine::new(HardConfig::default());
         let r = run_detector(&mut m, &trace);
         assert!(r.iter().any(|r| r.addr == x));
-        assert!(m.directory_requests() >= 2, "every access pays a round trip");
+        assert!(
+            m.directory_requests() >= 2,
+            "every access pays a round trip"
+        );
     }
 
     #[test]
@@ -286,7 +308,11 @@ mod tests {
                     .write(Addr(0x8000 + u64::from(t) * 4), 4, SiteId(50 + t));
             }
         }
-        let trace = Scheduler::new(SchedConfig { seed: 3, max_quantum: 5 }).run(&b.build());
+        let trace = Scheduler::new(SchedConfig {
+            seed: 3,
+            max_quantum: 5,
+        })
+        .run(&b.build());
         let mut snoopy = HardMachine::new(HardConfig::default());
         let rs = run_detector(&mut snoopy, &trace);
         let mut dir = DirectoryHardMachine::new(HardConfig::default());

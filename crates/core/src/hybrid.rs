@@ -124,15 +124,74 @@ mod tests {
         let ev = |thread, op| TraceEvent::Op { thread, op };
         let trace = hard_trace::Trace {
             events: vec![
-                ev(t0, Op::Write { addr: data, size: 4, site: SiteId(1) }),
-                ev(t0, Op::Lock { lock: g, site: SiteId(2) }),
-                ev(t0, Op::Write { addr: guarded, size: 4, site: SiteId(3) }),
-                ev(t0, Op::Unlock { lock: g, site: SiteId(4) }),
-                ev(t1, Op::Lock { lock: g, site: SiteId(5) }),
-                ev(t1, Op::Write { addr: guarded, size: 4, site: SiteId(6) }),
-                ev(t1, Op::Unlock { lock: g, site: SiteId(7) }),
-                ev(t1, Op::Read { addr: data, size: 4, site: SiteId(8) }),
-                ev(t1, Op::Write { addr: data, size: 4, site: SiteId(9) }),
+                ev(
+                    t0,
+                    Op::Write {
+                        addr: data,
+                        size: 4,
+                        site: SiteId(1),
+                    },
+                ),
+                ev(
+                    t0,
+                    Op::Lock {
+                        lock: g,
+                        site: SiteId(2),
+                    },
+                ),
+                ev(
+                    t0,
+                    Op::Write {
+                        addr: guarded,
+                        size: 4,
+                        site: SiteId(3),
+                    },
+                ),
+                ev(
+                    t0,
+                    Op::Unlock {
+                        lock: g,
+                        site: SiteId(4),
+                    },
+                ),
+                ev(
+                    t1,
+                    Op::Lock {
+                        lock: g,
+                        site: SiteId(5),
+                    },
+                ),
+                ev(
+                    t1,
+                    Op::Write {
+                        addr: guarded,
+                        size: 4,
+                        site: SiteId(6),
+                    },
+                ),
+                ev(
+                    t1,
+                    Op::Unlock {
+                        lock: g,
+                        site: SiteId(7),
+                    },
+                ),
+                ev(
+                    t1,
+                    Op::Read {
+                        addr: data,
+                        size: 4,
+                        site: SiteId(8),
+                    },
+                ),
+                ev(
+                    t1,
+                    Op::Write {
+                        addr: data,
+                        size: 4,
+                        site: SiteId(9),
+                    },
+                ),
             ],
             num_threads: 2,
         };
@@ -186,7 +245,11 @@ mod tests {
         let p = b.build();
         let mut pruned_somewhere = false;
         for seed in 0..32 {
-            let trace = Scheduler::new(SchedConfig { seed, max_quantum: 2 }).run(&p);
+            let trace = Scheduler::new(SchedConfig {
+                seed,
+                max_quantum: 2,
+            })
+            .run(&p);
             let mut m = HybridMachine::new(HardConfig::default());
             run_detector(&mut m, &trace);
             let hard_hit = m.hard().reports().iter().any(|r| r.addr == x);

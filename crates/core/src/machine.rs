@@ -4,12 +4,13 @@ use crate::config::HardConfig;
 use crate::metadata::{HardLineMeta, HardMetaFactory};
 use hard_bloom::LockRegister;
 use hard_cache::{BusTimeline, Hierarchy, MemStats, ServedBy};
-use hard_lockset::{dummy_lock, fork_transfer, lockset_access};
+use hard_lockset::{dummy_lock, fork_transfer, lockset_access, LState};
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
-use hard_types::{AccessKind, Addr, CoreId, Cycles, LockId, SiteId, ThreadId};
-use std::collections::BTreeSet;
-
-
+use hard_types::{
+    AccessKind, Addr, CoreId, Cycles, FaultInjector, FaultStats, HardError, LockId, SiteId,
+    ThreadId,
+};
+use std::collections::{BTreeSet, VecDeque};
 
 /// HARD: a CMP whose caches carry bloom-filter candidate sets and
 /// LStates, with per-core Lock/Counter Registers (paper §3).
@@ -17,6 +18,20 @@ use std::collections::BTreeSet;
 /// The machine is a [`Detector`] (it reports races) and a timing model
 /// (it tracks per-core cycles and shared-bus contention; see
 /// [`HardMachine::total_cycles`]).
+///
+/// # Fault tolerance
+///
+/// When the configuration carries a non-trivial
+/// [`FaultPlan`](hard_types::FaultPlan), the machine injects hardware
+/// faults (metadata/register bit flips, lost or delayed metadata
+/// broadcasts, spurious L2 displacements) and *degrades gracefully*:
+/// every metadata word and lock register carries a parity bit, so a
+/// strike is caught the next time the word is read and the state falls
+/// back to the paper's safe value — an all-ones candidate set in the
+/// Virgin state (the §3.1 fetch value), or a lock register rebuilt
+/// from the OS's software lock shadow. Detection quality degrades
+/// (evidence is discarded), correctness of the simulation does not:
+/// the machine never panics and never diverges from the trace.
 #[derive(Debug)]
 pub struct HardMachine {
     cfg: HardConfig,
@@ -26,6 +41,11 @@ pub struct HardMachine {
     /// like any other register state (§3.3 stores "the lock set of the
     /// running thread").
     registers: Vec<LockRegister>,
+    /// The OS's software shadow of each thread's held locks (in
+    /// acquisition order, with multiplicity). Real lock implementations
+    /// keep this anyway; HARD's recovery path rebuilds a corrupted lock
+    /// register from it.
+    shadow: Vec<Vec<LockId>>,
     /// The thread currently occupying each core, for context-switch
     /// accounting.
     running: Vec<Option<ThreadId>>,
@@ -34,28 +54,59 @@ pub struct HardMachine {
     core_time: Vec<u64>,
     bus: BusTimeline,
     detection_enabled: bool,
+    faults: FaultInjector,
+    /// Granules whose stored metadata parity no longer matches —
+    /// corruption that has landed but not yet been read.
+    corrupt_meta: BTreeSet<(Addr, usize)>,
+    /// Threads whose lock-register parity no longer matches.
+    corrupt_registers: BTreeSet<usize>,
+    /// Delayed metadata broadcasts: `(due_event, source core, line)`.
+    pending_broadcasts: VecDeque<(u64, CoreId, Addr)>,
+    /// Trace events consumed (drives broadcast-delay delivery).
+    event_count: u64,
 }
 
 impl HardMachine {
     /// A fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid; use
+    /// [`HardMachine::try_new`] to handle that as an error.
     #[must_use]
     pub fn new(cfg: HardConfig) -> HardMachine {
+        Self::try_new(cfg).expect("HardConfig must describe a valid machine")
+    }
+
+    /// A fresh machine, or the configuration error that prevents one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardError::InvalidConfig`] for structurally invalid
+    /// cache shapes (zero cores, incompatible L1/L2 line sizes, ...).
+    pub fn try_new(cfg: HardConfig) -> Result<HardMachine, HardError> {
         let factory = HardMetaFactory {
             shape: cfg.bloom,
             granules_per_line: cfg.granules_per_line(),
         };
         let n = cfg.hierarchy.num_cores;
-        HardMachine {
-            hierarchy: Hierarchy::new(cfg.hierarchy, factory),
+        Ok(HardMachine {
+            hierarchy: Hierarchy::new(cfg.hierarchy, factory)?,
             registers: (0..n).map(|_| LockRegister::new(cfg.bloom)).collect(),
+            shadow: (0..n).map(|_| Vec::new()).collect(),
             running: vec![None; n],
             reports: Vec::new(),
             reported: BTreeSet::new(),
             core_time: vec![0; n],
             bus: BusTimeline::new(),
             detection_enabled: true,
+            faults: FaultInjector::new(cfg.faults),
+            corrupt_meta: BTreeSet::new(),
+            corrupt_registers: BTreeSet::new(),
+            pending_broadcasts: VecDeque::new(),
+            event_count: 0,
             cfg,
-        }
+        })
     }
 
     /// The machine's configuration.
@@ -74,6 +125,13 @@ impl HardMachine {
     #[must_use]
     pub fn bus(&self) -> &BusTimeline {
         &self.bus
+    }
+
+    /// Fault-injection and degradation statistics (all zero on a
+    /// fault-free machine).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats
     }
 
     /// Execution time so far: the maximum core clock.
@@ -115,16 +173,43 @@ impl HardMachine {
             }
             *slot = Some(thread);
         }
-        while self.registers.len() <= thread.index() {
-            self.registers.push(LockRegister::new(self.cfg.bloom));
-        }
+        self.ensure_thread(thread);
         core
     }
 
+    /// Grows the per-thread register file and its software lock shadow
+    /// to cover `thread`.
+    fn ensure_thread(&mut self, thread: ThreadId) {
+        while self.registers.len() <= thread.index() {
+            self.registers.push(LockRegister::new(self.cfg.bloom));
+            self.shadow.push(Vec::new());
+        }
+    }
+
+    /// Parity check on `thread`'s lock register: if a strike landed
+    /// since the last read, rebuild the register from the software
+    /// lock shadow (the recovery path of the fault model).
+    fn repair_register_if_corrupt(&mut self, thread: ThreadId) {
+        let t = thread.index();
+        if self.corrupt_registers.remove(&t) {
+            self.registers[t].rebuild_from(&self.shadow[t]);
+            self.faults.stats.parity_detections += 1;
+            self.faults.stats.register_rebuilds += 1;
+        }
+    }
+
     /// Performs the cache access and advances the core clock; returns
-    /// whether the metadata path should charge the candidate check.
-    fn timed_ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> ServedBy {
-        let r = self.hierarchy.ensure(core, addr, kind);
+    /// `None` (after absorbing the error into the fault statistics) if
+    /// a coherence invariant was broken — reachable only under injected
+    /// corruption, never on a fault-free machine.
+    fn timed_ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> Option<ServedBy> {
+        let r = match self.hierarchy.ensure(core, addr, kind) {
+            Ok(r) => r,
+            Err(_) => {
+                self.faults.stats.internal_errors += 1;
+                return None;
+            }
+        };
         let lat = &self.cfg.latency;
         let c = core.index();
         // Every data transfer also carries the 18 metadata bits (§3.4).
@@ -146,7 +231,7 @@ impl HardMachine {
             t += lat.candidate_check;
         }
         self.core_time[c] = t;
-        r.served_by
+        Some(r.served_by)
     }
 
     fn on_access(
@@ -159,6 +244,9 @@ impl HardMachine {
         site: SiteId,
     ) {
         let core = self.core_of(thread);
+        if self.faults.is_active() {
+            self.repair_register_if_corrupt(thread);
+        }
         let line_bytes = self.hierarchy.line_bytes();
         let gran = self.cfg.granularity;
         let lines: Vec<Addr> = self
@@ -168,7 +256,9 @@ impl HardMachine {
             .lines_in(addr, u64::from(size))
             .collect();
         for line_addr in lines {
-            self.timed_ensure(core, line_addr, kind);
+            if self.timed_ensure(core, line_addr, kind).is_none() {
+                continue;
+            }
             // Clip the access to this line and update each overlapped
             // granule's candidate set and LState.
             let lo = addr.0.max(line_addr.0);
@@ -177,12 +267,33 @@ impl HardMachine {
             let mut changed = false;
             let mut racy_granules: Vec<Addr> = Vec::new();
             {
-                let meta: &mut HardLineMeta = self
-                    .hierarchy
-                    .meta_mut(core, line_addr)
-                    .expect("line was just ensured resident");
+                let Some(meta): Option<&mut HardLineMeta> =
+                    self.hierarchy.meta_mut(core, line_addr)
+                else {
+                    // Only reachable under injected faults (the ensure
+                    // above would otherwise have made the line
+                    // resident): skip the metadata update, keep going.
+                    self.faults.stats.internal_errors += 1;
+                    continue;
+                };
                 for g in gran.granules_in(Addr(lo), hi - lo) {
                     let gi = ((g.0 - line_addr.0) / gran.bytes()) as usize;
+                    // Reading the metadata word checks its parity. A
+                    // mismatch means a strike landed since the last
+                    // read: fall back to the safe state the hardware
+                    // fetches lines with (§3.1) — all-ones candidate
+                    // set, no sharing history — rather than trust
+                    // corrupt evidence.
+                    if self.corrupt_meta.remove(&(line_addr, gi)) {
+                        let gm = &mut meta[gi];
+                        gm.candidate.reset_full();
+                        gm.state = LState::Virgin;
+                        gm.owner = None;
+                        self.faults.stats.parity_detections += 1;
+                        self.faults.stats.conservative_resets += 1;
+                        // The safe state must reach the other copies.
+                        changed = true;
+                    }
                     // §3.4 keeps candidate sets AND LStates consistent
                     // across copies, so any metadata change on a shared
                     // line is broadcast — including pure state
@@ -198,11 +309,33 @@ impl HardMachine {
             // §3.4: a changed candidate set on a line with other valid
             // copies is broadcast so all L1s and the L2 stay current.
             if self.cfg.metadata_broadcast && changed && self.hierarchy.sharers(line_addr) > 1 {
-                self.hierarchy.broadcast_meta(core, line_addr);
-                // The broadcast is posted: it occupies the bus (delaying
-                // later transactions) without stalling this core.
-                let occ = self.cfg.latency.meta_broadcast_occupancy;
-                self.bus.acquire(self.core_time[core.index()], occ);
+                let mut deliver = true;
+                if self.faults.is_active() {
+                    if self.faults.roll_broadcast_drop() {
+                        self.faults.stats.broadcasts_dropped += 1;
+                        deliver = false;
+                    } else if self.faults.roll_broadcast_delay() {
+                        self.faults.stats.broadcasts_delayed += 1;
+                        let wait = u64::from(self.cfg.faults.broadcast_delay_events).max(1);
+                        self.pending_broadcasts.push_back((
+                            self.event_count + wait,
+                            core,
+                            line_addr,
+                        ));
+                        deliver = false;
+                    }
+                }
+                if deliver {
+                    if self.hierarchy.broadcast_meta(core, line_addr).is_ok() {
+                        // The broadcast is posted: it occupies the bus
+                        // (delaying later transactions) without
+                        // stalling this core.
+                        let occ = self.cfg.latency.meta_broadcast_occupancy;
+                        self.bus.acquire(self.core_time[core.index()], occ);
+                    } else {
+                        self.faults.stats.internal_errors += 1;
+                    }
+                }
             }
             for g in racy_granules {
                 if self.reported.insert((g, site)) {
@@ -221,19 +354,28 @@ impl HardMachine {
 
     fn on_lock_op(&mut self, thread: ThreadId, lock: LockId, acquire: bool) {
         let core = self.core_of(thread);
+        if self.faults.is_active() {
+            self.repair_register_if_corrupt(thread);
+        }
         // The lock variable itself is memory traffic (test-and-set),
         // but lock/unlock instructions are recognized by HARD and do
         // not run the lockset update on their own line.
         let was_enabled = self.detection_enabled;
         self.detection_enabled = false;
-        self.timed_ensure(core, lock.addr(), AccessKind::Write);
+        let _ = self.timed_ensure(core, lock.addr(), AccessKind::Write);
         self.detection_enabled = was_enabled;
         let lat = &self.cfg.latency;
         self.core_time[core.index()] += lat.sync_op + lat.lock_register_update;
+        let t = thread.index();
         if acquire {
-            self.registers[thread.index()].acquire(lock);
+            self.registers[t].acquire(lock);
+            self.shadow[t].push(lock);
         } else {
-            self.registers[thread.index()].release(lock);
+            self.registers[t].release(lock);
+            // Mirror the register's tolerance of unbalanced releases.
+            if let Some(p) = self.shadow[t].iter().rposition(|&l| l == lock) {
+                self.shadow[t].remove(p);
+            }
         }
     }
 
@@ -250,7 +392,89 @@ impl HardMachine {
                     g.barrier_reset(shape);
                 }
             });
+            // The flash rewrite regenerates every metadata word's
+            // parity, clearing any corruption still in flight.
+            self.corrupt_meta.clear();
         }
+    }
+
+    /// One fault-model step per trace event: delivers due delayed
+    /// broadcasts and samples the plan for new strikes. Only called
+    /// when the plan is active, so a fault-free machine never reaches
+    /// this code (or the injector's RNG).
+    fn fault_tick(&mut self) {
+        self.event_count += 1;
+        while let Some(&(due, core, line)) = self.pending_broadcasts.front() {
+            if due > self.event_count {
+                break;
+            }
+            self.pending_broadcasts.pop_front();
+            if self.hierarchy.sharers(line) > 0 && self.hierarchy.broadcast_meta(core, line).is_ok()
+            {
+                let occ = self.cfg.latency.meta_broadcast_occupancy;
+                self.bus.acquire(self.core_time[core.index()], occ);
+            } else {
+                // The source copy is gone (evicted or displaced while
+                // the message waited): the deferred broadcast is lost
+                // exactly like a dropped one.
+                self.faults.stats.broadcasts_dropped += 1;
+            }
+        }
+        if self.faults.roll_meta_flip() {
+            self.inject_meta_flip();
+        }
+        if self.faults.roll_register_flip() {
+            self.inject_register_flip();
+        }
+        if self.faults.roll_displacement() {
+            let n = self.hierarchy.l2_occupancy();
+            if n > 0 {
+                let victim = self.faults.pick(n);
+                if self.hierarchy.force_displace(victim).is_some() {
+                    self.faults.stats.spurious_displacements += 1;
+                }
+            }
+        }
+    }
+
+    /// Flips one bit in a randomly chosen resident granule's metadata
+    /// word (candidate vector or 2-bit LState) and marks its parity
+    /// stale.
+    fn inject_meta_flip(&mut self) {
+        let core = CoreId(self.faults.pick(self.cfg.hierarchy.num_cores) as u32);
+        let lines = self.hierarchy.resident_lines(core);
+        if lines.is_empty() {
+            return;
+        }
+        let line = lines[self.faults.pick(lines.len())];
+        let vector_bits = self.cfg.bloom.total_bits();
+        // The word under strike: all vector bits plus the 2 state bits.
+        let bit = self.faults.pick(vector_bits as usize + 2) as u32;
+        let Some(meta) = self.hierarchy.meta_mut(core, line) else {
+            return;
+        };
+        let gi = self.faults.pick(meta.len());
+        let gm = &mut meta[gi];
+        if bit < vector_bits {
+            gm.candidate.flip_bit(bit);
+        } else {
+            gm.state = LState::decode(gm.state.encode() ^ (1 << (bit - vector_bits)));
+        }
+        self.corrupt_meta.insert((line, gi));
+        self.faults.stats.meta_bits_flipped += 1;
+    }
+
+    /// Flips one vector bit in a randomly chosen thread's Lock
+    /// Register and marks its parity stale.
+    fn inject_register_flip(&mut self) {
+        if self.registers.is_empty() {
+            return;
+        }
+        let t = self.faults.pick(self.registers.len());
+        let bit = self.faults.pick(self.cfg.bloom.total_bits() as usize) as u32;
+        self.registers[t].flip_vector_bit(bit);
+        self.corrupt_registers.insert(t);
+        self.faults.stats.register_bits_flipped += 1;
     }
 }
 
@@ -260,6 +484,9 @@ impl Detector for HardMachine {
     }
 
     fn on_event(&mut self, index: usize, event: &TraceEvent) {
+        if self.faults.is_active() {
+            self.fault_tick();
+        }
         match *event {
             TraceEvent::Op { thread, op } => match op {
                 Op::Read { addr, size, site } => {
@@ -281,16 +508,16 @@ impl Detector for HardMachine {
                     });
                     let c = self.core_of(thread).index();
                     // §3.1 dummy lock: the child holds it for life.
-                    while self.registers.len() <= child.index() {
-                        self.registers.push(LockRegister::new(self.cfg.bloom));
-                    }
+                    self.ensure_thread(child);
                     self.registers[child.index()].acquire(dummy_lock(child));
+                    self.shadow[child.index()].push(dummy_lock(child));
                     self.core_time[c] += self.cfg.latency.sync_op;
                 }
                 Op::Join { child, .. } => {
                     // The parent inherits the child's dummy lock.
                     let c = self.core_of(thread).index();
                     self.registers[thread.index()].acquire(dummy_lock(child));
+                    self.shadow[thread.index()].push(dummy_lock(child));
                     self.core_time[c] += self.cfg.latency.sync_op;
                 }
                 Op::Barrier { .. } => {
@@ -315,10 +542,13 @@ impl Detector for HardMachine {
 mod tests {
     use super::*;
     use hard_trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler, Trace};
-    use hard_types::BarrierId;
+    use hard_types::{BarrierId, FaultPlan};
 
     fn sched(seed: u64) -> Scheduler {
-        Scheduler::new(SchedConfig { seed, max_quantum: 4 })
+        Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 4,
+        })
     }
 
     fn detect(trace: &Trace, cfg: HardConfig) -> (Vec<RaceReport>, HardMachine) {
@@ -397,7 +627,10 @@ mod tests {
         let trace = sched(2).run(&p);
         let (with, _) = detect(&trace, HardConfig::default());
         assert!(with.is_empty());
-        let raw_cfg = HardConfig { barrier_pruning: false, ..HardConfig::default() };
+        let raw_cfg = HardConfig {
+            barrier_pruning: false,
+            ..HardConfig::default()
+        };
         let (without, _) = detect(&trace, raw_cfg);
         assert!(!without.is_empty(), "pruning disabled: alarm expected");
     }
@@ -431,7 +664,10 @@ mod tests {
             !r.iter().any(|r| r.overlaps(x, Addr(x.0 + 4))),
             "evidence was evicted: race missed"
         );
-        assert!(m.was_meta_lost(x), "the miss is attributable to L2 displacement");
+        assert!(
+            m.was_meta_lost(x),
+            "the miss is attributable to L2 displacement"
+        );
         assert!(m.stats().l2_evictions > 0);
     }
 
@@ -526,5 +762,168 @@ mod tests {
         run_detector(&mut m, &trace);
         assert!(m.lock_register(ThreadId(0)).vector().contains(LockId(0x40)));
         assert_eq!(m.lock_register(ThreadId(0)).depth(), 1);
+    }
+
+    /// A workload with enough sharing, locking and fork/join structure
+    /// to exercise every fault path.
+    fn fault_workload() -> Trace {
+        let mut b = ProgramBuilder::new(4);
+        for t in 0..4u32 {
+            let tp = b.thread(t);
+            for i in 0..30u64 {
+                tp.lock(LockId(0x40), SiteId(t * 1000 + i as u32))
+                    .write(Addr(0x1000 + (i % 6) * 32), 4, SiteId(10 + i as u32))
+                    .read(Addr(0x1000 + ((i + 1) % 6) * 32), 4, SiteId(40 + i as u32))
+                    .unlock(LockId(0x40), SiteId(t * 1000 + 500 + i as u32))
+                    .write(Addr(0x8000 + u64::from(t) * 0x100 + i * 32), 4, SiteId(70))
+                    .compute(3);
+            }
+            tp.barrier(BarrierId(0), SiteId(900 + t));
+        }
+        sched(5).run(&b.build())
+    }
+
+    #[test]
+    fn explicit_none_plan_is_bit_identical_to_default() {
+        // The fault layer must be invisible when inert: same reports,
+        // same cycles, same memory statistics, no fault activity.
+        let trace = fault_workload();
+        let (r_def, m_def) = detect(&trace, HardConfig::default());
+        let cfg = HardConfig::default().with_faults(FaultPlan {
+            seed: 777,
+            ..FaultPlan::none()
+        });
+        let (r_none, m_none) = detect(&trace, cfg);
+        assert_eq!(r_def, r_none);
+        assert_eq!(m_def.total_cycles(), m_none.total_cycles());
+        assert_eq!(
+            m_def.stats().meta_broadcasts,
+            m_none.stats().meta_broadcasts
+        );
+        assert_eq!(m_none.fault_stats(), hard_types::FaultStats::default());
+    }
+
+    #[test]
+    fn heavy_faults_never_panic_and_are_counted() {
+        let trace = fault_workload();
+        for seed in 0..4u64 {
+            let cfg = HardConfig::default().with_faults(FaultPlan::uniform(seed, 200_000));
+            let (_, m) = detect(&trace, cfg);
+            let fs = m.fault_stats();
+            assert!(
+                fs.injected() > 0,
+                "seed {seed}: a 20% uniform plan must fire"
+            );
+            assert!(
+                fs.parity_detections <= fs.meta_bits_flipped + fs.register_bits_flipped,
+                "seed {seed}: cannot detect more corruptions than were injected"
+            );
+            assert_eq!(
+                fs.conservative_resets + fs.register_rebuilds,
+                fs.parity_detections,
+                "seed {seed}: every detection triggers exactly one recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let trace = fault_workload();
+        let cfg = HardConfig::default().with_faults(FaultPlan::uniform(9, 50_000));
+        let (r1, m1) = detect(&trace, cfg);
+        let (r2, m2) = detect(&trace, cfg);
+        assert_eq!(r1, r2);
+        assert_eq!(m1.fault_stats(), m2.fault_stats());
+        assert_eq!(m1.total_cycles(), m2.total_cycles());
+    }
+
+    #[test]
+    fn register_corruption_is_repaired_from_the_shadow() {
+        // Only register flips: the next event from the corrupted thread
+        // rebuilds its Lock/Counter register from the software shadow,
+        // so consistent locking still produces no false alarms from
+        // register state (metadata is untouched by this fault class).
+        let trace = fault_workload();
+        let plan = FaultPlan {
+            seed: 3,
+            register_flip_ppm: 100_000,
+            ..FaultPlan::none()
+        };
+        let (_, m) = detect(&trace, HardConfig::default().with_faults(plan));
+        let fs = m.fault_stats();
+        assert!(fs.register_bits_flipped > 0);
+        assert_eq!(fs.register_rebuilds, fs.parity_detections);
+        assert!(
+            fs.register_rebuilds > 0,
+            "corrupted registers must be rebuilt"
+        );
+        assert_eq!(fs.conservative_resets, 0, "no metadata was corrupted");
+        // After the full run every register matches its shadow exactly.
+        for t in 0..4u32 {
+            assert_eq!(
+                m.lock_register(ThreadId(t)).depth(),
+                0,
+                "thread {t}: balanced locking leaves an empty register"
+            );
+        }
+    }
+
+    #[test]
+    fn meta_corruption_degrades_conservatively() {
+        // Metadata flips alone: parity catches the corrupt granule on
+        // its next access and resets it to the safe all-ones state. The
+        // race-free workload stays panic-free and the machine keeps
+        // producing deterministic output.
+        let trace = fault_workload();
+        let plan = FaultPlan {
+            seed: 11,
+            meta_bit_flip_ppm: 80_000,
+            ..FaultPlan::none()
+        };
+        let (_, m) = detect(&trace, HardConfig::default().with_faults(plan));
+        let fs = m.fault_stats();
+        assert!(fs.meta_bits_flipped > 0);
+        assert_eq!(fs.register_rebuilds, 0);
+        assert!(
+            fs.conservative_resets <= fs.meta_bits_flipped,
+            "resets only happen for detected corruptions"
+        );
+    }
+
+    #[test]
+    fn broadcast_faults_and_displacements_inject() {
+        let trace = fault_workload();
+        let plan = FaultPlan {
+            seed: 21,
+            broadcast_drop_ppm: 500_000,
+            broadcast_delay_ppm: 500_000,
+            broadcast_delay_events: 8,
+            displacement_ppm: 30_000,
+            ..FaultPlan::none()
+        };
+        let (_, m) = detect(&trace, HardConfig::default().with_faults(plan));
+        let fs = m.fault_stats();
+        assert!(
+            fs.broadcasts_dropped + fs.broadcasts_delayed > 0,
+            "shared-line updates must hit the broadcast fault path"
+        );
+        assert!(fs.spurious_displacements > 0);
+    }
+
+    #[test]
+    fn injected_race_survives_zero_fault_plan() {
+        // The acceptance property in miniature: at rate zero the fault
+        // machinery cannot eat a real race.
+        let x = Addr(0x2000);
+        let mut b = ProgramBuilder::new(2);
+        b.thread(0).write(x, 4, SiteId(1));
+        b.thread(1).write(x, 4, SiteId(2));
+        let trace = sched(0).run(&b.build());
+        let cfg = HardConfig::default().with_faults(FaultPlan {
+            seed: 5,
+            ..FaultPlan::none()
+        });
+        let (r, _) = detect(&trace, cfg);
+        assert!(r.iter().any(|r| r.overlaps(x, Addr(x.0 + 4))));
     }
 }

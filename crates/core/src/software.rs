@@ -124,8 +124,11 @@ mod tests {
         for t in 0..2u32 {
             let tp = b.thread(t);
             for i in 0..500u64 {
-                tp.read(Addr(0x1000 + (i % 64) * 4), 4, SiteId(1))
-                    .write(Addr(0x1000 + (i % 64) * 4), 4, SiteId(2));
+                tp.read(Addr(0x1000 + (i % 64) * 4), 4, SiteId(1)).write(
+                    Addr(0x1000 + (i % 64) * 4),
+                    4,
+                    SiteId(2),
+                );
             }
         }
         let trace = Scheduler::new(SchedConfig::default()).run(&b.build());

@@ -2,7 +2,7 @@
 
 use hard::{BaselineMachine, HardConfig, HardMachine};
 use hard_trace::{run_detector, Program, SchedConfig, Scheduler, ThreadProgram};
-use hard_types::{Addr, LockId, SiteId};
+use hard_types::{Addr, FaultPlan, FaultStats, LockId, SiteId};
 use proptest::prelude::*;
 
 fn arb_program() -> impl Strategy<Value = Program> {
@@ -10,18 +10,36 @@ fn arb_program() -> impl Strategy<Value = Program> {
         (0u64..16, any::<bool>()).prop_map(|(l, wr)| {
             let addr = Addr(0x1000 + l * 32);
             vec![if wr {
-                hard_trace::Op::Write { addr, size: 4, site: SiteId(l as u32) }
+                hard_trace::Op::Write {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                }
             } else {
-                hard_trace::Op::Read { addr, size: 4, site: SiteId(l as u32) }
+                hard_trace::Op::Read {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                }
             }]
         }),
         (0u64..3, 0u64..16).prop_map(|(k, l)| {
             let lock = LockId(0x1000_0000 + k * 4);
             let addr = Addr(0x1000 + l * 32);
             vec![
-                hard_trace::Op::Lock { lock, site: SiteId(100 + k as u32) },
-                hard_trace::Op::Write { addr, size: 4, site: SiteId(l as u32) },
-                hard_trace::Op::Unlock { lock, site: SiteId(200 + k as u32) },
+                hard_trace::Op::Lock {
+                    lock,
+                    site: SiteId(100 + k as u32),
+                },
+                hard_trace::Op::Write {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                },
+                hard_trace::Op::Unlock {
+                    lock,
+                    site: SiteId(200 + k as u32),
+                },
             ]
         }),
         (1u32..100).prop_map(|c| vec![hard_trace::Op::Compute { cycles: c }]),
@@ -36,6 +54,50 @@ fn arb_program() -> impl Strategy<Value = Program> {
         tp
     });
     prop::collection::vec(thread, 2..=4).prop_map(Program::new)
+}
+
+/// The address carrying the injected, definitely-detectable bug in
+/// [`arb_racy_program`]: written unsynchronized by two threads.
+const RACE_ADDR: Addr = Addr(0x9000);
+
+/// An arbitrary program with a guaranteed data race appended: threads 0
+/// and 1 both write [`RACE_ADDR`] holding no locks. The surrounding
+/// blocks touch disjoint addresses, so the race is always real and (at
+/// this working-set size) never displaced out of the cache.
+fn arb_racy_program() -> impl Strategy<Value = Program> {
+    arb_program().prop_map(|p| {
+        let mut threads: Vec<ThreadProgram> = p.threads().to_vec();
+        for (t, tp) in threads.iter_mut().enumerate().take(2) {
+            tp.push(hard_trace::Op::Write {
+                addr: RACE_ADDR,
+                size: 4,
+                site: SiteId(7000 + t as u32),
+            });
+        }
+        Program::new(threads)
+    })
+}
+
+/// Arbitrary fault plans spanning all injection channels, up to rates
+/// far beyond anything the experiments sweep.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0u32..300_000,
+        0u32..300_000,
+        0u32..400_000,
+        0u32..400_000,
+        0u32..60_000,
+    )
+        .prop_map(|(seed, meta, reg, drop, delay, disp)| FaultPlan {
+            seed,
+            meta_bit_flip_ppm: meta,
+            register_flip_ppm: reg,
+            broadcast_drop_ppm: drop,
+            broadcast_delay_ppm: delay,
+            broadcast_delay_events: 8,
+            displacement_ppm: disp,
+        })
 }
 
 proptest! {
@@ -90,5 +152,55 @@ proptest! {
         // exactly; with barriers pruning is a subset (checked in the
         // harness ablation).
         prop_assert_eq!(rp, rr);
+    }
+
+    /// Corrupted metadata never panics the machine, recovery is fully
+    /// accounted (each parity detection triggers exactly one reset or
+    /// rebuild), and faulted runs stay a pure function of
+    /// (trace, plan).
+    #[test]
+    fn corrupted_metadata_never_panics(
+        p in arb_program(),
+        plan in arb_fault_plan(),
+        seed in 0u64..4,
+    ) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p);
+        let mut a = HardMachine::new(HardConfig::default().with_faults(plan));
+        let ra = run_detector(&mut a, &trace);
+        let s = a.fault_stats();
+        prop_assert_eq!(
+            s.conservative_resets + s.register_rebuilds,
+            s.parity_detections
+        );
+        prop_assert!(
+            s.parity_detections <= s.meta_bits_flipped + s.register_bits_flipped
+        );
+        let mut b = HardMachine::new(HardConfig::default().with_faults(plan));
+        let rb = run_detector(&mut b, &trace);
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(a.fault_stats(), b.fault_stats());
+    }
+
+    /// At fault rate zero the fault machinery is inert: it touches no
+    /// statistics, reproduces the plain machine bit-for-bit, and never
+    /// loses the injected bug.
+    #[test]
+    fn zero_rate_plan_never_loses_the_injected_bug(
+        p in arb_racy_program(),
+        seed in 0u64..4,
+        plan_seed in any::<u64>(),
+    ) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p);
+        let plan = FaultPlan { seed: plan_seed, ..FaultPlan::none() };
+        let mut faulted = HardMachine::new(HardConfig::default().with_faults(plan));
+        let rf = run_detector(&mut faulted, &trace);
+        let mut plain = HardMachine::new(HardConfig::default());
+        let rp = run_detector(&mut plain, &trace);
+        prop_assert_eq!(&rf, &rp);
+        prop_assert_eq!(faulted.fault_stats(), FaultStats::default());
+        prop_assert!(
+            rf.iter().any(|r| r.addr == RACE_ADDR),
+            "injected race at {:?} lost (seed {})", RACE_ADDR, seed
+        );
     }
 }

@@ -1,0 +1,223 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate
+//! implements the slice of the criterion API the workspace's benches
+//! use. Measurement is deliberately simple — a timed loop printing
+//! mean ns/iteration — with none of criterion's statistics, but the
+//! bench sources compile and run unchanged against the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one
+/// setup per routine call regardless, so the variants only document
+/// intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for group throughput annotations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn with_budget(budget: Duration) -> Bencher {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget,
+        }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(routine());
+            n += 1;
+            if n >= 10 && (start.elapsed() >= self.budget || n >= 1_000_000) {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            n += 1;
+            if n >= 10 && (wall.elapsed() >= self.budget || n >= 1_000_000) {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = total;
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.budget, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (scales the time budget here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Smaller sample requests signal slower benches; keep the
+        // budget proportional so total wall time stays bounded.
+        self.budget = Duration::from_millis(5 * n.clamp(1, 100) as u64);
+        self
+    }
+
+    /// Annotates per-iteration throughput (recorded, not printed).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.budget, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, f: &mut F) {
+    let mut b = Bencher::with_budget(budget);
+    f(&mut b);
+    let ns = if b.iters == 0 {
+        0
+    } else {
+        b.elapsed.as_nanos() / u128::from(b.iters)
+    };
+    println!("bench {name:<40} {ns:>12} ns/iter ({} iters)", b.iters);
+}
+
+/// Declares a function running each target benchmark in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls >= 10);
+    }
+
+    #[test]
+    fn groups_run_batched_routines() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(1);
+        g.throughput(Throughput::Elements(4));
+        let mut calls = 0u64;
+        g.bench_function("smoke", |b| {
+            b.iter_batched(|| 2u64, |x| calls += x, BatchSize::SmallInput);
+        });
+        g.finish();
+        assert!(calls >= 20);
+    }
+}

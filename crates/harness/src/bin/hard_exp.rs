@@ -3,12 +3,16 @@
 //! ```text
 //! hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all>
 //!          [--scale F] [--runs N] [--markdown]
+//! hard-exp faults [--rates PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]
 //! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F]
 //! hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]
 //! ```
 
-use hard_harness::experiments::{ablation, bloom_analysis, claims, cord, fig8, robustness, server, table1, table2, table3, table45, table6, window, workload_stats};
-use hard_harness::{execute, CampaignConfig, DetectorKind, InjectMode};
+use hard_harness::experiments::{
+    ablation, bloom_analysis, claims, cord, faults, fig8, robustness, server, table1, table2,
+    table3, table45, table6, window, workload_stats,
+};
+use hard_harness::{execute, CampaignConfig, Checkpoint, DetectorKind, InjectMode, RunLimits};
 use hard_trace::codec;
 use hard_workloads::{App, Scale};
 use std::process::ExitCode;
@@ -23,6 +27,10 @@ struct Args {
     inject: Option<u64>,
     detector: String,
     mode: InjectMode,
+    rates: Option<Vec<u32>>,
+    checkpoint: Option<String>,
+    max_cycles: Option<u64>,
+    max_events: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +44,10 @@ fn parse_args() -> Result<Args, String> {
         inject: None,
         detector: "hard".into(),
         mode: InjectMode::OmitPair,
+        rates: None,
+        checkpoint: None,
+        max_cycles: None,
+        max_events: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -67,6 +79,39 @@ fn parse_args() -> Result<Args, String> {
             }
             "--detector" => {
                 args.detector = it.next().ok_or("--detector needs a name")?;
+            }
+            "--rates" => {
+                let raw = it
+                    .next()
+                    .ok_or("--rates needs a comma-separated ppm list")?;
+                let rates = raw
+                    .split(',')
+                    .map(|s| s.trim().parse::<u32>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("bad --rates: {e}"))?;
+                if rates.is_empty() {
+                    return Err("--rates needs at least one rate".into());
+                }
+                args.rates = Some(rates);
+            }
+            "--checkpoint" => {
+                args.checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?);
+            }
+            "--max-cycles" => {
+                args.max_cycles = Some(
+                    it.next()
+                        .ok_or("--max-cycles needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-cycles: {e}"))?,
+                );
+            }
+            "--max-events" => {
+                args.max_events = Some(
+                    it.next()
+                        .ok_or("--max-events needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-events: {e}"))?,
+                );
             }
             "--mode" => {
                 args.mode = match it.next().ok_or("--mode needs a value")?.as_str() {
@@ -184,6 +229,43 @@ fn run_command(args: &Args) -> Result<(), String> {
             println!("Detection window (paper §3.6): metadata lifetime in accesses");
             emit(&window::run(&cfg).render(), args.markdown);
         }
+        "faults" => {
+            let fcfg = faults::FaultsConfig {
+                campaign: cfg,
+                rates_ppm: args
+                    .rates
+                    .clone()
+                    .unwrap_or_else(|| faults::FaultsConfig::default().rates_ppm),
+                limits: RunLimits {
+                    max_cycles: args.max_cycles,
+                    max_events: args.max_events,
+                },
+            };
+            let mut cp = match args.checkpoint.as_deref() {
+                Some(path) => Some(
+                    Checkpoint::load(std::path::Path::new(path), &fcfg.key())
+                        .map_err(|e| format!("cannot load checkpoint {path}: {e}"))?,
+                ),
+                None => None,
+            };
+            let study = faults::run(&fcfg, cp.as_mut());
+            println!(
+                "Fault sweep — graceful degradation, {} runs/app/rate{}",
+                fcfg.campaign.runs,
+                if study.resumed > 0 {
+                    format!(" ({} cells resumed from checkpoint)", study.resumed)
+                } else {
+                    String::new()
+                }
+            );
+            emit(&study.render_aggregate(), args.markdown);
+            println!("Per-application breakdown:");
+            emit(&study.render(), args.markdown);
+            let crashed: usize = study.rows.iter().map(|r| r.cell.faulted).sum();
+            if crashed > 0 {
+                return Err(format!("{crashed} run(s) crashed inside the detector"));
+            }
+        }
         "record" => {
             let name = args.app.as_deref().ok_or("record needs --app <name>")?;
             let app = App::all()
@@ -195,8 +277,8 @@ fn run_command(args: &Args) -> Result<(), String> {
                 None => hard_harness::race_free_trace(app, &cfg),
                 Some(seed) => hard_harness::injected_trace(app, &cfg, seed as usize).0,
             };
-            let f = std::fs::File::create(path)
-                .map_err(|e| format!("cannot create {path}: {e}"))?;
+            let f =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
             codec::encode(&trace, std::io::BufWriter::new(f))
                 .map_err(|e| format!("encode failed: {e}"))?;
             println!(
@@ -244,8 +326,18 @@ fn run_command(args: &Args) -> Result<(), String> {
         }
         "all" => {
             for cmd in [
-                "table1", "table2", "table3", "table45", "table6", "fig8", "bloom",
-                "ablation", "window", "server", "workloads", "cord",
+                "table1",
+                "table2",
+                "table3",
+                "table45",
+                "table6",
+                "fig8",
+                "bloom",
+                "ablation",
+                "window",
+                "server",
+                "workloads",
+                "cord",
             ] {
                 let sub = Args {
                     command: cmd.into(),
@@ -257,6 +349,10 @@ fn run_command(args: &Args) -> Result<(), String> {
                     inject: None,
                     detector: args.detector.clone(),
                     mode: args.mode,
+                    rates: None,
+                    checkpoint: None,
+                    max_cycles: None,
+                    max_events: None,
                 };
                 run_command(&sub)?;
                 println!();
@@ -275,6 +371,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all> \
                  [--scale F] [--runs N] [--markdown]\n       \
+                 hard-exp faults [--rates PPM,PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]\n       \
                  hard-exp record --app <name> --file <path> [--inject SEED]\n       \
                  hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]"
             );
@@ -288,7 +385,7 @@ fn main() -> ExitCode {
             if e.starts_with("unknown command") {
                 eprintln!(
                     "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|\
-                     ablation|window|server|robustness|verify|record|replay|all>"
+                     ablation|window|server|robustness|faults|verify|record|replay|all>"
                 );
             }
             ExitCode::FAILURE

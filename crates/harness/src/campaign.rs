@@ -91,7 +91,8 @@ pub fn injected_trace(app: App, cfg: &CampaignConfig, run_idx: usize) -> (Trace,
     let (injected, info) = match cfg.mode {
         InjectMode::OmitPair => inject_race(&program, seed),
         InjectMode::WrongLock => inject_wrong_lock(&program, seed),
-    };
+    }
+    .expect("every campaign workload has eligible critical sections");
     let trace = Scheduler::new(SchedConfig {
         seed: 0x1000_0000 + (app as u64) * 1000 + run_idx as u64,
         max_quantum: cfg.max_quantum,
@@ -124,9 +125,10 @@ impl BugOutcome {
 /// Scores a detector run against the injected ground truth.
 #[must_use]
 pub fn score(run: &DetectorRun, injection: &Injection) -> BugOutcome {
-    let detected = run.reports.iter().any(|r| {
-        injection.overlaps(r.addr, Addr(r.addr.0 + u64::from(r.size)))
-    });
+    let detected = run
+        .reports
+        .iter()
+        .any(|r| injection.overlaps(r.addr, Addr(r.addr.0 + u64::from(r.size))));
     if detected {
         BugOutcome::Detected
     } else if run.meta_lost.iter().any(|&l| l) {

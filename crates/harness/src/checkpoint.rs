@@ -1,0 +1,278 @@
+//! Campaign checkpointing.
+//!
+//! A fault campaign is a long sweep of independent `(rate, app)` cells.
+//! If the process is killed mid-sweep, everything already computed is
+//! ordinarily lost; the checkpoint makes each completed cell durable so
+//! a restart resumes where it stopped and produces the identical final
+//! result (every cell is a pure function of its seeds).
+//!
+//! The format is deliberately a line-based text file, not a binary
+//! blob: it survives partial writes (a truncated final line is simply
+//! ignored), it diffs cleanly, and it needs no dependencies. The first
+//! two lines bind the file to a campaign configuration key; a mismatch
+//! means the checkpoint describes a *different* campaign, and the file
+//! is ignored rather than resumed into wrong results.
+//!
+//! ```text
+//! hard-faults-checkpoint v1
+//! key runs=10 scale=1 quantum=16 rates=0,100,10000
+//! cell 0 barnes 9 0 0 1 0 0
+//! cell 100 barnes 8 0 0 1 4 12
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// The magic first line of every checkpoint file.
+const MAGIC: &str = "hard-faults-checkpoint v1";
+
+/// One durable campaign cell: the tallies of a `(fault rate, app)`
+/// pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Uniform fault rate in parts-per-million.
+    pub rate_ppm: u32,
+    /// Bugs detected across the injected runs.
+    pub detected: usize,
+    /// Runs that panicked inside the detector (hardening failures).
+    pub faulted: usize,
+    /// Runs that exceeded the cycle deadline.
+    pub timed_out: usize,
+    /// Source-level false alarms on the race-free run.
+    pub alarms: usize,
+    /// Conservative metadata resets across all runs.
+    pub resets: u64,
+    /// Total faults injected across all runs.
+    pub injected: u64,
+}
+
+/// A resumable record of completed campaign cells.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    key: String,
+    cells: BTreeMap<(u32, String), Cell>,
+    /// True once the on-disk file carries our magic + key, i.e. it is
+    /// safe to append to. False for absent, foreign or mismatched
+    /// files, which the first record replaces wholesale.
+    appendable: bool,
+}
+
+impl Checkpoint {
+    /// Opens (or starts) the checkpoint at `path` for the campaign
+    /// identified by `key`.
+    ///
+    /// An existing file is resumed only if its magic and key match;
+    /// otherwise it is treated as absent and will be overwritten by
+    /// the first [`Checkpoint::record`]. Unparseable lines — the
+    /// normal signature of a write interrupted mid-line — are skipped,
+    /// so the valid prefix is always recovered.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error other than the file not existing.
+    pub fn load(path: &Path, key: &str) -> std::io::Result<Checkpoint> {
+        let mut cp = Checkpoint {
+            path: path.to_path_buf(),
+            key: key.to_string(),
+            cells: BTreeMap::new(),
+            appendable: false,
+        };
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cp),
+            Err(e) => return Err(e),
+        };
+        let mut lines = BufReader::new(file).lines();
+        match lines.next() {
+            Some(Ok(l)) if l == MAGIC => {}
+            _ => return Ok(cp), // not ours; start fresh
+        }
+        match lines.next() {
+            Some(Ok(l)) if l.strip_prefix("key ") == Some(key) => {}
+            _ => return Ok(cp), // different campaign; start fresh
+        }
+        cp.appendable = true;
+        for line in lines {
+            let Ok(line) = line else { break };
+            if let Some((app, cell)) = parse_cell(&line) {
+                cp.cells.insert((cell.rate_ppm, app), cell);
+            } else {
+                // A torn line (interrupted append). The data before it
+                // is safe, but appending after a partial line would
+                // corrupt the next record too — rewrite on first use.
+                cp.appendable = false;
+            }
+        }
+        Ok(cp)
+    }
+
+    /// The already-completed cell for `(rate_ppm, app)`, if any.
+    #[must_use]
+    pub fn get(&self, rate_ppm: u32, app: &str) -> Option<Cell> {
+        self.cells.get(&(rate_ppm, app.to_string())).copied()
+    }
+
+    /// Number of completed cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cell has completed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Makes a completed cell durable: appends it to the file (writing
+    /// the header first if this is the first record) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the in-memory state is
+    /// updated regardless, so a read-only filesystem degrades to an
+    /// in-memory-only campaign rather than losing the result.
+    pub fn record(&mut self, app: &str, cell: Cell) -> std::io::Result<()> {
+        self.cells.insert((cell.rate_ppm, app.to_string()), cell);
+        if self.appendable {
+            let mut f = OpenOptions::new().append(true).open(&self.path)?;
+            f.write_all(render_cell(app, &cell).as_bytes())?;
+            return f.flush();
+        }
+        // First record over an absent, foreign or mismatched file:
+        // rewrite it wholesale with our header and everything known.
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(out, "key {}", self.key);
+        for ((_, a), c) in &self.cells {
+            out.push_str(&render_cell(a, c));
+        }
+        let mut f = File::create(&self.path)?;
+        f.write_all(out.as_bytes())?;
+        f.flush()?;
+        self.appendable = true;
+        Ok(())
+    }
+}
+
+fn render_cell(app: &str, cell: &Cell) -> String {
+    format!(
+        "cell {} {} {} {} {} {} {} {}\n",
+        cell.rate_ppm,
+        app,
+        cell.detected,
+        cell.faulted,
+        cell.timed_out,
+        cell.alarms,
+        cell.resets,
+        cell.injected
+    )
+}
+
+fn parse_cell(line: &str) -> Option<(String, Cell)> {
+    let mut it = line.split_ascii_whitespace();
+    if it.next()? != "cell" {
+        return None;
+    }
+    let rate_ppm = it.next()?.parse().ok()?;
+    let app = it.next()?.to_string();
+    let cell = Cell {
+        rate_ppm,
+        detected: it.next()?.parse().ok()?,
+        faulted: it.next()?.parse().ok()?,
+        timed_out: it.next()?.parse().ok()?,
+        alarms: it.next()?.parse().ok()?,
+        resets: it.next()?.parse().ok()?,
+        injected: it.next()?.parse().ok()?,
+    };
+    if it.next().is_some() {
+        return None; // trailing garbage: treat as corrupt
+    }
+    Some((app, cell))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hard-checkpoint-test-{}-{name}",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn cell(rate: u32, detected: usize) -> Cell {
+        Cell {
+            rate_ppm: rate,
+            detected,
+            faulted: 0,
+            timed_out: 0,
+            alarms: 1,
+            resets: 3,
+            injected: 7,
+        }
+    }
+
+    #[test]
+    fn roundtrips_cells_across_a_reload() {
+        let p = tmp("roundtrip");
+        let _ = std::fs::remove_file(&p);
+        let mut cp = Checkpoint::load(&p, "k1").unwrap();
+        assert!(cp.is_empty());
+        cp.record("barnes", cell(0, 9)).unwrap();
+        cp.record("barnes", cell(100, 8)).unwrap();
+        cp.record("fmm", cell(0, 10)).unwrap();
+
+        let re = Checkpoint::load(&p, "k1").unwrap();
+        assert_eq!(re.len(), 3);
+        assert_eq!(re.get(0, "barnes"), Some(cell(0, 9)));
+        assert_eq!(re.get(100, "barnes"), Some(cell(100, 8)));
+        assert_eq!(re.get(0, "fmm"), Some(cell(0, 10)));
+        assert_eq!(re.get(100, "fmm"), None);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn key_mismatch_starts_fresh() {
+        let p = tmp("key");
+        let _ = std::fs::remove_file(&p);
+        let mut cp = Checkpoint::load(&p, "runs=10").unwrap();
+        cp.record("barnes", cell(0, 9)).unwrap();
+        let other = Checkpoint::load(&p, "runs=20").unwrap();
+        assert!(other.is_empty(), "a different campaign must not resume");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn truncated_last_line_is_ignored() {
+        let p = tmp("truncated");
+        let _ = std::fs::remove_file(&p);
+        let mut cp = Checkpoint::load(&p, "k").unwrap();
+        cp.record("barnes", cell(0, 9)).unwrap();
+        cp.record("fmm", cell(0, 10)).unwrap();
+        // Simulate a crash mid-append: chop the file inside the last line.
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 5]).unwrap();
+
+        let re = Checkpoint::load(&p, "k").unwrap();
+        assert_eq!(re.len(), 1, "the valid prefix survives");
+        assert_eq!(re.get(0, "barnes"), Some(cell(0, 9)));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn foreign_files_are_not_resumed() {
+        let p = tmp("foreign");
+        std::fs::write(&p, "some other format\ncell 0 barnes 1 2 3\n").unwrap();
+        let cp = Checkpoint::load(&p, "k").unwrap();
+        assert!(cp.is_empty());
+        let _ = std::fs::remove_file(&p);
+    }
+}

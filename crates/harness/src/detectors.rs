@@ -21,7 +21,9 @@ pub enum DetectorKind {
     HbHw(HbMachineConfig),
     /// The ideal happens-before implementation. The vector-clock width
     /// is taken from the trace at run time.
-    HbIdeal { granularity: hard_types::Granularity },
+    HbIdeal {
+        granularity: hard_types::Granularity,
+    },
     /// Ablation: bloom-filter lockset with unbounded metadata storage
     /// (isolates the bloom approximation from displacement).
     BloomUnbounded(BloomLocksetConfig),

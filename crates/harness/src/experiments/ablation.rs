@@ -77,7 +77,10 @@ pub fn run(cfg: &CampaignConfig) -> Ablation {
 
         // Barrier pruning on/off.
         let pruned = execute(&DetectorKind::hard_default(), &rf, &[]);
-        let raw_cfg = HardConfig { barrier_pruning: false, ..HardConfig::default() };
+        let raw_cfg = HardConfig {
+            barrier_pruning: false,
+            ..HardConfig::default()
+        };
         let raw = execute(&DetectorKind::Hard(raw_cfg), &rf, &[]);
 
         // Figure 3 L2 organization on the race-free run.
@@ -86,8 +89,7 @@ pub fn run(cfg: &CampaignConfig) -> Ablation {
 
         // Hybrid alarms on the race-free run.
         let (hybrid_reports, _) = hybrid_run(&rf);
-        let hybrid_alarm_sites: BTreeSet<_> =
-            hybrid_reports.iter().map(|r| r.site).collect();
+        let hybrid_alarm_sites: BTreeSet<_> = hybrid_reports.iter().map(|r| r.site).collect();
 
         // Snoopy vs directory on the race-free run.
         let mut snoopy = HardMachine::new(HardConfig::default());
@@ -113,8 +115,11 @@ pub fn run(cfg: &CampaignConfig) -> Ablation {
         for run_idx in 0..cfg.runs {
             let (trace, injection) = injected_trace(app, cfg, run_idx);
             let pr = probes(&injection);
-            if score(&execute(&DetectorKind::hard_default(), &trace, &pr), &injection)
-                .is_detected()
+            if score(
+                &execute(&DetectorKind::hard_default(), &trace, &pr),
+                &injection,
+            )
+            .is_detected()
             {
                 bugs_hard += 1;
             }

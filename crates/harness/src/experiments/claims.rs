@@ -88,10 +88,7 @@ pub fn run(cfg: &CampaignConfig) -> Claims {
         pass: stray == 0,
         evidence: format!("{stray} non-displacement miss(es)"),
     });
-    let ideal_dominates = t2
-        .rows
-        .iter()
-        .all(|r| r.hard_ideal.alarms <= r.hard.alarms);
+    let ideal_dominates = t2.rows.iter().all(|r| r.hard_ideal.alarms <= r.hard.alarms);
     claims.push(Claim {
         source: "§5.1",
         statement: "fine-granularity ideal lockset raises fewer alarms than 32B HARD",
@@ -177,7 +174,10 @@ pub fn run(cfg: &CampaignConfig) -> Claims {
         source: "§3.2",
         statement: "the 16-bit vector's missed-race probability is 0.39% for m=1",
         pass: (m1.analytic - 0.0039).abs() < 1e-3 && (m1.empirical - m1.analytic).abs() < 0.01,
-        evidence: format!("analytic {:.4}, monte-carlo {:.4}", m1.analytic, m1.empirical),
+        evidence: format!(
+            "analytic {:.4}, monte-carlo {:.4}",
+            m1.analytic, m1.empirical
+        ),
     });
 
     Claims { claims }
@@ -193,7 +193,11 @@ mod tests {
         let c = run(&cfg);
         assert_eq!(c.claims.len(), 10);
         for claim in &c.claims {
-            assert!(claim.pass, "{}: {} ({})", claim.source, claim.statement, claim.evidence);
+            assert!(
+                claim.pass,
+                "{}: {} ({})",
+                claim.source, claim.statement, claim.evidence
+            );
         }
         assert!(c.all_pass());
         assert!(c.render().to_string().contains("PASS"));

@@ -1,0 +1,354 @@
+//! Fault-rate sweep: graceful degradation of the HARD machine under
+//! injected hardware faults.
+//!
+//! The paper evaluates HARD on fault-free hardware; this experiment
+//! asks what a deployed detector does when its own metadata hardware
+//! misbehaves. For each uniform fault rate (ppm per event, applied to
+//! every fault class of [`FaultPlan`]) it reruns the Table 2 campaign
+//! pipeline on HARD-with-faults and tallies bugs detected, false
+//! alarms, conservative resets and injected faults.
+//!
+//! Two properties anchor the sweep:
+//!
+//! * the **zero-rate row is bit-identical** to the Table 2 HARD
+//!   column — the fault layer is free when inert;
+//! * every run completes with a structured outcome — panics and
+//!   divergence are campaign *results* (`faulted` / `timed out`
+//!   columns, expected to stay zero), not crashes.
+
+use crate::campaign::{
+    alarm_sites, injected_trace, probes, race_free_trace, score, BugOutcome, CampaignConfig,
+};
+use crate::checkpoint::{Cell, Checkpoint};
+use crate::detectors::DetectorKind;
+use crate::runner::{execute_hardened, RunLimits, RunOutcome};
+use crate::table::TextTable;
+use hard::HardConfig;
+use hard_types::FaultPlan;
+use hard_workloads::App;
+
+/// Parameters of the fault sweep.
+#[derive(Clone, Debug)]
+pub struct FaultsConfig {
+    /// The underlying campaign (scale, runs, quantum, inject mode).
+    pub campaign: CampaignConfig,
+    /// Uniform fault rates to sweep, in parts-per-million per event.
+    pub rates_ppm: Vec<u32>,
+    /// Per-run resource bounds.
+    pub limits: RunLimits,
+}
+
+impl Default for FaultsConfig {
+    fn default() -> Self {
+        FaultsConfig {
+            campaign: CampaignConfig::default(),
+            rates_ppm: vec![0, 10, 100, 1_000, 10_000, 100_000],
+            limits: RunLimits::unlimited(),
+        }
+    }
+}
+
+impl FaultsConfig {
+    /// The checkpoint key binding a file to this exact sweep.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "scale={:?} runs={} quantum={} mode={:?} rates={:?} max_cycles={:?} max_events={:?}",
+            self.campaign.scale,
+            self.campaign.runs,
+            self.campaign.max_quantum,
+            self.campaign.mode,
+            self.rates_ppm,
+            self.limits.max_cycles,
+            self.limits.max_events,
+        )
+    }
+}
+
+/// One `(rate, app)` cell with its application attached.
+#[derive(Clone, Debug)]
+pub struct FaultsRow {
+    /// The application.
+    pub app: App,
+    /// The tallies.
+    pub cell: Cell,
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug)]
+pub struct FaultsStudy {
+    /// One row per `(rate, app)`, rates outermost, paper app order.
+    pub rows: Vec<FaultsRow>,
+    /// Injected runs per cell.
+    pub runs: usize,
+    /// Cells served from the checkpoint instead of recomputed.
+    pub resumed: usize,
+}
+
+/// The deterministic fault seed of one campaign run. Distinct per
+/// (rate, app, run) so repeated cells reproduce exactly.
+fn fault_seed(rate_ppm: u32, app: App, run_idx: usize) -> u64 {
+    u64::from(rate_ppm) * 1_000_003 + (app as u64) * 131 + run_idx as u64
+}
+
+/// The HARD configuration for one faulted run.
+fn hard_with_faults(rate_ppm: u32, seed: u64) -> DetectorKind {
+    let plan = if rate_ppm == 0 {
+        FaultPlan::none()
+    } else {
+        FaultPlan::uniform(seed, rate_ppm)
+    };
+    DetectorKind::Hard(HardConfig::default().with_faults(plan))
+}
+
+fn compute_cell(app: App, rate_ppm: u32, cfg: &FaultsConfig) -> Cell {
+    let mut cell = Cell {
+        rate_ppm,
+        detected: 0,
+        faulted: 0,
+        timed_out: 0,
+        alarms: 0,
+        resets: 0,
+        injected: 0,
+    };
+
+    // False alarms on the race-free execution at this fault rate.
+    let rf = race_free_trace(app, &cfg.campaign);
+    let kind = hard_with_faults(rate_ppm, fault_seed(rate_ppm, app, usize::MAX >> 1));
+    match execute_hardened(&kind, &rf, &[], cfg.limits) {
+        RunOutcome::Ok(run, fs) => {
+            cell.alarms = alarm_sites(&run).len();
+            cell.resets += fs.conservative_resets;
+            cell.injected += fs.injected();
+        }
+        RunOutcome::Faulted { .. } => cell.faulted += 1,
+        RunOutcome::TimedOut { .. } => cell.timed_out += 1,
+    }
+
+    // Bug detection over the injected runs.
+    for run_idx in 0..cfg.campaign.runs {
+        let (trace, injection) = injected_trace(app, &cfg.campaign, run_idx);
+        let pr = probes(&injection);
+        let kind = hard_with_faults(rate_ppm, fault_seed(rate_ppm, app, run_idx));
+        match execute_hardened(&kind, &trace, &pr, cfg.limits) {
+            RunOutcome::Ok(run, fs) => {
+                if score(&run, &injection) == BugOutcome::Detected {
+                    cell.detected += 1;
+                }
+                cell.resets += fs.conservative_resets;
+                cell.injected += fs.injected();
+            }
+            RunOutcome::Faulted { .. } => cell.faulted += 1,
+            RunOutcome::TimedOut { .. } => cell.timed_out += 1,
+        }
+    }
+    cell
+}
+
+/// Runs the sweep, optionally resuming from (and recording into) a
+/// checkpoint. Within a rate the six applications run on their own OS
+/// threads; cells are made durable as each rate completes.
+#[must_use]
+pub fn run(cfg: &FaultsConfig, mut checkpoint: Option<&mut Checkpoint>) -> FaultsStudy {
+    let mut rows = Vec::new();
+    let mut resumed = 0;
+    for &rate in &cfg.rates_ppm {
+        let apps = App::all();
+        let cached: Vec<Option<Cell>> = apps
+            .iter()
+            .map(|a| checkpoint.as_deref().and_then(|cp| cp.get(rate, a.name())))
+            .collect();
+        let fresh: Vec<(App, Cell)> = std::thread::scope(|s| {
+            let handles: Vec<_> = apps
+                .iter()
+                .zip(&cached)
+                .filter(|(_, c)| c.is_none())
+                .map(|(&app, _)| s.spawn(move || (app, compute_cell(app, rate, cfg))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fault campaign worker panicked"))
+                .collect()
+        });
+        if let Some(cp) = checkpoint.as_deref_mut() {
+            for (app, cell) in &fresh {
+                // A failed append degrades to in-memory-only: the sweep
+                // result is unaffected, only resumability is lost.
+                let _ = cp.record(app.name(), *cell);
+            }
+        }
+        let mut fresh_it = fresh.into_iter();
+        for (&app, cached_cell) in apps.iter().zip(&cached) {
+            let cell = match cached_cell {
+                Some(c) => {
+                    resumed += 1;
+                    *c
+                }
+                None => {
+                    let (fapp, cell) = fresh_it.next().expect("one fresh cell per uncached app");
+                    debug_assert_eq!(fapp, app);
+                    cell
+                }
+            };
+            rows.push(FaultsRow { app, cell });
+        }
+    }
+    FaultsStudy {
+        rows,
+        runs: cfg.campaign.runs,
+        resumed,
+    }
+}
+
+impl FaultsStudy {
+    /// Aggregate tallies per rate, in sweep order: `(rate, detected,
+    /// alarms, resets, faulted, timed_out, injected)`.
+    #[must_use]
+    pub fn per_rate(&self) -> Vec<(u32, usize, usize, u64, usize, usize, u64)> {
+        let mut out: Vec<(u32, usize, usize, u64, usize, usize, u64)> = Vec::new();
+        for r in &self.rows {
+            if out.last().map(|o| o.0) != Some(r.cell.rate_ppm) {
+                out.push((r.cell.rate_ppm, 0, 0, 0, 0, 0, 0));
+            }
+            let o = out.last_mut().expect("just pushed");
+            o.1 += r.cell.detected;
+            o.2 += r.cell.alarms;
+            o.3 += r.cell.resets;
+            o.4 += r.cell.faulted;
+            o.5 += r.cell.timed_out;
+            o.6 += r.cell.injected;
+        }
+        out
+    }
+
+    /// Renders the per-application sweep.
+    #[must_use]
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "fault rate",
+            "application",
+            "bugs detected",
+            "false alarms",
+            "conservative resets",
+            "faults injected",
+            "crashed",
+            "timed out",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{}ppm", r.cell.rate_ppm),
+                r.app.name().into(),
+                format!("{}/{}", r.cell.detected, self.runs),
+                r.cell.alarms.to_string(),
+                r.cell.resets.to_string(),
+                r.cell.injected.to_string(),
+                r.cell.faulted.to_string(),
+                r.cell.timed_out.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the per-rate aggregate (the headline degradation curve).
+    #[must_use]
+    pub fn render_aggregate(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "fault rate",
+            "bugs detected",
+            "false alarms",
+            "conservative resets",
+            "faults injected",
+            "crashed",
+            "timed out",
+        ]);
+        let apps = App::all().len();
+        for (rate, detected, alarms, resets, faulted, timed_out, injected) in self.per_rate() {
+            t.row(vec![
+                format!("{rate}ppm"),
+                format!("{detected}/{}", self.runs * apps),
+                alarms.to_string(),
+                resets.to_string(),
+                injected.to_string(),
+                faulted.to_string(),
+                timed_out.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for FaultsStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render_aggregate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::table2;
+
+    fn reduced(rates: Vec<u32>) -> FaultsConfig {
+        FaultsConfig {
+            campaign: CampaignConfig::reduced(0.08, 3),
+            rates_ppm: rates,
+            limits: RunLimits::unlimited(),
+        }
+    }
+
+    #[test]
+    fn zero_rate_reproduces_the_table2_hard_column() {
+        let cfg = reduced(vec![0]);
+        let study = run(&cfg, None);
+        let t2 = table2::run(&cfg.campaign);
+        assert_eq!(study.rows.len(), t2.rows.len());
+        for (fr, tr) in study.rows.iter().zip(&t2.rows) {
+            assert_eq!(fr.app, tr.app);
+            assert_eq!(fr.cell.detected, tr.hard.detected, "{}", fr.app);
+            assert_eq!(fr.cell.alarms, tr.hard.alarms, "{}", fr.app);
+            assert_eq!(fr.cell.resets, 0, "{}", fr.app);
+            assert_eq!(fr.cell.injected, 0, "{}", fr.app);
+        }
+    }
+
+    #[test]
+    fn sweep_is_panic_free_and_counts_faults() {
+        let cfg = reduced(vec![0, 50_000]);
+        let study = run(&cfg, None);
+        assert_eq!(study.rows.len(), 12);
+        for r in &study.rows {
+            assert_eq!(r.cell.faulted, 0, "{}@{}ppm", r.app, r.cell.rate_ppm);
+            assert_eq!(r.cell.timed_out, 0, "{}@{}ppm", r.app, r.cell.rate_ppm);
+        }
+        let agg = study.per_rate();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].6, 0, "zero rate injects nothing");
+        assert!(agg[1].6 > 0, "5% rate injects faults");
+        assert!(agg[1].3 > 0, "meta flips cause conservative resets");
+        let rendered = study.render_aggregate().to_string();
+        assert!(rendered.contains("50000ppm"));
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_sweep() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hard-faults-resume-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let cfg = reduced(vec![0, 20_000]);
+
+        let mut cp = Checkpoint::load(&p, &cfg.key()).unwrap();
+        let full = run(&cfg, Some(&mut cp));
+        assert_eq!(full.resumed, 0);
+        assert_eq!(cp.len(), 12);
+
+        // "Interrupt" by reloading: every cell now comes from disk.
+        let mut cp2 = Checkpoint::load(&p, &cfg.key()).unwrap();
+        let resumed = run(&cfg, Some(&mut cp2));
+        assert_eq!(resumed.resumed, 12);
+        for (a, b) in full.rows.iter().zip(&resumed.rows) {
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.cell, b.cell, "{}@{}ppm", a.app, a.cell.rate_ppm);
+        }
+        let _ = std::fs::remove_file(&p);
+    }
+}

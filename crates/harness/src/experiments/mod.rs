@@ -6,13 +6,14 @@ pub mod ablation;
 pub mod bloom_analysis;
 pub mod claims;
 pub mod cord;
+pub mod faults;
 pub mod fig8;
+pub mod robustness;
+pub mod server;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table45;
-pub mod robustness;
-pub mod server;
 pub mod table6;
 pub mod window;
 pub mod workload_stats;

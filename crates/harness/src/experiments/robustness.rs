@@ -58,8 +58,11 @@ pub fn run(cfg: &CampaignConfig) -> Robustness {
                 let (trace, injection) = injected_trace(app, &qcfg, run_idx);
                 let pr = probes(&injection);
                 row.total += 1;
-                if score(&execute(&DetectorKind::hard_default(), &trace, &pr), &injection)
-                    .is_detected()
+                if score(
+                    &execute(&DetectorKind::hard_default(), &trace, &pr),
+                    &injection,
+                )
+                .is_detected()
                 {
                     row.hard += 1;
                 }
@@ -71,8 +74,11 @@ pub fn run(cfg: &CampaignConfig) -> Robustness {
                 {
                     row.ideal += 1;
                 }
-                if score(&execute(&DetectorKind::hb_default(), &trace, &pr), &injection)
-                    .is_detected()
+                if score(
+                    &execute(&DetectorKind::hb_default(), &trace, &pr),
+                    &injection,
+                )
+                .is_detected()
                 {
                     row.hb += 1;
                 }

@@ -38,7 +38,8 @@ fn race_free(cfg: &CampaignConfig, threads: usize) -> Trace {
 
 fn injected(cfg: &CampaignConfig, threads: usize, run_idx: usize) -> (Trace, Injection) {
     let p = server::generate(&workload(cfg, threads));
-    let (injected, info) = inject_race(&p, 0xFACE + run_idx as u64);
+    let (injected, info) = inject_race(&p, 0xFACE + run_idx as u64)
+        .expect("the server workload has eligible critical sections");
     let trace = Scheduler::new(SchedConfig {
         seed: 0x2000_0000 + run_idx as u64,
         max_quantum: cfg.max_quantum,

@@ -120,8 +120,7 @@ mod tests {
         }
         // Aggregate: coarser granularity produces strictly more alarms
         // somewhere (the false-sharing clusters exist by construction).
-        let total =
-            |f: fn(&Table3Row) -> usize| t.rows.iter().map(f).sum::<usize>();
+        let total = |f: fn(&Table3Row) -> usize| t.rows.iter().map(f).sum::<usize>();
         assert!(total(|r| r.hard_alarms[3]) > total(|r| r.hard_alarms[0]));
     }
 }

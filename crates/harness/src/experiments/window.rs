@@ -48,7 +48,7 @@ fn measure(app: App, cfg: &CampaignConfig, l2_bytes: u64) -> WindowRow {
     let trace = race_free_trace(app, cfg);
     let mut hcfg = HierarchyConfig::default();
     hcfg.l2 = hard_cache::CacheGeometry::new(l2_bytes, hcfg.l2.ways(), hcfg.l2.line_bytes());
-    let mut h = Hierarchy::new(hcfg, NullFactory);
+    let mut h = Hierarchy::new(hcfg, NullFactory).expect("default hierarchy shape is valid");
     let mut fetched_at: BTreeMap<Addr, u64> = BTreeMap::new();
     let mut lifetimes: Vec<u64> = Vec::new();
     let mut ordinal = 0u64;
@@ -71,7 +71,9 @@ fn measure(app: App, cfg: &CampaignConfig, l2_bytes: u64) -> WindowRow {
             }
             for line in hcfg.l1.lines_in(addr, u64::from(size)) {
                 ordinal += 1;
-                let r = h.ensure(thread.core(), line, kind);
+                let r = h
+                    .ensure(thread.core(), line, kind)
+                    .expect("fault-free measurement hierarchy never errors");
                 if r.served_by == ServedBy::Memory {
                     fetched_at.insert(line_of(line), ordinal);
                 }
@@ -106,12 +108,11 @@ fn measure(app: App, cfg: &CampaignConfig, l2_bytes: u64) -> WindowRow {
 /// (128 KB) L2 sizes, one worker thread per application.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> WindowStudy {
-    let rows = crate::campaign::per_app(|app| {
-        [1024 * 1024, 128 * 1024].map(|l2| measure(app, cfg, l2))
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let rows =
+        crate::campaign::per_app(|app| [1024 * 1024, 128 * 1024].map(|l2| measure(app, cfg, l2)))
+            .into_iter()
+            .flatten()
+            .collect();
     WindowStudy { rows }
 }
 

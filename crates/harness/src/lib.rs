@@ -20,13 +20,17 @@
 //! source-level false-alarm counting.
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod detectors;
 pub mod experiments;
+pub mod runner;
 pub mod table;
 
 pub use campaign::{
     alarm_sites, injected_trace, per_app, probes, race_free_trace, score, BugOutcome,
     CampaignConfig, InjectMode,
 };
+pub use checkpoint::Checkpoint;
 pub use detectors::{execute, DetectorKind, DetectorRun};
+pub use runner::{execute_hardened, RunLimits, RunOutcome};
 pub use table::TextTable;

@@ -59,19 +59,34 @@ fn record_then_replay_roundtrips() {
 
     let rec = hard_exp()
         .args([
-            "record", "--app", "water-nsquared", "--file", path_s, "--scale", "0.1",
-            "--inject", "2",
+            "record",
+            "--app",
+            "water-nsquared",
+            "--file",
+            path_s,
+            "--scale",
+            "0.1",
+            "--inject",
+            "2",
         ])
         .output()
         .expect("spawn record");
-    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
     assert!(String::from_utf8_lossy(&rec.stdout).contains("recorded water-nsquared"));
 
     let rep = hard_exp()
         .args(["replay", "--file", path_s, "--detector", "hard"])
         .output()
         .expect("spawn replay");
-    assert!(rep.status.success(), "{}", String::from_utf8_lossy(&rep.stderr));
+    assert!(
+        rep.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rep.stderr)
+    );
     let s = String::from_utf8_lossy(&rep.stdout);
     assert!(s.contains("replayed") && s.contains("HARD"), "{s}");
 
@@ -100,6 +115,57 @@ fn record_rejects_unknown_apps() {
         .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown app"));
+}
+
+#[test]
+fn faults_sweep_prints_degradation_and_resumes() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("hard-exp-cli-faults-{}.ckpt", std::process::id()));
+    let path_s = path.to_str().expect("utf8 temp path");
+    std::fs::remove_file(&path).ok();
+
+    let args = [
+        "faults",
+        "--scale",
+        "0.05",
+        "--runs",
+        "2",
+        "--rates",
+        "0,50000",
+        "--checkpoint",
+        path_s,
+    ];
+    let first = hard_exp().args(args).output().expect("spawn faults");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let s1 = String::from_utf8_lossy(&first.stdout);
+    assert!(s1.contains("0ppm") && s1.contains("50000ppm"), "{s1}");
+    assert!(s1.contains("conservative resets"), "{s1}");
+    assert!(!s1.contains("resumed from checkpoint"), "{s1}");
+
+    // A rerun serves every cell from the checkpoint and prints the
+    // identical tables.
+    let second = hard_exp().args(args).output().expect("spawn faults again");
+    assert!(second.status.success());
+    let s2 = String::from_utf8_lossy(&second.stdout);
+    assert!(s2.contains("12 cells resumed from checkpoint"), "{s2}");
+    let tables = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+    assert_eq!(tables(&s1), tables(&s2), "resume must reproduce the sweep");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn faults_rejects_bad_rate_lists() {
+    let out = hard_exp()
+        .args(["faults", "--rates", "0,banana"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --rates"));
 }
 
 #[test]

@@ -127,7 +127,11 @@ mod tests {
     use hard_types::{BarrierId, LockId};
 
     fn run(p: &hard_trace::Program, seed: u64) -> Trace {
-        Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(p)
+        Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 4,
+        })
+        .run(p)
     }
 
     fn detect(trace: &Trace) -> Vec<RaceReport> {
@@ -208,9 +212,7 @@ mod tests {
         let mut caught = 0;
         for seed in 0..64 {
             let trace = run(&p, seed);
-            let racy_on_x = detect(&trace)
-                .iter()
-                .any(|r| r.overlaps(x, Addr(x.0 + 4)));
+            let racy_on_x = detect(&trace).iter().any(|r| r.overlaps(x, Addr(x.0 + 4)));
             if racy_on_x {
                 caught += 1;
             } else {
@@ -248,17 +250,49 @@ mod tests {
         let data = Addr(0x700);
         let flag = Addr(0x800);
         let mut b = ProgramBuilder::new(2);
-        b.thread(0).write(data, 4, SiteId(1)).write(flag, 4, SiteId(2));
-        b.thread(1).read(flag, 4, SiteId(3)).read(data, 4, SiteId(4));
+        b.thread(0)
+            .write(data, 4, SiteId(1))
+            .write(flag, 4, SiteId(2));
+        b.thread(1)
+            .read(flag, 4, SiteId(3))
+            .read(data, 4, SiteId(4));
         // Pick an interleaving where t1 truly runs after t0.
         let t0 = ThreadId(0);
         let t1 = ThreadId(1);
         let trace = Trace {
             events: vec![
-                TraceEvent::Op { thread: t0, op: Op::Write { addr: data, size: 4, site: SiteId(1) } },
-                TraceEvent::Op { thread: t0, op: Op::Write { addr: flag, size: 4, site: SiteId(2) } },
-                TraceEvent::Op { thread: t1, op: Op::Read { addr: flag, size: 4, site: SiteId(3) } },
-                TraceEvent::Op { thread: t1, op: Op::Read { addr: data, size: 4, site: SiteId(4) } },
+                TraceEvent::Op {
+                    thread: t0,
+                    op: Op::Write {
+                        addr: data,
+                        size: 4,
+                        site: SiteId(1),
+                    },
+                },
+                TraceEvent::Op {
+                    thread: t0,
+                    op: Op::Write {
+                        addr: flag,
+                        size: 4,
+                        site: SiteId(2),
+                    },
+                },
+                TraceEvent::Op {
+                    thread: t1,
+                    op: Op::Read {
+                        addr: flag,
+                        size: 4,
+                        site: SiteId(3),
+                    },
+                },
+                TraceEvent::Op {
+                    thread: t1,
+                    op: Op::Read {
+                        addr: data,
+                        size: 4,
+                        site: SiteId(4),
+                    },
+                },
             ],
             num_threads: 2,
         };

@@ -255,8 +255,11 @@ mod tests {
             }
         }
         for seed in 0..8 {
-            let trace =
-                Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&b.clone().build());
+            let trace = Scheduler::new(SchedConfig {
+                seed,
+                max_quantum: 4,
+            })
+            .run(&b.clone().build());
             let mut d = ScalarHappensBefore::new(ScalarHbConfig::new(2));
             assert!(run_detector(&mut d, &trace).is_empty(), "seed {seed}");
         }
@@ -278,17 +281,67 @@ mod tests {
         let trace = hard_trace::Trace {
             events: vec![
                 // t0 pumps the lock's stamp up.
-                ev(t0, Op::Lock { lock: a, site: SiteId(1) }),
-                ev(t0, Op::Unlock { lock: a, site: SiteId(2) }),
-                ev(t0, Op::Lock { lock: a, site: SiteId(3) }),
-                ev(t0, Op::Unlock { lock: a, site: SiteId(4) }),
+                ev(
+                    t0,
+                    Op::Lock {
+                        lock: a,
+                        site: SiteId(1),
+                    },
+                ),
+                ev(
+                    t0,
+                    Op::Unlock {
+                        lock: a,
+                        site: SiteId(2),
+                    },
+                ),
+                ev(
+                    t0,
+                    Op::Lock {
+                        lock: a,
+                        site: SiteId(3),
+                    },
+                ),
+                ev(
+                    t0,
+                    Op::Unlock {
+                        lock: a,
+                        site: SiteId(4),
+                    },
+                ),
                 // t0's racy write carries its (now advanced) clock.
-                ev(t0, Op::Write { addr: x, size: 4, site: SiteId(5) }),
+                ev(
+                    t0,
+                    Op::Write {
+                        addr: x,
+                        size: 4,
+                        site: SiteId(5),
+                    },
+                ),
                 // t1 acquires the same lock: its scalar clock jumps past
                 // t0's write stamp even though no edge orders the write.
-                ev(t1, Op::Lock { lock: a, site: SiteId(6) }),
-                ev(t1, Op::Unlock { lock: a, site: SiteId(7) }),
-                ev(t1, Op::Write { addr: x, size: 4, site: SiteId(8) }),
+                ev(
+                    t1,
+                    Op::Lock {
+                        lock: a,
+                        site: SiteId(6),
+                    },
+                ),
+                ev(
+                    t1,
+                    Op::Unlock {
+                        lock: a,
+                        site: SiteId(7),
+                    },
+                ),
+                ev(
+                    t1,
+                    Op::Write {
+                        addr: x,
+                        size: 4,
+                        site: SiteId(8),
+                    },
+                ),
             ],
             num_threads: 2,
         };

@@ -160,8 +160,7 @@ mod tests {
     #[test]
     fn barrier_orders_everything() {
         let mut s = SyncClocks::new(3);
-        let snapshots: Vec<VectorClock> =
-            (0..3).map(|t| s.thread(ThreadId(t)).clone()).collect();
+        let snapshots: Vec<VectorClock> = (0..3).map(|t| s.thread(ThreadId(t)).clone()).collect();
         s.barrier_all();
         for snap in &snapshots {
             for t in 0..3 {

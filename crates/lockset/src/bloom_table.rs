@@ -166,10 +166,36 @@ mod tests {
         let t1 = hard_types::ThreadId(1);
         let trace = hard_trace::Trace {
             events: vec![
-                TraceEvent::Op { thread: t0, op: Op::Lock { lock: l, site: SiteId(0) } },
-                TraceEvent::Op { thread: t0, op: Op::Write { addr: x, size: 4, site: SiteId(1) } },
-                TraceEvent::Op { thread: t0, op: Op::Unlock { lock: l, site: SiteId(2) } },
-                TraceEvent::Op { thread: t1, op: Op::Write { addr: x, size: 4, site: SiteId(3) } },
+                TraceEvent::Op {
+                    thread: t0,
+                    op: Op::Lock {
+                        lock: l,
+                        site: SiteId(0),
+                    },
+                },
+                TraceEvent::Op {
+                    thread: t0,
+                    op: Op::Write {
+                        addr: x,
+                        size: 4,
+                        site: SiteId(1),
+                    },
+                },
+                TraceEvent::Op {
+                    thread: t0,
+                    op: Op::Unlock {
+                        lock: l,
+                        site: SiteId(2),
+                    },
+                },
+                TraceEvent::Op {
+                    thread: t1,
+                    op: Op::Write {
+                        addr: x,
+                        size: 4,
+                        site: SiteId(3),
+                    },
+                },
             ],
             num_threads: 2,
         };
@@ -189,7 +215,11 @@ mod tests {
                 tp.write(Addr(0x1000 + i * 64), 4, SiteId(t * 100 + i as u32));
             }
         }
-        let trace = Scheduler::new(SchedConfig { seed: 4, max_quantum: 3 }).run(&b.build());
+        let trace = Scheduler::new(SchedConfig {
+            seed: 4,
+            max_quantum: 3,
+        })
+        .run(&b.build());
         let mut bloom = BloomLockset::new(BloomLocksetConfig {
             granularity: Granularity::new(4),
             ..BloomLocksetConfig::default()
@@ -197,8 +227,14 @@ mod tests {
         let mut ideal = IdealLockset::new(IdealLocksetConfig::default());
         let rb = run_detector(&mut bloom, &trace);
         let ri = run_detector(&mut ideal, &trace);
-        let gb: BTreeSet<Addr> = rb.iter().map(|r| Granularity::new(4).granule_of(r.addr)).collect();
-        let gi: BTreeSet<Addr> = ri.iter().map(|r| Granularity::new(4).granule_of(r.addr)).collect();
+        let gb: BTreeSet<Addr> = rb
+            .iter()
+            .map(|r| Granularity::new(4).granule_of(r.addr))
+            .collect();
+        let gi: BTreeSet<Addr> = ri
+            .iter()
+            .map(|r| Granularity::new(4).granule_of(r.addr))
+            .collect();
         assert_eq!(gb, gi);
     }
 
@@ -228,15 +264,18 @@ mod tests {
             .unlock(l3, SiteId(7));
         let p = b.build();
         // Force t0 first so t1's access performs the empty intersection.
-        let trace = Scheduler::new(SchedConfig { seed: 0, max_quantum: 16 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed: 0,
+            max_quantum: 16,
+        })
+        .run(&p);
 
         let mut ideal = IdealLockset::new(IdealLocksetConfig::default());
         let ri = run_detector(&mut ideal, &trace);
         let mut bloom = BloomLockset::new(BloomLocksetConfig::default());
         let rb = run_detector(&mut bloom, &trace);
 
-        let on_x =
-            |rs: &[RaceReport]| rs.iter().any(|r| r.overlaps(x, Addr(x.0 + 4)));
+        let on_x = |rs: &[RaceReport]| rs.iter().any(|r| r.overlaps(x, Addr(x.0 + 4)));
         if on_x(&ri) {
             assert!(
                 !on_x(&rb),

@@ -175,7 +175,11 @@ mod tests {
     use hard_types::{BarrierId, LockId};
 
     fn run(p: &hard_trace::Program, seed: u64) -> Trace {
-        Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(p)
+        Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 4,
+        })
+        .run(p)
     }
 
     fn detect(trace: &Trace, cfg: IdealLocksetConfig) -> Vec<RaceReport> {
@@ -309,7 +313,10 @@ mod tests {
                 ..IdealLocksetConfig::default()
             },
         );
-        assert!(!coarse.is_empty(), "32B granularity merges the candidate sets");
+        assert!(
+            !coarse.is_empty(),
+            "32B granularity merges the candidate sets"
+        );
     }
 
     #[test]

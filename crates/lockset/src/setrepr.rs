@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn bloom_obeys_laws() {
         for shape in [BloomShape::B16, BloomShape::B32] {
-            check_laws(shape, BloomVector::from_locks(shape, &[LockId(4), LockId(8)]));
+            check_laws(
+                shape,
+                BloomVector::from_locks(shape, &[LockId(4), LockId(8)]),
+            );
         }
     }
 }

@@ -186,9 +186,25 @@ fn barrier_reset_is_global() {
     let t0 = ThreadId(0);
     let t1 = ThreadId(1);
     let events = [
-        ev(t0, Op::Write { addr: Addr(0x100), size: 4, site: SiteId(1) }),
-        ev(t1, Op::Read { addr: Addr(0x100), size: 4, site: SiteId(2) }),
-        TraceEvent::BarrierComplete { barrier: hard_types::BarrierId(0) },
+        ev(
+            t0,
+            Op::Write {
+                addr: Addr(0x100),
+                size: 4,
+                site: SiteId(1),
+            },
+        ),
+        ev(
+            t1,
+            Op::Read {
+                addr: Addr(0x100),
+                size: 4,
+                site: SiteId(2),
+            },
+        ),
+        TraceEvent::BarrierComplete {
+            barrier: hard_types::BarrierId(0),
+        },
     ];
     for (i, e) in events.iter().enumerate() {
         d.on_event(i, e);

@@ -5,6 +5,24 @@
 //! workload (useful for debugging a single campaign run). We own the
 //! codec instead of pulling in a serialization framework: the format is
 //! seven record shapes and must stay stable for recorded experiments.
+//!
+//! # Framing (version 2)
+//!
+//! Version 1 was a bare event stream: one flipped byte desynchronized
+//! the tag parser and poisoned everything after it, and a truncated
+//! file lost the whole trace. Version 2 groups events into
+//! length-prefixed frames, each carrying an FNV-1a checksum of its
+//! payload:
+//!
+//! ```text
+//! "HARDTRC2" | num_threads u32 | total_events u64
+//! repeat:  payload_len u32 | event_count u32 | fnv1a u64 | payload
+//! ```
+//!
+//! [`decode`] verifies every frame and fails loudly on any damage;
+//! [`decode_lossy`] instead returns the longest valid frame prefix of
+//! a truncated or corrupted stream, so a crash mid-record still yields
+//! a replayable trace. Version-1 streams remain readable by both.
 
 use crate::event::{Trace, TraceEvent};
 use crate::op::Op;
@@ -13,18 +31,41 @@ use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Magic bytes opening every trace stream.
-pub const MAGIC: &[u8; 8] = b"HARDTRC1";
+/// Magic bytes opening a version-1 trace stream (bare event stream,
+/// still readable).
+pub const MAGIC_V1: &[u8; 8] = b"HARDTRC1";
+
+/// Magic bytes opening a version-2 (framed, checksummed) trace stream.
+pub const MAGIC: &[u8; 8] = b"HARDTRC2";
+
+/// Events per frame. Small enough that a damaged frame loses little,
+/// large enough that framing overhead (16 bytes/frame) is noise.
+const FRAME_EVENTS: usize = 512;
+
+/// Largest encoded event (a read/write record). Bounds the plausible
+/// frame payload so a corrupted length field cannot demand a huge
+/// allocation before the checksum gets a chance to reject it.
+const MAX_EVENT_BYTES: usize = 18;
 
 /// Errors produced while decoding a trace.
 #[derive(Debug)]
 pub enum DecodeTraceError {
     /// The underlying reader failed.
     Io(io::Error),
-    /// The stream does not start with [`MAGIC`].
+    /// The stream starts with neither [`MAGIC`] nor [`MAGIC_V1`].
     BadMagic([u8; 8]),
     /// An unknown event tag was encountered.
     BadTag(u8),
+    /// A frame's payload does not match its checksum.
+    BadChecksum {
+        /// Zero-based index of the damaged frame.
+        frame: usize,
+    },
+    /// The stream ended early or a frame disagrees with its header.
+    Truncated {
+        /// Events recovered before the damage.
+        events_ok: usize,
+    },
 }
 
 impl fmt::Display for DecodeTraceError {
@@ -33,6 +74,12 @@ impl fmt::Display for DecodeTraceError {
             DecodeTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
             DecodeTraceError::BadMagic(m) => write!(f, "bad trace magic {m:?}"),
             DecodeTraceError::BadTag(t) => write!(f, "unknown trace event tag {t}"),
+            DecodeTraceError::BadChecksum { frame } => {
+                write!(f, "trace frame {frame} is corrupt")
+            }
+            DecodeTraceError::Truncated { events_ok } => {
+                write!(f, "trace truncated after {events_ok} valid event(s)")
+            }
         }
     }
 }
@@ -88,8 +135,142 @@ fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-/// Serializes `trace` to `w`. Note that a `&mut W` also satisfies the
-/// `W: Write` bound, so callers can keep ownership of their writer.
+/// 64-bit FNV-1a over `bytes`: tiny, dependency-free, and plenty to
+/// catch bit flips and torn writes (this is an integrity check, not a
+/// cryptographic one).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn put_event<W: Write>(w: &mut W, e: &TraceEvent) -> io::Result<()> {
+    match *e {
+        TraceEvent::Op { thread, op } => match op {
+            Op::Read { addr, size, site } => {
+                w.write_all(&[TAG_READ, size])?;
+                put_u32(w, thread.0)?;
+                put_u64(w, addr.0)?;
+                put_u32(w, site.0)
+            }
+            Op::Write { addr, size, site } => {
+                w.write_all(&[TAG_WRITE, size])?;
+                put_u32(w, thread.0)?;
+                put_u64(w, addr.0)?;
+                put_u32(w, site.0)
+            }
+            Op::Lock { lock, site } => {
+                w.write_all(&[TAG_LOCK])?;
+                put_u32(w, thread.0)?;
+                put_u64(w, lock.0)?;
+                put_u32(w, site.0)
+            }
+            Op::Unlock { lock, site } => {
+                w.write_all(&[TAG_UNLOCK])?;
+                put_u32(w, thread.0)?;
+                put_u64(w, lock.0)?;
+                put_u32(w, site.0)
+            }
+            Op::Barrier { barrier, site } => {
+                w.write_all(&[TAG_BARRIER])?;
+                put_u32(w, thread.0)?;
+                put_u32(w, barrier.0)?;
+                put_u32(w, site.0)
+            }
+            Op::Compute { cycles } => {
+                w.write_all(&[TAG_COMPUTE])?;
+                put_u32(w, thread.0)?;
+                put_u32(w, cycles)
+            }
+            Op::Fork { child, site } => {
+                w.write_all(&[TAG_FORK])?;
+                put_u32(w, thread.0)?;
+                put_u32(w, child.0)?;
+                put_u32(w, site.0)
+            }
+            Op::Join { child, site } => {
+                w.write_all(&[TAG_JOIN])?;
+                put_u32(w, thread.0)?;
+                put_u32(w, child.0)?;
+                put_u32(w, site.0)
+            }
+        },
+        TraceEvent::BarrierComplete { barrier } => {
+            w.write_all(&[TAG_BARRIER_COMPLETE])?;
+            put_u32(w, barrier.0)
+        }
+    }
+}
+
+fn get_event<R: Read>(r: &mut R) -> Result<TraceEvent, DecodeTraceError> {
+    let tag = get_u8(r)?;
+    let e = match tag {
+        TAG_READ | TAG_WRITE => {
+            let size = get_u8(r)?;
+            let thread = ThreadId(get_u32(r)?);
+            let addr = Addr(get_u64(r)?);
+            let site = SiteId(get_u32(r)?);
+            let op = if tag == TAG_READ {
+                Op::Read { addr, size, site }
+            } else {
+                Op::Write { addr, size, site }
+            };
+            TraceEvent::Op { thread, op }
+        }
+        TAG_LOCK | TAG_UNLOCK => {
+            let thread = ThreadId(get_u32(r)?);
+            let lock = LockId(get_u64(r)?);
+            let site = SiteId(get_u32(r)?);
+            let op = if tag == TAG_LOCK {
+                Op::Lock { lock, site }
+            } else {
+                Op::Unlock { lock, site }
+            };
+            TraceEvent::Op { thread, op }
+        }
+        TAG_BARRIER => {
+            let thread = ThreadId(get_u32(r)?);
+            let barrier = BarrierId(get_u32(r)?);
+            let site = SiteId(get_u32(r)?);
+            TraceEvent::Op {
+                thread,
+                op: Op::Barrier { barrier, site },
+            }
+        }
+        TAG_COMPUTE => {
+            let thread = ThreadId(get_u32(r)?);
+            let cycles = get_u32(r)?;
+            TraceEvent::Op {
+                thread,
+                op: Op::Compute { cycles },
+            }
+        }
+        TAG_FORK | TAG_JOIN => {
+            let thread = ThreadId(get_u32(r)?);
+            let child = ThreadId(get_u32(r)?);
+            let site = SiteId(get_u32(r)?);
+            let op = if tag == TAG_FORK {
+                Op::Fork { child, site }
+            } else {
+                Op::Join { child, site }
+            };
+            TraceEvent::Op { thread, op }
+        }
+        TAG_BARRIER_COMPLETE => TraceEvent::BarrierComplete {
+            barrier: BarrierId(get_u32(r)?),
+        },
+        t => return Err(DecodeTraceError::BadTag(t)),
+    };
+    Ok(e)
+}
+
+/// Serializes `trace` to `w` in the framed version-2 format. Note that
+/// a `&mut W` also satisfies the `W: Write` bound, so callers can keep
+/// ownership of their writer.
 ///
 /// # Errors
 ///
@@ -98,147 +279,192 @@ pub fn encode<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     w.write_all(MAGIC)?;
     put_u32(&mut w, trace.num_threads as u32)?;
     put_u64(&mut w, trace.events.len() as u64)?;
-    for e in &trace.events {
-        match *e {
-            TraceEvent::Op { thread, op } => {
-                match op {
-                    Op::Read { addr, size, site } => {
-                        w.write_all(&[TAG_READ, size])?;
-                        put_u32(&mut w, thread.0)?;
-                        put_u64(&mut w, addr.0)?;
-                        put_u32(&mut w, site.0)?;
-                    }
-                    Op::Write { addr, size, site } => {
-                        w.write_all(&[TAG_WRITE, size])?;
-                        put_u32(&mut w, thread.0)?;
-                        put_u64(&mut w, addr.0)?;
-                        put_u32(&mut w, site.0)?;
-                    }
-                    Op::Lock { lock, site } => {
-                        w.write_all(&[TAG_LOCK])?;
-                        put_u32(&mut w, thread.0)?;
-                        put_u64(&mut w, lock.0)?;
-                        put_u32(&mut w, site.0)?;
-                    }
-                    Op::Unlock { lock, site } => {
-                        w.write_all(&[TAG_UNLOCK])?;
-                        put_u32(&mut w, thread.0)?;
-                        put_u64(&mut w, lock.0)?;
-                        put_u32(&mut w, site.0)?;
-                    }
-                    Op::Barrier { barrier, site } => {
-                        w.write_all(&[TAG_BARRIER])?;
-                        put_u32(&mut w, thread.0)?;
-                        put_u32(&mut w, barrier.0)?;
-                        put_u32(&mut w, site.0)?;
-                    }
-                    Op::Compute { cycles } => {
-                        w.write_all(&[TAG_COMPUTE])?;
-                        put_u32(&mut w, thread.0)?;
-                        put_u32(&mut w, cycles)?;
-                    }
-                    Op::Fork { child, site } => {
-                        w.write_all(&[TAG_FORK])?;
-                        put_u32(&mut w, thread.0)?;
-                        put_u32(&mut w, child.0)?;
-                        put_u32(&mut w, site.0)?;
-                    }
-                    Op::Join { child, site } => {
-                        w.write_all(&[TAG_JOIN])?;
-                        put_u32(&mut w, thread.0)?;
-                        put_u32(&mut w, child.0)?;
-                        put_u32(&mut w, site.0)?;
-                    }
-                }
-            }
-            TraceEvent::BarrierComplete { barrier } => {
-                w.write_all(&[TAG_BARRIER_COMPLETE])?;
-                put_u32(&mut w, barrier.0)?;
-            }
+    let mut payload = Vec::new();
+    for chunk in trace.events.chunks(FRAME_EVENTS) {
+        payload.clear();
+        for e in chunk {
+            put_event(&mut payload, e)?;
         }
+        put_u32(&mut w, payload.len() as u32)?;
+        put_u32(&mut w, chunk.len() as u32)?;
+        put_u64(&mut w, fnv1a(&payload))?;
+        w.write_all(&payload)?;
     }
     Ok(())
 }
 
-/// Deserializes a trace from `r`. A `&mut R` also satisfies `R: Read`.
+/// The result of a lossy decode: whatever valid prefix the stream held.
+#[derive(Clone, Debug)]
+pub struct LossyTrace {
+    /// The recovered prefix.
+    pub trace: Trace,
+    /// True if the whole stream decoded cleanly.
+    pub complete: bool,
+    /// Events the header promised but the stream did not deliver
+    /// intact. Zero when `complete`.
+    pub events_lost: u64,
+}
+
+enum Version {
+    V1,
+    V2,
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<(Version, usize, u64), DecodeTraceError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    let version = if &magic == MAGIC {
+        Version::V2
+    } else if &magic == MAGIC_V1 {
+        Version::V1
+    } else {
+        return Err(DecodeTraceError::BadMagic(magic));
+    };
+    let num_threads = get_u32(r)? as usize;
+    let total = get_u64(r)?;
+    Ok((version, num_threads, total))
+}
+
+/// Reads one v2 frame into `events`. `Ok(false)` means clean
+/// end-of-stream.
+fn read_frame<R: Read>(
+    r: &mut R,
+    frame_idx: usize,
+    events: &mut Vec<TraceEvent>,
+) -> Result<bool, DecodeTraceError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no more frames" from "frame header torn mid-write".
+    match r.read(&mut len_buf)? {
+        0 => return Ok(false),
+        4 => {}
+        n => {
+            let mut got = n;
+            while got < 4 {
+                let m = r.read(&mut len_buf[got..])?;
+                if m == 0 {
+                    return Err(DecodeTraceError::Truncated {
+                        events_ok: events.len(),
+                    });
+                }
+                got += m;
+            }
+        }
+    }
+    let payload_len = u32::from_le_bytes(len_buf) as usize;
+    let count = get_u32(r)? as usize;
+    let checksum = get_u64(r)?;
+    // A frame the encoder could never have written is corruption of the
+    // frame header itself.
+    if payload_len > FRAME_EVENTS * MAX_EVENT_BYTES || count > FRAME_EVENTS {
+        return Err(DecodeTraceError::BadChecksum { frame: frame_idx });
+    }
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    if fnv1a(&payload) != checksum {
+        return Err(DecodeTraceError::BadChecksum { frame: frame_idx });
+    }
+    let mut pr = payload.as_slice();
+    for _ in 0..count {
+        events.push(get_event(&mut pr)?);
+    }
+    if !pr.is_empty() {
+        return Err(DecodeTraceError::BadChecksum { frame: frame_idx });
+    }
+    Ok(true)
+}
+
+/// Deserializes a trace from `r`, verifying every frame. A `&mut R`
+/// also satisfies `R: Read`.
 ///
 /// # Errors
 ///
-/// Returns [`DecodeTraceError`] on I/O failure, bad magic, or an
-/// unknown event tag.
+/// Returns [`DecodeTraceError`] on I/O failure, bad magic, an unknown
+/// event tag, a checksum mismatch, or a truncated stream. Use
+/// [`decode_lossy`] to recover the valid prefix instead.
 pub fn decode<R: Read>(mut r: R) -> Result<Trace, DecodeTraceError> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(DecodeTraceError::BadMagic(magic));
-    }
-    let num_threads = get_u32(&mut r)? as usize;
-    let n = get_u64(&mut r)? as usize;
-    let mut events = Vec::with_capacity(n.min(1 << 24));
-    for _ in 0..n {
-        let tag = get_u8(&mut r)?;
-        let e = match tag {
-            TAG_READ | TAG_WRITE => {
-                let size = get_u8(&mut r)?;
-                let thread = ThreadId(get_u32(&mut r)?);
-                let addr = Addr(get_u64(&mut r)?);
-                let site = SiteId(get_u32(&mut r)?);
-                let op = if tag == TAG_READ {
-                    Op::Read { addr, size, site }
-                } else {
-                    Op::Write { addr, size, site }
-                };
-                TraceEvent::Op { thread, op }
+    let (version, num_threads, total) = read_header(&mut r)?;
+    let mut events = Vec::with_capacity((total as usize).min(1 << 24));
+    match version {
+        Version::V1 => {
+            for _ in 0..total {
+                events.push(get_event(&mut r)?);
             }
-            TAG_LOCK | TAG_UNLOCK => {
-                let thread = ThreadId(get_u32(&mut r)?);
-                let lock = LockId(get_u64(&mut r)?);
-                let site = SiteId(get_u32(&mut r)?);
-                let op = if tag == TAG_LOCK {
-                    Op::Lock { lock, site }
-                } else {
-                    Op::Unlock { lock, site }
-                };
-                TraceEvent::Op { thread, op }
+        }
+        Version::V2 => {
+            let mut frame_idx = 0;
+            while read_frame(&mut r, frame_idx, &mut events)? {
+                frame_idx += 1;
             }
-            TAG_BARRIER => {
-                let thread = ThreadId(get_u32(&mut r)?);
-                let barrier = BarrierId(get_u32(&mut r)?);
-                let site = SiteId(get_u32(&mut r)?);
-                TraceEvent::Op {
-                    thread,
-                    op: Op::Barrier { barrier, site },
-                }
+            if events.len() as u64 != total {
+                return Err(DecodeTraceError::Truncated {
+                    events_ok: events.len(),
+                });
             }
-            TAG_COMPUTE => {
-                let thread = ThreadId(get_u32(&mut r)?);
-                let cycles = get_u32(&mut r)?;
-                TraceEvent::Op {
-                    thread,
-                    op: Op::Compute { cycles },
-                }
-            }
-            TAG_FORK | TAG_JOIN => {
-                let thread = ThreadId(get_u32(&mut r)?);
-                let child = ThreadId(get_u32(&mut r)?);
-                let site = SiteId(get_u32(&mut r)?);
-                let op = if tag == TAG_FORK {
-                    Op::Fork { child, site }
-                } else {
-                    Op::Join { child, site }
-                };
-                TraceEvent::Op { thread, op }
-            }
-            TAG_BARRIER_COMPLETE => TraceEvent::BarrierComplete {
-                barrier: BarrierId(get_u32(&mut r)?),
-            },
-            t => return Err(DecodeTraceError::BadTag(t)),
-        };
-        events.push(e);
+        }
     }
     Ok(Trace {
         events,
         num_threads,
+    })
+}
+
+/// Deserializes as much of a damaged trace as can be trusted: all
+/// frames up to (not including) the first truncated or corrupt one.
+///
+/// The header must still be intact — without the magic and thread
+/// count there is nothing safe to return.
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] only for a damaged *header* (short
+/// stream, bad magic) or a reader error while it is still in sync;
+/// damage inside the event stream is reported via
+/// [`LossyTrace::events_lost`] instead.
+pub fn decode_lossy<R: Read>(mut r: R) -> Result<LossyTrace, DecodeTraceError> {
+    let (version, num_threads, total) = read_header(&mut r)?;
+    let mut events = Vec::with_capacity((total as usize).min(1 << 24));
+    let mut complete = true;
+    match version {
+        Version::V1 => {
+            // v1 has no framing: recover whole events until the stream
+            // dies. A desynchronized tag shows up as BadTag/EOF.
+            for _ in 0..total {
+                match get_event(&mut r) {
+                    Ok(e) => events.push(e),
+                    Err(_) => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+        }
+        Version::V2 => {
+            let mut frame_idx = 0;
+            loop {
+                // Snapshot so a frame that fails mid-parse contributes
+                // nothing (its checksum already vouched only for whole
+                // frames; a short read must not leave half a frame).
+                let valid = events.len();
+                match read_frame(&mut r, frame_idx, &mut events) {
+                    Ok(true) => frame_idx += 1,
+                    Ok(false) => break,
+                    Err(_) => {
+                        events.truncate(valid);
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    complete &= events.len() as u64 == total;
+    Ok(LossyTrace {
+        events_lost: total.saturating_sub(events.len() as u64),
+        trace: Trace {
+            events,
+            num_threads,
+        },
+        complete,
     })
 }
 
@@ -251,31 +477,69 @@ mod tests {
             events: vec![
                 TraceEvent::Op {
                     thread: ThreadId(0),
-                    op: Op::Lock { lock: LockId(0x40), site: SiteId(1) },
+                    op: Op::Lock {
+                        lock: LockId(0x40),
+                        site: SiteId(1),
+                    },
                 },
                 TraceEvent::Op {
                     thread: ThreadId(0),
-                    op: Op::Write { addr: Addr(0x1000), size: 4, site: SiteId(2) },
+                    op: Op::Write {
+                        addr: Addr(0x1000),
+                        size: 4,
+                        site: SiteId(2),
+                    },
                 },
                 TraceEvent::Op {
                     thread: ThreadId(0),
-                    op: Op::Unlock { lock: LockId(0x40), site: SiteId(3) },
+                    op: Op::Unlock {
+                        lock: LockId(0x40),
+                        site: SiteId(3),
+                    },
                 },
                 TraceEvent::Op {
                     thread: ThreadId(1),
-                    op: Op::Read { addr: Addr(0x1000), size: 8, site: SiteId(4) },
+                    op: Op::Read {
+                        addr: Addr(0x1000),
+                        size: 8,
+                        site: SiteId(4),
+                    },
                 },
                 TraceEvent::Op {
                     thread: ThreadId(1),
-                    op: Op::Barrier { barrier: BarrierId(0), site: SiteId(5) },
+                    op: Op::Barrier {
+                        barrier: BarrierId(0),
+                        site: SiteId(5),
+                    },
                 },
                 TraceEvent::Op {
                     thread: ThreadId(1),
                     op: Op::Compute { cycles: 77 },
                 },
-                TraceEvent::BarrierComplete { barrier: BarrierId(0) },
+                TraceEvent::BarrierComplete {
+                    barrier: BarrierId(0),
+                },
             ],
             num_threads: 2,
+        }
+    }
+
+    /// A trace long enough to span several frames.
+    fn long_trace() -> Trace {
+        let mut events = Vec::new();
+        for i in 0..(FRAME_EVENTS as u64 * 3 + 100) {
+            events.push(TraceEvent::Op {
+                thread: ThreadId((i % 4) as u32),
+                op: Op::Write {
+                    addr: Addr(0x1000 + i * 4),
+                    size: 4,
+                    site: SiteId(i as u32),
+                },
+            });
+        }
+        Trace {
+            events,
+            num_threads: 4,
         }
     }
 
@@ -284,8 +548,37 @@ mod tests {
         let t = sample_trace();
         let mut buf = Vec::new();
         encode(&t, &mut buf).unwrap();
+        assert_eq!(&buf[..8], MAGIC);
         let back = decode(buf.as_slice()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn multi_frame_roundtrip() {
+        let t = long_trace();
+        let mut buf = Vec::new();
+        encode(&t, &mut buf).unwrap();
+        assert_eq!(decode(buf.as_slice()).unwrap(), t);
+        let lossy = decode_lossy(buf.as_slice()).unwrap();
+        assert!(lossy.complete);
+        assert_eq!(lossy.events_lost, 0);
+        assert_eq!(lossy.trace, t);
+    }
+
+    #[test]
+    fn v1_streams_remain_readable() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        buf.extend_from_slice(&(t.num_threads as u32).to_le_bytes());
+        buf.extend_from_slice(&(t.events.len() as u64).to_le_bytes());
+        for e in &t.events {
+            put_event(&mut buf, e).unwrap();
+        }
+        assert_eq!(decode(buf.as_slice()).unwrap(), t);
+        let lossy = decode_lossy(buf.as_slice()).unwrap();
+        assert!(lossy.complete);
+        assert_eq!(lossy.trace, t);
     }
 
     #[test]
@@ -296,20 +589,65 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_is_io_error() {
+    fn truncated_stream_is_an_error_strictly() {
         let t = sample_trace();
         let mut buf = Vec::new();
         encode(&t, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         let err = decode(buf.as_slice()).unwrap_err();
-        assert!(matches!(err, DecodeTraceError::Io(_)));
-        assert!(err.source().is_some());
+        assert!(
+            matches!(
+                err,
+                DecodeTraceError::Io(_) | DecodeTraceError::Truncated { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lossy_decode_recovers_the_valid_frame_prefix() {
+        let t = long_trace();
+        let mut buf = Vec::new();
+        encode(&t, &mut buf).unwrap();
+        // Chop inside the last frame: the three full frames survive.
+        buf.truncate(buf.len() - 37);
+        let lossy = decode_lossy(buf.as_slice()).unwrap();
+        assert!(!lossy.complete);
+        assert_eq!(lossy.trace.events.len(), FRAME_EVENTS * 3);
+        assert_eq!(
+            lossy.events_lost,
+            t.events.len() as u64 - (FRAME_EVENTS as u64 * 3)
+        );
+        assert_eq!(&lossy.trace.events[..], &t.events[..FRAME_EVENTS * 3]);
+    }
+
+    #[test]
+    fn corrupt_frame_is_caught_by_its_checksum() {
+        let t = long_trace();
+        let mut buf = Vec::new();
+        encode(&t, &mut buf).unwrap();
+        // Flip one payload byte inside the second frame. Layout: 20-byte
+        // stream header, then per frame a 16-byte frame header plus the
+        // payload (write events are 18 bytes each).
+        let frame1_payload = 20 + 16 + FRAME_EVENTS * 18 + 16;
+        buf[frame1_payload + 40] ^= 0x10;
+        let err = decode(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, DecodeTraceError::BadChecksum { frame: 1 }),
+            "{err}"
+        );
+        // Lossy: the first frame survives, everything after is dropped.
+        let lossy = decode_lossy(buf.as_slice()).unwrap();
+        assert!(!lossy.complete);
+        assert_eq!(lossy.trace.events.len(), FRAME_EVENTS);
+        assert_eq!(&lossy.trace.events[..], &t.events[..FRAME_EVENTS]);
     }
 
     #[test]
     fn bad_tag_is_rejected() {
+        // A v1 stream with an invalid tag byte.
         let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(MAGIC_V1);
         buf.extend_from_slice(&1u32.to_le_bytes());
         buf.extend_from_slice(&1u64.to_le_bytes());
         buf.push(0xFF);
@@ -319,11 +657,28 @@ mod tests {
 
     #[test]
     fn empty_trace_roundtrips() {
-        let t = Trace { events: vec![], num_threads: 4 };
+        let t = Trace {
+            events: vec![],
+            num_threads: 4,
+        };
         let mut buf = Vec::new();
         encode(&t, &mut buf).unwrap();
         let back = decode(buf.as_slice()).unwrap();
         assert_eq!(back.num_threads, 4);
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn headerless_garbage_still_errors_lossy() {
+        assert!(decode_lossy(&b"zz"[..]).is_err());
+        assert!(decode_lossy(&b"NOTATRCE????"[..]).is_err());
     }
 }

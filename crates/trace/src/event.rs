@@ -91,7 +91,11 @@ impl Trace {
         let mut started = vec![true; self.num_threads];
         // Threads that are fork targets start unstarted; infer them.
         for e in &self.events {
-            if let TraceEvent::Op { op: Op::Fork { child, .. }, .. } = e {
+            if let TraceEvent::Op {
+                op: Op::Fork { child, .. },
+                ..
+            } = e
+            {
                 if child.index() < self.num_threads {
                     started[child.index()] = false;
                 }
@@ -126,11 +130,7 @@ impl Trace {
                                 "event {i}: {thread} releases {lock} held by {owner}"
                             ))
                         }
-                        None => {
-                            return Err(format!(
-                                "event {i}: {thread} releases unheld {lock}"
-                            ))
-                        }
+                        None => return Err(format!("event {i}: {thread} releases unheld {lock}")),
                     }
                 }
                 Op::Fork { child, .. } => {
@@ -161,11 +161,17 @@ mod tests {
     fn accessors() {
         let e = TraceEvent::Op {
             thread: ThreadId(1),
-            op: Op::Read { addr: Addr(4), size: 4, site: SiteId(0) },
+            op: Op::Read {
+                addr: Addr(4),
+                size: 4,
+                site: SiteId(0),
+            },
         };
         assert_eq!(e.thread(), Some(ThreadId(1)));
         assert!(e.op().is_some());
-        let b = TraceEvent::BarrierComplete { barrier: BarrierId(0) };
+        let b = TraceEvent::BarrierComplete {
+            barrier: BarrierId(0),
+        };
         assert_eq!(b.thread(), None);
         assert!(b.op().is_none());
     }
@@ -193,11 +199,17 @@ mod tests {
             events: vec![
                 TraceEvent::Op {
                     thread: ThreadId(0),
-                    op: Op::Lock { lock: LockId(0x40), site: SiteId(0) },
+                    op: Op::Lock {
+                        lock: LockId(0x40),
+                        site: SiteId(0),
+                    },
                 },
                 TraceEvent::Op {
                     thread: ThreadId(1),
-                    op: Op::Lock { lock: LockId(0x40), site: SiteId(1) },
+                    op: Op::Lock {
+                        lock: LockId(0x40),
+                        site: SiteId(1),
+                    },
                 },
             ],
             num_threads: 2,
@@ -224,11 +236,17 @@ mod tests {
             events: vec![
                 TraceEvent::Op {
                     thread: ThreadId(0),
-                    op: Op::Lock { lock: LockId(0x40), site: SiteId(0) },
+                    op: Op::Lock {
+                        lock: LockId(0x40),
+                        site: SiteId(0),
+                    },
                 },
                 TraceEvent::Op {
                     thread: ThreadId(1),
-                    op: Op::Unlock { lock: LockId(0x40), site: SiteId(1) },
+                    op: Op::Unlock {
+                        lock: LockId(0x40),
+                        site: SiteId(1),
+                    },
                 },
             ],
             num_threads: 2,
@@ -246,7 +264,10 @@ mod tests {
                 },
                 TraceEvent::Op {
                     thread: ThreadId(0),
-                    op: Op::Fork { child: ThreadId(1), site: SiteId(0) },
+                    op: Op::Fork {
+                        child: ThreadId(1),
+                        site: SiteId(0),
+                    },
                 },
             ],
             num_threads: 2,
@@ -262,7 +283,9 @@ mod tests {
                     thread: ThreadId(0),
                     op: Op::Compute { cycles: 1 },
                 },
-                TraceEvent::BarrierComplete { barrier: BarrierId(0) },
+                TraceEvent::BarrierComplete {
+                    barrier: BarrierId(0),
+                },
                 TraceEvent::Op {
                     thread: ThreadId(1),
                     op: Op::Compute { cycles: 2 },

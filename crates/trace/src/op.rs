@@ -91,7 +91,12 @@ mod tests {
     #[test]
     fn site_extraction() {
         assert_eq!(
-            Op::Read { addr: Addr(4), size: 4, site: SiteId(9) }.site(),
+            Op::Read {
+                addr: Addr(4),
+                size: 4,
+                site: SiteId(9)
+            }
+            .site(),
             Some(SiteId(9))
         );
         assert_eq!(Op::Compute { cycles: 10 }.site(), None);
@@ -99,10 +104,20 @@ mod tests {
 
     #[test]
     fn access_extraction() {
-        let w = Op::Write { addr: Addr(8), size: 2, site: SiteId(1) };
-        assert_eq!(w.as_access(), Some((Addr(8), 2, AccessKind::Write, SiteId(1))));
+        let w = Op::Write {
+            addr: Addr(8),
+            size: 2,
+            site: SiteId(1),
+        };
+        assert_eq!(
+            w.as_access(),
+            Some((Addr(8), 2, AccessKind::Write, SiteId(1)))
+        );
         assert!(w.is_access());
-        let l = Op::Lock { lock: LockId(4), site: SiteId(2) };
+        let l = Op::Lock {
+            lock: LockId(4),
+            site: SiteId(2),
+        };
         assert_eq!(l.as_access(), None);
         assert!(l.is_lock_op());
         assert!(!l.is_access());
@@ -110,7 +125,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let op = Op::Barrier { barrier: BarrierId(2), site: SiteId(3) };
+        let op = Op::Barrier {
+            barrier: BarrierId(2),
+            site: SiteId(3),
+        };
         assert_eq!(format!("{op}"), "barrier barrier2 @site3");
     }
 }

@@ -201,24 +201,18 @@ impl Program {
                 match *op {
                     Op::Fork { child, .. } => {
                         if child.index() >= self.threads.len() {
-                            return Err(format!(
-                                "thread {ti} op {oi}: fork of unknown {child}"
-                            ));
+                            return Err(format!("thread {ti} op {oi}: fork of unknown {child}"));
                         }
                         if child.index() == ti {
                             return Err(format!("thread {ti} op {oi}: self-fork"));
                         }
                         if !fork_targets.insert(child) {
-                            return Err(format!(
-                                "thread {ti} op {oi}: {child} forked twice"
-                            ));
+                            return Err(format!("thread {ti} op {oi}: {child} forked twice"));
                         }
                     }
                     Op::Join { child, .. } => {
                         if child.index() >= self.threads.len() {
-                            return Err(format!(
-                                "thread {ti} op {oi}: join of unknown {child}"
-                            ));
+                            return Err(format!("thread {ti} op {oi}: join of unknown {child}"));
                         }
                         if child.index() == ti {
                             return Err(format!("thread {ti} op {oi}: self-join"));
@@ -252,24 +246,18 @@ impl Program {
                 match *op {
                     Op::Lock { lock, .. } => {
                         if held.contains(&lock) {
-                            return Err(format!(
-                                "thread {ti} op {oi}: relock of held {lock}"
-                            ));
+                            return Err(format!("thread {ti} op {oi}: relock of held {lock}"));
                         }
                         held.push(lock);
                     }
-                    Op::Unlock { lock, .. } => {
-                        match held.iter().position(|&l| l == lock) {
-                            Some(p) => {
-                                held.remove(p);
-                            }
-                            None => {
-                                return Err(format!(
-                                    "thread {ti} op {oi}: unlock of unheld {lock}"
-                                ))
-                            }
+                    Op::Unlock { lock, .. } => match held.iter().position(|&l| l == lock) {
+                        Some(p) => {
+                            held.remove(p);
                         }
-                    }
+                        None => {
+                            return Err(format!("thread {ti} op {oi}: unlock of unheld {lock}"))
+                        }
+                    },
                     Op::Barrier { barrier, .. } => {
                         match barriers.iter_mut().find(|(b, _)| *b == barrier) {
                             Some((_, c)) => *c += 1,
@@ -403,7 +391,9 @@ mod tests {
     #[test]
     fn validate_rejects_relock() {
         let mut b = ProgramBuilder::new(1);
-        b.thread(0).lock(LockId(4), site(0)).lock(LockId(4), site(1));
+        b.thread(0)
+            .lock(LockId(4), site(0))
+            .lock(LockId(4), site(1));
         let err = b.build().validate().unwrap_err();
         assert!(err.contains("relock"), "{err}");
     }

@@ -81,8 +81,7 @@ impl Scheduler {
         let mut barrier_arrivals: BTreeMap<BarrierId, usize> = BTreeMap::new();
         let mut events = Vec::with_capacity(program.total_ops() + 16);
 
-        let finished =
-            |pc: &[usize], t: usize| pc[t] >= program.threads()[t].len();
+        let finished = |pc: &[usize], t: usize| pc[t] >= program.threads()[t].len();
 
         loop {
             // Recompute runnability: a thread blocked on a lock becomes
@@ -121,19 +120,17 @@ impl Scheduler {
                 }
                 let op = program.threads()[t].ops()[pc[t]];
                 match op {
-                    Op::Lock { lock, .. } => {
-                        match lock_owner.get(&lock) {
-                            Some(&owner) if owner != tid => {
-                                blocked[t] = Blocked::OnLock(lock);
-                                break;
-                            }
-                            _ => {
-                                lock_owner.insert(lock, tid);
-                                events.push(TraceEvent::Op { thread: tid, op });
-                                pc[t] += 1;
-                            }
+                    Op::Lock { lock, .. } => match lock_owner.get(&lock) {
+                        Some(&owner) if owner != tid => {
+                            blocked[t] = Blocked::OnLock(lock);
+                            break;
                         }
-                    }
+                        _ => {
+                            lock_owner.insert(lock, tid);
+                            events.push(TraceEvent::Op { thread: tid, op });
+                            pc[t] += 1;
+                        }
+                    },
                     Op::Unlock { lock, .. } => {
                         // A race-injected program never unlocks an
                         // unheld lock (pairs are removed together), but
@@ -217,8 +214,16 @@ mod tests {
     #[test]
     fn same_seed_same_trace() {
         let p = two_thread_locked_program();
-        let a = Scheduler::new(SchedConfig { seed: 5, max_quantum: 4 }).run(&p);
-        let b = Scheduler::new(SchedConfig { seed: 5, max_quantum: 4 }).run(&p);
+        let a = Scheduler::new(SchedConfig {
+            seed: 5,
+            max_quantum: 4,
+        })
+        .run(&p);
+        let b = Scheduler::new(SchedConfig {
+            seed: 5,
+            max_quantum: 4,
+        })
+        .run(&p);
         assert_eq!(a, b);
     }
 
@@ -226,7 +231,13 @@ mod tests {
     fn different_seeds_can_differ() {
         let p = two_thread_locked_program();
         let traces: Vec<Trace> = (0..16)
-            .map(|s| Scheduler::new(SchedConfig { seed: s, max_quantum: 2 }).run(&p))
+            .map(|s| {
+                Scheduler::new(SchedConfig {
+                    seed: s,
+                    max_quantum: 2,
+                })
+                .run(&p)
+            })
             .collect();
         assert!(
             traces.iter().any(|t| t != &traces[0]),
@@ -256,7 +267,11 @@ mod tests {
         }
         let p = b.build();
         for seed in 0..8 {
-            let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+            let trace = Scheduler::new(SchedConfig {
+                seed,
+                max_quantum: 3,
+            })
+            .run(&p);
             let mut owner: Option<ThreadId> = None;
             for (tid, op) in trace.ops() {
                 match op {
@@ -290,7 +305,11 @@ mod tests {
         }
         let p = b.build();
         for seed in 0..8 {
-            let trace = Scheduler::new(SchedConfig { seed, max_quantum: 8 }).run(&p);
+            let trace = Scheduler::new(SchedConfig {
+                seed,
+                max_quantum: 8,
+            })
+            .run(&p);
             let complete_at = trace
                 .events
                 .iter()
@@ -349,7 +368,11 @@ mod tests {
             .unlock(LockId(0x80), SiteId(7));
         let p = b.build();
         for seed in 0..64 {
-            let _ = Scheduler::new(SchedConfig { seed, max_quantum: 1 }).run(&p);
+            let _ = Scheduler::new(SchedConfig {
+                seed,
+                max_quantum: 1,
+            })
+            .run(&p);
         }
     }
 
@@ -361,7 +384,11 @@ mod tests {
             .read(Addr(4), 4, SiteId(1))
             .compute(2);
         let p = b.build();
-        let trace = Scheduler::new(SchedConfig { seed: 9, max_quantum: 1 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed: 9,
+            max_quantum: 1,
+        })
+        .run(&p);
         let ops: Vec<&Op> = trace.ops().map(|(_, o)| o).collect();
         assert!(matches!(ops[0], Op::Write { .. }));
         assert!(matches!(ops[1], Op::Read { .. }));

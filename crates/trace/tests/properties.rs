@@ -12,18 +12,36 @@ fn arb_program(max_threads: usize) -> impl Strategy<Value = Program> {
         // Unlocked access.
         (0u64..64, any::<bool>()).prop_map(|(w, wr)| {
             vec![if wr {
-                Op::Write { addr: Addr(0x1000 + w * 4), size: 4, site: SiteId(w as u32) }
+                Op::Write {
+                    addr: Addr(0x1000 + w * 4),
+                    size: 4,
+                    site: SiteId(w as u32),
+                }
             } else {
-                Op::Read { addr: Addr(0x1000 + w * 4), size: 4, site: SiteId(w as u32) }
+                Op::Read {
+                    addr: Addr(0x1000 + w * 4),
+                    size: 4,
+                    site: SiteId(w as u32),
+                }
             }]
         }),
         // A balanced critical section.
         (0u64..4, 0u64..64).prop_map(|(l, w)| {
             let lock = LockId(0x4000_0000 + l * 4);
             vec![
-                Op::Lock { lock, site: SiteId(900 + l as u32) },
-                Op::Write { addr: Addr(0x1000 + w * 4), size: 4, site: SiteId(w as u32) },
-                Op::Unlock { lock, site: SiteId(950 + l as u32) },
+                Op::Lock {
+                    lock,
+                    site: SiteId(900 + l as u32),
+                },
+                Op::Write {
+                    addr: Addr(0x1000 + w * 4),
+                    size: 4,
+                    site: SiteId(w as u32),
+                },
+                Op::Unlock {
+                    lock,
+                    site: SiteId(950 + l as u32),
+                },
             ]
         }),
         // Compute.
@@ -136,5 +154,75 @@ proptest! {
         codec::encode(&trace, &mut buf).unwrap();
         let back: Trace = codec::decode(buf.as_slice()).unwrap();
         prop_assert_eq!(trace, back);
+    }
+
+    /// On an undamaged stream the lossy decoder agrees with the strict
+    /// one and reports completeness.
+    #[test]
+    fn lossy_decode_matches_strict_on_clean_streams(p in arb_program(4), seed in 0u64..8) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 6 }).run(&p);
+        let mut buf = Vec::new();
+        codec::encode(&trace, &mut buf).unwrap();
+        let lossy = codec::decode_lossy(buf.as_slice()).unwrap();
+        prop_assert!(lossy.complete);
+        prop_assert_eq!(lossy.events_lost, 0);
+        prop_assert_eq!(lossy.trace, trace);
+    }
+
+    /// Truncating the stream at any byte never panics the lossy
+    /// decoder, and whatever it returns is a verbatim prefix.
+    #[test]
+    fn truncated_streams_decode_to_a_prefix(
+        p in arb_program(4),
+        seed in 0u64..8,
+        cut in any::<u64>(),
+    ) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 6 }).run(&p);
+        let mut buf = Vec::new();
+        codec::encode(&trace, &mut buf).unwrap();
+        let cut = cut as usize % (buf.len() + 1);
+        match codec::decode_lossy(&buf[..cut]) {
+            Ok(lossy) => {
+                let n = lossy.trace.events.len();
+                prop_assert!(n <= trace.events.len());
+                prop_assert_eq!(&lossy.trace.events[..], &trace.events[..n]);
+                prop_assert_eq!(lossy.trace.num_threads, trace.num_threads);
+                prop_assert_eq!(lossy.complete, cut == buf.len());
+            }
+            // Only a damaged header is allowed to fail outright
+            // (magic + thread count + event count = 20 bytes).
+            Err(_) => prop_assert!(cut < 20, "cut {} of {}", cut, buf.len()),
+        }
+    }
+
+    /// Flipping any single byte never panics either decoder; every
+    /// event the lossy decoder salvages from body corruption is a
+    /// verbatim prefix of the original trace.
+    #[test]
+    fn corrupted_streams_never_panic_and_return_a_prefix(
+        p in arb_program(4),
+        seed in 0u64..8,
+        pos in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 6 }).run(&p);
+        let mut buf = Vec::new();
+        codec::encode(&trace, &mut buf).unwrap();
+        let pos = pos as usize % buf.len();
+        buf[pos] ^= mask;
+        // The strict decoder may accept or reject, but must not panic.
+        let _ = codec::decode(buf.as_slice());
+        match codec::decode_lossy(buf.as_slice()) {
+            Ok(lossy) => {
+                if pos >= 20 {
+                    // Header intact: the salvage is a true prefix.
+                    let n = lossy.trace.events.len();
+                    prop_assert!(n <= trace.events.len());
+                    prop_assert_eq!(&lossy.trace.events[..], &trace.events[..n]);
+                    prop_assert_eq!(lossy.trace.num_threads, trace.num_threads);
+                }
+            }
+            Err(_) => prop_assert!(pos < 20, "pos {} of {}", pos, buf.len()),
+        }
     }
 }

@@ -22,8 +22,12 @@
 //! assert_eq!(g.offset_of(Addr(0x1234)), 0x14);
 //! ```
 
+pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 
+pub use error::HardError;
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use ids::{AccessKind, Addr, BarrierId, CoreId, Cycles, Granularity, LockId, SiteId, ThreadId};
 pub use rng::Xoshiro256;

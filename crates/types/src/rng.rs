@@ -42,10 +42,7 @@ impl Xoshiro256 {
 
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -193,7 +190,10 @@ mod tests {
         sorted.sort_unstable();
         let expect: Vec<u32> = (0..100).collect();
         assert_eq!(sorted, expect);
-        assert_ne!(v, expect, "a 100-element shuffle fixing everything is astronomically unlikely");
+        assert_ne!(
+            v, expect,
+            "a 100-element shuffle fixing everything is astronomically unlikely"
+        );
     }
 
     #[test]

@@ -52,12 +52,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Program {
             b.rng.shuffle(&mut order);
             let sched = b.fs_schedule(&clusters, phase, phases, sweep_len, t);
             let mut pops_done = 0;
-            for (step, &pi) in order
-                .iter()
-                .cycle()
-                .take(sweep_len)
-                .enumerate()
-            {
+            for (step, &pi) in order.iter().cycle().take(sweep_len).enumerate() {
                 if step % 3 == 0 && pops_done < queue_pops {
                     b.update(t, &queue);
                     pops_done += 1;
@@ -120,7 +115,7 @@ mod tests {
         assert!(s.distinct_locks > 25, "queue + panels + rotation locks");
         assert_eq!(s.barrier_completes, 4, "four phases");
         assert!(s.locks > 500, "lock-dense");
-        let cs = enumerate_critical_sections(&p);
+        let cs = enumerate_critical_sections(&p).unwrap();
         assert!(cs.len() > 100);
     }
 

@@ -111,7 +111,7 @@ mod tests {
         // Unlike barnes, each cell sees exactly one update (plus one
         // warm-up read) per thread per phase.
         let p = generate(&WorkloadConfig::reduced(0.05));
-        let cs = crate::inject::enumerate_critical_sections(&p);
+        let cs = crate::inject::enumerate_critical_sections(&p).unwrap();
         // 20 cells x 4 threads x 4 phases updates + warm-ups etc.
         let per_lock: std::collections::BTreeMap<_, usize> =
             cs.iter().fold(Default::default(), |mut m, c| {

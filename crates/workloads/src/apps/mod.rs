@@ -109,10 +109,10 @@ mod tests {
         let cfg = WorkloadConfig::reduced(0.1);
         for app in App::all() {
             let p = app.generate(&cfg);
-            let cs = enumerate_critical_sections(&p);
+            let cs = enumerate_critical_sections(&p).unwrap();
             assert!(cs.len() > 10, "{app} has enough critical sections");
             for seed in 0..3 {
-                let (injected, info) = inject_race(&p, seed);
+                let (injected, info) = inject_race(&p, seed).unwrap();
                 assert_eq!(injected.validate(), Ok(()), "{app} seed {seed}");
                 assert!(
                     !info.section.exposed_accesses.is_empty(),
@@ -135,7 +135,14 @@ mod tests {
         let names: Vec<&str> = App::all().iter().map(|a| a.name()).collect();
         assert_eq!(
             names,
-            ["cholesky", "barnes", "fmm", "ocean", "water-nsquared", "raytrace"]
+            [
+                "cholesky",
+                "barnes",
+                "fmm",
+                "ocean",
+                "water-nsquared",
+                "raytrace"
+            ]
         );
     }
 }

@@ -68,8 +68,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Program {
             for (i, &row) in handoff_rows.iter().enumerate() {
                 let owner = ((phase + i) % threads as usize) as u32;
                 if owner == t {
-                    b.pb
-                        .thread(t)
+                    b.pb.thread(t)
                         .read(row, 4, handoff_site_r)
                         .write(row, 4, handoff_site_w);
                 }

@@ -56,8 +56,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Program {
                 let gi = bi / 4;
                 let cell = cells[bi];
                 // The three-deep nest: global → group → bucket.
-                b.pb
-                    .thread(t)
+                b.pb.thread(t)
                     .lock(global, site_lock_g)
                     .lock(groups[gi], site_lock_grp)
                     .lock(buckets[bi], site_lock_b)
@@ -88,7 +87,10 @@ mod tests {
         let trace = Scheduler::new(SchedConfig::default()).run(&p);
         let s = TraceStats::from_trace(&trace);
         assert_eq!(s.max_lock_nesting, 3, "the paper's radix property");
-        assert!(s.distinct_locks >= 21, "global + 4 groups + 16 buckets + rank");
+        assert!(
+            s.distinct_locks >= 21,
+            "global + 4 groups + 16 buckets + rank"
+        );
     }
 
     #[test]
@@ -97,7 +99,11 @@ mod tests {
         // Run the ideal detector and check a histogram cell's final
         // candidate set has exactly the three nest locks.
         let p = generate(&WorkloadConfig::reduced(0.2));
-        let trace = Scheduler::new(SchedConfig { seed: 1, max_quantum: 4 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed: 1,
+            max_quantum: 4,
+        })
+        .run(&p);
         assert_candidate_sizes(&trace);
     }
 
@@ -133,7 +139,7 @@ mod tests {
     fn rank_is_injectable() {
         let p = generate(&WorkloadConfig::reduced(0.2));
         for seed in 0..3 {
-            let (injected, info) = crate::inject::inject_race(&p, seed);
+            let (injected, info) = crate::inject::inject_race(&p, seed).unwrap();
             assert_eq!(injected.validate(), Ok(()), "seed {seed}");
             assert!(!info.section.exposed_accesses.is_empty());
         }

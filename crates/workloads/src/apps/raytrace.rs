@@ -104,7 +104,7 @@ mod tests {
     #[test]
     fn queue_is_the_hottest_lock() {
         let p = generate(&WorkloadConfig::reduced(0.5));
-        let cs = crate::inject::enumerate_critical_sections(&p);
+        let cs = crate::inject::enumerate_critical_sections(&p).unwrap();
         let mut per_lock: std::collections::BTreeMap<_, usize> = Default::default();
         for c in &cs {
             *per_lock.entry(c.lock).or_default() += 1;

@@ -26,7 +26,10 @@ use hard_types::ThreadId;
 /// worker).
 #[must_use]
 pub fn generate(cfg: &WorkloadConfig) -> Program {
-    assert!(cfg.num_threads >= 2, "server needs a dispatcher and workers");
+    assert!(
+        cfg.num_threads >= 2,
+        "server needs a dispatcher and workers"
+    );
     let mut b = AppBuilder::new(cfg);
     let threads = b.threads as u32;
     let workers = threads - 1;
@@ -71,8 +74,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Program {
             let session = sessions[si];
             // The session record: an 8-byte field updated under the
             // session lock.
-            b.pb
-                .thread(w)
+            b.pb.thread(w)
                 .lock(session.lock, b_site(&session))
                 .read(session.addr, 8, r_site(&session))
                 .write(session.addr, 8, w_site(&session))
@@ -130,10 +132,10 @@ mod tests {
     #[test]
     fn sessions_are_injectable() {
         let p = generate(&WorkloadConfig::reduced(0.3));
-        let cs = enumerate_critical_sections(&p);
+        let cs = enumerate_critical_sections(&p).unwrap();
         assert!(cs.len() > 10);
         for seed in 0..3 {
-            let (injected, info) = inject_race(&p, seed);
+            let (injected, info) = inject_race(&p, seed).unwrap();
             assert_eq!(injected.validate(), Ok(()), "seed {seed}");
             assert!(!info.section.exposed_accesses.is_empty());
         }

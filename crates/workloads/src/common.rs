@@ -352,10 +352,11 @@ impl AppBuilder {
     pub fn fs_touch_one(&mut self, cluster: &FsCluster, t: u32) {
         for &(addr, owner) in &cluster.vars {
             if owner.0 == t {
-                self.pb
-                    .thread(t)
-                    .write(addr, 4, cluster.site_write)
-                    .read(addr, 4, cluster.site_read);
+                self.pb.thread(t).write(addr, 4, cluster.site_write).read(
+                    addr,
+                    4,
+                    cluster.site_read,
+                );
             }
         }
     }
@@ -577,10 +578,8 @@ mod tests {
         assert_eq!(stats.reads, 64);
         assert_eq!(stats.writes, 16);
         // Two static sites regardless of volume.
-        let sites: std::collections::BTreeSet<_> = trace
-            .ops()
-            .filter_map(|(_, op)| op.site())
-            .collect();
+        let sites: std::collections::BTreeSet<_> =
+            trace.ops().filter_map(|(_, op)| op.site()).collect();
         assert_eq!(sites.len(), 2);
     }
 

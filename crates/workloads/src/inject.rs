@@ -11,7 +11,7 @@
 //! the harness scores detectors against.
 
 use hard_trace::{Op, Program};
-use hard_types::{AccessKind, Addr, LockId, ThreadId, Xoshiro256};
+use hard_types::{AccessKind, Addr, HardError, LockId, ThreadId, Xoshiro256};
 use std::collections::BTreeSet;
 
 /// One dynamic critical section of a thread program.
@@ -48,8 +48,13 @@ impl CriticalSection {
 /// Nested sections are handled: an access counts as *exposed* for the
 /// outermost lock only if no other lock is simultaneously held at that
 /// point (removing the outer pair leaves it protected otherwise).
-#[must_use]
-pub fn enumerate_critical_sections(program: &Program) -> Vec<CriticalSection> {
+///
+/// # Errors
+///
+/// Returns [`HardError::UnlockOfUnheld`] if a thread releases a lock it
+/// does not hold, and [`HardError::UnbalancedLocks`] if a thread's
+/// program ends with open sections.
+pub fn enumerate_critical_sections(program: &Program) -> Result<Vec<CriticalSection>, HardError> {
     let mut out = Vec::new();
     for (t, tp) in program.threads().iter().enumerate() {
         let thread = ThreadId(t as u32);
@@ -63,9 +68,7 @@ pub fn enumerate_critical_sections(program: &Program) -> Vec<CriticalSection> {
                     let pos = open
                         .iter()
                         .rposition(|(l, _, _)| *l == lock)
-                        .unwrap_or_else(|| {
-                            panic!("{thread}: unlock of unheld {lock} at op {i}")
-                        });
+                        .ok_or(HardError::UnlockOfUnheld { thread, lock })?;
                     let (l, li, accesses) = open.remove(pos);
                     out.push(CriticalSection {
                         thread,
@@ -87,9 +90,14 @@ pub fn enumerate_critical_sections(program: &Program) -> Vec<CriticalSection> {
                 _ => {}
             }
         }
-        assert!(open.is_empty(), "{thread}: unbalanced locks at end of program");
+        if !open.is_empty() {
+            return Err(HardError::UnbalancedLocks {
+                thread,
+                depth: open.len(),
+            });
+        }
     }
-    out
+    Ok(out)
 }
 
 /// The ground truth of one injected race.
@@ -158,94 +166,11 @@ fn word_map(program: &Program) -> std::collections::BTreeMap<u64, WordInfo> {
     map
 }
 
-/// Removes one randomly chosen critical section's lock/unlock pair from
-/// `program`, returning the modified program and the ground truth.
-///
-/// Only sections whose omission creates a *new, manifestable* race are
-/// eligible — the paper's injections delete the protection of properly
-/// protected data. Concretely, a section qualifies when some exposed
-/// word is (1) **consistently protected**: every access to it anywhere
-/// in the program holds exactly the section's lock (this excludes data
-/// that already generates reports, such as lock-rotation variables);
-/// (2) **conflicting**: accessed by another thread, with a write on at
-/// least one side; and (3) the section itself **writes** the word —
-/// omitting a read-only section leaves a race only the surrounding
-/// writers can expose, which even an ideal lockset can miss when the
-/// bare read initializes the granule's state (the paper's 60 injected
-/// bugs are all detectable by the ideal lockset, implying
-/// write-sections).
-///
-/// # Panics
-///
-/// Panics if the program contains no eligible critical section.
-///
-/// # Examples
-///
-/// ```
-/// use hard_workloads::{inject_race, App, WorkloadConfig};
-///
-/// let program = App::Barnes.generate(&WorkloadConfig::reduced(0.1));
-/// let (injected, info) = inject_race(&program, 42);
-/// assert_eq!(injected.total_ops(), program.total_ops() - 2);
-/// assert!(!info.section.exposed_accesses.is_empty());
-/// ```
-#[must_use]
-pub fn inject_race(program: &Program, seed: u64) -> (Program, Injection) {
+/// Picks one eligible critical section for injection, or explains why
+/// none qualifies.
+fn pick_eligible(program: &Program, seed: u64) -> Result<CriticalSection, HardError> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
-    let sections = enumerate_critical_sections(program);
-    let words = word_map(program);
-    let word = |a: Addr| a.0 >> 2;
-
-    let eligible: Vec<&CriticalSection> = sections
-        .iter()
-        .filter(|cs| {
-            let me = cs.thread.0;
-            cs.exposed_accesses.iter().any(|&(a, s, kind)| {
-                kind.is_write()
-                    && (word(a)..=word(Addr(a.0 + u64::from(s) - 1))).any(|w| {
-                    let Some(info) = words.get(&w) else {
-                        return false;
-                    };
-                    let consistent = info.contexts.len() == 1
-                        && info.contexts.iter().next() == Some(&vec![cs.lock]);
-                    let others_conflict = info.writers.iter().any(|&o| o != me)
-                        || info.readers.iter().any(|&o| o != me);
-                    consistent && others_conflict
-                    })
-            })
-        })
-        .collect();
-    assert!(
-        !eligible.is_empty(),
-        "no critical section can manifest as a race in this program"
-    );
-
-    let chosen = (*eligible[rng.gen_index(eligible.len())]).clone();
-    let mut injected = program.clone();
-    let tp = injected.thread_mut(chosen.thread);
-    // Remove the higher index first so the lower one stays valid.
-    tp.remove(chosen.unlock_index);
-    tp.remove(chosen.lock_index);
-    (injected, Injection { section: chosen })
-}
-
-/// Replaces one randomly chosen critical section's lock with a fresh,
-/// otherwise-unused lock — the "wrong lock" bug class: the section is
-/// still mutually exclusive against nothing, so its accesses race with
-/// the properly locked ones exactly like an omitted pair, but the
-/// access pattern keeps its critical-section shape (same instruction
-/// count, a lock still held).
-///
-/// Eligibility matches [`inject_race`]. The replacement lock is taken
-/// from the dedicated region above all workload locks.
-///
-/// # Panics
-///
-/// Panics if the program contains no eligible critical section.
-#[must_use]
-pub fn inject_wrong_lock(program: &Program, seed: u64) -> (Program, Injection) {
-    let mut rng = Xoshiro256::seed_from_u64(seed);
-    let sections = enumerate_critical_sections(program);
+    let sections = enumerate_critical_sections(program)?;
     let words = word_map(program);
     let word = |a: Addr| a.0 >> 2;
 
@@ -268,12 +193,74 @@ pub fn inject_wrong_lock(program: &Program, seed: u64) -> (Program, Injection) {
             })
         })
         .collect();
-    assert!(
-        !eligible.is_empty(),
-        "no critical section can manifest as a race in this program"
-    );
+    if eligible.is_empty() {
+        return Err(HardError::NoEligibleInjection {
+            what: "no critical section can manifest as a race in this program",
+        });
+    }
+    Ok((*eligible[rng.gen_index(eligible.len())]).clone())
+}
 
-    let chosen = (*eligible[rng.gen_index(eligible.len())]).clone();
+/// Removes one randomly chosen critical section's lock/unlock pair from
+/// `program`, returning the modified program and the ground truth.
+///
+/// Only sections whose omission creates a *new, manifestable* race are
+/// eligible — the paper's injections delete the protection of properly
+/// protected data. Concretely, a section qualifies when some exposed
+/// word is (1) **consistently protected**: every access to it anywhere
+/// in the program holds exactly the section's lock (this excludes data
+/// that already generates reports, such as lock-rotation variables);
+/// (2) **conflicting**: accessed by another thread, with a write on at
+/// least one side; and (3) the section itself **writes** the word —
+/// omitting a read-only section leaves a race only the surrounding
+/// writers can expose, which even an ideal lockset can miss when the
+/// bare read initializes the granule's state (the paper's 60 injected
+/// bugs are all detectable by the ideal lockset, implying
+/// write-sections).
+///
+/// # Errors
+///
+/// Returns [`HardError::NoEligibleInjection`] if the program contains
+/// no eligible critical section, and propagates the lock-balance
+/// errors of [`enumerate_critical_sections`].
+///
+/// # Examples
+///
+/// ```
+/// use hard_workloads::{inject_race, App, WorkloadConfig};
+///
+/// let program = App::Barnes.generate(&WorkloadConfig::reduced(0.1));
+/// let (injected, info) = inject_race(&program, 42).unwrap();
+/// assert_eq!(injected.total_ops(), program.total_ops() - 2);
+/// assert!(!info.section.exposed_accesses.is_empty());
+/// ```
+pub fn inject_race(program: &Program, seed: u64) -> Result<(Program, Injection), HardError> {
+    let chosen = pick_eligible(program, seed)?;
+    let mut injected = program.clone();
+    let tp = injected.thread_mut(chosen.thread);
+    // Remove the higher index first so the lower one stays valid.
+    tp.remove(chosen.unlock_index);
+    tp.remove(chosen.lock_index);
+    Ok((injected, Injection { section: chosen }))
+}
+
+/// Replaces one randomly chosen critical section's lock with a fresh,
+/// otherwise-unused lock — the "wrong lock" bug class: the section is
+/// still mutually exclusive against nothing, so its accesses race with
+/// the properly locked ones exactly like an omitted pair, but the
+/// access pattern keeps its critical-section shape (same instruction
+/// count, a lock still held).
+///
+/// Eligibility matches [`inject_race`]. The replacement lock is taken
+/// from the dedicated region above all workload locks.
+///
+/// # Errors
+///
+/// Returns [`HardError::NoEligibleInjection`] if the program contains
+/// no eligible critical section, and propagates the lock-balance
+/// errors of [`enumerate_critical_sections`].
+pub fn inject_wrong_lock(program: &Program, seed: u64) -> Result<(Program, Injection), HardError> {
+    let chosen = pick_eligible(program, seed)?;
     let wrong = LockId(0x6FFF_0000 + (seed % 256) * 4);
     let mut injected = program.clone();
     let tp = injected.thread_mut(chosen.thread);
@@ -288,7 +275,7 @@ pub fn inject_wrong_lock(program: &Program, seed: u64) -> (Program, Injection) {
     // because we replace rather than delete).
     tp.replace(chosen.lock_index, lock_op);
     tp.replace(chosen.unlock_index, unlock_op);
-    (injected, Injection { section: chosen })
+    Ok((injected, Injection { section: chosen }))
 }
 
 #[cfg(test)]
@@ -318,7 +305,7 @@ mod tests {
 
     #[test]
     fn enumeration_finds_all_sections() {
-        let cs = enumerate_critical_sections(&sample());
+        let cs = enumerate_critical_sections(&sample()).unwrap();
         assert_eq!(cs.len(), 4);
         assert!(cs.iter().all(|c| c.lock_index < c.unlock_index));
         let first = cs.iter().find(|c| c.lock == LockId(0x40)).unwrap();
@@ -336,7 +323,7 @@ mod tests {
             .unlock(LockId(0x44), site(4))
             .write(Addr(0x300), 4, site(5)) // exposed for outer
             .unlock(LockId(0x40), site(6));
-        let cs = enumerate_critical_sections(&b.build());
+        let cs = enumerate_critical_sections(&b.build()).unwrap();
         let outer = cs.iter().find(|c| c.lock == LockId(0x40)).unwrap();
         let inner = cs.iter().find(|c| c.lock == LockId(0x44)).unwrap();
         assert_eq!(
@@ -355,7 +342,7 @@ mod tests {
     fn injection_removes_exactly_one_pair() {
         let p = sample();
         let before = p.total_ops();
-        let (inj, info) = inject_race(&p, 7);
+        let (inj, info) = inject_race(&p, 7).unwrap();
         assert_eq!(inj.total_ops(), before - 2);
         assert_eq!(inj.validate(), Ok(()), "balance is preserved");
         // Only the shared variable's sections are eligible (0x2000
@@ -370,15 +357,17 @@ mod tests {
         let p = sample();
         let picks: BTreeSet<(u32, usize)> = (0..32)
             .map(|s| {
-                let (_, i) = inject_race(&p, s);
+                let (_, i) = inject_race(&p, s).unwrap();
                 (i.section.thread.0, i.section.lock_index)
             })
             .collect();
-        assert!(picks.len() > 1, "32 seeds should hit both eligible sections");
+        assert!(
+            picks.len() > 1,
+            "32 seeds should hit both eligible sections"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "no critical section")]
     fn injection_requires_manifestable_race() {
         // Each thread's section touches only private data.
         let mut b = ProgramBuilder::new(2);
@@ -388,14 +377,42 @@ mod tests {
                 .write(Addr(0x1000 + u64::from(t) * 0x1000), 4, site(10 + t))
                 .unlock(LockId(0x40), site(20 + t));
         }
-        let _ = inject_race(&b.build(), 0);
+        let err = inject_race(&b.build(), 0);
+        assert!(
+            matches!(err, Err(HardError::NoEligibleInjection { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_lock_nesting_is_an_error_not_a_panic() {
+        let mut b = ProgramBuilder::new(1);
+        b.thread(0).unlock(LockId(0x40), site(0));
+        assert_eq!(
+            enumerate_critical_sections(&b.build()),
+            Err(HardError::UnlockOfUnheld {
+                thread: ThreadId(0),
+                lock: LockId(0x40)
+            })
+        );
+        let mut b = ProgramBuilder::new(1);
+        b.thread(0)
+            .lock(LockId(0x40), site(0))
+            .lock(LockId(0x44), site(1));
+        assert_eq!(
+            enumerate_critical_sections(&b.build()),
+            Err(HardError::UnbalancedLocks {
+                thread: ThreadId(0),
+                depth: 2
+            })
+        );
     }
 
     #[test]
     fn wrong_lock_injection_preserves_shape() {
         let p = sample();
         let before = p.total_ops();
-        let (inj, info) = inject_wrong_lock(&p, 3);
+        let (inj, info) = inject_wrong_lock(&p, 3).unwrap();
         assert_eq!(inj.total_ops(), before, "ops replaced, not removed");
         assert_eq!(inj.validate(), Ok(()), "lock balance preserved");
         // The section's lock changed to a fresh one.
@@ -413,7 +430,7 @@ mod tests {
         // After the injection, the target word is accessed under two
         // different locks program-wide — the lockset-violating shape.
         let p = sample();
-        let (inj, info) = inject_wrong_lock(&p, 5);
+        let (inj, info) = inject_wrong_lock(&p, 5).unwrap();
         let words = word_map(&inj);
         let target = info.section.exposed_accesses[0].0;
         let infow = words.get(&(target.0 >> 2)).expect("tracked");
@@ -435,9 +452,12 @@ mod tests {
                 .unlock(LockId(0x40), site(20 + t));
         }
         let p = b.build();
-        let cs = enumerate_critical_sections(&p);
+        let cs = enumerate_critical_sections(&p).unwrap();
         assert_eq!(cs.len(), 2);
-        let result = std::panic::catch_unwind(|| inject_race(&p, 0));
-        assert!(result.is_err(), "read-read sharing cannot race");
+        let result = inject_race(&p, 0);
+        assert!(
+            matches!(result, Err(HardError::NoEligibleInjection { .. })),
+            "read-read sharing cannot race: {result:?}"
+        );
     }
 }

@@ -37,5 +37,7 @@ pub mod layout;
 
 pub use apps::App;
 pub use common::{Scale, WorkloadConfig};
-pub use inject::{enumerate_critical_sections, inject_race, inject_wrong_lock, CriticalSection, Injection};
+pub use inject::{
+    enumerate_critical_sections, inject_race, inject_wrong_lock, CriticalSection, Injection,
+};
 pub use layout::Layout;

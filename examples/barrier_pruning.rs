@@ -41,7 +41,10 @@ fn main() {
         run_detector(&mut m, &trace).len()
     };
     let without_pruning = {
-        let cfg = HardConfig { barrier_pruning: false, ..HardConfig::default() };
+        let cfg = HardConfig {
+            barrier_pruning: false,
+            ..HardConfig::default()
+        };
         let mut m = HardMachine::new(cfg);
         run_detector(&mut m, &trace).len()
     };
@@ -49,7 +52,10 @@ fn main() {
     println!("Figure 7 scenario: A[] handed from thread 0 to thread 1 by a barrier");
     println!("  lockset without barrier pruning: {without_pruning} false alarm(s)");
     println!("  HARD with barrier pruning (§3.5): {with_pruning} alarm(s)");
-    assert!(without_pruning > 0, "plain lockset must report the false race");
+    assert!(
+        without_pruning > 0,
+        "plain lockset must report the false race"
+    );
     assert_eq!(with_pruning, 0, "pruning must silence the barrier pattern");
     println!("\nbarrier pruning removed the false positive.");
 }

@@ -37,14 +37,14 @@ fn main() {
     let mut hard_caught = 0;
     let mut hb_caught = 0;
     for seed in 0..seeds {
-        let trace =
-            Scheduler::new(SchedConfig { seed, max_quantum: 2 }).run(&program);
+        let trace = Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 2,
+        })
+        .run(&program);
 
         let mut hard = HardMachine::new(HardConfig::default());
-        if run_detector(&mut hard, &trace)
-            .iter()
-            .any(|r| r.addr == x)
-        {
+        if run_detector(&mut hard, &trace).iter().any(|r| r.addr == x) {
             hard_caught += 1;
         }
 

@@ -13,7 +13,9 @@
 
 use hard_repro::core::{HardConfig, HardMachine};
 use hard_repro::lockset::{IdealLockset, IdealLocksetConfig};
-use hard_repro::trace::{run_detector, Op, ProgramBuilder, SchedConfig, Scheduler, Trace, TraceEvent};
+use hard_repro::trace::{
+    run_detector, Op, ProgramBuilder, SchedConfig, Scheduler, Trace, TraceEvent,
+};
 use hard_repro::types::{Addr, SiteId, ThreadId};
 
 fn pipeline() -> hard_repro::trace::Program {
@@ -50,7 +52,10 @@ fn without_fork_join(trace: &Trace) -> Trace {
                         Op::Fork { .. } | Op::Join { .. } => Op::Compute { cycles: 1 },
                         other => other,
                     };
-                    TraceEvent::Op { thread: *thread, op }
+                    TraceEvent::Op {
+                        thread: *thread,
+                        op,
+                    }
                 }
                 other => *other,
             })
@@ -65,7 +70,11 @@ fn main() {
     let mut naive_alarms = 0;
     let seeds = 32;
     for seed in 0..seeds {
-        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 4,
+        })
+        .run(&p);
 
         let mut hard = HardMachine::new(HardConfig::default());
         if run_detector(&mut hard, &trace).is_empty() {

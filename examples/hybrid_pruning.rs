@@ -24,7 +24,11 @@ fn main() {
     let t0 = ThreadId(0);
     let t1 = ThreadId(1);
     let ev = |thread, op| TraceEvent::Op { thread, op };
-    let wr = |a| Op::Write { addr: a, size: 4, site: site_of(a) };
+    let wr = |a| Op::Write {
+        addr: a,
+        size: 4,
+        site: site_of(a),
+    };
 
     fn site_of(a: Addr) -> SiteId {
         SiteId((a.0 / 0x1000) as u32)
@@ -37,19 +41,67 @@ fn main() {
             ev(t1, wr(race)),
             // (b) hand-off: t0 publishes, both pass through G, t1 consumes.
             ev(t0, wr(handoff)),
-            ev(t0, Op::Lock { lock: g, site: SiteId(10) }),
-            ev(t0, Op::Unlock { lock: g, site: SiteId(11) }),
-            ev(t1, Op::Lock { lock: g, site: SiteId(12) }),
-            ev(t1, Op::Unlock { lock: g, site: SiteId(13) }),
+            ev(
+                t0,
+                Op::Lock {
+                    lock: g,
+                    site: SiteId(10),
+                },
+            ),
+            ev(
+                t0,
+                Op::Unlock {
+                    lock: g,
+                    site: SiteId(11),
+                },
+            ),
+            ev(
+                t1,
+                Op::Lock {
+                    lock: g,
+                    site: SiteId(12),
+                },
+            ),
+            ev(
+                t1,
+                Op::Unlock {
+                    lock: g,
+                    site: SiteId(13),
+                },
+            ),
             ev(t1, wr(handoff)),
             // (c) Figure 1 in its lock-ordered interleaving.
             ev(t0, wr(fig1)),
-            ev(t0, Op::Lock { lock: ylock, site: SiteId(20) }),
+            ev(
+                t0,
+                Op::Lock {
+                    lock: ylock,
+                    site: SiteId(20),
+                },
+            ),
             ev(t0, wr(y)),
-            ev(t0, Op::Unlock { lock: ylock, site: SiteId(21) }),
-            ev(t1, Op::Lock { lock: ylock, site: SiteId(22) }),
+            ev(
+                t0,
+                Op::Unlock {
+                    lock: ylock,
+                    site: SiteId(21),
+                },
+            ),
+            ev(
+                t1,
+                Op::Lock {
+                    lock: ylock,
+                    site: SiteId(22),
+                },
+            ),
             ev(t1, wr(y)),
-            ev(t1, Op::Unlock { lock: ylock, site: SiteId(23) }),
+            ev(
+                t1,
+                Op::Unlock {
+                    lock: ylock,
+                    site: SiteId(23),
+                },
+            ),
             ev(t1, wr(fig1)),
         ],
         num_threads: 2,

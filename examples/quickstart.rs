@@ -36,7 +36,11 @@ fn main() {
     // Deterministic interleaving; every detector would see this exact
     // execution.
     let trace = Scheduler::new(SchedConfig::default()).run(&program);
-    println!("trace: {} events over {} threads", trace.len(), trace.num_threads);
+    println!(
+        "trace: {} events over {} threads",
+        trace.len(),
+        trace.num_threads
+    );
 
     // The paper's default machine: 4 cores, 16KB L1s, 1MB L2, 16-bit
     // bloom vectors at 32-byte line granularity.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_ops-6750018c46c54c10.d: crates/bench/benches/bloom_ops.rs
+
+/root/repo/target/debug/deps/bloom_ops-6750018c46c54c10: crates/bench/benches/bloom_ops.rs
+
+crates/bench/benches/bloom_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bloom_ops-7bd213fd2ad94cc7.d: crates/bench/benches/bloom_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbloom_ops-7bd213fd2ad94cc7.rmeta: crates/bench/benches/bloom_ops.rs Cargo.toml
+
+crates/bench/benches/bloom_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_ops-5042318451b3592a.d: crates/bench/benches/cache_ops.rs
+
+/root/repo/target/debug/deps/cache_ops-5042318451b3592a: crates/bench/benches/cache_ops.rs
+
+crates/bench/benches/cache_ops.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-467a32a9149b0cb1.d: crates/harness/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-467a32a9149b0cb1.rmeta: crates/harness/tests/cli.rs Cargo.toml
+
+crates/harness/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_hard-exp=placeholder:hard-exp
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

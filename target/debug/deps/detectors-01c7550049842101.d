@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detectors-01c7550049842101.d: crates/bench/benches/detectors.rs
+
+/root/repo/target/debug/deps/detectors-01c7550049842101: crates/bench/benches/detectors.rs
+
+crates/bench/benches/detectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-5aac81fb63cf0ee1.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-5aac81fb63cf0ee1: tests/differential.rs
+
+tests/differential.rs:

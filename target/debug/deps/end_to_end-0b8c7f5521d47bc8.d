@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0b8c7f5521d47bc8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0b8c7f5521d47bc8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

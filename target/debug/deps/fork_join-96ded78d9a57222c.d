@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fork_join-96ded78d9a57222c.d: tests/fork_join.rs
+
+/root/repo/target/debug/deps/fork_join-96ded78d9a57222c: tests/fork_join.rs
+
+tests/fork_join.rs:

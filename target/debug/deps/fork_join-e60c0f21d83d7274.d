@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fork_join-e60c0f21d83d7274.d: tests/fork_join.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfork_join-e60c0f21d83d7274.rmeta: tests/fork_join.rs Cargo.toml
+
+tests/fork_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_scale-d78c515f58beb76d.d: tests/full_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_scale-d78c515f58beb76d.rmeta: tests/full_scale.rs Cargo.toml
+
+tests/full_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

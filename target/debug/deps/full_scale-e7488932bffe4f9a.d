@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_scale-e7488932bffe4f9a.d: tests/full_scale.rs
+
+/root/repo/target/debug/deps/full_scale-e7488932bffe4f9a: tests/full_scale.rs
+
+tests/full_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_bench-424cb8f6a6ae76e8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_bench-424cb8f6a6ae76e8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_bench-55e86b9435c777e1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hard_bench-55e86b9435c777e1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_bench-8f8c7338e69ac545.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_bench-8f8c7338e69ac545.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hard_bench-c88f53306c8c3764.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhard_bench-c88f53306c8c3764.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhard_bench-c88f53306c8c3764.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hard_bloom-1edb165067fb9740.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_bloom-1edb165067fb9740.rmeta: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs Cargo.toml
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:
+crates/bloom/src/exact.rs:
+crates/bloom/src/registers.rs:
+crates/bloom/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

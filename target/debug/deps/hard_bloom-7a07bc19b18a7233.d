@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_bloom-7a07bc19b18a7233.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs
+
+/root/repo/target/debug/deps/hard_bloom-7a07bc19b18a7233: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:
+crates/bloom/src/exact.rs:
+crates/bloom/src/registers.rs:
+crates/bloom/src/vector.rs:

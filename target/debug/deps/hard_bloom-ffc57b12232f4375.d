@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hard_bloom-ffc57b12232f4375.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs
+
+/root/repo/target/debug/deps/libhard_bloom-ffc57b12232f4375.rlib: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs
+
+/root/repo/target/debug/deps/libhard_bloom-ffc57b12232f4375.rmeta: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:
+crates/bloom/src/exact.rs:
+crates/bloom/src/registers.rs:
+crates/bloom/src/vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_exp-22e8a77dc11b74b6.d: crates/harness/src/bin/hard_exp.rs
+
+/root/repo/target/debug/deps/hard_exp-22e8a77dc11b74b6: crates/harness/src/bin/hard_exp.rs
+
+crates/harness/src/bin/hard_exp.rs:

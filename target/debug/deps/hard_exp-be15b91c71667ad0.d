@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_exp-be15b91c71667ad0.d: crates/harness/src/bin/hard_exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_exp-be15b91c71667ad0.rmeta: crates/harness/src/bin/hard_exp.rs Cargo.toml
+
+crates/harness/src/bin/hard_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

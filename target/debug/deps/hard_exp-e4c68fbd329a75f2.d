@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_exp-e4c68fbd329a75f2.d: crates/harness/src/bin/hard_exp.rs
+
+/root/repo/target/debug/deps/hard_exp-e4c68fbd329a75f2: crates/harness/src/bin/hard_exp.rs
+
+crates/harness/src/bin/hard_exp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_exp-ed0b6fe5461f9790.d: crates/harness/src/bin/hard_exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_exp-ed0b6fe5461f9790.rmeta: crates/harness/src/bin/hard_exp.rs Cargo.toml
+
+crates/harness/src/bin/hard_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hard_hb-1bb611894a526587.d: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs
+
+/root/repo/target/debug/deps/hard_hb-1bb611894a526587: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs
+
+crates/hb/src/lib.rs:
+crates/hb/src/clock.rs:
+crates/hb/src/ideal.rs:
+crates/hb/src/meta.rs:
+crates/hb/src/scalar.rs:
+crates/hb/src/sync.rs:

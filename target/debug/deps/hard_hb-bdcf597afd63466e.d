@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hard_hb-bdcf597afd63466e.d: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_hb-bdcf597afd63466e.rmeta: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs Cargo.toml
+
+crates/hb/src/lib.rs:
+crates/hb/src/clock.rs:
+crates/hb/src/ideal.rs:
+crates/hb/src/meta.rs:
+crates/hb/src/scalar.rs:
+crates/hb/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

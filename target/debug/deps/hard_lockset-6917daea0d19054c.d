@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hard_lockset-6917daea0d19054c.d: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+/root/repo/target/debug/deps/hard_lockset-6917daea0d19054c: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+crates/lockset/src/lib.rs:
+crates/lockset/src/bloom_table.rs:
+crates/lockset/src/ideal.rs:
+crates/lockset/src/meta.rs:
+crates/lockset/src/setrepr.rs:
+crates/lockset/src/state.rs:

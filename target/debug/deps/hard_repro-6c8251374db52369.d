@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_repro-6c8251374db52369.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_repro-6c8251374db52369.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

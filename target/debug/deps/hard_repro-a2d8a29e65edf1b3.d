@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_repro-a2d8a29e65edf1b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/hard_repro-a2d8a29e65edf1b3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_repro-ace3b2aaeeb811da.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_repro-ace3b2aaeeb811da.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

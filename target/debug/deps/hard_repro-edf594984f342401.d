@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hard_repro-edf594984f342401.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhard_repro-edf594984f342401.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhard_repro-edf594984f342401.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hard_trace-96241befd094252f.d: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_trace-96241befd094252f.rmeta: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/detect.rs:
+crates/trace/src/event.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/sched.rs:
+crates/trace/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_types-08c8aecb80ab0a98.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs
+
+/root/repo/target/debug/deps/hard_types-08c8aecb80ab0a98: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/fault.rs:
+crates/types/src/ids.rs:
+crates/types/src/rng.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hard_types-854be00c3203007d.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_types-854be00c3203007d.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/fault.rs:
+crates/types/src/ids.rs:
+crates/types/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

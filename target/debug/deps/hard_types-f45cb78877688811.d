@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hard_types-f45cb78877688811.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs
+
+/root/repo/target/debug/deps/libhard_types-f45cb78877688811.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs
+
+/root/repo/target/debug/deps/libhard_types-f45cb78877688811.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/fault.rs:
+crates/types/src/ids.rs:
+crates/types/src/rng.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-18247c9a6360a8d5.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-18247c9a6360a8d5: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1a0d263b1f29de28.d: crates/hb/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1a0d263b1f29de28.rmeta: crates/hb/tests/properties.rs Cargo.toml
+
+crates/hb/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

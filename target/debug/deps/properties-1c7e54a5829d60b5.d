@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1c7e54a5829d60b5.d: crates/cache/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1c7e54a5829d60b5: crates/cache/tests/properties.rs
+
+crates/cache/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1ee07d8ed0e3f69f.d: crates/lockset/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1ee07d8ed0e3f69f.rmeta: crates/lockset/tests/properties.rs Cargo.toml
+
+crates/lockset/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

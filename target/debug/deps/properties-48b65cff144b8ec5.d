@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-48b65cff144b8ec5.d: crates/lockset/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-48b65cff144b8ec5: crates/lockset/tests/properties.rs
+
+crates/lockset/tests/properties.rs:

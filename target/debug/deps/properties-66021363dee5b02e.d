@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-66021363dee5b02e.d: crates/bloom/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-66021363dee5b02e.rmeta: crates/bloom/tests/properties.rs Cargo.toml
+
+crates/bloom/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

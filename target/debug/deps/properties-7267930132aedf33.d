@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7267930132aedf33.d: crates/bloom/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7267930132aedf33: crates/bloom/tests/properties.rs
+
+crates/bloom/tests/properties.rs:

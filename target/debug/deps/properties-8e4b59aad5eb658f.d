@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8e4b59aad5eb658f.d: crates/cache/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8e4b59aad5eb658f.rmeta: crates/cache/tests/properties.rs Cargo.toml
+
+crates/cache/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b89556282bfc803c.d: crates/hb/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b89556282bfc803c: crates/hb/tests/properties.rs
+
+crates/hb/tests/properties.rs:

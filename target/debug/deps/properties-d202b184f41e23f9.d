@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d202b184f41e23f9.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d202b184f41e23f9: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

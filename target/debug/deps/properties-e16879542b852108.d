@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e16879542b852108.d: crates/trace/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e16879542b852108: crates/trace/tests/properties.rs
+
+crates/trace/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/radix-36df8492d2050967.d: tests/radix.rs
+
+/root/repo/target/debug/deps/radix-36df8492d2050967: tests/radix.rs
+
+tests/radix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/radix-5f3a93a04a218180.d: tests/radix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libradix-5f3a93a04a218180.rmeta: tests/radix.rs Cargo.toml
+
+tests/radix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

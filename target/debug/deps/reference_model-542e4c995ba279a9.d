@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reference_model-542e4c995ba279a9.d: crates/cache/tests/reference_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreference_model-542e4c995ba279a9.rmeta: crates/cache/tests/reference_model.rs Cargo.toml
+
+crates/cache/tests/reference_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reference_model-d97403bf390e8c51.d: crates/cache/tests/reference_model.rs
+
+/root/repo/target/debug/deps/reference_model-d97403bf390e8c51: crates/cache/tests/reference_model.rs
+
+crates/cache/tests/reference_model.rs:

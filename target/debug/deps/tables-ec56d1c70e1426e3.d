@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-ec56d1c70e1426e3.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/tables-ec56d1c70e1426e3: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

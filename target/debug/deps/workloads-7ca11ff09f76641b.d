@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-7ca11ff09f76641b.d: crates/bench/benches/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-7ca11ff09f76641b.rmeta: crates/bench/benches/workloads.rs Cargo.toml
+
+crates/bench/benches/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-e687df9abdb9a9c2.d: crates/bench/benches/workloads.rs
+
+/root/repo/target/debug/deps/workloads-e687df9abdb9a9c2: crates/bench/benches/workloads.rs
+
+crates/bench/benches/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/barrier_pruning-8c676b3d45eff1c9.d: examples/barrier_pruning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbarrier_pruning-8c676b3d45eff1c9.rmeta: examples/barrier_pruning.rs Cargo.toml
+
+examples/barrier_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

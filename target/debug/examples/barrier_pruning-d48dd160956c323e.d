@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_pruning-d48dd160956c323e.d: examples/barrier_pruning.rs
+
+/root/repo/target/debug/examples/barrier_pruning-d48dd160956c323e: examples/barrier_pruning.rs
+
+examples/barrier_pruning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure1_interleaving-cf1c15f9e1d31d35.d: examples/figure1_interleaving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure1_interleaving-cf1c15f9e1d31d35.rmeta: examples/figure1_interleaving.rs Cargo.toml
+
+examples/figure1_interleaving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

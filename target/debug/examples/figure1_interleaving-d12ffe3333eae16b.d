@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure1_interleaving-d12ffe3333eae16b.d: examples/figure1_interleaving.rs
+
+/root/repo/target/debug/examples/figure1_interleaving-d12ffe3333eae16b: examples/figure1_interleaving.rs
+
+examples/figure1_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fork_join-1fa05a54a187fdbe.d: examples/fork_join.rs
+
+/root/repo/target/debug/examples/fork_join-1fa05a54a187fdbe: examples/fork_join.rs
+
+examples/fork_join.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fork_join-cb49885fbafe0ec4.d: examples/fork_join.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfork_join-cb49885fbafe0ec4.rmeta: examples/fork_join.rs Cargo.toml
+
+examples/fork_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_pruning-3961660300bb79fd.d: examples/hybrid_pruning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_pruning-3961660300bb79fd.rmeta: examples/hybrid_pruning.rs Cargo.toml
+
+examples/hybrid_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

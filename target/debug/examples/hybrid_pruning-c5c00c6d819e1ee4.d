@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_pruning-c5c00c6d819e1ee4.d: examples/hybrid_pruning.rs
+
+/root/repo/target/debug/examples/hybrid_pruning-c5c00c6d819e1ee4: examples/hybrid_pruning.rs
+
+examples/hybrid_pruning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-192624071baa6db0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-192624071baa6db0: examples/quickstart.rs
+
+examples/quickstart.rs:

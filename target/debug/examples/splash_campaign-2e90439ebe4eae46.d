@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/splash_campaign-2e90439ebe4eae46.d: examples/splash_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsplash_campaign-2e90439ebe4eae46.rmeta: examples/splash_campaign.rs Cargo.toml
+
+examples/splash_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

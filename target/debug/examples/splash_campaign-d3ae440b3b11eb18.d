@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/splash_campaign-d3ae440b3b11eb18.d: examples/splash_campaign.rs
+
+/root/repo/target/debug/examples/splash_campaign-d3ae440b3b11eb18: examples/splash_campaign.rs
+
+examples/splash_campaign.rs:

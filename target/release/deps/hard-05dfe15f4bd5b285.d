@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hard-05dfe15f4bd5b285.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+/root/repo/target/release/deps/libhard-05dfe15f4bd5b285.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+/root/repo/target/release/deps/libhard-05dfe15f4bd5b285.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/directory_machine.rs:
+crates/core/src/hb_machine.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/machine.rs:
+crates/core/src/metadata.rs:
+crates/core/src/software.rs:

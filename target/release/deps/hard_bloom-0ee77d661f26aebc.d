@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hard_bloom-0ee77d661f26aebc.d: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs
+
+/root/repo/target/release/deps/libhard_bloom-0ee77d661f26aebc.rlib: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs
+
+/root/repo/target/release/deps/libhard_bloom-0ee77d661f26aebc.rmeta: crates/bloom/src/lib.rs crates/bloom/src/analysis.rs crates/bloom/src/exact.rs crates/bloom/src/registers.rs crates/bloom/src/vector.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/analysis.rs:
+crates/bloom/src/exact.rs:
+crates/bloom/src/registers.rs:
+crates/bloom/src/vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hard_exp-b6f52b7e443c2cd0.d: crates/harness/src/bin/hard_exp.rs
+
+/root/repo/target/release/deps/hard_exp-b6f52b7e443c2cd0: crates/harness/src/bin/hard_exp.rs
+
+crates/harness/src/bin/hard_exp.rs:

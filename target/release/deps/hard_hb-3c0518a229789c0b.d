@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hard_hb-3c0518a229789c0b.d: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs
+
+/root/repo/target/release/deps/libhard_hb-3c0518a229789c0b.rlib: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs
+
+/root/repo/target/release/deps/libhard_hb-3c0518a229789c0b.rmeta: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs
+
+crates/hb/src/lib.rs:
+crates/hb/src/clock.rs:
+crates/hb/src/ideal.rs:
+crates/hb/src/meta.rs:
+crates/hb/src/scalar.rs:
+crates/hb/src/sync.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hard_repro-dd4e3d0c8fbfba0c.d: src/lib.rs
+
+/root/repo/target/release/deps/libhard_repro-dd4e3d0c8fbfba0c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhard_repro-dd4e3d0c8fbfba0c.rmeta: src/lib.rs
+
+src/lib.rs:

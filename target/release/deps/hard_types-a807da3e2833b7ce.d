@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hard_types-a807da3e2833b7ce.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs
+
+/root/repo/target/release/deps/libhard_types-a807da3e2833b7ce.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs
+
+/root/repo/target/release/deps/libhard_types-a807da3e2833b7ce.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/fault.rs crates/types/src/ids.rs crates/types/src/rng.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/fault.rs:
+crates/types/src/ids.rs:
+crates/types/src/rng.rs:

@@ -22,9 +22,17 @@ fn arb_program() -> impl Strategy<Value = Program> {
         (0u64..8, any::<bool>()).prop_map(|(l, wr)| {
             let addr = Addr(0x1000 + l * 32);
             vec![if wr {
-                hard_repro::trace::Op::Write { addr, size: 4, site: SiteId(l as u32) }
+                hard_repro::trace::Op::Write {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                }
             } else {
-                hard_repro::trace::Op::Read { addr, size: 4, site: SiteId(l as u32) }
+                hard_repro::trace::Op::Read {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                }
             }]
         }),
         // A critical section on one of 3 locks.
@@ -32,9 +40,19 @@ fn arb_program() -> impl Strategy<Value = Program> {
             let lock = LockId(0x1000_0000 + k * 4);
             let addr = Addr(0x1000 + l * 32);
             vec![
-                hard_repro::trace::Op::Lock { lock, site: SiteId(100 + k as u32) },
-                hard_repro::trace::Op::Write { addr, size: 4, site: SiteId(l as u32) },
-                hard_repro::trace::Op::Unlock { lock, site: SiteId(200 + k as u32) },
+                hard_repro::trace::Op::Lock {
+                    lock,
+                    site: SiteId(100 + k as u32),
+                },
+                hard_repro::trace::Op::Write {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                },
+                hard_repro::trace::Op::Unlock {
+                    lock,
+                    site: SiteId(200 + k as u32),
+                },
             ]
         }),
     ];
@@ -57,7 +75,10 @@ fn arb_program() -> impl Strategy<Value = Program> {
 
 fn report_keys(reports: &[hard_repro::trace::RaceReport]) -> BTreeSet<(Addr, SiteId)> {
     let g = Granularity::new(32);
-    reports.iter().map(|r| (g.granule_of(r.addr), r.site)).collect()
+    reports
+        .iter()
+        .map(|r| (g.granule_of(r.addr), r.site))
+        .collect()
 }
 
 proptest! {

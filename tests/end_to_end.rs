@@ -8,8 +8,8 @@ use hard_repro::harness::{
 };
 use hard_repro::lockset::{IdealLockset, IdealLocksetConfig};
 use hard_repro::trace::{codec, run_detector, Detector};
-use hard_repro::workloads::App;
 use hard_repro::types::Addr;
+use hard_repro::workloads::App;
 
 fn cfg() -> CampaignConfig {
     CampaignConfig::reduced(0.08, 4)
@@ -53,14 +53,8 @@ fn ideal_lockset_dominates_hard_on_identical_traces() {
         for run_idx in 0..4 {
             let (trace, inj) = injected_trace(app, &cfg(), run_idx);
             let pr = probes(&inj);
-            let hard = score(
-                &execute(&DetectorKind::hard_default(), &trace, &pr),
-                &inj,
-            );
-            let ideal = score(
-                &execute(&DetectorKind::lockset_ideal(), &trace, &pr),
-                &inj,
-            );
+            let hard = score(&execute(&DetectorKind::hard_default(), &trace, &pr), &inj);
+            let ideal = score(&execute(&DetectorKind::lockset_ideal(), &trace, &pr), &inj);
             if hard == BugOutcome::Detected {
                 assert_eq!(
                     ideal,
@@ -121,10 +115,11 @@ fn wrong_lock_injections_are_caught_by_lockset() {
     for app in [App::Barnes, App::WaterNsquared, App::Raytrace] {
         let program = app.generate(&cfg.workload(app));
         for seed in 0..4u64 {
-            let (injected, info) = inject_wrong_lock(&program, seed);
-            let trace = hard_repro::trace::Scheduler::new(
-                hard_repro::trace::SchedConfig { seed, max_quantum: 8 },
-            )
+            let (injected, info) = inject_wrong_lock(&program, seed).unwrap();
+            let trace = hard_repro::trace::Scheduler::new(hard_repro::trace::SchedConfig {
+                seed,
+                max_quantum: 8,
+            })
             .run(&injected);
             let mut d = IdealLockset::new(IdealLocksetConfig::default());
             let reports = run_detector(&mut d, &trace);

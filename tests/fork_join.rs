@@ -33,7 +33,11 @@ fn scheduler_orders_fork_and_join() {
     let p = handoff_program();
     assert_eq!(p.validate(), Ok(()));
     for seed in 0..16 {
-        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 3,
+        })
+        .run(&p);
         assert_eq!(trace.ops().count(), p.total_ops(), "seed {seed}");
         let pos = |pred: &dyn Fn(ThreadId, &Op) -> bool| {
             trace
@@ -62,7 +66,11 @@ fn scheduler_orders_fork_and_join() {
 fn fork_join_handoff_is_clean_for_all_detectors() {
     let p = handoff_program();
     for seed in 0..16 {
-        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 3,
+        })
+        .run(&p);
 
         let mut hb = IdealHappensBefore::new(IdealHbConfig::new(2));
         let hb_reports = run_detector(&mut hb, &trace);
@@ -104,7 +112,11 @@ fn concurrent_parent_child_race_is_still_caught() {
     let p = b.build();
     let mut hard_caught = 0;
     for seed in 0..32 {
-        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 1 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 1,
+        })
+        .run(&p);
         let mut hard = HardMachine::new(HardConfig::default());
         if !run_detector(&mut hard, &trace).is_empty() {
             hard_caught += 1;
@@ -127,12 +139,20 @@ fn two_children_racing_are_caught_despite_dummy_locks() {
         .fork(ThreadId(2), SiteId(2))
         .join(ThreadId(1), SiteId(3))
         .join(ThreadId(2), SiteId(4));
-    b.thread(1).write(shared, 4, SiteId(5)).write(shared, 4, SiteId(6));
-    b.thread(2).write(shared, 4, SiteId(7)).write(shared, 4, SiteId(8));
+    b.thread(1)
+        .write(shared, 4, SiteId(5))
+        .write(shared, 4, SiteId(6));
+    b.thread(2)
+        .write(shared, 4, SiteId(7))
+        .write(shared, 4, SiteId(8));
     let p = b.build();
     let mut caught = 0;
     for seed in 0..32 {
-        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 1 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 1,
+        })
+        .run(&p);
         // The race is catchable exactly when the children's writes
         // interleave (a sequential c1..c2.. order hides it inside the
         // Exclusive state, as for any lockset detector).
@@ -189,7 +209,11 @@ fn a_worker_pool_larger_than_the_machine_multiplexes() {
     assert_eq!(p.validate(), Ok(()));
     let mut caught = 0;
     for seed in 0..8 {
-        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 3 }).run(&p);
+        let trace = Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 3,
+        })
+        .run(&p);
         let mut m = HardMachine::new(HardConfig::default());
         if run_detector(&mut m, &trace)
             .iter()
@@ -198,7 +222,10 @@ fn a_worker_pool_larger_than_the_machine_multiplexes() {
             caught += 1;
         }
     }
-    assert!(caught >= 6, "the forgotten lock is caught while multiplexed ({caught}/8)");
+    assert!(
+        caught >= 6,
+        "the forgotten lock is caught while multiplexed ({caught}/8)"
+    );
 }
 
 #[test]
@@ -208,7 +235,8 @@ fn programs_mixing_fork_and_barriers_are_rejected() {
         .fork(ThreadId(1), SiteId(1))
         .barrier(hard_repro::types::BarrierId(0), SiteId(2))
         .join(ThreadId(1), SiteId(3));
-    b.thread(1).barrier(hard_repro::types::BarrierId(0), SiteId(4));
+    b.thread(1)
+        .barrier(hard_repro::types::BarrierId(0), SiteId(4));
     let err = b.build().validate().unwrap_err();
     assert!(err.contains("barrier"), "{err}");
 }

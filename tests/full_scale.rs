@@ -47,7 +47,11 @@ fn table3_recorded_rows() {
     let row = |app: App| t.rows.iter().find(|r| r.app == app).unwrap();
     // Bugs constant across granularities for every app.
     for r in &t.rows {
-        assert!(r.hard_bugs.iter().all(|&b| b == r.hard_bugs[0]), "{}", r.app);
+        assert!(
+            r.hard_bugs.iter().all(|&b| b == r.hard_bugs[0]),
+            "{}",
+            r.app
+        );
         assert!(r.hb_bugs.iter().all(|&b| b == r.hb_bugs[0]), "{}", r.app);
     }
     // The recorded alarm staircases.

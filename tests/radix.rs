@@ -11,7 +11,11 @@ use hard_repro::workloads::{inject_race, WorkloadConfig};
 
 fn trace(seed: u64) -> hard_repro::trace::Trace {
     let p = radix::generate(&WorkloadConfig::reduced(0.2));
-    Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p)
+    Scheduler::new(SchedConfig {
+        seed,
+        max_quantum: 4,
+    })
+    .run(&p)
 }
 
 #[test]
@@ -61,8 +65,12 @@ fn injected_rank_races_are_caught() {
     let p = radix::generate(&WorkloadConfig::reduced(0.2));
     let mut caught = 0;
     for seed in 0..6 {
-        let (injected, info) = inject_race(&p, seed);
-        let t = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&injected);
+        let (injected, info) = inject_race(&p, seed).unwrap();
+        let t = Scheduler::new(SchedConfig {
+            seed,
+            max_quantum: 4,
+        })
+        .run(&injected);
         let mut hard = HardMachine::new(HardConfig::default());
         let reports = run_detector(&mut hard, &t);
         if reports
@@ -72,7 +80,10 @@ fn injected_rank_races_are_caught() {
             caught += 1;
         }
     }
-    assert!(caught >= 4, "rank races are dense and catchable ({caught}/6)");
+    assert!(
+        caught >= 4,
+        "rank races are dense and catchable ({caught}/6)"
+    );
 }
 
 #[test]
