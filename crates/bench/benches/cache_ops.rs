@@ -4,8 +4,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hard_cache::policy::NullFactory;
 use hard_cache::{Hierarchy, HierarchyConfig};
+use hard_obs::{MemoryRecorder, NoopRecorder, ObsHandle};
 use hard_types::{AccessKind, Addr, CoreId};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_l1_hit(c: &mut Criterion) {
     let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap();
@@ -49,10 +51,56 @@ fn bench_coherence_pingpong(c: &mut Criterion) {
     });
 }
 
+/// The observability overhead gate: the cold-stream workload (fills,
+/// L2 displacements, metadata-loss accounting — every instrumented
+/// hierarchy path) with no recorder, the no-op recorder, and the real
+/// counting recorder. Target: `noop` within 3% of `off`; `counting`
+/// shows the true cost of enabling metrics.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache/obs-cold-stream-1k-lines");
+    let run = |mut h: Hierarchy<NullFactory>| {
+        for i in 0..1024u64 {
+            h.ensure(CoreId(0), Addr(i * 32), AccessKind::Read).unwrap();
+        }
+        h
+    };
+    g.bench_function("recorder-off", |b| {
+        b.iter_batched(
+            || Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap(),
+            &run,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("recorder-noop", |b| {
+        b.iter_batched(
+            || {
+                let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap();
+                h.set_obs(ObsHandle::new(Arc::new(NoopRecorder)));
+                h
+            },
+            &run,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("recorder-counting", |b| {
+        b.iter_batched(
+            || {
+                let mut h = Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap();
+                h.set_obs(ObsHandle::new(Arc::new(MemoryRecorder::new())));
+                h
+            },
+            &run,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_l1_hit,
     bench_l2_miss_stream,
-    bench_coherence_pingpong
+    bench_coherence_pingpong,
+    bench_recorder_overhead
 );
 criterion_main!(benches);

@@ -12,6 +12,7 @@ use crate::cstate::CState;
 use crate::geometry::CacheGeometry;
 use crate::policy::MetaFactory;
 use crate::stats::MemStats;
+use hard_obs::{CounterId, Event, ObsHandle};
 use hard_types::{AccessKind, Addr, CoreId, HardError};
 use std::collections::BTreeSet;
 
@@ -90,6 +91,7 @@ pub struct Hierarchy<F: MetaFactory> {
     stats: MemStats,
     lost_meta: BTreeSet<Addr>,
     eviction_log: Vec<Addr>,
+    obs: ObsHandle,
 }
 
 impl<F: MetaFactory> Hierarchy<F> {
@@ -123,6 +125,7 @@ impl<F: MetaFactory> Hierarchy<F> {
             stats: MemStats::default(),
             lost_meta: BTreeSet::new(),
             eviction_log: Vec::new(),
+            obs: ObsHandle::off(),
         })
     }
 
@@ -154,6 +157,13 @@ impl<F: MetaFactory> Hierarchy<F> {
     #[must_use]
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// Attaches an observability handle. The default is
+    /// [`ObsHandle::off`], which is bit- and perf-inert; cloning a
+    /// hierarchy shares the attached recorder.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Number of L1 caches holding a valid copy of `addr`'s line.
@@ -228,6 +238,8 @@ impl<F: MetaFactory> Hierarchy<F> {
             *slot = Some(meta.clone());
         }
         self.stats.meta_broadcasts += 1;
+        self.obs.counter(CounterId::BroadcastsSent, 1);
+        self.obs.emit(|| Event::Broadcast { line: l1_line.0 });
         Ok(())
     }
 
@@ -262,11 +274,13 @@ impl<F: MetaFactory> Hierarchy<F> {
     fn l2_evicted(&mut self, victim_addr: Addr, sectors: &[Option<F::Meta>]) {
         self.stats.l2_evictions += 1;
         let mut invalidated = false;
+        let mut sectors_lost = 0u32;
         for (i, slot) in sectors.iter().enumerate() {
             let l1_line = Addr(victim_addr.0 + i as u64 * self.cfg.l1.line_bytes());
             if slot.is_some() {
                 self.lost_meta.insert(l1_line);
                 self.eviction_log.push(l1_line);
+                sectors_lost += 1;
             }
             for l1 in &mut self.l1 {
                 if let Some(line) = l1.remove(l1_line) {
@@ -280,6 +294,15 @@ impl<F: MetaFactory> Hierarchy<F> {
         if invalidated {
             self.stats.l2_back_invalidations += 1;
         }
+        self.obs.counter(CounterId::L2Displacements, 1);
+        if sectors_lost > 0 {
+            self.obs
+                .counter(CounterId::MetaLossLines, u64::from(sectors_lost));
+        }
+        self.obs.emit(|| Event::Displacement {
+            line: victim_addr.0,
+            sectors_lost,
+        });
     }
 
     /// Inserts a line into an L1, handling the victim writeback.
@@ -378,6 +401,7 @@ impl<F: MetaFactory> Hierarchy<F> {
 
         // L1 miss.
         self.stats.l1_misses += 1;
+        self.obs.counter(CounterId::CacheFills, 1);
         let mut result = EnsureResult {
             served_by: ServedBy::L2,
             bus_data: 0,
@@ -463,6 +487,11 @@ impl<F: MetaFactory> Hierarchy<F> {
                 result.bus_data += 1;
                 result.served_by = ServedBy::Memory;
                 result.refetch_after_loss = self.lost_meta.contains(&line_addr);
+                if result.refetch_after_loss {
+                    self.obs.counter(CounterId::RefetchesAfterLoss, 1);
+                    self.obs
+                        .emit(|| Event::RefetchAfterLoss { line: line_addr.0 });
+                }
                 let fresh = self.factory.fresh(core);
                 if let Some(l2line) = self.l2.probe(line_addr) {
                     // The L2 line exists but this sector was invalid:
@@ -683,6 +712,48 @@ mod tests {
             .l2
             .iter()
             .all(|l| l.meta.iter().flatten().all(|m| *m == 1)));
+    }
+
+    #[test]
+    fn attached_recorder_sees_coherence_traffic() {
+        use hard_obs::MemoryRecorder;
+        use std::sync::Arc;
+        let rec = Arc::new(MemoryRecorder::new());
+        let mut h = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        h.set_obs(ObsHandle::new(rec.clone()));
+        h.ensure(C0, Addr(0x100), AccessKind::Read).unwrap();
+        h.ensure(C1, Addr(0x100), AccessKind::Read).unwrap();
+        h.broadcast_meta(C0, Addr(0x100)).unwrap();
+        // Thrash L2 set 0 (0x000/0x080/0x100 conflict) to displace.
+        h.ensure(C0, Addr(0x000), AccessKind::Read).unwrap();
+        h.ensure(C0, Addr(0x080), AccessKind::Read).unwrap();
+        let s = rec.snapshot();
+        assert_eq!(s.counter(CounterId::BroadcastsSent), 1);
+        assert_eq!(s.counter(CounterId::CacheFills), h.stats().l1_misses);
+        assert_eq!(
+            s.counter(CounterId::L2Displacements),
+            h.stats().l2_evictions
+        );
+        assert!(s.counter(CounterId::MetaLossLines) >= 1);
+    }
+
+    #[test]
+    fn detached_hierarchy_matches_attached_noop() {
+        use hard_obs::NoopRecorder;
+        use std::sync::Arc;
+        let drive = |h: &mut Hierarchy<StampFactory>| {
+            for a in [0x000u64, 0x080, 0x100, 0x000, 0x040] {
+                h.ensure(C0, Addr(a), AccessKind::Write).unwrap();
+                h.ensure(C1, Addr(a), AccessKind::Read).unwrap();
+            }
+        };
+        let mut plain = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        drive(&mut plain);
+        let mut noop = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        noop.set_obs(ObsHandle::new(Arc::new(NoopRecorder)));
+        drive(&mut noop);
+        assert_eq!(plain.stats(), noop.stats());
+        assert_eq!(plain.lost_meta, noop.lost_meta);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::metadata::{HbLineMeta, HbMetaFactory};
 use hard_cache::{Hierarchy, HierarchyConfig, MemStats};
 use hard_hb::{hb_access, SyncClocks};
+use hard_obs::{CounterId, Event, ObsHandle};
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
 use hard_types::{AccessKind, Addr, Granularity, SiteId, ThreadId};
 use std::collections::BTreeSet;
@@ -82,6 +83,7 @@ pub struct HbMachine {
     sync: SyncClocks,
     reports: Vec<RaceReport>,
     reported: BTreeSet<(Addr, SiteId)>,
+    obs: ObsHandle,
 }
 
 impl HbMachine {
@@ -113,8 +115,16 @@ impl HbMachine {
             sync: SyncClocks::new(n),
             reports: Vec::new(),
             reported: BTreeSet::new(),
+            obs: ObsHandle::off(),
             cfg,
         })
+    }
+
+    /// Attaches an observability recorder to the machine and its
+    /// memory hierarchy. The default ([`ObsHandle::off`]) is inert.
+    pub fn attach_recorder(&mut self, obs: ObsHandle) {
+        self.hierarchy.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The machine's configuration.
@@ -202,6 +212,12 @@ impl HbMachine {
                         thread,
                         kind,
                         event_index: index,
+                    });
+                    self.obs.counter(CounterId::HbRaces, 1);
+                    self.obs.emit(|| Event::Race {
+                        addr: addr.0,
+                        site: site.0,
+                        thread: thread.0,
                     });
                 }
             }

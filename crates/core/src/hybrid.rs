@@ -46,6 +46,13 @@ impl HybridMachine {
         }
     }
 
+    /// Attaches an observability recorder to both underlying machines
+    /// (they share it, so counters aggregate across the pair).
+    pub fn attach_recorder(&mut self, obs: hard_obs::ObsHandle) {
+        self.hard.attach_recorder(obs.clone());
+        self.hb.attach_recorder(obs);
+    }
+
     /// The underlying HARD machine.
     #[must_use]
     pub fn hard(&self) -> &HardMachine {

@@ -5,6 +5,7 @@ use crate::metadata::{HardLineMeta, HardMetaFactory};
 use hard_bloom::LockRegister;
 use hard_cache::{BusTimeline, Hierarchy, MemStats, ServedBy};
 use hard_lockset::{dummy_lock, fork_transfer, lockset_access, LState};
+use hard_obs::{CounterId, Event, HistId, ObsHandle};
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
 use hard_types::{
     AccessKind, Addr, CoreId, Cycles, FaultInjector, FaultStats, HardError, LockId, SiteId,
@@ -64,6 +65,9 @@ pub struct HardMachine {
     pending_broadcasts: VecDeque<(u64, CoreId, Addr)>,
     /// Trace events consumed (drives broadcast-delay delivery).
     event_count: u64,
+    /// Observability sink; [`ObsHandle::off`] (the default) is bit-
+    /// and perf-inert.
+    obs: ObsHandle,
 }
 
 impl HardMachine {
@@ -105,8 +109,18 @@ impl HardMachine {
             corrupt_registers: BTreeSet::new(),
             pending_broadcasts: VecDeque::new(),
             event_count: 0,
+            obs: ObsHandle::off(),
             cfg,
         })
+    }
+
+    /// Attaches an observability recorder to the machine and its
+    /// memory hierarchy. Detection-pipeline counters, histograms and
+    /// events flow to it from now on; attaching [`ObsHandle::off`]
+    /// restores the inert default.
+    pub fn attach_recorder(&mut self, obs: ObsHandle) {
+        self.hierarchy.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The machine's configuration.
@@ -195,6 +209,9 @@ impl HardMachine {
             self.registers[t].rebuild_from(&self.shadow[t]);
             self.faults.stats.parity_detections += 1;
             self.faults.stats.register_rebuilds += 1;
+            self.obs.counter(CounterId::RegisterRebuilds, 1);
+            self.obs
+                .emit(|| Event::RegisterRebuild { thread: thread.0 });
         }
     }
 
@@ -249,6 +266,11 @@ impl HardMachine {
         }
         let line_bytes = self.hierarchy.line_bytes();
         let gran = self.cfg.granularity;
+        // Hoisted so the off path pays one branch per access, not one
+        // per granule.
+        let obs_on = self.obs.is_on();
+        let mut candidate_checks = 0u64;
+        let mut candidate_empties = 0u64;
         let lines: Vec<Addr> = self
             .cfg
             .hierarchy
@@ -291,6 +313,11 @@ impl HardMachine {
                         gm.owner = None;
                         self.faults.stats.parity_detections += 1;
                         self.faults.stats.conservative_resets += 1;
+                        self.obs.counter(CounterId::ConservativeResets, 1);
+                        self.obs.emit(|| Event::ConservativeReset {
+                            line: line_addr.0,
+                            granule: gi as u32,
+                        });
                         // The safe state must reach the other copies.
                         changed = true;
                     }
@@ -301,6 +328,21 @@ impl HardMachine {
                     let before = meta[gi].clone();
                     let out = lockset_access(&mut meta[gi], thread, kind, &held);
                     changed |= meta[gi] != before;
+                    if obs_on {
+                        candidate_checks += 1;
+                        self.obs.histogram(
+                            HistId::BloomPopulation,
+                            u64::from(meta[gi].candidate.bits().count_ones()),
+                        );
+                        if out.race {
+                            candidate_empties += 1;
+                            self.obs.emit(|| Event::CandidateEmpty {
+                                line: line_addr.0,
+                                granule: gi as u32,
+                                thread: thread.0,
+                            });
+                        }
+                    }
                     if out.race {
                         racy_granules.push(g);
                     }
@@ -313,10 +355,18 @@ impl HardMachine {
                 if self.faults.is_active() {
                     if self.faults.roll_broadcast_drop() {
                         self.faults.stats.broadcasts_dropped += 1;
+                        self.obs.counter(CounterId::BroadcastsDropped, 1);
+                        self.obs
+                            .emit(|| Event::BroadcastDropped { line: line_addr.0 });
                         deliver = false;
                     } else if self.faults.roll_broadcast_delay() {
                         self.faults.stats.broadcasts_delayed += 1;
                         let wait = u64::from(self.cfg.faults.broadcast_delay_events).max(1);
+                        self.obs.counter(CounterId::BroadcastsDelayed, 1);
+                        self.obs.emit(|| Event::BroadcastDelayed {
+                            line: line_addr.0,
+                            wait_events: wait,
+                        });
                         self.pending_broadcasts.push_back((
                             self.event_count + wait,
                             core,
@@ -347,7 +397,21 @@ impl HardMachine {
                         kind,
                         event_index: index,
                     });
+                    self.obs.counter(CounterId::RacesReported, 1);
+                    self.obs.emit(|| Event::Race {
+                        addr: addr.0,
+                        site: site.0,
+                        thread: thread.0,
+                    });
                 }
+            }
+        }
+        if obs_on {
+            self.obs
+                .counter(CounterId::CandidateChecks, candidate_checks);
+            if candidate_empties > 0 {
+                self.obs
+                    .counter(CounterId::CandidateEmpties, candidate_empties);
             }
         }
     }
@@ -370,13 +434,17 @@ impl HardMachine {
         if acquire {
             self.registers[t].acquire(lock);
             self.shadow[t].push(lock);
+            self.obs.counter(CounterId::LockAcquires, 1);
         } else {
             self.registers[t].release(lock);
             // Mirror the register's tolerance of unbalanced releases.
             if let Some(p) = self.shadow[t].iter().rposition(|&l| l == lock) {
                 self.shadow[t].remove(p);
             }
+            self.obs.counter(CounterId::LockReleases, 1);
         }
+        self.obs
+            .histogram(HistId::LockDepth, u64::from(self.registers[t].depth()));
     }
 
     fn on_barrier_complete(&mut self) {
@@ -387,14 +455,18 @@ impl HardMachine {
         }
         if self.cfg.barrier_pruning {
             let shape = self.cfg.bloom;
+            let mut granules = 0u64;
             self.hierarchy.flash_meta(|meta| {
                 for g in meta.iter_mut() {
                     g.barrier_reset(shape);
+                    granules += 1;
                 }
             });
             // The flash rewrite regenerates every metadata word's
             // parity, clearing any corruption still in flight.
             self.corrupt_meta.clear();
+            self.obs.counter(CounterId::BarrierResets, 1);
+            self.obs.emit(|| Event::BarrierReset { granules });
         }
     }
 
@@ -908,6 +980,47 @@ mod tests {
             "shared-line updates must hit the broadcast fault path"
         );
         assert!(fs.spurious_displacements > 0);
+    }
+
+    #[test]
+    fn attached_recorder_observes_the_detection_pipeline() {
+        use hard_obs::{CounterId, HistId, MemoryRecorder, ObsHandle};
+        use std::sync::Arc;
+        let trace = fault_workload();
+        let rec = Arc::new(MemoryRecorder::new());
+        let mut m = HardMachine::new(HardConfig::default());
+        m.attach_recorder(ObsHandle::new(rec.clone()));
+        let reports = run_detector(&mut m, &trace);
+        let s = rec.snapshot();
+        assert!(s.counter(CounterId::CandidateChecks) > 0);
+        assert_eq!(s.counter(CounterId::RacesReported), reports.len() as u64);
+        assert_eq!(
+            s.counter(CounterId::BroadcastsSent),
+            m.stats().meta_broadcasts
+        );
+        assert_eq!(s.counter(CounterId::CacheFills), m.stats().l1_misses);
+        // 4 threads x 30 iterations of lock/unlock pairs.
+        assert_eq!(s.counter(CounterId::LockAcquires), 120);
+        assert_eq!(s.counter(CounterId::LockReleases), 120);
+        assert_eq!(s.counter(CounterId::BarrierResets), 1);
+        let pop = s.histogram(HistId::BloomPopulation).unwrap();
+        assert_eq!(pop.count, s.counter(CounterId::CandidateChecks));
+        let depth = s.histogram(HistId::LockDepth).unwrap();
+        assert_eq!(depth.count, 240, "one observation per lock op");
+    }
+
+    #[test]
+    fn noop_recorder_is_bit_identical_to_no_recorder() {
+        use hard_obs::{NoopRecorder, ObsHandle};
+        use std::sync::Arc;
+        let trace = fault_workload();
+        let (r_plain, m_plain) = detect(&trace, HardConfig::default());
+        let mut m = HardMachine::new(HardConfig::default());
+        m.attach_recorder(ObsHandle::new(Arc::new(NoopRecorder)));
+        let r_noop = run_detector(&mut m, &trace);
+        assert_eq!(r_plain, r_noop);
+        assert_eq!(m_plain.total_cycles(), m.total_cycles());
+        assert_eq!(m_plain.stats(), m.stats());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Observability must be inert: a machine carrying the no-op recorder
+//! (or any recorder) is bit-identical — reports, cycles, cache and
+//! fault statistics — to a machine with observability disabled. This
+//! is the obs analogue of the zero-rate fault-plan invariant.
+
+use hard::{HardConfig, HardMachine, HbMachine, HbMachineConfig};
+use hard_obs::{CounterId, MemoryRecorder, NoopRecorder, ObsHandle};
+use hard_trace::{
+    run_detector, run_detector_observed, Program, SchedConfig, Scheduler, ThreadProgram,
+};
+use hard_types::{Addr, LockId, SiteId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    let block = prop_oneof![
+        (0u64..16, any::<bool>()).prop_map(|(l, wr)| {
+            let addr = Addr(0x1000 + l * 32);
+            vec![if wr {
+                hard_trace::Op::Write {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                }
+            } else {
+                hard_trace::Op::Read {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                }
+            }]
+        }),
+        (0u64..3, 0u64..16).prop_map(|(k, l)| {
+            let lock = LockId(0x1000_0000 + k * 4);
+            let addr = Addr(0x1000 + l * 32);
+            vec![
+                hard_trace::Op::Lock {
+                    lock,
+                    site: SiteId(100 + k as u32),
+                },
+                hard_trace::Op::Write {
+                    addr,
+                    size: 4,
+                    site: SiteId(l as u32),
+                },
+                hard_trace::Op::Unlock {
+                    lock,
+                    site: SiteId(200 + k as u32),
+                },
+            ]
+        }),
+        (1u32..100).prop_map(|c| vec![hard_trace::Op::Compute { cycles: c }]),
+    ];
+    let thread = prop::collection::vec(block, 0..12).prop_map(|blocks| {
+        let mut tp = ThreadProgram::new();
+        for b in blocks {
+            for op in b {
+                tp.push(op);
+            }
+        }
+        tp
+    });
+    prop::collection::vec(thread, 2..=4).prop_map(Program::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The no-op recorder leaves HARD bit-identical to a machine with
+    /// no recorder attached at all: same reports, same cycle count,
+    /// same cache statistics, same bus traffic.
+    #[test]
+    fn noop_recorder_is_bit_inert_on_hard(p in arb_program(), seed in 0u64..4) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p);
+
+        let mut plain = HardMachine::new(HardConfig::default());
+        let rp = run_detector(&mut plain, &trace);
+
+        let obs = ObsHandle::new(Arc::new(NoopRecorder));
+        let mut observed = HardMachine::new(HardConfig::default());
+        observed.attach_recorder(obs.clone());
+        let ro = run_detector_observed(&mut observed, &trace, &obs);
+
+        prop_assert_eq!(rp, ro);
+        prop_assert_eq!(plain.total_cycles(), observed.total_cycles());
+        prop_assert_eq!(plain.stats(), observed.stats());
+        prop_assert_eq!(plain.fault_stats(), observed.fault_stats());
+        prop_assert_eq!(plain.bus().transactions(), observed.bus().transactions());
+    }
+
+    /// Recording is read-only even with a real counting recorder: the
+    /// machine stays bit-identical, and the counters the recorder
+    /// accumulates agree with the machine's own statistics.
+    #[test]
+    fn counting_recorder_observes_without_perturbing(p in arb_program(), seed in 0u64..4) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p);
+
+        let mut plain = HardMachine::new(HardConfig::default());
+        let rp = run_detector(&mut plain, &trace);
+
+        let rec = Arc::new(MemoryRecorder::new());
+        let obs = ObsHandle::new(rec.clone());
+        let mut observed = HardMachine::new(HardConfig::default());
+        observed.attach_recorder(obs.clone());
+        let ro = run_detector_observed(&mut observed, &trace, &obs);
+
+        prop_assert_eq!(&rp, &ro);
+        prop_assert_eq!(plain.total_cycles(), observed.total_cycles());
+        prop_assert_eq!(plain.stats(), observed.stats());
+
+        let snap = rec.snapshot();
+        prop_assert_eq!(snap.counter(CounterId::TraceEvents), trace.len() as u64);
+        prop_assert_eq!(
+            snap.counter(CounterId::RacesReported),
+            ro.len() as u64
+        );
+        prop_assert_eq!(
+            snap.counter(CounterId::BroadcastsSent),
+            observed.stats().meta_broadcasts
+        );
+        prop_assert_eq!(
+            snap.counter(CounterId::L2Displacements),
+            observed.stats().l2_evictions
+        );
+    }
+
+    /// Same invariant for the happens-before assist machine.
+    #[test]
+    fn noop_recorder_is_bit_inert_on_hb(p in arb_program(), seed in 0u64..4) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 4 }).run(&p);
+
+        let mut plain = HbMachine::new(HbMachineConfig::default());
+        let rp = run_detector(&mut plain, &trace);
+
+        let obs = ObsHandle::new(Arc::new(NoopRecorder));
+        let mut observed = HbMachine::new(HbMachineConfig::default());
+        observed.attach_recorder(obs.clone());
+        let ro = run_detector_observed(&mut observed, &trace, &obs);
+
+        prop_assert_eq!(rp, ro);
+        prop_assert_eq!(plain.stats(), observed.stats());
+    }
+}

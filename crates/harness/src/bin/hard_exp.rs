@@ -2,26 +2,39 @@
 //!
 //! ```text
 //! hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all>
-//!          [--scale F] [--runs N] [--markdown]
+//!          [--scale F] [--runs N] [--markdown] [--format text|markdown|json]
+//!          [--quiet] [--trace-out PATH]
 //! hard-exp faults [--rates PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]
+//! hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]
 //! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F]
 //! hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]
 //! ```
+//!
+//! `--trace-out PATH` installs a process-global recorder streaming
+//! every observability event of every run as JSON lines to `PATH`;
+//! it composes with any subcommand.
 
 use hard_harness::experiments::{
-    ablation, bloom_analysis, claims, cord, faults, fig8, robustness, server, table1, table2,
+    ablation, bloom_analysis, claims, cord, faults, fig8, obs, robustness, server, table1, table2,
     table3, table45, table6, window, workload_stats,
 };
-use hard_harness::{execute, CampaignConfig, Checkpoint, DetectorKind, InjectMode, RunLimits};
+use hard_harness::{
+    execute, CampaignConfig, Checkpoint, DetectorKind, InjectMode, OutputFormat, Reporter,
+    RunLimits,
+};
+use hard_obs::{MemoryRecorder, ObsHandle};
 use hard_trace::codec;
 use hard_workloads::{App, Scale};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     command: String,
     scale: f64,
     runs: usize,
-    markdown: bool,
+    format: OutputFormat,
+    quiet: bool,
+    trace_out: Option<String>,
     app: Option<String>,
     file: Option<String>,
     inject: Option<u64>,
@@ -31,6 +44,37 @@ struct Args {
     checkpoint: Option<String>,
     max_cycles: Option<u64>,
     max_events: Option<u64>,
+    smoke: bool,
+    out: Option<String>,
+    serve: Option<String>,
+    serve_requests: Option<usize>,
+}
+
+impl Args {
+    /// A sub-invocation inheriting the global output flags only.
+    fn sub(&self, command: &str) -> Args {
+        Args {
+            command: command.into(),
+            scale: self.scale,
+            runs: self.runs,
+            format: self.format,
+            quiet: self.quiet,
+            trace_out: None,
+            app: None,
+            file: None,
+            inject: None,
+            detector: self.detector.clone(),
+            mode: self.mode,
+            rates: None,
+            checkpoint: None,
+            max_cycles: None,
+            max_events: None,
+            smoke: false,
+            out: None,
+            serve: None,
+            serve_requests: None,
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,7 +82,9 @@ fn parse_args() -> Result<Args, String> {
         command: String::new(),
         scale: 1.0,
         runs: 10,
-        markdown: false,
+        format: OutputFormat::Text,
+        quiet: false,
+        trace_out: None,
         app: None,
         file: None,
         inject: None,
@@ -48,6 +94,10 @@ fn parse_args() -> Result<Args, String> {
         checkpoint: None,
         max_cycles: None,
         max_events: None,
+        smoke: false,
+        out: None,
+        serve: None,
+        serve_requests: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,7 +116,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --runs: {e}"))?;
             }
-            "--markdown" => args.markdown = true,
+            "--markdown" => args.format = OutputFormat::Markdown,
+            "--format" => {
+                args.format = OutputFormat::parse(&it.next().ok_or("--format needs a value")?)?;
+            }
+            "--quiet" => args.quiet = true,
+            "--trace-out" => {
+                args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?);
+            }
             "--app" => args.app = Some(it.next().ok_or("--app needs a name")?),
             "--file" => args.file = Some(it.next().ok_or("--file needs a path")?),
             "--inject" => {
@@ -120,6 +177,17 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown mode: {other}")),
                 };
             }
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a directory")?),
+            "--serve" => args.serve = Some(it.next().ok_or("--serve needs an address")?),
+            "--serve-requests" => {
+                args.serve_requests = Some(
+                    it.next()
+                        .ok_or("--serve-requests needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --serve-requests: {e}"))?,
+                );
+            }
             cmd if args.command.is_empty() && !cmd.starts_with('-') => {
                 args.command = cmd.to_string();
             }
@@ -145,89 +213,125 @@ fn campaign(args: &Args) -> CampaignConfig {
     }
 }
 
-fn emit(table: &hard_harness::TextTable, markdown: bool) {
-    if markdown {
-        println!("{}", table.to_markdown());
-    } else {
-        println!("{table}");
-    }
-}
-
-fn run_command(args: &Args) -> Result<(), String> {
+fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
     let cfg = campaign(args);
     match args.command.as_str() {
         "table1" => {
-            println!("Table 1 — simulated architecture parameters");
-            emit(&table1::run(), args.markdown);
+            rep.section("Table 1 — simulated architecture parameters");
+            rep.table(&table1::run());
         }
         "table2" => {
-            println!(
+            rep.section(&format!(
                 "Table 2 — effectiveness, {} runs/app (HARD vs happens-before)",
                 cfg.runs
-            );
-            emit(&table2::run(&cfg).render(), args.markdown);
+            ));
+            rep.table(&table2::run(&cfg).render());
         }
         "table3" => {
-            println!("Table 3 — candidate set / LState granularity sweep");
-            emit(&table3::run(&cfg).render(), args.markdown);
+            rep.section("Table 3 — candidate set / LState granularity sweep");
+            rep.table(&table3::run(&cfg).render());
         }
         "table4" => {
-            println!("Table 4 — bugs detected vs. L2 size");
-            emit(&table45::run(&cfg).render_bugs(), args.markdown);
+            rep.section("Table 4 — bugs detected vs. L2 size");
+            rep.table(&table45::run(&cfg).render_bugs());
         }
         "table5" => {
-            println!("Table 5 — false alarms vs. L2 size");
-            emit(&table45::run(&cfg).render_alarms(), args.markdown);
+            rep.section("Table 5 — false alarms vs. L2 size");
+            rep.table(&table45::run(&cfg).render_alarms());
         }
         "table45" => {
             let t = table45::run(&cfg);
-            println!("Table 4 — bugs detected vs. L2 size");
-            emit(&t.render_bugs(), args.markdown);
-            println!("Table 5 — false alarms vs. L2 size");
-            emit(&t.render_alarms(), args.markdown);
+            rep.section("Table 4 — bugs detected vs. L2 size");
+            rep.table(&t.render_bugs());
+            rep.section("Table 5 — false alarms vs. L2 size");
+            rep.table(&t.render_alarms());
         }
         "table6" => {
-            println!("Table 6 — bloom filter vector size sweep");
-            emit(&table6::run(&cfg).render(), args.markdown);
+            rep.section("Table 6 — bloom filter vector size sweep");
+            rep.table(&table6::run(&cfg).render());
         }
         "fig8" => {
-            println!("Figure 8 — HARD execution overhead (% of baseline)");
-            emit(&fig8::run(&cfg).render(), args.markdown);
+            rep.section("Figure 8 — HARD execution overhead (% of baseline)");
+            rep.table(&fig8::run(&cfg).render());
         }
         "bloom" => {
-            println!("Bloom collision analysis (paper §3.2)");
-            emit(&bloom_analysis::run(200_000).render(), args.markdown);
+            rep.section("Bloom collision analysis (paper §3.2)");
+            rep.table(&bloom_analysis::run(200_000).render());
         }
         "cord" => {
-            println!("Vector vs scalar-clock happens-before (CORD-style cost/precision)");
-            emit(&cord::run(&cfg).render(), args.markdown);
+            rep.section("Vector vs scalar-clock happens-before (CORD-style cost/precision)");
+            rep.table(&cord::run(&cfg).render());
         }
         "workloads" => {
-            println!("Synthetic workload characterization (race-free runs)");
-            emit(&workload_stats::run(&cfg).render(), args.markdown);
+            rep.section("Synthetic workload characterization (race-free runs)");
+            rep.table(&workload_stats::run(&cfg).render());
         }
         "verify" => {
             let c = claims::run(&cfg);
-            println!("Paper-claim checklist ({} runs/app):", cfg.runs);
-            emit(&c.render(), args.markdown);
+            rep.section(&format!("Paper-claim checklist ({} runs/app):", cfg.runs));
+            rep.table(&c.render());
             if !c.all_pass() {
                 return Err("some claims failed".into());
             }
         }
         "robustness" => {
-            println!("Scheduler robustness: aggregate detection vs quantum bound");
-            emit(&robustness::run(&cfg).render(), args.markdown);
+            rep.section("Scheduler robustness: aggregate detection vs quantum bound");
+            rep.table(&robustness::run(&cfg).render());
         }
         "server" => {
-            println!(
+            rep.section(&format!(
                 "Server workload (§7 future work): fork/join threading, {} runs",
                 cfg.runs
-            );
-            emit(&server::run(&cfg).render(), args.markdown);
+            ));
+            rep.table(&server::run(&cfg).render());
         }
         "window" => {
-            println!("Detection window (paper §3.6): metadata lifetime in accesses");
-            emit(&window::run(&cfg).render(), args.markdown);
+            rep.section("Detection window (paper §3.6): metadata lifetime in accesses");
+            rep.table(&window::run(&cfg).render());
+        }
+        "obs" => {
+            let mut campaign = cfg;
+            if args.smoke {
+                // The CI smoke gate: small enough to finish in seconds
+                // unless the user pinned an explicit scale.
+                if matches!(campaign.scale, Scale::Full) {
+                    campaign.scale = Scale::Reduced(0.05);
+                }
+                campaign.runs = campaign.runs.min(2);
+            }
+            let ocfg = obs::ObsConfig {
+                campaign,
+                out_dir: Some(
+                    args.out
+                        .clone()
+                        .unwrap_or_else(|| "results/obs".into())
+                        .into(),
+                ),
+            };
+            let study = obs::run(&ocfg).map_err(|e| format!("obs campaign I/O: {e}"))?;
+            rep.section(&format!(
+                "Observability — detection pipeline metrics, {} runs/app (events under {})",
+                study.runs,
+                ocfg.out_dir.as_deref().expect("set above").display()
+            ));
+            rep.table(&study.render());
+            rep.section("Span profile (cycle/event attribution per phase):");
+            rep.table(&study.render_spans());
+            let validated = study.smoke_check()?;
+            rep.note(&format!(
+                "smoke check OK: {validated} JSONL event lines validated, core counters nonzero"
+            ));
+            if let Some(addr) = args.serve.as_deref() {
+                let body = study.exposition();
+                let srv = server::MetricsServer::bind(addr)
+                    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+                let local = srv.local_addr().map_err(|e| e.to_string())?;
+                rep.note(&format!(
+                    "serving Prometheus metrics at http://{local}/metrics"
+                ));
+                srv.serve(&body, args.serve_requests)
+                    .map_err(|e| format!("metrics server: {e}"))?;
+            }
         }
         "faults" => {
             let fcfg = faults::FaultsConfig {
@@ -249,7 +353,7 @@ fn run_command(args: &Args) -> Result<(), String> {
                 None => None,
             };
             let study = faults::run(&fcfg, cp.as_mut());
-            println!(
+            rep.section(&format!(
                 "Fault sweep — graceful degradation, {} runs/app/rate{}",
                 fcfg.campaign.runs,
                 if study.resumed > 0 {
@@ -257,10 +361,10 @@ fn run_command(args: &Args) -> Result<(), String> {
                 } else {
                     String::new()
                 }
-            );
-            emit(&study.render_aggregate(), args.markdown);
-            println!("Per-application breakdown:");
-            emit(&study.render(), args.markdown);
+            ));
+            rep.table(&study.render_aggregate());
+            rep.section("Per-application breakdown:");
+            rep.table(&study.render());
             let crashed: usize = study.rows.iter().map(|r| r.cell.faulted).sum();
             if crashed > 0 {
                 return Err(format!("{crashed} run(s) crashed inside the detector"));
@@ -281,12 +385,12 @@ fn run_command(args: &Args) -> Result<(), String> {
                 std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
             codec::encode(&trace, std::io::BufWriter::new(f))
                 .map_err(|e| format!("encode failed: {e}"))?;
-            println!(
+            rep.note(&format!(
                 "recorded {} ({} events, {} threads) to {path}",
                 app,
                 trace.len(),
                 trace.num_threads
-            );
+            ));
         }
         "replay" => {
             let path = args.file.as_deref().ok_or("replay needs --file <path>")?;
@@ -304,25 +408,25 @@ fn run_command(args: &Args) -> Result<(), String> {
                 other => return Err(format!("unknown detector: {other}")),
             };
             let run = execute(&kind, &trace, &[]);
-            println!(
+            rep.note(&format!(
                 "replayed {} events through {}: {} report(s)",
                 trace.len(),
                 kind.label(),
                 run.reports.len()
-            );
+            ));
             for r in run.reports.iter().take(20) {
-                println!("  {r}");
+                rep.note(&format!("  {r}"));
             }
             if run.reports.len() > 20 {
-                println!("  ... and {} more", run.reports.len() - 20);
+                rep.note(&format!("  ... and {} more", run.reports.len() - 20));
             }
         }
         "ablation" => {
             let a = ablation::run(&cfg);
-            println!("Ablation — barrier pruning (§3.5) and the §7 combination");
-            emit(&a.render_alarms(), args.markdown);
-            println!("Ablation — metadata management (§3.4) and monitoring cost (§1)");
-            emit(&a.render_costs(), args.markdown);
+            rep.section("Ablation — barrier pruning (§3.5) and the §7 combination");
+            rep.table(&a.render_alarms());
+            rep.section("Ablation — metadata management (§3.4) and monitoring cost (§1)");
+            rep.table(&a.render_costs());
         }
         "all" => {
             for cmd in [
@@ -339,28 +443,26 @@ fn run_command(args: &Args) -> Result<(), String> {
                 "workloads",
                 "cord",
             ] {
-                let sub = Args {
-                    command: cmd.into(),
-                    scale: args.scale,
-                    runs: args.runs,
-                    markdown: args.markdown,
-                    app: None,
-                    file: None,
-                    inject: None,
-                    detector: args.detector.clone(),
-                    mode: args.mode,
-                    rates: None,
-                    checkpoint: None,
-                    max_cycles: None,
-                    max_events: None,
-                };
-                run_command(&sub)?;
-                println!();
+                run_command(&args.sub(cmd), rep)?;
+                rep.gap();
             }
         }
         other => return Err(format!("unknown command: {other}")),
     }
     Ok(())
+}
+
+/// Installs the process-global JSONL recorder behind `--trace-out`.
+/// Returns the recorder so `main` can flush it after the command.
+fn install_trace_out(path: &str) -> Result<Arc<MemoryRecorder>, String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let rec = Arc::new(MemoryRecorder::with_jsonl(Box::new(
+        std::io::BufWriter::new(f),
+    )));
+    if !hard_obs::install(ObsHandle::new(rec.clone())) {
+        return Err("a global recorder is already installed".into());
+    }
+    Ok(rec)
 }
 
 fn main() -> ExitCode {
@@ -370,22 +472,43 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all> \
-                 [--scale F] [--runs N] [--markdown]\n       \
+                 [--scale F] [--runs N] [--format text|markdown|json] [--quiet] [--trace-out PATH]\n       \
                  hard-exp faults [--rates PPM,PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]\n       \
+                 hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]\n       \
                  hard-exp record --app <name> --file <path> [--inject SEED]\n       \
                  hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]"
             );
             return ExitCode::FAILURE;
         }
     };
-    match run_command(&args) {
+    let rep = Reporter::new(args.format, args.quiet);
+    let trace_rec = match args.trace_out.as_deref().map(install_trace_out) {
+        None => None,
+        Some(Ok(rec)) => Some(rec),
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run_command(&args, &rep);
+    if let Some(rec) = trace_rec {
+        if let Err(e) = rec.flush() {
+            eprintln!("warning: flushing --trace-out stream failed: {e}");
+        }
+        rep.note(&format!(
+            "trace-out: {} events recorded to {}",
+            rec.snapshot().events_recorded,
+            args.trace_out.as_deref().expect("trace_rec implies path")
+        ));
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             if e.starts_with("unknown command") {
                 eprintln!(
                     "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|\
-                     ablation|window|server|robustness|faults|verify|record|replay|all>"
+                     ablation|window|server|robustness|faults|obs|verify|record|replay|all>"
                 );
             }
             ExitCode::FAILURE

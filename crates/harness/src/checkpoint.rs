@@ -14,11 +14,18 @@
 //! is ignored rather than resumed into wrong results.
 //!
 //! ```text
-//! hard-faults-checkpoint v1
+//! hard-faults-checkpoint v2
 //! key runs=10 scale=1 quantum=16 rates=0,100,10000
-//! cell 0 barnes 9 0 0 1 0 0
-//! cell 100 barnes 8 0 0 1 4 12
+//! cell 0 barnes 9 0 0 1 0 0 41320 118
+//! cell 100 barnes 8 0 0 1 4 12 4098 117
 //! ```
+//!
+//! v2 appended the accumulated resource counters (`cycles`,
+//! `broadcasts`) to each cell: resuming must restore the *statistics*
+//! of completed cells, not just their position in the sweep, or the
+//! final aggregate tables silently under-count. A v1 file fails the
+//! magic check and is recomputed from scratch — wrong totals are worse
+//! than lost progress.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -26,8 +33,10 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
-/// The magic first line of every checkpoint file.
-const MAGIC: &str = "hard-faults-checkpoint v1";
+/// The magic first line of every checkpoint file. The version is part
+/// of the magic: a format change bumps it, and older files are
+/// recomputed rather than mis-parsed.
+const MAGIC: &str = "hard-faults-checkpoint v2";
 
 /// One durable campaign cell: the tallies of a `(fault rate, app)`
 /// pair.
@@ -47,6 +56,10 @@ pub struct Cell {
     pub resets: u64,
     /// Total faults injected across all runs.
     pub injected: u64,
+    /// Simulated cycles accumulated across all runs (v2).
+    pub cycles: u64,
+    /// §3.4 metadata broadcasts accumulated across all runs (v2).
+    pub broadcasts: u64,
 }
 
 /// A resumable record of completed campaign cells.
@@ -161,7 +174,7 @@ impl Checkpoint {
 
 fn render_cell(app: &str, cell: &Cell) -> String {
     format!(
-        "cell {} {} {} {} {} {} {} {}\n",
+        "cell {} {} {} {} {} {} {} {} {} {}\n",
         cell.rate_ppm,
         app,
         cell.detected,
@@ -169,7 +182,9 @@ fn render_cell(app: &str, cell: &Cell) -> String {
         cell.timed_out,
         cell.alarms,
         cell.resets,
-        cell.injected
+        cell.injected,
+        cell.cycles,
+        cell.broadcasts
     )
 }
 
@@ -188,6 +203,8 @@ fn parse_cell(line: &str) -> Option<(String, Cell)> {
         alarms: it.next()?.parse().ok()?,
         resets: it.next()?.parse().ok()?,
         injected: it.next()?.parse().ok()?,
+        cycles: it.next()?.parse().ok()?,
+        broadcasts: it.next()?.parse().ok()?,
     };
     if it.next().is_some() {
         return None; // trailing garbage: treat as corrupt
@@ -217,6 +234,8 @@ mod tests {
             alarms: 1,
             resets: 3,
             injected: 7,
+            cycles: 41_320,
+            broadcasts: 118,
         }
     }
 
@@ -273,6 +292,52 @@ mod tests {
         std::fs::write(&p, "some other format\ncell 0 barnes 1 2 3\n").unwrap();
         let cp = Checkpoint::load(&p, "k").unwrap();
         assert!(cp.is_empty());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn v1_files_are_recomputed_not_misparsed() {
+        // A v1 checkpoint predates the cycles/broadcasts counters; its
+        // cells cannot be restored faithfully, so the magic mismatch
+        // must discard it wholesale.
+        let p = tmp("v1");
+        std::fs::write(
+            &p,
+            "hard-faults-checkpoint v1\nkey k\ncell 0 barnes 9 0 0 1 3 7\n",
+        )
+        .unwrap();
+        let cp = Checkpoint::load(&p, "k").unwrap();
+        assert!(cp.is_empty(), "v1 files must not resume into v2 cells");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn resume_restores_accumulated_stats_counters() {
+        // Regression: resume used to be judged only by *position* (which
+        // cells exist); the accumulated statistics must round-trip too,
+        // or resumed sweeps under-count cycles/broadcasts/resets.
+        let p = tmp("stats");
+        let _ = std::fs::remove_file(&p);
+        let original = Cell {
+            rate_ppm: 500,
+            detected: 4,
+            faulted: 1,
+            timed_out: 2,
+            alarms: 9,
+            resets: 1_234,
+            injected: 5_678,
+            cycles: 9_999_999,
+            broadcasts: 4_242,
+        };
+        let mut cp = Checkpoint::load(&p, "k-stats").unwrap();
+        cp.record("ocean", original).unwrap();
+
+        let re = Checkpoint::load(&p, "k-stats").unwrap();
+        let restored = re.get(500, "ocean").expect("cell must be resumable");
+        assert_eq!(restored, original, "every accumulated counter survives");
+        assert_eq!(restored.cycles, 9_999_999);
+        assert_eq!(restored.broadcasts, 4_242);
+        assert_eq!(restored.resets, 1_234);
         let _ = std::fs::remove_file(&p);
     }
 }

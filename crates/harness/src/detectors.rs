@@ -5,7 +5,8 @@ use hard::{HardConfig, HardMachine, HbMachine, HbMachineConfig};
 use hard_hb::{IdealHappensBefore, IdealHbConfig};
 use hard_lockset::bloom_table::{BloomLockset, BloomLocksetConfig};
 use hard_lockset::{IdealLockset, IdealLocksetConfig};
-use hard_trace::{run_detector, RaceReport, Trace};
+use hard_obs::ObsHandle;
+use hard_trace::{run_detector_observed, RaceReport, Trace};
 use hard_types::Addr;
 use std::fmt;
 
@@ -89,12 +90,32 @@ pub struct DetectorRun {
 /// Runs `kind` over `trace`. `probes` are addresses of interest (the
 /// injected race's targets) whose metadata-loss status is recorded for
 /// miss classification.
+///
+/// The process-global observability handle
+/// ([`hard_obs::installed`]) is attached to the hardware machines, so
+/// a `--trace-out` style recorder sees every sweep without per-call
+/// plumbing. With no global recorder installed (the default) this is
+/// bit-identical to the pre-observability behaviour.
 #[must_use]
 pub fn execute(kind: &DetectorKind, trace: &Trace, probes: &[Addr]) -> DetectorRun {
+    execute_observed(kind, trace, probes, &hard_obs::installed())
+}
+
+/// [`execute`] with an explicit observability handle: the hardware
+/// machines emit their detection-pipeline metrics into `obs`, and
+/// trace events are classified into the per-op-class counters.
+#[must_use]
+pub fn execute_observed(
+    kind: &DetectorKind,
+    trace: &Trace,
+    probes: &[Addr],
+    obs: &ObsHandle,
+) -> DetectorRun {
     match kind {
         DetectorKind::Hard(cfg) => {
             let mut m = HardMachine::new(*cfg);
-            let reports = run_detector(&mut m, trace);
+            m.attach_recorder(obs.clone());
+            let reports = run_detector_observed(&mut m, trace, obs);
             DetectorRun {
                 reports,
                 meta_lost: probes.iter().map(|&a| m.was_meta_lost(a)).collect(),
@@ -102,7 +123,7 @@ pub fn execute(kind: &DetectorKind, trace: &Trace, probes: &[Addr]) -> DetectorR
         }
         DetectorKind::LocksetIdeal(cfg) => {
             let mut d = IdealLockset::new(*cfg);
-            let reports = run_detector(&mut d, trace);
+            let reports = run_detector_observed(&mut d, trace, obs);
             DetectorRun {
                 reports,
                 meta_lost: vec![false; probes.len()],
@@ -110,7 +131,8 @@ pub fn execute(kind: &DetectorKind, trace: &Trace, probes: &[Addr]) -> DetectorR
         }
         DetectorKind::HbHw(cfg) => {
             let mut m = HbMachine::new(*cfg);
-            let reports = run_detector(&mut m, trace);
+            m.attach_recorder(obs.clone());
+            let reports = run_detector_observed(&mut m, trace, obs);
             DetectorRun {
                 reports,
                 meta_lost: probes.iter().map(|&a| m.was_meta_lost(a)).collect(),
@@ -121,7 +143,7 @@ pub fn execute(kind: &DetectorKind, trace: &Trace, probes: &[Addr]) -> DetectorR
                 num_threads: trace.num_threads,
                 granularity: *granularity,
             });
-            let reports = run_detector(&mut d, trace);
+            let reports = run_detector_observed(&mut d, trace, obs);
             DetectorRun {
                 reports,
                 meta_lost: vec![false; probes.len()],
@@ -129,7 +151,7 @@ pub fn execute(kind: &DetectorKind, trace: &Trace, probes: &[Addr]) -> DetectorR
         }
         DetectorKind::BloomUnbounded(cfg) => {
             let mut d = BloomLockset::new(*cfg);
-            let reports = run_detector(&mut d, trace);
+            let reports = run_detector_observed(&mut d, trace, obs);
             DetectorRun {
                 reports,
                 meta_lost: vec![false; probes.len()],

@@ -110,16 +110,20 @@ fn compute_cell(app: App, rate_ppm: u32, cfg: &FaultsConfig) -> Cell {
         alarms: 0,
         resets: 0,
         injected: 0,
+        cycles: 0,
+        broadcasts: 0,
     };
 
     // False alarms on the race-free execution at this fault rate.
     let rf = race_free_trace(app, &cfg.campaign);
     let kind = hard_with_faults(rate_ppm, fault_seed(rate_ppm, app, usize::MAX >> 1));
     match execute_hardened(&kind, &rf, &[], cfg.limits) {
-        RunOutcome::Ok(run, fs) => {
+        RunOutcome::Ok(run, m) => {
             cell.alarms = alarm_sites(&run).len();
-            cell.resets += fs.conservative_resets;
-            cell.injected += fs.injected();
+            cell.resets += m.faults.conservative_resets;
+            cell.injected += m.faults.injected();
+            cell.cycles += m.cycles;
+            cell.broadcasts += m.meta_broadcasts;
         }
         RunOutcome::Faulted { .. } => cell.faulted += 1,
         RunOutcome::TimedOut { .. } => cell.timed_out += 1,
@@ -131,12 +135,14 @@ fn compute_cell(app: App, rate_ppm: u32, cfg: &FaultsConfig) -> Cell {
         let pr = probes(&injection);
         let kind = hard_with_faults(rate_ppm, fault_seed(rate_ppm, app, run_idx));
         match execute_hardened(&kind, &trace, &pr, cfg.limits) {
-            RunOutcome::Ok(run, fs) => {
+            RunOutcome::Ok(run, m) => {
                 if score(&run, &injection) == BugOutcome::Detected {
                     cell.detected += 1;
                 }
-                cell.resets += fs.conservative_resets;
-                cell.injected += fs.injected();
+                cell.resets += m.faults.conservative_resets;
+                cell.injected += m.faults.injected();
+                cell.cycles += m.cycles;
+                cell.broadcasts += m.meta_broadcasts;
             }
             RunOutcome::Faulted { .. } => cell.faulted += 1,
             RunOutcome::TimedOut { .. } => cell.timed_out += 1,
@@ -200,23 +206,50 @@ pub fn run(cfg: &FaultsConfig, mut checkpoint: Option<&mut Checkpoint>) -> Fault
     }
 }
 
+/// Aggregate tallies of one fault rate across all applications.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RateAgg {
+    /// Uniform fault rate in parts-per-million.
+    pub rate_ppm: u32,
+    /// Bugs detected across all apps.
+    pub detected: usize,
+    /// Source-level false alarms across all apps.
+    pub alarms: usize,
+    /// Conservative metadata resets.
+    pub resets: u64,
+    /// Runs that panicked inside the detector.
+    pub faulted: usize,
+    /// Runs that exceeded a deadline.
+    pub timed_out: usize,
+    /// Faults injected.
+    pub injected: u64,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// §3.4 metadata broadcasts issued.
+    pub broadcasts: u64,
+}
+
 impl FaultsStudy {
-    /// Aggregate tallies per rate, in sweep order: `(rate, detected,
-    /// alarms, resets, faulted, timed_out, injected)`.
+    /// Aggregate tallies per rate, in sweep order.
     #[must_use]
-    pub fn per_rate(&self) -> Vec<(u32, usize, usize, u64, usize, usize, u64)> {
-        let mut out: Vec<(u32, usize, usize, u64, usize, usize, u64)> = Vec::new();
+    pub fn per_rate(&self) -> Vec<RateAgg> {
+        let mut out: Vec<RateAgg> = Vec::new();
         for r in &self.rows {
-            if out.last().map(|o| o.0) != Some(r.cell.rate_ppm) {
-                out.push((r.cell.rate_ppm, 0, 0, 0, 0, 0, 0));
+            if out.last().map(|o| o.rate_ppm) != Some(r.cell.rate_ppm) {
+                out.push(RateAgg {
+                    rate_ppm: r.cell.rate_ppm,
+                    ..RateAgg::default()
+                });
             }
             let o = out.last_mut().expect("just pushed");
-            o.1 += r.cell.detected;
-            o.2 += r.cell.alarms;
-            o.3 += r.cell.resets;
-            o.4 += r.cell.faulted;
-            o.5 += r.cell.timed_out;
-            o.6 += r.cell.injected;
+            o.detected += r.cell.detected;
+            o.alarms += r.cell.alarms;
+            o.resets += r.cell.resets;
+            o.faulted += r.cell.faulted;
+            o.timed_out += r.cell.timed_out;
+            o.injected += r.cell.injected;
+            o.cycles += r.cell.cycles;
+            o.broadcasts += r.cell.broadcasts;
         }
         out
     }
@@ -233,6 +266,8 @@ impl FaultsStudy {
             "faults injected",
             "crashed",
             "timed out",
+            "cycles",
+            "meta broadcasts",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -244,6 +279,8 @@ impl FaultsStudy {
                 r.cell.injected.to_string(),
                 r.cell.faulted.to_string(),
                 r.cell.timed_out.to_string(),
+                r.cell.cycles.to_string(),
+                r.cell.broadcasts.to_string(),
             ]);
         }
         t
@@ -260,17 +297,21 @@ impl FaultsStudy {
             "faults injected",
             "crashed",
             "timed out",
+            "cycles",
+            "meta broadcasts",
         ]);
         let apps = App::all().len();
-        for (rate, detected, alarms, resets, faulted, timed_out, injected) in self.per_rate() {
+        for a in self.per_rate() {
             t.row(vec![
-                format!("{rate}ppm"),
-                format!("{detected}/{}", self.runs * apps),
-                alarms.to_string(),
-                resets.to_string(),
-                injected.to_string(),
-                faulted.to_string(),
-                timed_out.to_string(),
+                format!("{}ppm", a.rate_ppm),
+                format!("{}/{}", a.detected, self.runs * apps),
+                a.alarms.to_string(),
+                a.resets.to_string(),
+                a.injected.to_string(),
+                a.faulted.to_string(),
+                a.timed_out.to_string(),
+                a.cycles.to_string(),
+                a.broadcasts.to_string(),
             ]);
         }
         t
@@ -308,6 +349,8 @@ mod tests {
             assert_eq!(fr.cell.alarms, tr.hard.alarms, "{}", fr.app);
             assert_eq!(fr.cell.resets, 0, "{}", fr.app);
             assert_eq!(fr.cell.injected, 0, "{}", fr.app);
+            assert!(fr.cell.cycles > 0, "{}: runs consume cycles", fr.app);
+            assert!(fr.cell.broadcasts > 0, "{}: sharing broadcasts", fr.app);
         }
     }
 
@@ -322,11 +365,13 @@ mod tests {
         }
         let agg = study.per_rate();
         assert_eq!(agg.len(), 2);
-        assert_eq!(agg[0].6, 0, "zero rate injects nothing");
-        assert!(agg[1].6 > 0, "5% rate injects faults");
-        assert!(agg[1].3 > 0, "meta flips cause conservative resets");
+        assert_eq!(agg[0].injected, 0, "zero rate injects nothing");
+        assert!(agg[1].injected > 0, "5% rate injects faults");
+        assert!(agg[1].resets > 0, "meta flips cause conservative resets");
+        assert!(agg[0].cycles > 0 && agg[1].cycles > 0);
         let rendered = study.render_aggregate().to_string();
         assert!(rendered.contains("50000ppm"));
+        assert!(rendered.contains("cycles"));
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub mod claims;
 pub mod cord;
 pub mod faults;
 pub mod fig8;
+pub mod obs;
 pub mod robustness;
 pub mod server;
 pub mod table1;

@@ -1,6 +1,7 @@
 //! The §7 future-work evaluation: HARD on a server-style fork/join
 //! application ("apache and mysql"-shaped threading instead of
-//! barrier-phased SPLASH kernels).
+//! barrier-phased SPLASH kernels) — plus [`MetricsServer`], the
+//! Prometheus-style exposition endpoint behind `hard-exp obs --serve`.
 
 use crate::campaign::{alarm_sites, probes, score, BugOutcome, CampaignConfig};
 use crate::detectors::{execute, DetectorKind};
@@ -126,9 +127,109 @@ impl std::fmt::Display for ServerResult {
     }
 }
 
+/// A minimal HTTP/1.1 endpoint serving one Prometheus text-exposition
+/// body at `GET /metrics` (format version 0.0.4). Deliberately
+/// dependency-free and synchronous: the harness serves a finished
+/// campaign snapshot, not a live production stream.
+#[derive(Debug)]
+pub struct MetricsServer {
+    listener: std::net::TcpListener,
+}
+
+impl MetricsServer {
+    /// Binds the endpoint; `addr` is e.g. `127.0.0.1:9464` or
+    /// `127.0.0.1:0` for an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
+        Ok(MetricsServer {
+            listener: std::net::TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (reports the kernel-chosen port after an
+    /// `:0` bind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves `body` at `/metrics` until `max_requests` connections
+    /// have been handled (`None` serves forever). Any other path gets
+    /// a 404. Returns the number of requests served.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept/write errors; a client that disconnects mid-read
+    /// is skipped, not fatal.
+    pub fn serve(&self, body: &str, max_requests: Option<usize>) -> std::io::Result<usize> {
+        use std::io::{BufRead, BufReader, Write};
+        let mut served = 0;
+        for stream in self.listener.incoming() {
+            let mut stream = stream?;
+            let mut request_line = String::new();
+            if BufReader::new(&stream)
+                .read_line(&mut request_line)
+                .is_err()
+            {
+                continue;
+            }
+            let is_metrics = {
+                let mut parts = request_line.split_ascii_whitespace();
+                parts.next() == Some("GET")
+                    && matches!(parts.next(), Some(p) if p == "/metrics" || p.starts_with("/metrics?"))
+            };
+            let response = if is_metrics {
+                format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+            } else {
+                "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+                    .to_string()
+            };
+            stream.write_all(response.as_bytes())?;
+            served += 1;
+            if Some(served) == max_requests {
+                break;
+            }
+        }
+        Ok(served)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_endpoint_serves_exposition_and_404s_elsewhere() {
+        use std::io::{Read as _, Write as _};
+        let srv = MetricsServer::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = srv.local_addr().unwrap();
+        let body = "# TYPE hard_trace_events_total counter\nhard_trace_events_total 42\n";
+        let handle = std::thread::spawn(move || srv.serve(body, Some(2)).unwrap());
+
+        let fetch = |path: &str| {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ok = fetch("/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.contains("hard_trace_events_total 42"));
+        let missing = fetch("/else");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        assert_eq!(handle.join().unwrap(), 2);
+    }
 
     #[test]
     fn server_campaign_has_sensible_shape() {

@@ -23,6 +23,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod detectors;
 pub mod experiments;
+pub mod report;
 pub mod runner;
 pub mod table;
 
@@ -31,6 +32,7 @@ pub use campaign::{
     CampaignConfig, InjectMode,
 };
 pub use checkpoint::Checkpoint;
-pub use detectors::{execute, DetectorKind, DetectorRun};
-pub use runner::{execute_hardened, RunLimits, RunOutcome};
+pub use detectors::{execute, execute_observed, DetectorKind, DetectorRun};
+pub use report::{OutputFormat, Reporter};
+pub use runner::{execute_hardened, execute_hardened_observed, RunLimits, RunMetrics, RunOutcome};
 pub use table::TextTable;

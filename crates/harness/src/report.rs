@@ -1,0 +1,114 @@
+//! Uniform experiment output routing.
+//!
+//! Every `hard-exp` subcommand historically printed with ad-hoc
+//! `println!` calls, which made `--quiet` impossible and machine
+//! consumption fragile. [`Reporter`] is the single seam: prose
+//! (section headers, notes) and tables go through it, and the format
+//! and quiet flags apply uniformly.
+//!
+//! In [`OutputFormat::Json`] mode stdout carries *only* JSON lines
+//! (one object per table row, keyed by column header), so
+//! `hard-exp table2 --format json | jq` works; prose is demoted to
+//! stderr rather than corrupting the stream.
+
+use crate::table::TextTable;
+
+/// How tables are rendered to stdout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Aligned-column ASCII (the default).
+    #[default]
+    Text,
+    /// GitHub-flavoured markdown.
+    Markdown,
+    /// JSON Lines, one object per row; prose moves to stderr.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown format.
+    pub fn parse(s: &str) -> Result<OutputFormat, String> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "markdown" | "md" => Ok(OutputFormat::Markdown),
+            "json" | "jsonl" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format: {other} (text|markdown|json)")),
+        }
+    }
+}
+
+/// The shared output writer for experiment commands.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Reporter {
+    /// Table rendering format.
+    pub format: OutputFormat,
+    /// Suppress prose (sections and notes) entirely.
+    pub quiet: bool,
+}
+
+impl Reporter {
+    /// A reporter with the given format and quietness.
+    #[must_use]
+    pub fn new(format: OutputFormat, quiet: bool) -> Reporter {
+        Reporter { format, quiet }
+    }
+
+    /// A section header: one line of prose introducing a table.
+    pub fn section(&self, title: &str) {
+        if self.quiet {
+            return;
+        }
+        match self.format {
+            OutputFormat::Json => eprintln!("{title}"),
+            _ => println!("{title}"),
+        }
+    }
+
+    /// A free-form prose line (run summaries, per-report detail).
+    pub fn note(&self, text: &str) {
+        self.section(text);
+    }
+
+    /// A blank separator line (suppressed in quiet and JSON modes).
+    pub fn gap(&self) {
+        if !self.quiet && self.format != OutputFormat::Json {
+            println!();
+        }
+    }
+
+    /// Emits a table in the configured format. Tables are the payload:
+    /// `--quiet` never suppresses them.
+    pub fn table(&self, table: &TextTable) {
+        match self.format {
+            OutputFormat::Text => println!("{table}"),
+            OutputFormat::Markdown => println!("{}", table.to_markdown()),
+            OutputFormat::Json => print!("{}", table.to_json()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parses_all_spellings() {
+        assert_eq!(OutputFormat::parse("text"), Ok(OutputFormat::Text));
+        assert_eq!(OutputFormat::parse("markdown"), Ok(OutputFormat::Markdown));
+        assert_eq!(OutputFormat::parse("md"), Ok(OutputFormat::Markdown));
+        assert_eq!(OutputFormat::parse("json"), Ok(OutputFormat::Json));
+        assert_eq!(OutputFormat::parse("jsonl"), Ok(OutputFormat::Json));
+        assert!(OutputFormat::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn default_is_text_and_loud() {
+        let r = Reporter::default();
+        assert_eq!(r.format, OutputFormat::Text);
+        assert!(!r.quiet);
+    }
+}

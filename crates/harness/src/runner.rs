@@ -14,7 +14,8 @@ use hard::{HardMachine, HbMachine};
 use hard_hb::{IdealHappensBefore, IdealHbConfig};
 use hard_lockset::bloom_table::BloomLockset;
 use hard_lockset::IdealLockset;
-use hard_trace::{Detector, Trace};
+use hard_obs::ObsHandle;
+use hard_trace::{observe_event, Detector, Trace};
 use hard_types::{Addr, FaultStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -40,12 +41,29 @@ impl RunLimits {
     }
 }
 
+/// Resource accounting for one completed run: fault statistics plus
+/// the cycle/traffic attribution the observability spans carry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Fault-injection statistics (all-zero for detectors without a
+    /// fault layer).
+    pub faults: FaultStats,
+    /// Simulated cycles consumed (0 for untimed detectors).
+    pub cycles: u64,
+    /// Trace events dispatched.
+    pub events: u64,
+    /// §3.4 metadata broadcasts issued (hardware detectors only).
+    pub meta_broadcasts: u64,
+    /// L2 evictions, each losing a line's metadata (hardware detectors
+    /// only).
+    pub l2_evictions: u64,
+}
+
 /// The structured result of one hardened run.
 #[derive(Clone, Debug)]
 pub enum RunOutcome {
-    /// The run finished; fault statistics are all-zero for detectors
-    /// without a fault layer.
-    Ok(DetectorRun, FaultStats),
+    /// The run finished, with its resource metrics.
+    Ok(DetectorRun, RunMetrics),
     /// The detector panicked; the run is charged as a crash, not
     /// silently dropped.
     Faulted {
@@ -98,13 +116,21 @@ enum AnyDetector {
 }
 
 impl AnyDetector {
-    fn build(kind: &DetectorKind, trace: &Trace) -> AnyDetector {
+    fn build(kind: &DetectorKind, trace: &Trace, obs: &ObsHandle) -> AnyDetector {
         match kind {
-            DetectorKind::Hard(cfg) => AnyDetector::Hard(Box::new(HardMachine::new(*cfg))),
+            DetectorKind::Hard(cfg) => {
+                let mut m = Box::new(HardMachine::new(*cfg));
+                m.attach_recorder(obs.clone());
+                AnyDetector::Hard(m)
+            }
             DetectorKind::LocksetIdeal(cfg) => {
                 AnyDetector::LocksetIdeal(Box::new(IdealLockset::new(*cfg)))
             }
-            DetectorKind::HbHw(cfg) => AnyDetector::HbHw(Box::new(HbMachine::new(*cfg))),
+            DetectorKind::HbHw(cfg) => {
+                let mut m = Box::new(HbMachine::new(*cfg));
+                m.attach_recorder(obs.clone());
+                AnyDetector::HbHw(m)
+            }
             DetectorKind::HbIdeal { granularity } => {
                 AnyDetector::HbIdeal(Box::new(IdealHappensBefore::new(IdealHbConfig {
                     num_threads: trace.num_threads,
@@ -143,6 +169,16 @@ impl AnyDetector {
         }
     }
 
+    /// `(meta_broadcasts, l2_evictions)` for the hardware detectors;
+    /// the ideal detectors have no memory hierarchy.
+    fn traffic(&self) -> (u64, u64) {
+        match self {
+            AnyDetector::Hard(m) => (m.stats().meta_broadcasts, m.stats().l2_evictions),
+            AnyDetector::HbHw(m) => (m.stats().meta_broadcasts, m.stats().l2_evictions),
+            _ => (0, 0),
+        }
+    }
+
     fn finish(self, probes: &[Addr]) -> DetectorRun {
         match self {
             AnyDetector::Hard(m) => DetectorRun {
@@ -174,10 +210,15 @@ fn run_bounded(
     trace: &Trace,
     probes: &[Addr],
     limits: RunLimits,
+    obs: &ObsHandle,
 ) -> RunOutcome {
-    let mut d = AnyDetector::build(kind, trace);
+    let mut d = AnyDetector::build(kind, trace, obs);
+    let observing = obs.is_on();
     let mut events_done = 0u64;
     for (index, e) in trace.events.iter().enumerate() {
+        if observing {
+            observe_event(obs, e);
+        }
         d.on_event(index, e);
         events_done += 1;
         if events_done.is_multiple_of(DEADLINE_STRIDE) {
@@ -200,15 +241,24 @@ fn run_bounded(
             }
         }
     }
-    let stats = d.fault_stats();
-    RunOutcome::Ok(d.finish(probes), stats)
+    let (meta_broadcasts, l2_evictions) = d.traffic();
+    let metrics = RunMetrics {
+        faults: d.fault_stats(),
+        cycles: d.cycles(),
+        events: events_done,
+        meta_broadcasts,
+        l2_evictions,
+    };
+    RunOutcome::Ok(d.finish(probes), metrics)
 }
 
-/// Runs `kind` over `trace` with panic isolation and deadlines.
+/// Runs `kind` over `trace` with panic isolation and deadlines, using
+/// the process-global observability handle ([`hard_obs::installed`]).
 ///
-/// Unlimited, with a detector that completes, this produces exactly the
-/// reports of [`execute`](crate::detectors::execute) on the same
-/// inputs — the hardened path adds containment, not behaviour.
+/// Unlimited, with a detector that completes and no recorder
+/// installed, this produces exactly the reports of
+/// [`execute`](crate::detectors::execute) on the same inputs — the
+/// hardened path adds containment, not behaviour.
 #[must_use]
 pub fn execute_hardened(
     kind: &DetectorKind,
@@ -216,8 +266,25 @@ pub fn execute_hardened(
     probes: &[Addr],
     limits: RunLimits,
 ) -> RunOutcome {
-    match catch_unwind(AssertUnwindSafe(|| {
-        run_bounded(kind, trace, probes, limits)
+    execute_hardened_observed(kind, trace, probes, limits, &hard_obs::installed())
+}
+
+/// [`execute_hardened`] with an explicit observability handle: the
+/// whole run is wrapped in a `run:<detector>` span carrying
+/// cycle/event attribution, trace events are classified into
+/// per-op-class counters, and the hardware machines emit their
+/// detection-pipeline metrics.
+#[must_use]
+pub fn execute_hardened_observed(
+    kind: &DetectorKind,
+    trace: &Trace,
+    probes: &[Addr],
+    limits: RunLimits,
+    obs: &ObsHandle,
+) -> RunOutcome {
+    let timer = obs.span(|| format!("run:{}", kind.label()));
+    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+        run_bounded(kind, trace, probes, limits, obs)
     })) {
         Ok(outcome) => outcome,
         Err(payload) => {
@@ -228,7 +295,17 @@ pub fn execute_hardened(
                 .unwrap_or_else(|| "non-string panic payload".to_string());
             RunOutcome::Faulted { message }
         }
-    }
+    };
+    let (cycles, events) = match &outcome {
+        RunOutcome::Ok(_, m) => (m.cycles, m.events),
+        RunOutcome::TimedOut {
+            events_done,
+            cycles,
+        } => (*cycles, *events_done),
+        RunOutcome::Faulted { .. } => (0, 0),
+    };
+    obs.span_end(timer, cycles, events);
+    outcome
 }
 
 #[cfg(test)]
@@ -313,10 +390,64 @@ mod tests {
             &[Addr(0x1000)],
             RunLimits::unlimited(),
         );
-        let RunOutcome::Ok(_, stats) = out else {
+        let RunOutcome::Ok(_, m) = out else {
             panic!("degradation must absorb faults: {out:?}");
         };
-        assert!(stats.injected() > 0);
+        assert!(m.faults.injected() > 0);
+    }
+
+    #[test]
+    fn completed_runs_carry_resource_metrics() {
+        let trace = racy_trace();
+        let out = execute_hardened(
+            &DetectorKind::hard_default(),
+            &trace,
+            &[],
+            RunLimits::unlimited(),
+        );
+        let RunOutcome::Ok(_, m) = out else {
+            panic!("must complete: {out:?}");
+        };
+        assert_eq!(m.events, trace.len() as u64);
+        assert!(m.cycles > 0, "HARD is the timed detector");
+        assert_eq!(m.faults, hard_types::FaultStats::default());
+        // The untimed ideal detector reports zero cycles and traffic.
+        let out = execute_hardened(
+            &DetectorKind::lockset_ideal(),
+            &trace,
+            &[],
+            RunLimits::unlimited(),
+        );
+        let RunOutcome::Ok(_, m) = out else {
+            panic!("must complete")
+        };
+        assert_eq!((m.cycles, m.meta_broadcasts, m.l2_evictions), (0, 0, 0));
+        assert_eq!(m.events, trace.len() as u64);
+    }
+
+    #[test]
+    fn observed_run_matches_and_records_a_span() {
+        use hard_obs::{CounterId, MemoryRecorder, ObsHandle};
+        use std::sync::Arc;
+        let trace = racy_trace();
+        let kind = DetectorKind::hard_default();
+        let plain = execute_hardened(&kind, &trace, &[Addr(0x1000)], RunLimits::unlimited());
+        let rec = Arc::new(MemoryRecorder::new());
+        let obs = ObsHandle::new(rec.clone());
+        let observed =
+            execute_hardened_observed(&kind, &trace, &[Addr(0x1000)], RunLimits::unlimited(), &obs);
+        let (RunOutcome::Ok(a, ma), RunOutcome::Ok(b, mb)) = (&plain, &observed) else {
+            panic!("both must complete");
+        };
+        assert_eq!(a.reports, b.reports, "observability must not perturb");
+        assert_eq!(ma, mb);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(CounterId::TraceEvents), trace.len() as u64);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "run:HARD");
+        assert_eq!(snap.spans[0].cycles, ma.cycles);
+        assert_eq!(snap.spans[0].events, ma.events);
+        assert_eq!(snap.counter(CounterId::BroadcastsSent), ma.meta_broadcasts);
     }
 
     #[test]

@@ -59,6 +59,30 @@ impl TextTable {
         self.rows.is_empty()
     }
 
+    /// Renders as JSON Lines: one object per data row, keyed by the
+    /// column headers. This is the machine-readable form behind
+    /// `hard-exp --format json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use hard_obs::jsonl::escape;
+        let mut s = String::new();
+        for r in &self.rows {
+            s.push('{');
+            for (i, (h, c)) in self.headers.iter().zip(r).enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('"');
+                s.push_str(&escape(h));
+                s.push_str("\":\"");
+                s.push_str(&escape(c));
+                s.push('"');
+            }
+            s.push_str("}\n");
+        }
+        s
+    }
+
     /// Renders as a GitHub-flavoured markdown table.
     #[must_use]
     pub fn to_markdown(&self) -> String {
@@ -135,5 +159,25 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn rejects_ragged_rows() {
         TextTable::new(vec!["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_lines_parse_and_carry_the_cells() {
+        let mut t = TextTable::new(vec!["app", "bugs \"quoted\""]);
+        t.row(vec!["barnes".into(), "10/10".into()]);
+        t.row(vec!["fmm".into(), "9/10".into()]);
+        let js = t.to_json();
+        let lines: Vec<&str> = js.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = hard_obs::jsonl::parse(line).expect("row must be valid JSON");
+            assert!(v.get("app").and_then(|x| x.as_str()).is_some());
+        }
+        let first = hard_obs::jsonl::parse(lines[0]).unwrap();
+        assert_eq!(first.get("app").unwrap().as_str(), Some("barnes"));
+        assert_eq!(
+            first.get("bugs \"quoted\"").unwrap().as_str(),
+            Some("10/10")
+        );
     }
 }

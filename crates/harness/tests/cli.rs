@@ -169,6 +169,99 @@ fn faults_rejects_bad_rate_lists() {
 }
 
 #[test]
+fn obs_smoke_writes_valid_jsonl_and_metric_tables() {
+    let dir = std::env::temp_dir().join(format!("hard-exp-cli-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = hard_exp()
+        .args(["obs", "--smoke", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn obs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("candidate checks"), "{s}");
+    assert!(s.contains("run:HARD"), "{s}");
+    assert!(s.contains("smoke check OK"), "{s}");
+    // One JSONL stream per application, each line a valid envelope.
+    let mut streams = 0;
+    for entry in std::fs::read_dir(&dir).expect("out dir exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        streams += 1;
+        let text = std::fs::read_to_string(&path).expect("stream readable");
+        assert!(!text.is_empty(), "{} must not be empty", path.display());
+        for line in text.lines() {
+            hard_obs::jsonl::validate_event_line(line)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+    }
+    assert_eq!(streams, 6, "one stream per application");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_format_emits_parseable_rows_and_quiet_silences_prose() {
+    let out = hard_exp()
+        .args(["table1", "--format", "json", "--quiet"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(!s.is_empty());
+    for line in s.lines() {
+        let v = hard_obs::jsonl::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert!(
+            v.get("parameter").and_then(|x| x.as_str()).is_some(),
+            "{line}"
+        );
+    }
+    // Quiet JSON mode: stdout is pure data, no section headers anywhere.
+    assert!(!s.contains("Table 1"), "{s}");
+    assert!(out.stderr.is_empty(), "quiet suppresses prose entirely");
+}
+
+#[test]
+fn trace_out_streams_global_events() {
+    let path =
+        std::env::temp_dir().join(format!("hard-exp-cli-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let out = hard_exp()
+        .args([
+            "faults",
+            "--scale",
+            "0.05",
+            "--runs",
+            "1",
+            "--rates",
+            "0",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("trace-out file exists");
+    assert!(!text.is_empty(), "sweep must emit events");
+    for line in text.lines() {
+        hard_obs::jsonl::validate_event_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    }
+    assert!(
+        text.lines().any(|l| l.contains("\"kind\":\"span_end\"")),
+        "per-run spans reach the global stream"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn verify_passes_at_tiny_scale() {
     let out = hard_exp()
         .args(["verify", "--scale", "0.1", "--runs", "3"])

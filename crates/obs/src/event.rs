@@ -1,0 +1,234 @@
+//! Discrete detection-pipeline events.
+//!
+//! Events are the high-information complement to counters: each one
+//! names a specific line/granule/thread, and the JSONL stream of them
+//! is what `hard-exp obs` writes under `results/`. Payloads are raw
+//! integers — this crate cannot see the workspace's newtypes — so
+//! emit sites pass `addr.0`, `site.0`, `thread.0`.
+//!
+//! Construction is wrapped in a closure at every emit site
+//! ([`crate::ObsHandle::emit`]) so a disabled handle never builds the
+//! event at all.
+
+use crate::jsonl;
+
+/// One observable occurrence inside a machine or the harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A deduplicated race report.
+    Race {
+        /// Access address.
+        addr: u64,
+        /// Source site of the racing access.
+        site: u32,
+        /// Reporting thread.
+        thread: u32,
+    },
+    /// A candidate intersection emptied at this granule.
+    CandidateEmpty {
+        /// Line base address.
+        line: u64,
+        /// Granule index within the line.
+        granule: u32,
+        /// Accessing thread.
+        thread: u32,
+    },
+    /// A piggybacked metadata broadcast went out on the bus.
+    Broadcast {
+        /// Line base address.
+        line: u64,
+    },
+    /// An injected fault silently dropped a broadcast.
+    BroadcastDropped {
+        /// Line base address.
+        line: u64,
+    },
+    /// An injected fault deferred a broadcast.
+    BroadcastDelayed {
+        /// Line base address.
+        line: u64,
+        /// Events the delivery waits.
+        wait_events: u64,
+    },
+    /// An L2 eviction displaced a line (and possibly its metadata).
+    Displacement {
+        /// Victim line base address.
+        line: u64,
+        /// Valid metadata sectors lost with it.
+        sectors_lost: u32,
+    },
+    /// A refetched line found its metadata had been lost earlier.
+    RefetchAfterLoss {
+        /// Line base address.
+        line: u64,
+    },
+    /// Parity caught corrupt metadata; the granule was reset to the
+    /// conservative all-ones state.
+    ConservativeReset {
+        /// Line base address.
+        line: u64,
+        /// Granule index within the line.
+        granule: u32,
+    },
+    /// A corrupt lock register was rebuilt from the software shadow.
+    RegisterRebuild {
+        /// Owning thread.
+        thread: u32,
+    },
+    /// A barrier flash-reset swept the metadata (§3.5 pruning).
+    BarrierReset {
+        /// Granules visited by the sweep.
+        granules: u64,
+    },
+    /// A named span finished (harness phase attribution).
+    SpanEnd {
+        /// Span name, e.g. `detect/barnes`.
+        name: String,
+        /// Wall-clock duration in nanoseconds.
+        wall_ns: u64,
+        /// Simulated cycles attributed to the span (0 if untimed).
+        cycles: u64,
+        /// Trace events attributed to the span.
+        events: u64,
+    },
+}
+
+impl Event {
+    /// Stable kind tag used in the JSONL stream.
+    #[must_use]
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Event::Race { .. } => "race",
+            Event::CandidateEmpty { .. } => "candidate_empty",
+            Event::Broadcast { .. } => "broadcast",
+            Event::BroadcastDropped { .. } => "broadcast_dropped",
+            Event::BroadcastDelayed { .. } => "broadcast_delayed",
+            Event::Displacement { .. } => "displacement",
+            Event::RefetchAfterLoss { .. } => "refetch_after_loss",
+            Event::ConservativeReset { .. } => "conservative_reset",
+            Event::RegisterRebuild { .. } => "register_rebuild",
+            Event::BarrierReset { .. } => "barrier_reset",
+            Event::SpanEnd { .. } => "span_end",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    /// Every object carries `seq` and `kind`; the remaining keys are
+    /// kind-specific.
+    #[must_use]
+    pub fn to_json(&self, seq: u64) -> String {
+        let mut s = format!("{{\"seq\":{seq},\"kind\":\"{}\"", self.kind());
+        match self {
+            Event::Race { addr, site, thread } => {
+                push_num(&mut s, "addr", *addr);
+                push_num(&mut s, "site", u64::from(*site));
+                push_num(&mut s, "thread", u64::from(*thread));
+            }
+            Event::CandidateEmpty {
+                line,
+                granule,
+                thread,
+            } => {
+                push_num(&mut s, "line", *line);
+                push_num(&mut s, "granule", u64::from(*granule));
+                push_num(&mut s, "thread", u64::from(*thread));
+            }
+            Event::Broadcast { line }
+            | Event::BroadcastDropped { line }
+            | Event::RefetchAfterLoss { line } => {
+                push_num(&mut s, "line", *line);
+            }
+            Event::BroadcastDelayed { line, wait_events } => {
+                push_num(&mut s, "line", *line);
+                push_num(&mut s, "wait_events", *wait_events);
+            }
+            Event::Displacement { line, sectors_lost } => {
+                push_num(&mut s, "line", *line);
+                push_num(&mut s, "sectors_lost", u64::from(*sectors_lost));
+            }
+            Event::ConservativeReset { line, granule } => {
+                push_num(&mut s, "line", *line);
+                push_num(&mut s, "granule", u64::from(*granule));
+            }
+            Event::RegisterRebuild { thread } => {
+                push_num(&mut s, "thread", u64::from(*thread));
+            }
+            Event::BarrierReset { granules } => {
+                push_num(&mut s, "granules", *granules);
+            }
+            Event::SpanEnd {
+                name,
+                wall_ns,
+                cycles,
+                events,
+            } => {
+                s.push_str(",\"name\":\"");
+                s.push_str(&jsonl::escape(name));
+                s.push('"');
+                push_num(&mut s, "wall_ns", *wall_ns);
+                push_num(&mut s, "cycles", *cycles);
+                push_num(&mut s, "events", *events);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn push_num(s: &mut String, key: &str, v: u64) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(&v.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_renders_valid_json() {
+        let events = [
+            Event::Race {
+                addr: 0x1000,
+                site: 7,
+                thread: 1,
+            },
+            Event::CandidateEmpty {
+                line: 0x2000,
+                granule: 3,
+                thread: 0,
+            },
+            Event::Broadcast { line: 0x40 },
+            Event::BroadcastDropped { line: 0x40 },
+            Event::BroadcastDelayed {
+                line: 0x40,
+                wait_events: 16,
+            },
+            Event::Displacement {
+                line: 0x80,
+                sectors_lost: 2,
+            },
+            Event::RefetchAfterLoss { line: 0x80 },
+            Event::ConservativeReset {
+                line: 0xc0,
+                granule: 1,
+            },
+            Event::RegisterRebuild { thread: 2 },
+            Event::BarrierReset { granules: 4096 },
+            Event::SpanEnd {
+                name: "detect/\"barnes\"".to_string(),
+                wall_ns: 1234,
+                cycles: 99,
+                events: 10,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            let line = e.to_json(i as u64);
+            jsonl::validate_event_line(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            let v = jsonl::parse(&line).unwrap();
+            assert_eq!(v.get("seq").and_then(jsonl::Json::as_u64), Some(i as u64));
+            assert_eq!(v.get("kind").and_then(jsonl::Json::as_str), Some(e.kind()),);
+        }
+    }
+}

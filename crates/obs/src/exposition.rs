@@ -1,0 +1,162 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Builds the plain-text body served by the harness metrics endpoint:
+//! `# TYPE` headers, `name{labels} value` samples, and the
+//! `_bucket`/`_sum`/`_count` triplet for histograms. Only the subset
+//! of the format we emit is supported — counters, gauges, histograms,
+//! string-escaped label values.
+
+use crate::jsonl;
+use crate::recorder::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    const fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Accumulates samples and renders them grouped by metric name.
+#[derive(Default)]
+pub struct Exposition {
+    /// metric name -> (type, sample lines). BTreeMap keeps rendering
+    /// deterministic.
+    metrics: BTreeMap<String, (Kind, Vec<String>)>,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    #[must_use]
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn sample(&mut self, name: &str, kind: Kind, line: String) {
+        let entry = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (kind, Vec::new()));
+        debug_assert!(
+            entry.0 == kind,
+            "metric {name} registered twice with different types"
+        );
+        entry.1.push(line);
+    }
+
+    /// Adds one counter sample.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let line = format!("{name}{} {value}", fmt_labels(labels));
+        self.sample(name, Kind::Counter, line);
+    }
+
+    /// Adds one gauge sample.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let line = format!("{name}{} {value}", fmt_labels(labels));
+        self.sample(name, Kind::Gauge, line);
+    }
+
+    /// Adds one histogram (buckets, sum, count) under `name`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &HistogramSnapshot) {
+        let mut lines = Vec::with_capacity(h.buckets.len() + 3);
+        for &(le, cumulative) in &h.buckets {
+            let mut with_le: Vec<(&str, String)> =
+                labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+            with_le.push(("le", le.to_string()));
+            let borrowed: Vec<(&str, &str)> =
+                with_le.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            lines.push(format!(
+                "{name}_bucket{} {cumulative}",
+                fmt_labels(&borrowed)
+            ));
+        }
+        let mut inf: Vec<(&str, &str)> = labels.to_vec();
+        inf.push(("le", "+Inf"));
+        lines.push(format!("{name}_bucket{} {}", fmt_labels(&inf), h.count));
+        lines.push(format!("{name}_sum{} {}", fmt_labels(labels), h.sum));
+        lines.push(format!("{name}_count{} {}", fmt_labels(labels), h.count));
+        for line in lines {
+            self.sample(name, Kind::Histogram, line);
+        }
+    }
+
+    /// Adds every counter and histogram from a recorder snapshot,
+    /// tagged with `labels`. Zero-valued counters are included so the
+    /// full taxonomy is visible to scrapers.
+    pub fn add_snapshot(&mut self, labels: &[(&str, &str)], s: &Snapshot) {
+        for id in crate::CounterId::ALL {
+            self.counter(id.name(), labels, s.counter(id));
+        }
+        for h in &s.histograms {
+            self.histogram(h.id.name(), labels, h);
+        }
+    }
+
+    /// Renders the accumulated samples as a text-format body.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, (kind, lines)) in &self.metrics {
+            let _ = writeln!(out, "# TYPE {name} {}", kind.label());
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn fmt_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|&(k, v)| format!("{k}=\"{}\"", jsonl::escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{MemoryRecorder, Recorder};
+    use crate::{CounterId, HistId};
+
+    #[test]
+    fn renders_types_labels_and_histogram_triplets() {
+        let rec = MemoryRecorder::new();
+        rec.counter(CounterId::BroadcastsSent, 4);
+        rec.histogram(HistId::LockDepth, 1);
+        rec.histogram(HistId::LockDepth, 9);
+        let mut e = Exposition::new();
+        e.add_snapshot(&[("app", "barnes")], &rec.snapshot());
+        e.gauge("hard_runs", &[], 2.0);
+        let body = e.render();
+        assert!(body.contains("# TYPE hard_meta_broadcasts_total counter"));
+        assert!(body.contains("hard_meta_broadcasts_total{app=\"barnes\"} 4"));
+        // Zero counters still appear.
+        assert!(body.contains("hard_races_reported_total{app=\"barnes\"} 0"));
+        assert!(body.contains("# TYPE hard_lock_depth histogram"));
+        assert!(body.contains("hard_lock_depth_bucket{app=\"barnes\",le=\"1\"} 1"));
+        assert!(body.contains("hard_lock_depth_bucket{app=\"barnes\",le=\"+Inf\"} 2"));
+        assert!(body.contains("hard_lock_depth_sum{app=\"barnes\"} 10"));
+        assert!(body.contains("hard_lock_depth_count{app=\"barnes\"} 2"));
+        assert!(body.contains("# TYPE hard_runs gauge"));
+        assert!(body.contains("hard_runs 2"));
+        // Each TYPE header appears exactly once.
+        assert_eq!(body.matches("# TYPE hard_lock_depth histogram").count(), 1);
+    }
+}

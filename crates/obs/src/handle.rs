@@ -1,0 +1,164 @@
+//! The handle instrumentation sites call through.
+//!
+//! [`ObsHandle`] wraps `Option<Arc<dyn Recorder>>`. The off state is
+//! `None`: every operation is one discriminant test and event/span
+//! payloads are built inside closures that never run. Machines store
+//! a handle directly (it is `Clone + Debug + Default`, so `derive`d
+//! machine impls keep working) and cloning a machine shares its
+//! recorder.
+
+use crate::event::Event;
+use crate::metric::{CounterId, HistId};
+use crate::recorder::Recorder;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cheap, clonable handle to a [`Recorder`], or the inert default.
+#[derive(Clone, Default)]
+pub struct ObsHandle {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() {
+            "ObsHandle(on)"
+        } else {
+            "ObsHandle(off)"
+        })
+    }
+}
+
+impl ObsHandle {
+    /// The disabled handle: bit- and perf-inert.
+    #[must_use]
+    pub const fn off() -> ObsHandle {
+        ObsHandle { inner: None }
+    }
+
+    /// A handle delivering to `recorder`.
+    #[must_use]
+    pub fn new(recorder: Arc<dyn Recorder>) -> ObsHandle {
+        ObsHandle {
+            inner: Some(recorder),
+        }
+    }
+
+    /// True when a recorder is attached. Hot loops hoist this to skip
+    /// per-iteration payload preparation.
+    #[inline]
+    #[must_use]
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn counter(&self, id: CounterId, delta: u64) {
+        if let Some(r) = &self.inner {
+            r.counter(id, delta);
+        }
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn histogram(&self, id: HistId, value: u64) {
+        if let Some(r) = &self.inner {
+            r.histogram(id, value);
+        }
+    }
+
+    /// Records a discrete event; `build` runs only when the handle is
+    /// on, so the off path never constructs the event.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> Event) {
+        if let Some(r) = &self.inner {
+            r.event(&build());
+        }
+    }
+
+    /// Starts a named span. `name` runs only when the handle is on.
+    /// Pair with [`ObsHandle::span_end`].
+    #[must_use]
+    pub fn span(&self, name: impl FnOnce() -> String) -> SpanTimer {
+        SpanTimer {
+            open: self.inner.as_ref().map(|_| (name(), Instant::now())),
+        }
+    }
+
+    /// Finishes a span, attributing simulated `cycles` and trace
+    /// `events` to it. A timer started on an off handle is ignored.
+    pub fn span_end(&self, timer: SpanTimer, cycles: u64, events: u64) {
+        let Some((name, start)) = timer.open else {
+            return;
+        };
+        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(r) = &self.inner {
+            r.event(&Event::SpanEnd {
+                name,
+                wall_ns,
+                cycles,
+                events,
+            });
+        }
+    }
+}
+
+/// An open span started by [`ObsHandle::span`].
+#[derive(Debug)]
+pub struct SpanTimer {
+    open: Option<(String, Instant)>,
+}
+
+impl SpanTimer {
+    /// A timer that records nothing when ended.
+    #[must_use]
+    pub const fn inert() -> SpanTimer {
+        SpanTimer { open: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+
+    #[test]
+    fn off_handle_never_builds_payloads() {
+        let h = ObsHandle::off();
+        assert!(!h.is_on());
+        h.counter(CounterId::RacesReported, 1);
+        h.histogram(HistId::LockDepth, 1);
+        h.emit(|| unreachable!("off handle must not build events"));
+        let t = h.span(|| unreachable!("off handle must not name spans"));
+        h.span_end(t, 1, 1);
+    }
+
+    #[test]
+    fn on_handle_delivers_and_spans_time() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let h = ObsHandle::new(rec.clone());
+        assert!(h.is_on());
+        h.counter(CounterId::RacesReported, 2);
+        let t = h.span(|| "phase".to_string());
+        h.span_end(t, 10, 20);
+        let s = rec.snapshot();
+        assert_eq!(s.counter(CounterId::RacesReported), 2);
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].name, "phase");
+        assert_eq!(s.spans[0].cycles, 10);
+        assert_eq!(s.spans[0].events, 20);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let a = ObsHandle::new(rec.clone());
+        let b = a.clone();
+        a.counter(CounterId::TraceEvents, 1);
+        b.counter(CounterId::TraceEvents, 1);
+        assert_eq!(rec.snapshot().counter(CounterId::TraceEvents), 2);
+        assert_eq!(format!("{a:?}"), "ObsHandle(on)");
+        assert_eq!(format!("{:?}", ObsHandle::off()), "ObsHandle(off)");
+    }
+}

@@ -1,0 +1,85 @@
+//! Zero-cost observability for the HARD reproduction.
+//!
+//! The paper reasons about internal hardware events — bloom-filter
+//! saturation, metadata broadcasts on Shared-state reads, barrier
+//! flash-resets, conservative fault recovery — that coarse end-of-run
+//! structs like `MemStats` cannot show at runtime. This crate provides
+//! the event/counter/histogram/span primitives the machines and the
+//! harness emit into, behind a [`Recorder`] trait whose disabled form
+//! is bit- and perf-inert, mirroring the zero-rate fault plans of the
+//! fault layer: a machine holding [`ObsHandle::off`] pays one branch
+//! per instrumentation site and produces output identical to a machine
+//! built before this crate existed.
+//!
+//! Layering: `hard-obs` has **zero dependencies** so every crate in
+//! the workspace (including `hard-cache`, which otherwise depends only
+//! on `hard-types`) can emit into it. Events therefore carry raw
+//! `u64`/`u32` payloads; emit sites convert their `Addr`/`SiteId`
+//! newtypes at the boundary.
+//!
+//! The pieces:
+//!
+//! - [`CounterId`] / [`HistId`]: the closed metric taxonomy, each with
+//!   a stable Prometheus-style name (see `DESIGN.md` §6).
+//! - [`Event`]: discrete detection-pipeline occurrences, streamable as
+//!   JSON Lines.
+//! - [`Recorder`]: the sink trait. [`NoopRecorder`] discards
+//!   everything; [`MemoryRecorder`] keeps lock-free counters and
+//!   histograms, span records, and an optional JSONL writer.
+//! - [`ObsHandle`]: the cheap clonable handle instrumentation sites
+//!   call through. `off()` is the default everywhere.
+//! - [`install`] / [`installed`]: a process-global handle (like the
+//!   `log` crate's global logger) so `--trace-out` style flags reach
+//!   every sweep without threading handles through `Copy` configs.
+//! - [`jsonl`]: a minimal JSON encoder/parser used for the event
+//!   stream and its validation.
+//! - [`Exposition`]: Prometheus text-format rendering for the metrics
+//!   endpoint.
+
+mod event;
+mod exposition;
+mod handle;
+pub mod jsonl;
+mod metric;
+mod recorder;
+
+pub use event::Event;
+pub use exposition::Exposition;
+pub use handle::{ObsHandle, SpanTimer};
+pub use metric::{CounterId, HistId};
+pub use recorder::{
+    HistogramSnapshot, MemoryRecorder, NoopRecorder, Recorder, Snapshot, SpanRecord,
+};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<ObsHandle> = OnceLock::new();
+
+/// Installs the process-global handle. Returns `false` if one was
+/// already installed (the first install wins, like a global logger).
+pub fn install(handle: ObsHandle) -> bool {
+    GLOBAL.set(handle).is_ok()
+}
+
+/// The process-global handle, or [`ObsHandle::off`] if none was
+/// installed. Cheap: one `OnceLock` load plus an `Option<Arc>` clone.
+#[must_use]
+pub fn installed() -> ObsHandle {
+    GLOBAL.get().cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninstalled_global_is_off() {
+        // The global is process-wide, so this test only asserts the
+        // read path; `install` is exercised by the harness binary.
+        let h = installed();
+        // Either off (no other test installed one) or on; both are
+        // valid ObsHandle states and must not panic when used.
+        h.counter(CounterId::TraceEvents, 1);
+        h.emit(|| Event::RegisterRebuild { thread: 0 });
+    }
+}

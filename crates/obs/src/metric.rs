@@ -1,0 +1,197 @@
+//! The closed metric taxonomy.
+//!
+//! Metric identity is a dense enum rather than string keys so the hot
+//! path is an array index, never a hash lookup, and so the exposition
+//! endpoint can enumerate every metric even when its value is zero.
+//! Names follow Prometheus conventions (`_total` suffix on counters)
+//! and are part of the repo's documented surface (`DESIGN.md` §6).
+
+/// Monotonic counters incremented by the machines and the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Per-granule candidate-set evaluations (`lockset_access` calls).
+    CandidateChecks,
+    /// Evaluations whose candidate intersection emptied — the raw
+    /// race signal before site-level deduplication.
+    CandidateEmpties,
+    /// Deduplicated race reports pushed by a machine.
+    RacesReported,
+    /// Lock Register acquire operations.
+    LockAcquires,
+    /// Lock Register release operations.
+    LockReleases,
+    /// Barrier flash-reset sweeps (§3.5 pruning), one per barrier.
+    BarrierResets,
+    /// Granules conservatively reset to all-ones after a parity
+    /// detection (fault degradation path).
+    ConservativeResets,
+    /// Lock registers rebuilt from the software shadow.
+    RegisterRebuilds,
+    /// Piggybacked metadata broadcasts delivered on the bus (§3.4).
+    BroadcastsSent,
+    /// Broadcasts silently lost to an injected fault.
+    BroadcastsDropped,
+    /// Broadcasts deferred by an injected fault.
+    BroadcastsDelayed,
+    /// L1 miss fills (from L2 or memory).
+    CacheFills,
+    /// L2 evictions (capacity or spurious displacement).
+    L2Displacements,
+    /// Valid metadata sectors lost to those evictions (§3.6).
+    MetaLossLines,
+    /// Line refetches that found their metadata previously lost.
+    RefetchesAfterLoss,
+    /// Trace events dispatched to an observed detector.
+    TraceEvents,
+    /// Read accesses in the observed trace.
+    OpsRead,
+    /// Write accesses in the observed trace.
+    OpsWrite,
+    /// Synchronization events (lock/unlock/fork/join/barrier).
+    OpsSync,
+    /// Compute delay events.
+    OpsCompute,
+    /// Races reported by the happens-before assist machine.
+    HbRaces,
+}
+
+impl CounterId {
+    /// Every counter, in declaration (= index) order.
+    pub const ALL: [CounterId; 21] = [
+        CounterId::CandidateChecks,
+        CounterId::CandidateEmpties,
+        CounterId::RacesReported,
+        CounterId::LockAcquires,
+        CounterId::LockReleases,
+        CounterId::BarrierResets,
+        CounterId::ConservativeResets,
+        CounterId::RegisterRebuilds,
+        CounterId::BroadcastsSent,
+        CounterId::BroadcastsDropped,
+        CounterId::BroadcastsDelayed,
+        CounterId::CacheFills,
+        CounterId::L2Displacements,
+        CounterId::MetaLossLines,
+        CounterId::RefetchesAfterLoss,
+        CounterId::TraceEvents,
+        CounterId::OpsRead,
+        CounterId::OpsWrite,
+        CounterId::OpsSync,
+        CounterId::OpsCompute,
+        CounterId::HbRaces,
+    ];
+
+    /// Number of counters; sizes the recorder's atomic array.
+    pub const COUNT: usize = CounterId::ALL.len();
+
+    /// Dense index for array storage.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable Prometheus-style metric name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::CandidateChecks => "hard_candidate_checks_total",
+            CounterId::CandidateEmpties => "hard_candidate_empties_total",
+            CounterId::RacesReported => "hard_races_reported_total",
+            CounterId::LockAcquires => "hard_lock_acquires_total",
+            CounterId::LockReleases => "hard_lock_releases_total",
+            CounterId::BarrierResets => "hard_barrier_resets_total",
+            CounterId::ConservativeResets => "hard_conservative_resets_total",
+            CounterId::RegisterRebuilds => "hard_register_rebuilds_total",
+            CounterId::BroadcastsSent => "hard_meta_broadcasts_total",
+            CounterId::BroadcastsDropped => "hard_broadcasts_dropped_total",
+            CounterId::BroadcastsDelayed => "hard_broadcasts_delayed_total",
+            CounterId::CacheFills => "hard_cache_fills_total",
+            CounterId::L2Displacements => "hard_l2_displacements_total",
+            CounterId::MetaLossLines => "hard_meta_loss_lines_total",
+            CounterId::RefetchesAfterLoss => "hard_refetches_after_loss_total",
+            CounterId::TraceEvents => "hard_trace_events_total",
+            CounterId::OpsRead => "hard_ops_read_total",
+            CounterId::OpsWrite => "hard_ops_write_total",
+            CounterId::OpsSync => "hard_ops_sync_total",
+            CounterId::OpsCompute => "hard_ops_compute_total",
+            CounterId::HbRaces => "hard_hb_races_total",
+        }
+    }
+}
+
+/// Value-distribution histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum HistId {
+    /// Bloom candidate-vector population (set bits) observed at each
+    /// candidate check — the paper's filter-saturation signal.
+    BloomPopulation,
+    /// Lock Register nesting depth after each lock operation.
+    LockDepth,
+}
+
+impl HistId {
+    /// Every histogram, in declaration (= index) order.
+    pub const ALL: [HistId; 2] = [HistId::BloomPopulation, HistId::LockDepth];
+
+    /// Number of histograms; sizes the recorder's cell array.
+    pub const COUNT: usize = HistId::ALL.len();
+
+    /// Dense index for array storage.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable Prometheus-style metric name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            HistId::BloomPopulation => "hard_bloom_population_bits",
+            HistId::LockDepth => "hard_lock_depth",
+        }
+    }
+
+    /// Upper bucket bounds (inclusive, `le`); an implicit `+Inf`
+    /// bucket follows the last bound.
+    #[must_use]
+    pub const fn bounds(self) -> &'static [u64] {
+        match self {
+            HistId::BloomPopulation => &[0, 1, 2, 4, 8, 16, 32, 64],
+            HistId::LockDepth => &[0, 1, 2, 3, 4, 8],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_are_dense_and_ordered() {
+        for (i, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(CounterId::COUNT, CounterId::ALL.len());
+    }
+
+    #[test]
+    fn names_are_unique_and_prometheus_shaped() {
+        let mut names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate counter name");
+        for c in CounterId::ALL {
+            assert!(c.name().starts_with("hard_"));
+            assert!(c.name().ends_with("_total"));
+        }
+        for h in HistId::ALL {
+            assert_eq!(h.index(), h as usize);
+            assert!(h.name().starts_with("hard_"));
+            assert!(!h.bounds().is_empty());
+            assert!(h.bounds().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

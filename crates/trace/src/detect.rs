@@ -2,6 +2,8 @@
 //! workspace (HARD, ideal lockset, hardware and ideal happens-before).
 
 use crate::event::{Trace, TraceEvent};
+use crate::op::Op;
+use hard_obs::{CounterId, ObsHandle};
 use hard_types::{AccessKind, Addr, SiteId, ThreadId};
 use std::fmt;
 
@@ -87,6 +89,45 @@ pub trait Detector {
 /// ```
 pub fn run_detector<D: Detector + ?Sized>(detector: &mut D, trace: &Trace) -> Vec<RaceReport> {
     for (i, e) in trace.events.iter().enumerate() {
+        detector.on_event(i, e);
+    }
+    detector.reports().to_vec()
+}
+
+/// Classifies one trace event into the observability layer's
+/// per-op-class counters. One call per dispatched event; does nothing
+/// on an off handle.
+pub fn observe_event(obs: &ObsHandle, event: &TraceEvent) {
+    obs.counter(CounterId::TraceEvents, 1);
+    let class = match event {
+        TraceEvent::Op { op, .. } => match op {
+            Op::Read { .. } => CounterId::OpsRead,
+            Op::Write { .. } => CounterId::OpsWrite,
+            Op::Compute { .. } => CounterId::OpsCompute,
+            Op::Lock { .. }
+            | Op::Unlock { .. }
+            | Op::Fork { .. }
+            | Op::Join { .. }
+            | Op::Barrier { .. } => CounterId::OpsSync,
+        },
+        TraceEvent::BarrierComplete { .. } => CounterId::OpsSync,
+    };
+    obs.counter(class, 1);
+}
+
+/// [`run_detector`] with trace-level observability: each event is
+/// classified into `obs` before dispatch. With an off handle this is
+/// exactly `run_detector`.
+pub fn run_detector_observed<D: Detector + ?Sized>(
+    detector: &mut D,
+    trace: &Trace,
+    obs: &ObsHandle,
+) -> Vec<RaceReport> {
+    if !obs.is_on() {
+        return run_detector(detector, trace);
+    }
+    for (i, e) in trace.events.iter().enumerate() {
+        observe_event(obs, e);
         detector.on_event(i, e);
     }
     detector.reports().to_vec()

@@ -45,7 +45,7 @@ pub mod program;
 pub mod sched;
 pub mod stats;
 
-pub use detect::{run_detector, Detector, RaceReport};
+pub use detect::{observe_event, run_detector, run_detector_observed, Detector, RaceReport};
 pub use event::{Trace, TraceEvent};
 pub use op::Op;
 pub use program::{Program, ProgramBuilder, ThreadProgram};

@@ -137,6 +137,49 @@ impl FaultStats {
             + self.broadcasts_delayed
             + self.spurious_displacements
     }
+
+    /// Every field as a `(metric name, value)` pair, in declaration
+    /// order. The names follow the observability layer's Prometheus
+    /// conventions so the harness can expose fault telemetry without
+    /// hand-maintaining a parallel list.
+    #[must_use]
+    pub fn metric_pairs(&self) -> [(&'static str, u64); 9] {
+        [
+            (
+                "hard_faults_meta_bits_flipped_total",
+                self.meta_bits_flipped,
+            ),
+            (
+                "hard_faults_register_bits_flipped_total",
+                self.register_bits_flipped,
+            ),
+            (
+                "hard_faults_broadcasts_dropped_total",
+                self.broadcasts_dropped,
+            ),
+            (
+                "hard_faults_broadcasts_delayed_total",
+                self.broadcasts_delayed,
+            ),
+            (
+                "hard_faults_spurious_displacements_total",
+                self.spurious_displacements,
+            ),
+            (
+                "hard_faults_parity_detections_total",
+                self.parity_detections,
+            ),
+            (
+                "hard_faults_conservative_resets_total",
+                self.conservative_resets,
+            ),
+            (
+                "hard_faults_register_rebuilds_total",
+                self.register_rebuilds,
+            ),
+            ("hard_faults_internal_errors_total", self.internal_errors),
+        ]
+    }
 }
 
 /// Samples a [`FaultPlan`] through a private deterministic RNG.
@@ -274,6 +317,32 @@ mod tests {
         assert_eq!(m.conservative_resets, 1);
         assert_eq!(m.internal_errors, 4);
         assert_eq!(m.injected(), 5);
+    }
+
+    #[test]
+    fn metric_pairs_cover_every_field() {
+        let s = FaultStats {
+            meta_bits_flipped: 1,
+            register_bits_flipped: 2,
+            broadcasts_dropped: 3,
+            broadcasts_delayed: 4,
+            spurious_displacements: 5,
+            parity_detections: 6,
+            conservative_resets: 7,
+            register_rebuilds: 8,
+            internal_errors: 9,
+        };
+        let pairs = s.metric_pairs();
+        let total: u64 = pairs.iter().map(|&(_, v)| v).sum();
+        assert_eq!(total, 45, "each field appears exactly once");
+        let mut names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(pairs
+            .iter()
+            .all(|&(n, _)| n.starts_with("hard_faults_") && n.ends_with("_total")));
     }
 
     #[test]

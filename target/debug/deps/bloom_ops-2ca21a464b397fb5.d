@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_ops-2ca21a464b397fb5.d: crates/bench/benches/bloom_ops.rs
+
+/root/repo/target/debug/deps/bloom_ops-2ca21a464b397fb5: crates/bench/benches/bloom_ops.rs
+
+crates/bench/benches/bloom_ops.rs:

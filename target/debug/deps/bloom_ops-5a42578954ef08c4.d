@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bloom_ops-5a42578954ef08c4.d: crates/bench/benches/bloom_ops.rs
+
+/root/repo/target/debug/deps/bloom_ops-5a42578954ef08c4: crates/bench/benches/bloom_ops.rs
+
+crates/bench/benches/bloom_ops.rs:

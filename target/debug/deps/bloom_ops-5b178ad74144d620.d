@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bloom_ops-5b178ad74144d620.d: crates/bench/benches/bloom_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbloom_ops-5b178ad74144d620.rmeta: crates/bench/benches/bloom_ops.rs Cargo.toml
+
+crates/bench/benches/bloom_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_ops-01c715775af9561e.d: crates/bench/benches/cache_ops.rs
+
+/root/repo/target/debug/deps/cache_ops-01c715775af9561e: crates/bench/benches/cache_ops.rs
+
+crates/bench/benches/cache_ops.rs:

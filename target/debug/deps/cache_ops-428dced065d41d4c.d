@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_ops-428dced065d41d4c.d: crates/bench/benches/cache_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_ops-428dced065d41d4c.rmeta: crates/bench/benches/cache_ops.rs Cargo.toml
+
+crates/bench/benches/cache_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

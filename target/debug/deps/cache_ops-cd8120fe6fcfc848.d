@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_ops-cd8120fe6fcfc848.d: crates/bench/benches/cache_ops.rs
+
+/root/repo/target/debug/deps/cache_ops-cd8120fe6fcfc848: crates/bench/benches/cache_ops.rs
+
+crates/bench/benches/cache_ops.rs:

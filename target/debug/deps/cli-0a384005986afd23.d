@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-0a384005986afd23.d: crates/harness/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-0a384005986afd23.rmeta: crates/harness/tests/cli.rs Cargo.toml
+
+crates/harness/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_hard-exp=placeholder:hard-exp
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-a8883854e004bbd2.d: crates/harness/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-a8883854e004bbd2: crates/harness/tests/cli.rs
+
+crates/harness/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_hard-exp=/root/repo/target/debug/hard-exp

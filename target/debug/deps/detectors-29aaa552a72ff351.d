@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detectors-29aaa552a72ff351.d: crates/bench/benches/detectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetectors-29aaa552a72ff351.rmeta: crates/bench/benches/detectors.rs Cargo.toml
+
+crates/bench/benches/detectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detectors-57b1bf9b6b96fdf3.d: crates/bench/benches/detectors.rs
+
+/root/repo/target/debug/deps/detectors-57b1bf9b6b96fdf3: crates/bench/benches/detectors.rs
+
+crates/bench/benches/detectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detectors-77b4d0d2823293b6.d: crates/bench/benches/detectors.rs
+
+/root/repo/target/debug/deps/detectors-77b4d0d2823293b6: crates/bench/benches/detectors.rs
+
+crates/bench/benches/detectors.rs:

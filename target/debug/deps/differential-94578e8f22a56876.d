@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-94578e8f22a56876.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-94578e8f22a56876: tests/differential.rs
+
+tests/differential.rs:

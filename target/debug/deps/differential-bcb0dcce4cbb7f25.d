@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-bcb0dcce4cbb7f25.d: tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-bcb0dcce4cbb7f25.rmeta: tests/differential.rs Cargo.toml
+
+tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3642b4a41488f8e8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3642b4a41488f8e8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

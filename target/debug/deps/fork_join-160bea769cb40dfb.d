@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fork_join-160bea769cb40dfb.d: tests/fork_join.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfork_join-160bea769cb40dfb.rmeta: tests/fork_join.rs Cargo.toml
+
+tests/fork_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fork_join-cd668ba81236ee5e.d: tests/fork_join.rs
+
+/root/repo/target/debug/deps/fork_join-cd668ba81236ee5e: tests/fork_join.rs
+
+tests/fork_join.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_scale-62a3333009cbb1e3.d: tests/full_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_scale-62a3333009cbb1e3.rmeta: tests/full_scale.rs Cargo.toml
+
+tests/full_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

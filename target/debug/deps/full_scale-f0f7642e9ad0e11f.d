@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_scale-f0f7642e9ad0e11f.d: tests/full_scale.rs
+
+/root/repo/target/debug/deps/full_scale-f0f7642e9ad0e11f: tests/full_scale.rs
+
+tests/full_scale.rs:

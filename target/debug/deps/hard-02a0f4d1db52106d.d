@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hard-02a0f4d1db52106d.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+/root/repo/target/debug/deps/hard-02a0f4d1db52106d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/directory_machine.rs:
+crates/core/src/hb_machine.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/machine.rs:
+crates/core/src/metadata.rs:
+crates/core/src/software.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hard-845fcac1612d1c0a.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+/root/repo/target/debug/deps/libhard-845fcac1612d1c0a.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+/root/repo/target/debug/deps/libhard-845fcac1612d1c0a.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/directory_machine.rs:
+crates/core/src/hb_machine.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/machine.rs:
+crates/core/src/metadata.rs:
+crates/core/src/software.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hard-9006e52cf9b13551.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard-9006e52cf9b13551.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/directory_machine.rs:
+crates/core/src/hb_machine.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/machine.rs:
+crates/core/src/metadata.rs:
+crates/core/src/software.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_bench-23e20df40c538514.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_bench-23e20df40c538514.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_bench-6cebe3d4343596f9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hard_bench-6cebe3d4343596f9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_bench-a32845dc152955fa.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_bench-a32845dc152955fa.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

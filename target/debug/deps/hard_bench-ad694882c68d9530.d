@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hard_bench-ad694882c68d9530.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhard_bench-ad694882c68d9530.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhard_bench-ad694882c68d9530.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hard_bench-c8caf9baf2da7223.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhard_bench-c8caf9baf2da7223.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhard_bench-c8caf9baf2da7223.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_bench-d038b4a366a87da2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hard_bench-d038b4a366a87da2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

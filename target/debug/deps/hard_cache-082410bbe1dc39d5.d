@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hard_cache-082410bbe1dc39d5.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_cache-082410bbe1dc39d5.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/cstate.rs:
+crates/cache/src/directory.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/stats.rs:
+crates/cache/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

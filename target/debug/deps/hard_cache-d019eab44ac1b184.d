@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hard_cache-d019eab44ac1b184.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs
+
+/root/repo/target/debug/deps/libhard_cache-d019eab44ac1b184.rlib: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs
+
+/root/repo/target/debug/deps/libhard_cache-d019eab44ac1b184.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/cstate.rs:
+crates/cache/src/directory.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/stats.rs:
+crates/cache/src/timing.rs:

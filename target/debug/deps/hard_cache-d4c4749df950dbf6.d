@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hard_cache-d4c4749df950dbf6.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs
+
+/root/repo/target/debug/deps/hard_cache-d4c4749df950dbf6: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/cstate.rs:
+crates/cache/src/directory.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/stats.rs:
+crates/cache/src/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_exp-353a3edec9ea4ae8.d: crates/harness/src/bin/hard_exp.rs
+
+/root/repo/target/debug/deps/hard_exp-353a3edec9ea4ae8: crates/harness/src/bin/hard_exp.rs
+
+crates/harness/src/bin/hard_exp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_exp-5fe7b981d6fa0285.d: crates/harness/src/bin/hard_exp.rs
+
+/root/repo/target/debug/deps/hard_exp-5fe7b981d6fa0285: crates/harness/src/bin/hard_exp.rs
+
+crates/harness/src/bin/hard_exp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_exp-737929e0d298d204.d: crates/harness/src/bin/hard_exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_exp-737929e0d298d204.rmeta: crates/harness/src/bin/hard_exp.rs Cargo.toml
+
+crates/harness/src/bin/hard_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

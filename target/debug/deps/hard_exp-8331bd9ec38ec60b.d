@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_exp-8331bd9ec38ec60b.d: crates/harness/src/bin/hard_exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_exp-8331bd9ec38ec60b.rmeta: crates/harness/src/bin/hard_exp.rs Cargo.toml
+
+crates/harness/src/bin/hard_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

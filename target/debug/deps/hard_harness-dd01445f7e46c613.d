@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/hard_harness-dd01445f7e46c613.d: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/checkpoint.rs crates/harness/src/detectors.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/ablation.rs crates/harness/src/experiments/bloom_analysis.rs crates/harness/src/experiments/claims.rs crates/harness/src/experiments/cord.rs crates/harness/src/experiments/faults.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/obs.rs crates/harness/src/experiments/robustness.rs crates/harness/src/experiments/server.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table45.rs crates/harness/src/experiments/table6.rs crates/harness/src/experiments/window.rs crates/harness/src/experiments/workload_stats.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_harness-dd01445f7e46c613.rmeta: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/checkpoint.rs crates/harness/src/detectors.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/ablation.rs crates/harness/src/experiments/bloom_analysis.rs crates/harness/src/experiments/claims.rs crates/harness/src/experiments/cord.rs crates/harness/src/experiments/faults.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/obs.rs crates/harness/src/experiments/robustness.rs crates/harness/src/experiments/server.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table45.rs crates/harness/src/experiments/table6.rs crates/harness/src/experiments/window.rs crates/harness/src/experiments/workload_stats.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/table.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/campaign.rs:
+crates/harness/src/checkpoint.rs:
+crates/harness/src/detectors.rs:
+crates/harness/src/experiments/mod.rs:
+crates/harness/src/experiments/ablation.rs:
+crates/harness/src/experiments/bloom_analysis.rs:
+crates/harness/src/experiments/claims.rs:
+crates/harness/src/experiments/cord.rs:
+crates/harness/src/experiments/faults.rs:
+crates/harness/src/experiments/fig8.rs:
+crates/harness/src/experiments/obs.rs:
+crates/harness/src/experiments/robustness.rs:
+crates/harness/src/experiments/server.rs:
+crates/harness/src/experiments/table1.rs:
+crates/harness/src/experiments/table2.rs:
+crates/harness/src/experiments/table3.rs:
+crates/harness/src/experiments/table45.rs:
+crates/harness/src/experiments/table6.rs:
+crates/harness/src/experiments/window.rs:
+crates/harness/src/experiments/workload_stats.rs:
+crates/harness/src/report.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

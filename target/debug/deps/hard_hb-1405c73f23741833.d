@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hard_hb-1405c73f23741833.d: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_hb-1405c73f23741833.rmeta: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs Cargo.toml
+
+crates/hb/src/lib.rs:
+crates/hb/src/clock.rs:
+crates/hb/src/ideal.rs:
+crates/hb/src/meta.rs:
+crates/hb/src/scalar.rs:
+crates/hb/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

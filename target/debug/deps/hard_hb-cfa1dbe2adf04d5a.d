@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hard_hb-cfa1dbe2adf04d5a.d: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs
+
+/root/repo/target/debug/deps/libhard_hb-cfa1dbe2adf04d5a.rlib: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs
+
+/root/repo/target/debug/deps/libhard_hb-cfa1dbe2adf04d5a.rmeta: crates/hb/src/lib.rs crates/hb/src/clock.rs crates/hb/src/ideal.rs crates/hb/src/meta.rs crates/hb/src/scalar.rs crates/hb/src/sync.rs
+
+crates/hb/src/lib.rs:
+crates/hb/src/clock.rs:
+crates/hb/src/ideal.rs:
+crates/hb/src/meta.rs:
+crates/hb/src/scalar.rs:
+crates/hb/src/sync.rs:

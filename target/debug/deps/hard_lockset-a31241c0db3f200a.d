@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hard_lockset-a31241c0db3f200a.d: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_lockset-a31241c0db3f200a.rmeta: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs Cargo.toml
+
+crates/lockset/src/lib.rs:
+crates/lockset/src/bloom_table.rs:
+crates/lockset/src/ideal.rs:
+crates/lockset/src/meta.rs:
+crates/lockset/src/setrepr.rs:
+crates/lockset/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hard_lockset-c932372f6aa809e2.d: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+/root/repo/target/debug/deps/libhard_lockset-c932372f6aa809e2.rlib: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+/root/repo/target/debug/deps/libhard_lockset-c932372f6aa809e2.rmeta: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+crates/lockset/src/lib.rs:
+crates/lockset/src/bloom_table.rs:
+crates/lockset/src/ideal.rs:
+crates/lockset/src/meta.rs:
+crates/lockset/src/setrepr.rs:
+crates/lockset/src/state.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hard_lockset-d45a53f597540aee.d: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+/root/repo/target/debug/deps/hard_lockset-d45a53f597540aee: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+crates/lockset/src/lib.rs:
+crates/lockset/src/bloom_table.rs:
+crates/lockset/src/ideal.rs:
+crates/lockset/src/meta.rs:
+crates/lockset/src/setrepr.rs:
+crates/lockset/src/state.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hard_obs-500a5e3ed1863ca4.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_obs-500a5e3ed1863ca4.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/exposition.rs:
+crates/obs/src/handle.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hard_obs-8adf46d9c2ea4804.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/hard_obs-8adf46d9c2ea4804: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/exposition.rs:
+crates/obs/src/handle.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/recorder.rs:

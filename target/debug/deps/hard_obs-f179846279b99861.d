@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hard_obs-f179846279b99861.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/libhard_obs-f179846279b99861.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/libhard_obs-f179846279b99861.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/exposition.rs:
+crates/obs/src/handle.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/recorder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_repro-0b49e17a83f286f6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_repro-0b49e17a83f286f6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hard_repro-537a31c6d3775bf1.d: src/lib.rs
+
+/root/repo/target/debug/deps/hard_repro-537a31c6d3775bf1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hard_repro-9d2db224d1bc2ce9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_repro-9d2db224d1bc2ce9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hard_repro-b8cc32eabc930f25.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhard_repro-b8cc32eabc930f25.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhard_repro-b8cc32eabc930f25.rmeta: src/lib.rs
+
+src/lib.rs:

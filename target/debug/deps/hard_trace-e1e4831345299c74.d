@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hard_trace-e1e4831345299c74.d: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_trace-e1e4831345299c74.rmeta: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/detect.rs:
+crates/trace/src/event.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/sched.rs:
+crates/trace/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hard_trace-f6474d74a38382b2.d: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/hard_trace-f6474d74a38382b2: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/detect.rs:
+crates/trace/src/event.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/sched.rs:
+crates/trace/src/stats.rs:

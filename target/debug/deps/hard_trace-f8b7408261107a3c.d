@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hard_trace-f8b7408261107a3c.d: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_trace-f8b7408261107a3c.rmeta: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/detect.rs:
+crates/trace/src/event.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/sched.rs:
+crates/trace/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hard_workloads-7a96ebe42350a80f.d: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/server.rs crates/workloads/src/apps/water.rs crates/workloads/src/common.rs crates/workloads/src/inject.rs crates/workloads/src/layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhard_workloads-7a96ebe42350a80f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/server.rs crates/workloads/src/apps/water.rs crates/workloads/src/common.rs crates/workloads/src/inject.rs crates/workloads/src/layout.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps/mod.rs:
+crates/workloads/src/apps/barnes.rs:
+crates/workloads/src/apps/cholesky.rs:
+crates/workloads/src/apps/fmm.rs:
+crates/workloads/src/apps/ocean.rs:
+crates/workloads/src/apps/radix.rs:
+crates/workloads/src/apps/raytrace.rs:
+crates/workloads/src/apps/server.rs:
+crates/workloads/src/apps/water.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/inject.rs:
+crates/workloads/src/layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

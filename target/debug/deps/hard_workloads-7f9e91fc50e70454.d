@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hard_workloads-7f9e91fc50e70454.d: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/server.rs crates/workloads/src/apps/water.rs crates/workloads/src/common.rs crates/workloads/src/inject.rs crates/workloads/src/layout.rs
+
+/root/repo/target/debug/deps/hard_workloads-7f9e91fc50e70454: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/server.rs crates/workloads/src/apps/water.rs crates/workloads/src/common.rs crates/workloads/src/inject.rs crates/workloads/src/layout.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps/mod.rs:
+crates/workloads/src/apps/barnes.rs:
+crates/workloads/src/apps/cholesky.rs:
+crates/workloads/src/apps/fmm.rs:
+crates/workloads/src/apps/ocean.rs:
+crates/workloads/src/apps/radix.rs:
+crates/workloads/src/apps/raytrace.rs:
+crates/workloads/src/apps/server.rs:
+crates/workloads/src/apps/water.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/inject.rs:
+crates/workloads/src/layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_identity-8e931237c99a2219.d: crates/core/tests/obs_identity.rs
+
+/root/repo/target/debug/deps/obs_identity-8e931237c99a2219: crates/core/tests/obs_identity.rs
+
+crates/core/tests/obs_identity.rs:

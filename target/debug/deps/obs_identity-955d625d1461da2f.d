@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_identity-955d625d1461da2f.d: crates/core/tests/obs_identity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_identity-955d625d1461da2f.rmeta: crates/core/tests/obs_identity.rs Cargo.toml
+
+crates/core/tests/obs_identity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-6f93ffc29715a0db.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-6f93ffc29715a0db: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0afe0ee31e9f39a2.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0afe0ee31e9f39a2: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

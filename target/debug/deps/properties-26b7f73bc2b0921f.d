@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-26b7f73bc2b0921f.d: crates/lockset/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-26b7f73bc2b0921f.rmeta: crates/lockset/tests/properties.rs Cargo.toml
+
+crates/lockset/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4d051201816b9519.d: crates/hb/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4d051201816b9519: crates/hb/tests/properties.rs
+
+crates/hb/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6a8f82893ca904d7.d: crates/lockset/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6a8f82893ca904d7: crates/lockset/tests/properties.rs
+
+crates/lockset/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-887da268c664a6ac.d: crates/trace/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-887da268c664a6ac: crates/trace/tests/properties.rs
+
+crates/trace/tests/properties.rs:

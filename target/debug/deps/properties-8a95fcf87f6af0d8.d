@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8a95fcf87f6af0d8.d: crates/cache/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8a95fcf87f6af0d8: crates/cache/tests/properties.rs
+
+crates/cache/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c9d09c1207943d4d.d: crates/trace/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c9d09c1207943d4d.rmeta: crates/trace/tests/properties.rs Cargo.toml
+
+crates/trace/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

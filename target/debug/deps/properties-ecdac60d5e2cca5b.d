@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ecdac60d5e2cca5b.d: crates/hb/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ecdac60d5e2cca5b.rmeta: crates/hb/tests/properties.rs Cargo.toml
+
+crates/hb/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

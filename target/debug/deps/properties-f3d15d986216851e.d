@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f3d15d986216851e.d: crates/cache/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f3d15d986216851e.rmeta: crates/cache/tests/properties.rs Cargo.toml
+
+crates/cache/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

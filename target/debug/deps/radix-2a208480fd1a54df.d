@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/radix-2a208480fd1a54df.d: tests/radix.rs
+
+/root/repo/target/debug/deps/radix-2a208480fd1a54df: tests/radix.rs
+
+tests/radix.rs:

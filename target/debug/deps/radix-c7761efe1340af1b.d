@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/radix-c7761efe1340af1b.d: tests/radix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libradix-c7761efe1340af1b.rmeta: tests/radix.rs Cargo.toml
+
+tests/radix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reference_model-08a70ad93d361e1e.d: crates/cache/tests/reference_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreference_model-08a70ad93d361e1e.rmeta: crates/cache/tests/reference_model.rs Cargo.toml
+
+crates/cache/tests/reference_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

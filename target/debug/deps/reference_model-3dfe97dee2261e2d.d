@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reference_model-3dfe97dee2261e2d.d: crates/cache/tests/reference_model.rs
+
+/root/repo/target/debug/deps/reference_model-3dfe97dee2261e2d: crates/cache/tests/reference_model.rs
+
+crates/cache/tests/reference_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-46e6fc491c600e24.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/tables-46e6fc491c600e24: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

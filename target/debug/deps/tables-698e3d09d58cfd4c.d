@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-698e3d09d58cfd4c.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/tables-698e3d09d58cfd4c: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-482fabe65aa4c10c.d: crates/bench/benches/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-482fabe65aa4c10c.rmeta: crates/bench/benches/workloads.rs Cargo.toml
+
+crates/bench/benches/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

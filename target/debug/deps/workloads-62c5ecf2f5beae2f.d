@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-62c5ecf2f5beae2f.d: crates/bench/benches/workloads.rs
+
+/root/repo/target/debug/deps/workloads-62c5ecf2f5beae2f: crates/bench/benches/workloads.rs
+
+crates/bench/benches/workloads.rs:

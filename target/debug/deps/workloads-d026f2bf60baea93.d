@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-d026f2bf60baea93.d: crates/bench/benches/workloads.rs
+
+/root/repo/target/debug/deps/workloads-d026f2bf60baea93: crates/bench/benches/workloads.rs
+
+crates/bench/benches/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/barrier_pruning-3b196dc3ff40bc9a.d: examples/barrier_pruning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbarrier_pruning-3b196dc3ff40bc9a.rmeta: examples/barrier_pruning.rs Cargo.toml
+
+examples/barrier_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

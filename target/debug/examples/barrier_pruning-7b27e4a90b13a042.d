@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_pruning-7b27e4a90b13a042.d: examples/barrier_pruning.rs
+
+/root/repo/target/debug/examples/barrier_pruning-7b27e4a90b13a042: examples/barrier_pruning.rs
+
+examples/barrier_pruning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure1_interleaving-28c64b9cdf7265ab.d: examples/figure1_interleaving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure1_interleaving-28c64b9cdf7265ab.rmeta: examples/figure1_interleaving.rs Cargo.toml
+
+examples/figure1_interleaving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

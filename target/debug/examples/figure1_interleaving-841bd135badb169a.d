@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure1_interleaving-841bd135badb169a.d: examples/figure1_interleaving.rs
+
+/root/repo/target/debug/examples/figure1_interleaving-841bd135badb169a: examples/figure1_interleaving.rs
+
+examples/figure1_interleaving.rs:

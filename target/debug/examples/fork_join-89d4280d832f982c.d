@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fork_join-89d4280d832f982c.d: examples/fork_join.rs
+
+/root/repo/target/debug/examples/fork_join-89d4280d832f982c: examples/fork_join.rs
+
+examples/fork_join.rs:

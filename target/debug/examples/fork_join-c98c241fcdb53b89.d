@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fork_join-c98c241fcdb53b89.d: examples/fork_join.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfork_join-c98c241fcdb53b89.rmeta: examples/fork_join.rs Cargo.toml
+
+examples/fork_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_pruning-0d6a8226bed2aa91.d: examples/hybrid_pruning.rs
+
+/root/repo/target/debug/examples/hybrid_pruning-0d6a8226bed2aa91: examples/hybrid_pruning.rs
+
+examples/hybrid_pruning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_pruning-ba6b943aef92db21.d: examples/hybrid_pruning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_pruning-ba6b943aef92db21.rmeta: examples/hybrid_pruning.rs Cargo.toml
+
+examples/hybrid_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-548714b1d38e768a.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-548714b1d38e768a.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9283588fec6e3b22.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9283588fec6e3b22: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/splash_campaign-9a51714ce5cd25e2.d: examples/splash_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsplash_campaign-9a51714ce5cd25e2.rmeta: examples/splash_campaign.rs Cargo.toml
+
+examples/splash_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/splash_campaign-d4757b8c3d709617.d: examples/splash_campaign.rs
+
+/root/repo/target/debug/examples/splash_campaign-d4757b8c3d709617: examples/splash_campaign.rs
+
+examples/splash_campaign.rs:

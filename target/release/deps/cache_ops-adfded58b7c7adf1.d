@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_ops-adfded58b7c7adf1.d: crates/bench/benches/cache_ops.rs
+
+/root/repo/target/release/deps/cache_ops-adfded58b7c7adf1: crates/bench/benches/cache_ops.rs
+
+crates/bench/benches/cache_ops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0489ce97169b8c7b.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0489ce97169b8c7b.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0489ce97169b8c7b.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

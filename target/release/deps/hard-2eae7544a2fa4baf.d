@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hard-2eae7544a2fa4baf.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+/root/repo/target/release/deps/libhard-2eae7544a2fa4baf.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+/root/repo/target/release/deps/libhard-2eae7544a2fa4baf.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/directory_machine.rs crates/core/src/hb_machine.rs crates/core/src/hybrid.rs crates/core/src/machine.rs crates/core/src/metadata.rs crates/core/src/software.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/directory_machine.rs:
+crates/core/src/hb_machine.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/machine.rs:
+crates/core/src/metadata.rs:
+crates/core/src/software.rs:

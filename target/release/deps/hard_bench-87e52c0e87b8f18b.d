@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hard_bench-87e52c0e87b8f18b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhard_bench-87e52c0e87b8f18b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhard_bench-87e52c0e87b8f18b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hard_cache-88628447e2165206.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs
+
+/root/repo/target/release/deps/libhard_cache-88628447e2165206.rlib: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs
+
+/root/repo/target/release/deps/libhard_cache-88628447e2165206.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/cstate.rs crates/cache/src/directory.rs crates/cache/src/geometry.rs crates/cache/src/hierarchy.rs crates/cache/src/policy.rs crates/cache/src/stats.rs crates/cache/src/timing.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/cstate.rs:
+crates/cache/src/directory.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/stats.rs:
+crates/cache/src/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hard_exp-ce2f759080d1d306.d: crates/harness/src/bin/hard_exp.rs
+
+/root/repo/target/release/deps/hard_exp-ce2f759080d1d306: crates/harness/src/bin/hard_exp.rs
+
+crates/harness/src/bin/hard_exp.rs:

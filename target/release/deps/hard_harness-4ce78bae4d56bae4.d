@@ -1,0 +1,30 @@
+/root/repo/target/release/deps/hard_harness-4ce78bae4d56bae4.d: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/checkpoint.rs crates/harness/src/detectors.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/ablation.rs crates/harness/src/experiments/bloom_analysis.rs crates/harness/src/experiments/claims.rs crates/harness/src/experiments/cord.rs crates/harness/src/experiments/faults.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/obs.rs crates/harness/src/experiments/robustness.rs crates/harness/src/experiments/server.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table45.rs crates/harness/src/experiments/table6.rs crates/harness/src/experiments/window.rs crates/harness/src/experiments/workload_stats.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/table.rs
+
+/root/repo/target/release/deps/libhard_harness-4ce78bae4d56bae4.rlib: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/checkpoint.rs crates/harness/src/detectors.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/ablation.rs crates/harness/src/experiments/bloom_analysis.rs crates/harness/src/experiments/claims.rs crates/harness/src/experiments/cord.rs crates/harness/src/experiments/faults.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/obs.rs crates/harness/src/experiments/robustness.rs crates/harness/src/experiments/server.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table45.rs crates/harness/src/experiments/table6.rs crates/harness/src/experiments/window.rs crates/harness/src/experiments/workload_stats.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/table.rs
+
+/root/repo/target/release/deps/libhard_harness-4ce78bae4d56bae4.rmeta: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/checkpoint.rs crates/harness/src/detectors.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/ablation.rs crates/harness/src/experiments/bloom_analysis.rs crates/harness/src/experiments/claims.rs crates/harness/src/experiments/cord.rs crates/harness/src/experiments/faults.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/obs.rs crates/harness/src/experiments/robustness.rs crates/harness/src/experiments/server.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table45.rs crates/harness/src/experiments/table6.rs crates/harness/src/experiments/window.rs crates/harness/src/experiments/workload_stats.rs crates/harness/src/report.rs crates/harness/src/runner.rs crates/harness/src/table.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/campaign.rs:
+crates/harness/src/checkpoint.rs:
+crates/harness/src/detectors.rs:
+crates/harness/src/experiments/mod.rs:
+crates/harness/src/experiments/ablation.rs:
+crates/harness/src/experiments/bloom_analysis.rs:
+crates/harness/src/experiments/claims.rs:
+crates/harness/src/experiments/cord.rs:
+crates/harness/src/experiments/faults.rs:
+crates/harness/src/experiments/fig8.rs:
+crates/harness/src/experiments/obs.rs:
+crates/harness/src/experiments/robustness.rs:
+crates/harness/src/experiments/server.rs:
+crates/harness/src/experiments/table1.rs:
+crates/harness/src/experiments/table2.rs:
+crates/harness/src/experiments/table3.rs:
+crates/harness/src/experiments/table45.rs:
+crates/harness/src/experiments/table6.rs:
+crates/harness/src/experiments/window.rs:
+crates/harness/src/experiments/workload_stats.rs:
+crates/harness/src/report.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hard_lockset-3abdaf8832ed2da4.d: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+/root/repo/target/release/deps/libhard_lockset-3abdaf8832ed2da4.rlib: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+/root/repo/target/release/deps/libhard_lockset-3abdaf8832ed2da4.rmeta: crates/lockset/src/lib.rs crates/lockset/src/bloom_table.rs crates/lockset/src/ideal.rs crates/lockset/src/meta.rs crates/lockset/src/setrepr.rs crates/lockset/src/state.rs
+
+crates/lockset/src/lib.rs:
+crates/lockset/src/bloom_table.rs:
+crates/lockset/src/ideal.rs:
+crates/lockset/src/meta.rs:
+crates/lockset/src/setrepr.rs:
+crates/lockset/src/state.rs:

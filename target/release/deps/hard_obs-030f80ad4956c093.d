@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hard_obs-030f80ad4956c093.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs
+
+/root/repo/target/release/deps/libhard_obs-030f80ad4956c093.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs
+
+/root/repo/target/release/deps/libhard_obs-030f80ad4956c093.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/exposition.rs crates/obs/src/handle.rs crates/obs/src/jsonl.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/exposition.rs:
+crates/obs/src/handle.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/recorder.rs:

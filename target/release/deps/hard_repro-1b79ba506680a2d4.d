@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hard_repro-1b79ba506680a2d4.d: src/lib.rs
+
+/root/repo/target/release/deps/libhard_repro-1b79ba506680a2d4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhard_repro-1b79ba506680a2d4.rmeta: src/lib.rs
+
+src/lib.rs:

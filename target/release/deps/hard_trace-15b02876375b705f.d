@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hard_trace-15b02876375b705f.d: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libhard_trace-15b02876375b705f.rlib: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libhard_trace-15b02876375b705f.rmeta: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/detect.rs crates/trace/src/event.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/sched.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/detect.rs:
+crates/trace/src/event.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/sched.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hard_workloads-88acb060c252047f.d: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/server.rs crates/workloads/src/apps/water.rs crates/workloads/src/common.rs crates/workloads/src/inject.rs crates/workloads/src/layout.rs
+
+/root/repo/target/release/deps/libhard_workloads-88acb060c252047f.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/server.rs crates/workloads/src/apps/water.rs crates/workloads/src/common.rs crates/workloads/src/inject.rs crates/workloads/src/layout.rs
+
+/root/repo/target/release/deps/libhard_workloads-88acb060c252047f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/server.rs crates/workloads/src/apps/water.rs crates/workloads/src/common.rs crates/workloads/src/inject.rs crates/workloads/src/layout.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps/mod.rs:
+crates/workloads/src/apps/barnes.rs:
+crates/workloads/src/apps/cholesky.rs:
+crates/workloads/src/apps/fmm.rs:
+crates/workloads/src/apps/ocean.rs:
+crates/workloads/src/apps/radix.rs:
+crates/workloads/src/apps/raytrace.rs:
+crates/workloads/src/apps/server.rs:
+crates/workloads/src/apps/water.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/inject.rs:
+crates/workloads/src/layout.rs:
