@@ -86,11 +86,38 @@ fn bench_app(c: &mut Criterion, app: App) {
     g.finish();
 }
 
+/// End-to-end campaign cell: trace generation + all four Table 2
+/// detectors over one injected run, i.e. exactly the unit of work the
+/// parallel campaign engine schedules. This is the number the
+/// `hard-bench/v1` records track at macro scale.
+fn bench_full_app(c: &mut Criterion) {
+    let cfg = CampaignConfig::reduced(0.1, 1);
+    let app = App::WaterNsquared;
+    let (t, injection) = hard_harness::injected_trace(app, &cfg, 0);
+    let probes = hard_harness::probes(&injection);
+    let mut g = c.benchmark_group("detectors/full-app");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(t.len() as u64));
+    g.bench_function(app.name(), |b| {
+        b.iter(|| {
+            let mut detected = 0u32;
+            for kind in hard_harness::experiments::table2::detector_set() {
+                let run = hard_harness::execute(&kind, &t, &probes);
+                if hard_harness::score(&run, &injection) == hard_harness::BugOutcome::Detected {
+                    detected += 1;
+                }
+            }
+            detected
+        })
+    });
+    g.finish();
+}
+
 fn bench_detectors(c: &mut Criterion) {
     // One cache-resident app and one streaming app.
     bench_app(c, App::WaterNsquared);
     bench_app(c, App::Raytrace);
 }
 
-criterion_group!(benches, bench_detectors);
+criterion_group!(benches, bench_detectors, bench_full_app);
 criterion_main!(benches);

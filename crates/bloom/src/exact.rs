@@ -83,6 +83,26 @@ impl ExactSet {
         }
     }
 
+    /// In-place intersection; returns whether `self` changed.
+    ///
+    /// Equivalent to `*self = self.intersect(other)` but allocates
+    /// nothing in the common case where `self ⊆ other` (e.g. the same
+    /// lock set protects the variable on every access).
+    pub fn intersect_assign(&mut self, other: &ExactSet) -> bool {
+        match (&mut *self, other) {
+            (_, ExactSet::Universe) => false,
+            (ExactSet::Universe, finite) => {
+                *self = finite.clone();
+                true
+            }
+            (ExactSet::Finite(a), ExactSet::Finite(b)) => {
+                let before = a.len();
+                a.retain(|l| b.contains(l));
+                a.len() != before
+            }
+        }
+    }
+
     /// True iff the set is empty (the universe never is).
     #[must_use]
     pub fn is_empty_set(&self) -> bool {

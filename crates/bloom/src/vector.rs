@@ -81,12 +81,41 @@ impl BloomShape {
         }
     }
 
-    /// Mask selecting part `i` (0-based) of the vector.
+    /// Mask selecting part `i` (0-based) of the vector. Production code
+    /// goes through the branch-free [`BloomShape::has_empty_part`]; the
+    /// tests keep this literal per-part view as the reference model.
+    #[cfg(test)]
     #[must_use]
     fn part_mask(self, i: u32) -> u64 {
         debug_assert!(i < PARTS);
         let ones = (1u64 << self.part_len) - 1;
         ones << (i * self.part_len)
+    }
+
+    /// Mask with exactly the lowest bit of every part set.
+    #[must_use]
+    fn part_low_bits(self) -> u64 {
+        let mut lows = 0u64;
+        let mut i = 0;
+        while i < PARTS {
+            lows |= 1u64 << (i * self.part_len);
+            i += 1;
+        }
+        lows
+    }
+
+    /// Whether any part of `bits` is all-zero — the paper's emptiness
+    /// test as one branch-free word operation (the hardware is four
+    /// parallel NOR gates; this is the zero-field detection identity
+    /// `(v - lows) & !v & highs`, where `lows`/`highs` mark the
+    /// lowest/highest bit of each part).
+    ///
+    /// Bits of `bits` outside [`BloomShape::full_mask`] are ignored.
+    #[must_use]
+    pub fn has_empty_part(self, bits: u64) -> bool {
+        let lows = self.part_low_bits();
+        let highs = lows << (self.part_len - 1);
+        bits.wrapping_sub(lows) & !bits & highs != 0
     }
 
     /// Maps a lock address to its signature: the vector with exactly
@@ -239,7 +268,7 @@ impl BloomVector {
     /// never the other way around.
     #[must_use]
     pub fn is_empty_set(self) -> bool {
-        (0..PARTS).any(|i| self.bits & self.shape.part_mask(i) == 0)
+        self.shape.has_empty_part(self.bits)
     }
 
     /// Resets to "all possible locks" (barrier flash-clear, §3.5).
@@ -451,6 +480,34 @@ mod tests {
     fn flip_bit_rejects_out_of_range() {
         let mut v = BloomVector::empty(BloomShape::B16);
         v.flip_bit(16);
+    }
+
+    #[test]
+    fn branch_free_emptiness_matches_per_part_scan_exhaustively() {
+        // Every 16-bit pattern for B16; the word identity must agree
+        // with the literal four-part scan bit for bit.
+        let shape = BloomShape::B16;
+        for bits in 0..=0xFFFFu64 {
+            let scan = (0..PARTS).any(|i| bits & shape.part_mask(i) == 0);
+            assert_eq!(shape.has_empty_part(bits), scan, "bits {bits:#06x}");
+        }
+        // Spot-check the wider shapes, including the 64-bit edge where
+        // the top part touches the word boundary.
+        for shape in [BloomShape::B32, BloomShape::new(16)] {
+            for bits in [
+                0u64,
+                1,
+                shape.full_mask(),
+                shape.full_mask() - 1,
+                shape.part_low_bits(),
+                !shape.part_low_bits() & shape.full_mask(),
+                0x8000_0001,
+                0xAAAA_AAAA_AAAA_AAAA & shape.full_mask(),
+            ] {
+                let scan = (0..PARTS).any(|i| bits & shape.part_mask(i) == 0);
+                assert_eq!(shape.has_empty_part(bits), scan, "{shape} bits {bits:#x}");
+            }
+        }
     }
 
     #[test]

@@ -33,10 +33,20 @@ pub struct Evicted<M> {
 
 /// A set-associative cache with LRU replacement, generic over per-line
 /// metadata.
+///
+/// Storage is a single flat slot array of `num_sets × ways` entries in
+/// which each set occupies a fixed window and keeps its valid lines as
+/// a dense prefix (`lens[set]` of them). This replaces the former
+/// `Vec<Vec<Line>>` — every set walk is a short contiguous scan with no
+/// per-set heap indirection, and the array is allocated once at
+/// construction. Within a set the prefix order emulates `Vec` push /
+/// `swap_remove` exactly, so victim choice and global iteration order
+/// are bit-identical to the nested representation.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache<M> {
     geom: CacheGeometry,
-    sets: Vec<Vec<Line<M>>>,
+    slots: Vec<Option<Line<M>>>,
+    lens: Vec<u32>,
     tick: u64,
 }
 
@@ -44,9 +54,12 @@ impl<M> SetAssocCache<M> {
     /// An empty cache of the given geometry.
     #[must_use]
     pub fn new(geom: CacheGeometry) -> SetAssocCache<M> {
+        let sets = geom.num_sets() as usize;
+        let ways = geom.ways() as usize;
         SetAssocCache {
             geom,
-            sets: (0..geom.num_sets()).map(|_| Vec::new()).collect(),
+            slots: (0..sets * ways).map(|_| None).collect(),
+            lens: vec![0; sets],
             tick: 0,
         }
     }
@@ -60,7 +73,7 @@ impl<M> SetAssocCache<M> {
     /// Number of currently valid lines.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&n| n as usize).sum()
     }
 
     fn bump(&mut self) -> u64 {
@@ -68,12 +81,20 @@ impl<M> SetAssocCache<M> {
         self.tick
     }
 
+    /// The slot range holding `set`'s valid lines (its dense prefix).
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.geom.ways() as usize;
+        base..base + self.lens[set] as usize
+    }
+
     /// Looks up the line containing `addr` without touching LRU state.
     #[must_use]
     pub fn peek(&self, addr: Addr) -> Option<&Line<M>> {
         let line_addr = self.geom.line_of(addr);
-        self.sets[self.geom.set_index(line_addr)]
+        let range = self.set_range(self.geom.set_index(line_addr));
+        self.slots[range]
             .iter()
+            .flatten()
             .find(|l| l.addr == line_addr)
     }
 
@@ -81,8 +102,11 @@ impl<M> SetAssocCache<M> {
     pub fn probe(&mut self, addr: Addr) -> Option<&mut Line<M>> {
         let line_addr = self.geom.line_of(addr);
         let tick = self.bump();
-        let set = &mut self.sets[self.geom.set_index(line_addr)];
-        let line = set.iter_mut().find(|l| l.addr == line_addr)?;
+        let range = self.set_range(self.geom.set_index(line_addr));
+        let line = self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.addr == line_addr)?;
         line.lru = tick;
         Some(line)
     }
@@ -103,18 +127,23 @@ impl<M> SetAssocCache<M> {
         let line_addr = self.geom.line_of(addr);
         let ways = self.geom.ways() as usize;
         let tick = self.bump();
-        let set_idx = self.geom.set_index(line_addr);
-        let set = &mut self.sets[set_idx];
-        if set.iter().any(|l| l.addr == line_addr) {
+        let set = self.geom.set_index(line_addr);
+        let range = self.set_range(set);
+        if self.slots[range.clone()]
+            .iter()
+            .flatten()
+            .any(|l| l.addr == line_addr)
+        {
             return Err(HardError::DuplicateLine { line: line_addr });
         }
-        let victim = if set.len() >= ways {
-            set.iter()
+        let victim = if range.len() >= ways {
+            self.slots[range]
+                .iter()
                 .enumerate()
-                .min_by_key(|(_, l)| l.lru)
+                .min_by_key(|(_, l)| l.as_ref().map_or(u64::MAX, |l| l.lru))
                 .map(|(vi, _)| vi)
                 .map(|vi| {
-                    let v = set.swap_remove(vi);
+                    let v = self.swap_remove(set, vi);
                     Evicted {
                         addr: v.addr,
                         state: v.state,
@@ -124,32 +153,49 @@ impl<M> SetAssocCache<M> {
         } else {
             None
         };
-        self.sets[set_idx].push(Line {
+        let slot = set * ways + self.lens[set] as usize;
+        self.slots[slot] = Some(Line {
             addr: line_addr,
             state,
             meta,
             lru: tick,
         });
+        self.lens[set] += 1;
         Ok(victim)
+    }
+
+    /// Removes position `i` of `set`'s prefix, backfilling with the
+    /// last valid line — the `Vec::swap_remove` dance on the flat
+    /// window.
+    fn swap_remove(&mut self, set: usize, i: usize) -> Line<M> {
+        let base = set * self.geom.ways() as usize;
+        let last = self.lens[set] as usize - 1;
+        self.slots.swap(base + i, base + last);
+        self.lens[set] -= 1;
+        self.slots[base + last].take().expect("dense prefix")
     }
 
     /// Removes the line containing `addr`, returning it.
     pub fn remove(&mut self, addr: Addr) -> Option<Line<M>> {
         let line_addr = self.geom.line_of(addr);
-        let set = &mut self.sets[self.geom.set_index(line_addr)];
-        let i = set.iter().position(|l| l.addr == line_addr)?;
-        Some(set.swap_remove(i))
+        let set = self.geom.set_index(line_addr);
+        let range = self.set_range(set);
+        let i = self.slots[range]
+            .iter()
+            .flatten()
+            .position(|l| l.addr == line_addr)?;
+        Some(self.swap_remove(set, i))
     }
 
     /// Iterates over all valid lines.
     pub fn iter(&self) -> impl Iterator<Item = &Line<M>> {
-        self.sets.iter().flatten()
+        self.slots.iter().flatten()
     }
 
     /// Mutably iterates over all valid lines (for metadata flash
     /// operations such as HARD's barrier reset).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Line<M>> {
-        self.sets.iter_mut().flatten()
+        self.slots.iter_mut().flatten()
     }
 }
 

@@ -21,6 +21,12 @@ pub struct CacheGeometry {
     size_bytes: u64,
     ways: u32,
     line_bytes: u64,
+    // Derived shift/mask forms of the power-of-two parameters, kept so
+    // the per-access address arithmetic (several lookups per trace
+    // event across every hardware machine) compiles to shifts and
+    // masks instead of 64-bit divisions.
+    line_shift: u32,
+    set_mask: u64,
 }
 
 impl CacheGeometry {
@@ -53,6 +59,8 @@ impl CacheGeometry {
             size_bytes,
             ways,
             line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
         }
     }
 
@@ -77,19 +85,19 @@ impl CacheGeometry {
     /// Number of sets.
     #[must_use]
     pub fn num_sets(self) -> u64 {
-        self.size_bytes / self.line_bytes / u64::from(self.ways)
+        self.set_mask + 1
     }
 
     /// Line-aligned base address of the line containing `addr`.
     #[must_use]
     pub fn line_of(self, addr: Addr) -> Addr {
-        Addr(addr.0 & !(self.line_bytes - 1))
+        Addr(addr.0 >> self.line_shift << self.line_shift)
     }
 
     /// Set index of a (line-aligned or not) address.
     #[must_use]
     pub fn set_index(self, addr: Addr) -> usize {
-        ((addr.0 / self.line_bytes) & (self.num_sets() - 1)) as usize
+        ((addr.0 >> self.line_shift) & self.set_mask) as usize
     }
 
     /// Iterates over the line base addresses overlapped by the byte

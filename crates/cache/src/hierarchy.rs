@@ -13,8 +13,7 @@ use crate::geometry::CacheGeometry;
 use crate::policy::MetaFactory;
 use crate::stats::MemStats;
 use hard_obs::{CounterId, Event, ObsHandle};
-use hard_types::{AccessKind, Addr, CoreId, HardError};
-use std::collections::BTreeSet;
+use hard_types::{AccessKind, Addr, CoreId, FastHashSet, HardError};
 
 /// Hierarchy shape (Table 1 defaults).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,7 +88,7 @@ pub struct Hierarchy<F: MetaFactory> {
     l2: SetAssocCache<Vec<Option<F::Meta>>>,
     sectors: usize,
     stats: MemStats,
-    lost_meta: BTreeSet<Addr>,
+    lost_meta: FastHashSet<Addr>,
     eviction_log: Vec<Addr>,
     obs: ObsHandle,
 }
@@ -123,7 +122,7 @@ impl<F: MetaFactory> Hierarchy<F> {
             cfg,
             factory,
             stats: MemStats::default(),
-            lost_meta: BTreeSet::new(),
+            lost_meta: FastHashSet::default(),
             eviction_log: Vec::new(),
             obs: ObsHandle::off(),
         })

@@ -18,10 +18,9 @@ use crate::metadata::{HardLineMeta, HardMetaFactory};
 use hard_bloom::LockRegister;
 use hard_cache::policy::NullFactory;
 use hard_cache::{BusTimeline, Hierarchy, MemStats, MetaDirectory};
-use hard_lockset::{dummy_lock, fork_transfer, lockset_access};
+use hard_lockset::{dummy_lock, MAX_GRANULES};
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
-use hard_types::{AccessKind, Addr, CoreId, Cycles, LockId, SiteId, ThreadId};
-use std::collections::BTreeSet;
+use hard_types::{AccessKind, Addr, CoreId, Cycles, FastHashSet, LockId, SiteId, ThreadId};
 
 /// HARD with directory-resident metadata. See the [module docs](self).
 #[derive(Debug)]
@@ -32,7 +31,7 @@ pub struct DirectoryHardMachine {
     registers: Vec<LockRegister>,
     running: Vec<Option<ThreadId>>,
     reports: Vec<RaceReport>,
-    reported: BTreeSet<(Addr, SiteId)>,
+    reported: FastHashSet<(Addr, SiteId)>,
     core_time: Vec<u64>,
     bus: BusTimeline,
 }
@@ -67,7 +66,7 @@ impl DirectoryHardMachine {
             registers: (0..n).map(|_| LockRegister::new(cfg.bloom)).collect(),
             running: vec![None; n],
             reports: Vec::new(),
-            reported: BTreeSet::new(),
+            reported: FastHashSet::default(),
             core_time: vec![0; n],
             bus: BusTimeline::new(),
             cfg,
@@ -155,33 +154,30 @@ impl DirectoryHardMachine {
         let core = self.core_of(thread);
         let gran = self.cfg.granularity;
         let line_bytes = self.hierarchy.line_bytes();
-        let lines: Vec<Addr> = self
-            .cfg
-            .hierarchy
-            .l1
-            .lines_in(addr, u64::from(size))
-            .collect();
-        for line_addr in lines {
+        let geom = self.cfg.hierarchy.l1;
+        for line_addr in geom.lines_in(addr, u64::from(size)) {
             self.timed_ensure(core, line_addr, kind);
             // The directory round trip: get the line's metadata, run
             // the lockset update, put it back. Posted on the bus.
             let held = self.registers[thread.index()].vector();
-            let mut racy: Vec<Addr> = Vec::new();
+            let mut racy = [Addr(0); MAX_GRANULES];
+            let mut racy_count = 0usize;
             {
                 let meta: &mut HardLineMeta = self.directory.access(line_addr, core);
                 let lo = addr.0.max(line_addr.0);
                 let hi = (addr.0 + u64::from(size)).min(line_addr.0 + line_bytes);
                 for g in gran.granules_in(Addr(lo), hi - lo) {
                     let gi = ((g.0 - line_addr.0) / gran.bytes()) as usize;
-                    let out = lockset_access(&mut meta[gi], thread, kind, &held);
+                    let (_, out) = meta.access(gi, thread, kind, &held);
                     if out.race {
-                        racy.push(g);
+                        racy[racy_count] = g;
+                        racy_count += 1;
                     }
                 }
             }
             let occ = self.cfg.latency.meta_broadcast_occupancy;
             self.bus.acquire(self.core_time[core.index()], occ);
-            for g in racy {
+            for &g in &racy[..racy_count] {
                 if self.reported.insert((g, site)) {
                     self.reports.push(RaceReport {
                         addr,
@@ -226,11 +222,7 @@ impl Detector for DirectoryHardMachine {
                 Op::Lock { lock, .. } => self.on_lock_op(thread, lock, true),
                 Op::Unlock { lock, .. } => self.on_lock_op(thread, lock, false),
                 Op::Fork { child, .. } => {
-                    self.directory.flash(|meta| {
-                        for g in meta.iter_mut() {
-                            fork_transfer(g, thread);
-                        }
-                    });
+                    self.directory.flash(|meta| meta.fork_transfer_all(thread));
                     let c = self.core_of(thread).index();
                     while self.registers.len() <= child.index() {
                         self.registers.push(LockRegister::new(self.cfg.bloom));
@@ -258,12 +250,7 @@ impl Detector for DirectoryHardMachine {
                     *t = max;
                 }
                 if self.cfg.barrier_pruning {
-                    let shape = self.cfg.bloom;
-                    self.directory.flash(|meta| {
-                        for g in meta.iter_mut() {
-                            g.barrier_reset(shape);
-                        }
-                    });
+                    self.directory.flash(|meta| meta.barrier_reset_all());
                 }
             }
         }

@@ -12,8 +12,7 @@ use hard_cache::{Hierarchy, HierarchyConfig, MemStats};
 use hard_hb::{hb_access, SyncClocks};
 use hard_obs::{CounterId, Event, ObsHandle};
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
-use hard_types::{AccessKind, Addr, Granularity, SiteId, ThreadId};
-use std::collections::BTreeSet;
+use hard_types::{AccessKind, Addr, FastHashSet, Granularity, SiteId, ThreadId};
 
 /// Configuration of the hardware happens-before machine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,7 +81,7 @@ pub struct HbMachine {
     hierarchy: Hierarchy<HbMetaFactory>,
     sync: SyncClocks,
     reports: Vec<RaceReport>,
-    reported: BTreeSet<(Addr, SiteId)>,
+    reported: FastHashSet<(Addr, SiteId)>,
     obs: ObsHandle,
 }
 
@@ -114,7 +113,7 @@ impl HbMachine {
             hierarchy: Hierarchy::new(cfg.hierarchy, factory)?,
             sync: SyncClocks::new(n),
             reports: Vec::new(),
-            reported: BTreeSet::new(),
+            reported: FastHashSet::default(),
             obs: ObsHandle::off(),
             cfg,
         })
@@ -162,15 +161,9 @@ impl HbMachine {
     ) {
         let core = self.core_of(thread);
         let gran = self.cfg.granularity;
+        let geom = self.cfg.hierarchy.l1;
         let line_bytes = self.hierarchy.line_bytes();
-        let clock = self.sync.thread(thread).clone();
-        let lines: Vec<Addr> = self
-            .cfg
-            .hierarchy
-            .l1
-            .lines_in(addr, u64::from(size))
-            .collect();
-        for line_addr in lines {
+        for line_addr in geom.lines_in(addr, u64::from(size)) {
             if self.hierarchy.ensure(core, line_addr, kind).is_err() {
                 // This machine injects no faults, so a coherence error
                 // is a simulator bug; skip the access rather than
@@ -183,15 +176,29 @@ impl HbMachine {
             let mut changed = false;
             let mut racy: Vec<Addr> = Vec::new();
             {
+                // Field-disjoint borrows: the clock is read from `sync`
+                // while the line metadata is updated in `hierarchy` —
+                // no per-access clock clone.
+                let clock = self.sync.thread(thread);
+                let epoch = clock.get(thread);
                 let meta: &mut HbLineMeta = self
                     .hierarchy
                     .meta_mut(core, line_addr)
                     .expect("line was just ensured resident");
                 for g in gran.granules_in(Addr(lo), hi - lo) {
                     let gi = ((g.0 - line_addr.0) / gran.bytes()) as usize;
-                    let before = meta[gi].clone();
-                    let out = hb_access(&mut meta[gi], thread, &clock, kind);
-                    changed |= meta[gi] != before;
+                    let m = &mut meta[gi];
+                    // `hb_access` writes `last_write = (thread, epoch)`
+                    // and zeroes the thread's read epoch on a write, or
+                    // sets the read epoch on a read; the record changed
+                    // iff those slots held different values before.
+                    let g_changed = if kind.is_write() {
+                        m.last_write != Some((thread, epoch)) || m.read_epochs[thread.index()] != 0
+                    } else {
+                        m.read_epochs[thread.index()] != epoch
+                    };
+                    let out = hb_access(m, thread, clock, kind);
+                    changed |= g_changed;
                     if out.is_race() {
                         racy.push(g);
                     }

@@ -4,14 +4,14 @@ use crate::config::HardConfig;
 use crate::metadata::{HardLineMeta, HardMetaFactory};
 use hard_bloom::LockRegister;
 use hard_cache::{BusTimeline, Hierarchy, MemStats, ServedBy};
-use hard_lockset::{dummy_lock, fork_transfer, lockset_access, LState};
+use hard_lockset::{dummy_lock, MAX_GRANULES};
 use hard_obs::{CounterId, Event, HistId, ObsHandle};
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
 use hard_types::{
-    AccessKind, Addr, CoreId, Cycles, FaultInjector, FaultStats, HardError, LockId, SiteId,
-    ThreadId,
+    AccessKind, Addr, CoreId, Cycles, FastHashSet, FaultInjector, FaultStats, HardError, LockId,
+    SiteId, ThreadId,
 };
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 
 /// HARD: a CMP whose caches carry bloom-filter candidate sets and
 /// LStates, with per-core Lock/Counter Registers (paper §3).
@@ -51,18 +51,23 @@ pub struct HardMachine {
     /// accounting.
     running: Vec<Option<ThreadId>>,
     reports: Vec<RaceReport>,
-    reported: BTreeSet<(Addr, SiteId)>,
+    reported: FastHashSet<(Addr, SiteId)>,
     core_time: Vec<u64>,
     bus: BusTimeline,
     detection_enabled: bool,
     faults: FaultInjector,
     /// Granules whose stored metadata parity no longer matches —
-    /// corruption that has landed but not yet been read.
+    /// corruption that has landed but not yet been read. Only touched
+    /// while the fault plan is active; the detection hot path never
+    /// consults it on a fault-free machine.
     corrupt_meta: BTreeSet<(Addr, usize)>,
-    /// Threads whose lock-register parity no longer matches.
-    corrupt_registers: BTreeSet<usize>,
-    /// Delayed metadata broadcasts: `(due_event, source core, line)`.
-    pending_broadcasts: VecDeque<(u64, CoreId, Addr)>,
+    /// Per-thread flag: the lock-register parity no longer matches
+    /// (flat table indexed like `registers`).
+    corrupt_registers: Vec<bool>,
+    /// Delayed metadata broadcasts `(due_event, source core, line)`:
+    /// a flat FIFO drained from `pending_head`, compacted when empty.
+    pending_broadcasts: Vec<(u64, CoreId, Addr)>,
+    pending_head: usize,
     /// Trace events consumed (drives broadcast-delay delivery).
     event_count: u64,
     /// Observability sink; [`ObsHandle::off`] (the default) is bit-
@@ -100,14 +105,15 @@ impl HardMachine {
             shadow: (0..n).map(|_| Vec::new()).collect(),
             running: vec![None; n],
             reports: Vec::new(),
-            reported: BTreeSet::new(),
+            reported: FastHashSet::default(),
             core_time: vec![0; n],
             bus: BusTimeline::new(),
             detection_enabled: true,
             faults: FaultInjector::new(cfg.faults),
             corrupt_meta: BTreeSet::new(),
-            corrupt_registers: BTreeSet::new(),
-            pending_broadcasts: VecDeque::new(),
+            corrupt_registers: vec![false; n],
+            pending_broadcasts: Vec::new(),
+            pending_head: 0,
             event_count: 0,
             obs: ObsHandle::off(),
             cfg,
@@ -197,6 +203,7 @@ impl HardMachine {
         while self.registers.len() <= thread.index() {
             self.registers.push(LockRegister::new(self.cfg.bloom));
             self.shadow.push(Vec::new());
+            self.corrupt_registers.push(false);
         }
     }
 
@@ -205,7 +212,7 @@ impl HardMachine {
     /// lock shadow (the recovery path of the fault model).
     fn repair_register_if_corrupt(&mut self, thread: ThreadId) {
         let t = thread.index();
-        if self.corrupt_registers.remove(&t) {
+        if std::mem::take(&mut self.corrupt_registers[t]) {
             self.registers[t].rebuild_from(&self.shadow[t]);
             self.faults.stats.parity_detections += 1;
             self.faults.stats.register_rebuilds += 1;
@@ -261,7 +268,8 @@ impl HardMachine {
         site: SiteId,
     ) {
         let core = self.core_of(thread);
-        if self.faults.is_active() {
+        let faults_active = self.faults.is_active();
+        if faults_active {
             self.repair_register_if_corrupt(thread);
         }
         let line_bytes = self.hierarchy.line_bytes();
@@ -271,13 +279,11 @@ impl HardMachine {
         let obs_on = self.obs.is_on();
         let mut candidate_checks = 0u64;
         let mut candidate_empties = 0u64;
-        let lines: Vec<Addr> = self
-            .cfg
-            .hierarchy
-            .l1
-            .lines_in(addr, u64::from(size))
-            .collect();
-        for line_addr in lines {
+        // The L1 geometry is `Copy`: iterating a local copy's line
+        // walk avoids collecting the (almost always singleton) line
+        // list into a heap vector on every access.
+        let geom = self.cfg.hierarchy.l1;
+        for line_addr in geom.lines_in(addr, u64::from(size)) {
             if self.timed_ensure(core, line_addr, kind).is_none() {
                 continue;
             }
@@ -287,7 +293,10 @@ impl HardMachine {
             let hi = (addr.0 + u64::from(size)).min(line_addr.0 + line_bytes);
             let held = self.registers[thread.index()].vector();
             let mut changed = false;
-            let mut racy_granules: Vec<Addr> = Vec::new();
+            // Inline scratch: a line has at most MAX_GRANULES granules,
+            // so the racy set never needs a heap allocation.
+            let mut racy_granules = [Addr(0); MAX_GRANULES];
+            let mut racy_count = 0usize;
             {
                 let Some(meta): Option<&mut HardLineMeta> =
                     self.hierarchy.meta_mut(core, line_addr)
@@ -305,12 +314,11 @@ impl HardMachine {
                     // read: fall back to the safe state the hardware
                     // fetches lines with (§3.1) — all-ones candidate
                     // set, no sharing history — rather than trust
-                    // corrupt evidence.
-                    if self.corrupt_meta.remove(&(line_addr, gi)) {
-                        let gm = &mut meta[gi];
-                        gm.candidate.reset_full();
-                        gm.state = LState::Virgin;
-                        gm.owner = None;
+                    // corrupt evidence. The side table is only ever
+                    // populated while faults are active, so the
+                    // fault-free hot path skips the lookup entirely.
+                    if faults_active && self.corrupt_meta.remove(&(line_addr, gi)) {
+                        meta.degrade(gi);
                         self.faults.stats.parity_detections += 1;
                         self.faults.stats.conservative_resets += 1;
                         self.obs.counter(CounterId::ConservativeResets, 1);
@@ -325,15 +333,14 @@ impl HardMachine {
                     // across copies, so any metadata change on a shared
                     // line is broadcast — including pure state
                     // transitions (e.g. Virgin→Exclusive on a read).
-                    let before = meta[gi].clone();
-                    let out = lockset_access(&mut meta[gi], thread, kind, &held);
-                    changed |= meta[gi] != before;
+                    // On the packed words, change detection is a single
+                    // XOR instead of a clone-and-compare.
+                    let (granule_changed, out) = meta.access(gi, thread, kind, &held);
+                    changed |= granule_changed;
                     if obs_on {
                         candidate_checks += 1;
-                        self.obs.histogram(
-                            HistId::BloomPopulation,
-                            u64::from(meta[gi].candidate.bits().count_ones()),
-                        );
+                        self.obs
+                            .histogram(HistId::BloomPopulation, u64::from(meta.population(gi)));
                         if out.race {
                             candidate_empties += 1;
                             self.obs.emit(|| Event::CandidateEmpty {
@@ -344,7 +351,8 @@ impl HardMachine {
                         }
                     }
                     if out.race {
-                        racy_granules.push(g);
+                        racy_granules[racy_count] = g;
+                        racy_count += 1;
                     }
                 }
             }
@@ -367,11 +375,8 @@ impl HardMachine {
                             line: line_addr.0,
                             wait_events: wait,
                         });
-                        self.pending_broadcasts.push_back((
-                            self.event_count + wait,
-                            core,
-                            line_addr,
-                        ));
+                        self.pending_broadcasts
+                            .push((self.event_count + wait, core, line_addr));
                         deliver = false;
                     }
                 }
@@ -387,7 +392,7 @@ impl HardMachine {
                     }
                 }
             }
-            for g in racy_granules {
+            for &g in &racy_granules[..racy_count] {
                 if self.reported.insert((g, site)) {
                     self.reports.push(RaceReport {
                         addr,
@@ -454,13 +459,10 @@ impl HardMachine {
             *t = max;
         }
         if self.cfg.barrier_pruning {
-            let shape = self.cfg.bloom;
             let mut granules = 0u64;
             self.hierarchy.flash_meta(|meta| {
-                for g in meta.iter_mut() {
-                    g.barrier_reset(shape);
-                    granules += 1;
-                }
+                granules += meta.len() as u64;
+                meta.barrier_reset_all();
             });
             // The flash rewrite regenerates every metadata word's
             // parity, clearing any corruption still in flight.
@@ -476,11 +478,12 @@ impl HardMachine {
     /// this code (or the injector's RNG).
     fn fault_tick(&mut self) {
         self.event_count += 1;
-        while let Some(&(due, core, line)) = self.pending_broadcasts.front() {
+        while self.pending_head < self.pending_broadcasts.len() {
+            let (due, core, line) = self.pending_broadcasts[self.pending_head];
             if due > self.event_count {
                 break;
             }
-            self.pending_broadcasts.pop_front();
+            self.pending_head += 1;
             if self.hierarchy.sharers(line) > 0 && self.hierarchy.broadcast_meta(core, line).is_ok()
             {
                 let occ = self.cfg.latency.meta_broadcast_occupancy;
@@ -491,6 +494,12 @@ impl HardMachine {
                 // exactly like a dropped one.
                 self.faults.stats.broadcasts_dropped += 1;
             }
+        }
+        // Compact the FIFO once fully drained so the backing vector
+        // never grows beyond the peak number of in-flight delays.
+        if self.pending_head == self.pending_broadcasts.len() && self.pending_head > 0 {
+            self.pending_broadcasts.clear();
+            self.pending_head = 0;
         }
         if self.faults.roll_meta_flip() {
             self.inject_meta_flip();
@@ -526,12 +535,10 @@ impl HardMachine {
             return;
         };
         let gi = self.faults.pick(meta.len());
-        let gm = &mut meta[gi];
-        if bit < vector_bits {
-            gm.candidate.flip_bit(bit);
-        } else {
-            gm.state = LState::decode(gm.state.encode() ^ (1 << (bit - vector_bits)));
-        }
+        // Bits [0, V) are the candidate vector, [V, V+2) the LState —
+        // the packed word makes both the same XOR. Parity is left
+        // stale: that is the strike being modeled.
+        meta.flip_bit(gi, bit);
         self.corrupt_meta.insert((line, gi));
         self.faults.stats.meta_bits_flipped += 1;
     }
@@ -545,7 +552,7 @@ impl HardMachine {
         let t = self.faults.pick(self.registers.len());
         let bit = self.faults.pick(self.cfg.bloom.total_bits() as usize) as u32;
         self.registers[t].flip_vector_bit(bit);
-        self.corrupt_registers.insert(t);
+        self.corrupt_registers[t] = true;
         self.faults.stats.register_bits_flipped += 1;
     }
 }
@@ -573,11 +580,8 @@ impl Detector for HardMachine {
                     // §3.1 ownership model: the parent's exclusively
                     // owned granules go back to Virgin so the child can
                     // adopt them without a false foreign transition.
-                    self.hierarchy.flash_meta(|meta| {
-                        for g in meta.iter_mut() {
-                            fork_transfer(g, thread);
-                        }
-                    });
+                    self.hierarchy
+                        .flash_meta(|meta| meta.fork_transfer_all(thread));
                     let c = self.core_of(thread).index();
                     // §3.1 dummy lock: the child holds it for life.
                     self.ensure_thread(child);

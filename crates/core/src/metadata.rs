@@ -6,14 +6,18 @@
 //! a bloom-filter candidate set plus LState; for the hardware
 //! happens-before baseline it is a timestamp record.
 
-use hard_bloom::{BloomShape, BloomVector};
+use hard_bloom::BloomShape;
 use hard_cache::MetaFactory;
 use hard_hb::LineClocks;
-use hard_lockset::GranuleMeta;
+use hard_lockset::PackedLineMeta;
 use hard_types::CoreId;
 
-/// HARD's per-line metadata: one candidate set + LState per granule.
-pub type HardLineMeta = Vec<GranuleMeta<BloomVector>>;
+/// HARD's per-line metadata: one candidate set + LState per granule,
+/// stored in the hardware's packed form — one `u64` word per granule in
+/// a fixed inline array ([`PackedLineMeta`]), so cloning a line's
+/// metadata for a broadcast or writeback is a memcpy, not a `Vec`
+/// allocation.
+pub type HardLineMeta = PackedLineMeta;
 
 /// Creates HARD metadata for freshly fetched lines: every granule gets
 /// an all-ones BFVector (paper §3.1) in the Virgin state, so the first
@@ -40,9 +44,7 @@ impl MetaFactory for HardMetaFactory {
     type Meta = HardLineMeta;
 
     fn fresh(&self, _core: CoreId) -> HardLineMeta {
-        (0..self.granules_per_line)
-            .map(|_| GranuleMeta::virgin(self.shape))
-            .collect()
+        PackedLineMeta::virgin(self.shape, self.granules_per_line)
     }
 }
 
@@ -82,10 +84,11 @@ mod tests {
         };
         let meta = f.fresh(CoreId(2));
         assert_eq!(meta.len(), 8);
-        for g in &meta {
+        for gi in 0..meta.len() {
+            let g = meta.granule(gi);
             assert_eq!(g.state, LState::Virgin, "first access sets Exclusive");
             assert_eq!(g.owner, None);
-            assert_eq!(g.candidate, BloomVector::full(BloomShape::B16));
+            assert_eq!(g.candidate, hard_bloom::BloomVector::full(BloomShape::B16));
         }
     }
 

@@ -1,0 +1,240 @@
+//! Machine-readable performance records (`hard-bench/v1`).
+//!
+//! Every CLI experiment can emit a small JSON record of its own cost
+//! (`hard-exp <cmd> --bench-out BENCH_<cmd>.json`) so performance is a
+//! tracked artifact with a trajectory, not a one-off stopwatch number:
+//!
+//! ```json
+//! {"schema":"hard-bench/v1","name":"table2","jobs":4,"wall_ms":3120,
+//!  "events":81060224,"events_per_sec":25981482,"cycles":913400210,
+//!  "peak_rss_bytes":68419584,"cells":264,"resumed":0}
+//! ```
+//!
+//! The throughput numbers come from a process-global accumulator fed
+//! by the execution paths in [`crate::detectors`] and [`crate::runner`]
+//! — two relaxed atomic adds per completed detector run, so the
+//! accounting is free at campaign scale and correct under any
+//! [`crate::parallel::map_cells`] worker count.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+static CYCLES: AtomicU64 = AtomicU64::new(0);
+static CELLS: AtomicU64 = AtomicU64::new(0);
+static RESUMED: AtomicU64 = AtomicU64::new(0);
+
+/// Credits one completed detector run to the process-global bench
+/// accumulator.
+pub fn account(events: u64, cycles: u64) {
+    EVENTS.fetch_add(events, Ordering::Relaxed);
+    CYCLES.fetch_add(cycles, Ordering::Relaxed);
+    CELLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Credits checkpoint-resumed cells (work the process did *not* redo).
+pub fn account_resumed(cells: u64) {
+    RESUMED.fetch_add(cells, Ordering::Relaxed);
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// One `hard-bench/v1` performance record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// The experiment (CLI command) measured.
+    pub name: String,
+    /// Worker-thread bound the campaign ran with.
+    pub jobs: usize,
+    /// Wall-clock time of the whole command, in milliseconds.
+    pub wall_ms: u64,
+    /// Trace events dispatched across all detector runs.
+    pub events: u64,
+    /// Events per wall-clock second (0 when `wall_ms` is 0).
+    pub events_per_sec: u64,
+    /// Simulated cycles consumed across all timed detector runs.
+    pub cycles: u64,
+    /// Peak resident set size in bytes (0 if unavailable).
+    pub peak_rss_bytes: u64,
+    /// Detector runs completed.
+    pub cells: u64,
+    /// Cells served from a checkpoint instead of recomputed.
+    pub resumed: u64,
+}
+
+impl BenchRecord {
+    /// Snapshots the global accumulator into a record for `name`.
+    #[must_use]
+    pub fn capture(name: &str, jobs: usize, wall: Duration) -> BenchRecord {
+        let events = EVENTS.load(Ordering::Relaxed);
+        let wall_ms = u64::try_from(wall.as_millis()).unwrap_or(u64::MAX);
+        let events_per_sec = events
+            .saturating_mul(1000)
+            .checked_div(wall_ms)
+            .unwrap_or(0);
+        BenchRecord {
+            name: name.into(),
+            jobs,
+            wall_ms,
+            events,
+            events_per_sec,
+            cycles: CYCLES.load(Ordering::Relaxed),
+            peak_rss_bytes: peak_rss_bytes(),
+            cells: CELLS.load(Ordering::Relaxed),
+            resumed: RESUMED.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The record as one `hard-bench/v1` JSON line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"hard-bench/v1\",\"name\":\"{}\",\"jobs\":{},\"wall_ms\":{},\
+             \"events\":{},\"events_per_sec\":{},\"cycles\":{},\"peak_rss_bytes\":{},\
+             \"cells\":{},\"resumed\":{}}}",
+            hard_obs::jsonl::escape(&self.name),
+            self.jobs,
+            self.wall_ms,
+            self.events,
+            self.events_per_sec,
+            self.cycles,
+            self.peak_rss_bytes,
+            self.cells,
+            self.resumed,
+        )
+    }
+
+    /// Writes the record to `path` (newline-terminated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation/write errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+/// Parses and validates one `hard-bench/v1` JSON record.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: malformed JSON, a
+/// wrong/missing schema tag, a missing field, or a field of the wrong
+/// type.
+pub fn validate(json: &str) -> Result<BenchRecord, String> {
+    let v = hard_obs::jsonl::parse(json.trim())?;
+    let schema = v
+        .get("schema")
+        .and_then(hard_obs::jsonl::Json::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != "hard-bench/v1" {
+        return Err(format!("unsupported schema: {schema}"));
+    }
+    let name = v
+        .get("name")
+        .and_then(hard_obs::jsonl::Json::as_str)
+        .ok_or("missing name")?
+        .to_string();
+    let num = |field: &str| -> Result<u64, String> {
+        v.get(field)
+            .and_then(hard_obs::jsonl::Json::as_u64)
+            .ok_or_else(|| format!("missing or non-numeric field: {field}"))
+    };
+    Ok(BenchRecord {
+        name,
+        jobs: usize::try_from(num("jobs")?).map_err(|e| e.to_string())?,
+        wall_ms: num("wall_ms")?,
+        events: num("events")?,
+        events_per_sec: num("events_per_sec")?,
+        cycles: num("cycles")?,
+        peak_rss_bytes: num("peak_rss_bytes")?,
+        cells: num("cells")?,
+        resumed: num("resumed")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = BenchRecord {
+            name: "table2".into(),
+            jobs: 4,
+            wall_ms: 3120,
+            events: 81_060_224,
+            events_per_sec: 25_981_482,
+            cycles: 913_400_210,
+            peak_rss_bytes: 68_419_584,
+            cells: 264,
+            resumed: 6,
+        };
+        assert_eq!(validate(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_records() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"schema\":\"hard-bench/v2\"}").is_err());
+        assert!(validate("{\"schema\":\"hard-bench/v1\",\"name\":\"x\"}")
+            .unwrap_err()
+            .contains("jobs"));
+        let wrong_type = "{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":\"four\",\
+             \"wall_ms\":1,\"events\":1,\"events_per_sec\":1,\"cycles\":1,\
+             \"peak_rss_bytes\":1,\"cells\":1,\"resumed\":0}";
+        assert!(validate(wrong_type).unwrap_err().contains("jobs"));
+    }
+
+    #[test]
+    fn accounting_accumulates_across_runs() {
+        // The accumulator is process-global; assert growth, not
+        // absolute values, so other tests in the binary can't race us.
+        let before = BenchRecord::capture("t", 1, Duration::from_millis(10));
+        account(500, 900);
+        account(250, 0);
+        let after = BenchRecord::capture("t", 1, Duration::from_millis(10));
+        assert_eq!(after.events - before.events, 750);
+        assert_eq!(after.cycles - before.cycles, 900);
+        assert_eq!(after.cells - before.cells, 2);
+    }
+
+    #[test]
+    fn throughput_guards_zero_wall_time() {
+        let r = BenchRecord::capture("t", 1, Duration::ZERO);
+        assert_eq!(r.events_per_sec, 0);
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // procfs is present on every target this repo supports in CI;
+        // tolerate absence elsewhere by only checking the format.
+        let rss = peak_rss_bytes();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 0, "a running process has a nonzero peak RSS");
+            assert_eq!(rss % 1024, 0, "VmHWM is reported in kB");
+        }
+    }
+}

@@ -2,17 +2,26 @@
 //!
 //! ```text
 //! hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all>
-//!          [--scale F] [--runs N] [--markdown] [--format text|markdown|json]
-//!          [--quiet] [--trace-out PATH]
+//!          [--scale F] [--runs N] [--jobs N] [--markdown] [--format text|markdown|json]
+//!          [--quiet] [--trace-out PATH] [--bench-out PATH]
 //! hard-exp faults [--rates PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]
 //! hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]
 //! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F]
 //! hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]
+//! hard-exp bench-check --file BENCH_x.json
 //! ```
 //!
 //! `--trace-out PATH` installs a process-global recorder streaming
 //! every observability event of every run as JSON lines to `PATH`;
 //! it composes with any subcommand.
+//!
+//! `--jobs N` bounds the campaign worker pool (default: the machine's
+//! available parallelism; `--jobs 1` is truly serial; values above the
+//! available parallelism are capped to it). Results are
+//! bit-identical for every value. `--bench-out PATH` writes a
+//! `hard-bench/v1` JSON performance record (wall time, event
+//! throughput, simulated cycles, peak RSS) after the command;
+//! `bench-check` validates such a record's schema.
 
 use hard_harness::experiments::{
     ablation, bloom_analysis, claims, cord, faults, fig8, obs, robustness, server, table1, table2,
@@ -32,6 +41,8 @@ struct Args {
     command: String,
     scale: f64,
     runs: usize,
+    jobs: Option<usize>,
+    bench_out: Option<String>,
     format: OutputFormat,
     quiet: bool,
     trace_out: Option<String>,
@@ -57,6 +68,8 @@ impl Args {
             command: command.into(),
             scale: self.scale,
             runs: self.runs,
+            jobs: self.jobs,
+            bench_out: None,
             format: self.format,
             quiet: self.quiet,
             trace_out: None,
@@ -82,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
         command: String::new(),
         scale: 1.0,
         runs: 10,
+        jobs: None,
+        bench_out: None,
         format: OutputFormat::Text,
         quiet: false,
         trace_out: None,
@@ -115,6 +130,20 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--runs needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --runs: {e}"))?;
+            }
+            "--jobs" => {
+                let jobs: usize = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                args.jobs = Some(jobs);
+            }
+            "--bench-out" => {
+                args.bench_out = Some(it.next().ok_or("--bench-out needs a path")?);
             }
             "--markdown" => args.format = OutputFormat::Markdown,
             "--format" => {
@@ -200,6 +229,22 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// The effective worker-pool bound: `--jobs` capped at the machine's
+/// available parallelism (defaulting to it when the flag is absent).
+///
+/// The campaign cells are CPU-bound, so workers beyond the hardware's
+/// parallelism only add scheduling churn; the cap makes `--jobs 4` on a
+/// smaller host behave like the best the host can do. The library-level
+/// pool ([`hard_harness::parallel::map_cells`]) deliberately does NOT
+/// cap — tests drive it with explicit worker counts to exercise real
+/// multi-threaded merges regardless of the host.
+fn effective_jobs(args: &Args) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    args.jobs.map_or(hw, |j| j.min(hw))
+}
+
 fn campaign(args: &Args) -> CampaignConfig {
     CampaignConfig {
         scale: if (args.scale - 1.0).abs() < f64::EPSILON {
@@ -209,6 +254,7 @@ fn campaign(args: &Args) -> CampaignConfig {
         },
         runs: args.runs,
         mode: args.mode,
+        jobs: effective_jobs(args),
         ..CampaignConfig::default()
     }
 }
@@ -353,6 +399,7 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
                 None => None,
             };
             let study = faults::run(&fcfg, cp.as_mut());
+            hard_harness::bench::account_resumed(study.resumed as u64);
             rep.section(&format!(
                 "Fault sweep — graceful degradation, {} runs/app/rate{}",
                 fcfg.campaign.runs,
@@ -368,6 +415,39 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
             let crashed: usize = study.rows.iter().map(|r| r.cell.faulted).sum();
             if crashed > 0 {
                 return Err(format!("{crashed} run(s) crashed inside the detector"));
+            }
+        }
+        "bench-check" => {
+            // A bench file is one record per line: a single `--bench-out`
+            // capture or a multi-line trajectory like `BENCH_pr3.json`.
+            let path = args
+                .file
+                .as_deref()
+                .ok_or("bench-check needs --file <path>")?;
+            let body =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut checked = 0usize;
+            for (i, line) in body.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let rec = hard_harness::bench::validate(line).map_err(|e| {
+                    format!("{path}:{}: not a valid hard-bench/v1 record: {e}", i + 1)
+                })?;
+                rep.note(&format!(
+                    "{path}:{} OK: {} with jobs={} wall_ms={} events={} events/s={} cells={}",
+                    i + 1,
+                    rec.name,
+                    rec.jobs,
+                    rec.wall_ms,
+                    rec.events,
+                    rec.events_per_sec,
+                    rec.cells
+                ));
+                checked += 1;
+            }
+            if checked == 0 {
+                return Err(format!("{path} contains no records"));
             }
         }
         "record" => {
@@ -472,11 +552,13 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all> \
-                 [--scale F] [--runs N] [--format text|markdown|json] [--quiet] [--trace-out PATH]\n       \
+                 [--scale F] [--runs N] [--jobs N] [--format text|markdown|json] [--quiet] \
+                 [--trace-out PATH] [--bench-out PATH]\n       \
                  hard-exp faults [--rates PPM,PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]\n       \
                  hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]\n       \
                  hard-exp record --app <name> --file <path> [--inject SEED]\n       \
-                 hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]"
+                 hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]\n       \
+                 hard-exp bench-check --file BENCH_x.json"
             );
             return ExitCode::FAILURE;
         }
@@ -490,7 +572,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let started = std::time::Instant::now();
     let result = run_command(&args, &rep);
+    if let Some(path) = args.bench_out.as_deref() {
+        if result.is_ok() {
+            let record = hard_harness::BenchRecord::capture(
+                &args.command,
+                effective_jobs(&args),
+                started.elapsed(),
+            );
+            match record.write(std::path::Path::new(path)) {
+                Ok(()) => rep.note(&format!(
+                    "bench-out: {path} ({} events in {} ms, {} events/s, jobs={})",
+                    record.events, record.wall_ms, record.events_per_sec, record.jobs
+                )),
+                Err(e) => eprintln!("warning: writing --bench-out {path} failed: {e}"),
+            }
+        }
+    }
     if let Some(rec) = trace_rec {
         if let Err(e) = rec.flush() {
             eprintln!("warning: flushing --trace-out stream failed: {e}");

@@ -34,6 +34,11 @@ pub struct CampaignConfig {
     pub max_quantum: u32,
     /// Bug class injected per run.
     pub mode: InjectMode,
+    /// Worker-thread bound for campaign fan-out ([`per_app`] and the
+    /// experiments' cell maps). `1` (the default) runs everything
+    /// inline on the calling thread; results are bit-identical for
+    /// every value.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -43,6 +48,7 @@ impl Default for CampaignConfig {
             runs: 10,
             max_quantum: 16,
             mode: InjectMode::OmitPair,
+            jobs: 1,
         }
     }
 }
@@ -150,23 +156,16 @@ pub fn probes(injection: &Injection) -> Vec<Addr> {
         .collect()
 }
 
-/// Runs `f` once per application on its own OS thread and returns the
+/// Runs `f` once per application on the campaign pool
+/// ([`crate::parallel::map_cells`], bounded by `jobs`) and returns the
 /// results in the paper's application order.
 ///
 /// Every campaign cell is a pure function of its seeds, so fanning the
-/// six applications out changes nothing but wall-clock time.
-pub fn per_app<R: Send>(f: impl Fn(App) -> R + Sync) -> Vec<R> {
-    let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = App::all()
-            .into_iter()
-            .map(|app| s.spawn(move || f(app)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("campaign worker panicked"))
-            .collect()
-    })
+/// six applications out changes nothing but wall-clock time: results
+/// are slotted by application index, never completion order.
+pub fn per_app<R: Send>(jobs: usize, f: impl Fn(App) -> R + Sync) -> Vec<R> {
+    let apps = App::all();
+    crate::parallel::map_cells(jobs, &apps, |_, &app| f(app))
 }
 
 /// Counts false alarms the way the paper does: distinct static source

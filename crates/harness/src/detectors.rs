@@ -111,15 +111,18 @@ pub fn execute_observed(
     probes: &[Addr],
     obs: &ObsHandle,
 ) -> DetectorRun {
-    match kind {
+    // Every plain execution credits the process-global bench
+    // accumulator; HARD (the timed detector) also credits its cycles.
+    let run = match kind {
         DetectorKind::Hard(cfg) => {
             let mut m = HardMachine::new(*cfg);
             m.attach_recorder(obs.clone());
             let reports = run_detector_observed(&mut m, trace, obs);
-            DetectorRun {
+            crate::bench::account(trace.len() as u64, m.total_cycles().0);
+            return DetectorRun {
                 reports,
                 meta_lost: probes.iter().map(|&a| m.was_meta_lost(a)).collect(),
-            }
+            };
         }
         DetectorKind::LocksetIdeal(cfg) => {
             let mut d = IdealLockset::new(*cfg);
@@ -157,7 +160,9 @@ pub fn execute_observed(
                 meta_lost: vec![false; probes.len()],
             }
         }
-    }
+    };
+    crate::bench::account(trace.len() as u64, 0);
+    run
 }
 
 #[cfg(test)]

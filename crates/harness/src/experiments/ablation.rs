@@ -69,10 +69,10 @@ fn hybrid_run(trace: &hard_trace::Trace) -> (Vec<hard_trace::RaceReport>, Hybrid
     (combined, m)
 }
 
-/// Runs the ablation study, one worker thread per application.
+/// Runs the ablation study, on the campaign pool.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> Ablation {
-    let rows = crate::campaign::per_app(|app| {
+    let rows = crate::campaign::per_app(cfg.jobs, |app| {
         let rf = race_free_trace(app, cfg);
 
         // Barrier pruning on/off.

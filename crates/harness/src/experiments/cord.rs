@@ -31,10 +31,10 @@ pub struct Cord {
     pub runs: usize,
 }
 
-/// Runs the comparison, one worker thread per application.
+/// Runs the comparison, on the campaign pool.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> Cord {
-    let rows = crate::campaign::per_app(|app| {
+    let rows = crate::campaign::per_app(cfg.jobs, |app| {
         let mut row = CordRow {
             app,
             vector: 0,

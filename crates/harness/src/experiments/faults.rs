@@ -152,8 +152,10 @@ fn compute_cell(app: App, rate_ppm: u32, cfg: &FaultsConfig) -> Cell {
 }
 
 /// Runs the sweep, optionally resuming from (and recording into) a
-/// checkpoint. Within a rate the six applications run on their own OS
-/// threads; cells are made durable as each rate completes.
+/// checkpoint. Within a rate the six applications fan out over the
+/// campaign pool (`cfg.campaign.jobs` workers; `1` is truly serial);
+/// cells are made durable on the calling thread as each rate
+/// completes, preserving the checkpoint's rate-ordered layout.
 #[must_use]
 pub fn run(cfg: &FaultsConfig, mut checkpoint: Option<&mut Checkpoint>) -> FaultsStudy {
     let mut rows = Vec::new();
@@ -164,18 +166,16 @@ pub fn run(cfg: &FaultsConfig, mut checkpoint: Option<&mut Checkpoint>) -> Fault
             .iter()
             .map(|a| checkpoint.as_deref().and_then(|cp| cp.get(rate, a.name())))
             .collect();
-        let fresh: Vec<(App, Cell)> = std::thread::scope(|s| {
-            let handles: Vec<_> = apps
-                .iter()
-                .zip(&cached)
-                .filter(|(_, c)| c.is_none())
-                .map(|(&app, _)| s.spawn(move || (app, compute_cell(app, rate, cfg))))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fault campaign worker panicked"))
-                .collect()
-        });
+        let todo: Vec<App> = apps
+            .iter()
+            .zip(&cached)
+            .filter(|(_, c)| c.is_none())
+            .map(|(&app, _)| app)
+            .collect();
+        let fresh: Vec<(App, Cell)> =
+            crate::parallel::map_cells(cfg.campaign.jobs, &todo, |_, &app| {
+                (app, compute_cell(app, rate, cfg))
+            });
         if let Some(cp) = checkpoint.as_deref_mut() {
             for (app, cell) in &fresh {
                 // A failed append degrades to in-memory-only: the sweep

@@ -57,11 +57,11 @@ fn cycles_with(cfg: HardConfig, trace: &hard_trace::Trace) -> u64 {
     m.total_cycles().0
 }
 
-/// Runs the overhead measurement, one worker thread per application,
+/// Runs the overhead measurement, on the campaign pool,
 /// decomposing the delta by re-running with each cost zeroed.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> Fig8 {
-    let rows = crate::campaign::per_app(|app| {
+    let rows = crate::campaign::per_app(cfg.jobs, |app| {
         let trace = race_free_trace(app, cfg);
         let mut base = BaselineMachine::new(HardConfig::default());
         let base_cycles = base.run(&trace).0;

@@ -141,7 +141,7 @@ fn observe_app(app: App, cfg: &ObsConfig) -> std::io::Result<AppObs> {
 /// Returns the first I/O error hit while creating or flushing a JSONL
 /// stream.
 pub fn run(cfg: &ObsConfig) -> std::io::Result<ObsStudy> {
-    let apps = per_app(|app| observe_app(app, cfg))
+    let apps = per_app(cfg.campaign.jobs, |app| observe_app(app, cfg))
         .into_iter()
         .collect::<std::io::Result<Vec<_>>>()?;
     Ok(ObsStudy {

@@ -4,7 +4,8 @@
 use crate::campaign::{
     alarm_sites, injected_trace, probes, race_free_trace, score, BugOutcome, CampaignConfig,
 };
-use crate::detectors::{execute, DetectorKind};
+use crate::detectors::DetectorKind;
+use crate::runner::{execute_hardened, RunLimits, RunOutcome};
 use crate::table::TextTable;
 use hard_workloads::App;
 
@@ -56,44 +57,90 @@ pub fn detector_set() -> [DetectorKind; 4] {
     ]
 }
 
-fn tally_app(app: App, cfg: &CampaignConfig) -> Table2Row {
+/// One unit of campaign work: `run` is `None` for the race-free
+/// (false-alarm) execution, `Some(i)` for injected run `i`. The trace
+/// is generated once per cell and all four detectors observe it.
+fn compute_cell(app: App, run: Option<usize>, cfg: &CampaignConfig) -> [DetectorTally; 4] {
     let kinds = detector_set();
     let mut tallies = [DetectorTally::default(); 4];
-
-    // False alarms on the race-free execution.
-    let rf = race_free_trace(app, cfg);
-    for (k, tally) in kinds.iter().zip(tallies.iter_mut()) {
-        tally.alarms = alarm_sites(&execute(k, &rf, &[])).len();
-    }
-
-    // Bug detection over the injected runs; all detectors observe the
-    // identical execution of each run.
-    for run_idx in 0..cfg.runs {
-        let (trace, injection) = injected_trace(app, cfg, run_idx);
-        let pr = probes(&injection);
-        for (k, tally) in kinds.iter().zip(tallies.iter_mut()) {
-            match score(&execute(k, &trace, &pr), &injection) {
-                BugOutcome::Detected => tally.detected += 1,
-                BugOutcome::MissedDisplaced => tally.missed_displaced += 1,
-                BugOutcome::Missed => tally.missed_other += 1,
+    match run {
+        None => {
+            let rf = race_free_trace(app, cfg);
+            for (k, tally) in kinds.iter().zip(tallies.iter_mut()) {
+                let out = execute_hardened(k, &rf, &[], RunLimits::unlimited());
+                let RunOutcome::Ok(dr, _) = out else {
+                    unreachable!("fault-free unlimited runs always complete");
+                };
+                tally.alarms = alarm_sites(&dr).len();
+            }
+        }
+        Some(run_idx) => {
+            let (trace, injection) = injected_trace(app, cfg, run_idx);
+            let pr = probes(&injection);
+            for (k, tally) in kinds.iter().zip(tallies.iter_mut()) {
+                let out = execute_hardened(k, &trace, &pr, RunLimits::unlimited());
+                let RunOutcome::Ok(dr, _) = out else {
+                    unreachable!("fault-free unlimited runs always complete");
+                };
+                match score(&dr, &injection) {
+                    BugOutcome::Detected => tally.detected += 1,
+                    BugOutcome::MissedDisplaced => tally.missed_displaced += 1,
+                    BugOutcome::Missed => tally.missed_other += 1,
+                }
             }
         }
     }
+    tallies
+}
 
-    Table2Row {
-        app,
-        hard: tallies[0],
-        hard_ideal: tallies[1],
-        hb: tallies[2],
-        hb_ideal: tallies[3],
+impl DetectorTally {
+    fn merge(&mut self, other: &DetectorTally) {
+        self.detected += other.detected;
+        self.missed_displaced += other.missed_displaced;
+        self.missed_other += other.missed_other;
+        self.alarms += other.alarms;
     }
 }
 
-/// Runs the Table 2 campaign, one worker thread per application.
+/// Runs the Table 2 campaign on the cell pool: one cell per
+/// `(application, run)` pair (plus the race-free alarm cell per app),
+/// fanned out over `cfg.jobs` workers and merged in cell order — the
+/// result is bit-identical for every worker count.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> Table2 {
+    let apps = App::all();
+    let mut cells: Vec<(App, Option<usize>)> = Vec::with_capacity(apps.len() * (cfg.runs + 1));
+    for &app in &apps {
+        cells.push((app, None));
+        for run_idx in 0..cfg.runs {
+            cells.push((app, Some(run_idx)));
+        }
+    }
+    let results = crate::parallel::map_cells(cfg.jobs, &cells, |_, &(app, run)| {
+        compute_cell(app, run, cfg)
+    });
+    let per_app = cfg.runs + 1;
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(ai, &app)| {
+            let mut tallies = [DetectorTally::default(); 4];
+            for cell in &results[ai * per_app..(ai + 1) * per_app] {
+                for (t, c) in tallies.iter_mut().zip(cell) {
+                    t.merge(c);
+                }
+            }
+            Table2Row {
+                app,
+                hard: tallies[0],
+                hard_ideal: tallies[1],
+                hb: tallies[2],
+                hb_ideal: tallies[3],
+            }
+        })
+        .collect();
     Table2 {
-        rows: crate::campaign::per_app(|a| tally_app(a, cfg)),
+        rows,
         runs: cfg.runs,
     }
 }

@@ -36,10 +36,10 @@ pub struct Table3 {
     pub runs: usize,
 }
 
-/// Runs the granularity sweep, one worker thread per application.
+/// Runs the granularity sweep, on the campaign pool.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> Table3 {
-    let rows = crate::campaign::per_app(|app| {
+    let rows = crate::campaign::per_app(cfg.jobs, |app| {
         let mut row = Table3Row {
             app,
             hard_bugs: [0; 4],

@@ -37,10 +37,10 @@ pub struct L2Sweep {
     pub runs: usize,
 }
 
-/// Runs the L2 sweep, one worker thread per application.
+/// Runs the L2 sweep, on the campaign pool.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> L2Sweep {
-    let rows = crate::campaign::per_app(|app| {
+    let rows = crate::campaign::per_app(cfg.jobs, |app| {
         let mut row = L2SweepRow {
             app,
             hard_bugs: [0; 4],

@@ -37,10 +37,10 @@ pub struct Table6 {
     pub runs: usize,
 }
 
-/// Runs the bloom sweep, one worker thread per application.
+/// Runs the bloom sweep, on the campaign pool.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> Table6 {
-    let rows = crate::campaign::per_app(|app| {
+    let rows = crate::campaign::per_app(cfg.jobs, |app| {
         let d16 = DetectorKind::Hard(HardConfig::default().with_bloom(BloomShape::B16));
         let d32 = DetectorKind::Hard(HardConfig::default().with_bloom(BloomShape::B32));
         let rf = race_free_trace(app, cfg);

@@ -105,14 +105,15 @@ fn measure(app: App, cfg: &CampaignConfig, l2_bytes: u64) -> WindowRow {
 }
 
 /// Runs the study over the paper's default (1 MB) and smallest
-/// (128 KB) L2 sizes, one worker thread per application.
+/// (128 KB) L2 sizes, on the campaign pool.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> WindowStudy {
-    let rows =
-        crate::campaign::per_app(|app| [1024 * 1024, 128 * 1024].map(|l2| measure(app, cfg, l2)))
-            .into_iter()
-            .flatten()
-            .collect();
+    let rows = crate::campaign::per_app(cfg.jobs, |app| {
+        [1024 * 1024, 128 * 1024].map(|l2| measure(app, cfg, l2))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     WindowStudy { rows }
 }
 

@@ -27,7 +27,7 @@ pub struct WorkloadStats {
 /// Measures every application.
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> WorkloadStats {
-    let rows = crate::campaign::per_app(|app| {
+    let rows = crate::campaign::per_app(cfg.jobs, |app| {
         let trace = race_free_trace(app, cfg);
         WorkloadRow {
             app,

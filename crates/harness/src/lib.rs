@@ -19,20 +19,24 @@
 //! bug-outcome scoring with miss-reason classification, and
 //! source-level false-alarm counting.
 
+pub mod bench;
 pub mod campaign;
 pub mod checkpoint;
 pub mod detectors;
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod table;
 
+pub use bench::BenchRecord;
 pub use campaign::{
     alarm_sites, injected_trace, per_app, probes, race_free_trace, score, BugOutcome,
     CampaignConfig, InjectMode,
 };
 pub use checkpoint::Checkpoint;
 pub use detectors::{execute, execute_observed, DetectorKind, DetectorRun};
+pub use parallel::map_cells;
 pub use report::{OutputFormat, Reporter};
 pub use runner::{execute_hardened, execute_hardened_observed, RunLimits, RunMetrics, RunOutcome};
 pub use table::TextTable;

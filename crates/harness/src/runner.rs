@@ -305,6 +305,7 @@ pub fn execute_hardened_observed(
         RunOutcome::Faulted { .. } => (0, 0),
     };
     obs.span_end(timer, cycles, events);
+    crate::bench::account(events, cycles);
     outcome
 }
 

@@ -4,8 +4,7 @@
 use crate::meta::{hb_access, LineClocks};
 use crate::sync::SyncClocks;
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
-use hard_types::{AccessKind, Addr, Granularity, SiteId, ThreadId};
-use std::collections::{BTreeMap, BTreeSet};
+use hard_types::{AccessKind, Addr, FastHashMap, FastHashSet, Granularity, SiteId, ThreadId};
 
 /// Configuration of the ideal happens-before detector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,9 +31,9 @@ impl IdealHbConfig {
 pub struct IdealHappensBefore {
     cfg: IdealHbConfig,
     sync: SyncClocks,
-    granules: BTreeMap<Addr, LineClocks>,
+    granules: FastHashMap<Addr, LineClocks>,
     reports: Vec<RaceReport>,
-    reported: BTreeSet<(Addr, SiteId)>,
+    reported: FastHashSet<(Addr, SiteId)>,
 }
 
 impl IdealHappensBefore {
@@ -44,9 +43,9 @@ impl IdealHappensBefore {
         IdealHappensBefore {
             cfg,
             sync: SyncClocks::new(cfg.num_threads),
-            granules: BTreeMap::new(),
+            granules: FastHashMap::default(),
             reports: Vec::new(),
-            reported: BTreeSet::new(),
+            reported: FastHashSet::default(),
         }
     }
 
@@ -73,10 +72,12 @@ impl IdealHappensBefore {
     ) {
         let gran = self.cfg.granularity;
         let n = self.cfg.num_threads;
-        let clock = self.sync.thread(thread).clone();
+        // Field-disjoint borrows: the clock is read from `sync` while
+        // the granule table is updated — no per-access clock clone.
+        let clock = self.sync.thread(thread);
         for g in gran.granules_in(addr, u64::from(size)) {
             let meta = self.granules.entry(g).or_insert_with(|| LineClocks::new(n));
-            let out = hb_access(meta, thread, &clock, kind);
+            let out = hb_access(meta, thread, clock, kind);
             if out.is_race() && self.reported.insert((g, site)) {
                 self.reports.push(RaceReport {
                     addr,

@@ -12,8 +12,8 @@
 use crate::meta::{dummy_lock, fork_transfer, lockset_access, GranuleMeta};
 use hard_bloom::{BloomShape, BloomVector, LockRegister};
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
-use hard_types::{AccessKind, Addr, Granularity, SiteId, ThreadId};
-use std::collections::{BTreeMap, BTreeSet};
+use hard_types::{AccessKind, Addr, FastHashSet, Granularity, SiteId, ThreadId};
+use std::collections::BTreeMap;
 
 /// Configuration of the bloom-table detector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,7 +44,7 @@ pub struct BloomLockset {
     granules: BTreeMap<Addr, GranuleMeta<BloomVector>>,
     registers: Vec<LockRegister>,
     reports: Vec<RaceReport>,
-    reported: BTreeSet<(Addr, SiteId)>,
+    reported: FastHashSet<(Addr, SiteId)>,
 }
 
 impl BloomLockset {
@@ -56,7 +56,7 @@ impl BloomLockset {
             granules: BTreeMap::new(),
             registers: Vec::new(),
             reports: Vec::new(),
-            reported: BTreeSet::new(),
+            reported: FastHashSet::default(),
         }
     }
 
@@ -154,6 +154,7 @@ mod tests {
     use crate::ideal::{IdealLockset, IdealLocksetConfig};
     use hard_trace::{run_detector, ProgramBuilder, SchedConfig, Scheduler};
     use hard_types::LockId;
+    use std::collections::BTreeSet;
 
     #[test]
     fn detects_plain_missing_lock() {

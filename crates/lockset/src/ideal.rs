@@ -9,8 +9,7 @@
 use crate::meta::{dummy_lock, fork_transfer, lockset_access, GranuleMeta};
 use hard_bloom::ExactSet;
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
-use hard_types::{AccessKind, Addr, Granularity, SiteId, ThreadId};
-use std::collections::{BTreeMap, BTreeSet};
+use hard_types::{AccessKind, Addr, FastHashMap, FastHashSet, Granularity, SiteId, ThreadId};
 
 /// Configuration of the ideal lockset detector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,10 +36,10 @@ impl Default for IdealLocksetConfig {
 #[derive(Debug)]
 pub struct IdealLockset {
     cfg: IdealLocksetConfig,
-    granules: BTreeMap<Addr, GranuleMeta<ExactSet>>,
+    granules: FastHashMap<Addr, GranuleMeta<ExactSet>>,
     held: Vec<ExactSet>,
     reports: Vec<RaceReport>,
-    reported: BTreeSet<(Addr, SiteId)>,
+    reported: FastHashSet<(Addr, SiteId)>,
 }
 
 impl IdealLockset {
@@ -49,10 +48,10 @@ impl IdealLockset {
     pub fn new(cfg: IdealLocksetConfig) -> IdealLockset {
         IdealLockset {
             cfg,
-            granules: BTreeMap::new(),
+            granules: FastHashMap::default(),
             held: Vec::new(),
             reports: Vec::new(),
-            reported: BTreeSet::new(),
+            reported: FastHashSet::default(),
         }
     }
 

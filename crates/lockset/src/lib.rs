@@ -43,10 +43,12 @@
 pub mod bloom_table;
 pub mod ideal;
 pub mod meta;
+pub mod packed;
 pub mod setrepr;
 pub mod state;
 
 pub use ideal::{IdealLockset, IdealLocksetConfig};
 pub use meta::{dummy_lock, fork_transfer, lockset_access, AccessOutcome, GranuleMeta};
+pub use packed::{PackedLineMeta, MAX_GRANULES};
 pub use setrepr::SetRepr;
 pub use state::LState;

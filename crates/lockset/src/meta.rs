@@ -121,11 +121,7 @@ pub fn lockset_access<S: SetRepr + PartialEq>(
         race: false,
     };
     if t.update_candidate {
-        let new = meta.candidate.intersect(held);
-        if new != meta.candidate {
-            meta.candidate = new;
-            outcome.candidate_changed = true;
-        }
+        outcome.candidate_changed = meta.candidate.intersect_assign(held);
         if t.report_if_empty && meta.candidate.is_empty_set() {
             outcome.race = true;
         }

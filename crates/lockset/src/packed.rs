@@ -1,0 +1,471 @@
+//! Packed per-line metadata: the hardware's bit layout, verbatim.
+//!
+//! [`GranuleMeta`] is the *algorithmic* view of a granule's metadata —
+//! an enum, an `Option`, a shape-tagged vector, heap-allocated per line
+//! as `Vec<GranuleMeta>`. The hardware stores none of that: a line's
+//! metadata is a handful of contiguous bits next to the tag array
+//! (paper Figure 3). This module is that storage: one `u64` word per
+//! granule, a fixed inline array of words per line, no heap.
+//!
+//! # Word layout
+//!
+//! With `V = shape.total_bits()` (16 for the default
+//! [`BloomShape::B16`], 32 for the Table 6 [`BloomShape::B32`]):
+//!
+//! ```text
+//!  63        V+3   V+2  V+1   V   V-1          0
+//! ┌───────────┬─────┬─────────┬─────────────────┐
+//! │ owner + 1 │ par │ LState  │ BFVector bits   │
+//! │ (0=none)  │ ity │ (2 bits)│ (V bits)        │
+//! └───────────┴─────┴─────────┴─────────────────┘
+//! ```
+//!
+//! * bits `[0, V)` — the candidate-set bloom vector, exactly
+//!   [`BloomVector::bits`];
+//! * bits `[V, V+2)` — the 2-bit [`LState`] encoding
+//!   ([`LState::encode`]);
+//! * bit `V+2` — even parity over bits `[0, V+2)`. Every transition
+//!   write recomputes it; the fault-injection flips
+//!   ([`PackedLineMeta::flip_bit`]) deliberately do *not*, modelling a
+//!   particle strike that leaves the stored parity inconsistent. The
+//!   machine's detection accounting is driven by its corruption side
+//!   tables (so counting stays exact under broadcast propagation); the
+//!   in-word bit documents the invariant the hardware would check.
+//! * bits `[V+3, 64)` — the Exclusive owner thread plus one, zero
+//!   meaning "no owner". (Hardware keeps ownership implicit in cache
+//!   residency; the simulator packs it next to the state it guards.)
+//!
+//! Because the parity bit is a function of the payload, comparing two
+//! consistently-written words for equality is exactly comparing the
+//! `(state, owner, candidate)` triple — which is how the machine's
+//! broadcast-on-change test becomes a single XOR.
+
+use crate::meta::GranuleMeta;
+use crate::state::{transition, LState};
+use crate::AccessOutcome;
+use hard_bloom::{BloomShape, BloomVector};
+use hard_types::{AccessKind, ThreadId};
+
+/// Maximum granules per line: a 32-byte line at the minimum 4-byte
+/// metadata granularity (Table 3's finest point).
+pub const MAX_GRANULES: usize = 8;
+
+/// One cache line's worth of packed granule metadata.
+///
+/// `Copy` and heap-free: cloning a line's metadata (coherence
+/// broadcast, cache-to-cache transfer, L2 writeback) is a fixed-size
+/// memcpy instead of a `Vec` allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PackedLineMeta {
+    shape: BloomShape,
+    len: u8,
+    words: [u64; MAX_GRANULES],
+}
+
+impl PackedLineMeta {
+    /// All-granules-virgin metadata (Virgin state, full candidate set),
+    /// as the ideal algorithm allocates it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granules` exceeds [`MAX_GRANULES`] or the shape's
+    /// vector does not leave room for the state, parity and owner
+    /// fields.
+    #[must_use]
+    pub fn virgin(shape: BloomShape, granules: usize) -> PackedLineMeta {
+        let mut m = PackedLineMeta::empty_line(shape, granules);
+        let w = m.pack_word(shape.full_mask(), LState::Virgin, None);
+        m.words[..granules].fill(w);
+        m
+    }
+
+    /// Metadata as the hardware creates it on a fetch from memory:
+    /// every granule Exclusive and owned by the fetching thread, full
+    /// candidate set (paper §3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PackedLineMeta::virgin`].
+    #[must_use]
+    pub fn fetched(shape: BloomShape, granules: usize, owner: ThreadId) -> PackedLineMeta {
+        let mut m = PackedLineMeta::empty_line(shape, granules);
+        let w = m.pack_word(shape.full_mask(), LState::Exclusive, Some(owner));
+        m.words[..granules].fill(w);
+        m
+    }
+
+    fn empty_line(shape: BloomShape, granules: usize) -> PackedLineMeta {
+        assert!(
+            granules <= MAX_GRANULES,
+            "{granules} granules exceed the {MAX_GRANULES}-granule line maximum"
+        );
+        assert!(
+            shape.total_bits() + 3 <= 48,
+            "a {shape} vector leaves no room for the state/parity/owner fields"
+        );
+        PackedLineMeta {
+            shape,
+            len: granules as u8,
+            words: [0; MAX_GRANULES],
+        }
+    }
+
+    /// Number of granules on this line.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether the line carries no granules (never true for metadata
+    /// built by the factories, present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The vector layout all granules on this line share.
+    #[must_use]
+    pub fn shape(&self) -> BloomShape {
+        self.shape
+    }
+
+    /// The raw packed word of granule `gi` (tests and fault plumbing).
+    #[must_use]
+    pub fn word(&self, gi: usize) -> u64 {
+        assert!(gi < self.len(), "granule {gi} out of range");
+        self.words[gi]
+    }
+
+    fn pack_word(&self, bits: u64, state: LState, owner: Option<ThreadId>) -> u64 {
+        let v = self.shape.total_bits();
+        debug_assert_eq!(bits & !self.shape.full_mask(), 0);
+        let payload = bits | u64::from(state.encode()) << v;
+        let parity = u64::from(payload.count_ones() & 1) << (v + 2);
+        let owner_enc = owner.map_or(0, |o| u64::from(o.0) + 1);
+        payload | parity | owner_enc << (v + 3)
+    }
+
+    /// The candidate-set bits of granule `gi`.
+    #[must_use]
+    pub fn candidate_bits(&self, gi: usize) -> u64 {
+        self.word(gi) & self.shape.full_mask()
+    }
+
+    /// The candidate set of granule `gi` as a [`BloomVector`].
+    #[must_use]
+    pub fn candidate(&self, gi: usize) -> BloomVector {
+        BloomVector::from_bits(self.shape, self.candidate_bits(gi))
+    }
+
+    /// The [`LState`] of granule `gi`.
+    #[must_use]
+    pub fn state(&self, gi: usize) -> LState {
+        LState::decode(((self.word(gi) >> self.shape.total_bits()) & 3) as u8)
+    }
+
+    /// The Exclusive owner of granule `gi`, if any.
+    #[must_use]
+    pub fn owner(&self, gi: usize) -> Option<ThreadId> {
+        let enc = self.word(gi) >> (self.shape.total_bits() + 3);
+        (enc != 0).then(|| ThreadId((enc - 1) as u32))
+    }
+
+    /// Unpacks granule `gi` into the algorithmic representation.
+    #[must_use]
+    pub fn granule(&self, gi: usize) -> GranuleMeta<BloomVector> {
+        GranuleMeta {
+            state: self.state(gi),
+            owner: self.owner(gi),
+            candidate: self.candidate(gi),
+        }
+    }
+
+    /// Packs an algorithmic granule into slot `gi` (with a consistent
+    /// parity bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gi` is out of range or the candidate's shape differs
+    /// from the line's.
+    pub fn set_granule(&mut self, gi: usize, g: &GranuleMeta<BloomVector>) {
+        assert!(gi < self.len(), "granule {gi} out of range");
+        assert_eq!(g.candidate.shape(), self.shape, "mismatched bloom shapes");
+        self.words[gi] = self.pack_word(g.candidate.bits(), g.state, g.owner);
+    }
+
+    /// Number of candidate bits set in granule `gi` (the
+    /// bloom-population observability histogram).
+    #[must_use]
+    pub fn population(&self, gi: usize) -> u32 {
+        self.candidate_bits(gi).count_ones()
+    }
+
+    /// Applies one access by `thread` of kind `kind` to granule `gi`,
+    /// with the thread's lock register `held` — the flattened
+    /// equivalent of [`crate::lockset_access`] on the unpacked granule.
+    ///
+    /// Returns `(changed, outcome)`, where `changed` is whether *any*
+    /// of the granule's state/owner/candidate changed (the machine's
+    /// broadcast-on-change condition, previously a clone-and-compare of
+    /// the whole `GranuleMeta`): a single word XOR here, with the
+    /// derived parity bit masked out so a fault-stale parity never
+    /// counts as a logical change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gi` is out of range or `held` has a different shape.
+    pub fn access(
+        &mut self,
+        gi: usize,
+        thread: ThreadId,
+        kind: AccessKind,
+        held: &BloomVector,
+    ) -> (bool, AccessOutcome) {
+        assert!(gi < self.len(), "granule {gi} out of range");
+        assert_eq!(held.shape(), self.shape, "mismatched bloom shapes");
+        let v = self.shape.total_bits();
+        let w = self.words[gi];
+        let bits = w & self.shape.full_mask();
+        let state = LState::decode(((w >> v) & 3) as u8);
+        let owner_enc = w >> (v + 3);
+        let owner = (owner_enc != 0).then(|| ThreadId((owner_enc - 1) as u32));
+
+        let t = transition(state, owner, thread, kind);
+        let mut outcome = AccessOutcome {
+            candidate_changed: false,
+            race: false,
+        };
+        let mut new_bits = bits;
+        if t.update_candidate {
+            new_bits = bits & held.bits();
+            outcome.candidate_changed = new_bits != bits;
+            outcome.race = t.report_if_empty && self.shape.has_empty_part(new_bits);
+        }
+        let nw = self.pack_word(new_bits, t.next, t.next_owner);
+        self.words[gi] = nw;
+        let parity_bit = 1u64 << (v + 2);
+        ((nw ^ w) & !parity_bit != 0, outcome)
+    }
+
+    /// Barrier pruning (§3.5) over every granule: full candidate set,
+    /// Virgin state, no owner — [`GranuleMeta::barrier_reset`] as one
+    /// word store per granule.
+    pub fn barrier_reset_all(&mut self) {
+        let w = self.pack_word(self.shape.full_mask(), LState::Virgin, None);
+        let n = self.len();
+        self.words[..n].fill(w);
+    }
+
+    /// The §3.1 fork-time ownership transfer over every granule:
+    /// granules exclusively owned by `parent` return to Virgin with
+    /// their candidate set preserved ([`crate::fork_transfer`]).
+    pub fn fork_transfer_all(&mut self, parent: ThreadId) {
+        for gi in 0..self.len() {
+            let w = self.words[gi];
+            let v = self.shape.total_bits();
+            let state = ((w >> v) & 3) as u8;
+            let owner_enc = w >> (v + 3);
+            if state == LState::Exclusive.encode() && owner_enc == u64::from(parent.0) + 1 {
+                self.words[gi] = self.pack_word(w & self.shape.full_mask(), LState::Virgin, None);
+            }
+        }
+    }
+
+    /// The graceful-degradation reset after a detected parity fault:
+    /// candidate set to all-ones, state to Virgin, owner cleared — the
+    /// paper-safe "missed detections, never invented evidence" value.
+    pub fn degrade(&mut self, gi: usize) {
+        assert!(gi < self.len(), "granule {gi} out of range");
+        self.words[gi] = self.pack_word(self.shape.full_mask(), LState::Virgin, None);
+    }
+
+    /// Fault injection: flips one stored bit of granule `gi` without
+    /// repairing the parity bit (the strike model). `bit` addresses the
+    /// vector bits first (`[0, V)`), then the two LState bits
+    /// (`[V, V+2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gi` is out of range or `bit >= V + 2`.
+    pub fn flip_bit(&mut self, gi: usize, bit: u32) {
+        assert!(gi < self.len(), "granule {gi} out of range");
+        let v = self.shape.total_bits();
+        assert!(bit < v + 2, "bit {bit} outside the {v}+2 payload bits");
+        self.words[gi] ^= 1u64 << bit;
+    }
+
+    /// Whether granule `gi`'s stored parity bit is consistent with its
+    /// payload (false after an unrepaired [`PackedLineMeta::flip_bit`]).
+    #[must_use]
+    pub fn parity_ok(&self, gi: usize) -> bool {
+        let v = self.shape.total_bits();
+        let w = self.word(gi);
+        let payload_and_parity = w & ((1u64 << (v + 3)) - 1);
+        payload_and_parity.count_ones() & 1 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockset_access;
+    use hard_types::LockId;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        *state >> 16
+    }
+
+    #[test]
+    fn factories_match_granule_meta_constructors() {
+        for shape in [BloomShape::B16, BloomShape::B32] {
+            let v = PackedLineMeta::virgin(shape, 4);
+            let f = PackedLineMeta::fetched(shape, 4, ThreadId(2));
+            assert_eq!(v.len(), 4);
+            for gi in 0..4 {
+                assert_eq!(v.granule(gi), GranuleMeta::virgin(shape));
+                assert_eq!(f.granule(gi), GranuleMeta::fetched(shape, ThreadId(2)));
+                assert!(v.parity_ok(gi) && f.parity_ok(gi));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let shape = BloomShape::B16;
+        let mut m = PackedLineMeta::virgin(shape, MAX_GRANULES);
+        let mut rng = 0x1234_5678u64;
+        for case in 0..2000 {
+            let gi = (lcg(&mut rng) as usize) % MAX_GRANULES;
+            let g = GranuleMeta {
+                state: LState::decode((lcg(&mut rng) & 3) as u8),
+                owner: if lcg(&mut rng) & 1 == 0 {
+                    None
+                } else {
+                    Some(ThreadId((lcg(&mut rng) % 64) as u32))
+                },
+                candidate: BloomVector::from_bits(shape, lcg(&mut rng) & shape.full_mask()),
+            };
+            m.set_granule(gi, &g);
+            assert_eq!(m.granule(gi), g, "case {case}");
+            assert!(m.parity_ok(gi));
+        }
+    }
+
+    #[test]
+    fn access_agrees_with_lockset_access_on_random_sequences() {
+        for shape in [BloomShape::B16, BloomShape::B32] {
+            let mut rng = 0xDEAD_BEEFu64 ^ u64::from(shape.total_bits());
+            for _ in 0..200 {
+                let mut packed = PackedLineMeta::virgin(shape, 2);
+                let mut reference: [GranuleMeta<BloomVector>; 2] =
+                    std::array::from_fn(|_| GranuleMeta::virgin(shape));
+                for step in 0..50 {
+                    let gi = (lcg(&mut rng) & 1) as usize;
+                    let thread = ThreadId((lcg(&mut rng) % 3) as u32);
+                    let kind = if lcg(&mut rng) & 1 == 0 {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
+                    let held = match lcg(&mut rng) % 3 {
+                        0 => BloomVector::empty(shape),
+                        1 => BloomVector::from_locks(shape, &[LockId(0x40)]),
+                        _ => BloomVector::from_locks(shape, &[LockId(0x40), LockId(0x84)]),
+                    };
+                    let before = reference[gi].clone();
+                    let expect = lockset_access(&mut reference[gi], thread, kind, &held);
+                    let expect_changed = reference[gi] != before;
+                    let (changed, got) = packed.access(gi, thread, kind, &held);
+                    assert_eq!(got, expect, "{shape} step {step}");
+                    assert_eq!(changed, expect_changed, "{shape} step {step}");
+                    assert_eq!(packed.granule(gi), reference[gi], "{shape} step {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flash_operations_match_their_per_granule_equivalents() {
+        let shape = BloomShape::B16;
+        let mut packed = PackedLineMeta::virgin(shape, 4);
+        let mut reference: Vec<GranuleMeta<BloomVector>> = (0..4)
+            .map(|i| GranuleMeta {
+                state: LState::decode(i as u8 & 3),
+                owner: (i % 2 == 1).then_some(ThreadId(i as u32 / 2)),
+                candidate: BloomVector::from_bits(shape, 0x0F0F ^ (i as u64)),
+            })
+            .collect();
+        for (gi, g) in reference.iter().enumerate() {
+            packed.set_granule(gi, g);
+        }
+
+        let mut forked = packed;
+        let mut forked_ref = reference.clone();
+        forked.fork_transfer_all(ThreadId(0));
+        for g in &mut forked_ref {
+            crate::fork_transfer(g, ThreadId(0));
+        }
+        for (gi, g) in forked_ref.iter().enumerate() {
+            assert_eq!(forked.granule(gi), *g);
+        }
+
+        packed.barrier_reset_all();
+        for g in &mut reference {
+            g.barrier_reset(shape);
+        }
+        for (gi, g) in reference.iter().enumerate() {
+            assert_eq!(packed.granule(gi), *g);
+        }
+    }
+
+    #[test]
+    fn flip_bit_breaks_parity_and_degrade_restores_it() {
+        let shape = BloomShape::B16;
+        let mut m = PackedLineMeta::fetched(shape, 1, ThreadId(0));
+        assert!(m.parity_ok(0));
+        m.flip_bit(0, 5);
+        assert!(!m.parity_ok(0), "a strike leaves the stored parity stale");
+        m.degrade(0);
+        assert!(m.parity_ok(0));
+        assert_eq!(m.granule(0), GranuleMeta::virgin(shape));
+
+        // State-bit flips address bits [V, V+2).
+        let mut s = PackedLineMeta::virgin(shape, 1);
+        s.flip_bit(0, shape.total_bits());
+        assert_eq!(s.state(0), LState::Exclusive);
+        assert!(!s.parity_ok(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn flip_bit_rejects_parity_and_owner_bits() {
+        let mut m = PackedLineMeta::virgin(BloomShape::B16, 1);
+        m.flip_bit(0, BloomShape::B16.total_bits() + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_granules_rejected() {
+        let _ = PackedLineMeta::virgin(BloomShape::B16, MAX_GRANULES + 1);
+    }
+
+    #[test]
+    fn word_equality_is_logical_equality() {
+        let shape = BloomShape::B16;
+        let a = PackedLineMeta::fetched(shape, 2, ThreadId(1));
+        let mut b = PackedLineMeta::fetched(shape, 2, ThreadId(1));
+        assert_eq!(a, b);
+        b.set_granule(
+            1,
+            &GranuleMeta {
+                state: LState::Exclusive,
+                owner: Some(ThreadId(2)),
+                candidate: BloomVector::full(shape),
+            },
+        );
+        assert_ne!(a, b, "owner changes are visible to the word compare");
+    }
+}

@@ -23,6 +23,12 @@ pub trait SetRepr: Clone {
     #[must_use]
     fn intersect(&self, other: &Self) -> Self;
 
+    /// In-place intersection; returns whether `self` changed. Must be
+    /// observationally identical to `*self = self.intersect(other)`,
+    /// but implementations avoid allocating when nothing changes —
+    /// this runs on the per-access hot path of every detector.
+    fn intersect_assign(&mut self, other: &Self) -> bool;
+
     /// Emptiness test; an empty candidate set indicates a potential
     /// race. Bloom vectors may answer "non-empty" for a truly empty
     /// set (hash collision), never the reverse.
@@ -43,6 +49,10 @@ impl SetRepr for ExactSet {
         ExactSet::intersect(self, other)
     }
 
+    fn intersect_assign(&mut self, other: &Self) -> bool {
+        ExactSet::intersect_assign(self, other)
+    }
+
     fn is_empty_set(&self) -> bool {
         ExactSet::is_empty_set(self)
     }
@@ -61,6 +71,13 @@ impl SetRepr for BloomVector {
 
     fn intersect(&self, other: &Self) -> Self {
         BloomVector::intersect(*self, other)
+    }
+
+    fn intersect_assign(&mut self, other: &Self) -> bool {
+        let new = BloomVector::intersect(*self, other);
+        let changed = new != *self;
+        *self = new;
+        changed
     }
 
     fn is_empty_set(&self) -> bool {

@@ -1,8 +1,8 @@
 //! Property-based tests of lockset-algorithm invariants.
 
-use hard_bloom::ExactSet;
+use hard_bloom::{BloomShape, BloomVector, ExactSet};
 use hard_lockset::ideal::{IdealLockset, IdealLocksetConfig};
-use hard_lockset::{lockset_access, GranuleMeta, LState};
+use hard_lockset::{lockset_access, GranuleMeta, LState, PackedLineMeta, MAX_GRANULES};
 use hard_trace::detect::Detector;
 use hard_trace::{Op, Program, SchedConfig, Scheduler, ThreadProgram, TraceEvent};
 use hard_types::{AccessKind, Addr, LockId, SiteId, ThreadId};
@@ -51,6 +51,46 @@ proptest! {
             prop_assert!(rank >= prev_rank, "LState moved backwards");
             prev = meta.candidate.clone();
             prev_rank = rank;
+        }
+    }
+
+    /// The packed metadata word round-trips exactly to the old
+    /// `GranuleMeta` representation: packing any (state, owner,
+    /// candidate) triple and unpacking it returns the same triple, for
+    /// both paper vector shapes, with a consistent parity bit.
+    #[test]
+    fn packed_word_round_trips_to_granule_meta(
+        entries in prop::collection::vec(
+            (0u8..4, any::<bool>(), 0u32..128, any::<u64>()),
+            1..=MAX_GRANULES,
+        )
+    ) {
+        for shape in [BloomShape::B16, BloomShape::B32] {
+            let mut packed = PackedLineMeta::virgin(shape, entries.len());
+            let metas: Vec<GranuleMeta<BloomVector>> = entries
+                .iter()
+                .map(|&(state, owned, owner, bits)| GranuleMeta {
+                    state: LState::decode(state),
+                    owner: owned.then_some(ThreadId(owner)),
+                    candidate: BloomVector::from_bits(shape, bits & shape.full_mask()),
+                })
+                .collect();
+            for (gi, g) in metas.iter().enumerate() {
+                packed.set_granule(gi, g);
+            }
+            for (gi, g) in metas.iter().enumerate() {
+                prop_assert_eq!(&packed.granule(gi), g, "granule {} of {}", gi, shape);
+                prop_assert!(packed.parity_ok(gi));
+                prop_assert_eq!(packed.state(gi), g.state);
+                prop_assert_eq!(packed.owner(gi), g.owner);
+                prop_assert_eq!(packed.candidate_bits(gi), g.candidate.bits());
+            }
+            // A second pack of the unpacked value is bit-stable.
+            let mut repacked = PackedLineMeta::virgin(shape, entries.len());
+            for gi in 0..metas.len() {
+                repacked.set_granule(gi, &packed.granule(gi));
+            }
+            prop_assert_eq!(repacked, packed);
         }
     }
 

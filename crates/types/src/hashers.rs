@@ -1,0 +1,116 @@
+//! A fast, deterministic hasher for the detectors' hot-path tables.
+//!
+//! The per-access structures (granule tables, reported-race sets,
+//! lost-line sets) are keyed by addresses and site ids — small integer
+//! keys hashed millions of times per campaign. The standard library's
+//! SipHash is DoS-resistant but costs more than the table lookup it
+//! guards; simulation tables face no adversarial keys, so a
+//! multiply-rotate mixer (the rustc `FxHash` construction) is both
+//! faster and — unlike `RandomState` — deterministic across processes,
+//! which keeps any incidental iteration order reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHash` mixing function over the written words.
+#[derive(Default, Clone)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        m.insert(7, 1);
+        assert_eq!(m.get(&7), Some(&1));
+        let mut s: FastHashSet<(u64, u32)> = FastHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FastHasher::default();
+        a.write(b"hello world");
+        let mut b = FastHasher::default();
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

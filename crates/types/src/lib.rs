@@ -24,10 +24,12 @@
 
 pub mod error;
 pub mod fault;
+pub mod hashers;
 pub mod ids;
 pub mod rng;
 
 pub use error::HardError;
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use hashers::{FastHashMap, FastHashSet, FastHasher};
 pub use ids::{AccessKind, Addr, BarrierId, CoreId, Cycles, Granularity, LockId, SiteId, ThreadId};
 pub use rng::Xoshiro256;
