@@ -11,7 +11,7 @@ use hard::{
 use hard_harness::{race_free_trace, CampaignConfig};
 use hard_hb::{IdealHappensBefore, IdealHbConfig};
 use hard_lockset::{IdealLockset, IdealLocksetConfig};
-use hard_trace::{run_detector, Trace};
+use hard_trace::{run_detector, run_detector_streamed, PackedTrace, Trace};
 use hard_workloads::App;
 
 fn trace(app: App) -> Trace {
@@ -113,11 +113,44 @@ fn bench_full_app(c: &mut Criterion) {
     g.finish();
 }
 
+/// Materialized vs. packed replay: the same trace driven through the
+/// HARD machine from a `Vec<Event>` and from the 16-byte-record corpus
+/// encoding. The packed path unpacks on the fly, so this prices the
+/// zero-copy streaming replay against the heap-resident baseline.
+fn bench_replay_paths(c: &mut Criterion) {
+    let t = trace(App::WaterNsquared);
+    let packed = PackedTrace::from_trace(&t).expect("generated traces always pack");
+    let mut g = c.benchmark_group("replay/water-nsquared");
+    g.sample_size(15);
+    g.throughput(criterion::Throughput::Elements(t.len() as u64));
+    g.bench_function("materialized", |b| {
+        b.iter_batched(
+            || HardMachine::new(HardConfig::default()),
+            |mut m| {
+                run_detector(&mut m, &t);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("packed-streamed", |b| {
+        b.iter_batched(
+            || HardMachine::new(HardConfig::default()),
+            |mut m| {
+                run_detector_streamed(&mut m, &packed);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_detectors(c: &mut Criterion) {
     // One cache-resident app and one streaming app.
     bench_app(c, App::WaterNsquared);
     bench_app(c, App::Raytrace);
 }
 
-criterion_group!(benches, bench_detectors, bench_full_app);
+criterion_group!(benches, bench_detectors, bench_full_app, bench_replay_paths);
 criterion_main!(benches);

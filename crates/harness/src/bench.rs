@@ -5,9 +5,10 @@
 //! tracked artifact with a trajectory, not a one-off stopwatch number:
 //!
 //! ```json
-//! {"schema":"hard-bench/v1","name":"table2","jobs":4,"wall_ms":3120,
+//! {"schema":"hard-bench/v1","name":"table2","jobs":4,
+//!  "jobs_requested":8,"jobs_effective":4,"wall_ms":3120,
 //!  "events":81060224,"events_per_sec":25981482,"cycles":913400210,
-//!  "peak_rss_bytes":68419584,"cells":264,"resumed":0}
+//!  "peak_rss_bytes":68419584,"rss_unavailable":false,"cells":264,"resumed":0}
 //! ```
 //!
 //! The throughput numbers come from a process-global accumulator fed
@@ -39,25 +40,27 @@ pub fn account_resumed(cells: u64) {
     RESUMED.fetch_add(cells, Ordering::Relaxed);
 }
 
-/// Peak resident set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`), or 0 where procfs is unavailable.
+/// Peak resident set size of this process in bytes, or `None` where no
+/// probe works. Prefers `VmHWM` from `/proc/self/status` and falls
+/// back to the current `VmRSS` (a lower bound on the peak) on kernels
+/// that omit the high-water mark; records distinguish "unavailable"
+/// from a genuine measurement instead of silently reporting zero.
 #[must_use]
-pub fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb_field = |prefix: &str| -> Option<u64> {
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix(prefix))?
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse::<u64>()
+            .ok()
     };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kb * 1024;
-        }
-    }
-    0
+    kb_field("VmHWM:")
+        .or_else(|| kb_field("VmRSS:"))
+        .map(|kb| kb * 1024)
 }
 
 /// One `hard-bench/v1` performance record.
@@ -65,8 +68,17 @@ pub fn peak_rss_bytes() -> u64 {
 pub struct BenchRecord {
     /// The experiment (CLI command) measured.
     pub name: String,
-    /// Worker-thread bound the campaign ran with.
+    /// Worker-thread bound the campaign ran with (same as
+    /// [`BenchRecord::jobs_effective`]; kept as the schema's original
+    /// field so v1 rows stay readable).
     pub jobs: usize,
+    /// Worker count the invoker asked for (`--jobs`, or the machine's
+    /// available parallelism when the flag is absent).
+    pub jobs_requested: usize,
+    /// Worker count actually used after capping at the host's
+    /// available parallelism — `jobs4` on a 1-CPU host records
+    /// `requested=4, effective=1` instead of an ambiguous `jobs:1`.
+    pub jobs_effective: usize,
     /// Wall-clock time of the whole command, in milliseconds.
     pub wall_ms: u64,
     /// Trace events dispatched across all detector runs.
@@ -75,8 +87,12 @@ pub struct BenchRecord {
     pub events_per_sec: u64,
     /// Simulated cycles consumed across all timed detector runs.
     pub cycles: u64,
-    /// Peak resident set size in bytes (0 if unavailable).
+    /// Peak resident set size in bytes (0 if unavailable — see
+    /// [`BenchRecord::rss_unavailable`]).
     pub peak_rss_bytes: u64,
+    /// True when no RSS probe worked on this host; distinguishes "not
+    /// measured" from a measured zero.
+    pub rss_unavailable: bool,
     /// Detector runs completed.
     pub cells: u64,
     /// Cells served from a checkpoint instead of recomputed.
@@ -86,21 +102,30 @@ pub struct BenchRecord {
 impl BenchRecord {
     /// Snapshots the global accumulator into a record for `name`.
     #[must_use]
-    pub fn capture(name: &str, jobs: usize, wall: Duration) -> BenchRecord {
+    pub fn capture(
+        name: &str,
+        jobs_requested: usize,
+        jobs_effective: usize,
+        wall: Duration,
+    ) -> BenchRecord {
         let events = EVENTS.load(Ordering::Relaxed);
         let wall_ms = u64::try_from(wall.as_millis()).unwrap_or(u64::MAX);
         let events_per_sec = events
             .saturating_mul(1000)
             .checked_div(wall_ms)
             .unwrap_or(0);
+        let rss = peak_rss_bytes();
         BenchRecord {
             name: name.into(),
-            jobs,
+            jobs: jobs_effective,
+            jobs_requested,
+            jobs_effective,
             wall_ms,
             events,
             events_per_sec,
             cycles: CYCLES.load(Ordering::Relaxed),
-            peak_rss_bytes: peak_rss_bytes(),
+            peak_rss_bytes: rss.unwrap_or(0),
+            rss_unavailable: rss.is_none(),
             cells: CELLS.load(Ordering::Relaxed),
             resumed: RESUMED.load(Ordering::Relaxed),
         }
@@ -110,16 +135,20 @@ impl BenchRecord {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"schema\":\"hard-bench/v1\",\"name\":\"{}\",\"jobs\":{},\"wall_ms\":{},\
+            "{{\"schema\":\"hard-bench/v1\",\"name\":\"{}\",\"jobs\":{},\
+             \"jobs_requested\":{},\"jobs_effective\":{},\"wall_ms\":{},\
              \"events\":{},\"events_per_sec\":{},\"cycles\":{},\"peak_rss_bytes\":{},\
-             \"cells\":{},\"resumed\":{}}}",
+             \"rss_unavailable\":{},\"cells\":{},\"resumed\":{}}}",
             hard_obs::jsonl::escape(&self.name),
             self.jobs,
+            self.jobs_requested,
+            self.jobs_effective,
             self.wall_ms,
             self.events,
             self.events_per_sec,
             self.cycles,
             self.peak_rss_bytes,
+            self.rss_unavailable,
             self.cells,
             self.resumed,
         )
@@ -138,11 +167,18 @@ impl BenchRecord {
 
 /// Parses and validates one `hard-bench/v1` JSON record.
 ///
+/// The `jobs_requested`/`jobs_effective` pair and `rss_unavailable`
+/// were added after the first v1 rows were committed; records without
+/// them stay readable (both default to `jobs`, the flag to `false`).
+/// When present they must be coherent: `jobs == jobs_effective`,
+/// `jobs_effective <= jobs_requested`, and an unavailable RSS must be
+/// recorded as zero bytes.
+///
 /// # Errors
 ///
 /// Returns a description of the first violation: malformed JSON, a
-/// wrong/missing schema tag, a missing field, or a field of the wrong
-/// type.
+/// wrong/missing schema tag, a missing field, a field of the wrong
+/// type, or an incoherent jobs/RSS combination.
 pub fn validate(json: &str) -> Result<BenchRecord, String> {
     let v = hard_obs::jsonl::parse(json.trim())?;
     let schema = v
@@ -162,14 +198,50 @@ pub fn validate(json: &str) -> Result<BenchRecord, String> {
             .and_then(hard_obs::jsonl::Json::as_u64)
             .ok_or_else(|| format!("missing or non-numeric field: {field}"))
     };
+    let opt_num = |field: &str, default: u64| -> Result<u64, String> {
+        match v.get(field) {
+            None => Ok(default),
+            Some(j) => j
+                .as_u64()
+                .ok_or_else(|| format!("non-numeric field: {field}")),
+        }
+    };
+    let jobs = num("jobs")?;
+    let jobs_requested = opt_num("jobs_requested", jobs)?;
+    let jobs_effective = opt_num("jobs_effective", jobs)?;
+    if jobs != jobs_effective {
+        return Err(format!(
+            "jobs ({jobs}) must equal jobs_effective ({jobs_effective})"
+        ));
+    }
+    if jobs_effective > jobs_requested {
+        return Err(format!(
+            "jobs_effective ({jobs_effective}) exceeds jobs_requested ({jobs_requested})"
+        ));
+    }
+    let rss_unavailable = match v.get("rss_unavailable") {
+        None => false,
+        Some(hard_obs::jsonl::Json::Bool(b)) => *b,
+        Some(_) => return Err("non-boolean field: rss_unavailable".into()),
+    };
+    let peak_rss_bytes = num("peak_rss_bytes")?;
+    if rss_unavailable && peak_rss_bytes != 0 {
+        return Err(format!(
+            "rss_unavailable with a nonzero peak_rss_bytes ({peak_rss_bytes})"
+        ));
+    }
+    let to_usize = |n: u64| usize::try_from(n).map_err(|e| e.to_string());
     Ok(BenchRecord {
         name,
-        jobs: usize::try_from(num("jobs")?).map_err(|e| e.to_string())?,
+        jobs: to_usize(jobs)?,
+        jobs_requested: to_usize(jobs_requested)?,
+        jobs_effective: to_usize(jobs_effective)?,
         wall_ms: num("wall_ms")?,
         events: num("events")?,
         events_per_sec: num("events_per_sec")?,
         cycles: num("cycles")?,
-        peak_rss_bytes: num("peak_rss_bytes")?,
+        peak_rss_bytes,
+        rss_unavailable,
         cells: num("cells")?,
         resumed: num("resumed")?,
     })
@@ -184,11 +256,14 @@ mod tests {
         let r = BenchRecord {
             name: "table2".into(),
             jobs: 4,
+            jobs_requested: 8,
+            jobs_effective: 4,
             wall_ms: 3120,
             events: 81_060_224,
             events_per_sec: 25_981_482,
             cycles: 913_400_210,
             peak_rss_bytes: 68_419_584,
+            rss_unavailable: false,
             cells: 264,
             resumed: 6,
         };
@@ -209,13 +284,53 @@ mod tests {
     }
 
     #[test]
+    fn legacy_rows_without_the_jobs_pair_stay_readable() {
+        // A verbatim pre-PR4 row: no jobs_requested/jobs_effective, no
+        // rss_unavailable. Both default from "jobs".
+        let legacy = "{\"schema\":\"hard-bench/v1\",\"name\":\"table2-pr3\",\"jobs\":1,\
+             \"wall_ms\":4370,\"events\":11808636,\"events_per_sec\":2702090,\
+             \"cycles\":35329810,\"peak_rss_bytes\":0,\"cells\":264,\"resumed\":0}";
+        let r = validate(legacy).unwrap();
+        assert_eq!((r.jobs, r.jobs_requested, r.jobs_effective), (1, 1, 1));
+        assert!(!r.rss_unavailable);
+    }
+
+    #[test]
+    fn incoherent_jobs_pairs_are_rejected() {
+        let base = |req: u64, eff: u64| {
+            format!(
+                "{{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":{eff},\
+                 \"jobs_requested\":{req},\"jobs_effective\":{eff},\"wall_ms\":1,\
+                 \"events\":1,\"events_per_sec\":1,\"cycles\":1,\"peak_rss_bytes\":0,\
+                 \"cells\":1,\"resumed\":0}}"
+            )
+        };
+        assert!(validate(&base(4, 1)).is_ok(), "capped on a small host");
+        assert!(validate(&base(1, 4)).unwrap_err().contains("exceeds"));
+        let jobs_mismatch = "{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":2,\
+             \"jobs_requested\":4,\"jobs_effective\":3,\"wall_ms\":1,\"events\":1,\
+             \"events_per_sec\":1,\"cycles\":1,\"peak_rss_bytes\":0,\"cells\":1,\"resumed\":0}";
+        assert!(validate(jobs_mismatch).unwrap_err().contains("jobs"));
+    }
+
+    #[test]
+    fn unavailable_rss_must_record_zero_bytes() {
+        let bad = "{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":1,\"wall_ms\":1,\
+             \"events\":1,\"events_per_sec\":1,\"cycles\":1,\"peak_rss_bytes\":512,\
+             \"rss_unavailable\":true,\"cells\":1,\"resumed\":0}";
+        assert!(validate(bad).unwrap_err().contains("rss_unavailable"));
+        let ok = bad.replace("\"peak_rss_bytes\":512", "\"peak_rss_bytes\":0");
+        assert!(validate(&ok).unwrap().rss_unavailable);
+    }
+
+    #[test]
     fn accounting_accumulates_across_runs() {
         // The accumulator is process-global; assert growth, not
         // absolute values, so other tests in the binary can't race us.
-        let before = BenchRecord::capture("t", 1, Duration::from_millis(10));
+        let before = BenchRecord::capture("t", 1, 1, Duration::from_millis(10));
         account(500, 900);
         account(250, 0);
-        let after = BenchRecord::capture("t", 1, Duration::from_millis(10));
+        let after = BenchRecord::capture("t", 1, 1, Duration::from_millis(10));
         assert_eq!(after.events - before.events, 750);
         assert_eq!(after.cycles - before.cycles, 900);
         assert_eq!(after.cells - before.cells, 2);
@@ -223,18 +338,29 @@ mod tests {
 
     #[test]
     fn throughput_guards_zero_wall_time() {
-        let r = BenchRecord::capture("t", 1, Duration::ZERO);
+        let r = BenchRecord::capture("t", 1, 1, Duration::ZERO);
         assert_eq!(r.events_per_sec, 0);
     }
 
     #[test]
     fn peak_rss_is_reported_on_linux() {
         // procfs is present on every target this repo supports in CI;
-        // tolerate absence elsewhere by only checking the format.
-        let rss = peak_rss_bytes();
-        if std::path::Path::new("/proc/self/status").exists() {
-            assert!(rss > 0, "a running process has a nonzero peak RSS");
-            assert_eq!(rss % 1024, 0, "VmHWM is reported in kB");
+        // tolerate absence elsewhere (peak_rss_bytes returns None and
+        // capture flags the record instead of recording a silent 0).
+        match peak_rss_bytes() {
+            Some(rss) => {
+                assert!(rss > 0, "a running process has a nonzero peak RSS");
+                assert_eq!(rss % 1024, 0, "VmHWM/VmRSS are reported in kB");
+                let r = BenchRecord::capture("t", 1, 1, Duration::from_millis(1));
+                assert!(!r.rss_unavailable);
+                assert!(r.peak_rss_bytes > 0);
+            }
+            None => {
+                assert!(!std::path::Path::new("/proc/self/status").exists());
+                let r = BenchRecord::capture("t", 1, 1, Duration::from_millis(1));
+                assert!(r.rss_unavailable);
+                assert_eq!(r.peak_rss_bytes, 0);
+            }
         }
     }
 }

@@ -3,10 +3,10 @@
 //! ```text
 //! hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all>
 //!          [--scale F] [--runs N] [--jobs N] [--markdown] [--format text|markdown|json]
-//!          [--quiet] [--trace-out PATH] [--bench-out PATH]
+//!          [--quiet] [--trace-out PATH] [--bench-out PATH] [--trace-cache DIR|off]
 //! hard-exp faults [--rates PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]
 //! hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]
-//! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F]
+//! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F] [--packed]
 //! hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]
 //! hard-exp bench-check --file BENCH_x.json
 //! ```
@@ -22,6 +22,15 @@
 //! `hard-bench/v1` JSON performance record (wall time, event
 //! throughput, simulated cycles, peak RSS) after the command;
 //! `bench-check` validates such a record's schema.
+//!
+//! `--trace-cache DIR|off` points the content-addressed trace corpus
+//! at `DIR` (default `results/corpus`) or disables it. Campaigns key
+//! every generated trace by (generator version, app, scale, seed,
+//! schedule config, injection) and replay packed corpus files instead
+//! of regenerating; outputs are bit-identical for any cache state.
+//! Cache statistics print to stderr only. `record --packed` writes
+//! the corpus format; `replay` auto-detects it by magic and streams
+//! the payload through the detector without materialising it.
 
 use hard_harness::experiments::{
     ablation, bloom_analysis, claims, cord, faults, fig8, obs, robustness, server, table1, table2,
@@ -59,6 +68,8 @@ struct Args {
     out: Option<String>,
     serve: Option<String>,
     serve_requests: Option<usize>,
+    trace_cache: Option<String>,
+    packed: bool,
 }
 
 impl Args {
@@ -86,6 +97,8 @@ impl Args {
             out: None,
             serve: None,
             serve_requests: None,
+            trace_cache: self.trace_cache.clone(),
+            packed: false,
         }
     }
 }
@@ -113,6 +126,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         serve: None,
         serve_requests: None,
+        trace_cache: None,
+        packed: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -206,6 +221,10 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown mode: {other}")),
                 };
             }
+            "--trace-cache" => {
+                args.trace_cache = Some(it.next().ok_or("--trace-cache needs <dir> or 'off'")?);
+            }
+            "--packed" => args.packed = true,
             "--smoke" => args.smoke = true,
             "--out" => args.out = Some(it.next().ok_or("--out needs a directory")?),
             "--serve" => args.serve = Some(it.next().ok_or("--serve needs an address")?),
@@ -239,10 +258,36 @@ fn parse_args() -> Result<Args, String> {
 /// cap — tests drive it with explicit worker counts to exercise real
 /// multi-threaded merges regardless of the host.
 fn effective_jobs(args: &Args) -> usize {
-    let hw = std::thread::available_parallelism()
+    args.jobs
+        .map_or_else(hw_parallelism, |j| j.min(hw_parallelism()))
+}
+
+/// The worker count the invoker asked for: `--jobs` verbatim, or the
+/// machine's available parallelism when the flag is absent. Recorded
+/// alongside the effective count so a capped run is unambiguous in
+/// bench records.
+fn requested_jobs(args: &Args) -> usize {
+    args.jobs.unwrap_or_else(hw_parallelism)
+}
+
+fn hw_parallelism() -> usize {
+    std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    args.jobs.map_or(hw, |j| j.min(hw))
+        .unwrap_or(1)
+}
+
+/// Installs the process-global trace-corpus cache behind
+/// `--trace-cache <dir>|off` (default: `results/corpus`). Returns the
+/// cache so `main` can report hit statistics after the command.
+fn install_trace_cache(args: &Args) -> Option<Arc<hard_harness::CorpusCache>> {
+    let dir = match args.trace_cache.as_deref() {
+        Some("off") => return None,
+        Some(dir) => dir,
+        None => "results/corpus",
+    };
+    let cache = Arc::new(hard_harness::CorpusCache::new(dir.into()));
+    hard_harness::corpus::install(Some(cache.clone()));
+    Some(cache)
 }
 
 fn campaign(args: &Args) -> CampaignConfig {
@@ -457,29 +502,38 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
                 .find(|a| a.name() == name)
                 .ok_or_else(|| format!("unknown app: {name}"))?;
             let path = args.file.as_deref().ok_or("record needs --file <path>")?;
-            let trace = match args.inject {
-                None => hard_harness::race_free_trace(app, &cfg),
-                Some(seed) => hard_harness::injected_trace(app, &cfg, seed as usize).0,
+            let (trace, injection) = match args.inject {
+                None => (hard_harness::race_free_trace(app, &cfg), None),
+                Some(seed) => {
+                    let (t, i) = hard_harness::injected_trace(app, &cfg, seed as usize);
+                    (t, Some(i))
+                }
             };
-            let f =
-                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-            codec::encode(&trace, std::io::BufWriter::new(f))
-                .map_err(|e| format!("encode failed: {e}"))?;
+            if args.packed {
+                let packed = hard_trace::PackedTrace::from_trace(&trace)
+                    .map_err(|e| format!("pack failed: {e}"))?;
+                hard_harness::corpus::write_file(
+                    std::path::Path::new(path),
+                    &packed,
+                    injection.as_ref(),
+                )
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            } else {
+                let f = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                codec::encode(&trace, std::io::BufWriter::new(f))
+                    .map_err(|e| format!("encode failed: {e}"))?;
+            }
             rep.note(&format!(
-                "recorded {} ({} events, {} threads) to {path}",
+                "recorded {} ({} events, {} threads{}) to {path}",
                 app,
                 trace.len(),
-                trace.num_threads
+                trace.num_threads,
+                if args.packed { ", packed" } else { "" }
             ));
         }
         "replay" => {
             let path = args.file.as_deref().ok_or("replay needs --file <path>")?;
-            let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-            let trace = codec::decode(std::io::BufReader::new(f))
-                .map_err(|e| format!("decode failed: {e}"))?;
-            trace
-                .validate()
-                .map_err(|e| format!("trace is not a plausible execution: {e}"))?;
             let kind = match args.detector.as_str() {
                 "hard" => DetectorKind::hard_default(),
                 "lockset-ideal" => DetectorKind::lockset_ideal(),
@@ -487,18 +541,58 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
                 "hb-ideal" => DetectorKind::hb_ideal(),
                 other => return Err(format!("unknown detector: {other}")),
             };
-            let run = execute(&kind, &trace, &[]);
+            let magic = {
+                let mut m = [0u8; 8];
+                let mut f =
+                    std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+                use std::io::Read;
+                let _ = f
+                    .read(&mut m)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                m
+            };
+            let (events, reports) = if &magic == hard_harness::corpus::CORPUS_MAGIC {
+                // A packed corpus file: stream it through the detector
+                // chunk by chunk — the payload is never resident.
+                let (header, mut reader) =
+                    hard_harness::corpus::open_streamed(std::path::Path::new(path))?;
+                let (run, events, fnv) = hard_harness::execute_streamed(
+                    &kind,
+                    header.num_threads as usize,
+                    &mut reader,
+                )?;
+                if events != header.events {
+                    return Err(format!(
+                        "stream ended after {events} of {} events",
+                        header.events
+                    ));
+                }
+                if fnv != header.payload_fnv {
+                    return Err("payload checksum mismatch after replay".into());
+                }
+                (events as usize, run.reports)
+            } else {
+                let f =
+                    std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+                let trace = codec::decode(std::io::BufReader::new(f))
+                    .map_err(|e| format!("decode failed: {e}"))?;
+                trace
+                    .validate()
+                    .map_err(|e| format!("trace is not a plausible execution: {e}"))?;
+                let run = execute(&kind, &trace, &[]);
+                (trace.len(), run.reports)
+            };
             rep.note(&format!(
                 "replayed {} events through {}: {} report(s)",
-                trace.len(),
+                events,
                 kind.label(),
-                run.reports.len()
+                reports.len()
             ));
-            for r in run.reports.iter().take(20) {
+            for r in reports.iter().take(20) {
                 rep.note(&format!("  {r}"));
             }
-            if run.reports.len() > 20 {
-                rep.note(&format!("  ... and {} more", run.reports.len() - 20));
+            if reports.len() > 20 {
+                rep.note(&format!("  ... and {} more", reports.len() - 20));
             }
         }
         "ablation" => {
@@ -553,10 +647,10 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all> \
                  [--scale F] [--runs N] [--jobs N] [--format text|markdown|json] [--quiet] \
-                 [--trace-out PATH] [--bench-out PATH]\n       \
+                 [--trace-out PATH] [--bench-out PATH] [--trace-cache DIR|off]\n       \
                  hard-exp faults [--rates PPM,PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]\n       \
                  hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]\n       \
-                 hard-exp record --app <name> --file <path> [--inject SEED]\n       \
+                 hard-exp record --app <name> --file <path> [--inject SEED] [--packed]\n       \
                  hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]\n       \
                  hard-exp bench-check --file BENCH_x.json"
             );
@@ -572,12 +666,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let corpus = install_trace_cache(&args);
     let started = std::time::Instant::now();
     let result = run_command(&args, &rep);
+    if let Some(cache) = &corpus {
+        let s = cache.stats();
+        if s.lookups() > 0 {
+            // Stats go to stderr: stdout must stay byte-identical for
+            // any cache state so CI can `cmp` cold vs. warm runs.
+            eprintln!(
+                "trace-cache {}: {} hit(s) ({} mem, {} disk), {} miss(es), \
+                 {} corrupt, {} store(s), {} store error(s)",
+                cache.dir().display(),
+                s.hits_mem + s.hits_disk,
+                s.hits_mem,
+                s.hits_disk,
+                s.misses,
+                s.corrupt,
+                s.stores,
+                s.store_errors
+            );
+        }
+    }
     if let Some(path) = args.bench_out.as_deref() {
         if result.is_ok() {
             let record = hard_harness::BenchRecord::capture(
                 &args.command,
+                requested_jobs(&args),
                 effective_jobs(&args),
                 started.elapsed(),
             );

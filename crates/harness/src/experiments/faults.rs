@@ -17,11 +17,11 @@
 //!   columns, expected to stay zero), not crashes.
 
 use crate::campaign::{
-    alarm_sites, injected_trace, probes, race_free_trace, score, BugOutcome, CampaignConfig,
+    alarm_sites, injected_cell, probes, race_free_cell, score, BugOutcome, CampaignConfig,
 };
 use crate::checkpoint::{Cell, Checkpoint};
 use crate::detectors::DetectorKind;
-use crate::runner::{execute_hardened, RunLimits, RunOutcome};
+use crate::runner::{execute_hardened_cell, RunLimits, RunOutcome};
 use crate::table::TextTable;
 use hard::HardConfig;
 use hard_types::FaultPlan;
@@ -115,9 +115,9 @@ fn compute_cell(app: App, rate_ppm: u32, cfg: &FaultsConfig) -> Cell {
     };
 
     // False alarms on the race-free execution at this fault rate.
-    let rf = race_free_trace(app, &cfg.campaign);
+    let rf = race_free_cell(app, &cfg.campaign);
     let kind = hard_with_faults(rate_ppm, fault_seed(rate_ppm, app, usize::MAX >> 1));
-    match execute_hardened(&kind, &rf, &[], cfg.limits) {
+    match execute_hardened_cell(&kind, &rf, &[], cfg.limits) {
         RunOutcome::Ok(run, m) => {
             cell.alarms = alarm_sites(&run).len();
             cell.resets += m.faults.conservative_resets;
@@ -131,10 +131,10 @@ fn compute_cell(app: App, rate_ppm: u32, cfg: &FaultsConfig) -> Cell {
 
     // Bug detection over the injected runs.
     for run_idx in 0..cfg.campaign.runs {
-        let (trace, injection) = injected_trace(app, &cfg.campaign, run_idx);
+        let (trace, injection) = injected_cell(app, &cfg.campaign, run_idx);
         let pr = probes(&injection);
         let kind = hard_with_faults(rate_ppm, fault_seed(rate_ppm, app, run_idx));
-        match execute_hardened(&kind, &trace, &pr, cfg.limits) {
+        match execute_hardened_cell(&kind, &trace, &pr, cfg.limits) {
             RunOutcome::Ok(run, m) => {
                 if score(&run, &injection) == BugOutcome::Detected {
                     cell.detected += 1;

@@ -17,11 +17,10 @@
 //! tier-2 guard that instrumentation stays wired end to end.
 
 use crate::campaign::{
-    alarm_sites, injected_trace, per_app, probes, race_free_trace, score, BugOutcome,
-    CampaignConfig,
+    alarm_sites, injected_cell, per_app, probes, race_free_cell, score, BugOutcome, CampaignConfig,
 };
 use crate::detectors::DetectorKind;
-use crate::runner::{execute_hardened_observed, RunLimits, RunOutcome};
+use crate::runner::{execute_hardened_cell_observed, RunLimits, RunOutcome};
 use crate::table::TextTable;
 use hard_obs::{jsonl, CounterId, Exposition, MemoryRecorder, ObsHandle, Snapshot};
 use hard_types::FaultStats;
@@ -98,20 +97,20 @@ fn observe_app(app: App, cfg: &ObsConfig) -> std::io::Result<AppObs> {
     let app_span = obs.span(|| format!("app:{}", app.name()));
 
     let gen_span = obs.span(|| format!("generate:{}", app.name()));
-    let rf = race_free_trace(app, &cfg.campaign);
+    let rf = race_free_cell(app, &cfg.campaign);
     obs.span_end(gen_span, 0, rf.len() as u64);
     if let RunOutcome::Ok(run, m) =
-        execute_hardened_observed(&kind, &rf, &[], RunLimits::unlimited(), &obs)
+        execute_hardened_cell_observed(&kind, &rf, &[], RunLimits::unlimited(), &obs)
     {
         alarms = alarm_sites(&run).len();
         tally(&m);
     }
 
     for run_idx in 0..cfg.campaign.runs {
-        let (trace, injection) = injected_trace(app, &cfg.campaign, run_idx);
+        let (trace, injection) = injected_cell(app, &cfg.campaign, run_idx);
         let pr = probes(&injection);
         if let RunOutcome::Ok(run, m) =
-            execute_hardened_observed(&kind, &trace, &pr, RunLimits::unlimited(), &obs)
+            execute_hardened_cell_observed(&kind, &trace, &pr, RunLimits::unlimited(), &obs)
         {
             if score(&run, &injection) == BugOutcome::Detected {
                 detected += 1;

@@ -2,10 +2,10 @@
 //! and ideal, on six applications with 10 injected races each.
 
 use crate::campaign::{
-    alarm_sites, injected_trace, probes, race_free_trace, score, BugOutcome, CampaignConfig,
+    alarm_sites, injected_cell, probes, race_free_cell, score, BugOutcome, CampaignConfig,
 };
 use crate::detectors::DetectorKind;
-use crate::runner::{execute_hardened, RunLimits, RunOutcome};
+use crate::runner::{execute_hardened_cell, RunLimits, RunOutcome};
 use crate::table::TextTable;
 use hard_workloads::App;
 
@@ -65,9 +65,9 @@ fn compute_cell(app: App, run: Option<usize>, cfg: &CampaignConfig) -> [Detector
     let mut tallies = [DetectorTally::default(); 4];
     match run {
         None => {
-            let rf = race_free_trace(app, cfg);
+            let rf = race_free_cell(app, cfg);
             for (k, tally) in kinds.iter().zip(tallies.iter_mut()) {
-                let out = execute_hardened(k, &rf, &[], RunLimits::unlimited());
+                let out = execute_hardened_cell(k, &rf, &[], RunLimits::unlimited());
                 let RunOutcome::Ok(dr, _) = out else {
                     unreachable!("fault-free unlimited runs always complete");
                 };
@@ -75,10 +75,10 @@ fn compute_cell(app: App, run: Option<usize>, cfg: &CampaignConfig) -> [Detector
             }
         }
         Some(run_idx) => {
-            let (trace, injection) = injected_trace(app, cfg, run_idx);
+            let (trace, injection) = injected_cell(app, cfg, run_idx);
             let pr = probes(&injection);
             for (k, tally) in kinds.iter().zip(tallies.iter_mut()) {
-                let out = execute_hardened(k, &trace, &pr, RunLimits::unlimited());
+                let out = execute_hardened_cell(k, &trace, &pr, RunLimits::unlimited());
                 let RunOutcome::Ok(dr, _) = out else {
                     unreachable!("fault-free unlimited runs always complete");
                 };

@@ -22,6 +22,7 @@
 pub mod bench;
 pub mod campaign;
 pub mod checkpoint;
+pub mod corpus;
 pub mod detectors;
 pub mod experiments;
 pub mod parallel;
@@ -31,12 +32,17 @@ pub mod table;
 
 pub use bench::BenchRecord;
 pub use campaign::{
-    alarm_sites, injected_trace, per_app, probes, race_free_trace, score, BugOutcome,
-    CampaignConfig, InjectMode,
+    alarm_sites, injected_cell, injected_trace, per_app, probes, race_free_cell, race_free_trace,
+    score, BugOutcome, CampaignConfig, CellTrace, InjectMode,
 };
 pub use checkpoint::Checkpoint;
+pub use corpus::{CorpusCache, CorpusEntry, CorpusStats};
 pub use detectors::{execute, execute_observed, DetectorKind, DetectorRun};
 pub use parallel::map_cells;
 pub use report::{OutputFormat, Reporter};
-pub use runner::{execute_hardened, execute_hardened_observed, RunLimits, RunMetrics, RunOutcome};
+pub use runner::{
+    execute_hardened, execute_hardened_cell, execute_hardened_cell_observed,
+    execute_hardened_observed, execute_hardened_packed, execute_hardened_packed_observed,
+    execute_streamed, RunLimits, RunMetrics, RunOutcome,
+};
 pub use table::TextTable;

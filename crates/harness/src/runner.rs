@@ -9,13 +9,16 @@
 //! simulated-cycle deadline, and the campaign reports a structured
 //! [`RunOutcome`] instead of tearing down the sweep.
 
+use crate::campaign::CellTrace;
 use crate::detectors::{DetectorKind, DetectorRun};
 use hard::{HardMachine, HbMachine};
 use hard_hb::{IdealHappensBefore, IdealHbConfig};
 use hard_lockset::bloom_table::BloomLockset;
 use hard_lockset::IdealLockset;
 use hard_obs::ObsHandle;
-use hard_trace::{observe_event, Detector, Trace};
+use hard_trace::codec;
+use hard_trace::packed_event::{ChunkedReader, PackedEvent, PackedTrace, RECORD_BYTES};
+use hard_trace::{observe_event, Detector, Trace, TraceEvent};
 use hard_types::{Addr, FaultStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -116,7 +119,7 @@ enum AnyDetector {
 }
 
 impl AnyDetector {
-    fn build(kind: &DetectorKind, trace: &Trace, obs: &ObsHandle) -> AnyDetector {
+    fn build(kind: &DetectorKind, num_threads: usize, obs: &ObsHandle) -> AnyDetector {
         match kind {
             DetectorKind::Hard(cfg) => {
                 let mut m = Box::new(HardMachine::new(*cfg));
@@ -133,7 +136,7 @@ impl AnyDetector {
             }
             DetectorKind::HbIdeal { granularity } => {
                 AnyDetector::HbIdeal(Box::new(IdealHappensBefore::new(IdealHbConfig {
-                    num_threads: trace.num_threads,
+                    num_threads,
                     granularity: *granularity,
                 })))
             }
@@ -205,21 +208,25 @@ impl AnyDetector {
     }
 }
 
-fn run_bounded(
+/// The shared bounded dispatch loop, generic over the event source so
+/// the materialized (`&Trace`) and packed/streamed paths run the exact
+/// same code — a detector cannot tell them apart.
+fn run_bounded_events<I: Iterator<Item = TraceEvent>>(
     kind: &DetectorKind,
-    trace: &Trace,
+    num_threads: usize,
+    events: I,
     probes: &[Addr],
     limits: RunLimits,
     obs: &ObsHandle,
 ) -> RunOutcome {
-    let mut d = AnyDetector::build(kind, trace, obs);
+    let mut d = AnyDetector::build(kind, num_threads, obs);
     let observing = obs.is_on();
     let mut events_done = 0u64;
-    for (index, e) in trace.events.iter().enumerate() {
+    for (index, e) in events.enumerate() {
         if observing {
-            observe_event(obs, e);
+            observe_event(obs, &e);
         }
-        d.on_event(index, e);
+        d.on_event(index, &e);
         events_done += 1;
         if events_done.is_multiple_of(DEADLINE_STRIDE) {
             if let Some(max) = limits.max_events {
@@ -252,6 +259,23 @@ fn run_bounded(
     RunOutcome::Ok(d.finish(probes), metrics)
 }
 
+fn run_bounded(
+    kind: &DetectorKind,
+    trace: &Trace,
+    probes: &[Addr],
+    limits: RunLimits,
+    obs: &ObsHandle,
+) -> RunOutcome {
+    run_bounded_events(
+        kind,
+        trace.num_threads,
+        trace.events.iter().copied(),
+        probes,
+        limits,
+        obs,
+    )
+}
+
 /// Runs `kind` over `trace` with panic isolation and deadlines, using
 /// the process-global observability handle ([`hard_obs::installed`]).
 ///
@@ -282,10 +306,72 @@ pub fn execute_hardened_observed(
     limits: RunLimits,
     obs: &ObsHandle,
 ) -> RunOutcome {
+    hardened(kind, obs, || run_bounded(kind, trace, probes, limits, obs))
+}
+
+/// [`execute_hardened`] over a packed trace: the detector consumes the
+/// record buffer directly through the streaming iterator — no
+/// `Vec<TraceEvent>` is materialized — and observes the identical
+/// event sequence, so reports and metrics match the materialized path
+/// bit for bit.
+#[must_use]
+pub fn execute_hardened_packed(
+    kind: &DetectorKind,
+    trace: &PackedTrace,
+    probes: &[Addr],
+    limits: RunLimits,
+) -> RunOutcome {
+    execute_hardened_packed_observed(kind, trace, probes, limits, &hard_obs::installed())
+}
+
+/// [`execute_hardened_packed`] with an explicit observability handle.
+#[must_use]
+pub fn execute_hardened_packed_observed(
+    kind: &DetectorKind,
+    trace: &PackedTrace,
+    probes: &[Addr],
+    limits: RunLimits,
+    obs: &ObsHandle,
+) -> RunOutcome {
+    hardened(kind, obs, || {
+        run_bounded_events(kind, trace.num_threads(), trace.iter(), probes, limits, obs)
+    })
+}
+
+/// [`execute_hardened`] over whichever representation the campaign
+/// produced ([`CellTrace`]): materialized traces take the classic
+/// path, corpus-served traces replay streamed.
+#[must_use]
+pub fn execute_hardened_cell(
+    kind: &DetectorKind,
+    trace: &CellTrace,
+    probes: &[Addr],
+    limits: RunLimits,
+) -> RunOutcome {
+    execute_hardened_cell_observed(kind, trace, probes, limits, &hard_obs::installed())
+}
+
+/// [`execute_hardened_cell`] with an explicit observability handle.
+#[must_use]
+pub fn execute_hardened_cell_observed(
+    kind: &DetectorKind,
+    trace: &CellTrace,
+    probes: &[Addr],
+    limits: RunLimits,
+    obs: &ObsHandle,
+) -> RunOutcome {
+    match trace {
+        CellTrace::Materialized(t) => execute_hardened_observed(kind, t, probes, limits, obs),
+        CellTrace::Packed(p) => execute_hardened_packed_observed(kind, p, probes, limits, obs),
+    }
+}
+
+/// The shared containment wrapper: `run:<detector>` span, panic
+/// isolation, and bench accounting around whichever dispatch loop
+/// `run` drives.
+fn hardened(kind: &DetectorKind, obs: &ObsHandle, run: impl FnOnce() -> RunOutcome) -> RunOutcome {
     let timer = obs.span(|| format!("run:{}", kind.label()));
-    let outcome = match catch_unwind(AssertUnwindSafe(|| {
-        run_bounded(kind, trace, probes, limits, obs)
-    })) {
+    let outcome = match catch_unwind(AssertUnwindSafe(run)) {
         Ok(outcome) => outcome,
         Err(payload) => {
             let message = payload
@@ -307,6 +393,54 @@ pub fn execute_hardened_observed(
     obs.span_end(timer, cycles, events);
     crate::bench::account(events, cycles);
     outcome
+}
+
+/// Replays a file-backed packed record stream through `kind` without
+/// ever holding the payload in memory: the double-buffered
+/// [`ChunkedReader`] overlaps disk reads with detection, each record
+/// decodes on the stack, and the payload FNV-1a accumulates chunk by
+/// chunk for the caller to compare against the file header.
+///
+/// Returns the completed run, the number of events dispatched and the
+/// accumulated payload hash.
+///
+/// # Errors
+///
+/// Returns a description of any I/O error or undecodable record. The
+/// stream has no ground-truth probes, so `meta_lost` is empty.
+pub fn execute_streamed(
+    kind: &DetectorKind,
+    num_threads: usize,
+    reader: &mut ChunkedReader,
+) -> Result<(DetectorRun, u64, u64), String> {
+    let obs = hard_obs::installed();
+    let observing = obs.is_on();
+    let mut d = AnyDetector::build(kind, num_threads, &obs);
+    let mut index = 0usize;
+    let mut fnv = codec::FNV1A_INIT;
+    while let Some(chunk) = reader.next_chunk() {
+        let chunk = chunk.map_err(|e| format!("stream read failed: {e}"))?;
+        fnv = codec::fnv1a_update(fnv, &chunk);
+        if !chunk.len().is_multiple_of(RECORD_BYTES) {
+            return Err(format!(
+                "stream ends mid-record ({} bytes over)",
+                chunk.len() % RECORD_BYTES
+            ));
+        }
+        for rec in chunk.chunks_exact(RECORD_BYTES) {
+            let e = PackedEvent::from_bytes(rec.try_into().expect("16-byte record"))
+                .unpack()
+                .map_err(|e| format!("record {index}: {e}"))?;
+            if observing {
+                observe_event(&obs, &e);
+            }
+            d.on_event(index, &e);
+            index += 1;
+        }
+    }
+    let events = index as u64;
+    crate::bench::account(events, d.cycles());
+    Ok((d.finish(&[]), events, fnv))
 }
 
 #[cfg(test)]

@@ -134,6 +134,8 @@ fn faults_sweep_prints_degradation_and_resumes() {
         "0,50000",
         "--checkpoint",
         path_s,
+        "--trace-cache",
+        "off",
     ];
     let first = hard_exp().args(args).output().expect("spawn faults");
     assert!(
@@ -173,7 +175,14 @@ fn obs_smoke_writes_valid_jsonl_and_metric_tables() {
     let dir = std::env::temp_dir().join(format!("hard-exp-cli-obs-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let out = hard_exp()
-        .args(["obs", "--smoke", "--out", dir.to_str().unwrap()])
+        .args([
+            "obs",
+            "--smoke",
+            "--out",
+            dir.to_str().unwrap(),
+            "--trace-cache",
+            "off",
+        ])
         .output()
         .expect("spawn obs");
     assert!(
@@ -241,6 +250,8 @@ fn trace_out_streams_global_events() {
             "0",
             "--trace-out",
             path.to_str().unwrap(),
+            "--trace-cache",
+            "off",
         ])
         .output()
         .expect("spawn");
@@ -262,9 +273,149 @@ fn trace_out_streams_global_events() {
 }
 
 #[test]
+fn packed_record_then_replay_streams_the_corpus_format() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("hard-exp-cli-packed-{}.crp", std::process::id()));
+    let path_s = path.to_str().expect("utf8 temp path");
+
+    let rec = hard_exp()
+        .args([
+            "record",
+            "--app",
+            "water-nsquared",
+            "--file",
+            path_s,
+            "--scale",
+            "0.1",
+            "--inject",
+            "2",
+            "--packed",
+        ])
+        .output()
+        .expect("spawn record");
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    assert!(String::from_utf8_lossy(&rec.stdout).contains("packed"));
+    let magic = std::fs::read(&path).expect("packed file")[..8].to_vec();
+    assert_eq!(&magic, b"HARDCRP1");
+
+    // The packed and codec recordings of the same (app, scale, seed)
+    // must replay to the same reports.
+    let codec_path = dir.join(format!("hard-exp-cli-packed-{}.trc", std::process::id()));
+    let codec_s = codec_path.to_str().expect("utf8 temp path");
+    let rec2 = hard_exp()
+        .args([
+            "record",
+            "--app",
+            "water-nsquared",
+            "--file",
+            codec_s,
+            "--scale",
+            "0.1",
+            "--inject",
+            "2",
+        ])
+        .output()
+        .expect("spawn record");
+    assert!(rec2.status.success());
+    let replay = |p: &str| {
+        let out = hard_exp()
+            .args(["replay", "--file", p, "--detector", "hard"])
+            .output()
+            .expect("spawn replay");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(replay(path_s), replay(codec_s), "streamed != materialized");
+
+    // A flipped payload bit must fail the checksum, not change results.
+    let mut bytes = std::fs::read(&path).expect("packed file");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, bytes).expect("rewrite");
+    let out = hard_exp()
+        .args(["replay", "--file", path_s])
+        .output()
+        .expect("spawn replay");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checksum"));
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&codec_path).ok();
+}
+
+#[test]
+fn trace_cache_cold_and_warm_runs_print_identical_tables() {
+    let dir = std::env::temp_dir().join(format!("hard-exp-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        hard_exp()
+            .args([
+                "table2",
+                "--scale",
+                "0.05",
+                "--runs",
+                "2",
+                "--trace-cache",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("spawn table2")
+    };
+    let cold = run();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(cold_err.contains("store(s)"), "{cold_err}");
+
+    let warm = run();
+    assert!(warm.status.success());
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_err.contains("hit(s)") && warm_err.contains("0 miss(es)"),
+        "{warm_err}"
+    );
+    assert_eq!(cold.stdout, warm.stdout, "cache state leaked into stdout");
+
+    let off = hard_exp()
+        .args([
+            "table2",
+            "--scale",
+            "0.05",
+            "--runs",
+            "2",
+            "--trace-cache",
+            "off",
+        ])
+        .output()
+        .expect("spawn table2");
+    assert!(off.status.success());
+    assert_eq!(cold.stdout, off.stdout, "cache changed the results");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn verify_passes_at_tiny_scale() {
     let out = hard_exp()
-        .args(["verify", "--scale", "0.1", "--runs", "3"])
+        .args([
+            "verify",
+            "--scale",
+            "0.1",
+            "--runs",
+            "3",
+            "--trace-cache",
+            "off",
+        ])
         .output()
         .expect("spawn");
     assert!(

@@ -124,6 +124,37 @@ fn parallel_sweep_checkpoint_resumes_into_a_serial_sweep() {
 }
 
 #[test]
+fn packed_replay_matches_materialized_for_every_detector() {
+    // The streamed/packed path must be indistinguishable from the
+    // materialized path: same reports, same meta_lost, for all four
+    // Table 2 detectors — this is what makes the corpus cache safe.
+    use hard_harness::runner::execute_hardened_packed;
+    use hard_trace::PackedTrace;
+    for app in [App::WaterNsquared, App::Barnes] {
+        let (trace, injection) = injected_trace(app, &reduced(1), 0);
+        let pr = probes(&injection);
+        let packed = PackedTrace::from_trace(&trace).expect("generated traces always pack");
+        for kind in [
+            DetectorKind::hard_default(),
+            DetectorKind::lockset_ideal(),
+            DetectorKind::hb_default(),
+            DetectorKind::hb_ideal(),
+        ] {
+            let a = match execute_hardened(&kind, &trace, &pr, RunLimits::unlimited()) {
+                RunOutcome::Ok(run, _) => run,
+                other => panic!("{app}: materialized run must complete, got {other:?}"),
+            };
+            let b = match execute_hardened_packed(&kind, &packed, &pr, RunLimits::unlimited()) {
+                RunOutcome::Ok(run, _) => run,
+                other => panic!("{app}: packed run must complete, got {other:?}"),
+            };
+            assert_eq!(a.reports, b.reports, "{app} {}", kind.label());
+            assert_eq!(a.meta_lost, b.meta_lost, "{app} {}", kind.label());
+        }
+    }
+}
+
+#[test]
 fn observability_counters_merge_identically_across_job_counts() {
     let ocfg = |jobs| obs::ObsConfig {
         campaign: reduced(jobs),

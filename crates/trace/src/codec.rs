@@ -140,7 +140,16 @@ fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 /// cryptographic one).
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a_update(FNV1A_INIT, bytes)
+}
+
+/// The FNV-1a offset basis — the initial state for [`fnv1a_update`].
+pub const FNV1A_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an in-progress FNV-1a state, for hashing a
+/// stream chunk by chunk: `fnv1a(ab) == fnv1a_update(fnv1a(a), b)`.
+#[must_use]
+pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100_0000_01b3);

@@ -3,6 +3,7 @@
 
 use crate::event::{Trace, TraceEvent};
 use crate::op::Op;
+use crate::packed_event::PackedTrace;
 use hard_obs::{CounterId, ObsHandle};
 use hard_types::{AccessKind, Addr, SiteId, ThreadId};
 use std::fmt;
@@ -90,6 +91,19 @@ pub trait Detector {
 pub fn run_detector<D: Detector + ?Sized>(detector: &mut D, trace: &Trace) -> Vec<RaceReport> {
     for (i, e) in trace.events.iter().enumerate() {
         detector.on_event(i, e);
+    }
+    detector.reports().to_vec()
+}
+
+/// [`run_detector`] over a packed trace: events are decoded one at a
+/// time on the stack as the buffer is walked — the `Vec<TraceEvent>`
+/// of wide enum records is never materialized.
+pub fn run_detector_streamed<D: Detector + ?Sized>(
+    detector: &mut D,
+    trace: &PackedTrace,
+) -> Vec<RaceReport> {
+    for (i, e) in trace.iter().enumerate() {
+        detector.on_event(i, &e);
     }
     detector.reports().to_vec()
 }

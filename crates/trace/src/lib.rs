@@ -41,13 +41,17 @@ pub mod codec;
 pub mod detect;
 pub mod event;
 pub mod op;
+pub mod packed_event;
 pub mod program;
 pub mod sched;
 pub mod stats;
 
-pub use detect::{observe_event, run_detector, run_detector_observed, Detector, RaceReport};
+pub use detect::{
+    observe_event, run_detector, run_detector_observed, run_detector_streamed, Detector, RaceReport,
+};
 pub use event::{Trace, TraceEvent};
 pub use op::Op;
+pub use packed_event::{Chunk, ChunkedReader, PackError, PackedEvent, PackedTrace};
 pub use program::{Program, ProgramBuilder, ThreadProgram};
 pub use sched::{SchedConfig, Scheduler};
 pub use stats::TraceStats;

@@ -1,6 +1,8 @@
 //! Property-based tests for the program model and scheduler.
 
-use hard_trace::{codec, Op, Program, SchedConfig, Scheduler, ThreadProgram, Trace, TraceEvent};
+use hard_trace::{
+    codec, packed_event, Op, Program, SchedConfig, Scheduler, ThreadProgram, Trace, TraceEvent,
+};
 use hard_types::{Addr, BarrierId, LockId, SiteId, ThreadId};
 use proptest::prelude::*;
 
@@ -224,5 +226,164 @@ proptest! {
             }
             Err(_) => prop_assert!(pos < 20, "pos {} of {}", pos, buf.len()),
         }
+    }
+}
+
+/// An arbitrary single event covering every variant at full payload
+/// width (thread ids bounded by the packed encoding's 20-bit field).
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    let thread = 0u32..=packed_event::MAX_PACKED_THREAD;
+    let site = any::<u32>().prop_map(SiteId);
+    prop_oneof![
+        (
+            thread.clone(),
+            any::<u64>(),
+            any::<u8>(),
+            site.clone(),
+            any::<bool>()
+        )
+            .prop_map(|(t, a, s, site, wr)| {
+                let (addr, size) = (Addr(a), s);
+                TraceEvent::Op {
+                    thread: ThreadId(t),
+                    op: if wr {
+                        Op::Write { addr, size, site }
+                    } else {
+                        Op::Read { addr, size, site }
+                    },
+                }
+            }),
+        (thread.clone(), any::<u64>(), site.clone(), any::<bool>()).prop_map(
+            |(t, l, site, acq)| TraceEvent::Op {
+                thread: ThreadId(t),
+                op: if acq {
+                    Op::Lock {
+                        lock: LockId(l),
+                        site,
+                    }
+                } else {
+                    Op::Unlock {
+                        lock: LockId(l),
+                        site,
+                    }
+                },
+            }
+        ),
+        (thread.clone(), any::<u32>(), site.clone()).prop_map(|(t, b, site)| TraceEvent::Op {
+            thread: ThreadId(t),
+            op: Op::Barrier {
+                barrier: BarrierId(b),
+                site,
+            },
+        }),
+        (thread.clone(), any::<u32>()).prop_map(|(t, c)| TraceEvent::Op {
+            thread: ThreadId(t),
+            op: Op::Compute { cycles: c },
+        }),
+        (thread, any::<u32>(), site, any::<bool>()).prop_map(|(t, c, site, fork)| TraceEvent::Op {
+            thread: ThreadId(t),
+            op: if fork {
+                Op::Fork {
+                    child: ThreadId(c),
+                    site,
+                }
+            } else {
+                Op::Join {
+                    child: ThreadId(c),
+                    site,
+                }
+            },
+        }),
+        any::<u32>().prop_map(|b| TraceEvent::BarrierComplete {
+            barrier: BarrierId(b)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fixed-width packing is lossless on every event variant at
+    /// full payload width, both as words and as bytes.
+    #[test]
+    fn packed_event_roundtrips(e in arb_event()) {
+        let p = packed_event::PackedEvent::pack(&e).unwrap();
+        prop_assert_eq!(p.unpack().unwrap(), e);
+        let b = p.to_bytes();
+        prop_assert_eq!(packed_event::PackedEvent::from_bytes(&b), p);
+        prop_assert_eq!(packed_event::PackedEvent::from_bytes(&b).unpack().unwrap(), e);
+    }
+
+    /// Unpacking an arbitrary record pair never panics: it either
+    /// yields an event that re-packs to the same words, or reports a
+    /// bad tag.
+    #[test]
+    fn arbitrary_records_unpack_total(w0 in any::<u64>(), w1 in any::<u64>()) {
+        let p = packed_event::PackedEvent { w0, w1 };
+        match p.unpack() {
+            Ok(e) => {
+                let back = packed_event::PackedEvent::pack(&e).unwrap();
+                // Fields a variant does not carry are zeroed by the
+                // packer, so only the fields the event kept must agree.
+                prop_assert_eq!(back.unpack().unwrap(), e);
+            }
+            Err(packed_event::PackError::BadTag(t)) => prop_assert!(t > 8),
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A packed trace is a lossless image of the scheduled trace, and
+    /// its streaming iterator yields the exact event sequence.
+    #[test]
+    fn packed_trace_roundtrips(p in arb_program(4), seed in 0u64..8) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 6 }).run(&p);
+        let packed = packed_event::PackedTrace::from_trace(&trace).unwrap();
+        prop_assert_eq!(packed.len(), trace.events.len());
+        prop_assert_eq!(&packed.to_trace(), &trace);
+        let streamed: Vec<TraceEvent> = packed.iter().collect();
+        prop_assert_eq!(streamed, trace.events.clone());
+        // And adopting the raw bytes revalidates to the same trace.
+        let adopted = packed_event::PackedTrace::from_bytes(
+            trace.num_threads as u32,
+            packed.bytes().to_vec(),
+        )
+        .unwrap();
+        prop_assert_eq!(adopted, packed);
+    }
+
+    /// The packed encoding agrees with codec v2: a trace that has been
+    /// through the archival codec packs to the identical byte image.
+    #[test]
+    fn packed_encoding_pins_codec_v2(p in arb_program(4), seed in 0u64..8) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 6 }).run(&p);
+        let mut buf = Vec::new();
+        codec::encode(&trace, &mut buf).unwrap();
+        let via_codec: Trace = codec::decode(buf.as_slice()).unwrap();
+        let direct = packed_event::PackedTrace::from_trace(&trace).unwrap();
+        let laundered = packed_event::PackedTrace::from_trace(&via_codec).unwrap();
+        prop_assert_eq!(direct, laundered);
+    }
+
+    /// The double-buffered chunk reader reassembles any packed stream
+    /// exactly, for any chunk size, and never splits a record.
+    #[test]
+    fn chunked_reader_is_exact(p in arb_program(4), seed in 0u64..8, records in 1usize..200) {
+        let trace = Scheduler::new(SchedConfig { seed, max_quantum: 6 }).run(&p);
+        let packed = packed_event::PackedTrace::from_trace(&trace).unwrap();
+        let mut r = packed_event::ChunkedReader::spawn(
+            std::io::Cursor::new(packed.bytes().to_vec()),
+            records,
+        );
+        let mut got = Vec::new();
+        while let Some(chunk) = r.next_chunk() {
+            let chunk = chunk.unwrap();
+            prop_assert_eq!(chunk.len() % packed_event::RECORD_BYTES, 0);
+            got.extend_from_slice(&chunk);
+        }
+        prop_assert_eq!(got, packed.bytes().to_vec());
     }
 }

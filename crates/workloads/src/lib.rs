@@ -35,6 +35,13 @@ pub mod common;
 pub mod inject;
 pub mod layout;
 
+/// Version of the workload generators, part of every trace-corpus
+/// cache key. Bump this whenever a change alters the events any
+/// generator (or the race injector) produces for a given
+/// configuration — stale corpus entries then miss instead of serving
+/// traces the current code would no longer generate.
+pub const GENERATOR_VERSION: u32 = 1;
+
 pub use apps::App;
 pub use common::{Scale, WorkloadConfig};
 pub use inject::{
