@@ -8,6 +8,7 @@
 //! hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]
 //! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F] [--packed]
 //! hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]
+//! hard-exp submit --addr HOST:PORT --file <path> [--detector NAME] [--clients N] [--repeat N]
 //! hard-exp bench-check --file BENCH_x.json
 //! ```
 //!
@@ -28,7 +29,8 @@
 //! every generated trace by (generator version, app, scale, seed,
 //! schedule config, injection) and replay packed corpus files instead
 //! of regenerating; outputs are bit-identical for any cache state.
-//! Cache statistics print to stderr only. `record --packed` writes
+//! Cache statistics print to stderr only (and not at all under
+//! `--quiet`). `record --packed` writes
 //! the corpus format; `replay` auto-detects it by magic and streams
 //! the payload through the detector without materialising it.
 
@@ -70,6 +72,9 @@ struct Args {
     serve_requests: Option<usize>,
     trace_cache: Option<String>,
     packed: bool,
+    addr: Option<String>,
+    repeat: usize,
+    clients: usize,
 }
 
 impl Args {
@@ -99,6 +104,9 @@ impl Args {
             serve_requests: None,
             trace_cache: self.trace_cache.clone(),
             packed: false,
+            addr: None,
+            repeat: 1,
+            clients: 1,
         }
     }
 }
@@ -128,6 +136,9 @@ fn parse_args() -> Result<Args, String> {
         serve_requests: None,
         trace_cache: None,
         packed: false,
+        addr: None,
+        repeat: 1,
+        clients: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -225,6 +236,21 @@ fn parse_args() -> Result<Args, String> {
                 args.trace_cache = Some(it.next().ok_or("--trace-cache needs <dir> or 'off'")?);
             }
             "--packed" => args.packed = true,
+            "--addr" => args.addr = Some(it.next().ok_or("--addr needs HOST:PORT")?),
+            "--repeat" => {
+                args.repeat = it
+                    .next()
+                    .ok_or("--repeat needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --repeat: {e}"))?;
+            }
+            "--clients" => {
+                args.clients = it
+                    .next()
+                    .ok_or("--clients needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
+            }
             "--smoke" => args.smoke = true,
             "--out" => args.out = Some(it.next().ok_or("--out needs a directory")?),
             "--serve" => args.serve = Some(it.next().ok_or("--serve needs an address")?),
@@ -534,13 +560,7 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
         }
         "replay" => {
             let path = args.file.as_deref().ok_or("replay needs --file <path>")?;
-            let kind = match args.detector.as_str() {
-                "hard" => DetectorKind::hard_default(),
-                "lockset-ideal" => DetectorKind::lockset_ideal(),
-                "hb" => DetectorKind::hb_default(),
-                "hb-ideal" => DetectorKind::hb_ideal(),
-                other => return Err(format!("unknown detector: {other}")),
-            };
+            let kind = DetectorKind::parse(&args.detector)?;
             let magic = {
                 let mut m = [0u8; 8];
                 let mut f =
@@ -582,17 +602,66 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
                 let run = execute(&kind, &trace, &[]);
                 (trace.len(), run.reports)
             };
-            rep.note(&format!(
-                "replayed {} events through {}: {} report(s)",
-                events,
-                kind.label(),
-                reports.len()
-            ));
-            for r in reports.iter().take(20) {
-                rep.note(&format!("  {r}"));
+            let body = hard_harness::ReportBody {
+                label: kind.label().to_string(),
+                events: events as u64,
+                reports,
+            };
+            for line in body.notes() {
+                rep.note(&line);
             }
-            if reports.len() > 20 {
-                rep.note(&format!("  ... and {} more", reports.len() - 20));
+        }
+        "submit" => {
+            let path = args.file.as_deref().ok_or("submit needs --file <path>")?;
+            let addr = args
+                .addr
+                .as_deref()
+                .ok_or("submit needs --addr HOST:PORT")?;
+            // Validate the detector name locally so a typo fails fast
+            // instead of after the upload.
+            DetectorKind::parse(&args.detector)?;
+            let repeat = args.repeat.max(1);
+            let clients = args.clients.max(1);
+            let cells: Vec<usize> = (0..clients).collect();
+            let outcomes = hard_harness::map_cells(clients, &cells, |_, _| {
+                let mut last = None;
+                for _ in 0..repeat {
+                    last = Some(hard_harness::service::submit_file(
+                        addr,
+                        std::path::Path::new(path),
+                        &args.detector,
+                        64 << 10,
+                    ));
+                }
+                last.expect("repeat >= 1")
+            });
+            // All clients submitted the same trace; their reports must
+            // agree, so print one and verify the rest against it.
+            let mut printed: Option<hard_harness::ReportBody> = None;
+            for outcome in outcomes {
+                match outcome? {
+                    hard_harness::Submission::ServerError(msg) => {
+                        return Err(format!("server error: {msg}"))
+                    }
+                    hard_harness::Submission::Report(body) => match &printed {
+                        None => {
+                            for line in body.notes() {
+                                rep.note(&line);
+                            }
+                            printed = Some(body);
+                        }
+                        Some(first) if *first != body => {
+                            return Err("concurrent sessions disagreed on the report".into())
+                        }
+                        Some(_) => {}
+                    },
+                }
+            }
+            if clients > 1 || repeat > 1 {
+                rep.note(&format!(
+                    "submitted {} session(s) ({clients} client(s) x {repeat}), reports agree",
+                    clients * repeat
+                ));
             }
         }
         "ablation" => {
@@ -652,6 +721,7 @@ fn main() -> ExitCode {
                  hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]\n       \
                  hard-exp record --app <name> --file <path> [--inject SEED] [--packed]\n       \
                  hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]\n       \
+                 hard-exp submit --addr HOST:PORT --file <path> [--detector NAME] [--clients N] [--repeat N]\n       \
                  hard-exp bench-check --file BENCH_x.json"
             );
             return ExitCode::FAILURE;
@@ -671,9 +741,10 @@ fn main() -> ExitCode {
     let result = run_command(&args, &rep);
     if let Some(cache) = &corpus {
         let s = cache.stats();
-        if s.lookups() > 0 {
+        if s.lookups() > 0 && !args.quiet {
             // Stats go to stderr: stdout must stay byte-identical for
             // any cache state so CI can `cmp` cold vs. warm runs.
+            // `--quiet` silences them entirely (errors only).
             eprintln!(
                 "trace-cache {}: {} hit(s) ({} mem, {} disk), {} miss(es), \
                  {} corrupt, {} store(s), {} store error(s)",
@@ -722,7 +793,7 @@ fn main() -> ExitCode {
             if e.starts_with("unknown command") {
                 eprintln!(
                     "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|\
-                     ablation|window|server|robustness|faults|obs|verify|record|replay|all>"
+                     ablation|window|server|robustness|faults|obs|verify|record|replay|submit|all>"
                 );
             }
             ExitCode::FAILURE

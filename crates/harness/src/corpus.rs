@@ -281,9 +281,16 @@ pub struct StreamHeader {
     pub payload_fnv: u64,
 }
 
-/// Parses and checksums the header, returning it plus the payload
-/// offset.
-fn parse_header(bytes: &[u8]) -> Result<(StreamHeader, usize), String> {
+/// Parses and checksums a `HARDCRP1` header, returning it plus the
+/// payload offset. Public because `hard-serve` ingests the same
+/// format over the wire and must validate the header before detection
+/// runs.
+///
+/// # Errors
+///
+/// Describes the first corruption found (bad magic, truncation, or a
+/// header-checksum mismatch).
+pub fn parse_header(bytes: &[u8]) -> Result<(StreamHeader, usize), String> {
     let need = |n: usize| -> Result<(), String> {
         if bytes.len() < n {
             Err(format!("truncated header: {} bytes", bytes.len()))

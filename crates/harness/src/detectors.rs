@@ -23,6 +23,7 @@ pub enum DetectorKind {
     /// The ideal happens-before implementation. The vector-clock width
     /// is taken from the trace at run time.
     HbIdeal {
+        /// Detection granularity (bytes per granule).
         granularity: hard_types::Granularity,
     },
     /// Ablation: bloom-filter lockset with unbounded metadata storage
@@ -54,6 +55,25 @@ impl DetectorKind {
     pub fn hb_ideal() -> DetectorKind {
         DetectorKind::HbIdeal {
             granularity: hard_types::Granularity::new(4),
+        }
+    }
+
+    /// Parses a CLI/wire detector name (`hard`, `lockset-ideal`, `hb`,
+    /// `hb-ideal`) into the corresponding default configuration —
+    /// shared by `hard-exp replay`, `hard-exp submit` and the
+    /// `hard-serve` session handler so every entry point accepts the
+    /// same names.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown detector.
+    pub fn parse(name: &str) -> Result<DetectorKind, String> {
+        match name {
+            "hard" => Ok(DetectorKind::hard_default()),
+            "lockset-ideal" => Ok(DetectorKind::lockset_ideal()),
+            "hb" => Ok(DetectorKind::hb_default()),
+            "hb-ideal" => Ok(DetectorKind::hb_ideal()),
+            other => Err(format!("unknown detector: {other}")),
         }
     }
 

@@ -168,6 +168,23 @@ impl MetricsServer {
     /// Returns accept/write errors; a client that disconnects mid-read
     /// is skipped, not fatal.
     pub fn serve(&self, body: &str, max_requests: Option<usize>) -> std::io::Result<usize> {
+        self.serve_with(|| body.to_string(), max_requests)
+    }
+
+    /// [`serve`](MetricsServer::serve) with a body *renderer* instead
+    /// of a fixed string: `render` runs per request, so a long-running
+    /// service (`hard-serve --serve-metrics`) exposes live counter
+    /// values rather than the snapshot taken at bind time.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept/write errors; a client that disconnects mid-read
+    /// is skipped, not fatal.
+    pub fn serve_with(
+        &self,
+        render: impl Fn() -> String,
+        max_requests: Option<usize>,
+    ) -> std::io::Result<usize> {
         use std::io::{BufRead, BufReader, Write};
         let mut served = 0;
         for stream in self.listener.incoming() {
@@ -185,6 +202,7 @@ impl MetricsServer {
                     && matches!(parts.next(), Some(p) if p == "/metrics" || p.starts_with("/metrics?"))
             };
             let response = if is_metrics {
+                let body = render();
                 format!(
                     "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                     body.len()
@@ -228,6 +246,33 @@ mod tests {
         assert!(ok.contains("hard_trace_events_total 42"));
         let missing = fetch("/else");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn serve_with_renders_per_request() {
+        use std::io::{Read as _, Write as _};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let srv = MetricsServer::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = srv.local_addr().unwrap();
+        let hits = std::sync::Arc::new(AtomicUsize::new(0));
+        let hits2 = std::sync::Arc::clone(&hits);
+        let handle = std::thread::spawn(move || {
+            srv.serve_with(
+                || format!("live {}\n", hits2.fetch_add(1, Ordering::Relaxed)),
+                Some(2),
+            )
+            .unwrap()
+        });
+        let fetch = || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            write!(s, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        assert!(fetch().contains("live 0"));
+        assert!(fetch().contains("live 1"), "body re-rendered per request");
         assert_eq!(handle.join().unwrap(), 2);
     }
 

@@ -19,6 +19,8 @@
 //! bug-outcome scoring with miss-reason classification, and
 //! source-level false-alarm counting.
 
+#![warn(missing_docs)]
+
 pub mod bench;
 pub mod campaign;
 pub mod checkpoint;
@@ -28,6 +30,7 @@ pub mod experiments;
 pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod table;
 
 pub use bench::BenchRecord;
@@ -38,11 +41,12 @@ pub use campaign::{
 pub use checkpoint::Checkpoint;
 pub use corpus::{CorpusCache, CorpusEntry, CorpusStats};
 pub use detectors::{execute, execute_observed, DetectorKind, DetectorRun};
-pub use parallel::map_cells;
+pub use parallel::{map_cells, WorkerPool};
 pub use report::{OutputFormat, Reporter};
 pub use runner::{
     execute_hardened, execute_hardened_cell, execute_hardened_cell_observed,
     execute_hardened_observed, execute_hardened_packed, execute_hardened_packed_observed,
     execute_streamed, RunLimits, RunMetrics, RunOutcome,
 };
+pub use service::{ReportBody, Submission};
 pub use table::TextTable;

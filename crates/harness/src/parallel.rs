@@ -17,6 +17,9 @@
 //! is serial — no pool overhead, no thread churn).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// Applies `f` to every cell and returns the results in cell order.
 ///
@@ -70,6 +73,94 @@ where
         .collect()
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool with a **bounded** submission queue.
+///
+/// [`map_cells`] is the right shape for a batch campaign — the cell
+/// list is known up front and the pool dies with it. A long-running
+/// service needs the dual: jobs arrive one at a time from concurrent
+/// connections, the workers outlive every job, and the queue between
+/// them is *bounded* so a flood of uploads exerts backpressure on the
+/// submitters instead of growing an unbounded buffer. [`submit`]
+/// blocks while `queue_depth` jobs are already waiting; that blocking
+/// is the backpressure signal `hard-serve` propagates to its clients
+/// by simply not reading their next frame.
+///
+/// Dropping the pool closes the queue, lets the workers drain what
+/// was already accepted, and joins them — the graceful-shutdown drain.
+///
+/// [`submit`]: WorkerPool::submit
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) behind a queue of
+    /// `queue_depth` waiting jobs (at least one).
+    #[must_use]
+    pub fn new(workers: usize, queue_depth: usize) -> WorkerPool {
+        let (tx, rx) = sync_channel::<Job>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("hard-pool-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the pull, not the run.
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return, // a sibling panicked mid-pull
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // queue closed: drain complete
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `job`, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Fails only when every worker has died (a worker panic tears the
+    /// receiver down); the job is returned undelivered inside the
+    /// error.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), String> {
+        self.tx
+            .as_ref()
+            .expect("sender present until drop")
+            .send(Box::new(job))
+            .map_err(|_| "worker pool has shut down".to_string())
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue; workers finish the backlog
+        for w in self.workers.drain(..) {
+            // A panicked worker already aborted its job; the pool's
+            // drop is not the place to re-raise during unwinding.
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +208,55 @@ mod tests {
     fn jobs_beyond_cells_is_clamped() {
         let cells: Vec<u32> = (0..3).collect();
         assert_eq!(map_cells(100, &cells, |_, &c| c * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn pool_runs_every_submitted_job() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(4, 2);
+        assert_eq!(pool.workers(), 4);
+        for _ in 0..50 {
+            let count = Arc::clone(&count);
+            pool.submit(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        drop(pool); // drain + join
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn pool_drop_drains_the_accepted_backlog() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(1, 8);
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 8, "backlog ran before join");
+    }
+
+    #[test]
+    fn pool_submit_blocks_for_backpressure_not_failure() {
+        // One slow worker and a depth-1 queue: 10 submits must all
+        // succeed (by blocking), never error.
+        let pool = WorkerPool::new(1, 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let ran = Arc::clone(&ran);
+            pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        drop(pool);
+        assert_eq!(ran.load(Ordering::Relaxed), 10);
     }
 }

@@ -1,0 +1,339 @@
+//! The client side of the `hard-serve` protocol, plus the report-body
+//! codec both sides share.
+//!
+//! This module lives in the harness (not `crates/serve`) because the
+//! dependency arrow points the other way: `hard-serve` depends on the
+//! harness for detection, and `hard-exp submit` — the load-test
+//! client — is a harness binary that must not depend on the server.
+//! The shared vocabulary between them is [`ReportBody`], encoded as a
+//! single JSON object via [`hard_obs::jsonl`] (the workspace has no
+//! serde; the hand-rolled codec is deliberately tiny and closed).
+//!
+//! Byte-identity contract: [`ReportBody::notes`] renders exactly the
+//! lines `hard-exp replay` prints for the same trace, so CI can `cmp`
+//! a served session against an offline replay.
+
+use hard_obs::jsonl::{self, Json};
+use hard_trace::wire::{
+    read_frame, read_handshake, write_frame, write_handshake, Frame, FrameKind, WireError,
+    MAX_FRAME_BYTES,
+};
+use hard_trace::RaceReport;
+use hard_types::{AccessKind, Addr, SiteId, ThreadId};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+
+/// One detection session's result, as carried by a `Report` frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReportBody {
+    /// Detector label the session ran under (e.g. `HARD`).
+    pub label: String,
+    /// Events replayed.
+    pub events: u64,
+    /// The race reports, in detection order.
+    pub reports: Vec<RaceReport>,
+}
+
+impl ReportBody {
+    /// Encodes the body as one deterministic JSON object. Key order is
+    /// fixed by construction, so equal bodies encode to equal bytes —
+    /// the property the serve report cache and the byte-identity tests
+    /// rely on.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64 + self.reports.len() * 96);
+        out.push_str("{\"label\":\"");
+        out.push_str(&jsonl::escape(&self.label));
+        out.push_str("\",\"events\":");
+        out.push_str(&self.events.to_string());
+        out.push_str(",\"reports\":[");
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"addr\":{},\"size\":{},\"site\":{},\"thread\":{},\"kind\":\"{}\",\"event\":{}}}",
+                r.addr.0,
+                r.size,
+                r.site.0,
+                r.thread.0,
+                match r.kind {
+                    AccessKind::Read => "read",
+                    AccessKind::Write => "write",
+                },
+                r.event_index
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decodes a `Report` frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or ill-typed field.
+    pub fn decode(body: &str) -> Result<ReportBody, String> {
+        let v = jsonl::parse(body)?;
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("report body missing string `label`")?
+            .to_string();
+        let events = v
+            .get("events")
+            .and_then(Json::as_u64)
+            .ok_or("report body missing u64 `events`")?;
+        let Some(Json::Arr(raw)) = v.get("reports") else {
+            return Err("report body missing array `reports`".into());
+        };
+        let field = |r: &Json, k: &str| -> Result<u64, String> {
+            r.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("race entry missing u64 `{k}`"))
+        };
+        let mut reports = Vec::with_capacity(raw.len());
+        for r in raw {
+            let kind = match r.get("kind").and_then(Json::as_str) {
+                Some("read") => AccessKind::Read,
+                Some("write") => AccessKind::Write,
+                other => return Err(format!("race entry has bad `kind`: {other:?}")),
+            };
+            reports.push(RaceReport {
+                addr: Addr(field(r, "addr")?),
+                size: u8::try_from(field(r, "size")?).map_err(|_| "race `size` exceeds u8")?,
+                site: SiteId(
+                    u32::try_from(field(r, "site")?).map_err(|_| "race `site` exceeds u32")?,
+                ),
+                thread: ThreadId(
+                    u32::try_from(field(r, "thread")?).map_err(|_| "race `thread` exceeds u32")?,
+                ),
+                kind,
+                event_index: usize::try_from(field(r, "event")?)
+                    .map_err(|_| "race `event` exceeds usize")?,
+            });
+        }
+        Ok(ReportBody {
+            label,
+            events,
+            reports,
+        })
+    }
+
+    /// Renders the body as the exact note lines `hard-exp replay`
+    /// prints: the summary line, up to 20 report lines, and a `...`
+    /// overflow line. Both the `replay` and `submit` subcommands print
+    /// through this, which is what makes their outputs comparable
+    /// byte for byte.
+    #[must_use]
+    pub fn notes(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(2 + self.reports.len().min(20));
+        out.push(format!(
+            "replayed {} events through {}: {} report(s)",
+            self.events,
+            self.label,
+            self.reports.len()
+        ));
+        for r in self.reports.iter().take(20) {
+            out.push(format!("  {r}"));
+        }
+        if self.reports.len() > 20 {
+            out.push(format!("  ... and {} more", self.reports.len() - 20));
+        }
+        out
+    }
+}
+
+/// What the server answered a submission with.
+#[derive(Clone, Debug)]
+pub enum Submission {
+    /// A completed session.
+    Report(ReportBody),
+    /// A client-visible error frame (the session failed server-side).
+    ServerError(String),
+}
+
+/// Submits the `HARDCRP1` corpus file at `path` to a `hard-serve`
+/// instance at `addr` and returns its answer. `detector` is a name
+/// accepted by [`crate::DetectorKind::parse`]; `chunk` bounds the Data
+/// frame size (the server reassembles, so any chunking is valid — the
+/// load tester uses small chunks to exercise reassembly).
+///
+/// # Errors
+///
+/// Connection, wire, and malformed-response errors, each naming the
+/// failing stage.
+pub fn submit_file(
+    addr: &str,
+    path: &std::path::Path,
+    detector: &str,
+    chunk: usize,
+) -> Result<Submission, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    submit_bytes(addr, &bytes, detector, chunk)
+}
+
+/// [`submit_file`] over in-memory corpus bytes.
+///
+/// # Errors
+///
+/// Connection, wire, and malformed-response errors.
+pub fn submit_bytes(
+    addr: &str,
+    corpus: &[u8],
+    detector: &str,
+    chunk: usize,
+) -> Result<Submission, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let mut w = BufWriter::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?,
+    );
+    let mut r = BufReader::new(stream);
+    write_handshake(&mut w).map_err(|e| format!("handshake send: {e}"))?;
+    w.flush().map_err(|e| format!("handshake send: {e}"))?;
+    read_handshake(&mut r).map_err(|e| format!("handshake recv: {e}"))?;
+    write_frame(&mut w, FrameKind::Begin, detector.as_bytes())
+        .map_err(|e| format!("Begin send: {e}"))?;
+    for piece in corpus.chunks(chunk.max(1)) {
+        write_frame(&mut w, FrameKind::Data, piece).map_err(|e| format!("Data send: {e}"))?;
+    }
+    write_frame(&mut w, FrameKind::End, &[]).map_err(|e| format!("End send: {e}"))?;
+    let frame = read_response(&mut r).map_err(|e| format!("response recv: {e}"))?;
+    match frame.kind {
+        FrameKind::Report => ReportBody::decode(&frame.text()).map(Submission::Report),
+        FrameKind::Error => Ok(Submission::ServerError(frame.text())),
+        other => Err(format!("unexpected response frame {other:?}")),
+    }
+}
+
+/// Asks the `hard-serve` instance at `addr` to drain and exit.
+///
+/// # Errors
+///
+/// Connection and wire errors; a server that closes the connection
+/// without a `Bye` (already shutting down) is not an error.
+pub fn request_shutdown(addr: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let mut w = BufWriter::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?,
+    );
+    let mut r = BufReader::new(stream);
+    write_handshake(&mut w).map_err(|e| format!("handshake send: {e}"))?;
+    w.flush().map_err(|e| format!("handshake send: {e}"))?;
+    read_handshake(&mut r).map_err(|e| format!("handshake recv: {e}"))?;
+    write_frame(&mut w, FrameKind::Shutdown, &[]).map_err(|e| format!("Shutdown send: {e}"))?;
+    match read_frame(&mut r, MAX_FRAME_BYTES) {
+        Ok(f) if f.kind == FrameKind::Bye => Ok(()),
+        Ok(f) => Err(format!("unexpected shutdown response {:?}", f.kind)),
+        Err(WireError::Io(_)) => Ok(()), // connection already torn down
+        Err(e) => Err(format!("shutdown recv: {e}")),
+    }
+}
+
+fn read_response(r: &mut impl Read) -> Result<Frame, WireError> {
+    read_frame(r, MAX_FRAME_BYTES)
+}
+
+/// Writes one frame to any sink — re-exported for the server, which
+/// shares this module's framing discipline.
+///
+/// # Errors
+///
+/// Propagates wire errors.
+pub fn send_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    write_frame(w, kind, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body() -> ReportBody {
+        ReportBody {
+            label: "HARD".into(),
+            events: 1234,
+            reports: vec![
+                RaceReport {
+                    addr: Addr(0x1000),
+                    size: 4,
+                    site: SiteId(9),
+                    thread: ThreadId(1),
+                    kind: AccessKind::Write,
+                    event_index: 77,
+                },
+                RaceReport {
+                    addr: Addr(0x2000),
+                    size: 8,
+                    site: SiteId(12),
+                    thread: ThreadId(3),
+                    kind: AccessKind::Read,
+                    event_index: 901,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_body_round_trips() {
+        let b = body();
+        let enc = b.encode();
+        assert_eq!(ReportBody::decode(&enc).unwrap(), b);
+        // Determinism: encoding is a pure function of the body.
+        assert_eq!(enc, body().encode());
+    }
+
+    #[test]
+    fn notes_match_the_replay_format() {
+        let b = body();
+        let notes = b.notes();
+        assert_eq!(notes[0], "replayed 1234 events through HARD: 2 report(s)");
+        assert_eq!(notes[1], format!("  {}", b.reports[0]));
+        assert_eq!(notes.len(), 3);
+    }
+
+    #[test]
+    fn notes_overflow_past_twenty_reports() {
+        let mut b = body();
+        let template = b.reports[0];
+        b.reports = (0..25)
+            .map(|i| RaceReport {
+                event_index: i,
+                ..template
+            })
+            .collect();
+        let notes = b.notes();
+        assert_eq!(notes.len(), 1 + 20 + 1);
+        assert_eq!(notes.last().unwrap(), "  ... and 5 more");
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bodies() {
+        assert!(ReportBody::decode("not json").is_err());
+        assert!(ReportBody::decode("{}").is_err());
+        assert!(ReportBody::decode("{\"label\":\"x\",\"events\":1}").is_err());
+        assert!(
+            ReportBody::decode("{\"label\":\"x\",\"events\":1,\"reports\":[{\"addr\":1}]}")
+                .is_err()
+        );
+        assert!(ReportBody::decode(
+            "{\"label\":\"x\",\"events\":1,\"reports\":[{\"addr\":1,\"size\":4,\"site\":2,\
+             \"thread\":0,\"kind\":\"neither\",\"event\":0}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_report_list_encodes_cleanly() {
+        let b = ReportBody {
+            label: "HB".into(),
+            events: 0,
+            reports: Vec::new(),
+        };
+        assert_eq!(b.encode(), "{\"label\":\"HB\",\"events\":0,\"reports\":[]}");
+        assert_eq!(ReportBody::decode(&b.encode()).unwrap(), b);
+    }
+}

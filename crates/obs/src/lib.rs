@@ -36,6 +36,8 @@
 //! - [`Exposition`]: Prometheus text-format rendering for the metrics
 //!   endpoint.
 
+#![warn(missing_docs)]
+
 mod event;
 mod exposition;
 mod handle;

@@ -54,11 +54,27 @@ pub enum CounterId {
     OpsCompute,
     /// Races reported by the happens-before assist machine.
     HbRaces,
+    /// TCP connections accepted by `hard-serve`.
+    ServeConnections,
+    /// Detection sessions completed successfully (a `Report` frame was
+    /// written).
+    ServeSessions,
+    /// Sessions that ended in a client-visible `Error` frame (bad
+    /// frame, corrupt stream, limit violation, timeout).
+    ServeErrors,
+    /// Connections refused because the server was at its session or
+    /// in-flight byte limit.
+    ServeRejected,
+    /// Sessions answered from the report cache without running
+    /// detection.
+    ServeCacheHits,
+    /// Payload bytes accepted into sessions (post-framing).
+    ServeBytesIn,
 }
 
 impl CounterId {
     /// Every counter, in declaration (= index) order.
-    pub const ALL: [CounterId; 21] = [
+    pub const ALL: [CounterId; 27] = [
         CounterId::CandidateChecks,
         CounterId::CandidateEmpties,
         CounterId::RacesReported,
@@ -80,6 +96,12 @@ impl CounterId {
         CounterId::OpsSync,
         CounterId::OpsCompute,
         CounterId::HbRaces,
+        CounterId::ServeConnections,
+        CounterId::ServeSessions,
+        CounterId::ServeErrors,
+        CounterId::ServeRejected,
+        CounterId::ServeCacheHits,
+        CounterId::ServeBytesIn,
     ];
 
     /// Number of counters; sizes the recorder's atomic array.
@@ -116,6 +138,12 @@ impl CounterId {
             CounterId::OpsSync => "hard_ops_sync_total",
             CounterId::OpsCompute => "hard_ops_compute_total",
             CounterId::HbRaces => "hard_hb_races_total",
+            CounterId::ServeConnections => "hard_serve_connections_total",
+            CounterId::ServeSessions => "hard_serve_sessions_total",
+            CounterId::ServeErrors => "hard_serve_errors_total",
+            CounterId::ServeRejected => "hard_serve_rejected_total",
+            CounterId::ServeCacheHits => "hard_serve_cache_hits_total",
+            CounterId::ServeBytesIn => "hard_serve_bytes_in_total",
         }
     }
 }
@@ -129,11 +157,17 @@ pub enum HistId {
     BloomPopulation,
     /// Lock Register nesting depth after each lock operation.
     LockDepth,
+    /// Events per completed `hard-serve` detection session.
+    ServeSessionEvents,
 }
 
 impl HistId {
     /// Every histogram, in declaration (= index) order.
-    pub const ALL: [HistId; 2] = [HistId::BloomPopulation, HistId::LockDepth];
+    pub const ALL: [HistId; 3] = [
+        HistId::BloomPopulation,
+        HistId::LockDepth,
+        HistId::ServeSessionEvents,
+    ];
 
     /// Number of histograms; sizes the recorder's cell array.
     pub const COUNT: usize = HistId::ALL.len();
@@ -150,6 +184,7 @@ impl HistId {
         match self {
             HistId::BloomPopulation => "hard_bloom_population_bits",
             HistId::LockDepth => "hard_lock_depth",
+            HistId::ServeSessionEvents => "hard_serve_session_events",
         }
     }
 
@@ -160,6 +195,9 @@ impl HistId {
         match self {
             HistId::BloomPopulation => &[0, 1, 2, 4, 8, 16, 32, 64],
             HistId::LockDepth => &[0, 1, 2, 3, 4, 8],
+            HistId::ServeSessionEvents => {
+                &[0, 1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 23, 1 << 26]
+            }
         }
     }
 }

@@ -1,0 +1,163 @@
+//! `hard-serve`: run the race-detection service.
+//!
+//! ```text
+//! hard-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!            [--max-sessions N] [--max-session-bytes N] [--max-session-events N]
+//!            [--max-inflight-bytes N] [--idle-timeout-ms N] [--no-report-cache]
+//!            [--max-conns N] [--serve-metrics HOST:PORT] [--quiet]
+//! ```
+//!
+//! `--serve-metrics` installs a process-global [`hard_obs`] recorder
+//! and exposes its live counters in Prometheus text format at
+//! `GET /metrics` on a second listener (reusing the harness
+//! `MetricsServer`). `--max-conns` makes the server exit after N
+//! accepted connections — the CI smoke job's run-bounded mode; without
+//! it the server runs until a client sends a `Shutdown` frame.
+
+use hard_obs::{Exposition, MemoryRecorder, ObsHandle};
+use hard_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    cfg: ServeConfig,
+    serve_metrics: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: ServeConfig::default(),
+        serve_metrics: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--addr" => args.cfg.addr = value("--addr")?,
+            "--workers" => {
+                args.cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--queue-depth" => {
+                args.cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?;
+            }
+            "--max-sessions" => {
+                args.cfg.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-sessions: {e}"))?;
+            }
+            "--max-session-bytes" => {
+                args.cfg.max_session_bytes = value("--max-session-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-session-bytes: {e}"))?;
+            }
+            "--max-session-events" => {
+                args.cfg.max_session_events = value("--max-session-events")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-session-events: {e}"))?;
+            }
+            "--max-inflight-bytes" => {
+                args.cfg.max_inflight_bytes = value("--max-inflight-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inflight-bytes: {e}"))?;
+            }
+            "--idle-timeout-ms" => {
+                args.cfg.idle_timeout = std::time::Duration::from_millis(
+                    value("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --idle-timeout-ms: {e}"))?,
+                );
+            }
+            "--no-report-cache" => args.cfg.report_cache = false,
+            "--max-conns" => {
+                args.cfg.max_conns = Some(
+                    value("--max-conns")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-conns: {e}"))?,
+                );
+            }
+            "--serve-metrics" => args.serve_metrics = Some(value("--serve-metrics")?),
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: hard-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+                 [--max-sessions N] [--max-session-bytes N] [--max-session-events N] \
+                 [--max-inflight-bytes N] [--idle-timeout-ms N] [--no-report-cache] \
+                 [--max-conns N] [--serve-metrics HOST:PORT] [--quiet]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The metrics recorder must be installed before `Server::bind`
+    // captures the global handle.
+    if let Some(metrics_addr) = args.serve_metrics.as_deref() {
+        let rec = Arc::new(MemoryRecorder::new());
+        if !hard_obs::install(ObsHandle::new(rec.clone())) {
+            eprintln!("error: a global recorder is already installed");
+            return ExitCode::FAILURE;
+        }
+        let endpoint = match hard_harness::experiments::server::MetricsServer::bind(metrics_addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot bind --serve-metrics {metrics_addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match endpoint.local_addr() {
+            Ok(addr) if !args.quiet => eprintln!("metrics on http://{addr}/metrics"),
+            _ => {}
+        }
+        std::thread::spawn(move || {
+            let _ = endpoint.serve_with(
+                || {
+                    let mut e = Exposition::new();
+                    e.add_snapshot(&[], &rec.snapshot());
+                    e.render()
+                },
+                None,
+            );
+        });
+    }
+
+    let server = match Server::bind(args.cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        match server.local_addr() {
+            Ok(addr) => eprintln!("hard-serve listening on {addr}"),
+            Err(e) => eprintln!("hard-serve listening (addr unavailable: {e})"),
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            if !args.quiet {
+                eprintln!("hard-serve drained and exited");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

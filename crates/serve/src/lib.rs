@@ -1,0 +1,542 @@
+//! `hard-serve`: a long-running TCP race-detection service.
+//!
+//! The batch harness answers "what does HARD do on this corpus?";
+//! this crate answers the production question the ROADMAP and the
+//! HardRace line of work pose — race detection *as a service*. A
+//! [`Server`] accepts framed `HARDCRP1` corpus streams (the exact
+//! format `hard-exp record --packed` writes and `hard-exp replay`
+//! consumes) from concurrent clients, runs each session through
+//! [`hard_harness::execute_streamed`] on a bounded
+//! [`hard_harness::WorkerPool`], and answers with a structured JSON
+//! [`hard_harness::ReportBody`]. Because the server and the offline
+//! replay share one detection entry point, a served report is byte-
+//! identical to `hard-exp replay` on the same file — CI diffs the
+//! two outputs directly.
+//!
+//! Production concerns handled end to end:
+//!
+//! * **Framing** — the [`hard_trace::wire`] protocol: version-bearing
+//!   handshake, length-prefixed frames, hostile length prefixes
+//!   rejected before allocation.
+//! * **Ingest verification** — the `HARDCRP1` header checksum is
+//!   validated before detection and the payload FNV after it; a
+//!   corrupt upload gets a client-visible `Error` frame, never a
+//!   panic.
+//! * **Limits** — [`ServeConfig`] bounds concurrent sessions, bytes
+//!   per session, events per session, and global in-flight bytes.
+//! * **Backpressure** — the detection pool's submission queue is
+//!   bounded; when it fills, session readers block *before* reading
+//!   the next client frame, so TCP flow control propagates the stall
+//!   to uploaders instead of buffering unboundedly.
+//! * **Timeouts** — an idle client is cut off with an `Error` frame
+//!   after [`ServeConfig::idle_timeout`].
+//! * **Graceful shutdown** — a `Shutdown` frame (or `max_conns`)
+//!   stops the accept loop, drains in-flight sessions, and joins the
+//!   pool.
+//! * **Observability** — `hard_serve_*` counters, the session-size
+//!   histogram, and `serve:detect:*` spans flow into the installed
+//!   [`hard_obs`] recorder; the binary exposes them via
+//!   `--serve-metrics`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hard_serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServeConfig::default()
+//! })
+//! .expect("bind");
+//! println!("listening on {}", server.local_addr().expect("addr"));
+//! server.run().expect("serve");
+//! ```
+
+#![warn(missing_docs)]
+
+use hard_harness::corpus::{parse_header, CORPUS_MAGIC};
+use hard_harness::service::send_frame;
+use hard_harness::{DetectorKind, ReportBody, WorkerPool};
+use hard_obs::{CounterId, HistId, ObsHandle};
+use hard_trace::codec::{fnv1a_update, FNV1A_INIT};
+use hard_trace::wire::{
+    read_frame, read_handshake, write_handshake, FrameKind, WireError, MAX_FRAME_BYTES,
+};
+use hard_trace::ChunkedReader;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs and limits for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7140` (`:0` for an ephemeral
+    /// port, reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Detection worker threads behind the bounded queue.
+    pub workers: usize,
+    /// Detection jobs that may wait in the queue before session
+    /// readers block (the backpressure bound).
+    pub queue_depth: usize,
+    /// Concurrent client sessions; further connections are answered
+    /// with an `Error` frame and closed.
+    pub max_sessions: usize,
+    /// Upload bytes one session may buffer.
+    pub max_session_bytes: u64,
+    /// Events one session's trace may contain.
+    pub max_session_events: u64,
+    /// Upload bytes buffered across *all* sessions; connections that
+    /// would exceed it are cut off with an `Error` frame.
+    pub max_inflight_bytes: u64,
+    /// How long a connection may sit idle between frames before it is
+    /// cut off with an `Error` frame.
+    pub idle_timeout: Duration,
+    /// Answer a repeated upload (same detector, same bytes) from an
+    /// in-memory report cache instead of re-running detection. Hit
+    /// and miss responses are byte-identical; hits show up only in
+    /// the `hard_serve_cache_hits_total` counter.
+    pub report_cache: bool,
+    /// Exit the accept loop after this many accepted connections
+    /// (used by CI and tests; `None` serves until a `Shutdown`
+    /// frame).
+    pub max_conns: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7140".into(),
+            workers: 2,
+            queue_depth: 8,
+            max_sessions: 32,
+            max_session_bytes: 256 << 20,
+            max_session_events: 1 << 26,
+            max_inflight_bytes: 1 << 30,
+            idle_timeout: Duration::from_secs(30),
+            report_cache: true,
+            max_conns: None,
+        }
+    }
+}
+
+/// Report-cache entries kept before the cache is flushed wholesale
+/// (bounding memory without LRU bookkeeping — uploads are large and
+/// repeats are bursty, so a flush is cheap relative to one session).
+const REPORT_CACHE_CAP: usize = 256;
+
+struct Shared {
+    cfg: ServeConfig,
+    obs: ObsHandle,
+    shutdown: AtomicBool,
+    active_sessions: AtomicUsize,
+    inflight_bytes: AtomicU64,
+    pool: WorkerPool,
+    report_cache: Mutex<HashMap<u64, String>>,
+}
+
+/// Releases a session's global in-flight byte reservation on drop, so
+/// every exit path — clean report, error frame, client disconnect,
+/// panic unwind — returns its budget.
+struct InflightGuard {
+    shared: Arc<Shared>,
+    held: u64,
+}
+
+impl InflightGuard {
+    fn new(shared: Arc<Shared>) -> InflightGuard {
+        InflightGuard { shared, held: 0 }
+    }
+
+    /// Reserves `n` more bytes against the global budget.
+    fn grow(&mut self, n: u64) -> Result<(), String> {
+        let prev = self.shared.inflight_bytes.fetch_add(n, Ordering::Relaxed);
+        if prev + n > self.shared.cfg.max_inflight_bytes {
+            self.shared.inflight_bytes.fetch_sub(n, Ordering::Relaxed);
+            return Err(format!(
+                "server in-flight budget exhausted ({} bytes)",
+                self.shared.cfg.max_inflight_bytes
+            ));
+        }
+        self.held += n;
+        Ok(())
+    }
+
+    /// Returns the whole reservation (used between sessions on one
+    /// connection).
+    fn release(&mut self) {
+        self.shared
+            .inflight_bytes
+            .fetch_sub(self.held, Ordering::Relaxed);
+        self.held = 0;
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// The `hard-serve` TCP server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the detection pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        // Non-blocking accept so the loop can observe the shutdown
+        // flag a connection thread sets; connection sockets are
+        // switched back to blocking.
+        listener.set_nonblocking(true)?;
+        let pool = WorkerPool::new(cfg.workers.max(1), cfg.queue_depth.max(1));
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                obs: hard_obs::installed(),
+                shutdown: AtomicBool::new(false),
+                active_sessions: AtomicUsize::new(0),
+                inflight_bytes: AtomicU64::new(0),
+                pool,
+                report_cache: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (reports the kernel-chosen port after an
+    /// `:0` bind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Concurrent sessions currently open (for tests asserting that
+    /// none leak).
+    #[must_use]
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Runs the accept loop until a client sends `Shutdown` or
+    /// `max_conns` connections have been accepted, then drains:
+    /// in-flight sessions finish, their threads are joined, and the
+    /// detection pool is torn down.
+    ///
+    /// # Errors
+    ///
+    /// Returns fatal accept-loop errors; per-connection failures are
+    /// answered on that connection and never take the server down.
+    pub fn run(self) -> Result<(), String> {
+        let Server { listener, shared } = self;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut accepted = 0usize;
+        while !shared.shutdown.load(Ordering::Relaxed) {
+            if shared.cfg.max_conns.is_some_and(|m| accepted >= m) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    accepted += 1;
+                    shared.obs.counter(CounterId::ServeConnections, 1);
+                    let shared = Arc::clone(&shared);
+                    conns.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared);
+                    }));
+                    // Opportunistically reap finished threads so a
+                    // long-lived server does not accumulate handles.
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+        // Drain: no new connections; in-flight sessions complete.
+        for h in conns {
+            let _ = h.join();
+        }
+        // `shared` holds the pool; dropping the last Arc joins the
+        // workers after they finish the accepted backlog.
+        drop(shared);
+        Ok(())
+    }
+}
+
+/// Decrements the active-session gauge on every exit path.
+struct SessionSlot<'a>(&'a Shared);
+
+impl Drop for SessionSlot<'_> {
+    fn drop(&mut self) {
+        self.0.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let obs = shared.obs.clone();
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.cfg.idle_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        obs.counter(CounterId::ServeErrors, 1);
+        return;
+    };
+    let mut w = BufWriter::new(write_half);
+    let mut r = BufReader::new(stream);
+
+    // Capacity gate before any protocol work: a connection beyond the
+    // session limit gets the handshake echo (so the client's reader is
+    // in a defined state) and an Error frame.
+    let prev = shared.active_sessions.fetch_add(1, Ordering::Relaxed);
+    let slot = SessionSlot(shared);
+    if prev >= shared.cfg.max_sessions {
+        obs.counter(CounterId::ServeRejected, 1);
+        let _ = write_handshake(&mut w);
+        send_error(
+            &mut w,
+            &obs,
+            &format!(
+                "server at capacity ({} sessions); retry later",
+                shared.cfg.max_sessions
+            ),
+        );
+        return;
+    }
+
+    if let Err(e) = read_handshake(&mut r) {
+        // Bad magic still gets a spec-shaped reply; a raw disconnect
+        // gets nothing (there is no one to talk to).
+        if !matches!(e, WireError::Io(_)) {
+            let _ = write_handshake(&mut w);
+            send_error(&mut w, &obs, &format!("handshake rejected: {e}"));
+        } else {
+            obs.counter(CounterId::ServeErrors, 1);
+        }
+        return;
+    }
+    if write_handshake(&mut w).is_err() || w.flush().is_err() {
+        obs.counter(CounterId::ServeErrors, 1);
+        return;
+    }
+
+    run_session_loop(&mut r, &mut w, shared, &obs);
+    drop(slot); // the session slot frees only after the loop exits
+}
+
+fn run_session_loop(
+    r: &mut BufReader<TcpStream>,
+    w: &mut BufWriter<TcpStream>,
+    shared: &Arc<Shared>,
+    obs: &ObsHandle,
+) {
+    let mut kind: Option<DetectorKind> = None;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut guard = InflightGuard::new(Arc::clone(shared));
+    let frame_cap = u32::try_from(shared.cfg.max_session_bytes.min(u64::from(MAX_FRAME_BYTES)))
+        .unwrap_or(MAX_FRAME_BYTES);
+    loop {
+        let frame = match read_frame(r, frame_cap) {
+            Ok(f) => f,
+            Err(e) if e.is_timeout() => {
+                send_error(w, obs, "idle timeout: no frame received in time");
+                return;
+            }
+            Err(WireError::Io(_)) => {
+                // Disconnect. Mid-session (after Begin) it is an
+                // abandoned upload; between sessions it is a normal
+                // close.
+                if kind.is_some() || !buf.is_empty() {
+                    obs.counter(CounterId::ServeErrors, 1);
+                }
+                return;
+            }
+            Err(e) => {
+                send_error(w, obs, &format!("protocol error: {e}"));
+                return;
+            }
+        };
+        match frame.kind {
+            FrameKind::Begin => {
+                if kind.is_some() {
+                    send_error(w, obs, "protocol error: Begin inside an open session");
+                    return;
+                }
+                match DetectorKind::parse(&frame.text()) {
+                    Ok(k) => kind = Some(k),
+                    Err(e) => {
+                        send_error(w, obs, &e);
+                        return;
+                    }
+                }
+            }
+            FrameKind::Data => {
+                if kind.is_none() {
+                    send_error(w, obs, "protocol error: Data before Begin");
+                    return;
+                }
+                let n = frame.payload.len() as u64;
+                if buf.len() as u64 + n > shared.cfg.max_session_bytes {
+                    send_error(
+                        w,
+                        obs,
+                        &format!(
+                            "session exceeds {} upload bytes",
+                            shared.cfg.max_session_bytes
+                        ),
+                    );
+                    return;
+                }
+                if let Err(e) = guard.grow(n) {
+                    send_error(w, obs, &e);
+                    return;
+                }
+                obs.counter(CounterId::ServeBytesIn, n);
+                buf.extend_from_slice(&frame.payload);
+            }
+            FrameKind::End => {
+                let Some(k) = kind.take() else {
+                    send_error(w, obs, "protocol error: End before Begin");
+                    return;
+                };
+                match finish_session(shared, obs, &k, &buf) {
+                    Ok(body) => {
+                        obs.counter(CounterId::ServeSessions, 1);
+                        if send_frame(w, FrameKind::Report, body.as_bytes()).is_err() {
+                            obs.counter(CounterId::ServeErrors, 1);
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        send_error(w, obs, &e);
+                        return;
+                    }
+                }
+                buf = Vec::new();
+                guard.release();
+            }
+            FrameKind::Shutdown => {
+                shared.shutdown.store(true, Ordering::Relaxed);
+                let _ = send_frame(w, FrameKind::Bye, &[]);
+                return;
+            }
+            FrameKind::Report | FrameKind::Error | FrameKind::Bye => {
+                send_error(
+                    w,
+                    obs,
+                    &format!("protocol error: client sent server frame {:?}", frame.kind),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Validates the uploaded corpus bytes and runs (or cache-answers)
+/// detection, returning the encoded report body.
+fn finish_session(
+    shared: &Arc<Shared>,
+    obs: &ObsHandle,
+    kind: &DetectorKind,
+    corpus: &[u8],
+) -> Result<String, String> {
+    if corpus.len() < CORPUS_MAGIC.len() || &corpus[..CORPUS_MAGIC.len()] != CORPUS_MAGIC {
+        return Err("upload is not a HARDCRP1 corpus stream".into());
+    }
+    let (header, payload_at) = parse_header(corpus)?;
+    if header.events > shared.cfg.max_session_events {
+        return Err(format!(
+            "trace has {} events, over the {}-event session cap",
+            header.events, shared.cfg.max_session_events
+        ));
+    }
+    let cache_key = if shared.cfg.report_cache {
+        let fnv = fnv1a_update(FNV1A_INIT, kind.label().as_bytes());
+        let fnv = fnv1a_update(fnv, &[0]);
+        let fnv = fnv1a_update(fnv, corpus);
+        if let Some(body) = shared
+            .report_cache
+            .lock()
+            .map_err(|_| "report cache poisoned".to_string())?
+            .get(&fnv)
+        {
+            obs.counter(CounterId::ServeCacheHits, 1);
+            return Ok(body.clone());
+        }
+        Some(fnv)
+    } else {
+        None
+    };
+
+    // Hand the payload to the bounded pool and rendezvous on the
+    // result. `submit` blocking here (queue full) is the backpressure
+    // path: this session's frames stop being read until a worker
+    // frees up.
+    let payload = corpus[payload_at..].to_vec();
+    let (tx, rx) = sync_channel::<Result<ReportBody, String>>(1);
+    let kind = *kind;
+    let job_obs = obs.clone();
+    shared
+        .pool
+        .submit(move || {
+            let span = job_obs.span(|| format!("serve:detect:{}", kind.label()));
+            let mut reader = ChunkedReader::spawn(
+                std::io::Cursor::new(payload),
+                hard_trace::packed_event::DEFAULT_CHUNK_RECORDS,
+            );
+            let result =
+                hard_harness::execute_streamed(&kind, header.num_threads as usize, &mut reader)
+                    .and_then(|(run, events, fnv)| {
+                        if events != header.events {
+                            return Err(format!(
+                                "stream ended after {events} of {} events",
+                                header.events
+                            ));
+                        }
+                        if fnv != header.payload_fnv {
+                            return Err("payload checksum mismatch after replay".into());
+                        }
+                        Ok(ReportBody {
+                            label: kind.label().to_string(),
+                            events,
+                            reports: run.reports,
+                        })
+                    });
+            let events = result.as_ref().map_or(0, |b| b.events);
+            job_obs.span_end(span, 0, events);
+            let _ = tx.send(result);
+        })
+        .map_err(|e| format!("detection pool unavailable: {e}"))?;
+    let body = rx
+        .recv()
+        .map_err(|_| "detection worker died mid-session".to_string())??;
+    obs.histogram(HistId::ServeSessionEvents, body.events);
+    let encoded = body.encode();
+    if let Some(key) = cache_key {
+        if let Ok(mut cache) = shared.report_cache.lock() {
+            if cache.len() >= REPORT_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, encoded.clone());
+        }
+    }
+    Ok(encoded)
+}
+
+fn send_error(w: &mut impl Write, obs: &ObsHandle, msg: &str) {
+    obs.counter(CounterId::ServeErrors, 1);
+    let _ = send_frame(w, FrameKind::Error, msg.as_bytes());
+}

@@ -9,10 +9,18 @@ use std::fmt;
 pub enum TraceEvent {
     /// Thread `thread` performed `op`. For [`Op::Lock`] this is the
     /// moment the acquire *succeeded*; blocking time is not an event.
-    Op { thread: ThreadId, op: Op },
+    Op {
+        /// The issuing thread.
+        thread: ThreadId,
+        /// The operation it performed.
+        op: Op,
+    },
     /// All threads have arrived at `barrier`; the barrier opens. HARD's
     /// barrier pruning (§3.5) flash-resets candidate sets at this point.
-    BarrierComplete { barrier: BarrierId },
+    BarrierComplete {
+        /// The barrier that opened.
+        barrier: BarrierId,
+    },
 }
 
 impl TraceEvent {

@@ -16,7 +16,9 @@
 //!   *identical executions* (paper §5.1);
 //! * [`codec`] — a small binary format for persisting traces;
 //! * [`stats::TraceStats`] — summary statistics used by tests and the
-//!   harness.
+//!   harness;
+//! * [`wire`] — the length-prefixed frame protocol spoken by the
+//!   `hard-serve` network service and its clients.
 //!
 //! # Examples
 //!
@@ -37,6 +39,8 @@
 //! assert_eq!(trace.events.len(), 6);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod detect;
 pub mod event;
@@ -45,6 +49,7 @@ pub mod packed_event;
 pub mod program;
 pub mod sched;
 pub mod stats;
+pub mod wire;
 
 pub use detect::{
     observe_event, run_detector, run_detector_observed, run_detector_streamed, Detector, RaceReport,

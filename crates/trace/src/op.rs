@@ -11,23 +11,65 @@ use std::fmt;
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Op {
     /// A load of `size` bytes at `addr`.
-    Read { addr: Addr, size: u8, site: SiteId },
+    Read {
+        /// First byte of the accessed range.
+        addr: Addr,
+        /// Access width in bytes (1–8).
+        size: u8,
+        /// Static site of the load statement.
+        site: SiteId,
+    },
     /// A store of `size` bytes at `addr`.
-    Write { addr: Addr, size: u8, site: SiteId },
+    Write {
+        /// First byte of the accessed range.
+        addr: Addr,
+        /// Access width in bytes (1–8).
+        size: u8,
+        /// Static site of the store statement.
+        site: SiteId,
+    },
     /// Acquire `lock` (blocks while another thread holds it).
-    Lock { lock: LockId, site: SiteId },
+    Lock {
+        /// The lock being acquired.
+        lock: LockId,
+        /// Static site of the acquire statement.
+        site: SiteId,
+    },
     /// Release `lock`.
-    Unlock { lock: LockId, site: SiteId },
+    Unlock {
+        /// The lock being released.
+        lock: LockId,
+        /// Static site of the release statement.
+        site: SiteId,
+    },
     /// Arrive at `barrier` and wait for all threads.
-    Barrier { barrier: BarrierId, site: SiteId },
+    Barrier {
+        /// The barrier being arrived at.
+        barrier: BarrierId,
+        /// Static site of the barrier statement.
+        site: SiteId,
+    },
     /// Spawn `child`, which must not have started yet. The child's
     /// program begins executing after this event.
-    Fork { child: ThreadId, site: SiteId },
+    Fork {
+        /// The spawned thread.
+        child: ThreadId,
+        /// Static site of the fork statement.
+        site: SiteId,
+    },
     /// Wait for `child` to finish its program.
-    Join { child: ThreadId, site: SiteId },
+    Join {
+        /// The thread being joined.
+        child: ThreadId,
+        /// Static site of the join statement.
+        site: SiteId,
+    },
     /// `cycles` of private computation (no memory traffic); consumed by
     /// the timing model only.
-    Compute { cycles: u32 },
+    Compute {
+        /// Simulated cycle count.
+        cycles: u32,
+    },
 }
 
 impl Op {

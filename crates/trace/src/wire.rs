@@ -1,0 +1,349 @@
+//! The `hard-serve` wire protocol: framing and handshake.
+//!
+//! A detection session travels over a plain TCP byte stream as a
+//! fixed 8-byte protocol handshake followed by length-prefixed
+//! frames. The protocol is deliberately minimal — no TLS, no
+//! multiplexing — because the service sits behind the same trust
+//! boundary as the corpus directory it mirrors; what it *is* careful
+//! about is hostile framing: every length is bounded before
+//! allocation, unknown frame kinds are rejected without consuming
+//! the payload, and a truncated stream surfaces as a clean error
+//! rather than a hang or a panic.
+//!
+//! # Handshake
+//!
+//! The client opens the connection by sending [`WIRE_MAGIC`]
+//! (`"HARDSRV1"`); the server echoes the same 8 bytes back. A server
+//! receiving any other prefix answers with an [`FrameKind::Error`]
+//! frame naming the mismatch and closes. The version digit is part of
+//! the magic, so a future `HARDSRV2` client is detected before any
+//! frame is parsed.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! kind     1  byte (see FrameKind)
+//! len      4  u32 LE payload length
+//! payload  len bytes
+//! ```
+//!
+//! Client → server kinds: [`FrameKind::Begin`] (payload: UTF-8
+//! detector label) opens a session, [`FrameKind::Data`] chunks carry
+//! the bytes of one `HARDCRP1` corpus stream (any chunking; the
+//! session reassembles them), [`FrameKind::End`] closes the session
+//! and requests the report, [`FrameKind::Shutdown`] asks the server
+//! to drain and exit. Server → client kinds: [`FrameKind::Report`]
+//! (payload: JSON report body), [`FrameKind::Error`] (payload: UTF-8
+//! message), [`FrameKind::Bye`] (shutdown acknowledged).
+//!
+//! The payload checksum is *not* a framing concern: the `HARDCRP1`
+//! stream the Data frames carry embeds its own header and payload
+//! FNV-1a checksums, which the server verifies on ingest before any
+//! detection runs.
+
+use std::io::{Read, Write};
+
+/// Handshake magic; the trailing digit is the protocol version.
+pub const WIRE_MAGIC: &[u8; 8] = b"HARDSRV1";
+
+/// Hard upper bound on one frame's payload, defending the reader
+/// against absurd length prefixes before any allocation happens.
+/// Servers typically configure a tighter per-session byte budget on
+/// top of this.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// The frame kinds of protocol version 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: open a session; payload is the UTF-8 detector
+    /// label (e.g. `hard`).
+    Begin = 0x01,
+    /// Client → server: a chunk of the session's `HARDCRP1` stream.
+    Data = 0x02,
+    /// Client → server: the stream is complete; run detection and
+    /// answer with a report.
+    End = 0x03,
+    /// Client → server: stop accepting connections, drain in-flight
+    /// sessions and exit.
+    Shutdown = 0x0F,
+    /// Server → client: the session's JSON report body.
+    Report = 0x81,
+    /// Server → client: a session or protocol error description.
+    Error = 0x82,
+    /// Server → client: shutdown acknowledged; the connection closes.
+    Bye = 0x83,
+}
+
+impl FrameKind {
+    /// Decodes a kind byte.
+    #[must_use]
+    pub fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            0x01 => Some(FrameKind::Begin),
+            0x02 => Some(FrameKind::Data),
+            0x03 => Some(FrameKind::End),
+            0x0F => Some(FrameKind::Shutdown),
+            0x81 => Some(FrameKind::Report),
+            0x82 => Some(FrameKind::Error),
+            0x83 => Some(FrameKind::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame means.
+    pub kind: FrameKind,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with no payload.
+    #[must_use]
+    pub fn empty(kind: FrameKind) -> Frame {
+        Frame {
+            kind,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The payload as UTF-8, with invalid sequences replaced — error
+    /// and label payloads are for humans, so lossy is the right call.
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.payload).into_owned()
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed or ended mid-frame.
+    Io(std::io::Error),
+    /// The peer sent a kind byte outside the protocol.
+    UnknownKind(u8),
+    /// A length prefix exceeded the permitted payload bound.
+    TooLarge {
+        /// The announced payload length.
+        len: u32,
+        /// The bound it violated.
+        max: u32,
+    },
+    /// The handshake bytes were not [`WIRE_MAGIC`].
+    BadMagic([u8; 8]),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O: {e}"),
+            WireError::UnknownKind(b) => write!(f, "unknown frame kind byte 0x{b:02X}"),
+            WireError::TooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte bound"
+                )
+            }
+            WireError::BadMagic(m) => {
+                write!(f, "bad handshake {:?} (expected {:?})", m, WIRE_MAGIC)
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// True when the error is an I/O timeout (`WouldBlock` /
+    /// `TimedOut`, depending on platform) — the idle-session signal
+    /// servers turn into a client-visible error frame.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<()> {
+    r.read_exact(buf)
+}
+
+/// Writes the 8-byte handshake.
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn write_handshake(w: &mut impl Write) -> Result<(), WireError> {
+    w.write_all(WIRE_MAGIC)?;
+    Ok(())
+}
+
+/// Reads and checks the 8-byte handshake.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] carries the received bytes so the server
+/// can name them in its error frame; I/O failures pass through.
+pub fn read_handshake(r: &mut impl Read) -> Result<(), WireError> {
+    let mut m = [0u8; 8];
+    read_exact(r, &mut m)?;
+    if &m != WIRE_MAGIC {
+        return Err(WireError::BadMagic(m));
+    }
+    Ok(())
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] when the payload exceeds
+/// [`MAX_FRAME_BYTES`]; I/O failures pass through.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::TooLarge {
+        len: u32::MAX,
+        max: MAX_FRAME_BYTES,
+    })?;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::TooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    w.write_all(&[kind as u8])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, bounding the payload at the *smaller* of
+/// `max_payload` and [`MAX_FRAME_BYTES`].
+///
+/// The length prefix is validated before any allocation, so a hostile
+/// peer announcing a 4 GiB payload costs five bytes of reading, not
+/// an allocation attempt.
+///
+/// # Errors
+///
+/// [`WireError::UnknownKind`] for a kind byte outside the protocol,
+/// [`WireError::TooLarge`] for an over-bound length prefix, and
+/// [`WireError::Io`] for stream failures (including clean EOF between
+/// frames, which surfaces as `UnexpectedEof`).
+pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame, WireError> {
+    let mut head = [0u8; 5];
+    read_exact(r, &mut head)?;
+    let kind = FrameKind::from_byte(head[0]).ok_or(WireError::UnknownKind(head[0]))?;
+    let len = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes"));
+    let max = max_payload.min(MAX_FRAME_BYTES);
+    if len > max {
+        return Err(WireError::TooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact(r, &mut payload)?;
+    Ok(Frame { kind, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_handshake(&mut buf).unwrap();
+        write_frame(&mut buf, FrameKind::Begin, b"hard").unwrap();
+        write_frame(&mut buf, FrameKind::Data, &[0xAB; 100]).unwrap();
+        write_frame(&mut buf, FrameKind::End, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        read_handshake(&mut r).unwrap();
+        let f = read_frame(&mut r, MAX_FRAME_BYTES).unwrap();
+        assert_eq!((f.kind, f.text().as_str()), (FrameKind::Begin, "hard"));
+        let f = read_frame(&mut r, MAX_FRAME_BYTES).unwrap();
+        assert_eq!((f.kind, f.payload.len()), (FrameKind::Data, 100));
+        let f = read_frame(&mut r, MAX_FRAME_BYTES).unwrap();
+        assert_eq!(f, Frame::empty(FrameKind::End));
+        // Stream exhausted: clean EOF surfaces as an I/O error.
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME_BYTES),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_reported_with_the_received_bytes() {
+        let mut r = Cursor::new(b"HARDSRV9".to_vec());
+        let Err(WireError::BadMagic(m)) = read_handshake(&mut r) else {
+            panic!("version-9 magic must be rejected");
+        };
+        assert_eq!(&m, b"HARDSRV9");
+    }
+
+    #[test]
+    fn unknown_kind_and_oversized_frames_are_rejected() {
+        let mut buf = vec![0x7Fu8];
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), MAX_FRAME_BYTES),
+            Err(WireError::UnknownKind(0x7F))
+        ));
+        let mut buf = vec![FrameKind::Data as u8];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let Err(WireError::TooLarge { len, max }) = read_frame(&mut Cursor::new(buf), 1024) else {
+            panic!("a 4 GiB length prefix must be rejected before allocation");
+        };
+        assert_eq!((len, max), (u32::MAX, 1024));
+    }
+
+    #[test]
+    fn truncated_payload_is_an_io_error_not_a_hang() {
+        let mut buf = vec![FrameKind::Data as u8];
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 10]); // 90 bytes short
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), MAX_FRAME_BYTES),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn every_kind_byte_round_trips() {
+        for k in [
+            FrameKind::Begin,
+            FrameKind::Data,
+            FrameKind::End,
+            FrameKind::Shutdown,
+            FrameKind::Report,
+            FrameKind::Error,
+            FrameKind::Bye,
+        ] {
+            assert_eq!(FrameKind::from_byte(k as u8), Some(k));
+        }
+        assert_eq!(FrameKind::from_byte(0x00), None);
+    }
+
+    #[test]
+    fn timeout_classification() {
+        let t = WireError::Io(std::io::Error::new(std::io::ErrorKind::WouldBlock, "t"));
+        assert!(t.is_timeout());
+        let t = WireError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "t"));
+        assert!(t.is_timeout());
+        assert!(!WireError::UnknownKind(1).is_timeout());
+    }
+}

@@ -22,6 +22,8 @@
 //! assert_eq!(g.offset_of(Addr(0x1234)), 0x14);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod fault;
 pub mod hashers;
