@@ -1,0 +1,39 @@
+//! Fuzzes the 16-byte packed-record decoder
+//! ([`hard_trace::packed_event`]).
+//!
+//! Invariants: `unpack` on arbitrary bytes may return `BadTag`, never
+//! panic; any event that *does* unpack must survive a
+//! pack → unpack round trip unchanged (the corpus replay path depends
+//! on it); `PackedTrace::from_bytes` must reject garbage gracefully.
+
+use hard_trace::packed_event::RECORD_BYTES;
+use hard_trace::{PackedEvent, PackedTrace};
+use std::process::ExitCode;
+
+fn target(data: &[u8]) {
+    for chunk in data.chunks_exact(RECORD_BYTES) {
+        let record: [u8; RECORD_BYTES] = chunk.try_into().expect("exact chunk");
+        let packed = PackedEvent::from_bytes(&record);
+        if let Ok(event) = packed.unpack() {
+            let repacked = PackedEvent::pack(&event).expect("unpacked event must repack");
+            let again = repacked.unpack().expect("repacked event must unpack");
+            assert_eq!(event, again, "pack/unpack round trip diverged");
+        }
+    }
+    let _ = PackedTrace::from_bytes(4, data.to_vec());
+}
+
+/// Real packed records from a tiny generated trace, so mutations start
+/// from every tag the encoder emits.
+fn seeds() -> Vec<Vec<u8>> {
+    let cfg = hard_harness::CampaignConfig::reduced(0.02, 1);
+    let (trace, _) = hard_harness::campaign::injected_trace(hard_workloads::App::Ocean, &cfg, 0);
+    let packed = PackedTrace::from_trace(&trace).expect("workload trace packs");
+    let bytes = packed.bytes();
+    let head = bytes[..bytes.len().min(64 * RECORD_BYTES)].to_vec();
+    vec![head, vec![0u8; 2 * RECORD_BYTES]]
+}
+
+fn main() -> ExitCode {
+    hard_fuzz::fuzz_main("fuzz_packed_event", seeds(), target)
+}

@@ -1,0 +1,56 @@
+//! Fuzzes the `HARDSRV1` frame decoder ([`hard_trace::wire`]).
+//!
+//! Invariant: arbitrary bytes on the wire may produce `WireError`s,
+//! never a panic — a hostile client must not be able to crash the
+//! serve tier's reader.
+
+use hard_trace::wire::{
+    decode_busy, encode_busy, read_frame, read_handshake, write_frame, write_handshake, FrameKind,
+};
+use std::process::ExitCode;
+
+/// Frames larger than this are rejected by the decoder under test —
+/// the same order of bound `hard-serve` runs with.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+fn target(data: &[u8]) {
+    let mut r = std::io::Cursor::new(data);
+    // A session's worth of reads: handshake, then frames to exhaustion.
+    let _ = read_handshake(&mut r);
+    while let Ok(frame) = read_frame(&mut r, MAX_PAYLOAD) {
+        let _ = frame.text();
+        if frame.kind == FrameKind::Busy {
+            let _ = decode_busy(&frame.payload);
+        }
+    }
+    // The busy codec also accepts raw payloads directly.
+    let _ = decode_busy(data);
+    let _ = FrameKind::from_byte(data.first().copied().unwrap_or(0));
+}
+
+/// Well-formed sessions: mutations of valid traffic reach deeper than
+/// random bytes.
+fn seeds() -> Vec<Vec<u8>> {
+    let mut session = Vec::new();
+    write_handshake(&mut session).expect("vec write");
+    write_frame(&mut session, FrameKind::Begin, b"hard").expect("vec write");
+    write_frame(&mut session, FrameKind::Data, &[0x55u8; 48]).expect("vec write");
+    write_frame(&mut session, FrameKind::End, b"").expect("vec write");
+    write_frame(&mut session, FrameKind::Health, b"").expect("vec write");
+
+    let mut busy = Vec::new();
+    write_handshake(&mut busy).expect("vec write");
+    write_frame(
+        &mut busy,
+        FrameKind::Busy,
+        &encode_busy(250, "queue saturated"),
+    )
+    .expect("vec write");
+    write_frame(&mut busy, FrameKind::Report, b"label=hard\nevents=12\n").expect("vec write");
+
+    vec![session, busy]
+}
+
+fn main() -> ExitCode {
+    hard_fuzz::fuzz_main("fuzz_wire", seeds(), target)
+}

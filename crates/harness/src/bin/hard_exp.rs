@@ -35,8 +35,8 @@
 //! the payload through the detector without materialising it.
 
 use hard_harness::experiments::{
-    ablation, bloom_analysis, claims, cord, faults, fig8, obs, robustness, server, table1, table2,
-    table3, table45, table6, window, workload_stats,
+    ablation, bloom_analysis, chaos, claims, cord, faults, fig8, obs, robustness, server, table1,
+    table2, table3, table45, table6, window, workload_stats,
 };
 use hard_harness::{
     execute, CampaignConfig, Checkpoint, DetectorKind, InjectMode, OutputFormat, Reporter,
@@ -75,6 +75,9 @@ struct Args {
     addr: Option<String>,
     repeat: usize,
     clients: usize,
+    serve_cmd: Option<String>,
+    retries: Option<u32>,
+    seed: Option<u64>,
 }
 
 impl Args {
@@ -107,6 +110,9 @@ impl Args {
             addr: None,
             repeat: 1,
             clients: 1,
+            serve_cmd: None,
+            retries: None,
+            seed: None,
         }
     }
 }
@@ -139,6 +145,9 @@ fn parse_args() -> Result<Args, String> {
         addr: None,
         repeat: 1,
         clients: 1,
+        serve_cmd: None,
+        retries: None,
+        seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -250,6 +259,25 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--clients needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --clients: {e}"))?;
+            }
+            "--serve-cmd" => {
+                args.serve_cmd = Some(it.next().ok_or("--serve-cmd needs a path")?);
+            }
+            "--retries" => {
+                args.retries = Some(
+                    it.next()
+                        .ok_or("--retries needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --retries: {e}"))?,
+                );
+            }
+            "--seed" => {
+                args.seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                );
             }
             "--smoke" => args.smoke = true,
             "--out" => args.out = Some(it.next().ok_or("--out needs a directory")?),
@@ -488,6 +516,37 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
                 return Err(format!("{crashed} run(s) crashed inside the detector"));
             }
         }
+        "chaos" => {
+            let mut ccfg = chaos::ChaosConfig {
+                campaign: cfg,
+                ..chaos::ChaosConfig::default()
+            };
+            if let Some(rates) = args.rates.clone() {
+                ccfg.rates_ppm = rates;
+            }
+            if args.clients > 1 {
+                ccfg.clients = args.clients;
+            }
+            if args.repeat > 1 {
+                ccfg.sessions_per_client = args.repeat;
+            }
+            if let Some(seed) = args.seed {
+                ccfg.seed = seed;
+            }
+            if let Some(retries) = args.retries {
+                ccfg.retry.max_attempts = retries;
+            }
+            ccfg.addr = args.addr.clone();
+            ccfg.serve_cmd = args.serve_cmd.clone();
+            rep.section(&format!(
+                "Chaos campaign — serve tier under network faults, {} client(s) x {} session(s)/rate",
+                ccfg.clients, ccfg.sessions_per_client
+            ));
+            let study = chaos::run(&ccfg)?;
+            rep.table(&study.render());
+            study.check()?;
+            rep.note("all invariants held: no divergent reports, no exhausted retries, no leaks");
+        }
         "bench-check" => {
             // A bench file is one record per line: a single `--bench-out`
             // capture or a multi-line trajectory like `BENCH_pr3.json`.
@@ -643,6 +702,11 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
                     hard_harness::Submission::ServerError(msg) => {
                         return Err(format!("server error: {msg}"))
                     }
+                    hard_harness::Submission::Busy { message, .. } => {
+                        // The plain submit path does not retry; use
+                        // `hard-exp chaos` or back off manually.
+                        return Err(format!("server busy: {message}"));
+                    }
                     hard_harness::Submission::Report(body) => match &printed {
                         None => {
                             for line in body.notes() {
@@ -722,6 +786,8 @@ fn main() -> ExitCode {
                  hard-exp record --app <name> --file <path> [--inject SEED] [--packed]\n       \
                  hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]\n       \
                  hard-exp submit --addr HOST:PORT --file <path> [--detector NAME] [--clients N] [--repeat N]\n       \
+                 hard-exp chaos [--rates PPM,PPM,...] [--clients N] [--repeat N] [--retries N] \
+                 [--seed N] [--addr HOST:PORT] [--serve-cmd PATH]\n       \
                  hard-exp bench-check --file BENCH_x.json"
             );
             return ExitCode::FAILURE;
@@ -793,7 +859,7 @@ fn main() -> ExitCode {
             if e.starts_with("unknown command") {
                 eprintln!(
                     "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|\
-                     ablation|window|server|robustness|faults|obs|verify|record|replay|submit|all>"
+                     ablation|window|server|robustness|faults|chaos|obs|verify|record|replay|submit|all>"
                 );
             }
             ExitCode::FAILURE

@@ -1,0 +1,707 @@
+//! `hard-chaos`: seeded network fault injection for the serve tier.
+//!
+//! PR 1 taught the *machine* to survive seeded hardware faults
+//! ([`hard_types::FaultPlan`]); this module extends the same
+//! philosophy to the *network*. A [`NetFaultPlan`] describes, as
+//! parts-per-million probabilities per I/O operation, four fault
+//! classes a production detection service must survive:
+//!
+//! * **reset** — the connection dies with `ConnectionReset`; every
+//!   later operation on the stream fails too (a torn TCP session);
+//! * **flip** — one bit of the bytes in transit is inverted (payload
+//!   corruption the `HARDCRP1` checksums must catch downstream);
+//! * **stall** — the operation is delayed by the plan's stall
+//!   duration (a congested or half-dead path);
+//! * **short** — a read or write transfers fewer bytes than asked
+//!   (legal under the `Read`/`Write` contracts, so correct code must
+//!   already cope; chaos makes "already" testable).
+//!
+//! Faults are drawn from a private deterministic RNG seeded by the
+//! plan, so a failing schedule replays exactly given the same
+//! operation sequence. A zero-rate plan ([`NetFaultPlan::none`])
+//! never touches the RNG and [`FaultyStream`] degenerates to a
+//! transparent pass-through — the bit-inertness guarantee the
+//! `hard-exp chaos` campaign pins at rate 0.
+//!
+//! Two consumers:
+//!
+//! * [`FaultyStream`] wraps any `Read + Write` transport for direct
+//!   in-process injection (unit tests, the proxy's data path);
+//! * [`ChaosProxy`] is a standalone TCP proxy: clients connect to it,
+//!   it forwards to the real `hard-serve` upstream, and every byte of
+//!   both directions flows through a per-connection [`FaultyStream`].
+//!   The `hard-serve` binary exposes it as `--chaos-proxy`, so a real
+//!   deployment can be chaos-tested without touching either endpoint.
+
+use hard_types::Xoshiro256;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seeded per-operation network fault probabilities, in parts per
+/// million. The rates apply independently per fault class to every
+/// read and write call on a [`FaultyStream`], mirroring the shape of
+/// [`hard_types::FaultPlan`] (per-event ppm) one layer up the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// Seed for the private fault RNG.
+    pub seed: u64,
+    /// Probability (ppm per operation) of a connection reset.
+    pub reset_ppm: u32,
+    /// Probability (ppm per operation) of a single bit flip in the
+    /// bytes transferred by the operation.
+    pub flip_ppm: u32,
+    /// Probability (ppm per operation) of an artificial stall.
+    pub stall_ppm: u32,
+    /// Probability (ppm per operation) of a short (partial) transfer.
+    pub short_ppm: u32,
+    /// How long one injected stall lasts.
+    pub stall: Duration,
+}
+
+impl NetFaultPlan {
+    /// The inert plan: no class can fire and the RNG is never drawn.
+    #[must_use]
+    pub const fn none() -> NetFaultPlan {
+        NetFaultPlan {
+            seed: 0,
+            reset_ppm: 0,
+            flip_ppm: 0,
+            stall_ppm: 0,
+            short_ppm: 0,
+            stall: Duration::from_millis(0),
+        }
+    }
+
+    /// A plan applying `ppm` uniformly to every fault class, with a
+    /// 5 ms stall — the shape the `hard-exp chaos` sweep uses.
+    #[must_use]
+    pub const fn uniform(seed: u64, ppm: u32) -> NetFaultPlan {
+        NetFaultPlan {
+            seed,
+            reset_ppm: ppm,
+            flip_ppm: ppm,
+            stall_ppm: ppm,
+            short_ppm: ppm,
+            stall: Duration::from_millis(5),
+        }
+    }
+
+    /// True when no fault class can ever fire.
+    #[must_use]
+    pub const fn is_none(&self) -> bool {
+        self.reset_ppm == 0 && self.flip_ppm == 0 && self.stall_ppm == 0 && self.short_ppm == 0
+    }
+
+    /// The plan re-seeded for one proxy connection, so each accepted
+    /// connection draws an independent — but still reproducible —
+    /// fault schedule. The mix constant keeps nearby connection
+    /// indices from producing correlated SplitMix streams.
+    #[must_use]
+    pub const fn for_connection(&self, conn_idx: u64) -> NetFaultPlan {
+        let mut p = *self;
+        p.seed = self
+            .seed
+            .wrapping_add(conn_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(1);
+        p
+    }
+}
+
+/// Counts of injected faults, shared between a [`ChaosProxy`] (or any
+/// number of [`FaultyStream`]s) and whoever is rendering the campaign
+/// table. All counters are monotonic.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Connections the proxy accepted.
+    pub connections: AtomicU64,
+    /// Injected connection resets.
+    pub resets: AtomicU64,
+    /// Injected bit flips.
+    pub flips: AtomicU64,
+    /// Injected stalls.
+    pub stalls: AtomicU64,
+    /// Injected short transfers.
+    pub shorts: AtomicU64,
+    /// Bytes actually forwarded (both directions).
+    pub bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`ChaosStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosSnapshot {
+    /// Connections the proxy accepted.
+    pub connections: u64,
+    /// Injected connection resets.
+    pub resets: u64,
+    /// Injected bit flips.
+    pub flips: u64,
+    /// Injected stalls.
+    pub stalls: u64,
+    /// Injected short transfers.
+    pub shorts: u64,
+    /// Bytes actually forwarded.
+    pub bytes: u64,
+}
+
+impl ChaosStats {
+    /// Reads every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> ChaosSnapshot {
+        ChaosSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+            flips: self.flips.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            shorts: self.shorts.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total injected faults across all classes.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        let s = self.snapshot();
+        s.resets + s.flips + s.stalls + s.shorts
+    }
+}
+
+/// What the fault roll decided for one I/O operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Roll {
+    Clean,
+    Reset,
+    Flip,
+    Stall,
+    Short,
+}
+
+/// Samples a [`NetFaultPlan`] through a private deterministic RNG.
+struct NetFaultInjector {
+    plan: NetFaultPlan,
+    rng: Xoshiro256,
+}
+
+const PPM: u64 = 1_000_000;
+
+impl NetFaultInjector {
+    fn new(plan: NetFaultPlan) -> NetFaultInjector {
+        NetFaultInjector {
+            plan,
+            rng: Xoshiro256::seed_from_u64(plan.seed),
+        }
+    }
+
+    /// One draw per operation. Classes are checked in severity order
+    /// (reset > flip > stall > short) on independent rolls, so a
+    /// uniform plan injects each class at very nearly its nominal
+    /// rate. The inert plan short-circuits before any RNG draw.
+    fn roll(&mut self) -> Roll {
+        if self.plan.is_none() {
+            return Roll::Clean;
+        }
+        if self.hit(self.plan.reset_ppm) {
+            return Roll::Reset;
+        }
+        if self.hit(self.plan.flip_ppm) {
+            return Roll::Flip;
+        }
+        if self.hit(self.plan.stall_ppm) {
+            return Roll::Stall;
+        }
+        if self.hit(self.plan.short_ppm) {
+            return Roll::Short;
+        }
+        Roll::Clean
+    }
+
+    fn hit(&mut self, ppm: u32) -> bool {
+        ppm > 0 && self.rng.gen_range(PPM) < u64::from(ppm)
+    }
+
+    /// A uniform index for picking the flipped bit / short length.
+    fn pick(&mut self, n: usize) -> usize {
+        self.rng.gen_index(n.max(1))
+    }
+}
+
+/// A `Read + Write` transport that injects the faults of a
+/// [`NetFaultPlan`] into every operation.
+///
+/// After an injected reset, the stream is poisoned: every later read
+/// or write fails with `ConnectionReset`, matching what a real torn
+/// TCP session looks like to the application. All other fault classes
+/// are survivable by a correct peer: flips are caught by the corpus
+/// checksums, stalls by deadlines, shorts by ordinary `Read`/`Write`
+/// looping.
+pub struct FaultyStream<S> {
+    inner: S,
+    inj: NetFaultInjector,
+    poisoned: bool,
+    stats: Arc<ChaosStats>,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner` under `plan`, reporting injections into `stats`.
+    #[must_use]
+    pub fn new(inner: S, plan: NetFaultPlan, stats: Arc<ChaosStats>) -> FaultyStream<S> {
+        FaultyStream {
+            inner,
+            inj: NetFaultInjector::new(plan),
+            poisoned: false,
+            stats,
+        }
+    }
+
+    /// Unwraps the underlying transport.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn reset_err(&mut self) -> std::io::Error {
+        self.poisoned = true;
+        self.stats.resets.fetch_add(1, Ordering::Relaxed);
+        std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "injected connection reset",
+        )
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.poisoned {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "stream previously reset by injected fault",
+            ));
+        }
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        let mut limit = buf.len();
+        match self.inj.roll() {
+            Roll::Clean => {}
+            Roll::Reset => return Err(self.reset_err()),
+            Roll::Stall => {
+                self.stats.stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.inj.plan.stall);
+            }
+            Roll::Short => {
+                self.stats.shorts.fetch_add(1, Ordering::Relaxed);
+                limit = 1 + self.inj.pick(buf.len());
+            }
+            Roll::Flip => {
+                // Deferred until we know how many bytes arrived.
+                let n = self.inner.read(&mut buf[..limit])?;
+                if n > 0 {
+                    let at = self.inj.pick(n);
+                    buf[at] ^= 1 << self.inj.pick(8);
+                    self.stats.flips.fetch_add(1, Ordering::Relaxed);
+                }
+                self.stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                return Ok(n);
+            }
+        }
+        let n = self.inner.read(&mut buf[..limit])?;
+        self.stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.poisoned {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "stream previously reset by injected fault",
+            ));
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let mut limit = buf.len();
+        match self.inj.roll() {
+            Roll::Clean => {}
+            Roll::Reset => return Err(self.reset_err()),
+            Roll::Stall => {
+                self.stats.stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.inj.plan.stall);
+            }
+            Roll::Short => {
+                self.stats.shorts.fetch_add(1, Ordering::Relaxed);
+                limit = 1 + self.inj.pick(buf.len());
+            }
+            Roll::Flip => {
+                let mut corrupted = buf[..limit].to_vec();
+                let at = self.inj.pick(corrupted.len());
+                corrupted[at] ^= 1 << self.inj.pick(8);
+                self.stats.flips.fetch_add(1, Ordering::Relaxed);
+                // Report the full length written: from the sender's
+                // point of view a flip is invisible.
+                self.inner.write_all(&corrupted)?;
+                self.stats
+                    .bytes
+                    .fetch_add(corrupted.len() as u64, Ordering::Relaxed);
+                return Ok(limit);
+            }
+        }
+        let n = self.inner.write(&buf[..limit])?;
+        self.stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A running chaos TCP proxy.
+///
+/// Accepts on its own listener, connects each client to `upstream`,
+/// and pumps bytes in both directions through per-connection
+/// [`FaultyStream`]s derived from the plan via
+/// [`NetFaultPlan::for_connection`]. Faults are injected on the
+/// *client-facing* side of the pump, so both requests and responses
+/// suffer; the upstream socket is left honest, which keeps the proxy's
+/// own teardown clean.
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ChaosStats>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (use port 0 for ephemeral), forwarding to
+    /// `upstream` under `plan`, and starts the accept loop on a
+    /// background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn(listen: &str, upstream: &str, plan: NetFaultPlan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ChaosStats::default());
+        let upstream = upstream.to_string();
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                accept_loop(&listener, &upstream, plan, &stop, &stats);
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            stats,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address (clients connect here).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Live injection counters.
+    #[must_use]
+    pub fn stats(&self) -> ChaosSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting and joins the accept loop. Connections already
+    /// being pumped finish on their own threads.
+    pub fn shutdown(mut self) -> ChaosSnapshot {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: &str,
+    plan: NetFaultPlan,
+    stop: &AtomicBool,
+    stats: &Arc<ChaosStats>,
+) {
+    let mut conn_idx = 0u64;
+    let mut pumps: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_plan = plan.for_connection(conn_idx);
+                conn_idx += 1;
+                match TcpStream::connect(upstream) {
+                    Ok(server) => {
+                        pumps.push(pump_connection(client, server, conn_plan, stats));
+                        pumps.retain(|h| !h.is_finished());
+                    }
+                    Err(_) => {
+                        // Upstream refused: drop the client; from its
+                        // point of view this is one more connection
+                        // fault to retry through.
+                        drop(client);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for h in pumps {
+        let _ = h.join();
+    }
+}
+
+/// Spawns the two copy threads of one proxied connection and returns a
+/// handle joining both. The client-side socket is split (via
+/// `try_clone`) into the two [`FaultyStream`] halves; per-direction
+/// injectors come from forking the connection plan's seed so the two
+/// directions draw independent schedules.
+fn pump_connection(
+    client: TcpStream,
+    server: TcpStream,
+    plan: NetFaultPlan,
+    stats: &Arc<ChaosStats>,
+) -> std::thread::JoinHandle<()> {
+    let mut dir_seed = Xoshiro256::seed_from_u64(plan.seed);
+    let mut c2s_plan = plan;
+    c2s_plan.seed = dir_seed.next_u64();
+    let mut s2c_plan = plan;
+    s2c_plan.seed = dir_seed.next_u64();
+
+    let stats_c2s = Arc::clone(stats);
+    let stats_s2c = Arc::clone(stats);
+    std::thread::spawn(move || {
+        let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+            return;
+        };
+        let up = {
+            let server_w = server;
+            std::thread::spawn(move || {
+                let faulty = FaultyStream::new(client_r, c2s_plan, stats_c2s);
+                pump(faulty, server_w);
+            })
+        };
+        let faulty = FaultyStream::new(client, s2c_plan, stats_s2c);
+        pump_into_faulty(server_r, faulty);
+        let _ = up.join();
+    })
+}
+
+/// Copies `src` → `dst` until EOF or error, then shuts both ends down
+/// so the opposite pump (and the peers) unblock promptly.
+fn pump(mut src: FaultyStream<TcpStream>, mut dst: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match src.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if dst.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = dst.shutdown(std::net::Shutdown::Both);
+    let _ = src.into_inner().shutdown(std::net::Shutdown::Both);
+}
+
+/// Copies `src` → faulty `dst` until EOF or error (the response
+/// direction: the fault is applied while *writing* to the client).
+fn pump_into_faulty(mut src: TcpStream, mut dst: FaultyStream<TcpStream>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match src.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if dst.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = src.shutdown(std::net::Shutdown::Both);
+    let _ = dst.into_inner().shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn stats() -> Arc<ChaosStats> {
+        Arc::new(ChaosStats::default())
+    }
+
+    #[test]
+    fn inert_plan_is_a_transparent_passthrough() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut s = FaultyStream::new(Cursor::new(data.clone()), NetFaultPlan::none(), stats());
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+
+        let mut w = FaultyStream::new(Cursor::new(Vec::new()), NetFaultPlan::none(), stats());
+        w.write_all(&data).unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.into_inner().into_inner(), data);
+    }
+
+    #[test]
+    fn same_seed_injects_the_same_schedule() {
+        let plan = NetFaultPlan::uniform(42, 200_000);
+        let data = vec![0xAAu8; 64];
+        let run = |plan| {
+            let st = stats();
+            let mut w = FaultyStream::new(Cursor::new(Vec::new()), plan, Arc::clone(&st));
+            let mut written = Vec::new();
+            for _ in 0..200 {
+                match w.write(&data) {
+                    Ok(n) => written.push(n as i64),
+                    Err(_) => written.push(-1),
+                }
+            }
+            (written, w.into_inner().into_inner(), st.snapshot())
+        };
+        let (a_ops, a_bytes, a_stats) = run(plan);
+        let (b_ops, b_bytes, b_stats) = run(plan);
+        assert_eq!(a_ops, b_ops);
+        assert_eq!(a_bytes, b_bytes);
+        assert_eq!(a_stats, b_stats);
+        assert!(
+            a_stats.resets + a_stats.flips + a_stats.shorts > 0,
+            "{a_stats:?}"
+        );
+    }
+
+    #[test]
+    fn different_connection_indices_draw_different_schedules() {
+        let base = NetFaultPlan::uniform(7, 150_000);
+        let run = |plan: NetFaultPlan| {
+            let st = stats();
+            let mut w = FaultyStream::new(Cursor::new(Vec::new()), plan, Arc::clone(&st));
+            for _ in 0..100 {
+                let _ = w.write(&[0u8; 16]);
+            }
+            st.snapshot()
+        };
+        let a = run(base.for_connection(0));
+        let b = run(base.for_connection(1));
+        assert_ne!(base.for_connection(0).seed, base.for_connection(1).seed);
+        // Same rates, different schedule: byte counts almost surely
+        // differ once shorts/resets land at different offsets.
+        assert_ne!((a.bytes, a.resets, a.shorts), (b.bytes, b.resets, b.shorts));
+    }
+
+    #[test]
+    fn reset_poisons_the_stream() {
+        // Reset-only plan at an absurd rate: the very first operation
+        // resets, and every subsequent one fails without drawing.
+        let plan = NetFaultPlan {
+            seed: 1,
+            reset_ppm: 1_000_000,
+            flip_ppm: 0,
+            stall_ppm: 0,
+            short_ppm: 0,
+            stall: Duration::ZERO,
+        };
+        let st = stats();
+        let mut s = FaultyStream::new(Cursor::new(vec![0u8; 32]), plan, Arc::clone(&st));
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            s.read(&mut buf).unwrap_err().kind(),
+            std::io::ErrorKind::ConnectionReset
+        );
+        assert_eq!(
+            s.read(&mut buf).unwrap_err().kind(),
+            std::io::ErrorKind::ConnectionReset
+        );
+        assert_eq!(st.snapshot().resets, 1, "poisoned ops are not re-counted");
+    }
+
+    #[test]
+    fn flips_change_exactly_one_bit() {
+        let plan = NetFaultPlan {
+            seed: 3,
+            reset_ppm: 0,
+            flip_ppm: 1_000_000,
+            stall_ppm: 0,
+            short_ppm: 0,
+            stall: Duration::ZERO,
+        };
+        let st = stats();
+        let data = vec![0u8; 256];
+        let mut w = FaultyStream::new(Cursor::new(Vec::new()), plan, Arc::clone(&st));
+        w.write_all(&data).unwrap();
+        let out = w.into_inner().into_inner();
+        assert_eq!(out.len(), data.len());
+        let flipped_bits: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(
+            u64::from(flipped_bits),
+            st.snapshot().flips,
+            "each injected flip inverts exactly one bit"
+        );
+        assert!(flipped_bits > 0);
+    }
+
+    #[test]
+    fn proxy_at_rate_zero_is_byte_transparent() {
+        // An echo upstream: whatever arrives is written straight back.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+
+        let proxy =
+            ChaosProxy::spawn("127.0.0.1:0", &up_addr.to_string(), NetFaultPlan::none()).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let msg: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
+        c.write_all(&msg).unwrap();
+        let mut back = vec![0u8; msg.len()];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(back, msg);
+        drop(c);
+        echo.join().unwrap();
+        let snap = proxy.shutdown();
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.resets + snap.flips + snap.stalls + snap.shorts, 0);
+        assert!(snap.bytes >= 2 * msg.len() as u64);
+    }
+}

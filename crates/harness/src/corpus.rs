@@ -339,8 +339,12 @@ pub fn parse_header(bytes: &[u8]) -> Result<(StreamHeader, usize), String> {
     ))
 }
 
-/// Serializes a corpus file into a byte vector.
-fn encode_file(trace: &PackedTrace, injection: Option<&Injection>) -> Vec<u8> {
+/// Serializes a corpus stream into a byte vector — the exact bytes
+/// [`write_file`] puts on disk. Public so in-memory consumers (the
+/// chaos campaign's fixtures, the fuzz seeds) can build `HARDCRP1`
+/// uploads without touching the filesystem.
+#[must_use]
+pub fn encode_bytes(trace: &PackedTrace, injection: Option<&Injection>) -> Vec<u8> {
     let inj = injection.map(encode_injection).unwrap_or_default();
     let mut out = Vec::with_capacity(40 + inj.len() + trace.bytes().len());
     out.extend_from_slice(CORPUS_MAGIC);
@@ -375,7 +379,7 @@ pub fn write_file(
         std::fs::create_dir_all(dir)?;
     }
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, encode_file(trace, injection))?;
+    std::fs::write(&tmp, encode_bytes(trace, injection))?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),
         Err(e) => {

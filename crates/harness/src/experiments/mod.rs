@@ -4,6 +4,7 @@
 
 pub mod ablation;
 pub mod bloom_analysis;
+pub mod chaos;
 pub mod claims;
 pub mod cord;
 pub mod faults;

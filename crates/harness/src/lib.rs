@@ -23,6 +23,7 @@
 
 pub mod bench;
 pub mod campaign;
+pub mod chaos;
 pub mod checkpoint;
 pub mod corpus;
 pub mod detectors;
@@ -38,15 +39,16 @@ pub use campaign::{
     alarm_sites, injected_cell, injected_trace, per_app, probes, race_free_cell, race_free_trace,
     score, BugOutcome, CampaignConfig, CellTrace, InjectMode,
 };
+pub use chaos::{ChaosProxy, ChaosSnapshot, ChaosStats, FaultyStream, NetFaultPlan};
 pub use checkpoint::Checkpoint;
 pub use corpus::{CorpusCache, CorpusEntry, CorpusStats};
 pub use detectors::{execute, execute_observed, DetectorKind, DetectorRun};
-pub use parallel::{map_cells, WorkerPool};
+pub use parallel::{map_cells, TrySubmit, WorkerPool};
 pub use report::{OutputFormat, Reporter};
 pub use runner::{
     execute_hardened, execute_hardened_cell, execute_hardened_cell_observed,
     execute_hardened_observed, execute_hardened_packed, execute_hardened_packed_observed,
     execute_streamed, RunLimits, RunMetrics, RunOutcome,
 };
-pub use service::{ReportBody, Submission};
+pub use service::{HealthSnapshot, ReportBody, RetryPolicy, RetryStats, Submission};
 pub use table::TextTable;

@@ -87,13 +87,24 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// is the backpressure signal `hard-serve` propagates to its clients
 /// by simply not reading their next frame.
 ///
+/// A service that would rather *shed* than block uses
+/// [`try_submit`], which fails fast when the queue is full, plus
+/// [`load`]/[`is_saturated`] to observe queue pressure before
+/// committing to expensive work (admission control).
+///
 /// Dropping the pool closes the queue, lets the workers drain what
 /// was already accepted, and joins them — the graceful-shutdown drain.
 ///
 /// [`submit`]: WorkerPool::submit
+/// [`try_submit`]: WorkerPool::try_submit
+/// [`load`]: WorkerPool::load
+/// [`is_saturated`]: WorkerPool::is_saturated
 pub struct WorkerPool {
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs accepted but not yet finished (queued + running).
+    load: Arc<AtomicUsize>,
+    queue_depth: usize,
 }
 
 impl WorkerPool {
@@ -101,11 +112,14 @@ impl WorkerPool {
     /// `queue_depth` waiting jobs (at least one).
     #[must_use]
     pub fn new(workers: usize, queue_depth: usize) -> WorkerPool {
-        let (tx, rx) = sync_channel::<Job>(queue_depth.max(1));
+        let queue_depth = queue_depth.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
+        let load = Arc::new(AtomicUsize::new(0));
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let load = Arc::clone(&load);
                 std::thread::Builder::new()
                     .name(format!("hard-pool-{i}"))
                     .spawn(move || loop {
@@ -115,7 +129,10 @@ impl WorkerPool {
                             Err(_) => return, // a sibling panicked mid-pull
                         };
                         match job {
-                            Ok(job) => job(),
+                            Ok(job) => {
+                                job();
+                                load.fetch_sub(1, Ordering::Release);
+                            }
                             Err(_) => return, // queue closed: drain complete
                         }
                     })
@@ -125,6 +142,8 @@ impl WorkerPool {
         WorkerPool {
             tx: Some(tx),
             workers,
+            load,
+            queue_depth,
         }
     }
 
@@ -142,12 +161,69 @@ impl WorkerPool {
     /// receiver down); the job is returned undelivered inside the
     /// error.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), String> {
+        self.load.fetch_add(1, Ordering::Acquire);
         self.tx
             .as_ref()
             .expect("sender present until drop")
             .send(Box::new(job))
-            .map_err(|_| "worker pool has shut down".to_string())
+            .map_err(|_| {
+                self.load.fetch_sub(1, Ordering::Release);
+                "worker pool has shut down".to_string()
+            })
     }
+
+    /// Queues `job` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(TrySubmit::Full)` when the queue already holds
+    /// `queue_depth` waiting jobs — the shed signal the serve tier
+    /// answers with a `Busy` frame — or `Err(TrySubmit::Closed)` when
+    /// every worker has died.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), TrySubmit> {
+        self.load.fetch_add(1, Ordering::Acquire);
+        self.tx
+            .as_ref()
+            .expect("sender present until drop")
+            .try_send(Box::new(job))
+            .map_err(|e| {
+                self.load.fetch_sub(1, Ordering::Release);
+                match e {
+                    std::sync::mpsc::TrySendError::Full(_) => TrySubmit::Full,
+                    std::sync::mpsc::TrySendError::Disconnected(_) => TrySubmit::Closed,
+                }
+            })
+    }
+
+    /// Jobs accepted but not yet finished (queued + running).
+    #[must_use]
+    pub fn load(&self) -> usize {
+        self.load.load(Ordering::Acquire)
+    }
+
+    /// The most jobs that can be in flight at once: one per worker
+    /// plus the queue depth.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.workers.len() + self.queue_depth
+    }
+
+    /// True when the pool cannot take another job without blocking —
+    /// the admission-control signal for shedding *before* accepting an
+    /// expensive upload.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.load() >= self.capacity()
+    }
+}
+
+/// Why [`WorkerPool::try_submit`] declined a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrySubmit {
+    /// The bounded queue is full; retry later (shed signal).
+    Full,
+    /// Every worker has died; the pool is unusable.
+    Closed,
 }
 
 impl Drop for WorkerPool {
@@ -240,6 +316,42 @@ mod tests {
         }
         drop(pool);
         assert_eq!(done.load(Ordering::Relaxed), 8, "backlog ran before join");
+    }
+
+    #[test]
+    fn try_submit_sheds_when_full_and_load_drains_to_zero() {
+        use std::sync::mpsc::channel;
+        // One worker, depth-1 queue, capacity 2. Park the worker on a
+        // gate so the queue state is under test control.
+        let pool = WorkerPool::new(1, 1);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.load(), 0);
+        assert!(!pool.is_saturated());
+
+        let (started_tx, started_rx) = channel::<()>();
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        pool.try_submit(move || {
+            started_tx.send(()).expect("test is listening");
+            gate_rx.lock().unwrap().recv().unwrap();
+        })
+        .unwrap();
+        // `load()` counts from submit time, so it cannot tell queued
+        // from running: wait for the job's own signal that the worker
+        // dequeued it, freeing the queue slot.
+        started_rx.recv().expect("worker starts the gated job");
+        pool.try_submit(|| {}).unwrap(); // fills the queue slot
+        assert!(pool.is_saturated());
+        assert_eq!(pool.try_submit(|| {}), Err(TrySubmit::Full));
+        assert_eq!(pool.load(), 2, "the shed attempt must not leak load");
+
+        gate_tx.send(()).unwrap(); // release the worker
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.load() != 0 {
+            assert!(std::time::Instant::now() < deadline, "load never drained");
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        assert!(!pool.is_saturated());
     }
 
     #[test]

@@ -12,16 +12,29 @@
 //! Byte-identity contract: [`ReportBody::notes`] renders exactly the
 //! lines `hard-exp replay` prints for the same trace, so CI can `cmp`
 //! a served session against an offline replay.
+//!
+//! # Resilience
+//!
+//! [`submit_bytes`] is the one-shot client: any network hiccup is the
+//! caller's problem. [`submit_bytes_retrying`] wraps it in the chaos
+//! campaign's retry discipline — bounded attempts, exponential backoff
+//! with seeded jitter, per-attempt connect/read deadlines, and honor
+//! for the server's `Busy` retry-after hint. Re-submission is safe
+//! because the server keys its report cache on the corpus content
+//! hash: a retried upload of the same bytes is answered from cache,
+//! not re-detected, so retries cannot change the answer (idempotence).
 
 use hard_obs::jsonl::{self, Json};
+use hard_obs::CounterId;
 use hard_trace::wire::{
-    read_frame, read_handshake, write_frame, write_handshake, Frame, FrameKind, WireError,
-    MAX_FRAME_BYTES,
+    decode_busy, read_frame, read_handshake, write_frame, write_handshake, Frame, FrameKind,
+    WireError, MAX_FRAME_BYTES,
 };
 use hard_trace::RaceReport;
-use hard_types::{AccessKind, Addr, SiteId, ThreadId};
+use hard_types::{AccessKind, Addr, SiteId, ThreadId, Xoshiro256};
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One detection session's result, as carried by a `Report` frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -151,6 +164,14 @@ pub enum Submission {
     Report(ReportBody),
     /// A client-visible error frame (the session failed server-side).
     ServerError(String),
+    /// The server shed the session under overload; retry after the
+    /// hinted delay.
+    Busy {
+        /// The server's retry-after hint, when it sent one.
+        retry_after: Option<Duration>,
+        /// Human-readable shed reason.
+        message: String,
+    },
 }
 
 /// Submits the `HARDCRP1` corpus file at `path` to a `hard-serve`
@@ -173,7 +194,9 @@ pub fn submit_file(
     submit_bytes(addr, &bytes, detector, chunk)
 }
 
-/// [`submit_file`] over in-memory corpus bytes.
+/// [`submit_file`] over in-memory corpus bytes, with no deadlines and
+/// no retries — any failure is returned to the caller on the first
+/// occurrence. See [`submit_bytes_retrying`] for the resilient client.
 ///
 /// # Errors
 ///
@@ -184,7 +207,17 @@ pub fn submit_bytes(
     detector: &str,
     chunk: usize,
 ) -> Result<Submission, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let stream = connect(addr, None)?;
+    submit_on(stream, corpus, detector, chunk)
+}
+
+/// One submission attempt over an already-connected stream.
+fn submit_on(
+    stream: TcpStream,
+    corpus: &[u8],
+    detector: &str,
+    chunk: usize,
+) -> Result<Submission, String> {
     let mut w = BufWriter::new(
         stream
             .try_clone()
@@ -194,17 +227,282 @@ pub fn submit_bytes(
     write_handshake(&mut w).map_err(|e| format!("handshake send: {e}"))?;
     w.flush().map_err(|e| format!("handshake send: {e}"))?;
     read_handshake(&mut r).map_err(|e| format!("handshake recv: {e}"))?;
-    write_frame(&mut w, FrameKind::Begin, detector.as_bytes())
-        .map_err(|e| format!("Begin send: {e}"))?;
-    for piece in corpus.chunks(chunk.max(1)) {
-        write_frame(&mut w, FrameKind::Data, piece).map_err(|e| format!("Data send: {e}"))?;
+    let upload = (|| {
+        write_frame(&mut w, FrameKind::Begin, detector.as_bytes())
+            .map_err(|e| format!("Begin send: {e}"))?;
+        for piece in corpus.chunks(chunk.max(1)) {
+            write_frame(&mut w, FrameKind::Data, piece).map_err(|e| format!("Data send: {e}"))?;
+        }
+        write_frame(&mut w, FrameKind::End, &[]).map_err(|e| format!("End send: {e}"))?;
+        // The upload sits in the BufWriter until flushed; without this
+        // the client deadlocks against the server waiting for the End
+        // frame.
+        w.flush().map_err(|e| format!("End send: {e}"))
+    })();
+    if let Err(send_err) = upload {
+        // A shedding server answers (Busy/Error) and closes without
+        // reading the upload, so the write side can fail before the
+        // answer is seen. Prefer the server's explicit verdict over
+        // the raw reset when one is on the socket.
+        match read_response(&mut r) {
+            Ok(frame) => return decode_response(&frame),
+            Err(_) => return Err(send_err),
+        }
     }
-    write_frame(&mut w, FrameKind::End, &[]).map_err(|e| format!("End send: {e}"))?;
     let frame = read_response(&mut r).map_err(|e| format!("response recv: {e}"))?;
+    decode_response(&frame)
+}
+
+/// Maps a response frame to a [`Submission`].
+fn decode_response(frame: &Frame) -> Result<Submission, String> {
     match frame.kind {
         FrameKind::Report => ReportBody::decode(&frame.text()).map(Submission::Report),
         FrameKind::Error => Ok(Submission::ServerError(frame.text())),
+        FrameKind::Busy => {
+            let (hint_ms, message) = decode_busy(&frame.payload);
+            Ok(Submission::Busy {
+                retry_after: hint_ms.map(Duration::from_millis),
+                message,
+            })
+        }
         other => Err(format!("unexpected response frame {other:?}")),
+    }
+}
+
+/// Connects to `addr`, optionally bounding the connect and every
+/// subsequent read/write by the policy's deadlines.
+fn connect(addr: &str, deadlines: Option<(Duration, Duration)>) -> Result<TcpStream, String> {
+    let stream = match deadlines {
+        None => TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?,
+        Some((connect_timeout, io_timeout)) => {
+            let sock = addr
+                .to_socket_addrs()
+                .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+                .next()
+                .ok_or_else(|| format!("{addr} resolves to no address"))?;
+            let stream = TcpStream::connect_timeout(&sock, connect_timeout)
+                .map_err(|e| format!("cannot connect {addr}: {e}"))?;
+            stream
+                .set_read_timeout(Some(io_timeout))
+                .map_err(|e| format!("cannot set read deadline: {e}"))?;
+            stream
+                .set_write_timeout(Some(io_timeout))
+                .map_err(|e| format!("cannot set write deadline: {e}"))?;
+            stream
+        }
+    };
+    Ok(stream)
+}
+
+/// Retry discipline for [`submit_bytes_retrying`]: bounded attempts,
+/// exponential backoff with seeded jitter, per-attempt deadlines.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up (at least one).
+    pub max_attempts: u32,
+    /// Backoff before attempt `n + 1` is `base_delay * 2^(n-1)`
+    /// (capped at [`max_delay`](RetryPolicy::max_delay)), plus jitter.
+    pub base_delay: Duration,
+    /// Upper bound on a single backoff sleep (pre-jitter).
+    pub max_delay: Duration,
+    /// Seeds the jitter stream so a campaign's sleep schedule is
+    /// reproducible. Jitter is uniform in `[0, base_delay)`.
+    pub jitter_seed: u64,
+    /// Per-attempt TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-attempt read/write deadline (covers the whole upload and
+    /// the wait for the server's answer, one operation at a time).
+    pub io_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0,
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a retrying submission went through on the way to its answer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Attempts answered with a `Busy` shed.
+    pub busy: u32,
+    /// Attempts that died on connect, I/O, or wire errors.
+    pub io_errors: u32,
+    /// Attempts answered with a server `Error` frame (under fault
+    /// injection these are usually transit corruption the corpus
+    /// checksums caught, so they are retried like I/O errors).
+    pub server_errors: u32,
+}
+
+/// Submits `corpus` with retries per `policy` and returns the final
+/// answer plus the attempt log.
+///
+/// Every failure class is retried — `Busy` sheds (honoring the
+/// server's retry-after hint when it exceeds the backoff), I/O and
+/// wire errors, and server `Error` frames, which under network fault
+/// injection are usually the server correctly refusing a corrupted
+/// upload. Re-submission is idempotent: the server's report cache is
+/// keyed on the corpus content hash, so a duplicate of an
+/// already-answered upload returns the cached bytes.
+///
+/// Each attempt after the first bumps the
+/// `hard_serve_retry_attempts_total` counter; exhausting the budget
+/// bumps `hard_serve_retry_exhausted_total`.
+///
+/// # Errors
+///
+/// The final attempt's error, annotated with the attempt count, when
+/// the budget is exhausted without a `Report` or terminal answer.
+pub fn submit_bytes_retrying(
+    addr: &str,
+    corpus: &[u8],
+    detector: &str,
+    chunk: usize,
+    policy: &RetryPolicy,
+) -> (Result<Submission, String>, RetryStats) {
+    let obs = hard_obs::installed();
+    let mut jitter = Xoshiro256::seed_from_u64(policy.jitter_seed);
+    let mut stats = RetryStats::default();
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last: Result<Submission, String> = Err("no attempt made".into());
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            obs.counter(CounterId::ServeRetryAttempts, 1);
+        }
+        stats.attempts = attempt;
+        let outcome = connect(addr, Some((policy.connect_timeout, policy.io_timeout)))
+            .and_then(|stream| submit_on(stream, corpus, detector, chunk));
+        let retry_hint = match &outcome {
+            Ok(Submission::Report(_)) => return (outcome, stats),
+            Ok(Submission::Busy { retry_after, .. }) => {
+                stats.busy += 1;
+                *retry_after
+            }
+            Ok(Submission::ServerError(_)) => {
+                stats.server_errors += 1;
+                None
+            }
+            Err(_) => {
+                stats.io_errors += 1;
+                None
+            }
+        };
+        last = outcome;
+        if attempt < max_attempts {
+            std::thread::sleep(backoff(policy, attempt, retry_hint, &mut jitter));
+        }
+    }
+    obs.counter(CounterId::ServeRetryExhausted, 1);
+    (
+        last.map_err(|e| format!("{e} (after {} attempts)", stats.attempts)),
+        stats,
+    )
+}
+
+/// The sleep before attempt `attempt + 1`: exponential backoff with
+/// seeded jitter, never shorter than the server's retry-after hint.
+fn backoff(
+    policy: &RetryPolicy,
+    attempt: u32,
+    hint: Option<Duration>,
+    jitter: &mut Xoshiro256,
+) -> Duration {
+    let exp = policy
+        .base_delay
+        .saturating_mul(1u32 << (attempt - 1).min(16))
+        .min(policy.max_delay);
+    let jitter_ns = policy.base_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let extra = if jitter_ns == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(jitter.gen_range(jitter_ns))
+    };
+    exp.max(hint.unwrap_or(Duration::ZERO)) + extra
+}
+
+/// A point-in-time view of the server's admission state, as carried by
+/// a `Healthy` frame. Doubles as the chaos campaign's leak detector:
+/// after drain, `active_sessions` and `inflight_bytes` must be zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Sessions currently holding a slot.
+    pub active_sessions: u64,
+    /// The slot limit.
+    pub max_sessions: u64,
+    /// Upload bytes currently buffered across all sessions.
+    pub inflight_bytes: u64,
+    /// The in-flight byte budget.
+    pub max_inflight_bytes: u64,
+    /// Detection jobs queued or running in the worker pool.
+    pub pool_load: u64,
+    /// The pool's job capacity (workers + queue depth).
+    pub pool_capacity: u64,
+    /// False when the server would currently shed a new session.
+    pub ready: bool,
+}
+
+impl HealthSnapshot {
+    /// Decodes a `Healthy` frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or ill-typed field.
+    pub fn decode(body: &str) -> Result<HealthSnapshot, String> {
+        let v = jsonl::parse(body)?;
+        let field = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("health snapshot missing u64 `{k}`"))
+        };
+        let ready = match v.get("ready") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("health snapshot missing bool `ready`".into()),
+        };
+        Ok(HealthSnapshot {
+            active_sessions: field("active_sessions")?,
+            max_sessions: field("max_sessions")?,
+            inflight_bytes: field("inflight_bytes")?,
+            max_inflight_bytes: field("max_inflight_bytes")?,
+            pool_load: field("pool_load")?,
+            pool_capacity: field("pool_capacity")?,
+            ready,
+        })
+    }
+}
+
+/// Asks the `hard-serve` instance at `addr` for its readiness
+/// snapshot via a `Health` probe frame.
+///
+/// # Errors
+///
+/// Connection, wire, and malformed-response errors.
+pub fn probe_health(addr: &str, io_timeout: Duration) -> Result<HealthSnapshot, String> {
+    let stream = connect(addr, Some((io_timeout, io_timeout)))?;
+    let mut w = BufWriter::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?,
+    );
+    let mut r = BufReader::new(stream);
+    write_handshake(&mut w).map_err(|e| format!("handshake send: {e}"))?;
+    w.flush().map_err(|e| format!("handshake send: {e}"))?;
+    read_handshake(&mut r).map_err(|e| format!("handshake recv: {e}"))?;
+    write_frame(&mut w, FrameKind::Health, &[]).map_err(|e| format!("Health send: {e}"))?;
+    w.flush().map_err(|e| format!("Health send: {e}"))?;
+    let frame = read_response(&mut r).map_err(|e| format!("health recv: {e}"))?;
+    match frame.kind {
+        FrameKind::Healthy => HealthSnapshot::decode(&frame.text()),
+        FrameKind::Error => Err(format!("server refused probe: {}", frame.text())),
+        other => Err(format!("unexpected health response {other:?}")),
     }
 }
 
@@ -226,6 +524,7 @@ pub fn request_shutdown(addr: &str) -> Result<(), String> {
     w.flush().map_err(|e| format!("handshake send: {e}"))?;
     read_handshake(&mut r).map_err(|e| format!("handshake recv: {e}"))?;
     write_frame(&mut w, FrameKind::Shutdown, &[]).map_err(|e| format!("Shutdown send: {e}"))?;
+    w.flush().map_err(|e| format!("Shutdown send: {e}"))?;
     match read_frame(&mut r, MAX_FRAME_BYTES) {
         Ok(f) if f.kind == FrameKind::Bye => Ok(()),
         Ok(f) => Err(format!("unexpected shutdown response {:?}", f.kind)),
@@ -324,6 +623,74 @@ mod tests {
              \"thread\":0,\"kind\":\"neither\",\"event\":0}]}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn health_snapshot_decode_round_trips() {
+        let body = "{\"active_sessions\":3,\"max_sessions\":64,\"inflight_bytes\":1024,\
+                    \"max_inflight_bytes\":268435456,\"pool_load\":2,\"pool_capacity\":12,\
+                    \"ready\":true}";
+        let snap = HealthSnapshot::decode(body).unwrap();
+        assert_eq!(snap.active_sessions, 3);
+        assert_eq!(snap.max_sessions, 64);
+        assert_eq!(snap.pool_capacity, 12);
+        assert!(snap.ready);
+        assert!(HealthSnapshot::decode("{}").is_err());
+        assert!(HealthSnapshot::decode("{\"active_sessions\":1}").is_err());
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_honors_the_hint() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let mut j = Xoshiro256::seed_from_u64(1);
+        let jitter_bound = policy.base_delay;
+        let b1 = backoff(&policy, 1, None, &mut j);
+        let b4 = backoff(&policy, 4, None, &mut j);
+        let b9 = backoff(&policy, 9, None, &mut j);
+        assert!(b1 >= Duration::from_millis(10) && b1 < Duration::from_millis(10) + jitter_bound);
+        assert!(b4 >= Duration::from_millis(80) && b4 < Duration::from_millis(80) + jitter_bound);
+        // Capped at max_delay (pre-jitter) even for huge exponents.
+        assert!(b9 >= Duration::from_millis(100) && b9 < Duration::from_millis(100) + jitter_bound);
+        // A server hint longer than the backoff wins.
+        let hinted = backoff(&policy, 1, Some(Duration::from_millis(500)), &mut j);
+        assert!(hinted >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_jitter_is_seeded() {
+        let policy = RetryPolicy::default();
+        let run = |seed| {
+            let mut j = Xoshiro256::seed_from_u64(seed);
+            (1..6)
+                .map(|a| backoff(&policy, a, None, &mut j))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn retrying_submit_gives_up_with_attempt_count() {
+        // Nothing listens on this address (port 1 is never bound in the
+        // test environment); every attempt must fail fast on connect.
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            connect_timeout: Duration::from_millis(200),
+            io_timeout: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        let (result, stats) = submit_bytes_retrying("127.0.0.1:1", b"x", "hard", 64, &policy);
+        let err = result.unwrap_err();
+        assert!(err.contains("after 3 attempts"), "{err}");
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.io_errors, 3);
+        assert_eq!(stats.busy, 0);
     }
 
     #[test]

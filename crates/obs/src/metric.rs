@@ -70,11 +70,24 @@ pub enum CounterId {
     ServeCacheHits,
     /// Payload bytes accepted into sessions (post-framing).
     ServeBytesIn,
+    /// Sessions shed with a `Busy` frame instead of being admitted
+    /// (queue saturation, session-slot exhaustion, or in-flight byte
+    /// budget exhaustion).
+    ServeShed,
+    /// Health/readiness probe frames answered.
+    ServeHealthProbes,
+    /// Client-side submit re-attempts (every attempt after the first,
+    /// whether provoked by a `Busy` shed, an I/O failure, or a
+    /// server-reported session error).
+    ServeRetryAttempts,
+    /// Client-side submissions that exhausted their retry budget
+    /// without a `Report` frame.
+    ServeRetryExhausted,
 }
 
 impl CounterId {
     /// Every counter, in declaration (= index) order.
-    pub const ALL: [CounterId; 27] = [
+    pub const ALL: [CounterId; 31] = [
         CounterId::CandidateChecks,
         CounterId::CandidateEmpties,
         CounterId::RacesReported,
@@ -102,6 +115,10 @@ impl CounterId {
         CounterId::ServeRejected,
         CounterId::ServeCacheHits,
         CounterId::ServeBytesIn,
+        CounterId::ServeShed,
+        CounterId::ServeHealthProbes,
+        CounterId::ServeRetryAttempts,
+        CounterId::ServeRetryExhausted,
     ];
 
     /// Number of counters; sizes the recorder's atomic array.
@@ -144,6 +161,10 @@ impl CounterId {
             CounterId::ServeRejected => "hard_serve_rejected_total",
             CounterId::ServeCacheHits => "hard_serve_cache_hits_total",
             CounterId::ServeBytesIn => "hard_serve_bytes_in_total",
+            CounterId::ServeShed => "hard_serve_shed_total",
+            CounterId::ServeHealthProbes => "hard_serve_health_probes_total",
+            CounterId::ServeRetryAttempts => "hard_serve_retry_attempts_total",
+            CounterId::ServeRetryExhausted => "hard_serve_retry_exhausted_total",
         }
     }
 }

@@ -4,7 +4,12 @@
 //! hard-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!            [--max-sessions N] [--max-session-bytes N] [--max-session-events N]
 //!            [--max-inflight-bytes N] [--idle-timeout-ms N] [--no-report-cache]
-//!            [--max-conns N] [--serve-metrics HOST:PORT] [--quiet]
+//!            [--busy-retry-after-ms N] [--max-conns N]
+//!            [--serve-metrics HOST:PORT] [--quiet]
+//! hard-serve --chaos-proxy UPSTREAM [--addr HOST:PORT] [--chaos-ppm N]
+//!            [--chaos-seed N] [--chaos-reset-ppm N] [--chaos-flip-ppm N]
+//!            [--chaos-stall-ppm N] [--chaos-short-ppm N] [--chaos-stall-ms N]
+//!            [--quiet]
 //! ```
 //!
 //! `--serve-metrics` installs a process-global [`hard_obs`] recorder
@@ -13,16 +18,30 @@
 //! `MetricsServer`). `--max-conns` makes the server exit after N
 //! accepted connections — the CI smoke job's run-bounded mode; without
 //! it the server runs until a client sends a `Shutdown` frame.
+//!
+//! `--chaos-proxy UPSTREAM` turns the binary into a standalone chaos
+//! TCP proxy instead of a server: it listens on `--addr`, forwards
+//! every connection to `UPSTREAM`, and injects seeded network faults
+//! (connection resets, payload bit flips, stalls, short transfers)
+//! per the `--chaos-*` rates — `--chaos-ppm` sets all four classes at
+//! once; per-class flags override it. Point any `hard-exp submit` or
+//! `hard-exp chaos` client at the proxy to chaos-test a real
+//! deployment without modifying either endpoint. The proxy runs until
+//! killed.
 
+use hard_harness::chaos::{ChaosProxy, NetFaultPlan};
 use hard_obs::{Exposition, MemoryRecorder, ObsHandle};
 use hard_serve::{ServeConfig, Server};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     cfg: ServeConfig,
     serve_metrics: Option<String>,
     quiet: bool,
+    chaos_upstream: Option<String>,
+    chaos_plan: NetFaultPlan,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         cfg: ServeConfig::default(),
         serve_metrics: None,
         quiet: false,
+        chaos_upstream: None,
+        chaos_plan: NetFaultPlan::none(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -74,6 +95,57 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--no-report-cache" => args.cfg.report_cache = false,
+            "--busy-retry-after-ms" => {
+                args.cfg.busy_retry_after = Duration::from_millis(
+                    value("--busy-retry-after-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --busy-retry-after-ms: {e}"))?,
+                );
+            }
+            "--chaos-proxy" => args.chaos_upstream = Some(value("--chaos-proxy")?),
+            "--chaos-seed" => {
+                args.chaos_plan.seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-seed: {e}"))?;
+            }
+            "--chaos-ppm" => {
+                let ppm: u32 = value("--chaos-ppm")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-ppm: {e}"))?;
+                let seed = args.chaos_plan.seed;
+                let stall = args.chaos_plan.stall;
+                args.chaos_plan = NetFaultPlan::uniform(seed, ppm);
+                if stall != Duration::from_millis(0) {
+                    args.chaos_plan.stall = stall;
+                }
+            }
+            "--chaos-reset-ppm" => {
+                args.chaos_plan.reset_ppm = value("--chaos-reset-ppm")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-reset-ppm: {e}"))?;
+            }
+            "--chaos-flip-ppm" => {
+                args.chaos_plan.flip_ppm = value("--chaos-flip-ppm")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-flip-ppm: {e}"))?;
+            }
+            "--chaos-stall-ppm" => {
+                args.chaos_plan.stall_ppm = value("--chaos-stall-ppm")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-stall-ppm: {e}"))?;
+            }
+            "--chaos-short-ppm" => {
+                args.chaos_plan.short_ppm = value("--chaos-short-ppm")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-short-ppm: {e}"))?;
+            }
+            "--chaos-stall-ms" => {
+                args.chaos_plan.stall = Duration::from_millis(
+                    value("--chaos-stall-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --chaos-stall-ms: {e}"))?,
+                );
+            }
             "--max-conns" => {
                 args.cfg.max_conns = Some(
                     value("--max-conns")?
@@ -98,11 +170,38 @@ fn main() -> ExitCode {
                 "usage: hard-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                  [--max-sessions N] [--max-session-bytes N] [--max-session-events N] \
                  [--max-inflight-bytes N] [--idle-timeout-ms N] [--no-report-cache] \
-                 [--max-conns N] [--serve-metrics HOST:PORT] [--quiet]"
+                 [--busy-retry-after-ms N] [--max-conns N] [--serve-metrics HOST:PORT] [--quiet]\n       \
+                 hard-serve --chaos-proxy UPSTREAM [--addr HOST:PORT] [--chaos-ppm N] \
+                 [--chaos-seed N] [--chaos-reset-ppm N] [--chaos-flip-ppm N] \
+                 [--chaos-stall-ppm N] [--chaos-short-ppm N] [--chaos-stall-ms N] [--quiet]"
             );
             return ExitCode::FAILURE;
         }
     };
+
+    // Chaos-proxy mode: no server, no detection — just a fault-
+    // injecting TCP forwarder in front of a real deployment.
+    if let Some(upstream) = args.chaos_upstream.as_deref() {
+        let proxy = match ChaosProxy::spawn(&args.cfg.addr, upstream, args.chaos_plan) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: cannot bind chaos proxy {}: {e}", args.cfg.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        if !args.quiet {
+            eprintln!(
+                "hard-chaos proxying {} -> {upstream} ({:?})",
+                proxy.local_addr(),
+                args.chaos_plan
+            );
+        }
+        // The accept loop lives on the proxy's own thread; park here
+        // until killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
 
     // The metrics recorder must be installed before `Server::bind`
     // captures the global handle.

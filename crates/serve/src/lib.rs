@@ -24,10 +24,15 @@
 //!   panic.
 //! * **Limits** — [`ServeConfig`] bounds concurrent sessions, bytes
 //!   per session, events per session, and global in-flight bytes.
-//! * **Backpressure** — the detection pool's submission queue is
-//!   bounded; when it fills, session readers block *before* reading
-//!   the next client frame, so TCP flow control propagates the stall
-//!   to uploaders instead of buffering unboundedly.
+//! * **Overload shedding** — admission control: a session arriving
+//!   while the detection queue is saturated, the session slots are
+//!   exhausted, or the in-flight byte budget is spent is answered
+//!   with an explicit `Busy` frame carrying a retry-after hint, never
+//!   left blocking. Uploads already admitted still exert TCP
+//!   backpressure through the bounded queue at completion time.
+//! * **Health probes** — a `Health` frame is answered with a JSON
+//!   `Healthy` snapshot of the admission state (sessions, in-flight
+//!   bytes, pool load, readiness) without starting a session.
 //! * **Timeouts** — an idle client is cut off with an `Error` frame
 //!   after [`ServeConfig::idle_timeout`].
 //! * **Graceful shutdown** — a `Shutdown` frame (or `max_conns`)
@@ -56,11 +61,11 @@
 
 use hard_harness::corpus::{parse_header, CORPUS_MAGIC};
 use hard_harness::service::send_frame;
-use hard_harness::{DetectorKind, ReportBody, WorkerPool};
+use hard_harness::{DetectorKind, ReportBody, TrySubmit, WorkerPool};
 use hard_obs::{CounterId, HistId, ObsHandle};
 use hard_trace::codec::{fnv1a_update, FNV1A_INIT};
 use hard_trace::wire::{
-    read_frame, read_handshake, write_handshake, FrameKind, WireError, MAX_FRAME_BYTES,
+    encode_busy, read_frame, read_handshake, write_handshake, FrameKind, WireError, MAX_FRAME_BYTES,
 };
 use hard_trace::ChunkedReader;
 use std::collections::HashMap;
@@ -79,18 +84,18 @@ pub struct ServeConfig {
     pub addr: String,
     /// Detection worker threads behind the bounded queue.
     pub workers: usize,
-    /// Detection jobs that may wait in the queue before session
-    /// readers block (the backpressure bound).
+    /// Detection jobs that may wait in the queue before new sessions
+    /// are shed with a `Busy` frame (the overload bound).
     pub queue_depth: usize,
     /// Concurrent client sessions; further connections are answered
-    /// with an `Error` frame and closed.
+    /// with a `Busy` frame and closed.
     pub max_sessions: usize,
     /// Upload bytes one session may buffer.
     pub max_session_bytes: u64,
     /// Events one session's trace may contain.
     pub max_session_events: u64,
     /// Upload bytes buffered across *all* sessions; connections that
-    /// would exceed it are cut off with an `Error` frame.
+    /// would exceed it are shed with a `Busy` frame.
     pub max_inflight_bytes: u64,
     /// How long a connection may sit idle between frames before it is
     /// cut off with an `Error` frame.
@@ -104,6 +109,8 @@ pub struct ServeConfig {
     /// (used by CI and tests; `None` serves until a `Shutdown`
     /// frame).
     pub max_conns: Option<usize>,
+    /// The retry-after hint carried by `Busy` shed frames.
+    pub busy_retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +126,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             report_cache: true,
             max_conns: None,
+            busy_retry_after: Duration::from_millis(250),
         }
     }
 }
@@ -187,6 +195,35 @@ pub struct Server {
     shared: Arc<Shared>,
 }
 
+/// A cloneable view of a server's admission accounting, usable while
+/// (and after) [`Server::run`] consumes the server. Tests use it to
+/// assert that session slots and the in-flight byte budget drain back
+/// to zero — the no-leak half of the chaos invariant.
+#[derive(Clone)]
+pub struct ServeStats {
+    shared: Arc<Shared>,
+}
+
+impl ServeStats {
+    /// Sessions currently holding a slot.
+    #[must_use]
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Upload bytes currently reserved against the global budget.
+    #[must_use]
+    pub fn inflight_bytes(&self) -> u64 {
+        self.shared.inflight_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Detection jobs queued or running.
+    #[must_use]
+    pub fn pool_load(&self) -> usize {
+        self.shared.pool.load()
+    }
+}
+
 impl Server {
     /// Binds the listener and spawns the detection pool.
     ///
@@ -229,6 +266,14 @@ impl Server {
     #[must_use]
     pub fn active_sessions(&self) -> usize {
         self.shared.active_sessions.load(Ordering::Relaxed)
+    }
+
+    /// A cloneable accounting view that outlives [`Server::run`].
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Runs the accept loop until a client sends `Shutdown` or
@@ -300,19 +345,17 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 
     // Capacity gate before any protocol work: a connection beyond the
     // session limit gets the handshake echo (so the client's reader is
-    // in a defined state) and an Error frame.
+    // in a defined state) and a Busy shed with a retry-after hint.
     let prev = shared.active_sessions.fetch_add(1, Ordering::Relaxed);
     let slot = SessionSlot(shared);
     if prev >= shared.cfg.max_sessions {
         obs.counter(CounterId::ServeRejected, 1);
         let _ = write_handshake(&mut w);
-        send_error(
+        send_busy(
             &mut w,
+            shared,
             &obs,
-            &format!(
-                "server at capacity ({} sessions); retry later",
-                shared.cfg.max_sessions
-            ),
+            &format!("server at capacity ({} sessions)", shared.cfg.max_sessions),
         );
         return;
     }
@@ -375,6 +418,14 @@ fn run_session_loop(
                     send_error(w, obs, "protocol error: Begin inside an open session");
                     return;
                 }
+                // Admission control: shed *before* accepting the
+                // upload when the detection queue could not take the
+                // finished session anyway. Cheaper for both sides than
+                // buffering megabytes only to shed at End.
+                if shared.pool.is_saturated() {
+                    send_busy(w, shared, obs, "detection queue saturated");
+                    return;
+                }
                 match DetectorKind::parse(&frame.text()) {
                     Ok(k) => kind = Some(k),
                     Err(e) => {
@@ -401,7 +452,9 @@ fn run_session_loop(
                     return;
                 }
                 if let Err(e) = guard.grow(n) {
-                    send_error(w, obs, &e);
+                    // A spent global budget is load, not client error:
+                    // shed so the client retries after the drain.
+                    send_busy(w, shared, obs, &e);
                     return;
                 }
                 obs.counter(CounterId::ServeBytesIn, n);
@@ -415,12 +468,18 @@ fn run_session_loop(
                 match finish_session(shared, obs, &k, &buf) {
                     Ok(body) => {
                         obs.counter(CounterId::ServeSessions, 1);
-                        if send_frame(w, FrameKind::Report, body.as_bytes()).is_err() {
+                        if send_frame(w, FrameKind::Report, body.as_bytes()).is_err()
+                            || w.flush().is_err()
+                        {
                             obs.counter(CounterId::ServeErrors, 1);
                             return;
                         }
                     }
-                    Err(e) => {
+                    Err(SessionFail::Busy(e)) => {
+                        send_busy(w, shared, obs, &e);
+                        return;
+                    }
+                    Err(SessionFail::Error(e)) => {
                         send_error(w, obs, &e);
                         return;
                     }
@@ -428,12 +487,28 @@ fn run_session_loop(
                 buf = Vec::new();
                 guard.release();
             }
+            FrameKind::Health => {
+                obs.counter(CounterId::ServeHealthProbes, 1);
+                let snapshot = health_snapshot(shared);
+                if send_frame(w, FrameKind::Healthy, snapshot.as_bytes()).is_err()
+                    || w.flush().is_err()
+                {
+                    obs.counter(CounterId::ServeErrors, 1);
+                    return;
+                }
+            }
             FrameKind::Shutdown => {
                 shared.shutdown.store(true, Ordering::Relaxed);
-                let _ = send_frame(w, FrameKind::Bye, &[]);
+                if send_frame(w, FrameKind::Bye, &[]).is_ok() {
+                    let _ = w.flush();
+                }
                 return;
             }
-            FrameKind::Report | FrameKind::Error | FrameKind::Bye => {
+            FrameKind::Report
+            | FrameKind::Error
+            | FrameKind::Bye
+            | FrameKind::Busy
+            | FrameKind::Healthy => {
                 send_error(
                     w,
                     obs,
@@ -445,6 +520,20 @@ fn run_session_loop(
     }
 }
 
+/// Why a session could not be answered with a report.
+enum SessionFail {
+    /// Transient overload: the client should retry after a delay.
+    Busy(String),
+    /// A real session failure: bad upload, limits, worker death.
+    Error(String),
+}
+
+impl From<String> for SessionFail {
+    fn from(e: String) -> SessionFail {
+        SessionFail::Error(e)
+    }
+}
+
 /// Validates the uploaded corpus bytes and runs (or cache-answers)
 /// detection, returning the encoded report body.
 fn finish_session(
@@ -452,16 +541,18 @@ fn finish_session(
     obs: &ObsHandle,
     kind: &DetectorKind,
     corpus: &[u8],
-) -> Result<String, String> {
+) -> Result<String, SessionFail> {
     if corpus.len() < CORPUS_MAGIC.len() || &corpus[..CORPUS_MAGIC.len()] != CORPUS_MAGIC {
-        return Err("upload is not a HARDCRP1 corpus stream".into());
+        return Err(SessionFail::Error(
+            "upload is not a HARDCRP1 corpus stream".into(),
+        ));
     }
     let (header, payload_at) = parse_header(corpus)?;
     if header.events > shared.cfg.max_session_events {
-        return Err(format!(
+        return Err(SessionFail::Error(format!(
             "trace has {} events, over the {}-event session cap",
             header.events, shared.cfg.max_session_events
-        ));
+        )));
     }
     let cache_key = if shared.cfg.report_cache {
         let fnv = fnv1a_update(FNV1A_INIT, kind.label().as_bytes());
@@ -482,16 +573,17 @@ fn finish_session(
     };
 
     // Hand the payload to the bounded pool and rendezvous on the
-    // result. `submit` blocking here (queue full) is the backpressure
-    // path: this session's frames stop being read until a worker
-    // frees up.
+    // result. A full queue is answered with a `Busy` shed instead of
+    // blocking the session thread — the client's retry (idempotent
+    // thanks to the content-keyed report cache) replaces the old
+    // block-forever backpressure at this stage.
     let payload = corpus[payload_at..].to_vec();
     let (tx, rx) = sync_channel::<Result<ReportBody, String>>(1);
     let kind = *kind;
     let job_obs = obs.clone();
     shared
         .pool
-        .submit(move || {
+        .try_submit(move || {
             let span = job_obs.span(|| format!("serve:detect:{}", kind.label()));
             let mut reader = ChunkedReader::spawn(
                 std::io::Cursor::new(payload),
@@ -519,10 +611,14 @@ fn finish_session(
             job_obs.span_end(span, 0, events);
             let _ = tx.send(result);
         })
-        .map_err(|e| format!("detection pool unavailable: {e}"))?;
+        .map_err(|e| match e {
+            TrySubmit::Full => SessionFail::Busy("detection queue full".into()),
+            TrySubmit::Closed => SessionFail::Error("detection pool unavailable".into()),
+        })?;
     let body = rx
         .recv()
-        .map_err(|_| "detection worker died mid-session".to_string())??;
+        .map_err(|_| "detection worker died mid-session".to_string())?
+        .map_err(SessionFail::Error)?;
     obs.histogram(HistId::ServeSessionEvents, body.events);
     let encoded = body.encode();
     if let Some(key) = cache_key {
@@ -538,5 +634,42 @@ fn finish_session(
 
 fn send_error(w: &mut impl Write, obs: &ObsHandle, msg: &str) {
     obs.counter(CounterId::ServeErrors, 1);
-    let _ = send_frame(w, FrameKind::Error, msg.as_bytes());
+    if send_frame(w, FrameKind::Error, msg.as_bytes()).is_ok() {
+        let _ = w.flush();
+    }
+}
+
+/// Sheds the session with a `Busy` frame carrying the configured
+/// retry-after hint. Counted under `hard_serve_shed_total`, not the
+/// error counter: a shed is correct behavior under load, not failure.
+fn send_busy(w: &mut impl Write, shared: &Shared, obs: &ObsHandle, reason: &str) {
+    obs.counter(CounterId::ServeShed, 1);
+    let payload = encode_busy(shared.cfg.busy_retry_after.as_millis() as u64, reason);
+    if send_frame(w, FrameKind::Busy, &payload).is_ok() {
+        let _ = w.flush();
+    }
+}
+
+/// Renders the `Healthy` JSON snapshot of the admission state. The
+/// probing connection's own session slot is excluded, so a probe on an
+/// otherwise idle server reports zero active sessions — which is what
+/// makes the snapshot usable as a leak detector after a drain.
+fn health_snapshot(shared: &Shared) -> String {
+    let active = shared
+        .active_sessions
+        .load(Ordering::Relaxed)
+        .saturating_sub(1);
+    let inflight = shared.inflight_bytes.load(Ordering::Relaxed);
+    let load = shared.pool.load();
+    let ready = !shared.shutdown.load(Ordering::Relaxed)
+        && active < shared.cfg.max_sessions
+        && inflight < shared.cfg.max_inflight_bytes
+        && !shared.pool.is_saturated();
+    format!(
+        "{{\"active_sessions\":{active},\"max_sessions\":{},\"inflight_bytes\":{inflight},\
+         \"max_inflight_bytes\":{},\"pool_load\":{load},\"pool_capacity\":{},\"ready\":{ready}}}",
+        shared.cfg.max_sessions,
+        shared.cfg.max_inflight_bytes,
+        shared.pool.capacity(),
+    )
 }

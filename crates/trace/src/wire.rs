@@ -31,10 +31,26 @@
 //! detector label) opens a session, [`FrameKind::Data`] chunks carry
 //! the bytes of one `HARDCRP1` corpus stream (any chunking; the
 //! session reassembles them), [`FrameKind::End`] closes the session
-//! and requests the report, [`FrameKind::Shutdown`] asks the server
-//! to drain and exit. Server → client kinds: [`FrameKind::Report`]
-//! (payload: JSON report body), [`FrameKind::Error`] (payload: UTF-8
-//! message), [`FrameKind::Bye`] (shutdown acknowledged).
+//! and requests the report, [`FrameKind::Health`] asks for a
+//! readiness snapshot without opening a session, and
+//! [`FrameKind::Shutdown`] asks the server to drain and exit.
+//! Server → client kinds: [`FrameKind::Report`] (payload: JSON report
+//! body), [`FrameKind::Error`] (payload: UTF-8 message),
+//! [`FrameKind::Busy`] (overload shed; payload from [`encode_busy`]
+//! carries a retry-after hint), [`FrameKind::Healthy`] (payload: JSON
+//! readiness snapshot), and [`FrameKind::Bye`] (shutdown
+//! acknowledged).
+//!
+//! # Flushing
+//!
+//! [`write_frame`] buffers: it never flushes the sink, so a client
+//! streaming thousands of small `Data` frames through a `BufWriter`
+//! pays one syscall per buffer, not one per frame. The cost of that
+//! decision is a protocol rule — **flush before you wait**. Every
+//! writer that is about to block on the peer's answer (client after
+//! `End`, `Health` or `Shutdown`; server after any response frame)
+//! must flush explicitly, or both sides deadlock until a timeout
+//! fires.
 //!
 //! The payload checksum is *not* a framing concern: the `HARDCRP1`
 //! stream the Data frames carry embeds its own header and payload
@@ -64,6 +80,10 @@ pub enum FrameKind {
     /// Client → server: the stream is complete; run detection and
     /// answer with a report.
     End = 0x03,
+    /// Client → server: readiness probe; the server answers with a
+    /// [`FrameKind::Healthy`] snapshot. Legal at any point between
+    /// sessions and does not open one.
+    Health = 0x04,
     /// Client → server: stop accepting connections, drain in-flight
     /// sessions and exit.
     Shutdown = 0x0F,
@@ -73,6 +93,15 @@ pub enum FrameKind {
     Error = 0x82,
     /// Server → client: shutdown acknowledged; the connection closes.
     Bye = 0x83,
+    /// Server → client: the server is shedding load and did not run
+    /// this session; the payload ([`encode_busy`]) carries a
+    /// retry-after hint. Unlike [`FrameKind::Error`], a `Busy` answer
+    /// is explicitly transient: the same submission is expected to
+    /// succeed after backing off.
+    Busy = 0x84,
+    /// Server → client: answer to [`FrameKind::Health`]; the payload
+    /// is a JSON readiness snapshot.
+    Healthy = 0x85,
 }
 
 impl FrameKind {
@@ -83,10 +112,13 @@ impl FrameKind {
             0x01 => Some(FrameKind::Begin),
             0x02 => Some(FrameKind::Data),
             0x03 => Some(FrameKind::End),
+            0x04 => Some(FrameKind::Health),
             0x0F => Some(FrameKind::Shutdown),
             0x81 => Some(FrameKind::Report),
             0x82 => Some(FrameKind::Error),
             0x83 => Some(FrameKind::Bye),
+            0x84 => Some(FrameKind::Busy),
+            0x85 => Some(FrameKind::Healthy),
             _ => None,
         }
     }
@@ -208,7 +240,9 @@ pub fn read_handshake(r: &mut impl Read) -> Result<(), WireError> {
     Ok(())
 }
 
-/// Writes one frame.
+/// Writes one frame. Does **not** flush the sink (see the module-level
+/// flushing rule): a caller about to wait for the peer's answer must
+/// flush explicitly.
 ///
 /// # Errors
 ///
@@ -228,8 +262,38 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Resul
     w.write_all(&[kind as u8])?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
-    w.flush()?;
     Ok(())
+}
+
+/// Encodes a [`FrameKind::Busy`] payload: the machine-readable
+/// retry-after hint followed by a human-readable reason.
+///
+/// The format is a single UTF-8 line, `retry-after-ms=<N>; <reason>`,
+/// so the payload stays debuggable in a packet capture while
+/// [`decode_busy`] can still recover the hint exactly.
+#[must_use]
+pub fn encode_busy(retry_after_ms: u64, reason: &str) -> Vec<u8> {
+    format!("retry-after-ms={retry_after_ms}; {reason}").into_bytes()
+}
+
+/// Decodes a [`FrameKind::Busy`] payload into its retry-after hint (if
+/// the peer sent a parseable one) and the human-readable reason.
+///
+/// Tolerant by design: a payload without the `retry-after-ms=` prefix
+/// — say, from a future server speaking a richer dialect — decodes as
+/// `(None, whole payload)` so the client can still back off on its own
+/// schedule and log the reason.
+#[must_use]
+pub fn decode_busy(payload: &[u8]) -> (Option<u64>, String) {
+    let text = String::from_utf8_lossy(payload).into_owned();
+    if let Some(rest) = text.strip_prefix("retry-after-ms=") {
+        if let Some((num, reason)) = rest.split_once("; ") {
+            if let Ok(ms) = num.parse::<u64>() {
+                return (Some(ms), reason.to_string());
+            }
+        }
+    }
+    (None, text)
 }
 
 /// Reads one frame, bounding the payload at the *smaller* of
@@ -328,14 +392,58 @@ mod tests {
             FrameKind::Begin,
             FrameKind::Data,
             FrameKind::End,
+            FrameKind::Health,
             FrameKind::Shutdown,
             FrameKind::Report,
             FrameKind::Error,
             FrameKind::Bye,
+            FrameKind::Busy,
+            FrameKind::Healthy,
         ] {
             assert_eq!(FrameKind::from_byte(k as u8), Some(k));
         }
         assert_eq!(FrameKind::from_byte(0x00), None);
+    }
+
+    #[test]
+    fn busy_payload_round_trips() {
+        let p = encode_busy(250, "detection queue saturated");
+        assert_eq!(
+            decode_busy(&p),
+            (Some(250), "detection queue saturated".to_string())
+        );
+        // A zero hint is a legal "retry immediately".
+        assert_eq!(decode_busy(&encode_busy(0, "x")), (Some(0), "x".into()));
+    }
+
+    #[test]
+    fn busy_decode_tolerates_foreign_payloads() {
+        let (hint, reason) = decode_busy(b"server is grumpy");
+        assert_eq!((hint, reason.as_str()), (None, "server is grumpy"));
+        // A malformed hint degrades to no-hint, never to a parse error.
+        let (hint, _) = decode_busy(b"retry-after-ms=soon; later");
+        assert_eq!(hint, None);
+        let (hint, _) = decode_busy(b"retry-after-ms=5");
+        assert_eq!(hint, None);
+    }
+
+    #[test]
+    fn write_frame_does_not_flush() {
+        // A sink that panics on flush proves the framing layer leaves
+        // flush policy to the caller.
+        struct NoFlush(Vec<u8>);
+        impl Write for NoFlush {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                panic!("write_frame must not flush");
+            }
+        }
+        let mut w = NoFlush(Vec::new());
+        write_frame(&mut w, FrameKind::Data, b"abc").unwrap();
+        assert_eq!(w.0.len(), 5 + 3);
     }
 
     #[test]
