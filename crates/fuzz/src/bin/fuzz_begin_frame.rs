@@ -1,0 +1,64 @@
+//! Fuzzes the session-tracing codecs riding the `HARDSRV1` frames:
+//! the `Begin` payload (`<label>[;trace=<16 hex>]`) and the traced
+//! response prefix (`trace=<16 hex>;<body>`).
+//!
+//! Invariants under arbitrary bytes:
+//!
+//! * Total and panic-free — both decoders face untrusted network
+//!   input directly.
+//! * Round trip — whatever `decode_begin`/`split_traced` extract,
+//!   re-encoding reproduces an equivalent payload; a decoded trace ID
+//!   survives an encode/decode cycle exactly.
+//! * No body corruption — `split_traced` either strips exactly the
+//!   well-formed prefix or returns the payload untouched; the body a
+//!   report comparison sees is never silently altered.
+
+use hard_trace::wire::{decode_begin, encode_begin, encode_traced, split_traced};
+use std::process::ExitCode;
+
+fn target(data: &[u8]) {
+    // Begin payload: decode, then round-trip what was extracted.
+    let (label, trace) = decode_begin(data);
+    let reencoded = encode_begin(&label, trace);
+    let (label2, trace2) = decode_begin(&reencoded);
+    assert_eq!(trace, trace2, "trace ID must survive a re-encode cycle");
+    if trace.is_some() {
+        assert_eq!(label, label2, "label must survive alongside a trace ID");
+    }
+
+    // Traced response payload: the prefix is all-or-nothing. (Not
+    // byte-exact reconstruction: the parser accepts uppercase hex,
+    // the encoder emits lowercase.)
+    let (echoed, body) = split_traced(data);
+    match echoed {
+        Some(t) => {
+            let retagged = encode_traced(Some(t), body);
+            let (t2, body2) = split_traced(&retagged);
+            assert_eq!((t2, body2), (Some(t), body), "strip/tag must round-trip");
+        }
+        None => assert_eq!(body, data, "without a prefix the body is untouched"),
+    }
+    let tagged = encode_traced(Some(0x0123_4567_89AB_CDEF), data);
+    let (t, stripped) = split_traced(&tagged);
+    assert_eq!(t, Some(0x0123_4567_89AB_CDEF));
+    assert_eq!(stripped, data);
+}
+
+/// Well-formed traced payloads: mutations of valid traffic reach the
+/// prefix parser's interior branches (bad hex, wrong length, missing
+/// semicolon) more often than random bytes do.
+fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        encode_begin("hard", None),
+        encode_begin("lockset-ideal", Some(0x0B5E_C0DE_0001_0002)),
+        encode_begin("hb;trace=", Some(u64::MAX)),
+        encode_traced(Some(0xFFFF_FFFF_FFFF_FFFF), b"label=hard\nevents=12\n"),
+        encode_traced(None, b"trace=0123456789abcdef"),
+        b"x;trace=0123456789abcde".to_vec(),
+        b"trace=0123456789abcdeg;body".to_vec(),
+    ]
+}
+
+fn main() -> ExitCode {
+    hard_fuzz::fuzz_main("fuzz_begin_frame", seeds(), target)
+}

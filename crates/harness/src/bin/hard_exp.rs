@@ -9,8 +9,15 @@
 //! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F] [--packed]
 //! hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]
 //! hard-exp submit --addr HOST:PORT --file <path> [--detector NAME] [--clients N] [--repeat N]
+//! hard-exp obs-serve [--clients N] [--repeat N] [--retries N] [--seed N]
+//!          [--out DIR] [--serve-cmd PATH]
 //! hard-exp bench-check --file BENCH_x.json
 //! ```
+//!
+//! `obs-serve` spawns a real `hard-serve` with live telemetry enabled,
+//! drives a fleet of trace-ID-stamped sessions through it, then
+//! reconstructs per-session timelines from the server's JSONL span
+//! stream and checks the Prometheus scrape and `/healthz` probe.
 //!
 //! `--trace-out PATH` installs a process-global recorder streaming
 //! every observability event of every run as JSON lines to `PATH`;
@@ -35,8 +42,8 @@
 //! the payload through the detector without materialising it.
 
 use hard_harness::experiments::{
-    ablation, bloom_analysis, chaos, claims, cord, faults, fig8, obs, robustness, server, table1,
-    table2, table3, table45, table6, window, workload_stats,
+    ablation, bloom_analysis, chaos, claims, cord, faults, fig8, obs, obs_serve, robustness,
+    server, table1, table2, table3, table45, table6, window, workload_stats,
 };
 use hard_harness::{
     execute, CampaignConfig, Checkpoint, DetectorKind, InjectMode, OutputFormat, Reporter,
@@ -547,6 +554,42 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
             study.check()?;
             rep.note("all invariants held: no divergent reports, no exhausted retries, no leaks");
         }
+        "obs-serve" => {
+            let mut ocfg = obs_serve::ObsServeConfig {
+                campaign: cfg,
+                ..obs_serve::ObsServeConfig::default()
+            };
+            if args.clients > 1 {
+                ocfg.clients = args.clients;
+            }
+            if args.repeat > 1 {
+                ocfg.sessions_per_client = args.repeat;
+            }
+            if let Some(seed) = args.seed {
+                ocfg.seed = seed;
+            }
+            if let Some(retries) = args.retries {
+                ocfg.retry.max_attempts = retries;
+            }
+            ocfg.serve_cmd = args.serve_cmd.clone();
+            if let Some(out) = args.out.clone() {
+                ocfg.out_dir = Some(out.into());
+            }
+            rep.section(&format!(
+                "Obs-serve campaign — live serve telemetry, {} client(s) x {} traced session(s)",
+                ocfg.clients, ocfg.sessions_per_client
+            ));
+            let study = obs_serve::run(&ocfg)?;
+            rep.table(&study.render());
+            for line in study.summary_notes() {
+                rep.note(&line);
+            }
+            study.check()?;
+            rep.note(
+                "all telemetry invariants held: traces echoed and reconstructed, \
+                 stage order intact, gauges drained, healthz ready",
+            );
+        }
         "bench-check" => {
             // A bench file is one record per line: a single `--bench-out`
             // capture or a multi-line trajectory like `BENCH_pr3.json`.
@@ -699,15 +742,15 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
             let mut printed: Option<hard_harness::ReportBody> = None;
             for outcome in outcomes {
                 match outcome? {
-                    hard_harness::Submission::ServerError(msg) => {
-                        return Err(format!("server error: {msg}"))
+                    hard_harness::Submission::ServerError { message, .. } => {
+                        return Err(format!("server error: {message}"))
                     }
                     hard_harness::Submission::Busy { message, .. } => {
                         // The plain submit path does not retry; use
                         // `hard-exp chaos` or back off manually.
                         return Err(format!("server busy: {message}"));
                     }
-                    hard_harness::Submission::Report(body) => match &printed {
+                    hard_harness::Submission::Report { body, .. } => match &printed {
                         None => {
                             for line in body.notes() {
                                 rep.note(&line);
@@ -788,6 +831,8 @@ fn main() -> ExitCode {
                  hard-exp submit --addr HOST:PORT --file <path> [--detector NAME] [--clients N] [--repeat N]\n       \
                  hard-exp chaos [--rates PPM,PPM,...] [--clients N] [--repeat N] [--retries N] \
                  [--seed N] [--addr HOST:PORT] [--serve-cmd PATH]\n       \
+                 hard-exp obs-serve [--clients N] [--repeat N] [--retries N] [--seed N] \
+                 [--out DIR] [--serve-cmd PATH]\n       \
                  hard-exp bench-check --file BENCH_x.json"
             );
             return ExitCode::FAILURE;
@@ -859,7 +904,8 @@ fn main() -> ExitCode {
             if e.starts_with("unknown command") {
                 eprintln!(
                     "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|\
-                     ablation|window|server|robustness|faults|chaos|obs|verify|record|replay|submit|all>"
+                     ablation|window|server|robustness|faults|chaos|obs|obs-serve|verify|\
+                     record|replay|submit|all>"
                 );
             }
             ExitCode::FAILURE

@@ -213,17 +213,19 @@ impl ChaosStudy {
 }
 
 /// One fixture: corpus bytes plus the offline-replay report encoding
-/// every served report must match byte for byte.
-struct Fixture {
-    detector: String,
-    corpus: Vec<u8>,
-    expected: String,
+/// every served report must match byte for byte. Shared with the
+/// `obs-serve` campaign, which drives the same fixtures through the
+/// telemetry path.
+pub(crate) struct Fixture {
+    pub(crate) detector: String,
+    pub(crate) corpus: Vec<u8>,
+    pub(crate) expected: String,
 }
 
 /// Builds the corpus fixtures: two applications × two detectors, each
 /// replayed offline through the same [`execute_streamed`] entry point
 /// the server uses, so "expected" is the ground truth by construction.
-fn build_fixtures(cfg: &CampaignConfig) -> Result<Vec<Fixture>, String> {
+pub(crate) fn build_fixtures(cfg: &CampaignConfig) -> Result<Vec<Fixture>, String> {
     let specs = [
         (App::WaterNsquared, 0usize, "hard"),
         (App::Barnes, 1usize, "lockset-ideal"),
@@ -258,18 +260,25 @@ fn build_fixtures(cfg: &CampaignConfig) -> Result<Vec<Fixture>, String> {
     Ok(fixtures)
 }
 
-/// A `hard-serve` child process managed by the campaign: killed (after
+/// A `hard-serve` child process managed by a campaign: killed (after
 /// a polite `Shutdown`) when dropped, so a panicking campaign never
 /// leaves a stray server behind.
-struct ServeChild {
+pub(crate) struct ServeChild {
     child: std::process::Child,
-    addr: String,
+    pub(crate) addr: String,
+    /// The `--serve-metrics` scrape address, when the child was
+    /// spawned with that flag (parsed from its banner).
+    pub(crate) metrics_addr: Option<String>,
 }
 
 impl ServeChild {
-    /// Spawns `hard-serve` on an ephemeral port and parses the bound
-    /// address from its stderr banner.
-    fn spawn(serve_cmd: Option<&str>) -> Result<ServeChild, String> {
+    /// Spawns `hard-serve` on an ephemeral port (with `extra_args`
+    /// appended, e.g. `--serve-metrics`) and parses the bound
+    /// address(es) from its stderr banner.
+    pub(crate) fn spawn(
+        serve_cmd: Option<&str>,
+        extra_args: &[&str],
+    ) -> Result<ServeChild, String> {
         let path = match serve_cmd {
             Some(cmd) => std::path::PathBuf::from(cmd),
             None => {
@@ -315,6 +324,7 @@ impl ServeChild {
                 "--busy-retry-after-ms",
                 "50",
             ])
+            .args(extra_args)
             .stdin(std::process::Stdio::null())
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::piped())
@@ -322,6 +332,8 @@ impl ServeChild {
             .map_err(|e| format!("cannot spawn {}: {e}", path.display()))?;
         let stderr = child.stderr.take().ok_or("child stderr not captured")?;
         let mut lines = std::io::BufReader::new(stderr);
+        // The metrics banner (if any) prints before the listening one.
+        let mut metrics_addr = None;
         let addr = loop {
             let mut line = String::new();
             match lines.read_line(&mut line) {
@@ -330,7 +342,13 @@ impl ServeChild {
                     return Err("hard-serve exited before announcing its address".into());
                 }
                 Ok(_) => {
-                    if let Some(rest) = line.trim().strip_prefix("hard-serve listening on ") {
+                    let line = line.trim();
+                    if let Some(rest) = line.strip_prefix("metrics on http://") {
+                        if let Some(addr) = rest.split("/metrics").next() {
+                            metrics_addr = Some(addr.to_string());
+                        }
+                    }
+                    if let Some(rest) = line.strip_prefix("hard-serve listening on ") {
                         break rest.to_string();
                     }
                 }
@@ -351,7 +369,11 @@ impl ServeChild {
                 }
             }
         });
-        Ok(ServeChild { child, addr })
+        Ok(ServeChild {
+            child,
+            addr,
+            metrics_addr,
+        })
     }
 }
 
@@ -378,7 +400,7 @@ impl Drop for ServeChild {
 /// Polls the server's health probe until sessions and in-flight bytes
 /// drain to zero or the deadline passes; returns the final (leaked)
 /// counts.
-fn await_drain(addr: &str, deadline: Duration) -> (u64, u64) {
+pub(crate) fn await_drain(addr: &str, deadline: Duration) -> (u64, u64) {
     let until = Instant::now() + deadline;
     let mut last = (u64::MAX, u64::MAX);
     while Instant::now() < until {
@@ -406,7 +428,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosStudy, String> {
     // proxy so its fault schedule is deterministic in isolation.
     let child = match cfg.addr.as_deref() {
         Some(_) => None,
-        None => Some(ServeChild::spawn(cfg.serve_cmd.as_deref())?),
+        None => Some(ServeChild::spawn(cfg.serve_cmd.as_deref(), &[])?),
     };
     let server_addr = cfg
         .addr
@@ -456,7 +478,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosStudy, String> {
                             retries += u64::from(stats.attempts.saturating_sub(1));
                             busy += u64::from(stats.busy);
                             match outcome {
-                                Ok(Submission::Report(body)) => {
+                                Ok(Submission::Report { body, .. }) => {
                                     if body.encode() == fixture.expected {
                                         ok += 1;
                                     } else {

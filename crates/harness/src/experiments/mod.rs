@@ -10,6 +10,7 @@ pub mod cord;
 pub mod faults;
 pub mod fig8;
 pub mod obs;
+pub mod obs_serve;
 pub mod robustness;
 pub mod server;
 pub mod table1;

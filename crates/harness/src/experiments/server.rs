@@ -185,6 +185,28 @@ impl MetricsServer {
         render: impl Fn() -> String,
         max_requests: Option<usize>,
     ) -> std::io::Result<usize> {
+        self.serve_routes(render, None::<fn() -> (bool, String)>, max_requests)
+    }
+
+    /// [`serve_with`](MetricsServer::serve_with) plus an optional
+    /// `GET /healthz` route. When `health` is given, a probe answers
+    /// `200 OK` (healthy) or `503 Service Unavailable` (overloaded or
+    /// shutting down) with the JSON admission snapshot as its body —
+    /// the HTTP mirror of the wire protocol's `Health`/`Healthy`/
+    /// `Busy` verdicts, consumable by load balancers that speak HTTP
+    /// but not `HARDSRV1`. Without it, `/healthz` 404s like any other
+    /// unknown path.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept/write errors; a client that disconnects mid-read
+    /// is skipped, not fatal.
+    pub fn serve_routes(
+        &self,
+        render: impl Fn() -> String,
+        health: Option<impl Fn() -> (bool, String)>,
+        max_requests: Option<usize>,
+    ) -> std::io::Result<usize> {
         use std::io::{BufRead, BufReader, Write};
         let mut served = 0;
         for stream in self.listener.incoming() {
@@ -196,15 +218,32 @@ impl MetricsServer {
             {
                 continue;
             }
-            let is_metrics = {
+            let path = {
                 let mut parts = request_line.split_ascii_whitespace();
-                parts.next() == Some("GET")
-                    && matches!(parts.next(), Some(p) if p == "/metrics" || p.starts_with("/metrics?"))
+                if parts.next() == Some("GET") {
+                    parts.next().unwrap_or("").to_string()
+                } else {
+                    String::new()
+                }
             };
-            let response = if is_metrics {
+            let response = if path == "/metrics" || path.starts_with("/metrics?") {
                 let body = render();
                 format!(
                     "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+            } else if path == "/healthz" && health.is_some() {
+                let (ready, body) = health
+                    .as_ref()
+                    .map(|h| h())
+                    .unwrap_or((false, String::new()));
+                let status = if ready {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                };
+                format!(
+                    "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                     body.len()
                 )
             } else {
@@ -274,6 +313,45 @@ mod tests {
         assert!(fetch().contains("live 0"));
         assert!(fetch().contains("live 1"), "body re-rendered per request");
         assert_eq!(handle.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn healthz_mirrors_readiness() {
+        use std::io::{Read as _, Write as _};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let srv = MetricsServer::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = srv.local_addr().unwrap();
+        let ready = std::sync::Arc::new(AtomicBool::new(true));
+        let ready2 = std::sync::Arc::clone(&ready);
+        let handle = std::thread::spawn(move || {
+            srv.serve_routes(
+                || "m\n".to_string(),
+                Some(move || {
+                    let ok = ready2.load(Ordering::Relaxed);
+                    (ok, format!("{{\"healthy\":{ok}}}"))
+                }),
+                Some(4),
+            )
+            .unwrap()
+        });
+        let fetch = |path: &str| {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ok = fetch("/healthz");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("application/json"));
+        assert!(ok.contains("\"healthy\":true"));
+        ready.store(false, Ordering::Relaxed);
+        let busy = fetch("/healthz");
+        assert!(busy.starts_with("HTTP/1.1 503"), "{busy}");
+        assert!(busy.contains("\"healthy\":false"));
+        assert!(fetch("/metrics").contains("m\n"), "/metrics still routed");
+        assert!(fetch("/nope").starts_with("HTTP/1.1 404"));
+        assert_eq!(handle.join().unwrap(), 4);
     }
 
     #[test]

@@ -27,8 +27,8 @@
 use hard_obs::jsonl::{self, Json};
 use hard_obs::CounterId;
 use hard_trace::wire::{
-    decode_busy, read_frame, read_handshake, write_frame, write_handshake, Frame, FrameKind,
-    WireError, MAX_FRAME_BYTES,
+    decode_busy, encode_begin, read_frame, read_handshake, split_traced, write_frame,
+    write_handshake, Frame, FrameKind, WireError, MAX_FRAME_BYTES,
 };
 use hard_trace::RaceReport;
 use hard_types::{AccessKind, Addr, SiteId, ThreadId, Xoshiro256};
@@ -157,13 +157,25 @@ impl ReportBody {
     }
 }
 
-/// What the server answered a submission with.
+/// What the server answered a submission with. Every variant carries
+/// the session trace ID the server echoed (`None` when talking to a
+/// pre-tracing server or when the response predates the session).
 #[derive(Clone, Debug)]
 pub enum Submission {
     /// A completed session.
-    Report(ReportBody),
+    Report {
+        /// The decoded report.
+        body: ReportBody,
+        /// The echoed session trace ID.
+        trace: Option<u64>,
+    },
     /// A client-visible error frame (the session failed server-side).
-    ServerError(String),
+    ServerError {
+        /// The server's error message.
+        message: String,
+        /// The echoed session trace ID.
+        trace: Option<u64>,
+    },
     /// The server shed the session under overload; retry after the
     /// hinted delay.
     Busy {
@@ -171,7 +183,21 @@ pub enum Submission {
         retry_after: Option<Duration>,
         /// Human-readable shed reason.
         message: String,
+        /// The echoed session trace ID.
+        trace: Option<u64>,
     },
+}
+
+impl Submission {
+    /// The session trace ID the server echoed, whatever the verdict.
+    #[must_use]
+    pub fn trace(&self) -> Option<u64> {
+        match self {
+            Submission::Report { trace, .. }
+            | Submission::ServerError { trace, .. }
+            | Submission::Busy { trace, .. } => *trace,
+        }
+    }
 }
 
 /// Submits the `HARDCRP1` corpus file at `path` to a `hard-serve`
@@ -208,7 +234,27 @@ pub fn submit_bytes(
     chunk: usize,
 ) -> Result<Submission, String> {
     let stream = connect(addr, None)?;
-    submit_on(stream, corpus, detector, chunk)
+    submit_on(stream, corpus, detector, chunk, None)
+}
+
+/// [`submit_bytes`] carrying a client-generated session trace ID in
+/// the `Begin` frame. The server adopts it, tags every span and log
+/// line for the session with it, and echoes it on the response — the
+/// handle a campaign uses to join client-side and server-side views of
+/// one session.
+///
+/// # Errors
+///
+/// Connection, wire, and malformed-response errors.
+pub fn submit_bytes_traced(
+    addr: &str,
+    corpus: &[u8],
+    detector: &str,
+    chunk: usize,
+    trace: u64,
+) -> Result<Submission, String> {
+    let stream = connect(addr, None)?;
+    submit_on(stream, corpus, detector, chunk, Some(trace))
 }
 
 /// One submission attempt over an already-connected stream.
@@ -217,6 +263,7 @@ fn submit_on(
     corpus: &[u8],
     detector: &str,
     chunk: usize,
+    trace: Option<u64>,
 ) -> Result<Submission, String> {
     let mut w = BufWriter::new(
         stream
@@ -228,7 +275,7 @@ fn submit_on(
     w.flush().map_err(|e| format!("handshake send: {e}"))?;
     read_handshake(&mut r).map_err(|e| format!("handshake recv: {e}"))?;
     let upload = (|| {
-        write_frame(&mut w, FrameKind::Begin, detector.as_bytes())
+        write_frame(&mut w, FrameKind::Begin, &encode_begin(detector, trace))
             .map_err(|e| format!("Begin send: {e}"))?;
         for piece in corpus.chunks(chunk.max(1)) {
             write_frame(&mut w, FrameKind::Data, piece).map_err(|e| format!("Data send: {e}"))?;
@@ -253,16 +300,25 @@ fn submit_on(
     decode_response(&frame)
 }
 
-/// Maps a response frame to a [`Submission`].
+/// Maps a response frame to a [`Submission`], splitting the server's
+/// `trace=<16hex>;` echo prefix off the payload first. The remaining
+/// body is byte-identical to what a pre-tracing server sent, which is
+/// what keeps served reports comparable to offline replays.
 fn decode_response(frame: &Frame) -> Result<Submission, String> {
+    let (trace, body) = split_traced(&frame.payload);
     match frame.kind {
-        FrameKind::Report => ReportBody::decode(&frame.text()).map(Submission::Report),
-        FrameKind::Error => Ok(Submission::ServerError(frame.text())),
+        FrameKind::Report => ReportBody::decode(&String::from_utf8_lossy(body))
+            .map(|b| Submission::Report { body: b, trace }),
+        FrameKind::Error => Ok(Submission::ServerError {
+            message: String::from_utf8_lossy(body).into_owned(),
+            trace,
+        }),
         FrameKind::Busy => {
-            let (hint_ms, message) = decode_busy(&frame.payload);
+            let (hint_ms, message) = decode_busy(body);
             Ok(Submission::Busy {
                 retry_after: hint_ms.map(Duration::from_millis),
                 message,
+                trace,
             })
         }
         other => Err(format!("unexpected response frame {other:?}")),
@@ -369,6 +425,32 @@ pub fn submit_bytes_retrying(
     chunk: usize,
     policy: &RetryPolicy,
 ) -> (Result<Submission, String>, RetryStats) {
+    submit_retrying_inner(addr, corpus, detector, chunk, policy, None)
+}
+
+/// [`submit_bytes_retrying`] carrying a client-generated session trace
+/// ID on every attempt (see [`submit_bytes_traced`]). All attempts of
+/// one logical submission share the ID, so the server-side timeline
+/// shows the retries as one session told several times.
+pub fn submit_bytes_retrying_traced(
+    addr: &str,
+    corpus: &[u8],
+    detector: &str,
+    chunk: usize,
+    policy: &RetryPolicy,
+    trace: u64,
+) -> (Result<Submission, String>, RetryStats) {
+    submit_retrying_inner(addr, corpus, detector, chunk, policy, Some(trace))
+}
+
+fn submit_retrying_inner(
+    addr: &str,
+    corpus: &[u8],
+    detector: &str,
+    chunk: usize,
+    policy: &RetryPolicy,
+    trace: Option<u64>,
+) -> (Result<Submission, String>, RetryStats) {
     let obs = hard_obs::installed();
     let mut jitter = Xoshiro256::seed_from_u64(policy.jitter_seed);
     let mut stats = RetryStats::default();
@@ -380,14 +462,14 @@ pub fn submit_bytes_retrying(
         }
         stats.attempts = attempt;
         let outcome = connect(addr, Some((policy.connect_timeout, policy.io_timeout)))
-            .and_then(|stream| submit_on(stream, corpus, detector, chunk));
+            .and_then(|stream| submit_on(stream, corpus, detector, chunk, trace));
         let retry_hint = match &outcome {
-            Ok(Submission::Report(_)) => return (outcome, stats),
+            Ok(Submission::Report { .. }) => return (outcome, stats),
             Ok(Submission::Busy { retry_after, .. }) => {
                 stats.busy += 1;
                 *retry_after
             }
-            Ok(Submission::ServerError(_)) => {
+            Ok(Submission::ServerError { .. }) => {
                 stats.server_errors += 1;
                 None
             }

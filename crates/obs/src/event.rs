@@ -11,6 +11,7 @@
 //! event at all.
 
 use crate::jsonl;
+use crate::metric::GaugeId;
 
 /// One observable occurrence inside a machine or the harness.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +91,28 @@ pub enum Event {
         cycles: u64,
         /// Trace events attributed to the span.
         events: u64,
+        /// Session trace ID the span belongs to, rendered as 16 hex
+        /// digits in the JSONL stream when present.
+        trace: Option<u64>,
+    },
+    /// A gauge moved (emitted by the recorder itself when a JSONL
+    /// stream is attached, so timelines can correlate load spikes
+    /// with latency).
+    Gauge {
+        /// Which gauge moved.
+        id: GaugeId,
+        /// Its value after the move.
+        value: i64,
+    },
+    /// A session crossed the slow-session threshold; the structured
+    /// complement of the server's stderr slow-session log line.
+    SlowSession {
+        /// The session's trace ID.
+        trace: u64,
+        /// End-to-end session wall time in microseconds.
+        wall_us: u64,
+        /// The configured threshold in microseconds.
+        threshold_us: u64,
     },
 }
 
@@ -109,6 +132,8 @@ impl Event {
             Event::RegisterRebuild { .. } => "register_rebuild",
             Event::BarrierReset { .. } => "barrier_reset",
             Event::SpanEnd { .. } => "span_end",
+            Event::Gauge { .. } => "gauge",
+            Event::SlowSession { .. } => "slow_session",
         }
     }
 
@@ -161,6 +186,7 @@ impl Event {
                 wall_ns,
                 cycles,
                 events,
+                trace,
             } => {
                 s.push_str(",\"name\":\"");
                 s.push_str(&jsonl::escape(name));
@@ -168,6 +194,24 @@ impl Event {
                 push_num(&mut s, "wall_ns", *wall_ns);
                 push_num(&mut s, "cycles", *cycles);
                 push_num(&mut s, "events", *events);
+                if let Some(t) = trace {
+                    push_trace(&mut s, *t);
+                }
+            }
+            Event::Gauge { id, value } => {
+                s.push_str(",\"name\":\"");
+                s.push_str(id.name());
+                s.push_str("\",\"value\":");
+                s.push_str(&value.to_string());
+            }
+            Event::SlowSession {
+                trace,
+                wall_us,
+                threshold_us,
+            } => {
+                push_trace(&mut s, *trace);
+                push_num(&mut s, "wall_us", *wall_us);
+                push_num(&mut s, "threshold_us", *threshold_us);
             }
         }
         s.push('}');
@@ -180,6 +224,14 @@ fn push_num(s: &mut String, key: &str, v: u64) {
     s.push_str(key);
     s.push_str("\":");
     s.push_str(&v.to_string());
+}
+
+/// Appends `"trace":"<16 hex digits>"` — the canonical rendering of a
+/// trace ID everywhere it appears as text (JSONL, wire, logs).
+fn push_trace(s: &mut String, trace: u64) {
+    s.push_str(",\"trace\":\"");
+    s.push_str(&crate::fmt_trace(trace));
+    s.push('"');
 }
 
 #[cfg(test)]
@@ -221,6 +273,23 @@ mod tests {
                 wall_ns: 1234,
                 cycles: 99,
                 events: 10,
+                trace: None,
+            },
+            Event::SpanEnd {
+                name: "serve:detect".to_string(),
+                wall_ns: 1234,
+                cycles: 0,
+                events: 10,
+                trace: Some(0xdead_beef_0042_0001),
+            },
+            Event::Gauge {
+                id: GaugeId::ServeActiveSessions,
+                value: -3,
+            },
+            Event::SlowSession {
+                trace: 0x42,
+                wall_us: 125_000,
+                threshold_us: 100_000,
             },
         ];
         for (i, e) in events.iter().enumerate() {
@@ -230,5 +299,27 @@ mod tests {
             assert_eq!(v.get("seq").and_then(jsonl::Json::as_u64), Some(i as u64));
             assert_eq!(v.get("kind").and_then(jsonl::Json::as_str), Some(e.kind()),);
         }
+    }
+
+    #[test]
+    fn traced_span_renders_sixteen_hex_digits() {
+        let line = Event::SpanEnd {
+            name: "serve:flush".to_string(),
+            wall_ns: 9,
+            cycles: 0,
+            events: 0,
+            trace: Some(0x2a),
+        }
+        .to_json(0);
+        assert!(line.contains("\"trace\":\"000000000000002a\""), "{line}");
+        let untraced = Event::SpanEnd {
+            name: "serve:flush".to_string(),
+            wall_ns: 9,
+            cycles: 0,
+            events: 0,
+            trace: None,
+        }
+        .to_json(0);
+        assert!(!untraced.contains("trace"), "{untraced}");
     }
 }

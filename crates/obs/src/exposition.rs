@@ -1,15 +1,21 @@
 //! Prometheus text exposition (format version 0.0.4).
 //!
 //! Builds the plain-text body served by the harness metrics endpoint:
-//! `# TYPE` headers, `name{labels} value` samples, and the
+//! `# HELP`/`# TYPE` headers, `name{labels} value` samples, and the
 //! `_bucket`/`_sum`/`_count` triplet for histograms. Only the subset
 //! of the format we emit is supported — counters, gauges, histograms,
-//! string-escaped label values.
+//! string-escaped label values. Label values are escaped per the text
+//! format spec (`\\`, `\"`, `\n` — and nothing else; JSON-style
+//! `\uXXXX` escapes are not part of the format).
 
-use crate::jsonl;
 use crate::recorder::{HistogramSnapshot, Snapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// The quantiles summarized for every histogram with observations,
+/// as `(suffix, q)` pairs.
+pub const SUMMARY_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)];
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Kind {
@@ -34,6 +40,8 @@ pub struct Exposition {
     /// metric name -> (type, sample lines). BTreeMap keeps rendering
     /// deterministic.
     metrics: BTreeMap<String, (Kind, Vec<String>)>,
+    /// metric name -> `# HELP` text.
+    helps: BTreeMap<String, String>,
 }
 
 impl Exposition {
@@ -41,6 +49,13 @@ impl Exposition {
     #[must_use]
     pub fn new() -> Exposition {
         Exposition::default()
+    }
+
+    /// Registers the `# HELP` text for a metric. Rendered before the
+    /// `# TYPE` line; newlines and backslashes are escaped per the
+    /// text-format spec.
+    pub fn help(&mut self, name: &str, text: &str) {
+        self.helps.insert(name.to_string(), text.to_string());
     }
 
     fn sample(&mut self, name: &str, kind: Kind, line: String) {
@@ -91,15 +106,35 @@ impl Exposition {
         }
     }
 
-    /// Adds every counter and histogram from a recorder snapshot,
-    /// tagged with `labels`. Zero-valued counters are included so the
-    /// full taxonomy is visible to scrapers.
+    /// Adds every counter, gauge, and histogram from a recorder
+    /// snapshot, tagged with `labels`. Zero-valued counters and gauges
+    /// are included so the full taxonomy is visible to scrapers, and
+    /// every histogram with observations also gets
+    /// `SUMMARY_QUANTILES` percentile gauges (`<name>_p50` ...
+    /// `<name>_p999`).
     pub fn add_snapshot(&mut self, labels: &[(&str, &str)], s: &Snapshot) {
         for id in crate::CounterId::ALL {
+            self.help(id.name(), id.help());
             self.counter(id.name(), labels, s.counter(id));
         }
+        for id in crate::GaugeId::ALL {
+            self.help(id.name(), id.help());
+            #[allow(clippy::cast_precision_loss)]
+            self.gauge(id.name(), labels, s.gauge(id) as f64);
+        }
         for h in &s.histograms {
+            self.help(h.id.name(), h.id.help());
             self.histogram(h.id.name(), labels, h);
+            if h.count == 0 {
+                continue;
+            }
+            for (suffix, q) in SUMMARY_QUANTILES {
+                if let Some(v) = h.quantile(q) {
+                    let name = format!("{}_{suffix}", h.id.name());
+                    #[allow(clippy::cast_precision_loss)]
+                    self.gauge(&name, labels, v as f64);
+                }
+            }
         }
     }
 
@@ -108,6 +143,9 @@ impl Exposition {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, (kind, lines)) in &self.metrics {
+            if let Some(help) = self.helps.get(name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+            }
             let _ = writeln!(out, "# TYPE {name} {}", kind.label());
             for line in lines {
                 out.push_str(line);
@@ -118,13 +156,43 @@ impl Exposition {
     }
 }
 
+/// Escapes a label value per the Prometheus text-format spec: exactly
+/// backslash, double-quote, and line feed — no other characters are
+/// touched (tabs and other control bytes pass through verbatim).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the spec: backslash and line feed only
+/// (quotes are legal in help text).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn fmt_labels(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
     let body: Vec<String> = labels
         .iter()
-        .map(|&(k, v)| format!("{k}=\"{}\"", jsonl::escape(v)))
+        .map(|&(k, v)| format!("{k}=\"{}\"", escape_label(v)))
         .collect();
     format!("{{{}}}", body.join(","))
 }
@@ -132,8 +200,8 @@ fn fmt_labels(labels: &[(&str, &str)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recorder::{MemoryRecorder, Recorder};
-    use crate::{CounterId, HistId};
+    use crate::recorder::{GaugeOp, MemoryRecorder, Recorder};
+    use crate::{CounterId, GaugeId, HistId};
 
     #[test]
     fn renders_types_labels_and_histogram_triplets() {
@@ -158,5 +226,64 @@ mod tests {
         assert!(body.contains("hard_runs 2"));
         // Each TYPE header appears exactly once.
         assert_eq!(body.matches("# TYPE hard_lock_depth histogram").count(), 1);
+    }
+
+    #[test]
+    fn renders_help_gauges_and_quantile_summaries() {
+        let rec = MemoryRecorder::new();
+        rec.gauge(GaugeId::ServeActiveSessions, GaugeOp::Set(3));
+        for v in [10, 20, 30, 40_000] {
+            rec.histogram(HistId::ServeStageDetectUs, v);
+        }
+        let mut e = Exposition::new();
+        e.add_snapshot(&[], &rec.snapshot());
+        let body = e.render();
+        // HELP precedes TYPE for every taxonomy metric.
+        let help_at = body
+            .find("# HELP hard_serve_active_sessions ")
+            .expect("HELP line");
+        let type_at = body
+            .find("# TYPE hard_serve_active_sessions gauge")
+            .expect("TYPE line");
+        assert!(help_at < type_at);
+        assert!(body.contains("hard_serve_active_sessions 3"));
+        // Zero-valued gauges from the taxonomy still appear.
+        assert!(body.contains("hard_serve_queue_depth 0"));
+        // Quantile summaries ride along as gauges; 3 of 4 samples are
+        // <= 50µs so p50 lands in the 50 bucket, p999 in 50ms.
+        assert!(body.contains("# TYPE hard_serve_stage_detect_us_p50 gauge"));
+        assert!(body.contains("hard_serve_stage_detect_us_p50 50"));
+        assert!(body.contains("hard_serve_stage_detect_us_p999 50000"));
+        // Empty histograms get no quantile gauges.
+        assert!(!body.contains("hard_serve_stage_flush_us_p50"));
+    }
+
+    #[test]
+    fn hostile_label_values_escape_per_text_format_spec() {
+        let mut e = Exposition::new();
+        e.counter(
+            "hard_test_total",
+            &[("path", "C:\\temp\\\"quoted\"\nline2"), ("tab", "a\tb")],
+            1,
+        );
+        e.help("hard_test_total", "Help with \\ and\nnewline.");
+        let body = e.render();
+        // Backslash doubles, quotes escape, newline becomes literal
+        // backslash-n; tab passes through raw (the spec escapes only
+        // those three characters in label values).
+        assert!(
+            body.contains("path=\"C:\\\\temp\\\\\\\"quoted\\\"\\nline2\""),
+            "{body}"
+        );
+        assert!(body.contains("tab=\"a\tb\""), "{body}");
+        // Help text escapes backslash and newline but not quotes.
+        assert!(
+            body.contains("# HELP hard_test_total Help with \\\\ and\\nnewline."),
+            "{body}"
+        );
+        // No JSON-style \u escapes anywhere.
+        assert!(!body.contains("\\u"), "{body}");
+        // The rendered body stays one-sample-per-line.
+        assert_eq!(body.lines().count(), 3);
     }
 }

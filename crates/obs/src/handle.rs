@@ -8,8 +8,8 @@
 //! recorder.
 
 use crate::event::Event;
-use crate::metric::{CounterId, HistId};
-use crate::recorder::Recorder;
+use crate::metric::{CounterId, GaugeId, HistId};
+use crate::recorder::{GaugeOp, Recorder};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -68,6 +68,30 @@ impl ObsHandle {
         }
     }
 
+    /// Sets a gauge to an absolute value.
+    #[inline]
+    pub fn gauge_set(&self, id: GaugeId, value: i64) {
+        if let Some(r) = &self.inner {
+            r.gauge(id, GaugeOp::Set(value));
+        }
+    }
+
+    /// Adds `delta` to a gauge.
+    #[inline]
+    pub fn gauge_add(&self, id: GaugeId, delta: i64) {
+        if let Some(r) = &self.inner {
+            r.gauge(id, GaugeOp::Add(delta));
+        }
+    }
+
+    /// Subtracts `delta` from a gauge.
+    #[inline]
+    pub fn gauge_sub(&self, id: GaugeId, delta: i64) {
+        if let Some(r) = &self.inner {
+            r.gauge(id, GaugeOp::Sub(delta));
+        }
+    }
+
     /// Records a discrete event; `build` runs only when the handle is
     /// on, so the off path never constructs the event.
     #[inline]
@@ -83,6 +107,19 @@ impl ObsHandle {
     pub fn span(&self, name: impl FnOnce() -> String) -> SpanTimer {
         SpanTimer {
             open: self.inner.as_ref().map(|_| (name(), Instant::now())),
+            trace: None,
+        }
+    }
+
+    /// Starts a named span carrying a session trace ID; its
+    /// [`crate::Event::SpanEnd`] (and [`crate::SpanRecord`]) will be
+    /// tagged with the ID so per-session timelines can be
+    /// reconstructed from the JSONL stream.
+    #[must_use]
+    pub fn span_traced(&self, trace: u64, name: impl FnOnce() -> String) -> SpanTimer {
+        SpanTimer {
+            open: self.inner.as_ref().map(|_| (name(), Instant::now())),
+            trace: Some(trace),
         }
     }
 
@@ -99,22 +136,38 @@ impl ObsHandle {
                 wall_ns,
                 cycles,
                 events,
+                trace: timer.trace,
             });
         }
     }
 }
 
-/// An open span started by [`ObsHandle::span`].
+/// An open span started by [`ObsHandle::span`] or
+/// [`ObsHandle::span_traced`].
 #[derive(Debug)]
 pub struct SpanTimer {
     open: Option<(String, Instant)>,
+    trace: Option<u64>,
 }
 
 impl SpanTimer {
     /// A timer that records nothing when ended.
     #[must_use]
     pub const fn inert() -> SpanTimer {
-        SpanTimer { open: None }
+        SpanTimer {
+            open: None,
+            trace: None,
+        }
+    }
+
+    /// Wall time elapsed since the span started, in microseconds;
+    /// `None` for a timer started on an off handle. Lets one timer
+    /// feed both a span and a stage histogram.
+    #[must_use]
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.open
+            .as_ref()
+            .map(|(_, start)| u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX))
     }
 }
 
@@ -148,6 +201,39 @@ mod tests {
         assert_eq!(s.spans[0].name, "phase");
         assert_eq!(s.spans[0].cycles, 10);
         assert_eq!(s.spans[0].events, 20);
+    }
+
+    #[test]
+    fn traced_spans_carry_the_trace_id() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let h = ObsHandle::new(rec.clone());
+        let t = h.span_traced(0xfeed, || "serve:detect".to_string());
+        assert!(t.elapsed_us().is_some());
+        h.span_end(t, 0, 5);
+        let s = rec.snapshot();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].trace, Some(0xfeed));
+        // Untraced spans stay untagged.
+        let t = h.span(|| "phase".to_string());
+        h.span_end(t, 0, 0);
+        assert_eq!(rec.snapshot().spans[1].trace, None);
+        // Off-handle timers surface no elapsed time.
+        assert_eq!(SpanTimer::inert().elapsed_us(), None);
+    }
+
+    #[test]
+    fn gauges_route_through_the_handle() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let h = ObsHandle::new(rec.clone());
+        h.gauge_add(GaugeId::ServeActiveSessions, 2);
+        h.gauge_sub(GaugeId::ServeActiveSessions, 1);
+        h.gauge_set(GaugeId::ServeQueueDepth, 7);
+        let s = rec.snapshot();
+        assert_eq!(s.gauge(GaugeId::ServeActiveSessions), 1);
+        assert_eq!(s.gauge(GaugeId::ServeQueueDepth), 7);
+        // Off handle: no panic, no effect.
+        let off = ObsHandle::off();
+        off.gauge_add(GaugeId::ServeBusyWorkers, 1);
     }
 
     #[test]

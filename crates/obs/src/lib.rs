@@ -48,12 +48,31 @@ mod recorder;
 pub use event::Event;
 pub use exposition::Exposition;
 pub use handle::{ObsHandle, SpanTimer};
-pub use metric::{CounterId, HistId};
+pub use metric::{CounterId, GaugeId, HistId};
 pub use recorder::{
-    HistogramSnapshot, MemoryRecorder, NoopRecorder, Recorder, Snapshot, SpanRecord,
+    GaugeOp, HistogramSnapshot, MemoryRecorder, NoopRecorder, Recorder, Snapshot, SpanRecord,
 };
 
 use std::sync::OnceLock;
+
+/// Renders a trace ID in its canonical textual form: exactly 16
+/// lowercase hex digits. This form appears in the wire protocol's
+/// `Begin`/`Report` frames, JSONL span records, Prometheus labels,
+/// and log lines.
+#[must_use]
+pub fn fmt_trace(trace: u64) -> String {
+    format!("{trace:016x}")
+}
+
+/// Parses a trace ID rendered by [`fmt_trace`]: exactly 16 hex digits
+/// (case-insensitive). Returns `None` for anything else.
+#[must_use]
+pub fn parse_trace(text: &str) -> Option<u64> {
+    if text.len() != 16 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
 
 static GLOBAL: OnceLock<ObsHandle> = OnceLock::new();
 
@@ -83,5 +102,18 @@ mod tests {
         // valid ObsHandle states and must not panic when used.
         h.counter(CounterId::TraceEvents, 1);
         h.emit(|| Event::RegisterRebuild { thread: 0 });
+    }
+
+    #[test]
+    fn trace_ids_round_trip_through_their_text_form() {
+        for id in [0u64, 1, 0x2a, u64::MAX, 0xdead_beef_cafe_f00d] {
+            let text = fmt_trace(id);
+            assert_eq!(text.len(), 16);
+            assert_eq!(parse_trace(&text), Some(id));
+        }
+        assert_eq!(parse_trace("2a"), None, "short forms are rejected");
+        assert_eq!(parse_trace("00000000000000zz"), None);
+        assert_eq!(parse_trace("0000000000000000ff"), None);
+        assert_eq!(parse_trace("DEADBEEFCAFEF00D"), Some(0xdead_beef_cafe_f00d));
     }
 }

@@ -83,11 +83,21 @@ pub enum CounterId {
     /// Client-side submissions that exhausted their retry budget
     /// without a `Report` frame.
     ServeRetryExhausted,
+    /// Sheds caused by session-slot exhaustion (a reason breakdown of
+    /// [`CounterId::ServeShed`], which stays the total).
+    ServeShedSlots,
+    /// Sheds caused by in-flight byte-budget exhaustion.
+    ServeShedBytes,
+    /// Sheds caused by worker-pool saturation or a full submit queue.
+    ServeShedQueue,
+    /// Sessions whose end-to-end duration crossed the configured
+    /// slow-session threshold (`--slow-session-ms`).
+    ServeSlowSessions,
 }
 
 impl CounterId {
     /// Every counter, in declaration (= index) order.
-    pub const ALL: [CounterId; 31] = [
+    pub const ALL: [CounterId; 35] = [
         CounterId::CandidateChecks,
         CounterId::CandidateEmpties,
         CounterId::RacesReported,
@@ -119,6 +129,10 @@ impl CounterId {
         CounterId::ServeHealthProbes,
         CounterId::ServeRetryAttempts,
         CounterId::ServeRetryExhausted,
+        CounterId::ServeShedSlots,
+        CounterId::ServeShedBytes,
+        CounterId::ServeShedQueue,
+        CounterId::ServeSlowSessions,
     ];
 
     /// Number of counters; sizes the recorder's atomic array.
@@ -165,6 +179,108 @@ impl CounterId {
             CounterId::ServeHealthProbes => "hard_serve_health_probes_total",
             CounterId::ServeRetryAttempts => "hard_serve_retry_attempts_total",
             CounterId::ServeRetryExhausted => "hard_serve_retry_exhausted_total",
+            CounterId::ServeShedSlots => "hard_serve_shed_slots_total",
+            CounterId::ServeShedBytes => "hard_serve_shed_bytes_total",
+            CounterId::ServeShedQueue => "hard_serve_shed_queue_total",
+            CounterId::ServeSlowSessions => "hard_serve_slow_sessions_total",
+        }
+    }
+
+    /// One-line description rendered as the `# HELP` comment.
+    #[must_use]
+    pub const fn help(self) -> &'static str {
+        match self {
+            CounterId::CandidateChecks => "Per-granule candidate-set evaluations.",
+            CounterId::CandidateEmpties => "Candidate intersections that emptied.",
+            CounterId::RacesReported => "Deduplicated race reports.",
+            CounterId::LockAcquires => "Lock Register acquire operations.",
+            CounterId::LockReleases => "Lock Register release operations.",
+            CounterId::BarrierResets => "Barrier flash-reset sweeps.",
+            CounterId::ConservativeResets => "Granules conservatively reset after parity faults.",
+            CounterId::RegisterRebuilds => "Lock registers rebuilt from the software shadow.",
+            CounterId::BroadcastsSent => "Piggybacked metadata broadcasts delivered.",
+            CounterId::BroadcastsDropped => "Broadcasts lost to injected faults.",
+            CounterId::BroadcastsDelayed => "Broadcasts deferred by injected faults.",
+            CounterId::CacheFills => "L1 miss fills.",
+            CounterId::L2Displacements => "L2 evictions.",
+            CounterId::MetaLossLines => "Valid metadata sectors lost to evictions.",
+            CounterId::RefetchesAfterLoss => "Refetches that found metadata previously lost.",
+            CounterId::TraceEvents => "Trace events dispatched to an observed detector.",
+            CounterId::OpsRead => "Read accesses in the observed trace.",
+            CounterId::OpsWrite => "Write accesses in the observed trace.",
+            CounterId::OpsSync => "Synchronization events in the observed trace.",
+            CounterId::OpsCompute => "Compute delay events in the observed trace.",
+            CounterId::HbRaces => "Races reported by the happens-before assist.",
+            CounterId::ServeConnections => "TCP connections accepted by hard-serve.",
+            CounterId::ServeSessions => "Detection sessions completed with a Report frame.",
+            CounterId::ServeErrors => "Sessions ended by a client-visible Error frame.",
+            CounterId::ServeRejected => "Connections refused at a hard limit.",
+            CounterId::ServeCacheHits => "Sessions answered from the report cache.",
+            CounterId::ServeBytesIn => "Payload bytes accepted into sessions.",
+            CounterId::ServeShed => "Sessions shed with a Busy frame (all reasons).",
+            CounterId::ServeHealthProbes => "Health/readiness probes answered.",
+            CounterId::ServeRetryAttempts => "Client submit re-attempts after the first.",
+            CounterId::ServeRetryExhausted => "Client submissions that exhausted retries.",
+            CounterId::ServeShedSlots => "Sheds due to session-slot exhaustion.",
+            CounterId::ServeShedBytes => "Sheds due to the in-flight byte budget.",
+            CounterId::ServeShedQueue => "Sheds due to pool saturation or a full queue.",
+            CounterId::ServeSlowSessions => "Sessions over the slow-session threshold.",
+        }
+    }
+}
+
+/// Instantaneous-value gauges (can go up and down, unlike counters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum GaugeId {
+    /// Sessions currently admitted and not yet closed.
+    ServeActiveSessions,
+    /// Payload bytes currently buffered across open sessions.
+    ServeInflightBytes,
+    /// Jobs currently queued or running in the detection worker pool.
+    ServeQueueDepth,
+    /// Worker-pool slots currently occupied.
+    ServeBusyWorkers,
+}
+
+impl GaugeId {
+    /// Every gauge, in declaration (= index) order.
+    pub const ALL: [GaugeId; 4] = [
+        GaugeId::ServeActiveSessions,
+        GaugeId::ServeInflightBytes,
+        GaugeId::ServeQueueDepth,
+        GaugeId::ServeBusyWorkers,
+    ];
+
+    /// Number of gauges; sizes the recorder's atomic array.
+    pub const COUNT: usize = GaugeId::ALL.len();
+
+    /// Dense index for array storage.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable Prometheus-style metric name (no `_total` suffix —
+    /// gauges are not monotonic).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            GaugeId::ServeActiveSessions => "hard_serve_active_sessions",
+            GaugeId::ServeInflightBytes => "hard_serve_inflight_bytes",
+            GaugeId::ServeQueueDepth => "hard_serve_queue_depth",
+            GaugeId::ServeBusyWorkers => "hard_serve_busy_workers",
+        }
+    }
+
+    /// One-line description rendered as the `# HELP` comment.
+    #[must_use]
+    pub const fn help(self) -> &'static str {
+        match self {
+            GaugeId::ServeActiveSessions => "Sessions currently open.",
+            GaugeId::ServeInflightBytes => "Payload bytes currently buffered.",
+            GaugeId::ServeQueueDepth => "Jobs queued or running in the worker pool.",
+            GaugeId::ServeBusyWorkers => "Worker slots currently occupied.",
         }
     }
 }
@@ -180,14 +296,39 @@ pub enum HistId {
     LockDepth,
     /// Events per completed `hard-serve` detection session.
     ServeSessionEvents,
+    /// Handshake stage latency (µs): accept to magic exchange done.
+    ServeStageHandshakeUs,
+    /// Upload stage latency (µs): `Begin` to the final `End` frame.
+    ServeStageUploadUs,
+    /// Queue-wait stage latency (µs): pool submit to job start.
+    ServeStageQueueWaitUs,
+    /// Detect stage latency (µs): streamed detection proper.
+    ServeStageDetectUs,
+    /// Render stage latency (µs): report encoding.
+    ServeStageRenderUs,
+    /// Flush stage latency (µs): `Report` frame write + flush.
+    ServeStageFlushUs,
 }
+
+/// Shared bucket bounds for the per-stage latency histograms, in
+/// microseconds: 50µs to 5s, roughly logarithmic.
+const STAGE_US_BOUNDS: &[u64] = &[
+    0, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
 
 impl HistId {
     /// Every histogram, in declaration (= index) order.
-    pub const ALL: [HistId; 3] = [
+    pub const ALL: [HistId; 9] = [
         HistId::BloomPopulation,
         HistId::LockDepth,
         HistId::ServeSessionEvents,
+        HistId::ServeStageHandshakeUs,
+        HistId::ServeStageUploadUs,
+        HistId::ServeStageQueueWaitUs,
+        HistId::ServeStageDetectUs,
+        HistId::ServeStageRenderUs,
+        HistId::ServeStageFlushUs,
     ];
 
     /// Number of histograms; sizes the recorder's cell array.
@@ -206,6 +347,54 @@ impl HistId {
             HistId::BloomPopulation => "hard_bloom_population_bits",
             HistId::LockDepth => "hard_lock_depth",
             HistId::ServeSessionEvents => "hard_serve_session_events",
+            HistId::ServeStageHandshakeUs => "hard_serve_stage_handshake_us",
+            HistId::ServeStageUploadUs => "hard_serve_stage_upload_us",
+            HistId::ServeStageQueueWaitUs => "hard_serve_stage_queue_wait_us",
+            HistId::ServeStageDetectUs => "hard_serve_stage_detect_us",
+            HistId::ServeStageRenderUs => "hard_serve_stage_render_us",
+            HistId::ServeStageFlushUs => "hard_serve_stage_flush_us",
+        }
+    }
+
+    /// One-line description rendered as the `# HELP` comment.
+    #[must_use]
+    pub const fn help(self) -> &'static str {
+        match self {
+            HistId::BloomPopulation => "Bloom candidate-vector population at each check.",
+            HistId::LockDepth => "Lock Register nesting depth after each lock op.",
+            HistId::ServeSessionEvents => "Events per completed detection session.",
+            HistId::ServeStageHandshakeUs => "Handshake stage latency in microseconds.",
+            HistId::ServeStageUploadUs => "Upload stage latency in microseconds.",
+            HistId::ServeStageQueueWaitUs => "Queue-wait stage latency in microseconds.",
+            HistId::ServeStageDetectUs => "Detect stage latency in microseconds.",
+            HistId::ServeStageRenderUs => "Render stage latency in microseconds.",
+            HistId::ServeStageFlushUs => "Flush stage latency in microseconds.",
+        }
+    }
+
+    /// The serve-path stage histograms, in pipeline order — the rows
+    /// of the `obs-serve` latency table.
+    pub const STAGES: [HistId; 6] = [
+        HistId::ServeStageHandshakeUs,
+        HistId::ServeStageUploadUs,
+        HistId::ServeStageQueueWaitUs,
+        HistId::ServeStageDetectUs,
+        HistId::ServeStageRenderUs,
+        HistId::ServeStageFlushUs,
+    ];
+
+    /// Short stage label (`handshake`, `upload`, ...) for table rows
+    /// and span names; `None` for non-stage histograms.
+    #[must_use]
+    pub const fn stage_label(self) -> Option<&'static str> {
+        match self {
+            HistId::ServeStageHandshakeUs => Some("handshake"),
+            HistId::ServeStageUploadUs => Some("upload"),
+            HistId::ServeStageQueueWaitUs => Some("queue-wait"),
+            HistId::ServeStageDetectUs => Some("detect"),
+            HistId::ServeStageRenderUs => Some("render"),
+            HistId::ServeStageFlushUs => Some("flush"),
+            _ => None,
         }
     }
 
@@ -219,6 +408,12 @@ impl HistId {
             HistId::ServeSessionEvents => {
                 &[0, 1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 23, 1 << 26]
             }
+            HistId::ServeStageHandshakeUs
+            | HistId::ServeStageUploadUs
+            | HistId::ServeStageQueueWaitUs
+            | HistId::ServeStageDetectUs
+            | HistId::ServeStageRenderUs
+            | HistId::ServeStageFlushUs => STAGE_US_BOUNDS,
         }
     }
 }
@@ -251,6 +446,50 @@ mod tests {
             assert!(h.name().starts_with("hard_"));
             assert!(!h.bounds().is_empty());
             assert!(h.bounds().windows(2).all(|w| w[0] < w[1]));
+            assert!(!h.help().is_empty());
         }
+        for c in CounterId::ALL {
+            assert!(!c.help().is_empty());
+        }
+    }
+
+    #[test]
+    fn gauge_indices_and_names_are_well_formed() {
+        let mut names: Vec<&str> = GaugeId::ALL.iter().map(|g| g.name()).collect();
+        for (i, g) in GaugeId::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+            assert!(g.name().starts_with("hard_"));
+            assert!(
+                !g.name().ends_with("_total"),
+                "gauges are not monotonic: {}",
+                g.name()
+            );
+            assert!(!g.help().is_empty());
+        }
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate gauge name");
+        assert_eq!(GaugeId::COUNT, GaugeId::ALL.len());
+    }
+
+    #[test]
+    fn stage_histograms_carry_labels_in_pipeline_order() {
+        let labels: Vec<&str> = HistId::STAGES
+            .iter()
+            .map(|h| h.stage_label().expect("stage histograms are labelled"))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "handshake",
+                "upload",
+                "queue-wait",
+                "detect",
+                "render",
+                "flush"
+            ]
+        );
+        assert_eq!(HistId::BloomPopulation.stage_label(), None);
     }
 }

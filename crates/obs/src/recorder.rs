@@ -13,10 +13,23 @@
 //! events and spans (both orders of magnitude rarer) take a lock.
 
 use crate::event::Event;
-use crate::metric::{CounterId, HistId};
+use crate::metric::{CounterId, GaugeId, HistId};
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// One gauge mutation: absolute set, or a signed delta in either
+/// direction. Deltas are i64 so RAII guards can release exactly what
+/// they acquired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GaugeOp {
+    /// Replace the gauge's value.
+    Set(i64),
+    /// Add to the gauge's value.
+    Add(i64),
+    /// Subtract from the gauge's value.
+    Sub(i64),
+}
 
 /// A sink for metrics and events. Implementations must be cheap and
 /// panic-free; they run inside the simulator's hot loops.
@@ -29,6 +42,11 @@ pub trait Recorder: Send + Sync {
     /// Records one observation of `value` in a histogram.
     fn histogram(&self, id: HistId, value: u64) {
         let _ = (id, value);
+    }
+
+    /// Applies one mutation to a gauge.
+    fn gauge(&self, id: GaugeId, op: GaugeOp) {
+        let _ = (id, op);
     }
 
     /// Records a discrete event.
@@ -87,12 +105,15 @@ pub struct SpanRecord {
     pub cycles: u64,
     /// Trace events attributed to the span.
     pub events: u64,
+    /// Session trace ID the span belongs to, if any.
+    pub trace: Option<u64>,
 }
 
 /// A point-in-time copy of everything a [`MemoryRecorder`] has seen.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
     counters: Vec<u64>,
+    gauges: Vec<i64>,
     /// Histogram states, in [`HistId::ALL`] order.
     pub histograms: Vec<HistogramSnapshot>,
     /// Finished spans, in completion order.
@@ -106,6 +127,12 @@ impl Snapshot {
     #[must_use]
     pub fn counter(&self, id: CounterId) -> u64 {
         self.counters.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// The current value of one gauge.
+    #[must_use]
+    pub fn gauge(&self, id: GaugeId) -> i64 {
+        self.gauges.get(id.index()).copied().unwrap_or(0)
     }
 
     /// All counters with non-zero values, in taxonomy order.
@@ -140,10 +167,34 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 < q <= 1.0`) from the
+    /// cumulative buckets: the upper bound of the first bucket whose
+    /// cumulative count reaches `ceil(q * count)`. Observations that
+    /// landed in `+Inf` are capped at the largest finite bound, the
+    /// same convention Prometheus' `histogram_quantile` uses. Returns
+    /// `None` when the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || self.buckets.is_empty() {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        for &(le, cumulative) in &self.buckets {
+            if cumulative >= target {
+                return Some(le);
+            }
+        }
+        self.buckets.last().map(|&(le, _)| le)
+    }
+}
+
 /// The accumulating recorder behind `hard-exp obs`, `--trace-out`,
 /// and the metrics endpoint.
 pub struct MemoryRecorder {
     counters: [AtomicU64; CounterId::COUNT],
+    gauges: [AtomicI64; GaugeId::COUNT],
     histograms: Vec<HistCell>,
     spans: Mutex<Vec<SpanRecord>>,
     events_recorded: AtomicU64,
@@ -175,6 +226,7 @@ impl MemoryRecorder {
     pub fn new() -> MemoryRecorder {
         MemoryRecorder {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicI64::new(0)),
             histograms: HistId::ALL.iter().map(|&id| HistCell::new(id)).collect(),
             spans: Mutex::new(Vec::new()),
             events_recorded: AtomicU64::new(0),
@@ -213,6 +265,11 @@ impl MemoryRecorder {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|g| g.load(Ordering::Relaxed))
+            .collect();
         let histograms = self
             .histograms
             .iter()
@@ -237,6 +294,7 @@ impl MemoryRecorder {
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
             spans: self.spans.lock().expect("span lock").clone(),
             events_recorded: self.events_recorded.load(Ordering::Relaxed),
@@ -253,6 +311,25 @@ impl Recorder for MemoryRecorder {
         self.histograms[id.index()].observe(value);
     }
 
+    fn gauge(&self, id: GaugeId, op: GaugeOp) {
+        let cell = &self.gauges[id.index()];
+        let value = match op {
+            GaugeOp::Set(v) => {
+                cell.store(v, Ordering::Relaxed);
+                v
+            }
+            GaugeOp::Add(d) => cell.fetch_add(d, Ordering::Relaxed).wrapping_add(d),
+            GaugeOp::Sub(d) => cell.fetch_sub(d, Ordering::Relaxed).wrapping_sub(d),
+        };
+        // Gauge moves also land in the JSONL stream (when one is
+        // attached) so timelines can correlate load with latency.
+        let mut sink = self.jsonl.lock().expect("jsonl lock");
+        if let Some(w) = sink.as_mut() {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let _ = writeln!(w, "{}", Event::Gauge { id, value }.to_json(seq));
+        }
+    }
+
     fn event(&self, event: &Event) {
         self.events_recorded.fetch_add(1, Ordering::Relaxed);
         if let Event::SpanEnd {
@@ -260,6 +337,7 @@ impl Recorder for MemoryRecorder {
             wall_ns,
             cycles,
             events,
+            trace,
         } = event
         {
             self.spans.lock().expect("span lock").push(SpanRecord {
@@ -267,6 +345,7 @@ impl Recorder for MemoryRecorder {
                 wall_ns: *wall_ns,
                 cycles: *cycles,
                 events: *events,
+                trace: *trace,
             });
         }
         let mut sink = self.jsonl.lock().expect("jsonl lock");
@@ -326,6 +405,7 @@ mod tests {
             wall_ns: 5,
             cycles: 7,
             events: 2,
+            trace: Some(0x2a),
         });
         r.flush().unwrap();
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
@@ -348,7 +428,81 @@ mod tests {
                 wall_ns: 5,
                 cycles: 7,
                 events: 2,
+                trace: Some(0x2a),
             }]
+        );
+    }
+
+    #[test]
+    fn gauges_set_add_sub_and_snapshot() {
+        let r = MemoryRecorder::new();
+        r.gauge(GaugeId::ServeActiveSessions, GaugeOp::Set(5));
+        r.gauge(GaugeId::ServeActiveSessions, GaugeOp::Add(3));
+        r.gauge(GaugeId::ServeActiveSessions, GaugeOp::Sub(6));
+        r.gauge(GaugeId::ServeInflightBytes, GaugeOp::Add(1 << 20));
+        let s = r.snapshot();
+        assert_eq!(s.gauge(GaugeId::ServeActiveSessions), 2);
+        assert_eq!(s.gauge(GaugeId::ServeInflightBytes), 1 << 20);
+        assert_eq!(s.gauge(GaugeId::ServeQueueDepth), 0);
+    }
+
+    #[test]
+    fn gauge_moves_stream_to_jsonl() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let r = MemoryRecorder::with_jsonl(Box::new(Shared(buf.clone())));
+        r.gauge(GaugeId::ServeQueueDepth, GaugeOp::Set(4));
+        r.gauge(GaugeId::ServeQueueDepth, GaugeOp::Sub(5));
+        r.flush().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            crate::jsonl::validate_event_line(line).unwrap();
+        }
+        assert!(lines[0].contains("\"name\":\"hard_serve_queue_depth\""));
+        assert!(lines[0].contains("\"value\":4"));
+        // Gauges may legitimately go negative (a release observed
+        // before its acquire by a racing snapshot); the stream keeps
+        // the signed value.
+        assert!(lines[1].contains("\"value\":-1"));
+    }
+
+    #[test]
+    fn quantiles_estimate_from_cumulative_buckets() {
+        let r = MemoryRecorder::new();
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            r.histogram(HistId::ServeStageDetectUs, 40);
+        }
+        for _ in 0..10 {
+            r.histogram(HistId::ServeStageDetectUs, 30_000);
+        }
+        let s = r.snapshot();
+        let h = s.histogram(HistId::ServeStageDetectUs).unwrap();
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.9), Some(50));
+        assert_eq!(h.quantile(0.99), Some(50_000));
+        assert_eq!(h.quantile(0.999), Some(50_000));
+        // Empty histogram has no quantiles.
+        let empty = s.histogram(HistId::ServeStageFlushUs).unwrap();
+        assert_eq!(empty.quantile(0.5), None);
+        // Observations beyond every finite bound cap at the last one.
+        let r2 = MemoryRecorder::new();
+        r2.histogram(HistId::LockDepth, 1 << 40);
+        let s2 = r2.snapshot();
+        assert_eq!(
+            s2.histogram(HistId::LockDepth).unwrap().quantile(0.5),
+            Some(8)
         );
     }
 
@@ -357,6 +511,7 @@ mod tests {
         let r = NoopRecorder;
         r.counter(CounterId::TraceEvents, u64::MAX);
         r.histogram(HistId::LockDepth, 9);
+        r.gauge(GaugeId::ServeBusyWorkers, GaugeOp::Add(1));
         r.event(&Event::RegisterRebuild { thread: 0 });
     }
 }

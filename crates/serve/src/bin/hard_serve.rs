@@ -5,7 +5,8 @@
 //!            [--max-sessions N] [--max-session-bytes N] [--max-session-events N]
 //!            [--max-inflight-bytes N] [--idle-timeout-ms N] [--no-report-cache]
 //!            [--busy-retry-after-ms N] [--max-conns N]
-//!            [--serve-metrics HOST:PORT] [--quiet]
+//!            [--serve-metrics HOST:PORT] [--obs-jsonl PATH]
+//!            [--slow-session-ms N] [--quiet]
 //! hard-serve --chaos-proxy UPSTREAM [--addr HOST:PORT] [--chaos-ppm N]
 //!            [--chaos-seed N] [--chaos-reset-ppm N] [--chaos-flip-ppm N]
 //!            [--chaos-stall-ppm N] [--chaos-short-ppm N] [--chaos-stall-ms N]
@@ -13,11 +14,23 @@
 //! ```
 //!
 //! `--serve-metrics` installs a process-global [`hard_obs`] recorder
-//! and exposes its live counters in Prometheus text format at
-//! `GET /metrics` on a second listener (reusing the harness
-//! `MetricsServer`). `--max-conns` makes the server exit after N
-//! accepted connections — the CI smoke job's run-bounded mode; without
-//! it the server runs until a client sends a `Shutdown` frame.
+//! and exposes its live counters, gauges, and per-stage latency
+//! histograms in Prometheus text format at `GET /metrics` on a second
+//! listener (reusing the harness `MetricsServer`), plus a
+//! `GET /healthz` probe that mirrors the wire protocol's
+//! `Health`/`Healthy`/`Busy` verdict as HTTP 200/503 with the JSON
+//! admission snapshot as body. The scrape also carries one
+//! `hard_serve_recent_session{trace,verdict}` sample per recently
+//! closed session, keyed by its 16-hex-digit trace ID.
+//!
+//! `--obs-jsonl PATH` streams every observability event — counters,
+//! gauges, and trace-tagged stage spans — as one JSON line per event
+//! to `PATH`; it installs the recorder even without `--serve-metrics`.
+//! `--slow-session-ms N` logs any session whose wall time exceeds the
+//! threshold to stderr, keyed by trace ID. `--max-conns` makes the
+//! server exit after N accepted connections — the CI smoke job's
+//! run-bounded mode; without it the server runs until a client sends
+//! a `Shutdown` frame.
 //!
 //! `--chaos-proxy UPSTREAM` turns the binary into a standalone chaos
 //! TCP proxy instead of a server: it listens on `--addr`, forwards
@@ -39,6 +52,7 @@ use std::time::Duration;
 struct Args {
     cfg: ServeConfig,
     serve_metrics: Option<String>,
+    obs_jsonl: Option<String>,
     quiet: bool,
     chaos_upstream: Option<String>,
     chaos_plan: NetFaultPlan,
@@ -48,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cfg: ServeConfig::default(),
         serve_metrics: None,
+        obs_jsonl: None,
         quiet: false,
         chaos_upstream: None,
         chaos_plan: NetFaultPlan::none(),
@@ -154,6 +169,14 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--serve-metrics" => args.serve_metrics = Some(value("--serve-metrics")?),
+            "--obs-jsonl" => args.obs_jsonl = Some(value("--obs-jsonl")?),
+            "--slow-session-ms" => {
+                args.cfg.slow_session = Some(Duration::from_millis(
+                    value("--slow-session-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --slow-session-ms: {e}"))?,
+                ));
+            }
             "--quiet" => args.quiet = true,
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -170,7 +193,8 @@ fn main() -> ExitCode {
                 "usage: hard-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                  [--max-sessions N] [--max-session-bytes N] [--max-session-events N] \
                  [--max-inflight-bytes N] [--idle-timeout-ms N] [--no-report-cache] \
-                 [--busy-retry-after-ms N] [--max-conns N] [--serve-metrics HOST:PORT] [--quiet]\n       \
+                 [--busy-retry-after-ms N] [--max-conns N] [--serve-metrics HOST:PORT] \
+                 [--obs-jsonl PATH] [--slow-session-ms N] [--quiet]\n       \
                  hard-serve --chaos-proxy UPSTREAM [--addr HOST:PORT] [--chaos-ppm N] \
                  [--chaos-seed N] [--chaos-reset-ppm N] [--chaos-flip-ppm N] \
                  [--chaos-stall-ppm N] [--chaos-short-ppm N] [--chaos-stall-ms N] [--quiet]"
@@ -203,36 +227,40 @@ fn main() -> ExitCode {
         }
     }
 
-    // The metrics recorder must be installed before `Server::bind`
-    // captures the global handle.
-    if let Some(metrics_addr) = args.serve_metrics.as_deref() {
-        let rec = Arc::new(MemoryRecorder::new());
+    // The recorder must be installed before `Server::bind` captures
+    // the global handle. `--obs-jsonl` wants one even when there is
+    // no scrape endpoint.
+    let rec = if args.serve_metrics.is_some() || args.obs_jsonl.is_some() {
+        let rec = Arc::new(match args.obs_jsonl.as_deref() {
+            Some(path) => match std::fs::File::create(path) {
+                Ok(f) => MemoryRecorder::with_jsonl(Box::new(std::io::BufWriter::new(f))),
+                Err(e) => {
+                    eprintln!("error: cannot create --obs-jsonl {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => MemoryRecorder::new(),
+        });
         if !hard_obs::install(ObsHandle::new(rec.clone())) {
             eprintln!("error: a global recorder is already installed");
             return ExitCode::FAILURE;
         }
-        let endpoint = match hard_harness::experiments::server::MetricsServer::bind(metrics_addr) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot bind --serve-metrics {metrics_addr}: {e}");
-                return ExitCode::FAILURE;
+        Some(rec)
+    } else {
+        None
+    };
+    let endpoint = match args.serve_metrics.as_deref() {
+        Some(metrics_addr) => {
+            match hard_harness::experiments::server::MetricsServer::bind(metrics_addr) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("error: cannot bind --serve-metrics {metrics_addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        };
-        match endpoint.local_addr() {
-            Ok(addr) if !args.quiet => eprintln!("metrics on http://{addr}/metrics"),
-            _ => {}
         }
-        std::thread::spawn(move || {
-            let _ = endpoint.serve_with(
-                || {
-                    let mut e = Exposition::new();
-                    e.add_snapshot(&[], &rec.snapshot());
-                    e.render()
-                },
-                None,
-            );
-        });
-    }
+        None => None,
+    };
 
     let server = match Server::bind(args.cfg.clone()) {
         Ok(s) => s,
@@ -241,13 +269,60 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // The scrape thread spawns after `Server::bind` so its closures
+    // can watch the live admission state: `/metrics` decorates the
+    // recorder snapshot with per-session samples from the recent ring,
+    // and `/healthz` mirrors the wire `Health` verdict over HTTP.
+    if let Some(endpoint) = endpoint {
+        let scrape_rec = rec.clone().expect("--serve-metrics installs a recorder");
+        let scrape_stats = server.stats();
+        let health_stats = server.stats();
+        match endpoint.local_addr() {
+            Ok(addr) if !args.quiet => {
+                eprintln!("metrics on http://{addr}/metrics (health on /healthz)");
+            }
+            _ => {}
+        }
+        std::thread::spawn(move || {
+            let _ = endpoint.serve_routes(
+                || {
+                    let mut e = Exposition::new();
+                    e.add_snapshot(&[], &scrape_rec.snapshot());
+                    e.help(
+                        "hard_serve_recent_session",
+                        "Wall time of a recently closed session in microseconds, \
+                         keyed by trace ID and verdict.",
+                    );
+                    for s in scrape_stats.recent_sessions() {
+                        let trace = hard_obs::fmt_trace(s.trace);
+                        e.gauge(
+                            "hard_serve_recent_session",
+                            &[("trace", &trace), ("verdict", s.verdict)],
+                            s.wall_us as f64,
+                        );
+                    }
+                    e.render()
+                },
+                Some(move || (health_stats.ready(), health_stats.health_json())),
+                None,
+            );
+        });
+    }
+
     if !args.quiet {
         match server.local_addr() {
             Ok(addr) => eprintln!("hard-serve listening on {addr}"),
             Err(e) => eprintln!("hard-serve listening (addr unavailable: {e})"),
         }
     }
-    match server.run() {
+    let outcome = server.run();
+    if let Some(rec) = &rec {
+        if let Err(e) = rec.flush() {
+            eprintln!("warning: cannot flush --obs-jsonl sink: {e}");
+        }
+    }
+    match outcome {
         Ok(()) => {
             if !args.quiet {
                 eprintln!("hard-serve drained and exited");

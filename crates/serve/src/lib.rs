@@ -38,10 +38,17 @@
 //! * **Graceful shutdown** — a `Shutdown` frame (or `max_conns`)
 //!   stops the accept loop, drains in-flight sessions, and joins the
 //!   pool.
-//! * **Observability** — `hard_serve_*` counters, the session-size
-//!   histogram, and `serve:detect:*` spans flow into the installed
-//!   [`hard_obs`] recorder; the binary exposes them via
-//!   `--serve-metrics`.
+//! * **Observability** — `hard_serve_*` counters, in-flight gauges,
+//!   per-stage latency histograms, and trace-tagged spans flow into
+//!   the installed [`hard_obs`] recorder; the binary exposes them via
+//!   `--serve-metrics` (plus `/healthz` for load balancers).
+//! * **Session tracing** — every session carries a 64-bit trace ID
+//!   (client-generated via the `Begin` extension, server-assigned
+//!   otherwise) that is echoed on `Report`/`Error`/`Busy` payloads,
+//!   tags the `serve:accept → handshake → upload → queue-wait →
+//!   detect → render → flush` span timeline in the JSONL stream, keys
+//!   the slow-session log, and labels the recent-session ring exposed
+//!   to scrapers.
 //!
 //! # Example
 //!
@@ -62,19 +69,20 @@
 use hard_harness::corpus::{parse_header, CORPUS_MAGIC};
 use hard_harness::service::send_frame;
 use hard_harness::{DetectorKind, ReportBody, TrySubmit, WorkerPool};
-use hard_obs::{CounterId, HistId, ObsHandle};
+use hard_obs::{CounterId, Event, GaugeId, HistId, ObsHandle};
 use hard_trace::codec::{fnv1a_update, FNV1A_INIT};
 use hard_trace::wire::{
-    encode_busy, read_frame, read_handshake, write_handshake, FrameKind, WireError, MAX_FRAME_BYTES,
+    decode_begin, encode_busy, encode_traced, read_frame, read_handshake, write_handshake,
+    FrameKind, WireError, MAX_FRAME_BYTES,
 };
 use hard_trace::ChunkedReader;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs and limits for a [`Server`].
 #[derive(Clone, Debug)]
@@ -111,6 +119,11 @@ pub struct ServeConfig {
     pub max_conns: Option<usize>,
     /// The retry-after hint carried by `Busy` shed frames.
     pub busy_retry_after: Duration,
+    /// Sessions whose `Begin`→response wall time exceeds this
+    /// threshold bump `hard_serve_slow_sessions_total`, emit a
+    /// `slow_session` JSONL event, and are logged to stderr keyed by
+    /// trace ID. `None` disables the check.
+    pub slow_session: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +140,7 @@ impl Default for ServeConfig {
             report_cache: true,
             max_conns: None,
             busy_retry_after: Duration::from_millis(250),
+            slow_session: None,
         }
     }
 }
@@ -136,6 +150,30 @@ impl Default for ServeConfig {
 /// repeats are bursty, so a flush is cheap relative to one session).
 const REPORT_CACHE_CAP: usize = 256;
 
+/// Completed sessions retained in the recent-session ring behind
+/// [`ServeStats::recent_sessions`] (the binary renders them as
+/// trace-labelled scrape samples).
+const RECENT_SESSIONS_CAP: usize = 512;
+
+/// One completed session in the recent-session ring.
+#[derive(Clone, Debug)]
+pub struct SessionSummary {
+    /// The session's trace ID (client-supplied or server-assigned).
+    pub trace: u64,
+    /// How the session ended: `"report"` (fresh detection), `"cache"`
+    /// (report-cache hit), `"error"`, or `"busy"`.
+    pub verdict: &'static str,
+    /// Wall time from `Begin` receipt to the response, in µs.
+    pub wall_us: u64,
+}
+
+/// A cached report body, tagged with the trace ID of the session that
+/// produced it so hits stay attributable after the creator is gone.
+struct CachedReport {
+    body: String,
+    origin_trace: u64,
+}
+
 struct Shared {
     cfg: ServeConfig,
     obs: ObsHandle,
@@ -143,7 +181,13 @@ struct Shared {
     active_sessions: AtomicUsize,
     inflight_bytes: AtomicU64,
     pool: WorkerPool,
-    report_cache: Mutex<HashMap<u64, String>>,
+    report_cache: Mutex<HashMap<u64, CachedReport>>,
+    /// Sequence behind server-assigned trace IDs (splitmix-scrambled
+    /// so assigned IDs spread across the space without a clock or
+    /// RNG).
+    trace_seq: AtomicU64,
+    /// Ring of recently completed sessions, oldest first.
+    recent: Mutex<VecDeque<SessionSummary>>,
 }
 
 /// Releases a session's global in-flight byte reservation on drop, so
@@ -170,6 +214,9 @@ impl InflightGuard {
             ));
         }
         self.held += n;
+        self.shared
+            .obs
+            .gauge_add(GaugeId::ServeInflightBytes, clamp_i64(n));
         Ok(())
     }
 
@@ -179,6 +226,9 @@ impl InflightGuard {
         self.shared
             .inflight_bytes
             .fetch_sub(self.held, Ordering::Relaxed);
+        self.shared
+            .obs
+            .gauge_sub(GaugeId::ServeInflightBytes, clamp_i64(self.held));
         self.held = 0;
     }
 }
@@ -222,6 +272,38 @@ impl ServeStats {
     pub fn pool_load(&self) -> usize {
         self.shared.pool.load()
     }
+
+    /// The most recently completed sessions, oldest first, each
+    /// carrying its trace ID, verdict, and wall time. Bounded by an
+    /// internal ring; the binary renders these as trace-labelled
+    /// `hard_serve_recent_session` scrape samples.
+    #[must_use]
+    pub fn recent_sessions(&self) -> Vec<SessionSummary> {
+        self.shared
+            .recent
+            .lock()
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether the server would admit a new session right now — the
+    /// same readiness predicate `Health` frames report, usable by the
+    /// `/healthz` HTTP probe.
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        readiness(
+            &self.shared,
+            self.shared.active_sessions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The admission snapshot as JSON — the same body a `Healthy`
+    /// frame carries, except no probing connection's slot is excluded
+    /// (an HTTP probe does not hold one).
+    #[must_use]
+    pub fn health_json(&self) -> String {
+        health_snapshot(&self.shared, false)
+    }
 }
 
 impl Server {
@@ -247,6 +329,8 @@ impl Server {
                 inflight_bytes: AtomicU64::new(0),
                 pool,
                 report_cache: Mutex::new(HashMap::new()),
+                trace_seq: AtomicU64::new(0),
+                recent: Mutex::new(VecDeque::new()),
             }),
         })
     }
@@ -323,16 +407,27 @@ impl Server {
     }
 }
 
-/// Decrements the active-session gauge on every exit path.
+/// Decrements the active-session count and gauge on every exit path.
 struct SessionSlot<'a>(&'a Shared);
 
 impl Drop for SessionSlot<'_> {
     fn drop(&mut self) {
         self.0.active_sessions.fetch_sub(1, Ordering::Relaxed);
+        self.0.obs.gauge_sub(GaugeId::ServeActiveSessions, 1);
     }
 }
 
+/// Wall times measured before the first `Begin`, when no trace ID
+/// exists yet. The session loop replays them as traced spans once the
+/// first session opens, so the reconstructed timeline starts at
+/// accept.
+struct PreSession {
+    accept: Duration,
+    handshake: Duration,
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let conn_start = Instant::now();
     let obs = shared.obs.clone();
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(shared.cfg.idle_timeout));
@@ -347,6 +442,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // session limit gets the handshake echo (so the client's reader is
     // in a defined state) and a Busy shed with a retry-after hint.
     let prev = shared.active_sessions.fetch_add(1, Ordering::Relaxed);
+    obs.gauge_add(GaugeId::ServeActiveSessions, 1);
     let slot = SessionSlot(shared);
     if prev >= shared.cfg.max_sessions {
         obs.counter(CounterId::ServeRejected, 1);
@@ -355,17 +451,21 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             &mut w,
             shared,
             &obs,
+            None,
+            ShedReason::Slots,
             &format!("server at capacity ({} sessions)", shared.cfg.max_sessions),
         );
         return;
     }
 
+    let accept = conn_start.elapsed();
+    let hs_start = Instant::now();
     if let Err(e) = read_handshake(&mut r) {
         // Bad magic still gets a spec-shaped reply; a raw disconnect
         // gets nothing (there is no one to talk to).
         if !matches!(e, WireError::Io(_)) {
             let _ = write_handshake(&mut w);
-            send_error(&mut w, &obs, &format!("handshake rejected: {e}"));
+            send_error(&mut w, &obs, None, &format!("handshake rejected: {e}"));
         } else {
             obs.counter(CounterId::ServeErrors, 1);
         }
@@ -375,9 +475,25 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         obs.counter(CounterId::ServeErrors, 1);
         return;
     }
+    let handshake = hs_start.elapsed();
+    obs.histogram(HistId::ServeStageHandshakeUs, as_us(handshake));
 
-    run_session_loop(&mut r, &mut w, shared, &obs);
+    run_session_loop(
+        &mut r,
+        &mut w,
+        shared,
+        &obs,
+        PreSession { accept, handshake },
+    );
     drop(slot); // the session slot frees only after the loop exits
+}
+
+/// One open session's identity: the detector it runs, the trace ID
+/// every response/span/log line for it carries, and when it began.
+struct SessionCtx {
+    kind: DetectorKind,
+    trace: u64,
+    started: Instant,
 }
 
 fn run_session_loop(
@@ -385,65 +501,104 @@ fn run_session_loop(
     w: &mut BufWriter<TcpStream>,
     shared: &Arc<Shared>,
     obs: &ObsHandle,
+    pre: PreSession,
 ) {
-    let mut kind: Option<DetectorKind> = None;
+    let mut session: Option<SessionCtx> = None;
+    let mut pre = Some(pre);
     let mut buf: Vec<u8> = Vec::new();
     let mut guard = InflightGuard::new(Arc::clone(shared));
     let frame_cap = u32::try_from(shared.cfg.max_session_bytes.min(u64::from(MAX_FRAME_BYTES)))
         .unwrap_or(MAX_FRAME_BYTES);
     loop {
+        let open_trace = session.as_ref().map(|s| s.trace);
         let frame = match read_frame(r, frame_cap) {
             Ok(f) => f,
             Err(e) if e.is_timeout() => {
-                send_error(w, obs, "idle timeout: no frame received in time");
+                send_error(
+                    w,
+                    obs,
+                    open_trace,
+                    "idle timeout: no frame received in time",
+                );
                 return;
             }
             Err(WireError::Io(_)) => {
                 // Disconnect. Mid-session (after Begin) it is an
                 // abandoned upload; between sessions it is a normal
                 // close.
-                if kind.is_some() || !buf.is_empty() {
+                if session.is_some() || !buf.is_empty() {
                     obs.counter(CounterId::ServeErrors, 1);
                 }
                 return;
             }
             Err(e) => {
-                send_error(w, obs, &format!("protocol error: {e}"));
+                send_error(w, obs, open_trace, &format!("protocol error: {e}"));
                 return;
             }
         };
         match frame.kind {
             FrameKind::Begin => {
-                if kind.is_some() {
-                    send_error(w, obs, "protocol error: Begin inside an open session");
+                if session.is_some() {
+                    send_error(
+                        w,
+                        obs,
+                        open_trace,
+                        "protocol error: Begin inside an open session",
+                    );
                     return;
                 }
+                // The session's trace ID is fixed here: the client's
+                // if the Begin extension carried one, server-assigned
+                // otherwise. Every response, span, and log line for
+                // this session carries it from now on.
+                let (label, client_trace) = decode_begin(&frame.payload);
+                let trace = client_trace.unwrap_or_else(|| assign_trace(shared));
                 // Admission control: shed *before* accepting the
                 // upload when the detection queue could not take the
                 // finished session anyway. Cheaper for both sides than
                 // buffering megabytes only to shed at End.
                 if shared.pool.is_saturated() {
-                    send_busy(w, shared, obs, "detection queue saturated");
+                    send_busy(
+                        w,
+                        shared,
+                        obs,
+                        Some(trace),
+                        ShedReason::Queue,
+                        "detection queue saturated",
+                    );
                     return;
                 }
-                match DetectorKind::parse(&frame.text()) {
-                    Ok(k) => kind = Some(k),
+                let kind = match DetectorKind::parse(&label) {
+                    Ok(k) => k,
                     Err(e) => {
-                        send_error(w, obs, &e);
+                        send_error(w, obs, Some(trace), &e);
                         return;
                     }
+                };
+                // The connection's timeline started at accept, before
+                // any trace ID existed; replay those stages as traced
+                // spans now that the first session owns them.
+                if let Some(p) = pre.take() {
+                    emit_stage_span(obs, trace, "serve:accept", p.accept);
+                    emit_stage_span(obs, trace, "serve:handshake", p.handshake);
                 }
+                session = Some(SessionCtx {
+                    kind,
+                    trace,
+                    started: Instant::now(),
+                });
             }
             FrameKind::Data => {
-                if kind.is_none() {
-                    send_error(w, obs, "protocol error: Data before Begin");
+                let Some(sess) = session.as_ref() else {
+                    send_error(w, obs, None, "protocol error: Data before Begin");
                     return;
-                }
+                };
                 let n = frame.payload.len() as u64;
                 if buf.len() as u64 + n > shared.cfg.max_session_bytes {
                     send_error(
                         w,
                         obs,
+                        Some(sess.trace),
                         &format!(
                             "session exceeds {} upload bytes",
                             shared.cfg.max_session_bytes
@@ -454,33 +609,48 @@ fn run_session_loop(
                 if let Err(e) = guard.grow(n) {
                     // A spent global budget is load, not client error:
                     // shed so the client retries after the drain.
-                    send_busy(w, shared, obs, &e);
+                    send_busy(w, shared, obs, Some(sess.trace), ShedReason::Bytes, &e);
                     return;
                 }
                 obs.counter(CounterId::ServeBytesIn, n);
                 buf.extend_from_slice(&frame.payload);
             }
             FrameKind::End => {
-                let Some(k) = kind.take() else {
-                    send_error(w, obs, "protocol error: End before Begin");
+                let Some(sess) = session.take() else {
+                    send_error(w, obs, None, "protocol error: End before Begin");
                     return;
                 };
-                match finish_session(shared, obs, &k, &buf) {
-                    Ok(body) => {
+                let upload = sess.started.elapsed();
+                obs.histogram(HistId::ServeStageUploadUs, as_us(upload));
+                emit_stage_span(obs, sess.trace, "serve:upload", upload);
+                match finish_session(shared, obs, &sess, &buf) {
+                    Ok(finished) => {
                         obs.counter(CounterId::ServeSessions, 1);
-                        if send_frame(w, FrameKind::Report, body.as_bytes()).is_err()
-                            || w.flush().is_err()
+                        let flush_start = Instant::now();
+                        let payload = encode_traced(Some(sess.trace), finished.body.as_bytes());
+                        if send_frame(w, FrameKind::Report, &payload).is_err() || w.flush().is_err()
                         {
                             obs.counter(CounterId::ServeErrors, 1);
                             return;
                         }
+                        let flush = flush_start.elapsed();
+                        obs.histogram(HistId::ServeStageFlushUs, as_us(flush));
+                        emit_stage_span(obs, sess.trace, "serve:flush", flush);
+                        let verdict = if finished.cache_hit {
+                            "cache"
+                        } else {
+                            "report"
+                        };
+                        close_session(shared, obs, &sess, verdict);
                     }
                     Err(SessionFail::Busy(e)) => {
-                        send_busy(w, shared, obs, &e);
+                        send_busy(w, shared, obs, Some(sess.trace), ShedReason::Queue, &e);
+                        close_session(shared, obs, &sess, "busy");
                         return;
                     }
                     Err(SessionFail::Error(e)) => {
-                        send_error(w, obs, &e);
+                        send_error(w, obs, Some(sess.trace), &e);
+                        close_session(shared, obs, &sess, "error");
                         return;
                     }
                 }
@@ -489,7 +659,7 @@ fn run_session_loop(
             }
             FrameKind::Health => {
                 obs.counter(CounterId::ServeHealthProbes, 1);
-                let snapshot = health_snapshot(shared);
+                let snapshot = health_snapshot(shared, true);
                 if send_frame(w, FrameKind::Healthy, snapshot.as_bytes()).is_err()
                     || w.flush().is_err()
                 {
@@ -512,6 +682,7 @@ fn run_session_loop(
                 send_error(
                     w,
                     obs,
+                    open_trace,
                     &format!("protocol error: client sent server frame {:?}", frame.kind),
                 );
                 return;
@@ -534,14 +705,21 @@ impl From<String> for SessionFail {
     }
 }
 
+/// A session's encoded report plus how it was produced (fresh
+/// detection or a report-cache hit).
+struct FinishedSession {
+    body: String,
+    cache_hit: bool,
+}
+
 /// Validates the uploaded corpus bytes and runs (or cache-answers)
 /// detection, returning the encoded report body.
 fn finish_session(
     shared: &Arc<Shared>,
     obs: &ObsHandle,
-    kind: &DetectorKind,
+    sess: &SessionCtx,
     corpus: &[u8],
-) -> Result<String, SessionFail> {
+) -> Result<FinishedSession, SessionFail> {
     if corpus.len() < CORPUS_MAGIC.len() || &corpus[..CORPUS_MAGIC.len()] != CORPUS_MAGIC {
         return Err(SessionFail::Error(
             "upload is not a HARDCRP1 corpus stream".into(),
@@ -555,17 +733,31 @@ fn finish_session(
         )));
     }
     let cache_key = if shared.cfg.report_cache {
-        let fnv = fnv1a_update(FNV1A_INIT, kind.label().as_bytes());
+        let fnv = fnv1a_update(FNV1A_INIT, sess.kind.label().as_bytes());
         let fnv = fnv1a_update(fnv, &[0]);
         let fnv = fnv1a_update(fnv, corpus);
-        if let Some(body) = shared
+        if let Some(entry) = shared
             .report_cache
             .lock()
             .map_err(|_| "report cache poisoned".to_string())?
             .get(&fnv)
         {
             obs.counter(CounterId::ServeCacheHits, 1);
-            return Ok(body.clone());
+            // Attribute the hit to both sessions: the hitting one (by
+            // trace tag) and the creating one (by name).
+            emit_stage_span(
+                obs,
+                sess.trace,
+                &format!(
+                    "serve:cache-hit:{}",
+                    hard_obs::fmt_trace(entry.origin_trace)
+                ),
+                Duration::ZERO,
+            );
+            return Ok(FinishedSession {
+                body: entry.body.clone(),
+                cache_hit: true,
+            });
         }
         Some(fnv)
     } else {
@@ -579,12 +771,23 @@ fn finish_session(
     // block-forever backpressure at this stage.
     let payload = corpus[payload_at..].to_vec();
     let (tx, rx) = sync_channel::<Result<ReportBody, String>>(1);
-    let kind = *kind;
+    let kind = sess.kind;
+    let trace = sess.trace;
     let job_obs = obs.clone();
+    let submitted = Instant::now();
+    // Queue-depth / busy-worker gauges move on the job's lifecycle
+    // edges (enqueue, start, finish) so they drain back to zero
+    // deterministically once the pool is idle.
+    obs.gauge_add(GaugeId::ServeQueueDepth, 1);
     shared
         .pool
         .try_submit(move || {
-            let span = job_obs.span(|| format!("serve:detect:{}", kind.label()));
+            let queue_wait = submitted.elapsed();
+            job_obs.gauge_sub(GaugeId::ServeQueueDepth, 1);
+            job_obs.gauge_add(GaugeId::ServeBusyWorkers, 1);
+            job_obs.histogram(HistId::ServeStageQueueWaitUs, as_us(queue_wait));
+            emit_stage_span(&job_obs, trace, "serve:queue-wait", queue_wait);
+            let span = job_obs.span_traced(trace, || format!("serve:detect:{}", kind.label()));
             let mut reader = ChunkedReader::spawn(
                 std::io::Cursor::new(payload),
                 hard_trace::packed_event::DEFAULT_CHUNK_RECORDS,
@@ -608,63 +811,192 @@ fn finish_session(
                         })
                     });
             let events = result.as_ref().map_or(0, |b| b.events);
+            if let Some(us) = span.elapsed_us() {
+                job_obs.histogram(HistId::ServeStageDetectUs, us);
+            }
             job_obs.span_end(span, 0, events);
+            job_obs.gauge_sub(GaugeId::ServeBusyWorkers, 1);
             let _ = tx.send(result);
         })
-        .map_err(|e| match e {
-            TrySubmit::Full => SessionFail::Busy("detection queue full".into()),
-            TrySubmit::Closed => SessionFail::Error("detection pool unavailable".into()),
+        .map_err(|e| {
+            obs.gauge_sub(GaugeId::ServeQueueDepth, 1);
+            match e {
+                TrySubmit::Full => SessionFail::Busy("detection queue full".into()),
+                TrySubmit::Closed => SessionFail::Error("detection pool unavailable".into()),
+            }
         })?;
     let body = rx
         .recv()
         .map_err(|_| "detection worker died mid-session".to_string())?
         .map_err(SessionFail::Error)?;
     obs.histogram(HistId::ServeSessionEvents, body.events);
+    let render_start = Instant::now();
     let encoded = body.encode();
+    let render = render_start.elapsed();
+    obs.histogram(HistId::ServeStageRenderUs, as_us(render));
+    emit_stage_span(obs, sess.trace, "serve:render", render);
     if let Some(key) = cache_key {
         if let Ok(mut cache) = shared.report_cache.lock() {
             if cache.len() >= REPORT_CACHE_CAP {
                 cache.clear();
             }
-            cache.insert(key, encoded.clone());
+            cache.insert(
+                key,
+                CachedReport {
+                    body: encoded.clone(),
+                    origin_trace: sess.trace,
+                },
+            );
         }
     }
-    Ok(encoded)
+    Ok(FinishedSession {
+        body: encoded,
+        cache_hit: false,
+    })
 }
 
-fn send_error(w: &mut impl Write, obs: &ObsHandle, msg: &str) {
+/// Records a completed session (any verdict) in the recent ring and
+/// runs the threshold-gated slow-session check.
+fn close_session(shared: &Shared, obs: &ObsHandle, sess: &SessionCtx, verdict: &'static str) {
+    let wall = sess.started.elapsed();
+    let wall_us = as_us(wall);
+    if let Ok(mut recent) = shared.recent.lock() {
+        if recent.len() >= RECENT_SESSIONS_CAP {
+            recent.pop_front();
+        }
+        recent.push_back(SessionSummary {
+            trace: sess.trace,
+            verdict,
+            wall_us,
+        });
+    }
+    if let Some(threshold) = shared.cfg.slow_session {
+        if wall > threshold {
+            let threshold_us = as_us(threshold);
+            obs.counter(CounterId::ServeSlowSessions, 1);
+            obs.emit(|| Event::SlowSession {
+                trace: sess.trace,
+                wall_us,
+                threshold_us,
+            });
+            eprintln!(
+                "hard-serve: slow-session trace={} verdict={verdict} wall_us={wall_us} \
+                 threshold_us={threshold_us}",
+                hard_obs::fmt_trace(sess.trace)
+            );
+        }
+    }
+}
+
+/// Which admission bound shed a session. Each reason has its own
+/// counter alongside the `hard_serve_shed_total` total, so a scrape
+/// shows *why* a server is shedding, not just that it is.
+#[derive(Clone, Copy)]
+enum ShedReason {
+    /// Session slots exhausted (`max_sessions`).
+    Slots,
+    /// The global in-flight byte budget is spent.
+    Bytes,
+    /// The detection queue is saturated or full.
+    Queue,
+}
+
+impl ShedReason {
+    const fn counter(self) -> CounterId {
+        match self {
+            ShedReason::Slots => CounterId::ServeShedSlots,
+            ShedReason::Bytes => CounterId::ServeShedBytes,
+            ShedReason::Queue => CounterId::ServeShedQueue,
+        }
+    }
+}
+
+fn send_error(w: &mut impl Write, obs: &ObsHandle, trace: Option<u64>, msg: &str) {
     obs.counter(CounterId::ServeErrors, 1);
-    if send_frame(w, FrameKind::Error, msg.as_bytes()).is_ok() {
+    let payload = encode_traced(trace, msg.as_bytes());
+    if send_frame(w, FrameKind::Error, &payload).is_ok() {
         let _ = w.flush();
     }
 }
 
 /// Sheds the session with a `Busy` frame carrying the configured
-/// retry-after hint. Counted under `hard_serve_shed_total`, not the
-/// error counter: a shed is correct behavior under load, not failure.
-fn send_busy(w: &mut impl Write, shared: &Shared, obs: &ObsHandle, reason: &str) {
+/// retry-after hint. Counted under `hard_serve_shed_total` plus the
+/// per-reason counter, not the error counter: a shed is correct
+/// behavior under load, not failure.
+fn send_busy(
+    w: &mut impl Write,
+    shared: &Shared,
+    obs: &ObsHandle,
+    trace: Option<u64>,
+    why: ShedReason,
+    reason: &str,
+) {
     obs.counter(CounterId::ServeShed, 1);
-    let payload = encode_busy(shared.cfg.busy_retry_after.as_millis() as u64, reason);
+    obs.counter(why.counter(), 1);
+    let body = encode_busy(shared.cfg.busy_retry_after.as_millis() as u64, reason);
+    let payload = encode_traced(trace, &body);
     if send_frame(w, FrameKind::Busy, &payload).is_ok() {
         let _ = w.flush();
     }
 }
 
-/// Renders the `Healthy` JSON snapshot of the admission state. The
-/// probing connection's own session slot is excluded, so a probe on an
-/// otherwise idle server reports zero active sessions — which is what
-/// makes the snapshot usable as a leak detector after a drain.
-fn health_snapshot(shared: &Shared) -> String {
-    let active = shared
-        .active_sessions
-        .load(Ordering::Relaxed)
-        .saturating_sub(1);
+/// Clamps a byte count into gauge range.
+#[allow(clippy::cast_possible_wrap)]
+fn clamp_i64(n: u64) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
+/// A `Duration` as whole microseconds, saturating.
+fn as_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Emits one traced stage span whose wall time was measured outside a
+/// [`hard_obs::SpanTimer`] (deferred or cross-thread measurements).
+fn emit_stage_span(obs: &ObsHandle, trace: u64, name: &str, wall: Duration) {
+    let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    obs.emit(|| Event::SpanEnd {
+        name: name.to_string(),
+        wall_ns,
+        cycles: 0,
+        events: 0,
+        trace: Some(trace),
+    });
+}
+
+/// The next server-assigned trace ID: splitmix64 over a per-server
+/// sequence — deterministic (no clock or RNG) yet well spread, so
+/// assigned IDs do not collide with small client-chosen ones.
+fn assign_trace(shared: &Shared) -> u64 {
+    let n = shared.trace_seq.fetch_add(1, Ordering::Relaxed);
+    let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The admission predicate shared by wire `Health` probes, the
+/// `/healthz` HTTP endpoint, and [`ServeStats::ready`].
+fn readiness(shared: &Shared, active: usize) -> bool {
+    !shared.shutdown.load(Ordering::Relaxed)
+        && active < shared.cfg.max_sessions
+        && shared.inflight_bytes.load(Ordering::Relaxed) < shared.cfg.max_inflight_bytes
+        && !shared.pool.is_saturated()
+}
+
+/// Renders the `Healthy` JSON snapshot of the admission state. With
+/// `exclude_probe`, the probing connection's own session slot is
+/// excluded, so a wire probe on an otherwise idle server reports zero
+/// active sessions — which is what makes the snapshot usable as a leak
+/// detector after a drain. HTTP probes hold no slot and pass `false`.
+fn health_snapshot(shared: &Shared, exclude_probe: bool) -> String {
+    let mut active = shared.active_sessions.load(Ordering::Relaxed);
+    if exclude_probe {
+        active = active.saturating_sub(1);
+    }
     let inflight = shared.inflight_bytes.load(Ordering::Relaxed);
     let load = shared.pool.load();
-    let ready = !shared.shutdown.load(Ordering::Relaxed)
-        && active < shared.cfg.max_sessions
-        && inflight < shared.cfg.max_inflight_bytes
-        && !shared.pool.is_saturated();
+    let ready = readiness(shared, active);
     format!(
         "{{\"active_sessions\":{active},\"max_sessions\":{},\"inflight_bytes\":{inflight},\
          \"max_inflight_bytes\":{},\"pool_load\":{load},\"pool_capacity\":{},\"ready\":{ready}}}",

@@ -111,7 +111,7 @@ fn chaos_hardening() {
         let thread = std::thread::spawn(move || server.run());
         let started = Instant::now();
         match submit_bytes(&addr, &bytes, "hard", 1 << 10).expect("submit") {
-            Submission::Report(body) => assert_eq!(body.encode(), expected),
+            Submission::Report { body, .. } => assert_eq!(body.encode(), expected),
             other => panic!("flush-regression submit got {other:?}"),
         }
         assert!(
@@ -223,6 +223,7 @@ fn chaos_hardening() {
             Submission::Busy {
                 retry_after,
                 message,
+                ..
             } => {
                 assert_eq!(
                     retry_after,
@@ -258,7 +259,7 @@ fn chaos_hardening() {
         let (outcome, retry_stats) =
             submit_bytes_retrying(&addr, &bytes, "hard", 64 << 10, &policy);
         match outcome.expect("eventual success") {
-            Submission::Report(body) => assert_eq!(body.encode(), expected),
+            Submission::Report { body, .. } => assert_eq!(body.encode(), expected),
             other => panic!("retrying client got {other:?}"),
         }
         assert!(
@@ -310,7 +311,7 @@ fn chaos_hardening() {
                         let (outcome, _) =
                             submit_bytes_retrying(proxy_addr, bytes, "hard", 1 << 10, &policy);
                         match outcome.expect("eventual success under chaos") {
-                            Submission::Report(body) => assert_eq!(
+                            Submission::Report { body, .. } => assert_eq!(
                                 body.encode(),
                                 *expected,
                                 "no-wrong-report invariant (client {client})"

@@ -8,11 +8,11 @@
 //! single test must own the whole scenario.
 
 use hard_harness::corpus::{self, write_file};
-use hard_harness::service::{request_shutdown, submit_bytes};
+use hard_harness::service::{request_shutdown, submit_bytes, submit_bytes_traced};
 use hard_harness::{
     execute_streamed, injected_trace, CampaignConfig, DetectorKind, ReportBody, Submission,
 };
-use hard_obs::{CounterId, MemoryRecorder, ObsHandle};
+use hard_obs::{CounterId, GaugeId, HistId, MemoryRecorder, ObsHandle};
 use hard_serve::{ServeConfig, Server};
 use hard_trace::wire::{
     read_frame, read_handshake, write_frame, write_handshake, FrameKind, MAX_FRAME_BYTES,
@@ -104,10 +104,27 @@ fn serve_end_to_end() {
             } else {
                 (bytes_b.clone(), notes_b.clone(), "lockset-ideal")
             };
+            // Even clients pick their own trace ID (and expect the
+            // echo); odd clients leave it to the server.
+            let client_trace = (i % 2 == 0).then_some(0xc11e_0000_0000_0000 | i as u64);
             std::thread::spawn(move || {
                 // Small chunks exercise Data-frame reassembly.
-                match submit_bytes(&addr, &bytes, det, 1 << 10).expect("submit") {
-                    Submission::Report(body) => assert_eq!(body.notes(), notes, "client {i}"),
+                let outcome = match client_trace {
+                    Some(t) => submit_bytes_traced(&addr, &bytes, det, 1 << 10, t),
+                    None => submit_bytes(&addr, &bytes, det, 1 << 10),
+                }
+                .expect("submit");
+                match client_trace {
+                    Some(t) => assert_eq!(outcome.trace(), Some(t), "client {i} echo"),
+                    None => assert!(
+                        outcome.trace().is_some(),
+                        "client {i} expected a server-assigned trace"
+                    ),
+                }
+                match outcome {
+                    Submission::Report { body, .. } => {
+                        assert_eq!(body.notes(), notes, "client {i}");
+                    }
                     other => panic!("client {i} got non-report answer: {other:?}"),
                 }
             })
@@ -172,8 +189,10 @@ fn serve_end_to_end() {
             let last = bytes.len() - 1;
             bytes[last] ^= 0x01;
             match submit_bytes(&addr, &bytes, "hard", 64 << 10).expect("submit") {
-                Submission::ServerError(e) => {
+                Submission::ServerError { message: e, trace } => {
                     assert!(e.contains("checksum") || e.contains("mid-record"), "{e}");
+                    // Session errors carry the session's trace too.
+                    assert!(trace.is_some(), "error should echo the session trace");
                 }
                 other => panic!("corrupt payload produced {other:?}"),
             }
@@ -214,9 +233,13 @@ fn serve_end_to_end() {
     let first = submit_bytes(&addr, &bytes_a, "hard", 64 << 10).expect("post-abuse submit");
     let second = submit_bytes(&addr, &bytes_a, "hard", 64 << 10).expect("cache submit");
     match (&first, &second) {
-        (Submission::Report(a), Submission::Report(b)) => {
+        (Submission::Report { body: a, trace: ta }, Submission::Report { body: b, trace: tb }) => {
             assert_eq!(a, b, "cache hit must be byte-identical");
             assert_eq!(a.notes(), notes_a);
+            // Distinct sessions get distinct server-assigned traces,
+            // even when the second is answered from the report cache.
+            assert!(ta.is_some() && tb.is_some());
+            assert_ne!(ta, tb, "each session owns its trace ID");
         }
         other => panic!("post-abuse submissions failed: {other:?}"),
     }
@@ -256,4 +279,55 @@ fn serve_end_to_end() {
         "nothing sheds below capacity"
     );
     assert!(snap.counter(CounterId::ServeBytesIn) >= (bytes_a.len() as u64) * 2);
+
+    // --- Telemetry: after the drain every in-flight gauge is back to
+    // zero, each completed session timed its stages, and its spans
+    // carry the session trace ID.
+    for id in GaugeId::ALL {
+        assert_eq!(snap.gauge(id), 0, "{} drains to zero", id.name());
+    }
+    let sessions = snap.counter(CounterId::ServeSessions);
+    for id in [
+        HistId::ServeStageUploadUs,
+        HistId::ServeStageQueueWaitUs,
+        HistId::ServeStageDetectUs,
+        HistId::ServeStageRenderUs,
+        HistId::ServeStageFlushUs,
+    ] {
+        let h = snap
+            .histogram(id)
+            .unwrap_or_else(|| panic!("{}", id.name()));
+        // Every stage ran at least once; error sessions (the corrupt
+        // upload reaches End too) may add observations beyond the
+        // completed-session count, and cache hits subtract from the
+        // detect-side stages, so exact equalities do not hold here.
+        assert!(h.count >= 1, "{} observed", id.name());
+    }
+    // Flush happens exactly once per successfully answered session.
+    let flush = snap.histogram(HistId::ServeStageFlushUs).expect("flush");
+    assert_eq!(flush.count, sessions, "one flush per completed session");
+    // Handshake timing is per-connection, not per-session.
+    let hs = snap.histogram(HistId::ServeStageHandshakeUs).expect("hs");
+    assert!(hs.count >= 10, "every well-formed connection handshakes");
+    // The even-numbered concurrent clients chose their own trace IDs;
+    // their detect spans must carry them.
+    let traced: Vec<_> = snap.spans.iter().filter_map(|s| s.trace).collect();
+    for i in [0u64, 2, 4, 6] {
+        let t = 0xc11e_0000_0000_0000 | i;
+        assert!(traced.contains(&t), "client trace {t:#x} reaches a span");
+    }
+    // Every traced span family appears for at least one session.
+    for stage in [
+        "serve:accept",
+        "serve:handshake",
+        "serve:upload",
+        "serve:flush",
+    ] {
+        assert!(
+            snap.spans
+                .iter()
+                .any(|s| s.name == stage && s.trace.is_some()),
+            "{stage} span recorded with a trace"
+        );
+    }
 }

@@ -28,7 +28,8 @@
 //! ```
 //!
 //! Client → server kinds: [`FrameKind::Begin`] (payload: UTF-8
-//! detector label) opens a session, [`FrameKind::Data`] chunks carry
+//! detector label, optionally extended with a session trace ID — see
+//! [`encode_begin`]) opens a session, [`FrameKind::Data`] chunks carry
 //! the bytes of one `HARDCRP1` corpus stream (any chunking; the
 //! session reassembles them), [`FrameKind::End`] closes the session
 //! and requests the report, [`FrameKind::Health`] asks for a
@@ -40,6 +41,19 @@
 //! carries a retry-after hint), [`FrameKind::Healthy`] (payload: JSON
 //! readiness snapshot), and [`FrameKind::Bye`] (shutdown
 //! acknowledged).
+//!
+//! # Session trace IDs
+//!
+//! A `Begin` payload may carry a client-generated 64-bit trace ID as
+//! a `;trace=<16 hex digits>` suffix after the detector label
+//! ([`encode_begin`] / [`decode_begin`]); a bare label stays a valid
+//! payload, so version-1 clients interoperate unchanged. The server
+//! assigns an ID when the client sent none and echoes the session's
+//! ID back as a strippable `trace=<16 hex digits>;` *prefix* on its
+//! `Report`, `Error`, and `Busy` payloads ([`encode_traced`] /
+//! [`split_traced`]). The prefix rides *outside* the report body on
+//! purpose: the body stays byte-identical to offline replay, which
+//! the serve tier's equivalence tests compare verbatim.
 //!
 //! # Flushing
 //!
@@ -296,6 +310,84 @@ pub fn decode_busy(payload: &[u8]) -> (Option<u64>, String) {
     (None, text)
 }
 
+/// Parses exactly 16 ASCII hex digits into a u64.
+fn parse_hex16(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() != 16 || !bytes.iter().all(u8::is_ascii_hexdigit) {
+        return None;
+    }
+    let text = std::str::from_utf8(bytes).ok()?;
+    u64::from_str_radix(text, 16).ok()
+}
+
+/// Encodes a [`FrameKind::Begin`] payload: the detector label,
+/// optionally extended with the session's client-generated trace ID
+/// as a `;trace=<16 hex digits>` suffix.
+///
+/// `encode_begin("hard", None)` produces exactly the bytes a
+/// version-1 client sent, so the extension is invisible to servers
+/// and captures when unused.
+#[must_use]
+pub fn encode_begin(detector: &str, trace: Option<u64>) -> Vec<u8> {
+    match trace {
+        Some(t) => format!("{detector};trace={t:016x}").into_bytes(),
+        None => detector.as_bytes().to_vec(),
+    }
+}
+
+/// Decodes a [`FrameKind::Begin`] payload into the detector label and
+/// the client's trace ID, if it sent a well-formed one.
+///
+/// Total and tolerant — this decoder faces untrusted network input.
+/// Anything that is not exactly `<label>;trace=<16 hex digits>`
+/// decodes as `(whole payload as text, None)`: a malformed trace
+/// suffix degrades to an unknown-detector error downstream (the label
+/// won't parse), never to a panic or a silently truncated label.
+#[must_use]
+pub fn decode_begin(payload: &[u8]) -> (String, Option<u64>) {
+    let text = String::from_utf8_lossy(payload).into_owned();
+    if let Some((label, hex)) = text.rsplit_once(";trace=") {
+        if let Some(trace) = parse_hex16(hex.as_bytes()) {
+            return (label.to_string(), Some(trace));
+        }
+    }
+    (text, None)
+}
+
+/// Prefixes a server response payload with the session's trace ID:
+/// `trace=<16 hex digits>;` followed by the body, or the body
+/// unchanged when there is no ID to echo.
+///
+/// Used on `Report`, `Error`, and `Busy` payloads. The prefix is
+/// strippable ([`split_traced`]) so the body — a report that must stay
+/// byte-identical to offline replay — is never altered by tracing.
+#[must_use]
+pub fn encode_traced(trace: Option<u64>, body: &[u8]) -> Vec<u8> {
+    match trace {
+        Some(t) => {
+            let mut out = format!("trace={t:016x};").into_bytes();
+            out.extend_from_slice(body);
+            out
+        }
+        None => body.to_vec(),
+    }
+}
+
+/// Splits a server response payload into its echoed trace ID (if the
+/// well-formed `trace=<16 hex digits>;` prefix is present) and the
+/// body. Payloads from servers that don't echo trace IDs pass through
+/// as `(None, payload)`.
+#[must_use]
+pub fn split_traced(payload: &[u8]) -> (Option<u64>, &[u8]) {
+    const PREFIX: &[u8] = b"trace=";
+    const END: usize = 6 + 16; // "trace=" + 16 hex digits
+    if payload.len() > END && payload.starts_with(PREFIX) && payload[END] == b';' {
+        if let Some(trace) = parse_hex16(&payload[6..END]) {
+            return (Some(trace), &payload[END + 1..]);
+        }
+    }
+    (None, payload)
+}
+
 /// Reads one frame, bounding the payload at the *smaller* of
 /// `max_payload` and [`MAX_FRAME_BYTES`].
 ///
@@ -425,6 +517,70 @@ mod tests {
         assert_eq!(hint, None);
         let (hint, _) = decode_busy(b"retry-after-ms=5");
         assert_eq!(hint, None);
+    }
+
+    #[test]
+    fn begin_payload_round_trips_with_and_without_trace() {
+        assert_eq!(encode_begin("hard", None), b"hard".to_vec());
+        assert_eq!(decode_begin(b"hard"), ("hard".to_string(), None));
+        let p = encode_begin("lockset-ideal", Some(0xdead_beef_0000_002a));
+        assert_eq!(p, b"lockset-ideal;trace=deadbeef0000002a".to_vec());
+        assert_eq!(
+            decode_begin(&p),
+            ("lockset-ideal".to_string(), Some(0xdead_beef_0000_002a))
+        );
+        // Trace 0 is legal and distinguishable from "no trace".
+        assert_eq!(
+            decode_begin(&encode_begin("hard", Some(0))),
+            ("hard".to_string(), Some(0))
+        );
+    }
+
+    #[test]
+    fn begin_decode_tolerates_hostile_payloads() {
+        // Malformed suffixes degrade to "whole text is the label".
+        for bad in [
+            b"hard;trace=".as_slice(),
+            b"hard;trace=zz",
+            b"hard;trace=123",               // too short
+            b"hard;trace=00000000000000000", // too long
+            b"hard;trace=00000000 0000002a", // inner space
+            b";trace=",
+            b"",
+        ] {
+            let (label, trace) = decode_begin(bad);
+            assert_eq!(trace, None, "{label:?}");
+            assert_eq!(label.as_bytes(), bad);
+        }
+        // Invalid UTF-8 never panics.
+        let (_, trace) = decode_begin(&[0xFF, 0xFE, b';', b't']);
+        assert_eq!(trace, None);
+        // A label that itself contains ";trace=" keeps the last
+        // well-formed suffix as the ID and the rest as the label.
+        let (label, trace) = decode_begin(b"a;trace=0000000000000001;trace=0000000000000002");
+        assert_eq!(trace, Some(2));
+        assert_eq!(label, "a;trace=0000000000000001");
+    }
+
+    #[test]
+    fn traced_responses_split_back_into_trace_and_body() {
+        let body = b"{\"label\":\"hard\"}";
+        let p = encode_traced(Some(0x2a), body);
+        let (trace, rest) = split_traced(&p);
+        assert_eq!(trace, Some(0x2a));
+        assert_eq!(rest, body);
+        // No trace: bytes pass through identical.
+        assert_eq!(encode_traced(None, body), body.to_vec());
+        assert_eq!(split_traced(body), (None, body.as_slice()));
+        // Empty body after the prefix.
+        let p = encode_traced(Some(1), b"");
+        assert_eq!(split_traced(&p), (Some(1), b"".as_slice()));
+        // A body that happens to start with a malformed trace-like
+        // prefix is left intact.
+        let fake = b"trace=nothexdigits00;x".as_slice();
+        assert_eq!(split_traced(fake), (None, fake));
+        let short = b"trace=00000000000000".as_slice();
+        assert_eq!(split_traced(short), (None, short));
     }
 
     #[test]
