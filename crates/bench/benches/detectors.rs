@@ -8,10 +8,11 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hard::{
     DirectoryHardMachine, HardConfig, HardMachine, HbMachine, HbMachineConfig, HybridMachine,
 };
+use hard_bloom::LaneKernel;
 use hard_harness::{race_free_trace, CampaignConfig};
 use hard_hb::{IdealHappensBefore, IdealHbConfig};
 use hard_lockset::{IdealLockset, IdealLocksetConfig};
-use hard_trace::{run_detector, run_detector_streamed, PackedTrace, Trace};
+use hard_trace::{run_detector, run_detector_batched, run_detector_streamed, PackedTrace, Trace};
 use hard_workloads::App;
 
 fn trace(app: App) -> Trace {
@@ -146,11 +147,122 @@ fn bench_replay_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// The batch kernel's lane-width ladder, at two levels.
+///
+/// `intersect64-*` prices the raw fused intersect + emptiness kernel
+/// over a full [`MAX_LANE_WORDS`]-word (64-granule) chunk per call —
+/// the pure lane-width spread (scalar / unroll×4 / SIMD) with no
+/// machine model around it. `scalar-dispatch` vs `batch-*` then runs
+/// the same trace through the whole HARD machine, where the MESI +
+/// timing model dilutes the kernel win. All variants at both levels
+/// are bit-identical.
+fn bench_batch_lane_width(c: &mut Criterion) {
+    use hard_bloom::lanes::{self, MAX_LANE_WORDS};
+    use hard_bloom::BloomShape;
+    let t = trace(App::WaterNsquared);
+    let mut g = c.benchmark_group("detectors/batch-lane-width");
+    g.sample_size(15);
+    // The pre-hoisting baseline: through PR4, `has_empty_part`
+    // recomputed the per-part low/high masks from the shape on every
+    // call (a 4-iteration loop + shift), once per access. `black_box`
+    // on the shape models that per-access call pattern — without it
+    // the compiler would hoist the recomputation this PR's bugfix
+    // performs at construction time.
+    {
+        let seed = 0x9e37_79b9_7f4a_7c15u64;
+        g.throughput(criterion::Throughput::Elements(MAX_LANE_WORDS as u64));
+        g.bench_function("intersect64-pr4-scalar", |b| {
+            b.iter_batched(
+                || {
+                    let mut words = [0u64; MAX_LANE_WORDS];
+                    let mut x = seed;
+                    for w in &mut words {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        *w = x | 1;
+                    }
+                    words
+                },
+                |mut words| {
+                    let held = seed | 3;
+                    let mut mask = 0u64;
+                    for (i, w) in words.iter_mut().enumerate() {
+                        *w &= held;
+                        let part_len = std::hint::black_box(16u32);
+                        let mut lows = 0u64;
+                        let mut p = 0;
+                        while p < 4 {
+                            lows |= 1u64 << (p * part_len);
+                            p += 1;
+                        }
+                        let highs = lows << (part_len - 1);
+                        mask |= u64::from(w.wrapping_sub(lows) & !*w & highs != 0) << i;
+                    }
+                    mask
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    for kernel in [LaneKernel::Scalar, LaneKernel::Unroll4, LaneKernel::Simd] {
+        g.throughput(criterion::Throughput::Elements(MAX_LANE_WORDS as u64));
+        g.bench_function(format!("intersect64-{kernel:?}").to_lowercase(), |b| {
+            // Realistic metadata words: a few candidate bits set per
+            // part, lock word with two held locks.
+            let seed = 0x9e37_79b9_7f4a_7c15u64;
+            b.iter_batched(
+                || {
+                    let mut words = [0u64; MAX_LANE_WORDS];
+                    let mut x = seed;
+                    for w in &mut words {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        *w = x | 1;
+                    }
+                    words
+                },
+                |mut words| lanes::intersect_empty(kernel, BloomShape::B16, &mut words, seed | 3),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.throughput(criterion::Throughput::Elements(t.len() as u64));
+    g.bench_function("scalar-dispatch", |b| {
+        b.iter_batched(
+            || HardMachine::new(HardConfig::default()),
+            |mut m| {
+                m.set_lane_kernel(LaneKernel::Scalar);
+                run_detector(&mut m, &t);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for kernel in [LaneKernel::Scalar, LaneKernel::Unroll4, LaneKernel::Simd] {
+        g.bench_function(format!("batch-{kernel:?}").to_lowercase(), |b| {
+            b.iter_batched(
+                || HardMachine::new(HardConfig::default()),
+                |mut m| {
+                    m.set_lane_kernel(kernel);
+                    run_detector_batched(&mut m, &t);
+                    m
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 fn bench_detectors(c: &mut Criterion) {
     // One cache-resident app and one streaming app.
     bench_app(c, App::WaterNsquared);
     bench_app(c, App::Raytrace);
 }
 
-criterion_group!(benches, bench_detectors, bench_full_app, bench_replay_paths);
+criterion_group!(
+    benches,
+    bench_detectors,
+    bench_full_app,
+    bench_replay_paths,
+    bench_batch_lane_width
+);
 criterion_main!(benches);

@@ -40,9 +40,11 @@
 
 pub mod analysis;
 pub mod exact;
+pub mod lanes;
 pub mod registers;
 pub mod vector;
 
 pub use exact::ExactSet;
+pub use lanes::LaneKernel;
 pub use registers::{CounterRegister, LockRegister};
 pub use vector::{BloomShape, BloomVector};

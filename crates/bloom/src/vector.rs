@@ -19,6 +19,12 @@ use std::fmt;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct BloomShape {
     part_len: u32,
+    // Shape-derived constants, hoisted to construction time so the
+    // per-access hot paths (`has_empty_part`, `full_mask`) are plain
+    // field reads instead of loops re-deriving them on every call.
+    full_mask: u64,
+    lows: u64,
+    highs: u64,
 }
 
 /// Number of parts in every HARD bloom vector (fixed by the paper).
@@ -30,11 +36,11 @@ pub const ADDR_LOW_BIT: u32 = 2;
 
 impl BloomShape {
     /// The paper's default 16-bit vector: 4 parts × 4 bits.
-    pub const B16: BloomShape = BloomShape { part_len: 4 };
+    pub const B16: BloomShape = BloomShape::with_part_len(4);
 
     /// The 32-bit vector of the Table 6 sensitivity study:
     /// 4 parts × 8 bits.
-    pub const B32: BloomShape = BloomShape { part_len: 8 };
+    pub const B32: BloomShape = BloomShape::with_part_len(8);
 
     /// Creates a shape with 4 parts of `part_len` bits each.
     ///
@@ -49,7 +55,29 @@ impl BloomShape {
             part_len.is_power_of_two() && (2..=16).contains(&part_len),
             "part_len must be a power of two in [2, 16], got {part_len}"
         );
-        BloomShape { part_len }
+        BloomShape::with_part_len(part_len)
+    }
+
+    /// Derives every shape constant from `part_len` (assumed valid).
+    const fn with_part_len(part_len: u32) -> BloomShape {
+        let total = part_len * PARTS;
+        let full_mask = if total == 64 {
+            u64::MAX
+        } else {
+            (1u64 << total) - 1
+        };
+        let mut lows = 0u64;
+        let mut i = 0;
+        while i < PARTS {
+            lows |= 1u64 << (i * part_len);
+            i += 1;
+        }
+        BloomShape {
+            part_len,
+            full_mask,
+            lows,
+            highs: lows << (part_len - 1),
+        }
     }
 
     /// Bits per part.
@@ -73,12 +101,26 @@ impl BloomShape {
 
     /// The all-ones vector value ("all possible locks").
     #[must_use]
+    #[inline]
     pub fn full_mask(self) -> u64 {
-        if self.total_bits() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.total_bits()) - 1
-        }
+        self.full_mask
+    }
+
+    /// Mask with exactly the lowest bit of every part set — one operand
+    /// of the zero-field emptiness identity, precomputed at
+    /// construction for the lane kernels.
+    #[must_use]
+    #[inline]
+    pub fn low_bits(self) -> u64 {
+        self.lows
+    }
+
+    /// Mask with exactly the highest bit of every part set — the other
+    /// operand of the zero-field emptiness identity.
+    #[must_use]
+    #[inline]
+    pub fn high_bits(self) -> u64 {
+        self.highs
     }
 
     /// Mask selecting part `i` (0-based) of the vector. Production code
@@ -92,30 +134,18 @@ impl BloomShape {
         ones << (i * self.part_len)
     }
 
-    /// Mask with exactly the lowest bit of every part set.
-    #[must_use]
-    fn part_low_bits(self) -> u64 {
-        let mut lows = 0u64;
-        let mut i = 0;
-        while i < PARTS {
-            lows |= 1u64 << (i * self.part_len);
-            i += 1;
-        }
-        lows
-    }
-
     /// Whether any part of `bits` is all-zero — the paper's emptiness
     /// test as one branch-free word operation (the hardware is four
     /// parallel NOR gates; this is the zero-field detection identity
     /// `(v - lows) & !v & highs`, where `lows`/`highs` mark the
-    /// lowest/highest bit of each part).
+    /// lowest/highest bit of each part, both precomputed at
+    /// construction).
     ///
     /// Bits of `bits` outside [`BloomShape::full_mask`] are ignored.
     #[must_use]
+    #[inline]
     pub fn has_empty_part(self, bits: u64) -> bool {
-        let lows = self.part_low_bits();
-        let highs = lows << (self.part_len - 1);
-        bits.wrapping_sub(lows) & !bits & highs != 0
+        bits.wrapping_sub(self.lows) & !bits & self.highs != 0
     }
 
     /// Maps a lock address to its signature: the vector with exactly
@@ -499,8 +529,8 @@ mod tests {
                 1,
                 shape.full_mask(),
                 shape.full_mask() - 1,
-                shape.part_low_bits(),
-                !shape.part_low_bits() & shape.full_mask(),
+                shape.low_bits(),
+                !shape.low_bits() & shape.full_mask(),
                 0x8000_0001,
                 0xAAAA_AAAA_AAAA_AAAA & shape.full_mask(),
             ] {

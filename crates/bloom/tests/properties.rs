@@ -1,6 +1,6 @@
 //! Property-based tests for the bloom-filter structures.
 
-use hard_bloom::{BloomShape, BloomVector, ExactSet, LockRegister};
+use hard_bloom::{lanes, BloomShape, BloomVector, ExactSet, LaneKernel, LockRegister};
 use hard_types::LockId;
 use proptest::prelude::*;
 
@@ -120,6 +120,29 @@ proptest! {
             if i.contains(l) {
                 prop_assert!(sa.contains(l) && sb.contains(l));
             }
+        }
+    }
+
+    /// Every lane kernel computes bit-identically to the per-word
+    /// scalar path — intersected words and empty-part mask both — for
+    /// arbitrary word slices, held vectors and lane widths.
+    #[test]
+    fn lane_kernels_match_scalar_intersect_and_emptiness(
+        shape in arb_shape(),
+        words in prop::collection::vec(any::<u64>(), 0..lanes::MAX_LANE_WORDS),
+        held in any::<u64>(),
+    ) {
+        let mut expect = words.clone();
+        let mut expect_mask = 0u64;
+        for (i, w) in expect.iter_mut().enumerate() {
+            *w &= held;
+            expect_mask |= u64::from(shape.has_empty_part(*w)) << i;
+        }
+        for kernel in [LaneKernel::Scalar, LaneKernel::Unroll4, LaneKernel::Simd] {
+            let mut got = words.clone();
+            let mask = lanes::intersect_empty(kernel, shape, &mut got, held);
+            prop_assert_eq!(&got, &expect, "{} kernel words diverged", kernel.name());
+            prop_assert_eq!(mask, expect_mask, "{} kernel mask diverged", kernel.name());
         }
     }
 }

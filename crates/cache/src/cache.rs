@@ -76,12 +76,14 @@ impl<M> SetAssocCache<M> {
         self.lens.iter().map(|&n| n as usize).sum()
     }
 
+    #[inline]
     fn bump(&mut self) -> u64 {
         self.tick += 1;
         self.tick
     }
 
     /// The slot range holding `set`'s valid lines (its dense prefix).
+    #[inline]
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
         let base = set * self.geom.ways() as usize;
         base..base + self.lens[set] as usize
@@ -99,10 +101,22 @@ impl<M> SetAssocCache<M> {
     }
 
     /// Looks up the line containing `addr`, refreshing its LRU age.
+    #[inline]
     pub fn probe(&mut self, addr: Addr) -> Option<&mut Line<M>> {
-        let line_addr = self.geom.line_of(addr);
+        let (line_addr, set) = self.geom.line_and_set(addr);
+        self.probe_prepared(line_addr, set)
+    }
+
+    /// [`SetAssocCache::probe`] with the line address and set index
+    /// already computed (by [`CacheGeometry::line_and_set`] in the
+    /// batch kernel's pre-pass). Bumps the LRU tick exactly like
+    /// `probe`, so the two are interchangeable bit-for-bit; the only
+    /// difference is the hoisted address arithmetic. The set walk is a
+    /// single flat slot-array sweep over the set's dense prefix.
+    #[inline]
+    pub fn probe_prepared(&mut self, line_addr: Addr, set: usize) -> Option<&mut Line<M>> {
         let tick = self.bump();
-        let range = self.set_range(self.geom.set_index(line_addr));
+        let range = self.set_range(set);
         let line = self.slots[range]
             .iter_mut()
             .flatten()
@@ -271,6 +285,21 @@ mod tests {
             Some(hard_types::HardError::DuplicateLine { line: Addr(0x00) })
         );
         assert_eq!(c.occupancy(), 1, "the original line is untouched");
+    }
+
+    #[test]
+    fn probe_prepared_matches_probe() {
+        let mut a = small();
+        let mut b = small();
+        for addr in [0x00u64, 0x20, 0x40, 0x24, 0x80, 0x00] {
+            let _ = a.insert(Addr(addr), CState::Exclusive, addr as u32);
+            let _ = b.insert(Addr(addr), CState::Exclusive, addr as u32);
+            let got = a.probe(Addr(addr + 4)).map(|l| (l.addr, l.meta, l.lru));
+            let (line, set) = b.geometry().line_and_set(Addr(addr + 4));
+            let want = b.probe_prepared(line, set).map(|l| (l.addr, l.meta, l.lru));
+            assert_eq!(got, want, "divergence at {addr:#x}");
+        }
+        assert_eq!(a.tick, b.tick, "LRU tick sequences must be identical");
     }
 
     #[test]

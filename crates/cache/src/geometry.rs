@@ -90,14 +90,29 @@ impl CacheGeometry {
 
     /// Line-aligned base address of the line containing `addr`.
     #[must_use]
+    #[inline]
     pub fn line_of(self, addr: Addr) -> Addr {
         Addr(addr.0 >> self.line_shift << self.line_shift)
     }
 
     /// Set index of a (line-aligned or not) address.
     #[must_use]
+    #[inline]
     pub fn set_index(self, addr: Addr) -> usize {
         ((addr.0 >> self.line_shift) & self.set_mask) as usize
+    }
+
+    /// Line base address and set index of `addr` in one shift — the
+    /// batch kernel's pre-pass hoists this pair out of the per-event
+    /// probe loop instead of recomputing both on every cache touch.
+    #[must_use]
+    #[inline]
+    pub fn line_and_set(self, addr: Addr) -> (Addr, usize) {
+        let line = addr.0 >> self.line_shift;
+        (
+            Addr(line << self.line_shift),
+            (line & self.set_mask) as usize,
+        )
     }
 
     /// Iterates over the line base addresses overlapped by the byte
@@ -153,6 +168,16 @@ mod tests {
         assert_eq!(g.set_index(Addr(0x20)), 1);
         // Wraps modulo set count.
         assert_eq!(g.set_index(Addr(0x20 + 16 * 32)), 1);
+    }
+
+    #[test]
+    fn line_and_set_agrees_with_separate_calls() {
+        let g = CacheGeometry::new(1024, 2, 32);
+        for a in [0x00u64, 0x1F, 0x20, 0x7F, 0x20 + 16 * 32, u64::MAX - 7] {
+            let (line, set) = g.line_and_set(Addr(a));
+            assert_eq!(line, g.line_of(Addr(a)));
+            assert_eq!(set, g.set_index(Addr(a)));
+        }
     }
 
     #[test]

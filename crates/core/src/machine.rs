@@ -2,7 +2,7 @@
 
 use crate::config::HardConfig;
 use crate::metadata::{HardLineMeta, HardMetaFactory};
-use hard_bloom::LockRegister;
+use hard_bloom::{LaneKernel, LockRegister};
 use hard_cache::{BusTimeline, Hierarchy, MemStats, ServedBy};
 use hard_lockset::{dummy_lock, MAX_GRANULES};
 use hard_obs::{CounterId, Event, HistId, ObsHandle};
@@ -73,6 +73,14 @@ pub struct HardMachine {
     /// Observability sink; [`ObsHandle::off`] (the default) is bit-
     /// and perf-inert.
     obs: ObsHandle,
+    /// Lane kernel driving the batched access path
+    /// ([`Detector::on_batch`]). Every kernel is bit-identical to the
+    /// scalar path; this is a throughput and testing lever only.
+    kernel: LaneKernel,
+    /// Batch pre-pass scratch: the hoisted (line, set) pair of each
+    /// single-line access in the batch being dispatched. Held on the
+    /// machine so the buffer is allocated once, not per batch.
+    batch_prep: Vec<Option<(Addr, usize)>>,
 }
 
 impl HardMachine {
@@ -116,8 +124,23 @@ impl HardMachine {
             pending_head: 0,
             event_count: 0,
             obs: ObsHandle::off(),
+            kernel: LaneKernel::auto(),
+            batch_prep: Vec::new(),
             cfg,
         })
+    }
+
+    /// Selects the lane kernel used by the batched access path. Every
+    /// kernel produces bit-identical results; the default is
+    /// [`LaneKernel::auto`] (the widest one the host supports).
+    pub fn set_lane_kernel(&mut self, kernel: LaneKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The lane kernel the batched access path runs with.
+    #[must_use]
+    pub fn lane_kernel(&self) -> LaneKernel {
+        self.kernel
     }
 
     /// Attaches an observability recorder to the machine and its
@@ -421,6 +444,82 @@ impl HardMachine {
         }
     }
 
+    /// The batch kernel's access path: [`HardMachine::on_access`] for
+    /// an access contained in one cache line, with the line/set
+    /// arithmetic pre-computed by the batch pre-pass, the metadata
+    /// reached through the prepared probe, and the per-granule Figure 2
+    /// transition + §3.3 intersect + emptiness test run as one
+    /// [`PackedLineMeta`](hard_lockset::PackedLineMeta) span access
+    /// through the lane kernel.
+    ///
+    /// Only entered with faults inactive and no recorder attached; on
+    /// that domain it is bit-identical to the scalar path (pinned by
+    /// the machine tests and the harness determinism tests).
+    #[allow(clippy::too_many_arguments)]
+    fn on_access_prepared(
+        &mut self,
+        index: usize,
+        thread: ThreadId,
+        addr: Addr,
+        size: u8,
+        kind: AccessKind,
+        site: SiteId,
+        line_addr: Addr,
+        set: usize,
+    ) {
+        let core = self.core_of(thread);
+        if self.timed_ensure(core, line_addr, kind).is_none() {
+            return;
+        }
+        let gshift = self.cfg.granularity.shift();
+        let g0 = ((addr.0 - line_addr.0) >> gshift) as usize;
+        let g1 = if size == 0 {
+            // `granules_in` treats an empty range as its base granule.
+            g0 + 1
+        } else {
+            ((addr.0 + u64::from(size) - 1 - line_addr.0) >> gshift) as usize + 1
+        };
+        let held = self.registers[thread.index()].vector();
+        let kernel = self.kernel;
+        let span = {
+            let Some(meta): Option<&mut HardLineMeta> =
+                self.hierarchy.meta_mut_prepared(core, line_addr, set)
+            else {
+                // Only reachable under injected faults in the scalar
+                // path; kept for structural parity.
+                self.faults.stats.internal_errors += 1;
+                return;
+            };
+            meta.access_span(g0, g1, thread, kind, &held, kernel)
+        };
+        if self.cfg.metadata_broadcast && span.changed && self.hierarchy.sharers(line_addr) > 1 {
+            // Faults are inactive on this path: the broadcast always
+            // attempts delivery (no drop/delay rolls).
+            if self.hierarchy.broadcast_meta(core, line_addr).is_ok() {
+                let occ = self.cfg.latency.meta_broadcast_occupancy;
+                self.bus.acquire(self.core_time[core.index()], occ);
+            } else {
+                self.faults.stats.internal_errors += 1;
+            }
+        }
+        let mut mask = span.race_mask;
+        while mask != 0 {
+            let k = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let g = Addr(line_addr.0 + (((g0 + k) as u64) << gshift));
+            if self.reported.insert((g, site)) {
+                self.reports.push(RaceReport {
+                    addr,
+                    size,
+                    site,
+                    thread,
+                    kind,
+                    event_index: index,
+                });
+            }
+        }
+    }
+
     fn on_lock_op(&mut self, thread: ThreadId, lock: LockId, acquire: bool) {
         let core = self.core_of(thread);
         if self.faults.is_active() {
@@ -606,6 +705,76 @@ impl Detector for HardMachine {
                 }
             },
             TraceEvent::BarrierComplete { .. } => self.on_barrier_complete(),
+        }
+    }
+
+    fn on_batch(&mut self, index: usize, events: &[TraceEvent]) {
+        // The batch kernel only specializes the fault-free, unobserved
+        // hot path; under fault injection or an attached recorder every
+        // per-event side effect (fault ticks, histograms, emits) must
+        // interleave exactly as in the scalar path, so delegate to it
+        // wholesale.
+        if self.faults.is_active() || self.obs.is_on() {
+            for (i, e) in events.iter().enumerate() {
+                self.on_event(index + i, e);
+            }
+            return;
+        }
+        // Pre-pass: hoist the L1 shift/mask line+set arithmetic of
+        // every single-line access in the batch (the overwhelmingly
+        // common case) out of the dispatch loop.
+        let geom = self.cfg.hierarchy.l1;
+        let line_bytes = geom.line_bytes();
+        self.batch_prep.clear();
+        self.batch_prep.extend(events.iter().map(|e| match *e {
+            TraceEvent::Op {
+                op: Op::Read { addr, size, .. } | Op::Write { addr, size, .. },
+                ..
+            } => {
+                let (line, set) = geom.line_and_set(addr);
+                (addr.0 + u64::from(size) <= line.0 + line_bytes).then_some((line, set))
+            }
+            _ => None,
+        }));
+        for (i, e) in events.iter().enumerate() {
+            match *e {
+                TraceEvent::Op { thread, op } => match op {
+                    Op::Read { addr, size, site } => match self.batch_prep[i] {
+                        Some((line, set)) => self.on_access_prepared(
+                            index + i,
+                            thread,
+                            addr,
+                            size,
+                            AccessKind::Read,
+                            site,
+                            line,
+                            set,
+                        ),
+                        // Line-straddling access: the scalar multi-line
+                        // walk is the reference behavior.
+                        None => {
+                            self.on_access(index + i, thread, addr, size, AccessKind::Read, site);
+                        }
+                    },
+                    Op::Write { addr, size, site } => match self.batch_prep[i] {
+                        Some((line, set)) => self.on_access_prepared(
+                            index + i,
+                            thread,
+                            addr,
+                            size,
+                            AccessKind::Write,
+                            site,
+                            line,
+                            set,
+                        ),
+                        None => {
+                            self.on_access(index + i, thread, addr, size, AccessKind::Write, site);
+                        }
+                    },
+                    _ => self.on_event(index + i, e),
+                },
+                TraceEvent::BarrierComplete { .. } => self.on_barrier_complete(),
+            }
         }
     }
 
@@ -1025,6 +1194,88 @@ mod tests {
         assert_eq!(r_plain, r_noop);
         assert_eq!(m_plain.total_cycles(), m.total_cycles());
         assert_eq!(m_plain.stats(), m.stats());
+    }
+
+    /// A workload whose accesses straddle granules and lines and whose
+    /// length crosses several batch boundaries, so the batched run
+    /// exercises the span kernel, the straddling fallback and the sync
+    /// dispatch paths.
+    fn batch_workload() -> Trace {
+        let mut b = ProgramBuilder::new(4);
+        for t in 0..4u32 {
+            let tp = b.thread(t);
+            for i in 0..200u64 {
+                let a = 0x1000 + (i % 24) * 12 + u64::from(t % 2) * 8;
+                let site = SiteId(t * 10_000 + i as u32);
+                // Sizes 1..16: some accesses straddle granules, a few
+                // straddle the 32-byte line.
+                let size = (1 + (i % 16)) as u8;
+                if i % 3 == 0 {
+                    tp.lock(LockId(0x40), site).write(Addr(a), size, SiteId(7));
+                    tp.unlock(LockId(0x40), SiteId(t * 10_000 + 5000 + i as u32));
+                } else if i % 3 == 1 {
+                    tp.write(Addr(a), size, SiteId(8 + (i % 5) as u32));
+                } else {
+                    tp.read(Addr(a), size, SiteId(20)).compute(2);
+                }
+            }
+            tp.barrier(BarrierId(1), SiteId(99_000 + t));
+        }
+        sched(7).run(&b.build())
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_scalar_for_every_kernel() {
+        use hard_bloom::LaneKernel;
+        use hard_trace::run_detector_batched;
+        let trace = batch_workload();
+        let mut scalar = HardMachine::new(HardConfig::default());
+        let r_scalar = run_detector(&mut scalar, &trace);
+        for kernel in [LaneKernel::Scalar, LaneKernel::Unroll4, LaneKernel::Simd] {
+            let mut m = HardMachine::new(HardConfig::default());
+            m.set_lane_kernel(kernel);
+            let r = run_detector_batched(&mut m, &trace);
+            assert_eq!(r_scalar, r, "{} kernel reports diverged", kernel.name());
+            assert_eq!(scalar.total_cycles(), m.total_cycles(), "{}", kernel.name());
+            assert_eq!(scalar.stats(), m.stats(), "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn batched_run_with_faults_or_recorder_delegates_bit_identically() {
+        use hard_obs::{MemoryRecorder, ObsHandle};
+        use hard_trace::run_detector_batched;
+        use std::sync::Arc;
+        let trace = batch_workload();
+        // Fault-injected runs take the scalar delegation path.
+        let cfg = HardConfig::default().with_faults(FaultPlan::uniform(13, 60_000));
+        let mut scalar = HardMachine::new(cfg);
+        let r_scalar = run_detector(&mut scalar, &trace);
+        let mut batched = HardMachine::new(cfg);
+        let r_batched = run_detector_batched(&mut batched, &trace);
+        assert_eq!(r_scalar, r_batched);
+        assert_eq!(scalar.fault_stats(), batched.fault_stats());
+        assert_eq!(scalar.total_cycles(), batched.total_cycles());
+        // Observed runs do too, with identical counters.
+        let rec_s = Arc::new(MemoryRecorder::new());
+        let mut m_s = HardMachine::new(HardConfig::default());
+        m_s.attach_recorder(ObsHandle::new(rec_s.clone()));
+        let r_s = run_detector(&mut m_s, &trace);
+        let rec_b = Arc::new(MemoryRecorder::new());
+        let mut m_b = HardMachine::new(HardConfig::default());
+        m_b.attach_recorder(ObsHandle::new(rec_b.clone()));
+        let r_b = run_detector_batched(&mut m_b, &trace);
+        assert_eq!(r_s, r_b);
+        let (s, b) = (rec_s.snapshot(), rec_b.snapshot());
+        for id in [
+            CounterId::CandidateChecks,
+            CounterId::CandidateEmpties,
+            CounterId::RacesReported,
+            CounterId::BroadcastsSent,
+            CounterId::TraceEvents,
+        ] {
+            assert_eq!(s.counter(id), b.counter(id), "{id:?} diverged");
+        }
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! Invariants: `unpack` on arbitrary bytes may return `BadTag`, never
 //! panic; any event that *does* unpack must survive a
 //! pack → unpack round trip unchanged (the corpus replay path depends
-//! on it); `PackedTrace::from_bytes` must reject garbage gracefully.
+//! on it); `PackedTrace::from_bytes` must reject garbage gracefully;
+//! and for any buffer it *accepts*, the batch decoder
+//! ([`PackedTrace::decode_batch`]) must tile the trace with exactly
+//! the events the record-at-a-time iterator yields.
 
 use hard_trace::packed_event::RECORD_BYTES;
-use hard_trace::{PackedEvent, PackedTrace};
+use hard_trace::{PackedEvent, PackedTrace, TraceEvent};
 use std::process::ExitCode;
 
 fn target(data: &[u8]) {
@@ -20,7 +23,20 @@ fn target(data: &[u8]) {
             assert_eq!(event, again, "pack/unpack round trip diverged");
         }
     }
-    let _ = PackedTrace::from_bytes(4, data.to_vec());
+    if let Ok(trace) = PackedTrace::from_bytes(4, data.to_vec()) {
+        let serial: Vec<TraceEvent> = trace.iter().collect();
+        let mut buf = Vec::new();
+        let mut start = 0;
+        while trace.decode_batch(start, &mut buf) > 0 {
+            assert_eq!(
+                buf[..],
+                serial[start..start + buf.len()],
+                "batch decode diverged from the serial iterator"
+            );
+            start += buf.len();
+        }
+        assert_eq!(start, serial.len(), "batch windows must tile the trace");
+    }
 }
 
 /// Real packed records from a tiny generated trace, so mutations start

@@ -7,7 +7,7 @@
 //! ```json
 //! {"schema":"hard-bench/v1","name":"table2","jobs":4,
 //!  "jobs_requested":8,"jobs_effective":4,"wall_ms":3120,
-//!  "events":81060224,"events_per_sec":25981482,"cycles":913400210,
+//!  "events":81060224,"events_per_sec":25980841,"cycles":913400210,
 //!  "peak_rss_bytes":68419584,"rss_unavailable":false,"cells":264,"resumed":0}
 //! ```
 //!
@@ -230,15 +230,32 @@ pub fn validate(json: &str) -> Result<BenchRecord, String> {
             "rss_unavailable with a nonzero peak_rss_bytes ({peak_rss_bytes})"
         ));
     }
+    let wall_ms = num("wall_ms")?;
+    let events = num("events")?;
+    let events_per_sec = num("events_per_sec")?;
+    // The throughput field is derived, not measured: every writer
+    // computes exactly events * 1000 / wall_ms (integer division, 0 on
+    // zero wall time). A row violating that identity was edited by
+    // hand or produced by a buggy writer.
+    let expected_eps = events
+        .saturating_mul(1000)
+        .checked_div(wall_ms)
+        .unwrap_or(0);
+    if events_per_sec != expected_eps {
+        return Err(format!(
+            "events_per_sec ({events_per_sec}) is not events*1000/wall_ms \
+             ({events}*1000/{wall_ms} = {expected_eps})"
+        ));
+    }
     let to_usize = |n: u64| usize::try_from(n).map_err(|e| e.to_string());
     Ok(BenchRecord {
         name,
         jobs: to_usize(jobs)?,
         jobs_requested: to_usize(jobs_requested)?,
         jobs_effective: to_usize(jobs_effective)?,
-        wall_ms: num("wall_ms")?,
-        events: num("events")?,
-        events_per_sec: num("events_per_sec")?,
+        wall_ms,
+        events,
+        events_per_sec,
         cycles: num("cycles")?,
         peak_rss_bytes,
         rss_unavailable,
@@ -260,7 +277,7 @@ mod tests {
             jobs_effective: 4,
             wall_ms: 3120,
             events: 81_060_224,
-            events_per_sec: 25_981_482,
+            events_per_sec: 25_980_841,
             cycles: 913_400_210,
             peak_rss_bytes: 68_419_584,
             rss_unavailable: false,
@@ -288,7 +305,7 @@ mod tests {
         // A verbatim pre-PR4 row: no jobs_requested/jobs_effective, no
         // rss_unavailable. Both default from "jobs".
         let legacy = "{\"schema\":\"hard-bench/v1\",\"name\":\"table2-pr3\",\"jobs\":1,\
-             \"wall_ms\":4370,\"events\":11808636,\"events_per_sec\":2702090,\
+             \"wall_ms\":4370,\"events\":11808636,\"events_per_sec\":2702205,\
              \"cycles\":35329810,\"peak_rss_bytes\":0,\"cells\":264,\"resumed\":0}";
         let r = validate(legacy).unwrap();
         assert_eq!((r.jobs, r.jobs_requested, r.jobs_effective), (1, 1, 1));
@@ -300,7 +317,7 @@ mod tests {
         let base = |req: u64, eff: u64| {
             format!(
                 "{{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":{eff},\
-                 \"jobs_requested\":{req},\"jobs_effective\":{eff},\"wall_ms\":1,\
+                 \"jobs_requested\":{req},\"jobs_effective\":{eff},\"wall_ms\":1000,\
                  \"events\":1,\"events_per_sec\":1,\"cycles\":1,\"peak_rss_bytes\":0,\
                  \"cells\":1,\"resumed\":0}}"
             )
@@ -308,14 +325,41 @@ mod tests {
         assert!(validate(&base(4, 1)).is_ok(), "capped on a small host");
         assert!(validate(&base(1, 4)).unwrap_err().contains("exceeds"));
         let jobs_mismatch = "{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":2,\
-             \"jobs_requested\":4,\"jobs_effective\":3,\"wall_ms\":1,\"events\":1,\
+             \"jobs_requested\":4,\"jobs_effective\":3,\"wall_ms\":1000,\"events\":1,\
              \"events_per_sec\":1,\"cycles\":1,\"peak_rss_bytes\":0,\"cells\":1,\"resumed\":0}";
         assert!(validate(jobs_mismatch).unwrap_err().contains("jobs"));
     }
 
     #[test]
+    fn incoherent_throughput_is_rejected() {
+        // events_per_sec must be exactly events*1000/wall_ms.
+        let row = |eps: u64| {
+            format!(
+                "{{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":1,\"wall_ms\":4370,\
+                 \"events\":11808636,\"events_per_sec\":{eps},\"cycles\":1,\
+                 \"peak_rss_bytes\":0,\"cells\":1,\"resumed\":0}}"
+            )
+        };
+        assert!(validate(&row(2_702_205)).is_ok());
+        assert!(validate(&row(2_702_204))
+            .unwrap_err()
+            .contains("events_per_sec"));
+        assert!(validate(&row(10_000_000))
+            .unwrap_err()
+            .contains("events_per_sec"));
+        // Zero wall time forces a recorded throughput of zero.
+        let zero_wall = "{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":1,\"wall_ms\":0,\
+             \"events\":5,\"events_per_sec\":0,\"cycles\":1,\"peak_rss_bytes\":0,\
+             \"cells\":1,\"resumed\":0}";
+        assert!(validate(zero_wall).is_ok());
+        // A captured record always validates.
+        let r = BenchRecord::capture("t", 1, 1, Duration::from_millis(7));
+        assert!(validate(&r.to_json()).is_ok());
+    }
+
+    #[test]
     fn unavailable_rss_must_record_zero_bytes() {
-        let bad = "{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":1,\"wall_ms\":1,\
+        let bad = "{\"schema\":\"hard-bench/v1\",\"name\":\"x\",\"jobs\":1,\"wall_ms\":1000,\
              \"events\":1,\"events_per_sec\":1,\"cycles\":1,\"peak_rss_bytes\":512,\
              \"rss_unavailable\":true,\"cells\":1,\"resumed\":0}";
         assert!(validate(bad).unwrap_err().contains("rss_unavailable"));

@@ -4,6 +4,7 @@
 //! hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all>
 //!          [--scale F] [--runs N] [--jobs N] [--markdown] [--format text|markdown|json]
 //!          [--quiet] [--trace-out PATH] [--bench-out PATH] [--trace-cache DIR|off]
+//!          [--kernel scalar|batch|auto]
 //! hard-exp faults [--rates PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]
 //! hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]
 //! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F] [--packed]
@@ -31,6 +32,13 @@
 //! throughput, simulated cycles, peak RSS) after the command;
 //! `bench-check` validates such a record's schema.
 //!
+//! `--kernel scalar|batch|auto` (default `auto`) selects the detection
+//! dispatch kernel: `scalar` is the per-event reference path, `batch`
+//! drives [`hard_trace::Detector::on_batch`] with the widest SIMD lane
+//! kernel the host supports, and `auto` resolves to `batch`. Every
+//! choice is bit-identical — stdout can be `cmp`ed across kernels — so
+//! the flag only moves throughput.
+//!
 //! `--trace-cache DIR|off` points the content-addressed trace corpus
 //! at `DIR` (default `results/corpus`) or disables it. Campaigns key
 //! every generated trace by (generator version, app, scale, seed,
@@ -46,8 +54,8 @@ use hard_harness::experiments::{
     server, table1, table2, table3, table45, table6, window, workload_stats,
 };
 use hard_harness::{
-    execute, CampaignConfig, Checkpoint, DetectorKind, InjectMode, OutputFormat, Reporter,
-    RunLimits,
+    execute, CampaignConfig, Checkpoint, DetectorKind, InjectMode, KernelMode, OutputFormat,
+    Reporter, RunLimits,
 };
 use hard_obs::{MemoryRecorder, ObsHandle};
 use hard_trace::codec;
@@ -68,6 +76,7 @@ struct Args {
     file: Option<String>,
     inject: Option<u64>,
     detector: String,
+    kernel: KernelMode,
     mode: InjectMode,
     rates: Option<Vec<u32>>,
     checkpoint: Option<String>,
@@ -103,6 +112,7 @@ impl Args {
             file: None,
             inject: None,
             detector: self.detector.clone(),
+            kernel: self.kernel,
             mode: self.mode,
             rates: None,
             checkpoint: None,
@@ -138,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
         file: None,
         inject: None,
         detector: "hard".into(),
+        kernel: KernelMode::Auto,
         mode: InjectMode::OmitPair,
         rates: None,
         checkpoint: None,
@@ -207,6 +218,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--detector" => {
                 args.detector = it.next().ok_or("--detector needs a name")?;
+            }
+            "--kernel" => {
+                args.kernel =
+                    KernelMode::parse(&it.next().ok_or("--kernel needs scalar|batch|auto")?)?;
             }
             "--rates" => {
                 let raw = it
@@ -823,7 +838,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|ablation|window|all> \
                  [--scale F] [--runs N] [--jobs N] [--format text|markdown|json] [--quiet] \
-                 [--trace-out PATH] [--bench-out PATH] [--trace-cache DIR|off]\n       \
+                 [--trace-out PATH] [--bench-out PATH] [--trace-cache DIR|off] [--kernel scalar|batch|auto]\n       \
                  hard-exp faults [--rates PPM,PPM,...] [--checkpoint PATH] [--max-cycles N] [--max-events N]\n       \
                  hard-exp obs [--smoke] [--out DIR] [--serve ADDR] [--serve-requests N]\n       \
                  hard-exp record --app <name> --file <path> [--inject SEED] [--packed]\n       \
@@ -838,6 +853,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    hard_harness::kernel::install(args.kernel);
     let rep = Reporter::new(args.format, args.quiet);
     let trace_rec = match args.trace_out.as_deref().map(install_trace_out) {
         None => None,

@@ -137,7 +137,17 @@ pub fn execute_observed(
         DetectorKind::Hard(cfg) => {
             let mut m = HardMachine::new(*cfg);
             m.attach_recorder(obs.clone());
-            let reports = run_detector_observed(&mut m, trace, obs);
+            // HARD is the only detector with a vectorized batch kernel;
+            // route through it when the process-global mode asks for it
+            // and no recorder is watching (the batched path is
+            // bit-identical, so this only moves throughput).
+            let mode = crate::kernel::installed();
+            m.set_lane_kernel(mode.lane_kernel());
+            let reports = if mode.is_batched() && !obs.is_on() {
+                hard_trace::run_detector_batched(&mut m, trace)
+            } else {
+                run_detector_observed(&mut m, trace, obs)
+            };
             crate::bench::account(trace.len() as u64, m.total_cycles().0);
             return DetectorRun {
                 reports,

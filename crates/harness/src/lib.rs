@@ -28,6 +28,7 @@ pub mod checkpoint;
 pub mod corpus;
 pub mod detectors;
 pub mod experiments;
+pub mod kernel;
 pub mod parallel;
 pub mod report;
 pub mod runner;
@@ -43,6 +44,7 @@ pub use chaos::{ChaosProxy, ChaosSnapshot, ChaosStats, FaultyStream, NetFaultPla
 pub use checkpoint::Checkpoint;
 pub use corpus::{CorpusCache, CorpusEntry, CorpusStats};
 pub use detectors::{execute, execute_observed, DetectorKind, DetectorRun};
+pub use kernel::KernelMode;
 pub use parallel::{map_cells, TrySubmit, WorkerPool};
 pub use report::{OutputFormat, Reporter};
 pub use runner::{

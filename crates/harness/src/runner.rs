@@ -11,6 +11,7 @@
 
 use crate::campaign::CellTrace;
 use crate::detectors::{DetectorKind, DetectorRun};
+use crate::kernel;
 use hard::{HardMachine, HbMachine};
 use hard_hb::{IdealHappensBefore, IdealHbConfig};
 use hard_lockset::bloom_table::BloomLockset;
@@ -18,7 +19,7 @@ use hard_lockset::IdealLockset;
 use hard_obs::ObsHandle;
 use hard_trace::codec;
 use hard_trace::packed_event::{ChunkedReader, PackedEvent, PackedTrace, RECORD_BYTES};
-use hard_trace::{observe_event, Detector, Trace, TraceEvent};
+use hard_trace::{observe_event, Detector, Trace, TraceEvent, BATCH_EVENTS};
 use hard_types::{Addr, FaultStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -110,6 +111,11 @@ impl RunOutcome {
 /// bounded by this constant.
 const DEADLINE_STRIDE: u64 = 256;
 
+// The batched loop checks deadlines after each full batch; the stride
+// must equal the batch size so batched and per-event runs time out at
+// the same event counts (identical overshoot included).
+const _: () = assert!(DEADLINE_STRIDE == BATCH_EVENTS as u64);
+
 enum AnyDetector {
     Hard(Box<HardMachine>),
     LocksetIdeal(Box<IdealLockset>),
@@ -124,6 +130,7 @@ impl AnyDetector {
             DetectorKind::Hard(cfg) => {
                 let mut m = Box::new(HardMachine::new(*cfg));
                 m.attach_recorder(obs.clone());
+                m.set_lane_kernel(kernel::installed().lane_kernel());
                 AnyDetector::Hard(m)
             }
             DetectorKind::LocksetIdeal(cfg) => {
@@ -153,6 +160,18 @@ impl AnyDetector {
             AnyDetector::HbHw(m) => m.on_event(index, e),
             AnyDetector::HbIdeal(d) => d.on_event(index, e),
             AnyDetector::BloomUnbounded(d) => d.on_event(index, e),
+        }
+    }
+
+    fn on_batch(&mut self, index: usize, events: &[TraceEvent]) {
+        match self {
+            // HARD overrides on_batch with its vectorized span kernel;
+            // the rest run the trait's default per-event loop.
+            AnyDetector::Hard(m) => m.on_batch(index, events),
+            AnyDetector::LocksetIdeal(d) => d.on_batch(index, events),
+            AnyDetector::HbHw(m) => m.on_batch(index, events),
+            AnyDetector::HbIdeal(d) => d.on_batch(index, events),
+            AnyDetector::BloomUnbounded(d) => d.on_batch(index, events),
         }
     }
 
@@ -220,6 +239,12 @@ fn run_bounded_events<I: Iterator<Item = TraceEvent>>(
     obs: &ObsHandle,
 ) -> RunOutcome {
     let mut d = AnyDetector::build(kind, num_threads, obs);
+    // The observed path stays per-event so trace-level counters and
+    // detector work interleave exactly as they always have; the batch
+    // kernel is a throughput lever for the unobserved hot path.
+    if kernel::installed().is_batched() && !obs.is_on() {
+        return run_bounded_batched(d, events, probes, limits);
+    }
     let observing = obs.is_on();
     let mut events_done = 0u64;
     for (index, e) in events.enumerate() {
@@ -229,25 +254,70 @@ fn run_bounded_events<I: Iterator<Item = TraceEvent>>(
         d.on_event(index, &e);
         events_done += 1;
         if events_done.is_multiple_of(DEADLINE_STRIDE) {
-            if let Some(max) = limits.max_events {
-                if events_done >= max {
-                    return RunOutcome::TimedOut {
-                        events_done,
-                        cycles: d.cycles(),
-                    };
-                }
-            }
-            if let Some(max) = limits.max_cycles {
-                let c = d.cycles();
-                if c >= max {
-                    return RunOutcome::TimedOut {
-                        events_done,
-                        cycles: c,
-                    };
-                }
+            if let Some(timed_out) = deadline_check(&d, limits, events_done) {
+                return timed_out;
             }
         }
     }
+    finish_run(d, probes, events_done)
+}
+
+/// The batched bounded loop: events are decoded/copied into one
+/// recycled [`BATCH_EVENTS`]-sized buffer and dispatched through
+/// [`Detector::on_batch`]. Deadlines are checked after each full batch
+/// — the same `events_done` multiples as the per-event loop, so both
+/// paths time out with identical `(events_done, cycles)`.
+fn run_bounded_batched<I: Iterator<Item = TraceEvent>>(
+    mut d: AnyDetector,
+    mut events: I,
+    probes: &[Addr],
+    limits: RunLimits,
+) -> RunOutcome {
+    let mut buf: Vec<TraceEvent> = Vec::with_capacity(BATCH_EVENTS);
+    let mut events_done = 0u64;
+    let mut index = 0usize;
+    loop {
+        buf.clear();
+        buf.extend(events.by_ref().take(BATCH_EVENTS));
+        if buf.is_empty() {
+            break;
+        }
+        d.on_batch(index, &buf);
+        index += buf.len();
+        events_done += buf.len() as u64;
+        if events_done.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(timed_out) = deadline_check(&d, limits, events_done) {
+                return timed_out;
+            }
+        }
+    }
+    finish_run(d, probes, events_done)
+}
+
+/// One deadline probe, shared by both dispatch loops.
+fn deadline_check(d: &AnyDetector, limits: RunLimits, events_done: u64) -> Option<RunOutcome> {
+    if let Some(max) = limits.max_events {
+        if events_done >= max {
+            return Some(RunOutcome::TimedOut {
+                events_done,
+                cycles: d.cycles(),
+            });
+        }
+    }
+    if let Some(max) = limits.max_cycles {
+        let c = d.cycles();
+        if c >= max {
+            return Some(RunOutcome::TimedOut {
+                events_done,
+                cycles: c,
+            });
+        }
+    }
+    None
+}
+
+/// Wraps up a completed run with its resource metrics.
+fn finish_run(d: AnyDetector, probes: &[Addr], events_done: u64) -> RunOutcome {
     let (meta_broadcasts, l2_evictions) = d.traffic();
     let metrics = RunMetrics {
         faults: d.fault_stats(),
@@ -415,8 +485,14 @@ pub fn execute_streamed(
 ) -> Result<(DetectorRun, u64, u64), String> {
     let obs = hard_obs::installed();
     let observing = obs.is_on();
+    let batched = kernel::installed().is_batched() && !observing;
     let mut d = AnyDetector::build(kind, num_threads, &obs);
+    let mut buf: Vec<TraceEvent> = Vec::with_capacity(if batched { BATCH_EVENTS } else { 0 });
+    // `index` counts decoded records (error messages, final total);
+    // `base` is the global index of the first event buffered but not
+    // yet dispatched.
     let mut index = 0usize;
+    let mut base = 0usize;
     let mut fnv = codec::FNV1A_INIT;
     while let Some(chunk) = reader.next_chunk() {
         let chunk = chunk.map_err(|e| format!("stream read failed: {e}"))?;
@@ -434,9 +510,21 @@ pub fn execute_streamed(
             if observing {
                 observe_event(&obs, &e);
             }
-            d.on_event(index, &e);
+            if batched {
+                buf.push(e);
+                if buf.len() == BATCH_EVENTS {
+                    d.on_batch(base, &buf);
+                    base += buf.len();
+                    buf.clear();
+                }
+            } else {
+                d.on_event(index, &e);
+            }
             index += 1;
         }
+    }
+    if batched && !buf.is_empty() {
+        d.on_batch(base, &buf);
     }
     let events = index as u64;
     crate::bench::account(events, d.cycles());
@@ -583,6 +671,111 @@ mod tests {
         assert_eq!(snap.spans[0].cycles, ma.cycles);
         assert_eq!(snap.spans[0].events, ma.events);
         assert_eq!(snap.counter(CounterId::BroadcastsSent), ma.meta_broadcasts);
+    }
+
+    /// Runs `f` under `mode`, then restores whatever mode was
+    /// installed. Safe under parallel tests precisely because every
+    /// mode is bit-identical — a test racing this one cannot observe a
+    /// different outcome, only a different (equally correct) speed.
+    fn with_kernel_mode<T>(mode: crate::kernel::KernelMode, f: impl FnOnce() -> T) -> T {
+        let before = crate::kernel::installed();
+        crate::kernel::install(mode);
+        let out = f();
+        crate::kernel::install(before);
+        out
+    }
+
+    #[test]
+    fn batch_kernel_mode_is_bit_identical_to_scalar() {
+        use crate::kernel::KernelMode;
+        let trace = racy_trace();
+        let packed = PackedTrace::from_trace(&trace).unwrap();
+        let probes = [Addr(0x1000)];
+        for kind in [
+            DetectorKind::hard_default(),
+            DetectorKind::lockset_ideal(),
+            DetectorKind::hb_default(),
+            DetectorKind::hb_ideal(),
+        ] {
+            let run = |mode| {
+                with_kernel_mode(mode, || {
+                    (
+                        execute_hardened(&kind, &trace, &probes, RunLimits::unlimited()),
+                        execute_hardened_packed(&kind, &packed, &probes, RunLimits::unlimited()),
+                    )
+                })
+            };
+            let (s, sp) = run(KernelMode::Scalar);
+            for mode in [KernelMode::Batch, KernelMode::Auto] {
+                let (b, bp) = run(mode);
+                for (scalar, batch) in [(&s, &b), (&sp, &bp)] {
+                    let (RunOutcome::Ok(sr, sm), RunOutcome::Ok(br, bm)) = (scalar, batch) else {
+                        panic!("{kind}: both kernels must complete");
+                    };
+                    assert_eq!(sr.reports, br.reports, "{kind}/{mode:?}");
+                    assert_eq!(sr.meta_lost, br.meta_lost, "{kind}/{mode:?}");
+                    assert_eq!(sm, bm, "{kind}/{mode:?}: metrics must match");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernel_times_out_at_the_same_event_counts() {
+        use crate::kernel::KernelMode;
+        let trace = racy_trace();
+        for limits in [
+            RunLimits {
+                max_cycles: None,
+                max_events: Some(300),
+            },
+            RunLimits {
+                max_cycles: Some(5_000),
+                max_events: None,
+            },
+        ] {
+            let kind = DetectorKind::hard_default();
+            let run =
+                |mode| with_kernel_mode(mode, || execute_hardened(&kind, &trace, &[], limits));
+            let (s, b) = (run(KernelMode::Scalar), run(KernelMode::Batch));
+            let (
+                RunOutcome::TimedOut {
+                    events_done: se,
+                    cycles: sc,
+                },
+                RunOutcome::TimedOut {
+                    events_done: be,
+                    cycles: bc,
+                },
+            ) = (&s, &b)
+            else {
+                panic!("both must time out: {s:?} / {b:?}");
+            };
+            assert_eq!((se, sc), (be, bc), "identical overshoot required");
+        }
+    }
+
+    #[test]
+    fn streamed_replay_is_kernel_mode_invariant() {
+        use crate::kernel::KernelMode;
+        use hard_trace::codec;
+        let trace = racy_trace();
+        let packed = PackedTrace::from_trace(&trace).unwrap();
+        let kind = DetectorKind::hard_default();
+        let run = |mode| {
+            with_kernel_mode(mode, || {
+                // Odd chunk size: batch boundaries and chunk boundaries
+                // must not need to line up.
+                let mut reader =
+                    ChunkedReader::spawn(std::io::Cursor::new(packed.bytes().to_vec()), 97);
+                execute_streamed(&kind, trace.num_threads, &mut reader).unwrap()
+            })
+        };
+        let (sr, se, sf) = run(KernelMode::Scalar);
+        let (br, be, bf) = run(KernelMode::Batch);
+        assert_eq!(sr.reports, br.reports);
+        assert_eq!((se, sf), (be, bf), "event count and FNV must match");
+        assert_eq!(sf, codec::fnv1a_update(codec::FNV1A_INIT, packed.bytes()));
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub mod state;
 
 pub use ideal::{IdealLockset, IdealLocksetConfig};
 pub use meta::{dummy_lock, fork_transfer, lockset_access, AccessOutcome, GranuleMeta};
-pub use packed::{PackedLineMeta, MAX_GRANULES};
+pub use packed::{PackedLineMeta, SpanAccess, MAX_GRANULES};
 pub use setrepr::SetRepr;
 pub use state::LState;

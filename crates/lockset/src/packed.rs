@@ -43,12 +43,23 @@
 use crate::meta::GranuleMeta;
 use crate::state::{transition, LState};
 use crate::AccessOutcome;
-use hard_bloom::{BloomShape, BloomVector};
+use hard_bloom::{lanes, BloomShape, BloomVector, LaneKernel};
 use hard_types::{AccessKind, ThreadId};
 
 /// Maximum granules per line: a 32-byte line at the minimum 4-byte
 /// metadata granularity (Table 3's finest point).
 pub const MAX_GRANULES: usize = 8;
+
+/// What [`PackedLineMeta::access_span`] reports for a granule span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanAccess {
+    /// Whether any spanned granule's state/owner/candidate changed —
+    /// the OR of the per-granule broadcast-on-change flags.
+    pub changed: bool,
+    /// Bit `i` set iff granule `g0 + i` raced (empty candidate set in a
+    /// reporting state).
+    pub race_mask: u8,
+}
 
 /// One cache line's worth of packed granule metadata.
 ///
@@ -247,6 +258,102 @@ impl PackedLineMeta {
         ((nw ^ w) & !parity_bit != 0, outcome)
     }
 
+    /// Applies one access to every granule in `[g0, g1)` — the batch
+    /// kernel's counterpart of calling [`PackedLineMeta::access`] on
+    /// each granule in order, bit-identical to that sequence by
+    /// construction (each granule's update is a pure function of its
+    /// own word).
+    ///
+    /// Shape-derived constants are hoisted out of the per-granule work,
+    /// and the §3.3 intersect + emptiness test runs through the fused
+    /// lane kernel (`hard_bloom::lanes`) when every spanned granule is
+    /// in a candidate-updating state — the steady state of shared data.
+    ///
+    /// Returns the aggregate broadcast-on-change flag plus a bitmask of
+    /// granules whose (updated) candidate set tested empty while in a
+    /// reporting state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of range or `held` has a different
+    /// shape.
+    pub fn access_span(
+        &mut self,
+        g0: usize,
+        g1: usize,
+        thread: ThreadId,
+        kind: AccessKind,
+        held: &BloomVector,
+        kernel: LaneKernel,
+    ) -> SpanAccess {
+        assert!(g0 <= g1 && g1 <= self.len(), "span {g0}..{g1} out of range");
+        assert_eq!(held.shape(), self.shape, "mismatched bloom shapes");
+        let v = self.shape.total_bits();
+        let full = self.shape.full_mask();
+        let parity_bit = 1u64 << (v + 2);
+        let held_bits = held.bits();
+        let n = g1 - g0;
+        if n == 0 {
+            return SpanAccess {
+                changed: false,
+                race_mask: 0,
+            };
+        }
+
+        // Phase 1 — unpack and run the Figure 2 transitions (scalar:
+        // a per-granule match on two bits is already straight-line).
+        let mut cand = [0u64; MAX_GRANULES];
+        let mut next = [(LState::Virgin, None::<ThreadId>); MAX_GRANULES];
+        let mut update = 0u8;
+        let mut report = 0u8;
+        for i in 0..n {
+            let w = self.words[g0 + i];
+            cand[i] = w & full;
+            let state = LState::decode(((w >> v) & 3) as u8);
+            let owner_enc = w >> (v + 3);
+            let owner = (owner_enc != 0).then(|| ThreadId((owner_enc - 1) as u32));
+            let t = transition(state, owner, thread, kind);
+            next[i] = (t.next, t.next_owner);
+            update |= u8::from(t.update_candidate) << i;
+            report |= u8::from(t.report_if_empty) << i;
+        }
+
+        // Phase 2 — candidate intersect + emptiness. All-updating spans
+        // (every granule past initialization) take the lane kernel.
+        let all = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 };
+        let mut race_mask = 0u8;
+        if update == all {
+            let empty = lanes::intersect_empty(kernel, self.shape, &mut cand[..n], held_bits);
+            race_mask = (empty as u8) & report;
+        } else if update != 0 {
+            for (i, c) in cand.iter_mut().enumerate().take(n) {
+                if update & (1 << i) != 0 {
+                    *c &= held_bits;
+                    if report & (1 << i) != 0 && self.shape.has_empty_part(*c) {
+                        race_mask |= 1 << i;
+                    }
+                }
+            }
+        }
+
+        // Phase 3 — repack with fresh parity and fold the logical
+        // change detection (parity bit masked out, as in `access`).
+        let mut changed_bits = 0u64;
+        for i in 0..n {
+            let (state, owner) = next[i];
+            let payload = cand[i] | u64::from(state.encode()) << v;
+            let parity = u64::from(payload.count_ones() & 1) << (v + 2);
+            let owner_enc = owner.map_or(0, |o| u64::from(o.0) + 1);
+            let nw = payload | parity | owner_enc << (v + 3);
+            changed_bits |= (nw ^ self.words[g0 + i]) & !parity_bit;
+            self.words[g0 + i] = nw;
+        }
+        SpanAccess {
+            changed: changed_bits != 0,
+            race_mask,
+        }
+    }
+
     /// Barrier pruning (§3.5) over every granule: full candidate set,
     /// Virgin state, no owner — [`GranuleMeta::barrier_reset`] as one
     /// word store per granule.
@@ -385,6 +492,90 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn access_span_matches_sequential_access_for_every_kernel() {
+        // Random pre-states across the whole span, then one shared
+        // access: the batched span must leave every word and every
+        // outcome flag exactly as the granule-at-a-time loop does.
+        for shape in [BloomShape::B16, BloomShape::B32] {
+            for kernel in [LaneKernel::Scalar, LaneKernel::Unroll4, LaneKernel::Simd] {
+                let mut rng = 0x000B_A7C4_0001_u64 ^ u64::from(shape.total_bits());
+                for case in 0..300 {
+                    let granules = 1 + (lcg(&mut rng) as usize) % MAX_GRANULES;
+                    let mut m = PackedLineMeta::virgin(shape, granules);
+                    for gi in 0..granules {
+                        let g = GranuleMeta {
+                            state: LState::decode((lcg(&mut rng) & 3) as u8),
+                            owner: if lcg(&mut rng) & 1 == 0 {
+                                None
+                            } else {
+                                Some(ThreadId((lcg(&mut rng) % 5) as u32))
+                            },
+                            candidate: BloomVector::from_bits(
+                                shape,
+                                lcg(&mut rng) & shape.full_mask(),
+                            ),
+                        };
+                        m.set_granule(gi, &g);
+                    }
+                    let thread = ThreadId((lcg(&mut rng) % 4) as u32);
+                    let kind = if lcg(&mut rng) & 1 == 0 {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
+                    let held = match lcg(&mut rng) % 3 {
+                        0 => BloomVector::empty(shape),
+                        1 => BloomVector::from_locks(shape, &[LockId(0x40)]),
+                        _ => BloomVector::full(shape),
+                    };
+                    let g0 = (lcg(&mut rng) as usize) % granules;
+                    let g1 = g0 + 1 + (lcg(&mut rng) as usize) % (granules - g0);
+
+                    let mut scalar = m;
+                    let mut expect_changed = false;
+                    let mut expect_mask = 0u8;
+                    for gi in g0..g1 {
+                        let (ch, out) = scalar.access(gi, thread, kind, &held);
+                        expect_changed |= ch;
+                        expect_mask |= u8::from(out.race) << (gi - g0);
+                    }
+                    let got = m.access_span(g0, g1, thread, kind, &held, kernel);
+                    assert_eq!(
+                        (got.changed, got.race_mask),
+                        (expect_changed, expect_mask),
+                        "{shape} {} case {case}",
+                        kernel.name()
+                    );
+                    assert_eq!(m, scalar, "{shape} {} case {case} words", kernel.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn access_span_empty_span_is_a_noop() {
+        let shape = BloomShape::B16;
+        let mut m = PackedLineMeta::fetched(shape, 4, ThreadId(0));
+        let before = m;
+        let out = m.access_span(
+            2,
+            2,
+            ThreadId(1),
+            AccessKind::Write,
+            &BloomVector::full(shape),
+            LaneKernel::Scalar,
+        );
+        assert_eq!(
+            out,
+            SpanAccess {
+                changed: false,
+                race_mask: 0
+            }
+        );
+        assert_eq!(m, before);
     }
 
     #[test]

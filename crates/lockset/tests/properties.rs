@@ -1,6 +1,6 @@
 //! Property-based tests of lockset-algorithm invariants.
 
-use hard_bloom::{BloomShape, BloomVector, ExactSet};
+use hard_bloom::{BloomShape, BloomVector, ExactSet, LaneKernel};
 use hard_lockset::ideal::{IdealLockset, IdealLocksetConfig};
 use hard_lockset::{lockset_access, GranuleMeta, LState, PackedLineMeta, MAX_GRANULES};
 use hard_trace::detect::Detector;
@@ -214,6 +214,49 @@ proptest! {
         }
         if reported {
             prop_assert!(!sequential || order.len() >= 2);
+        }
+    }
+
+    /// The batched span access is bit-identical to granule-at-a-time
+    /// [`PackedLineMeta::access`] over arbitrary operation sequences,
+    /// for every lane kernel: same words, same broadcast-on-change
+    /// flag, same race mask, at every step.
+    #[test]
+    fn access_span_is_bit_identical_to_scalar_sequences(
+        shape_is_32 in any::<bool>(),
+        kernel_sel in 0u8..3,
+        seq in prop::collection::vec(
+            (0u32..4, any::<bool>(), 0u8..4, 0usize..MAX_GRANULES, 1usize..=MAX_GRANULES),
+            1..60,
+        ),
+    ) {
+        let shape = if shape_is_32 { BloomShape::B32 } else { BloomShape::B16 };
+        let kernel = [LaneKernel::Scalar, LaneKernel::Unroll4, LaneKernel::Simd]
+            [kernel_sel as usize];
+        let mut batched = PackedLineMeta::fetched(shape, MAX_GRANULES, ThreadId(0));
+        let mut scalar = batched;
+        for (t, w, mask, start, span) in seq {
+            let g0 = start.min(MAX_GRANULES - 1);
+            let g1 = (g0 + span).min(MAX_GRANULES);
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            let mut held = BloomVector::empty(shape);
+            if mask & 1 != 0 {
+                held.insert(LockId(0x40));
+            }
+            if mask & 2 != 0 {
+                held.insert(LockId(0x84));
+            }
+            let mut expect_changed = false;
+            let mut expect_mask = 0u8;
+            for gi in g0..g1 {
+                let (ch, out) = scalar.access(gi, ThreadId(t), kind, &held);
+                expect_changed |= ch;
+                expect_mask |= u8::from(out.race) << (gi - g0);
+            }
+            let got = batched.access_span(g0, g1, ThreadId(t), kind, &held, kernel);
+            prop_assert_eq!(got.changed, expect_changed);
+            prop_assert_eq!(got.race_mask, expect_mask);
+            prop_assert_eq!(batched, scalar);
         }
     }
 }

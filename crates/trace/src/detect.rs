@@ -3,7 +3,7 @@
 
 use crate::event::{Trace, TraceEvent};
 use crate::op::Op;
-use crate::packed_event::PackedTrace;
+use crate::packed_event::{PackedTrace, BATCH_EVENTS};
 use hard_obs::{CounterId, ObsHandle};
 use hard_types::{AccessKind, Addr, SiteId, ThreadId};
 use std::fmt;
@@ -64,6 +64,20 @@ pub trait Detector {
     /// Observes event number `index` of the trace.
     fn on_event(&mut self, index: usize, event: &TraceEvent);
 
+    /// Observes a contiguous run of events whose first global index is
+    /// `index`.
+    ///
+    /// The default forwards to [`Detector::on_event`] one event at a
+    /// time; detectors with a vectorized batch kernel override it. An
+    /// override must be observably bit-identical to the default loop —
+    /// same reports, same statistics, same metadata — batching is a
+    /// throughput lever, never a semantic one.
+    fn on_batch(&mut self, index: usize, events: &[TraceEvent]) {
+        for (i, e) in events.iter().enumerate() {
+            self.on_event(index + i, e);
+        }
+    }
+
     /// The reports accumulated so far.
     fn reports(&self) -> &[RaceReport];
 }
@@ -104,6 +118,38 @@ pub fn run_detector_streamed<D: Detector + ?Sized>(
 ) -> Vec<RaceReport> {
     for (i, e) in trace.iter().enumerate() {
         detector.on_event(i, &e);
+    }
+    detector.reports().to_vec()
+}
+
+/// [`run_detector`] through the batch kernel: events are handed to
+/// [`Detector::on_batch`] in [`BATCH_EVENTS`]-sized runs. Produces the
+/// same reports as `run_detector` for any conforming detector.
+pub fn run_detector_batched<D: Detector + ?Sized>(
+    detector: &mut D,
+    trace: &Trace,
+) -> Vec<RaceReport> {
+    let mut index = 0;
+    for chunk in trace.events.chunks(BATCH_EVENTS) {
+        detector.on_batch(index, chunk);
+        index += chunk.len();
+    }
+    detector.reports().to_vec()
+}
+
+/// [`run_detector_streamed`] through the batch kernel: records are
+/// decoded [`BATCH_EVENTS`] at a time into one recycled buffer
+/// ([`PackedTrace::decode_batch`]) and dispatched via
+/// [`Detector::on_batch`].
+pub fn run_detector_streamed_batched<D: Detector + ?Sized>(
+    detector: &mut D,
+    trace: &PackedTrace,
+) -> Vec<RaceReport> {
+    let mut buf = Vec::with_capacity(BATCH_EVENTS);
+    let mut index = 0;
+    while trace.decode_batch(index, &mut buf) > 0 {
+        detector.on_batch(index, &buf);
+        index += buf.len();
     }
     detector.reports().to_vec()
 }
@@ -150,6 +196,65 @@ pub fn run_detector_observed<D: Detector + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::sched::{SchedConfig, Scheduler};
+
+    /// Records every (index, event) pair it sees.
+    #[derive(Default)]
+    struct Recorder(Vec<(usize, TraceEvent)>);
+
+    impl Detector for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn on_event(&mut self, index: usize, event: &TraceEvent) {
+            self.0.push((index, *event));
+        }
+        fn reports(&self) -> &[RaceReport] {
+            &[]
+        }
+    }
+
+    fn sample_trace(events: usize) -> Trace {
+        let mut b = ProgramBuilder::new(2);
+        for i in 0..events {
+            let site = SiteId(i as u32);
+            b.thread(i as u32 % 2)
+                .write(Addr(0x1000 + (i as u64 % 8) * 4), 4, site);
+        }
+        Scheduler::new(SchedConfig::default()).run(&b.build())
+    }
+
+    #[test]
+    fn batched_runs_see_the_same_indexed_events() {
+        // Cross the batch boundary: > BATCH_EVENTS events.
+        let trace = sample_trace(BATCH_EVENTS + 37);
+        let packed = PackedTrace::from_trace(&trace).unwrap();
+        let mut scalar = Recorder::default();
+        run_detector(&mut scalar, &trace);
+        let mut batched = Recorder::default();
+        run_detector_batched(&mut batched, &trace);
+        assert_eq!(scalar.0, batched.0);
+        let mut streamed = Recorder::default();
+        run_detector_streamed_batched(&mut streamed, &packed);
+        assert_eq!(scalar.0, streamed.0);
+    }
+
+    #[test]
+    fn decode_batch_windows_tile_iter() {
+        let trace = sample_trace(2 * BATCH_EVENTS + 5);
+        let packed = PackedTrace::from_trace(&trace).unwrap();
+        let all: Vec<TraceEvent> = packed.iter().collect();
+        let mut buf = Vec::new();
+        let mut start = 0;
+        while packed.decode_batch(start, &mut buf) > 0 {
+            assert!(buf.len() <= BATCH_EVENTS);
+            assert_eq!(buf[..], all[start..start + buf.len()]);
+            start += buf.len();
+        }
+        assert_eq!(start, all.len(), "windows must tile the whole trace");
+        assert_eq!(packed.decode_batch(all.len() + 3, &mut buf), 0);
+    }
 
     #[test]
     fn overlap_logic() {

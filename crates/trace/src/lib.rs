@@ -52,11 +52,12 @@ pub mod stats;
 pub mod wire;
 
 pub use detect::{
-    observe_event, run_detector, run_detector_observed, run_detector_streamed, Detector, RaceReport,
+    observe_event, run_detector, run_detector_batched, run_detector_observed,
+    run_detector_streamed, run_detector_streamed_batched, Detector, RaceReport,
 };
 pub use event::{Trace, TraceEvent};
 pub use op::Op;
-pub use packed_event::{Chunk, ChunkedReader, PackError, PackedEvent, PackedTrace};
+pub use packed_event::{Chunk, ChunkedReader, PackError, PackedEvent, PackedTrace, BATCH_EVENTS};
 pub use program::{Program, ProgramBuilder, ThreadProgram};
 pub use sched::{SchedConfig, Scheduler};
 pub use stats::TraceStats;

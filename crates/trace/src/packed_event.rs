@@ -163,6 +163,7 @@ impl PackedEvent {
     /// Unpacks a record whose tag has already been validated (the
     /// [`PackedTrace`] invariant). Kept branch-lean: this is the
     /// replay hot path.
+    #[inline]
     fn unpack_valid(self) -> TraceEvent {
         let tag = self.w0 & 0xF;
         let size = ((self.w0 >> 4) & 0xFF) as u8;
@@ -323,7 +324,38 @@ impl PackedTrace {
                 .unpack_valid()
         })
     }
+
+    /// Decodes up to [`BATCH_EVENTS`] records starting at event index
+    /// `start` into `out` (cleared first), returning how many were
+    /// decoded — `0` exactly when `start` is at or past the end.
+    ///
+    /// This is the batch kernel's decode pre-pass: a tight
+    /// shift-and-mask loop over one contiguous record window, with the
+    /// decoded batch reusing `out`'s allocation across calls. The
+    /// decoded events are identical to the corresponding window of
+    /// [`PackedTrace::iter`].
+    pub fn decode_batch(&self, start: usize, out: &mut Vec<TraceEvent>) -> usize {
+        out.clear();
+        if start >= self.len() {
+            return 0;
+        }
+        let lo = start * RECORD_BYTES;
+        let hi = (start + BATCH_EVENTS).min(self.len()) * RECORD_BYTES;
+        out.extend(self.bytes[lo..hi].chunks_exact(RECORD_BYTES).map(|rec| {
+            PackedEvent::from_bytes(rec.try_into().expect("chunks_exact yields 16 bytes"))
+                .unpack_valid()
+        }));
+        out.len()
+    }
 }
+
+/// Events per batch in the batched replay kernel.
+///
+/// Chosen equal to the harness's deadline-check stride
+/// (`DEADLINE_STRIDE`), so the batched bounded runner trips its
+/// max-events / max-cycles checks at exactly the same event counts —
+/// overshoot included — as the per-event runner.
+pub const BATCH_EVENTS: usize = 256;
 
 /// How many records a default [`ChunkedReader`] chunk holds (1 MiB).
 pub const DEFAULT_CHUNK_RECORDS: usize = 1 << 16;
