@@ -96,11 +96,63 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// A synthetic event window with table2-like locality: runs of
+/// same-line accesses from one core (the hot-slot memo's target
+/// pattern), rotating across cores and a small working set, with a
+/// write mixed into each run.
+fn access_window(n: usize) -> Vec<(CoreId, Addr, AccessKind)> {
+    (0..n)
+        .map(|i| {
+            let run = i / 8; // 8 consecutive accesses to one line
+            let core = CoreId((run % 4) as u32);
+            let line = 0x4000 + (run % 6) as u64 * 32;
+            let kind = if i % 8 == 5 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            (core, Addr(line + (i % 4) as u64), kind)
+        })
+        .collect()
+}
+
+/// The batched-timing-model ladder: the scalar hierarchy hot path
+/// (per-access `ensure` + metadata probe — two cache scans) against
+/// `access_batch` (fused single-scan probe + hot-slot memo + deferred
+/// stats) at growing window sizes. The batched path must win from 64
+/// events up; both paths are pinned bit-identical by the hard-cache
+/// property tests.
+fn bench_hierarchy_access_ladder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache/hierarchy-access");
+    for n in [16usize, 64, 256] {
+        let window = access_window(n);
+        let mut scalar = Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap();
+        g.bench_function(format!("scalar-{n}"), |b| {
+            b.iter(|| {
+                for &(core, addr, kind) in black_box(&window) {
+                    scalar.ensure(core, addr, kind).unwrap();
+                    black_box(scalar.meta_mut(core, addr).unwrap());
+                }
+            })
+        });
+        let mut batched = Hierarchy::new(HierarchyConfig::default(), NullFactory).unwrap();
+        let mut out = Vec::with_capacity(n);
+        g.bench_function(format!("batched-{n}"), |b| {
+            b.iter(|| {
+                batched.access_batch(black_box(&window), &mut out).unwrap();
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_l1_hit,
     bench_l2_miss_stream,
     bench_coherence_pingpong,
-    bench_recorder_overhead
+    bench_recorder_overhead,
+    bench_hierarchy_access_ladder
 );
 criterion_main!(benches);

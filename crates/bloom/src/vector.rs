@@ -16,15 +16,16 @@ use std::fmt;
 /// 2–9). The Table 6 study also evaluates a 32-bit layout
 /// ([`BloomShape::B32`]: 4 parts × 8 bits, 3 index bits per part,
 /// consuming address bits 2–13).
+/// The shape is a single word: every derived constant (`full_mask`,
+/// the per-part low/high bit masks) is a couple of shifts away from
+/// `part_len`, and recomputing them is a handful of fully-pipelined ALU
+/// ops. Storing them would quadruple the struct — and a `BloomShape`
+/// rides inside every packed line's metadata and every `BloomVector`,
+/// so on the streaming workloads each stored byte is multiplied by
+/// tens of thousands of cache fills, evictions and writebacks per run.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct BloomShape {
     part_len: u32,
-    // Shape-derived constants, hoisted to construction time so the
-    // per-access hot paths (`has_empty_part`, `full_mask`) are plain
-    // field reads instead of loops re-deriving them on every call.
-    full_mask: u64,
-    lows: u64,
-    highs: u64,
 }
 
 /// Number of parts in every HARD bloom vector (fixed by the paper).
@@ -58,26 +59,8 @@ impl BloomShape {
         BloomShape::with_part_len(part_len)
     }
 
-    /// Derives every shape constant from `part_len` (assumed valid).
     const fn with_part_len(part_len: u32) -> BloomShape {
-        let total = part_len * PARTS;
-        let full_mask = if total == 64 {
-            u64::MAX
-        } else {
-            (1u64 << total) - 1
-        };
-        let mut lows = 0u64;
-        let mut i = 0;
-        while i < PARTS {
-            lows |= 1u64 << (i * part_len);
-            i += 1;
-        }
-        BloomShape {
-            part_len,
-            full_mask,
-            lows,
-            highs: lows << (part_len - 1),
-        }
+        BloomShape { part_len }
     }
 
     /// Bits per part.
@@ -99,20 +82,22 @@ impl BloomShape {
         self.part_len.trailing_zeros()
     }
 
-    /// The all-ones vector value ("all possible locks").
+    /// The all-ones vector value ("all possible locks"). Valid for
+    /// every legal shape including the 64-bit edge (`64 - total` is 0
+    /// there, and a shift by 0 leaves `u64::MAX` intact).
     #[must_use]
     #[inline]
     pub fn full_mask(self) -> u64 {
-        self.full_mask
+        u64::MAX >> (64 - self.part_len * PARTS)
     }
 
     /// Mask with exactly the lowest bit of every part set — one operand
-    /// of the zero-field emptiness identity, precomputed at
-    /// construction for the lane kernels.
+    /// of the zero-field emptiness identity.
     #[must_use]
     #[inline]
     pub fn low_bits(self) -> u64 {
-        self.lows
+        let pair = 1u64 | (1u64 << self.part_len);
+        pair | (pair << (2 * self.part_len))
     }
 
     /// Mask with exactly the highest bit of every part set — the other
@@ -120,7 +105,7 @@ impl BloomShape {
     #[must_use]
     #[inline]
     pub fn high_bits(self) -> u64 {
-        self.highs
+        self.low_bits() << (self.part_len - 1)
     }
 
     /// Mask selecting part `i` (0-based) of the vector. Production code
@@ -138,14 +123,15 @@ impl BloomShape {
     /// test as one branch-free word operation (the hardware is four
     /// parallel NOR gates; this is the zero-field detection identity
     /// `(v - lows) & !v & highs`, where `lows`/`highs` mark the
-    /// lowest/highest bit of each part, both precomputed at
-    /// construction).
+    /// lowest/highest bit of each part).
     ///
     /// Bits of `bits` outside [`BloomShape::full_mask`] are ignored.
     #[must_use]
     #[inline]
     pub fn has_empty_part(self, bits: u64) -> bool {
-        bits.wrapping_sub(self.lows) & !bits & self.highs != 0
+        let lows = self.low_bits();
+        let highs = lows << (self.part_len - 1);
+        bits.wrapping_sub(lows) & !bits & highs != 0
     }
 
     /// Maps a lock address to its signature: the vector with exactly

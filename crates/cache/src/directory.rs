@@ -15,14 +15,27 @@
 //! `hard` crate's directory machine measures.
 
 use crate::policy::MetaFactory;
-use hard_types::{Addr, CoreId};
-use std::collections::BTreeMap;
+use hard_types::{Addr, CoreId, FastHashMap};
 
 /// The per-line metadata directory.
+///
+/// Entries live in a slab (stable slot indices, tombstoned on retire,
+/// slots recycled through a free list) behind a hash index, which gives
+/// the home node the same prepared-probe treatment PR 8 gave the snoopy
+/// caches: a same-line run of accesses revalidates one remembered slot
+/// instead of re-walking the map — the dominant pattern, since every
+/// monitored access round-trips here, even L1 hits. Semantically
+/// identical to the previous ordered-map store (the flash callbacks are
+/// per-entry independent, so iteration order is unobservable).
 #[derive(Clone, Debug)]
 pub struct MetaDirectory<F: MetaFactory> {
     factory: F,
-    entries: BTreeMap<Addr, F::Meta>,
+    index: FastHashMap<Addr, u32>,
+    slab: Vec<Option<(Addr, F::Meta)>>,
+    free: Vec<u32>,
+    /// The slot that served the previous round trip — validated
+    /// (address match on a live slot) before every reuse.
+    hot: Option<(Addr, u32)>,
     requests: u64,
 }
 
@@ -32,7 +45,10 @@ impl<F: MetaFactory> MetaDirectory<F> {
     pub fn new(factory: F) -> MetaDirectory<F> {
         MetaDirectory {
             factory,
-            entries: BTreeMap::new(),
+            index: FastHashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            hot: None,
             requests: 0,
         }
     }
@@ -44,27 +60,65 @@ impl<F: MetaFactory> MetaDirectory<F> {
     /// initialization of the snoopy design.
     pub fn access(&mut self, line: Addr, core: CoreId) -> &mut F::Meta {
         self.requests += 1;
-        self.entries
-            .entry(line)
-            .or_insert_with(|| self.factory.fresh(core))
+        // Hot-entry fast path: the previous round trip's slot, if it
+        // still holds this line (retire tombstones the slot and the
+        // free list may recycle it, so revalidate the stored address).
+        if let Some((haddr, hslot)) = self.hot {
+            if haddr == line
+                && self
+                    .slab
+                    .get(hslot as usize)
+                    .is_some_and(|s| s.as_ref().is_some_and(|(a, _)| *a == line))
+            {
+                let entry = self.slab[hslot as usize]
+                    .as_mut()
+                    .expect("validated hot entry");
+                return &mut entry.1;
+            }
+        }
+        let slot = match self.index.get(&line) {
+            Some(&s) => s,
+            None => {
+                let meta = self.factory.fresh(core);
+                let s = if let Some(s) = self.free.pop() {
+                    self.slab[s as usize] = Some((line, meta));
+                    s
+                } else {
+                    self.slab.push(Some((line, meta)));
+                    u32::try_from(self.slab.len() - 1).expect("slab outgrew u32 slots")
+                };
+                self.index.insert(line, s);
+                s
+            }
+        };
+        self.hot = Some((line, slot));
+        let entry = self.slab[slot as usize].as_mut().expect("indexed entry");
+        &mut entry.1
     }
 
     /// Reads the entry without counting a request (tests/inspection).
     #[must_use]
     pub fn peek(&self, line: Addr) -> Option<&F::Meta> {
-        self.entries.get(&line)
+        let &slot = self.index.get(&line)?;
+        self.slab[slot as usize].as_ref().map(|(_, m)| m)
     }
 
     /// Retires the entry for a line displaced from the L2; the
     /// detection metadata is lost exactly as in the in-cache design.
     pub fn retire(&mut self, line: Addr) {
-        self.entries.remove(&line);
+        if let Some(slot) = self.index.remove(&line) {
+            self.slab[slot as usize] = None;
+            self.free.push(slot);
+            if self.hot.is_some_and(|(a, _)| a == line) {
+                self.hot = None;
+            }
+        }
     }
 
     /// Applies `f` to every live entry (barrier flash-reset).
     pub fn flash(&mut self, mut f: impl FnMut(&mut F::Meta)) {
-        for meta in self.entries.values_mut() {
-            f(meta);
+        for entry in self.slab.iter_mut().flatten() {
+            f(&mut entry.1);
         }
     }
 
@@ -77,13 +131,13 @@ impl<F: MetaFactory> MetaDirectory<F> {
     /// Number of live entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// True when the directory holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 }
 

@@ -85,11 +85,24 @@ pub struct Hierarchy<F: MetaFactory> {
     l1: Vec<SetAssocCache<F::Meta>>,
     /// The L2 line holds one metadata slot per L1-line sector
     /// (one slot in the Table 1 configuration, two in Figure 3's).
-    l2: SetAssocCache<Vec<Option<F::Meta>>>,
+    /// Fixed-size storage — a line never has more than two sectors, so
+    /// a `Vec` here would put one heap allocation on every L2 fill;
+    /// slots at or past `sectors` are permanently `None`.
+    l2: SetAssocCache<[Option<F::Meta>; 2]>,
     sectors: usize,
     stats: MemStats,
     lost_meta: FastHashSet<Addr>,
     eviction_log: Vec<Addr>,
+    /// Same-core/same-line memo for the batched access path: the L1
+    /// slot that served the previous [`Hierarchy::access_prepared`]
+    /// hit. Validated (address + state) before every use, so it is a
+    /// pure scan-skip — never a source of stale coherence decisions.
+    hot: Option<(u32, Addr, u32)>,
+    /// L1 hits accumulated by the batched access path and folded into
+    /// [`MemStats`] once per window by
+    /// [`Hierarchy::flush_deferred_stats`]. `u64` addition commutes, so
+    /// the flushed totals are identical to per-access increments.
+    deferred_l1_hits: u64,
     obs: ObsHandle,
 }
 
@@ -124,6 +137,8 @@ impl<F: MetaFactory> Hierarchy<F> {
             stats: MemStats::default(),
             lost_meta: FastHashSet::default(),
             eviction_log: Vec::new(),
+            hot: None,
+            deferred_l1_hits: 0,
             obs: ObsHandle::off(),
         })
     }
@@ -171,6 +186,22 @@ impl<F: MetaFactory> Hierarchy<F> {
         self.l1.iter().filter(|c| c.peek(addr).is_some()).count()
     }
 
+    /// True iff a copy of `addr`'s line exists in an L1 *other than*
+    /// `core`'s, given that `core` holds the line (the caller just
+    /// ensured it). MESI grants Exclusive only when no peer holds a
+    /// copy and Modified only after invalidating them, so when `core`'s
+    /// copy is not Shared the answer is `false` after a single tag
+    /// probe — the detectors use this to skip the all-cores
+    /// [`Hierarchy::sharers`] scan on the (dominant) exclusive paths.
+    /// Pure: no LRU or statistics effects.
+    #[must_use]
+    pub fn shared_beyond(&self, core: CoreId, addr: Addr) -> bool {
+        match self.l1[core.index()].peek(addr).map(|l| l.state) {
+            Some(CState::Shared) => self.sharers(addr) > 1,
+            _ => false,
+        }
+    }
+
     /// True if the line containing `addr` ever lost its metadata to an
     /// L2 displacement.
     #[must_use]
@@ -181,9 +212,20 @@ impl<F: MetaFactory> Hierarchy<F> {
     /// Drains the line addresses displaced from the L2 since the last
     /// call. The directory-protocol variant uses this to retire its
     /// directory-resident metadata exactly when the paper's in-cache
-    /// variant would lose it.
-    pub fn drain_l2_evictions(&mut self) -> Vec<Addr> {
-        std::mem::take(&mut self.eviction_log)
+    /// variant would lose it. Returns a draining iterator over the
+    /// hierarchy-owned log rather than a fresh `Vec`, so the (very hot)
+    /// nothing-pending case and the steady state both allocate nothing:
+    /// the log's capacity is retained across drains.
+    pub fn drain_l2_evictions(&mut self) -> std::vec::Drain<'_, Addr> {
+        self.eviction_log.drain(..)
+    }
+
+    /// True if at least one L2 displacement is waiting to be drained.
+    /// Lets callers skip the drain call entirely on the (dominant)
+    /// no-eviction path.
+    #[must_use]
+    pub fn l2_evictions_pending(&self) -> bool {
+        !self.eviction_log.is_empty()
     }
 
     /// Mutable access to `core`'s copy of the metadata for `addr`'s
@@ -290,7 +332,10 @@ impl<F: MetaFactory> Hierarchy<F> {
         self.stats.l2_evictions += 1;
         let mut invalidated = false;
         let mut sectors_lost = 0u32;
-        for (i, slot) in sectors.iter().enumerate() {
+        // Walk only the configured sectors: in a one-sector geometry the
+        // array's second slot is permanently vacant and its computed
+        // address would belong to the *next* L2 line.
+        for (i, slot) in sectors.iter().enumerate().take(self.sectors) {
             let l1_line = Addr(victim_addr.0 + i as u64 * self.cfg.l1.line_bytes());
             if slot.is_some() {
                 self.lost_meta.insert(l1_line);
@@ -365,11 +410,31 @@ impl<F: MetaFactory> Hierarchy<F> {
         addr: Addr,
         kind: AccessKind,
     ) -> Result<EnsureResult, HardError> {
-        let line_addr = self.cfg.l1.line_of(addr);
+        let (line_addr, set) = self.cfg.l1.line_and_set(addr);
+        self.ensure_prepared(core, line_addr, set, kind)
+    }
+
+    /// [`Hierarchy::ensure`] with the line address and set index already
+    /// computed by the batch kernel's pre-pass. Charges exactly one LRU
+    /// probe on the hit path, like `ensure` — the directory variant,
+    /// whose scalar recipe is a single `ensure` per access (its
+    /// metadata lives in the directory, not the L1), batches through
+    /// this entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Hierarchy::ensure`].
+    pub fn ensure_prepared(
+        &mut self,
+        core: CoreId,
+        line_addr: Addr,
+        set: usize,
+        kind: AccessKind,
+    ) -> Result<EnsureResult, HardError> {
         let c = core.index();
 
         // L1 hit paths.
-        if let Some(line) = self.l1[c].probe(line_addr) {
+        if let Some(line) = self.l1[c].probe_prepared(line_addr, set) {
             match kind {
                 AccessKind::Read => {
                     self.stats.l1_hits += 1;
@@ -414,7 +479,20 @@ impl<F: MetaFactory> Hierarchy<F> {
             }
         }
 
-        // L1 miss.
+        self.miss_path(core, line_addr, kind)
+    }
+
+    /// The L1-miss half of [`Hierarchy::ensure`]: snoop, fill, insert.
+    /// Shared verbatim by the scalar, prepared, and batched entry
+    /// points so the coherence actions (and their stat/LRU charges)
+    /// cannot diverge between them.
+    fn miss_path(
+        &mut self,
+        core: CoreId,
+        line_addr: Addr,
+        kind: AccessKind,
+    ) -> Result<EnsureResult, HardError> {
+        let c = core.index();
         self.stats.l1_misses += 1;
         self.obs.counter(CounterId::CacheFills, 1);
         let mut result = EnsureResult {
@@ -478,17 +556,26 @@ impl<F: MetaFactory> Hierarchy<F> {
                 }
             }
             let idx = self.sector_of(line_addr);
-            let sector_hit = self
-                .l2
-                .peek(line_addr)
-                .is_some_and(|l| l.meta[idx].is_some());
+            // One tag scan serves the sector test and the LRU touch:
+            // the scalar recipe was a tick-neutral peek followed by a
+            // single charged probe, which collapses into `probe_slot`
+            // (same one bump, same stamp) with the line reached again
+            // through tick-neutral slot accessors. On the streaming
+            // workloads three out of four accesses take this path, so
+            // the saved scan is per-miss, not per-corner-case.
+            let l2_slot = self.l2.probe_slot(line_addr);
+            let sector_hit = l2_slot.is_some_and(|s| {
+                self.l2
+                    .peek_slot(s)
+                    .is_some_and(|l| l.meta[idx].is_some())
+            });
             if sector_hit {
                 self.stats.l2_hits += 1;
                 self.stats.bus_data += 1;
                 result.bus_data += 1;
                 result.served_by = ServedBy::L2;
-                self.l2
-                    .probe(line_addr)
+                l2_slot
+                    .and_then(|s| self.l2.peek_slot(s))
                     .and_then(|l| l.meta[idx].clone())
                     .ok_or(HardError::CoherenceViolation {
                         core,
@@ -508,12 +595,13 @@ impl<F: MetaFactory> Hierarchy<F> {
                         .emit(|| Event::RefetchAfterLoss { line: line_addr.0 });
                 }
                 let fresh = self.factory.fresh(core);
-                if let Some(l2line) = self.l2.probe(line_addr) {
+                if let Some(l2line) = l2_slot.and_then(|s| self.l2.slot_line_mut(s)) {
                     // The L2 line exists but this sector was invalid:
-                    // validate it in place, no eviction.
+                    // validate it in place, no eviction. (`probe_slot`
+                    // above already charged the probe's LRU touch.)
                     l2line.meta[idx] = Some(fresh.clone());
                 } else {
-                    let mut sectors = vec![None; self.sectors];
+                    let mut sectors = [None, None];
                     sectors[idx] = Some(fresh.clone());
                     if let Some(victim) = self.l2.insert(line_addr, CState::Exclusive, sectors)? {
                         self.l2_evicted(victim.addr, &victim.meta);
@@ -534,6 +622,196 @@ impl<F: MetaFactory> Hierarchy<F> {
         };
         self.l1_insert(core, line_addr, new_state, meta)?;
         Ok(result)
+    }
+
+    /// The batched hot path: [`Hierarchy::ensure`] and
+    /// [`Hierarchy::meta_mut`] fused into one L1 walk, pinned
+    /// bit-identical to calling them back to back.
+    ///
+    /// The scalar recipe charges two LRU probes per access (the ensure
+    /// probe and the metadata probe); this charges the same two ticks
+    /// in a single scan ([`SetAssocCache::probe_fused`]), and a
+    /// same-core/same-line run skips even that via a validated hot-slot
+    /// memo. L1 hits are accumulated in a deferred counter — call
+    /// [`Hierarchy::flush_deferred_stats`] once per window to fold them
+    /// into [`MemStats`]; every other counter, every coherence action,
+    /// and every replacement decision happens inline, identically to
+    /// the scalar path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Hierarchy::ensure`]; additionally if the just-filled line
+    /// vanished before its metadata probe (impossible fault-free).
+    #[inline]
+    pub fn access_prepared(
+        &mut self,
+        core: CoreId,
+        line_addr: Addr,
+        set: usize,
+        kind: AccessKind,
+    ) -> Result<(EnsureResult, &mut F::Meta), HardError> {
+        let c = core.index();
+
+        // Hot-slot fast path: same core, same line as the previous hit.
+        // Validate address and (for writes) state *before* charging any
+        // LRU tick — a failed validation must leave no trace, because
+        // the scalar path never saw a memo at all.
+        if let Some((hc, haddr, hslot)) = self.hot {
+            if hc == core.0 && haddr == line_addr {
+                let slot = hslot as usize;
+                let ok = self.l1[c].peek_slot(slot).is_some_and(|l| {
+                    l.addr == line_addr
+                        && (!kind.is_write()
+                            || matches!(l.state, CState::Modified | CState::Exclusive))
+                });
+                if ok {
+                    self.deferred_l1_hits += 1;
+                    let line = self.l1[c].touch_slot_fused(slot);
+                    if kind.is_write() {
+                        // Covers the silent E→M upgrade; a no-op on M.
+                        line.state = CState::Modified;
+                    }
+                    return Ok((EnsureResult::hit(), &mut line.meta));
+                }
+            }
+        }
+
+        // One fused scan replaces the ensure-probe + metadata-probe
+        // pair. Copy out the slot/state so the borrow does not pin the
+        // miss path below.
+        let hit = self.l1[c]
+            .probe_fused(line_addr, set)
+            .map(|(slot, line)| (slot, line.state));
+        if let Some((slot, state)) = hit {
+            match (kind, state) {
+                (AccessKind::Write, CState::Shared) => {
+                    // Bus upgrade: invalidate the other copies.
+                    self.deferred_l1_hits += 1;
+                    self.stats.upgrades += 1;
+                    self.stats.bus_control += 1;
+                    for (i, l1) in self.l1.iter_mut().enumerate() {
+                        if i != c {
+                            l1.remove(line_addr);
+                        }
+                    }
+                    self.hot = Some((core.0, line_addr, slot as u32));
+                    let line = self.l1[c].slot_line_mut(slot).ok_or({
+                        HardError::CoherenceViolation {
+                            core,
+                            line: line_addr,
+                            what: "an upgrading line vanished mid-access",
+                        }
+                    })?;
+                    line.state = CState::Modified;
+                    return Ok((
+                        EnsureResult {
+                            served_by: ServedBy::L1Upgrade,
+                            bus_data: 0,
+                            bus_control: 1,
+                            refetch_after_loss: false,
+                        },
+                        &mut line.meta,
+                    ));
+                }
+                (AccessKind::Write, CState::Invalid) => {
+                    return Err(HardError::CoherenceViolation {
+                        core,
+                        line: line_addr,
+                        what: "an invalid line was stored in an L1",
+                    })
+                }
+                _ => {
+                    // Read hit (any state, like the scalar path), or a
+                    // write hit in M (plain) / E (silent upgrade).
+                    self.deferred_l1_hits += 1;
+                    self.hot = Some((core.0, line_addr, slot as u32));
+                    let line = self.l1[c].slot_line_mut(slot).ok_or({
+                        HardError::CoherenceViolation {
+                            core,
+                            line: line_addr,
+                            what: "a hitting line vanished mid-access",
+                        }
+                    })?;
+                    if kind.is_write() {
+                        line.state = CState::Modified;
+                    }
+                    return Ok((EnsureResult::hit(), &mut line.meta));
+                }
+            }
+        }
+
+        // Miss: the fused probe already charged the single failed
+        // ensure-probe tick; the fill then the metadata probe follow,
+        // exactly the scalar sequence.
+        let result = self.miss_path(core, line_addr, kind)?;
+        let meta = self.l1[c]
+            .probe_prepared(line_addr, set)
+            .map(|l| &mut l.meta)
+            .ok_or(HardError::CoherenceViolation {
+                core,
+                line: line_addr,
+                what: "a just-filled line vanished before its metadata probe",
+            })?;
+        Ok((result, meta))
+    }
+
+    /// Folds the L1 hits deferred by [`Hierarchy::access_prepared`]
+    /// into [`MemStats`]. Call once per batch window; idempotent when
+    /// nothing is pending.
+    pub fn flush_deferred_stats(&mut self) {
+        self.stats.l1_hits += self.deferred_l1_hits;
+        self.deferred_l1_hits = 0;
+    }
+
+    /// Runs a whole event window through the batched access path,
+    /// pushing one [`EnsureResult`] per access into `out` (cleared
+    /// first), and flushes the deferred stats — even on error, so the
+    /// counters never go missing. This is the hierarchy-level batch
+    /// API the machines' `on_batch` hot loops are built from; it is
+    /// pinned against a fold of per-access [`Hierarchy::ensure`] +
+    /// [`Hierarchy::meta_mut`] calls by the property tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Hierarchy::access_prepared`], at the first failing access.
+    pub fn access_batch(
+        &mut self,
+        window: &[(CoreId, Addr, AccessKind)],
+        out: &mut Vec<EnsureResult>,
+    ) -> Result<(), HardError> {
+        out.clear();
+        for &(core, addr, kind) in window {
+            let (line_addr, set) = self.cfg.l1.line_and_set(addr);
+            match self.access_prepared(core, line_addr, set, kind) {
+                Ok((r, _)) => out.push(r),
+                Err(e) => {
+                    self.flush_deferred_stats();
+                    return Err(e);
+                }
+            }
+        }
+        self.flush_deferred_stats();
+        Ok(())
+    }
+
+    /// `core`'s L1 LRU tick — exposed so parity tests can pin the
+    /// batched path's replacement arithmetic against the scalar path's.
+    #[must_use]
+    pub fn l1_lru_tick(&self, core: CoreId) -> u64 {
+        self.l1[core.index()].lru_tick()
+    }
+
+    /// The shared L2's LRU tick (see [`Hierarchy::l1_lru_tick`]).
+    #[must_use]
+    pub fn l2_lru_tick(&self) -> u64 {
+        self.l2.lru_tick()
+    }
+
+    /// The LRU stamp of `core`'s copy of `addr`'s line, if resident.
+    /// Tick-neutral (peek-based), for parity tests.
+    #[must_use]
+    pub fn l1_lru_of(&self, core: CoreId, addr: Addr) -> Option<u64> {
+        self.l1[core.index()].peek(addr).map(|l| l.lru())
     }
 
     /// The line addresses currently resident in `core`'s L1, in set
@@ -838,8 +1116,85 @@ mod tests {
         assert!(h.stats().l2_evictions >= 1);
         assert!(h.was_meta_lost(Addr(0x00)));
         assert!(h.was_meta_lost(Addr(0x20)), "the sibling sector died too");
-        let lost = h.drain_l2_evictions();
+        let lost: Vec<Addr> = h.drain_l2_evictions().collect();
         assert!(lost.contains(&Addr(0x00)) && lost.contains(&Addr(0x20)));
+        assert!(!h.l2_evictions_pending(), "drain leaves nothing pending");
+    }
+
+    #[test]
+    fn access_prepared_matches_ensure_plus_meta_probe() {
+        // The scalar recipe (what HardMachine/HbMachine do per access):
+        // ensure, then meta_mut. The batched recipe: access_prepared.
+        // Same accesses, both hierarchies — every observable must agree,
+        // including the LRU ticks and stamps that drive replacement.
+        let accesses: &[(u32, u64, AccessKind)] = &[
+            (0, 0x100, AccessKind::Read),   // cold miss
+            (0, 0x104, AccessKind::Read),   // same-line hit (memo)
+            (0, 0x108, AccessKind::Write),  // silent E→M on the memo path
+            (1, 0x100, AccessKind::Read),   // c2c transfer
+            (0, 0x100, AccessKind::Read),   // back to shared copy
+            (0, 0x100, AccessKind::Write),  // S→M upgrade (scan path)
+            (1, 0x100, AccessKind::Read),   // refetch after invalidate
+            (0, 0x000, AccessKind::Read),   // new set
+            (0, 0x080, AccessKind::Read),   // L2 set-0 conflict
+            (0, 0x100, AccessKind::Write),  // thrash
+            (0, 0x000, AccessKind::Read),   // refetch-after-loss path
+        ];
+        let mut scalar = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        let mut batched = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        for &(core, addr, kind) in accesses {
+            let core = CoreId(core);
+            let addr = Addr(addr);
+            let want = scalar.ensure(core, addr, kind).unwrap();
+            let want_meta = *scalar.meta_mut(core, addr).unwrap();
+            let (line, set) = batched.config().l1.line_and_set(addr);
+            let (got, meta) = batched.access_prepared(core, line, set, kind).unwrap();
+            assert_eq!(got, want, "EnsureResult diverged at {addr:?}");
+            assert_eq!(*meta, want_meta, "metadata diverged at {addr:?}");
+            assert_eq!(
+                scalar.l1_lru_of(core, addr),
+                batched.l1_lru_of(core, addr),
+                "LRU stamp diverged at {addr:?}"
+            );
+        }
+        batched.flush_deferred_stats();
+        assert_eq!(scalar.stats(), batched.stats());
+        for c in [C0, C1] {
+            assert_eq!(scalar.l1_lru_tick(c), batched.l1_lru_tick(c));
+        }
+        assert_eq!(scalar.l2_lru_tick(), batched.l2_lru_tick());
+        assert_eq!(
+            scalar.drain_l2_evictions().collect::<Vec<_>>(),
+            batched.drain_l2_evictions().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn access_batch_matches_the_scalar_fold() {
+        let window: Vec<(CoreId, Addr, AccessKind)> = [
+            (0u32, 0x100u64, AccessKind::Write),
+            (0, 0x104, AccessKind::Write),
+            (1, 0x100, AccessKind::Read),
+            (1, 0x120, AccessKind::Read),
+            (0, 0x120, AccessKind::Write),
+            (0, 0x000, AccessKind::Read),
+            (0, 0x080, AccessKind::Read),
+            (0, 0x100, AccessKind::Read),
+        ]
+        .iter()
+        .map(|&(c, a, k)| (CoreId(c), Addr(a), k))
+        .collect();
+        let mut scalar = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        let mut want = Vec::new();
+        for &(core, addr, kind) in &window {
+            want.push(scalar.ensure(core, addr, kind).unwrap());
+            scalar.meta_mut(core, addr).unwrap();
+        }
+        let mut batched = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
+        let mut got = Vec::new();
+        batched.access_batch(&window, &mut got).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(scalar.stats(), batched.stats());
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct DirectoryHardMachine {
     reported: FastHashSet<(Addr, SiteId)>,
     core_time: Vec<u64>,
     bus: BusTimeline,
+    /// Per-window scratch for the batched dispatch pre-pass: the
+    /// precomputed `(line, set)` of every single-line access.
+    batch_prep: Vec<Option<(Addr, usize)>>,
 }
 
 impl DirectoryHardMachine {
@@ -69,6 +72,7 @@ impl DirectoryHardMachine {
             reported: FastHashSet::default(),
             core_time: vec![0; n],
             bus: BusTimeline::new(),
+            batch_prep: Vec::new(),
             cfg,
         })
     }
@@ -121,15 +125,29 @@ impl DirectoryHardMachine {
     }
 
     fn timed_ensure(&mut self, core: CoreId, addr: Addr, kind: AccessKind) {
-        let Ok(r) = self.hierarchy.ensure(core, addr, kind) else {
+        let (line_addr, set) = self.cfg.hierarchy.l1.line_and_set(addr);
+        self.timed_ensure_prepared(core, line_addr, set, kind);
+    }
+
+    /// [`Self::timed_ensure`] with the line/set arithmetic hoisted out —
+    /// the batched dispatch pre-computes both per window. This machine's
+    /// scalar path performs exactly one cache probe per access (the
+    /// metadata lives in the directory, not the line), so the batched
+    /// path goes through the hierarchy's single-probe
+    /// [`Hierarchy::ensure_prepared`], never the two-probe fused path.
+    fn timed_ensure_prepared(&mut self, core: CoreId, line_addr: Addr, set: usize, kind: AccessKind) {
+        let Ok(r) = self.hierarchy.ensure_prepared(core, line_addr, set, kind) else {
             // This machine injects no faults, so a coherence error is a
             // simulator bug; skip the access rather than unwind.
             debug_assert!(false, "coherence invariant broken on a fault-free machine");
             return;
         };
-        // Metadata entries die with the line's L2 residency.
-        for line in self.hierarchy.drain_l2_evictions() {
-            self.directory.retire(line);
+        // Metadata entries die with the line's L2 residency. Guarded:
+        // the common no-eviction access skips the drain construction.
+        if self.hierarchy.l2_evictions_pending() {
+            for line in self.hierarchy.drain_l2_evictions() {
+                self.directory.retire(line);
+            }
         }
         let lat = &self.cfg.latency;
         let c = core.index();
@@ -188,6 +206,59 @@ impl DirectoryHardMachine {
                         event_index: index,
                     });
                 }
+            }
+        }
+    }
+
+    /// [`Self::on_access`] specialized for a single-line access whose
+    /// `(line, set)` the batch pre-pass already computed. The multi-line
+    /// walk degenerates to one iteration, so the span clipping collapses
+    /// to the access's own `[addr, addr+size)` range; every observable
+    /// side effect (hierarchy, directory round trip, posted bus
+    /// occupancy, reports) is the scalar code verbatim.
+    #[allow(clippy::too_many_arguments)]
+    fn on_access_prepared(
+        &mut self,
+        index: usize,
+        thread: ThreadId,
+        addr: Addr,
+        size: u8,
+        kind: AccessKind,
+        site: SiteId,
+        line_addr: Addr,
+        set: usize,
+    ) {
+        let core = self.core_of(thread);
+        let gran = self.cfg.granularity;
+        self.timed_ensure_prepared(core, line_addr, set, kind);
+        // The directory round trip: get the line's metadata, run the
+        // lockset update, put it back. Posted on the bus.
+        let held = self.registers[thread.index()].vector();
+        let mut racy = [Addr(0); MAX_GRANULES];
+        let mut racy_count = 0usize;
+        {
+            let meta: &mut HardLineMeta = self.directory.access(line_addr, core);
+            for g in gran.granules_in(addr, u64::from(size)) {
+                let gi = ((g.0 - line_addr.0) / gran.bytes()) as usize;
+                let (_, out) = meta.access(gi, thread, kind, &held);
+                if out.race {
+                    racy[racy_count] = g;
+                    racy_count += 1;
+                }
+            }
+        }
+        let occ = self.cfg.latency.meta_broadcast_occupancy;
+        self.bus.acquire(self.core_time[core.index()], occ);
+        for &g in &racy[..racy_count] {
+            if self.reported.insert((g, site)) {
+                self.reports.push(RaceReport {
+                    addr,
+                    size,
+                    site,
+                    thread,
+                    kind,
+                    event_index: index,
+                });
             }
         }
     }
@@ -256,6 +327,69 @@ impl Detector for DirectoryHardMachine {
         }
     }
 
+    fn on_batch(&mut self, index: usize, events: &[TraceEvent]) {
+        // This machine has no fault injector and no observability
+        // recorder, so — unlike the snoopy machines — there is no
+        // delegation branch: every window takes the batched path.
+        // Pre-pass: hoist the L1 shift/mask line+set arithmetic of
+        // every single-line access in the batch (the overwhelmingly
+        // common case) out of the dispatch loop.
+        let geom = self.cfg.hierarchy.l1;
+        let line_bytes = geom.line_bytes();
+        self.batch_prep.clear();
+        self.batch_prep.extend(events.iter().map(|e| match *e {
+            TraceEvent::Op {
+                op: Op::Read { addr, size, .. } | Op::Write { addr, size, .. },
+                ..
+            } => {
+                let (line, set) = geom.line_and_set(addr);
+                (addr.0 + u64::from(size) <= line.0 + line_bytes).then_some((line, set))
+            }
+            _ => None,
+        }));
+        for (i, e) in events.iter().enumerate() {
+            match *e {
+                TraceEvent::Op {
+                    thread,
+                    op: Op::Read { addr, size, site },
+                } => match self.batch_prep[i] {
+                    Some((line, set)) => self.on_access_prepared(
+                        index + i,
+                        thread,
+                        addr,
+                        size,
+                        AccessKind::Read,
+                        site,
+                        line,
+                        set,
+                    ),
+                    // Line-straddling access: the scalar multi-line
+                    // walk is the reference behavior.
+                    None => self.on_access(index + i, thread, addr, size, AccessKind::Read, site),
+                },
+                TraceEvent::Op {
+                    thread,
+                    op: Op::Write { addr, size, site },
+                } => match self.batch_prep[i] {
+                    Some((line, set)) => self.on_access_prepared(
+                        index + i,
+                        thread,
+                        addr,
+                        size,
+                        AccessKind::Write,
+                        site,
+                        line,
+                        set,
+                    ),
+                    None => self.on_access(index + i, thread, addr, size, AccessKind::Write, site),
+                },
+                _ => self.on_event(index + i, e),
+            }
+        }
+        // No deferred-stats flush: `ensure_prepared` counts hits
+        // inline, exactly like the scalar `ensure`.
+    }
+
     fn reports(&self) -> &[RaceReport] {
         &self.reports
     }
@@ -308,6 +442,49 @@ mod tests {
         // ...but the directory pays a round trip per access, far more
         // than the snoopy design's occasional broadcasts.
         assert!(dir.directory_requests() > snoopy.stats().meta_broadcasts);
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_scalar() {
+        use hard_trace::run_detector_batched;
+        use hard_types::BarrierId;
+        // Mixed workload: granule- and line-straddling accesses, locks,
+        // barriers, compute — mirrors the snoopy machines' batch pin.
+        let mut b = ProgramBuilder::new(4);
+        for t in 0..4u32 {
+            let tp = b.thread(t);
+            for i in 0..200u64 {
+                let a = 0x1000 + (i % 24) * 12 + u64::from(t % 2) * 8;
+                let site = SiteId(t * 10_000 + i as u32);
+                let size = (1 + (i % 16)) as u8;
+                if i % 3 == 0 {
+                    tp.lock(LockId(0x40), site).write(Addr(a), size, SiteId(7));
+                    tp.unlock(LockId(0x40), SiteId(t * 10_000 + 5000 + i as u32));
+                } else if i % 3 == 1 {
+                    tp.write(Addr(a), size, SiteId(8 + (i % 5) as u32));
+                } else {
+                    tp.read(Addr(a), size, SiteId(20)).compute(2);
+                }
+            }
+            tp.barrier(BarrierId(1), SiteId(99_000 + t));
+        }
+        let trace = Scheduler::new(SchedConfig {
+            seed: 7,
+            max_quantum: 13,
+        })
+        .run(&b.build());
+        let mut scalar = DirectoryHardMachine::new(HardConfig::default());
+        let r_scalar = run_detector(&mut scalar, &trace);
+        let mut batched = DirectoryHardMachine::new(HardConfig::default());
+        let r_batched = run_detector_batched(&mut batched, &trace);
+        assert_eq!(r_scalar, r_batched, "reports diverged");
+        assert_eq!(scalar.total_cycles(), batched.total_cycles());
+        assert_eq!(scalar.stats(), batched.stats());
+        assert_eq!(
+            scalar.directory_requests(),
+            batched.directory_requests(),
+            "a batched run must pay exactly the scalar round trips"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::metadata::{HbLineMeta, HbMetaFactory};
 use hard_cache::{Hierarchy, HierarchyConfig, MemStats};
 use hard_hb::{hb_access, SyncClocks};
+use hard_lockset::MAX_GRANULES;
 use hard_obs::{CounterId, Event, ObsHandle};
 use hard_trace::{Detector, Op, RaceReport, TraceEvent};
 use hard_types::{AccessKind, Addr, FastHashSet, Granularity, SiteId, ThreadId};
@@ -83,6 +84,10 @@ pub struct HbMachine {
     reports: Vec<RaceReport>,
     reported: FastHashSet<(Addr, SiteId)>,
     obs: ObsHandle,
+    /// Batch pre-pass scratch: the hoisted (line, set) pair of each
+    /// single-line access in the window being dispatched (allocated
+    /// once, reused per batch — mirrors `HardMachine`).
+    batch_prep: Vec<Option<(Addr, usize)>>,
 }
 
 impl HbMachine {
@@ -115,6 +120,7 @@ impl HbMachine {
             reports: Vec::new(),
             reported: FastHashSet::default(),
             obs: ObsHandle::off(),
+            batch_prep: Vec::new(),
             cfg,
         })
     }
@@ -206,7 +212,7 @@ impl HbMachine {
             }
             // Timestamps on shared lines are kept coherent the same way
             // HARD's candidate sets are.
-            if changed && self.hierarchy.sharers(line_addr) > 1 {
+            if changed && self.hierarchy.shared_beyond(core, line_addr) {
                 let ok = self.hierarchy.broadcast_meta(core, line_addr).is_ok();
                 debug_assert!(ok, "broadcast from a core that just accessed the line");
             }
@@ -227,6 +233,81 @@ impl HbMachine {
                         thread: thread.0,
                     });
                 }
+            }
+        }
+    }
+
+    /// The batched access path: [`HbMachine::on_access`] for an access
+    /// contained in one cache line, with the line/set arithmetic
+    /// pre-computed and the hierarchy walked once through the fused
+    /// [`Hierarchy::access_prepared`] probe. Only entered with no
+    /// recorder attached; bit-identical to the scalar path on that
+    /// domain (pinned by the tests below and the harness invariance
+    /// tests).
+    #[allow(clippy::too_many_arguments)]
+    fn on_access_prepared(
+        &mut self,
+        index: usize,
+        thread: ThreadId,
+        addr: Addr,
+        size: u8,
+        kind: AccessKind,
+        site: SiteId,
+        line_addr: Addr,
+        set: usize,
+    ) {
+        let core = self.core_of(thread);
+        let gran = self.cfg.granularity;
+        let mut changed = false;
+        // Inline scratch, like HARD's span path: a line has at most
+        // MAX_GRANULES granules, so no heap allocation per access.
+        let mut racy_granules = [Addr(0); MAX_GRANULES];
+        let mut racy_count = 0usize;
+        {
+            // Field-disjoint borrows: clock from `sync`, metadata from
+            // `hierarchy` (same pattern as the scalar path).
+            let clock = self.sync.thread(thread);
+            let epoch = clock.get(thread);
+            let Ok((_, meta)) = self.hierarchy.access_prepared(core, line_addr, set, kind) else {
+                debug_assert!(false, "coherence invariant broken on a fault-free machine");
+                return;
+            };
+            for g in gran.granules_in(addr, u64::from(size)) {
+                let gi = ((g.0 - line_addr.0) / gran.bytes()) as usize;
+                let m = &mut meta[gi];
+                let g_changed = if kind.is_write() {
+                    m.last_write != Some((thread, epoch)) || m.read_epochs[thread.index()] != 0
+                } else {
+                    m.read_epochs[thread.index()] != epoch
+                };
+                let out = hb_access(m, thread, clock, kind);
+                changed |= g_changed;
+                if out.is_race() {
+                    racy_granules[racy_count] = g;
+                    racy_count += 1;
+                }
+            }
+        }
+        if changed && self.hierarchy.shared_beyond(core, line_addr) {
+            let ok = self.hierarchy.broadcast_meta(core, line_addr).is_ok();
+            debug_assert!(ok, "broadcast from a core that just accessed the line");
+        }
+        for &g in &racy_granules[..racy_count] {
+            if self.reported.insert((g, site)) {
+                self.reports.push(RaceReport {
+                    addr,
+                    size,
+                    site,
+                    thread,
+                    kind,
+                    event_index: index,
+                });
+                self.obs.counter(CounterId::HbRaces, 1);
+                self.obs.emit(|| Event::Race {
+                    addr: addr.0,
+                    site: site.0,
+                    thread: thread.0,
+                });
             }
         }
     }
@@ -262,6 +343,76 @@ impl Detector for HbMachine {
             },
             TraceEvent::BarrierComplete { .. } => self.sync.barrier_all(),
         }
+    }
+
+    fn on_batch(&mut self, index: usize, events: &[TraceEvent]) {
+        // Observed runs must interleave per-event side effects exactly
+        // as the scalar path does; delegate wholesale. (This machine
+        // injects no faults, so the recorder is the only reason to stay
+        // per-event.)
+        if self.obs.is_on() {
+            for (i, e) in events.iter().enumerate() {
+                self.on_event(index + i, e);
+            }
+            return;
+        }
+        // Pre-pass: hoist the L1 shift/mask line+set arithmetic of
+        // every single-line access out of the dispatch loop.
+        let geom = self.cfg.hierarchy.l1;
+        let line_bytes = geom.line_bytes();
+        self.batch_prep.clear();
+        self.batch_prep.extend(events.iter().map(|e| match *e {
+            TraceEvent::Op {
+                op: Op::Read { addr, size, .. } | Op::Write { addr, size, .. },
+                ..
+            } => {
+                let (line, set) = geom.line_and_set(addr);
+                (addr.0 + u64::from(size) <= line.0 + line_bytes).then_some((line, set))
+            }
+            _ => None,
+        }));
+        for (i, e) in events.iter().enumerate() {
+            match *e {
+                TraceEvent::Op { thread, op } => match op {
+                    Op::Read { addr, size, site } => match self.batch_prep[i] {
+                        Some((line, set)) => self.on_access_prepared(
+                            index + i,
+                            thread,
+                            addr,
+                            size,
+                            AccessKind::Read,
+                            site,
+                            line,
+                            set,
+                        ),
+                        // Line-straddling access: the scalar multi-line
+                        // walk is the reference behavior.
+                        None => {
+                            self.on_access(index + i, thread, addr, size, AccessKind::Read, site);
+                        }
+                    },
+                    Op::Write { addr, size, site } => match self.batch_prep[i] {
+                        Some((line, set)) => self.on_access_prepared(
+                            index + i,
+                            thread,
+                            addr,
+                            size,
+                            AccessKind::Write,
+                            site,
+                            line,
+                            set,
+                        ),
+                        None => {
+                            self.on_access(index + i, thread, addr, size, AccessKind::Write, site);
+                        }
+                    },
+                    _ => self.on_event(index + i, e),
+                },
+                TraceEvent::BarrierComplete { .. } => self.sync.barrier_all(),
+            }
+        }
+        // Fold the window's deferred L1-hit count into the stats.
+        self.hierarchy.flush_deferred_stats();
     }
 
     fn reports(&self) -> &[RaceReport] {
@@ -365,6 +516,67 @@ mod tests {
             missed > 0,
             "HB misses the race in lock-ordered interleavings"
         );
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_scalar() {
+        use hard_trace::run_detector_batched;
+        // Straddling sizes, cross-thread sharing, locks, and a barrier:
+        // exercises the prepared path, the straddling fallback, and the
+        // sync dispatch inside on_batch.
+        let mut b = ProgramBuilder::new(4);
+        for t in 0..4u32 {
+            let tp = b.thread(t);
+            for i in 0..200u64 {
+                let a = 0x1000 + (i % 24) * 12 + u64::from(t % 2) * 8;
+                let site = SiteId(t * 10_000 + i as u32);
+                let size = (1 + (i % 16)) as u8;
+                if i % 3 == 0 {
+                    tp.lock(LockId(0x40), site).write(Addr(a), size, SiteId(7));
+                    tp.unlock(LockId(0x40), SiteId(t * 10_000 + 5000 + i as u32));
+                } else if i % 3 == 1 {
+                    tp.write(Addr(a), size, SiteId(8 + (i % 5) as u32));
+                } else {
+                    tp.read(Addr(a), size, SiteId(20)).compute(2);
+                }
+            }
+            tp.barrier(BarrierId(1), SiteId(99_000 + t));
+        }
+        let trace = sched(7).run(&b.build());
+        let mut scalar = HbMachine::new(HbMachineConfig::default());
+        let r_scalar = run_detector(&mut scalar, &trace);
+        let mut batched = HbMachine::new(HbMachineConfig::default());
+        let r_batched = run_detector_batched(&mut batched, &trace);
+        assert_eq!(r_scalar, r_batched);
+        assert_eq!(scalar.stats(), batched.stats());
+    }
+
+    #[test]
+    fn batched_run_with_recorder_delegates_bit_identically() {
+        use hard_obs::{MemoryRecorder, ObsHandle};
+        use hard_trace::run_detector_batched;
+        use std::sync::Arc;
+        let x = Addr(0x2000);
+        let mut b = ProgramBuilder::new(2);
+        for i in 0..40u32 {
+            b.thread(0).write(x, 4, SiteId(i));
+            b.thread(1).write(x, 4, SiteId(100 + i));
+        }
+        let trace = sched(3).run(&b.build());
+        let rec_s = Arc::new(MemoryRecorder::new());
+        let mut m_s = HbMachine::new(HbMachineConfig::default());
+        m_s.attach_recorder(ObsHandle::new(rec_s.clone()));
+        let r_s = run_detector(&mut m_s, &trace);
+        let rec_b = Arc::new(MemoryRecorder::new());
+        let mut m_b = HbMachine::new(HbMachineConfig::default());
+        m_b.attach_recorder(ObsHandle::new(rec_b.clone()));
+        let r_b = run_detector_batched(&mut m_b, &trace);
+        assert_eq!(r_s, r_b);
+        assert_eq!(
+            rec_s.snapshot().counter(CounterId::HbRaces),
+            rec_b.snapshot().counter(CounterId::HbRaces)
+        );
+        assert_eq!(m_s.stats(), m_b.stats());
     }
 
     #[test]

@@ -381,7 +381,10 @@ impl HardMachine {
             }
             // §3.4: a changed candidate set on a line with other valid
             // copies is broadcast so all L1s and the L2 stay current.
-            if self.cfg.metadata_broadcast && changed && self.hierarchy.sharers(line_addr) > 1 {
+            if self.cfg.metadata_broadcast
+                && changed
+                && self.hierarchy.shared_beyond(core, line_addr)
+            {
                 let mut deliver = true;
                 if self.faults.is_active() {
                     if self.faults.roll_broadcast_drop() {
@@ -468,9 +471,6 @@ impl HardMachine {
         set: usize,
     ) {
         let core = self.core_of(thread);
-        if self.timed_ensure(core, line_addr, kind).is_none() {
-            return;
-        }
         let gshift = self.cfg.granularity.shift();
         let g0 = ((addr.0 - line_addr.0) >> gshift) as usize;
         let g1 = if size == 0 {
@@ -479,20 +479,48 @@ impl HardMachine {
         } else {
             ((addr.0 + u64::from(size) - 1 - line_addr.0) >> gshift) as usize + 1
         };
+        // Hoisted before the hierarchy call (neither touches registers
+        // or the kernel selection, so the reorder is pure).
         let held = self.registers[thread.index()].vector();
         let kernel = self.kernel;
-        let span = {
-            let Some(meta): Option<&mut HardLineMeta> =
-                self.hierarchy.meta_mut_prepared(core, line_addr, set)
-            else {
+        // One fused hierarchy walk replaces the scalar ensure-probe +
+        // metadata-probe pair; same coherence actions, same LRU
+        // charges, L1 hits deferred to the per-window flush.
+        let (r, span) = match self.hierarchy.access_prepared(core, line_addr, set, kind) {
+            Ok((r, meta)) => (r, meta.access_span(g0, g1, thread, kind, &held, kernel)),
+            Err(_) => {
                 // Only reachable under injected faults in the scalar
                 // path; kept for structural parity.
                 self.faults.stats.internal_errors += 1;
                 return;
-            };
-            meta.access_span(g0, g1, thread, kind, &held, kernel)
+            }
         };
-        if self.cfg.metadata_broadcast && span.changed && self.hierarchy.sharers(line_addr) > 1 {
+        // The timing charge of `timed_ensure`, verbatim. Computing the
+        // span first is unobservable: the span kernel never reads the
+        // clocks and the bus never reads the metadata, and the
+        // broadcast below still sees the updated core time.
+        let lat = &self.cfg.latency;
+        let c = core.index();
+        let piggyback = if self.detection_enabled && r.bus_data > 0 {
+            lat.meta_piggyback_occupancy
+        } else {
+            0
+        };
+        let occ = lat.bus_occupancy(&r) + piggyback;
+        let start = if occ > 0 {
+            self.bus.acquire(self.core_time[c], occ)
+        } else {
+            self.core_time[c]
+        };
+        let mut t = start + lat.service_latency(&r) + piggyback;
+        if self.detection_enabled && r.served_by != ServedBy::L1 {
+            t += lat.candidate_check;
+        }
+        self.core_time[c] = t;
+        if self.cfg.metadata_broadcast
+            && span.changed
+            && self.hierarchy.shared_beyond(core, line_addr)
+        {
             // Faults are inactive on this path: the broadcast always
             // attempts delivery (no drop/delay rolls).
             if self.hierarchy.broadcast_meta(core, line_addr).is_ok() {
@@ -776,6 +804,9 @@ impl Detector for HardMachine {
                 TraceEvent::BarrierComplete { .. } => self.on_barrier_complete(),
             }
         }
+        // Fold the window's deferred L1-hit count into the stats; the
+        // sums are identical to per-access increments by construction.
+        self.hierarchy.flush_deferred_stats();
     }
 
     fn reports(&self) -> &[RaceReport] {

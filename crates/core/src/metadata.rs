@@ -50,7 +50,83 @@ impl MetaFactory for HardMetaFactory {
 
 /// Hardware happens-before per-line metadata: one timestamp record per
 /// granule.
-pub type HbLineMeta = Vec<LineClocks>;
+///
+/// The paper's default shape (Table 1: 32 B lines at line granularity)
+/// has exactly one granule per line, which lives inline — the hierarchy
+/// clones line metadata on every cache-to-cache transfer, L2 writeback
+/// and broadcast, and with an inline record (whose [`LineClocks`] also
+/// holds its epochs inline for the paper's thread counts) those clones
+/// are memcpys instead of heap allocations, exactly like HARD's
+/// [`PackedLineMeta`]. The Table 3 sub-line granularity sweeps (16 B
+/// down to 4 B, two to eight granules per line) transparently fall back
+/// to the heap; the inline arm is deliberately capped at one granule
+/// because the L2 carries two metadata sectors per line and streaming
+/// workloads move every line several times per miss — each inline byte
+/// is multiplied by tens of thousands of fills per run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HbLineMeta {
+    /// One granule (the default line-granularity shape): no heap.
+    Inline(LineClocks),
+    /// Two or more granules: heap storage.
+    Heap(Vec<LineClocks>),
+}
+
+impl HbLineMeta {
+    /// Empty histories for `granules_per_line` granules of
+    /// `num_threads` threads each.
+    #[must_use]
+    pub fn fresh(granules_per_line: usize, num_threads: usize) -> HbLineMeta {
+        if granules_per_line == 1 {
+            HbLineMeta::Inline(LineClocks::new(num_threads))
+        } else {
+            HbLineMeta::Heap(
+                (0..granules_per_line)
+                    .map(|_| LineClocks::new(num_threads))
+                    .collect(),
+            )
+        }
+    }
+
+    /// Number of granules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            HbLineMeta::Inline(_) => 1,
+            HbLineMeta::Heap(v) => v.len(),
+        }
+    }
+
+    /// True iff the line has no granules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::ops::Index<usize> for HbLineMeta {
+    type Output = LineClocks;
+    fn index(&self, i: usize) -> &LineClocks {
+        match self {
+            HbLineMeta::Inline(g) => {
+                assert!(i == 0, "granule {i} out of range for a 1-granule line");
+                g
+            }
+            HbLineMeta::Heap(v) => &v[i],
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for HbLineMeta {
+    fn index_mut(&mut self, i: usize) -> &mut LineClocks {
+        match self {
+            HbLineMeta::Inline(g) => {
+                assert!(i == 0, "granule {i} out of range for a 1-granule line");
+                g
+            }
+            HbLineMeta::Heap(v) => &mut v[i],
+        }
+    }
+}
 
 /// Creates empty happens-before histories for freshly fetched lines.
 #[derive(Clone, Copy, Debug)]
@@ -65,9 +141,7 @@ impl MetaFactory for HbMetaFactory {
     type Meta = HbLineMeta;
 
     fn fresh(&self, _core: CoreId) -> HbLineMeta {
-        (0..self.granules_per_line)
-            .map(|_| LineClocks::new(self.num_threads))
-            .collect()
+        HbLineMeta::fresh(self.granules_per_line, self.num_threads)
     }
 }
 

@@ -264,9 +264,145 @@ pub fn validate(json: &str) -> Result<BenchRecord, String> {
     })
 }
 
+/// Validates a committed chain of bench files as one performance
+/// trajectory (`BENCH_pr3.json → BENCH_pr4.json → …`).
+///
+/// Each element is a `(label, contents)` pair — one bench file, one
+/// `hard-bench/v1` record per line. Per file, every record must
+/// [`validate`]; the chain additionally pins the shared `table2` sweep
+/// (rows whose name starts with `table2`): every file must carry at
+/// least one such row, and the maximum `table2` event count must never
+/// shrink along the chain — the sweep only grows as the simulator gains
+/// coverage, so a shrinking count means a file was regenerated against
+/// a truncated workload and the throughput comparison is vacuous.
+/// (Events are pinned, not events/s: throughput may legitimately dip
+/// when a PR trades the sweep's speed for fidelity elsewhere.)
+///
+/// Returns one human-readable summary line per file: the best `table2`
+/// throughput, for the README trajectory table.
+///
+/// # Errors
+///
+/// Returns a description of the first violation, prefixed with the
+/// offending file label and line.
+pub fn validate_trajectory(files: &[(String, String)]) -> Result<Vec<String>, String> {
+    if files.is_empty() {
+        return Err("empty trajectory: need at least one bench file".into());
+    }
+    let mut summary = Vec::new();
+    let mut prev: Option<(String, u64)> = None;
+    for (label, contents) in files {
+        let mut records = Vec::new();
+        for (i, line) in contents.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec = validate(line).map_err(|e| format!("{label}:{}: {e}", i + 1))?;
+            records.push(rec);
+        }
+        if records.is_empty() {
+            return Err(format!("{label}: contains no records"));
+        }
+        let best = records
+            .iter()
+            .filter(|r| r.name.starts_with("table2"))
+            .max_by_key(|r| (r.events, r.events_per_sec))
+            .ok_or_else(|| format!("{label}: no table2 row for the shared sweep"))?;
+        if let Some((prev_label, prev_events)) = &prev {
+            if best.events < *prev_events {
+                return Err(format!(
+                    "{label}: table2 events shrank along the trajectory \
+                     ({prev_events} in {prev_label}, {} here) — the shared \
+                     sweep only grows",
+                    best.events
+                ));
+            }
+        }
+        summary.push(format!(
+            "{label}: {} — {} events in {} ms ({} events/s)",
+            best.name, best.events, best.wall_ms, best.events_per_sec
+        ));
+        prev = Some((label.clone(), best.events));
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn row(name: &str, events: u64, wall_ms: u64) -> String {
+        let eps = events * 1000 / wall_ms;
+        format!(
+            "{{\"schema\":\"hard-bench/v1\",\"name\":\"{name}\",\"jobs\":1,\
+             \"wall_ms\":{wall_ms},\"events\":{events},\"events_per_sec\":{eps},\
+             \"cycles\":1,\"peak_rss_bytes\":0,\"cells\":1,\"resumed\":0}}"
+        )
+    }
+
+    #[test]
+    fn trajectory_accepts_a_growing_chain_and_summarizes_it() {
+        let files = vec![
+            (
+                "BENCH_a.json".to_string(),
+                format!("{}\n{}\n", row("table2-a", 100, 10), row("replay-a", 7, 7)),
+            ),
+            (
+                "BENCH_b.json".to_string(),
+                // Two table2 rows; the larger-events one anchors the
+                // chain. Throughput may dip — only events are pinned.
+                format!("{}\n{}\n", row("table2-b-slow", 100, 50), row("table2-b", 120, 60)),
+            ),
+        ];
+        let summary = validate_trajectory(&files).unwrap();
+        assert_eq!(summary.len(), 2);
+        assert!(summary[0].contains("table2-a"), "{}", summary[0]);
+        assert!(summary[1].contains("table2-b"), "{}", summary[1]);
+        assert!(summary[1].contains("120 events"), "{}", summary[1]);
+    }
+
+    #[test]
+    fn trajectory_rejects_shrinking_sweeps_and_broken_links() {
+        let a = ("BENCH_a.json".to_string(), row("table2-a", 100, 10));
+        let shrunk = ("BENCH_b.json".to_string(), row("table2-b", 90, 10));
+        let err = validate_trajectory(&[a.clone(), shrunk]).unwrap_err();
+        assert!(err.contains("shrank"), "{err}");
+        let no_sweep = ("BENCH_c.json".to_string(), row("replay-only", 5, 5));
+        let err = validate_trajectory(&[a.clone(), no_sweep]).unwrap_err();
+        assert!(err.contains("no table2 row"), "{err}");
+        let invalid = ("BENCH_d.json".to_string(), "not json".to_string());
+        let err = validate_trajectory(&[a, invalid]).unwrap_err();
+        assert!(err.starts_with("BENCH_d.json:1:"), "{err}");
+        assert!(validate_trajectory(&[]).is_err());
+        let empty = ("BENCH_e.json".to_string(), "\n\n".to_string());
+        assert!(validate_trajectory(&[empty]).unwrap_err().contains("no records"));
+    }
+
+    #[test]
+    fn trajectory_accepts_the_committed_chain_shape() {
+        // Mirrors the real BENCH_pr3 → pr4 → pr8 files: equal event
+        // counts with fluctuating throughput are a valid chain.
+        let files = vec![
+            (
+                "BENCH_pr3.json".to_string(),
+                format!(
+                    "{}\n{}\n",
+                    row("table2-pre-pr3-baseline", 11_808_636, 6790),
+                    row("table2-serial-flattened", 11_808_636, 4370)
+                ),
+            ),
+            (
+                "BENCH_pr4.json".to_string(),
+                row("table2-pr4-warm-cache", 11_808_636, 3018),
+            ),
+            (
+                "BENCH_pr8.json".to_string(),
+                row("table2-pr8-scalar-kernel", 11_808_636, 3613),
+            ),
+        ];
+        let summary = validate_trajectory(&files).unwrap();
+        assert_eq!(summary.len(), 3);
+    }
 
     #[test]
     fn record_round_trips_through_json() {

@@ -13,6 +13,7 @@
 //! hard-exp obs-serve [--clients N] [--repeat N] [--retries N] [--seed N]
 //!          [--out DIR] [--serve-cmd PATH]
 //! hard-exp bench-check --file BENCH_x.json
+//! hard-exp bench-check --trajectory BENCH_a.json,BENCH_b.json,...
 //! ```
 //!
 //! `obs-serve` spawns a real `hard-serve` with live telemetry enabled,
@@ -94,6 +95,7 @@ struct Args {
     serve_cmd: Option<String>,
     retries: Option<u32>,
     seed: Option<u64>,
+    trajectory: Option<Vec<String>>,
 }
 
 impl Args {
@@ -130,6 +132,7 @@ impl Args {
             serve_cmd: None,
             retries: None,
             seed: None,
+            trajectory: None,
         }
     }
 }
@@ -166,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
         serve_cmd: None,
         retries: None,
         seed: None,
+        trajectory: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -208,6 +212,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--app" => args.app = Some(it.next().ok_or("--app needs a name")?),
             "--file" => args.file = Some(it.next().ok_or("--file needs a path")?),
+            "--trajectory" => {
+                let list = it
+                    .next()
+                    .ok_or("--trajectory needs a comma-separated file list")?;
+                let files: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if files.is_empty() {
+                    return Err("--trajectory needs at least one file".into());
+                }
+                args.trajectory = Some(files);
+            }
             "--inject" => {
                 args.inject = Some(
                     it.next()
@@ -606,12 +625,32 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
             );
         }
         "bench-check" => {
+            // Chain mode: validate a committed sequence of bench files
+            // as one trajectory (schema + the shared table2 sweep's
+            // monotone event counts).
+            if let Some(files) = &args.trajectory {
+                let mut loaded = Vec::with_capacity(files.len());
+                for path in files {
+                    let body = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    loaded.push((path.clone(), body));
+                }
+                let summary = hard_harness::bench::validate_trajectory(&loaded)?;
+                for line in &summary {
+                    rep.note(line);
+                }
+                rep.note(&format!(
+                    "trajectory OK: {} file(s), shared sweep coherent",
+                    summary.len()
+                ));
+                return Ok(());
+            }
             // A bench file is one record per line: a single `--bench-out`
             // capture or a multi-line trajectory like `BENCH_pr3.json`.
             let path = args
                 .file
                 .as_deref()
-                .ok_or("bench-check needs --file <path>")?;
+                .ok_or("bench-check needs --file <path> (or --trajectory <files>)")?;
             let body =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let mut checked = 0usize;
@@ -848,7 +887,8 @@ fn main() -> ExitCode {
                  [--seed N] [--addr HOST:PORT] [--serve-cmd PATH]\n       \
                  hard-exp obs-serve [--clients N] [--repeat N] [--retries N] [--seed N] \
                  [--out DIR] [--serve-cmd PATH]\n       \
-                 hard-exp bench-check --file BENCH_x.json"
+                 hard-exp bench-check --file BENCH_x.json\n       \
+                 hard-exp bench-check --trajectory BENCH_a.json,BENCH_b.json,..."
             );
             return ExitCode::FAILURE;
         }

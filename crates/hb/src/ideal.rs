@@ -43,7 +43,11 @@ impl IdealHappensBefore {
         IdealHappensBefore {
             cfg,
             sync: SyncClocks::new(cfg.num_threads),
-            granules: FastHashMap::default(),
+            // Sized for the largest reduced-scale workloads (~100k live
+            // granules): growing from empty would re-hash the whole
+            // table ~15 times, and untouched buckets cost no resident
+            // memory, so over-reserving is free for the small apps.
+            granules: FastHashMap::with_capacity_and_hasher(1 << 17, Default::default()),
             reports: Vec::new(),
             reported: FastHashSet::default(),
         }

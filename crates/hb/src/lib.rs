@@ -31,6 +31,6 @@ pub mod sync;
 
 pub use clock::VectorClock;
 pub use ideal::{IdealHappensBefore, IdealHbConfig};
-pub use meta::{hb_access, HbOutcome, LineClocks};
+pub use meta::{hb_access, HbOutcome, LineClocks, ReadEpochs, INLINE_EPOCHS};
 pub use scalar::{ScalarHappensBefore, ScalarHbConfig, ScalarSync};
 pub use sync::SyncClocks;

@@ -8,6 +8,93 @@
 use crate::clock::VectorClock;
 use hard_types::{AccessKind, ThreadId};
 
+/// Inline capacity of [`ReadEpochs`]: histories for up to this many
+/// threads live in the record itself. The hardware machines create one
+/// history per cached granule and clone it on every coherence transfer
+/// and metadata broadcast, so a heap `Vec` here would put one
+/// allocation on every fill and several on every broadcast; the paper's
+/// configurations run 4 threads (one per core), exactly the inline
+/// bound. Wider programs transparently fall back to the heap. The bound
+/// is deliberately tight: streaming workloads (ocean) move every cached
+/// line's record several times per miss, so each inline word is paid
+/// for in memcpy volume on tens of thousands of fills per run.
+pub const INLINE_EPOCHS: usize = 4;
+
+/// Per-thread read epochs (0 = never read), stored inline for up to
+/// [`INLINE_EPOCHS`] threads. Logically a fixed-length `[u64]`; the
+/// representation is invisible to equality (two stores compare by
+/// contents).
+#[derive(Clone, Debug)]
+pub enum ReadEpochs {
+    /// Widths within [`INLINE_EPOCHS`]: no heap storage.
+    Inline {
+        /// Number of threads (logical length).
+        len: u8,
+        /// The epochs; entries at or past `len` are unused and zero.
+        epochs: [u64; INLINE_EPOCHS],
+    },
+    /// Wider programs: heap storage, one entry per thread.
+    Heap(Vec<u64>),
+}
+
+impl ReadEpochs {
+    /// All-zero (never-read) epochs for `num_threads` threads.
+    #[must_use]
+    pub fn new(num_threads: usize) -> ReadEpochs {
+        if num_threads <= INLINE_EPOCHS {
+            ReadEpochs::Inline {
+                len: num_threads as u8,
+                epochs: [0; INLINE_EPOCHS],
+            }
+        } else {
+            ReadEpochs::Heap(vec![0; num_threads])
+        }
+    }
+
+    /// The epochs as a slice of length `num_threads`.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            ReadEpochs::Inline { len, epochs } => &epochs[..*len as usize],
+            ReadEpochs::Heap(v) => v,
+        }
+    }
+
+    /// Mutable view of the epochs.
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            ReadEpochs::Inline { len, epochs } => &mut epochs[..*len as usize],
+            ReadEpochs::Heap(v) => v,
+        }
+    }
+
+    /// Iterates the per-thread epochs in thread order.
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.as_slice().iter()
+    }
+}
+
+impl std::ops::Index<usize> for ReadEpochs {
+    type Output = u64;
+    fn index(&self, i: usize) -> &u64 {
+        &self.as_slice()[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for ReadEpochs {
+    fn index_mut(&mut self, i: usize) -> &mut u64 {
+        &mut self.as_mut_slice()[i]
+    }
+}
+
+impl PartialEq for ReadEpochs {
+    fn eq(&self, other: &ReadEpochs) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ReadEpochs {}
+
 /// Access history of one granule: the epoch of the last write and, per
 /// thread, the epoch of its last read.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -15,7 +102,7 @@ pub struct LineClocks {
     /// `(writer, epoch)` of the most recent write, if any.
     pub last_write: Option<(ThreadId, u64)>,
     /// Per-thread epoch of each thread's most recent read (0 = never).
-    pub read_epochs: Vec<u64>,
+    pub read_epochs: ReadEpochs,
 }
 
 impl LineClocks {
@@ -24,7 +111,7 @@ impl LineClocks {
     pub fn new(num_threads: usize) -> LineClocks {
         LineClocks {
             last_write: None,
-            read_epochs: vec![0; num_threads],
+            read_epochs: ReadEpochs::new(num_threads),
         }
     }
 

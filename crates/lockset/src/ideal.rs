@@ -32,11 +32,45 @@ impl Default for IdealLocksetConfig {
     }
 }
 
+/// A whole-store operation (barrier reset or fork ownership transfer)
+/// applied lazily: logged once when the event occurs, replayed onto
+/// each granule the next time it is touched. Sweeping the unbounded
+/// store eagerly is quadratic in practice — a streaming app like ocean
+/// tracks hundreds of thousands of granules, and one eager sweep per
+/// barrier dwarfed the per-access work itself.
+#[derive(Clone, Copy, Debug)]
+enum FlashOp {
+    /// HARD-style barrier pruning: discard the accumulated evidence.
+    BarrierReset,
+    /// Fork: the parent's exclusively-owned granules are put up for
+    /// adoption by the next toucher.
+    ForkTransfer(ThreadId),
+}
+
+fn apply_flash(meta: &mut GranuleMeta<ExactSet>, op: FlashOp) {
+    match op {
+        FlashOp::BarrierReset => meta.barrier_reset(()),
+        FlashOp::ForkTransfer(parent) => fork_transfer(meta, parent),
+    }
+}
+
+/// One tracked granule: its metadata plus the number of [`FlashOp`]s
+/// already folded in. A granule is logically up to date iff `applied`
+/// equals the log length; granules created after an op was logged start
+/// at the current length (a barrier or fork cannot touch metadata that
+/// did not exist yet), exactly as the eager sweep behaved.
+#[derive(Debug)]
+struct Tracked {
+    meta: GranuleMeta<ExactSet>,
+    applied: u32,
+}
+
 /// The ideal lockset detector. See the [module docs](self).
 #[derive(Debug)]
 pub struct IdealLockset {
     cfg: IdealLocksetConfig,
-    granules: FastHashMap<Addr, GranuleMeta<ExactSet>>,
+    granules: FastHashMap<Addr, Tracked>,
+    flash_ops: Vec<FlashOp>,
     held: Vec<ExactSet>,
     reports: Vec<RaceReport>,
     reported: FastHashSet<(Addr, SiteId)>,
@@ -48,7 +82,12 @@ impl IdealLockset {
     pub fn new(cfg: IdealLocksetConfig) -> IdealLockset {
         IdealLockset {
             cfg,
-            granules: FastHashMap::default(),
+            // Sized for the largest reduced-scale workloads (~100k live
+            // granules): growing from empty would re-hash the whole
+            // table ~15 times, and untouched buckets cost no resident
+            // memory, so over-reserving is free for the small apps.
+            granules: FastHashMap::with_capacity_and_hasher(1 << 17, Default::default()),
+            flash_ops: Vec::new(),
             held: Vec::new(),
             reports: Vec::new(),
             reported: FastHashSet::default(),
@@ -67,10 +106,16 @@ impl IdealLockset {
         self.granules.len()
     }
 
-    /// The current metadata of the granule containing `addr`, if any.
+    /// The current metadata of the granule containing `addr`, if any,
+    /// with any pending whole-store operations folded in.
     #[must_use]
-    pub fn granule_meta(&self, addr: Addr) -> Option<&GranuleMeta<ExactSet>> {
-        self.granules.get(&self.cfg.granularity.granule_of(addr))
+    pub fn granule_meta(&self, addr: Addr) -> Option<GranuleMeta<ExactSet>> {
+        let t = self.granules.get(&self.cfg.granularity.granule_of(addr))?;
+        let mut meta = t.meta.clone();
+        for &op in &self.flash_ops[t.applied as usize..] {
+            apply_flash(&mut meta, op);
+        }
+        Some(meta)
     }
 
     fn held_mut(&mut self, t: ThreadId) -> &mut ExactSet {
@@ -94,10 +139,18 @@ impl IdealLockset {
         }
         let gran = self.cfg.granularity;
         for g in gran.granules_in(addr, u64::from(size)) {
-            let meta = self
-                .granules
-                .entry(g)
-                .or_insert_with(|| GranuleMeta::virgin(()));
+            let ops = &self.flash_ops;
+            let t = self.granules.entry(g).or_insert_with(|| Tracked {
+                meta: GranuleMeta::virgin(()),
+                applied: ops.len() as u32,
+            });
+            // Replay whole-store ops logged since this granule was last
+            // touched, in order (usually none).
+            for &op in &ops[t.applied as usize..] {
+                apply_flash(&mut t.meta, op);
+            }
+            t.applied = ops.len() as u32;
+            let meta = &mut t.meta;
             let outcome = lockset_access(meta, thread, kind, &self.held[thread.index()]);
             if outcome.race && self.reported.insert((g, site)) {
                 self.reports.push(RaceReport {
@@ -138,10 +191,9 @@ impl Detector for IdealLockset {
                 }
                 Op::Fork { child, .. } => {
                     // Ownership model: the parent's exclusive data is
-                    // up for adoption by the next toucher.
-                    for meta in self.granules.values_mut() {
-                        fork_transfer(meta, thread);
-                    }
+                    // up for adoption by the next toucher. Logged and
+                    // applied lazily per granule.
+                    self.flash_ops.push(FlashOp::ForkTransfer(thread));
                     // The child implicitly holds its dummy lock.
                     self.held_mut(child).insert(dummy_lock(child));
                 }
@@ -154,9 +206,7 @@ impl Detector for IdealLockset {
             },
             TraceEvent::BarrierComplete { .. } => {
                 if self.cfg.barrier_pruning {
-                    for meta in self.granules.values_mut() {
-                        meta.barrier_reset(());
-                    }
+                    self.flash_ops.push(FlashOp::BarrierReset);
                 }
             }
         }
