@@ -1,0 +1,205 @@
+//! A small multi-threaded task executor.
+//!
+//! Tasks are `Future<Output = ()>` boxed behind an [`std::sync::Arc`]
+//! that doubles as their [`std::task::Wake`] implementation: waking a
+//! task pushes it onto a shared injector queue exactly once (a
+//! `queued` flag dedupes concurrent wakes), and any worker thread
+//! pulls and polls it. Polling happens under the task's own future
+//! mutex, which is safe because a waker never touches that mutex —
+//! it only flips the flag and pushes.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+struct Task {
+    fut: Mutex<Option<BoxFuture>>,
+    exec: Weak<ExecInner>,
+    queued: AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            if let Some(exec) = self.exec.upgrade() {
+                exec.push(self);
+            }
+        }
+    }
+}
+
+impl Task {
+    fn run(self: &Arc<Task>) {
+        // Clear the flag *before* polling so a wake that lands during
+        // the poll re-queues the task for another pass.
+        self.queued.store(false, Ordering::Release);
+        let mut slot = self.fut.lock().expect("task future");
+        let Some(fut) = slot.as_mut() else {
+            return; // already completed
+        };
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        if let Poll::Ready(()) = fut.as_mut().poll(&mut cx) {
+            *slot = None;
+        }
+    }
+}
+
+struct ExecInner {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    live_tasks: AtomicUsize,
+}
+
+impl ExecInner {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().expect("task queue").push_back(task);
+        self.cv.notify_one();
+    }
+
+    fn worker(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().expect("task queue");
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = self.cv.wait(q).expect("task queue");
+                }
+            };
+            task.run();
+        }
+    }
+}
+
+/// A cloneable spawner onto a [`Runtime`]'s worker threads.
+#[derive(Clone)]
+pub struct Handle {
+    inner: Arc<ExecInner>,
+}
+
+impl Handle {
+    /// Queues `fut` as a new task. Tasks spawned after the owning
+    /// [`Runtime`] dropped are silently discarded.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + Send + 'static) {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        self.inner.live_tasks.fetch_add(1, Ordering::AcqRel);
+        let inner = Arc::clone(&self.inner);
+        let task = Arc::new(Task {
+            fut: Mutex::new(Some(Box::pin(Tracked { fut, exec: inner }))),
+            exec: Arc::downgrade(&self.inner),
+            queued: AtomicBool::new(true),
+        });
+        self.inner.push(task);
+    }
+
+    /// Tasks spawned but not yet run to completion. The serve tier's
+    /// drain loop polls this to know when every connection task has
+    /// finished.
+    #[must_use]
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live_tasks.load(Ordering::Acquire)
+    }
+}
+
+/// Decrements the live-task count when the task future completes *or*
+/// is dropped unpolled at shutdown.
+struct Tracked<F> {
+    fut: F,
+    exec: Arc<ExecInner>,
+}
+
+impl<F> Drop for Tracked<F> {
+    fn drop(&mut self) {
+        self.exec.live_tasks.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<F: Future<Output = ()>> Future for Tracked<F> {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        // Structural pinning of `fut`: `Tracked` is only ever polled
+        // behind `Box::pin` and is never moved out of it.
+        unsafe { self.map_unchecked_mut(|t| &mut t.fut) }.poll(cx)
+    }
+}
+
+/// A fixed-size pool of worker threads polling spawned tasks.
+///
+/// Dropping the runtime finishes whatever is currently queued, then
+/// joins the workers. Tasks that are parked in the reactor (awaiting
+/// I/O or a timer) at that point never run again — the serve tier
+/// drains to zero live connection tasks before dropping.
+pub struct Runtime {
+    inner: Arc<ExecInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Spawns `threads` worker threads (at least one).
+    #[must_use]
+    pub fn new(threads: usize) -> Runtime {
+        let inner = Arc::new(ExecInner {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live_tasks: AtomicUsize::new(0),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("hard-aio-{i}"))
+                    .spawn(move || inner.worker())
+                    .expect("spawn aio worker")
+            })
+            .collect();
+        Runtime { inner, workers }
+    }
+
+    /// A cloneable spawner usable from any thread (including from
+    /// inside tasks).
+    #[must_use]
+    pub fn handle(&self) -> Handle {
+        Handle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Convenience for [`Handle::spawn`].
+    pub fn spawn(&self, fut: impl Future<Output = ()> + Send + 'static) {
+        self.handle().spawn(fut);
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Release any still-parked task futures so their resources
+        // (sockets, guards) drop now rather than leaking for the
+        // process lifetime.
+        let leftovers: Vec<Arc<Task>> = {
+            let mut q = self.inner.queue.lock().expect("task queue");
+            q.drain(..).collect()
+        };
+        for t in leftovers {
+            *t.fut.lock().expect("task future") = None;
+        }
+    }
+}

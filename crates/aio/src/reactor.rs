@@ -1,0 +1,262 @@
+//! The process-wide epoll reactor.
+//!
+//! One detached thread owns the epoll instance and a monotonic timer
+//! heap. Futures park themselves by registering a [`Waker`] against a
+//! file descriptor direction (read/write readiness) or a deadline;
+//! the reactor wakes them and forgets them — re-arming is the
+//! future's job on its next poll, which keeps the registration state
+//! machine trivial (no edge-trigger bookkeeping, no oneshot rearm
+//! races) at the cost of one `epoll_ctl` per park.
+//!
+//! Spurious wakes are deliberately legal everywhere: a stale timer or
+//! a coalesced readiness event re-polls a future that then simply
+//! parks again.
+
+use crate::sys;
+use std::collections::HashMap;
+use std::os::fd::RawFd;
+use std::sync::{Mutex, OnceLock};
+use std::task::Waker;
+use std::time::Instant;
+
+/// Which readiness direction a future is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Readable (also covers accept).
+    Read,
+    /// Writable (also covers connect completion).
+    Write,
+}
+
+#[derive(Default)]
+struct FdWakers {
+    read: Option<Waker>,
+    write: Option<Waker>,
+    /// The event mask currently armed in the epoll set.
+    armed: u32,
+}
+
+struct TimerEntry {
+    when: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+// Min-heap ordering by deadline (ties broken by insertion sequence).
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &TimerEntry) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &TimerEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &TimerEntry) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // deadline on top.
+        other
+            .when
+            .cmp(&self.when)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Timers {
+    heap: std::collections::BinaryHeap<TimerEntry>,
+    seq: u64,
+}
+
+pub(crate) struct Reactor {
+    epfd: RawFd,
+    wake_fd: RawFd,
+    fds: Mutex<HashMap<RawFd, FdWakers>>,
+    timers: Mutex<Timers>,
+}
+
+static REACTOR: OnceLock<&'static Reactor> = OnceLock::new();
+
+/// The lazily started global reactor.
+///
+/// # Panics
+///
+/// Panics if the kernel refuses an epoll instance — without one, no
+/// async I/O is possible at all, so there is nothing to degrade to.
+pub(crate) fn reactor() -> &'static Reactor {
+    REACTOR.get_or_init(|| {
+        let r: &'static Reactor =
+            Box::leak(Box::new(Reactor::new().expect("create epoll reactor")));
+        std::thread::Builder::new()
+            .name("hard-aio-reactor".into())
+            .spawn(move || r.run())
+            .expect("spawn reactor thread");
+        r
+    })
+}
+
+impl Reactor {
+    fn new() -> std::io::Result<Reactor> {
+        let epfd = sys::create_epoll()?;
+        let wake_fd = sys::create_eventfd()?;
+        sys::ctl(epfd, sys::EPOLL_CTL_ADD, wake_fd, sys::EPOLLIN)?;
+        Ok(Reactor {
+            epfd,
+            wake_fd,
+            fds: Mutex::new(HashMap::new()),
+            timers: Mutex::new(Timers {
+                heap: std::collections::BinaryHeap::new(),
+                seq: 0,
+            }),
+        })
+    }
+
+    /// Parks `waker` until `fd` is ready in direction `dir`.
+    pub(crate) fn register(&self, fd: RawFd, dir: Dir, waker: &Waker) {
+        let mut fds = self.fds.lock().expect("reactor fd table");
+        let entry = fds.entry(fd).or_default();
+        match dir {
+            Dir::Read => entry.read = Some(waker.clone()),
+            Dir::Write => entry.write = Some(waker.clone()),
+        }
+        let mut want = sys::EPOLLRDHUP;
+        if entry.read.is_some() {
+            want |= sys::EPOLLIN;
+        }
+        if entry.write.is_some() {
+            want |= sys::EPOLLOUT;
+        }
+        if entry.armed == 0 {
+            let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, want);
+        } else if entry.armed != want {
+            let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, want);
+        }
+        entry.armed = want;
+    }
+
+    /// Forgets every registration for `fd`. Must run before the fd is
+    /// closed (socket wrappers call it from `Drop`).
+    pub(crate) fn deregister(&self, fd: RawFd) {
+        let mut fds = self.fds.lock().expect("reactor fd table");
+        if let Some(entry) = fds.remove(&fd) {
+            if entry.armed != 0 {
+                let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0);
+            }
+            drop(fds);
+            // Anyone still parked on the fd gets a spurious wake and
+            // re-polls against the closed descriptor, surfacing a
+            // clean error instead of hanging.
+            if let Some(w) = entry.read {
+                w.wake();
+            }
+            if let Some(w) = entry.write {
+                w.wake();
+            }
+        }
+    }
+
+    /// Parks `waker` until `when`.
+    pub(crate) fn register_timer(&self, when: Instant, waker: &Waker) {
+        let mut timers = self.timers.lock().expect("reactor timer heap");
+        timers.seq += 1;
+        let seq = timers.seq;
+        let earliest = timers.heap.peek().map(|t| t.when);
+        timers.heap.push(TimerEntry {
+            when,
+            seq,
+            waker: waker.clone(),
+        });
+        drop(timers);
+        // Only interrupt epoll_wait when this deadline moves the
+        // wake-up earlier than whatever the reactor is sleeping for.
+        if earliest.is_none_or(|e| when < e) {
+            sys::signal_eventfd(self.wake_fd);
+        }
+    }
+
+    fn next_timeout_ms(&self) -> i32 {
+        let timers = self.timers.lock().expect("reactor timer heap");
+        match timers.heap.peek() {
+            None => -1,
+            Some(t) => {
+                let now = Instant::now();
+                if t.when <= now {
+                    return 0;
+                }
+                let ms = t.when.duration_since(now).as_millis();
+                // +1: round up so we never wake a hair early and spin.
+                i32::try_from(ms + 1).unwrap_or(i32::MAX)
+            }
+        }
+    }
+
+    fn fire_due_timers(&self) {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        {
+            let mut timers = self.timers.lock().expect("reactor timer heap");
+            while timers.heap.peek().is_some_and(|t| t.when <= now) {
+                due.push(timers.heap.pop().expect("peeked entry").waker);
+            }
+        }
+        for w in due {
+            w.wake();
+        }
+    }
+
+    fn dispatch(&self, fd: RawFd, events: u32) {
+        let mut woken: (Option<Waker>, Option<Waker>) = (None, None);
+        {
+            let mut fds = self.fds.lock().expect("reactor fd table");
+            let Some(entry) = fds.get_mut(&fd) else {
+                return;
+            };
+            let err = events & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+            if err || events & sys::EPOLLIN != 0 {
+                woken.0 = entry.read.take();
+            }
+            if err || events & sys::EPOLLOUT != 0 {
+                woken.1 = entry.write.take();
+            }
+            let mut want = sys::EPOLLRDHUP;
+            if entry.read.is_some() {
+                want |= sys::EPOLLIN;
+            }
+            if entry.write.is_some() {
+                want |= sys::EPOLLOUT;
+            }
+            if entry.read.is_none() && entry.write.is_none() {
+                let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0);
+                fds.remove(&fd);
+            } else if want != entry.armed {
+                let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, want);
+                entry.armed = want;
+            }
+        }
+        if let Some(w) = woken.0 {
+            w.wake();
+        }
+        if let Some(w) = woken.1 {
+            w.wake();
+        }
+    }
+
+    fn run(&self) -> ! {
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        loop {
+            let timeout = self.next_timeout_ms();
+            let n = sys::wait(self.epfd, &mut events, timeout).unwrap_or(0);
+            for ev in &events[..n] {
+                let fd = ev.data as RawFd;
+                if fd == self.wake_fd {
+                    sys::drain_eventfd(self.wake_fd);
+                } else {
+                    self.dispatch(fd, ev.events);
+                }
+            }
+            self.fire_due_timers();
+        }
+    }
+}

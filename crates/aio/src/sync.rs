@@ -1,0 +1,273 @@
+//! Task-aware synchronization: a sticky event, a counting semaphore,
+//! and a two-way race.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::task::{Context, Poll, Waker};
+
+/// A one-shot sticky event: once [`Event::set`] fires, every current
+/// and future [`Event::wait`] resolves immediately. The serve tier
+/// uses one as its shutdown broadcast.
+#[derive(Default)]
+pub struct Event {
+    set: AtomicBool,
+    waiters: Mutex<Vec<Waker>>,
+}
+
+impl Event {
+    /// A fresh, unset event.
+    #[must_use]
+    pub fn new() -> Event {
+        Event::default()
+    }
+
+    /// Fires the event, waking every waiter.
+    pub fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        let waiters = {
+            let mut w = self.waiters.lock().expect("event waiters");
+            std::mem::take(&mut *w)
+        };
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// Whether the event has fired.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Resolves once the event fires.
+    #[must_use]
+    pub fn wait(&self) -> EventWait<'_> {
+        EventWait { event: self }
+    }
+}
+
+/// Future returned by [`Event::wait`].
+pub struct EventWait<'a> {
+    event: &'a Event,
+}
+
+impl Future for EventWait<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.event.is_set() {
+            return Poll::Ready(());
+        }
+        self.event
+            .waiters
+            .lock()
+            .expect("event waiters")
+            .push(cx.waker().clone());
+        // Re-check after registering: a set() racing the push may have
+        // drained the list before our waker landed.
+        if self.event.is_set() {
+            return Poll::Ready(());
+        }
+        Poll::Pending
+    }
+}
+
+/// Bookkeeping behind a [`Semaphore`].
+struct SemInner {
+    /// Permits not held by anyone.
+    free: usize,
+    /// Tasks parked in arrival order: `(waiter id, latest waker)`.
+    waiters: VecDeque<(u64, Waker)>,
+    /// Waiter ids whose permit was transferred on release but that
+    /// have not observed the grant yet.
+    granted: Vec<u64>,
+    /// Next waiter id.
+    next_id: u64,
+}
+
+/// An async counting semaphore with FIFO grant order.
+///
+/// Releases *transfer* the permit to the oldest waiter instead of
+/// freeing it, so a stream of newcomers cannot starve a parked task.
+/// Dropping a pending [`Acquire`] is safe: a transferred-but-unseen
+/// permit is passed on, and a queued waiter removes itself.
+///
+/// The serve tier uses one as its detection gate — at most `permits`
+/// sessions run detector work concurrently; the rest park without
+/// holding an executor thread.
+pub struct Semaphore {
+    inner: Mutex<SemInner>,
+}
+
+impl Semaphore {
+    /// A semaphore holding `permits` free permits.
+    #[must_use]
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            inner: Mutex::new(SemInner {
+                free: permits,
+                waiters: VecDeque::new(),
+                granted: Vec::new(),
+                next_id: 0,
+            }),
+        }
+    }
+
+    /// Resolves once a permit is held. The caller must pair it with
+    /// exactly one [`Semaphore::release`].
+    #[must_use]
+    pub fn acquire(&self) -> Acquire<'_> {
+        Acquire {
+            sem: self,
+            id: None,
+            done: false,
+        }
+    }
+
+    /// Returns a permit, handing it to the oldest waiter if any.
+    pub fn release(&self) {
+        let woken = {
+            let mut inner = self.inner.lock().expect("semaphore state");
+            if let Some((id, waker)) = inner.waiters.pop_front() {
+                inner.granted.push(id);
+                Some(waker)
+            } else {
+                inner.free += 1;
+                None
+            }
+        };
+        if let Some(w) = woken {
+            w.wake();
+        }
+    }
+
+    /// Tasks currently parked waiting for a permit.
+    #[must_use]
+    pub fn waiters(&self) -> usize {
+        self.inner.lock().expect("semaphore state").waiters.len()
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire<'a> {
+    sem: &'a Semaphore,
+    /// Assigned on first poll if the future had to park.
+    id: Option<u64>,
+    /// Whether the permit was handed to the caller.
+    done: bool,
+}
+
+impl Future for Acquire<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let me = self.get_mut();
+        let mut inner = me.sem.inner.lock().expect("semaphore state");
+        match me.id {
+            None => {
+                // First poll: take a free permit only if nobody older
+                // is parked (FIFO), otherwise join the queue.
+                if inner.waiters.is_empty() && inner.free > 0 {
+                    inner.free -= 1;
+                    me.done = true;
+                    return Poll::Ready(());
+                }
+                let id = inner.next_id;
+                inner.next_id += 1;
+                inner.waiters.push_back((id, cx.waker().clone()));
+                me.id = Some(id);
+                Poll::Pending
+            }
+            Some(id) => {
+                if let Some(at) = inner.granted.iter().position(|&g| g == id) {
+                    inner.granted.swap_remove(at);
+                    me.done = true;
+                    return Poll::Ready(());
+                }
+                // Spurious wake: refresh the stored waker in place.
+                if let Some(slot) = inner.waiters.iter_mut().find(|(w, _)| *w == id) {
+                    slot.1 = cx.waker().clone();
+                }
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for Acquire<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return; // the caller owns the permit now
+        }
+        let Some(id) = self.id else {
+            return; // never polled: nothing registered
+        };
+        let woken = {
+            let mut inner = self.sem.inner.lock().expect("semaphore state");
+            if let Some(at) = inner.granted.iter().position(|&g| g == id) {
+                // A permit was transferred to us but never observed:
+                // pass it on exactly as a release would.
+                inner.granted.swap_remove(at);
+                if let Some((next, waker)) = inner.waiters.pop_front() {
+                    inner.granted.push(next);
+                    Some(waker)
+                } else {
+                    inner.free += 1;
+                    None
+                }
+            } else {
+                inner.waiters.retain(|(w, _)| *w != id);
+                None
+            }
+        };
+        if let Some(w) = woken {
+            w.wake();
+        }
+    }
+}
+
+/// Which of the two raced futures finished first.
+pub enum Either<A, B> {
+    /// The first future finished.
+    Left(A),
+    /// The second future finished.
+    Right(B),
+}
+
+/// Polls `a` then `b`, resolving with whichever finishes first. Both
+/// futures must be [`Unpin`]; the loser is dropped with the future.
+pub fn race<A, B>(a: A, b: B) -> Race<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    Race { a, b }
+}
+
+/// Future returned by [`race`].
+pub struct Race<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Future for Race<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        if let Poll::Ready(v) = Pin::new(&mut me.a).poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = Pin::new(&mut me.b).poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}

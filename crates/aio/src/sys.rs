@@ -1,0 +1,123 @@
+//! Raw Linux syscall surface for the reactor.
+//!
+//! The build environment has no registry access, so there is no
+//! `libc` crate to lean on. The std runtime already links the system
+//! C library, which makes these four symbols (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`) resolvable through a plain
+//! `extern "C"` block — the same trick the vendored `proptest` and
+//! `criterion` stand-ins use for their host needs. Everything here is
+//! Linux-specific by design: the serve tier deploys on Linux, and the
+//! rest of the workspace already assumes `/proc` for RSS probes.
+
+use std::os::raw::{c_int, c_uint};
+
+/// Mirror of the kernel's `struct epoll_event`. On x86-64 the kernel
+/// ABI packs it to byte alignment; other 64-bit targets use natural
+/// alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` / `EPOLLOUT` / ...).
+    pub events: u32,
+    /// Caller-chosen cookie — this reactor stores the fd.
+    pub data: u64,
+}
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
+/// Drains the eventfd counter (nonblocking; a would-block is "already
+/// drained").
+pub fn drain_eventfd(fd: c_int) {
+    let mut buf = [0u8; 8];
+    unsafe {
+        let _ = read(fd, buf.as_mut_ptr(), buf.len());
+    }
+}
+
+/// Bumps the eventfd counter, interrupting a reactor blocked in
+/// `epoll_wait`.
+pub fn signal_eventfd(fd: c_int) {
+    let one = 1u64.to_ne_bytes();
+    unsafe {
+        let _ = write(fd, one.as_ptr(), one.len());
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn create_epoll() -> std::io::Result<c_int> {
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Creates the nonblocking eventfd the reactor uses to interrupt its
+/// own `epoll_wait` when a timer moves the next deadline earlier.
+pub fn create_eventfd() -> std::io::Result<c_int> {
+    let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+    if fd < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// `epoll_ctl` wrapper; `events == 0` with `EPOLL_CTL_DEL` ignores a
+/// missing registration (the fd may already be closed).
+pub fn ctl(epfd: c_int, op: c_int, fd: c_int, events: u32) -> std::io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: fd as u64,
+    };
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        let err = std::io::Error::last_os_error();
+        if op == EPOLL_CTL_DEL {
+            return Ok(()); // racing a close is fine
+        }
+        return Err(err);
+    }
+    Ok(())
+}
+
+/// Blocks for events; `timeout_ms < 0` waits indefinitely.
+pub fn wait(epfd: c_int, events: &mut [EpollEvent], timeout_ms: c_int) -> std::io::Result<usize> {
+    let rc = unsafe {
+        epoll_wait(
+            epfd,
+            events.as_mut_ptr(),
+            c_int::try_from(events.len()).unwrap_or(c_int::MAX),
+            timeout_ms,
+        )
+    };
+    if rc < 0 {
+        let err = std::io::Error::last_os_error();
+        if err.kind() == std::io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}

@@ -1,0 +1,38 @@
+//! Timers.
+
+use crate::reactor::reactor;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+/// Resolves once `dur` has elapsed from the call.
+#[must_use]
+pub fn sleep(dur: Duration) -> Sleep {
+    Sleep {
+        when: Instant::now() + dur,
+    }
+}
+
+/// Resolves at `when`.
+#[must_use]
+pub fn sleep_until(when: Instant) -> Sleep {
+    Sleep { when }
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+pub struct Sleep {
+    when: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.when {
+            return Poll::Ready(());
+        }
+        reactor().register_timer(self.when, cx.waker());
+        Poll::Pending
+    }
+}

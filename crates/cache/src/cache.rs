@@ -316,7 +316,7 @@ impl<M> SetAssocCache<M> {
         let tick = self.bump();
         let set = self.geom.set_index(line_addr);
         let range = self.set_range(set);
-        if self.tags[range.clone()].iter().any(|&t| t == line_addr.0) {
+        if self.tags[range.clone()].contains(&line_addr.0) {
             return Err(HardError::DuplicateLine { line: line_addr });
         }
         let victim = if range.len() >= ways {
@@ -381,9 +381,7 @@ impl<M> SetAssocCache<M> {
         let line_addr = self.geom.line_of(addr);
         let set = self.geom.set_index(line_addr);
         let range = self.set_range(set);
-        let i = self.tags[range]
-            .iter()
-            .position(|&t| t == line_addr.0)?;
+        let i = self.tags[range].iter().position(|&t| t == line_addr.0)?;
         Some(self.swap_remove(set, i))
     }
 

@@ -564,11 +564,8 @@ impl<F: MetaFactory> Hierarchy<F> {
             // workloads three out of four accesses take this path, so
             // the saved scan is per-miss, not per-corner-case.
             let l2_slot = self.l2.probe_slot(line_addr);
-            let sector_hit = l2_slot.is_some_and(|s| {
-                self.l2
-                    .peek_slot(s)
-                    .is_some_and(|l| l.meta[idx].is_some())
-            });
+            let sector_hit = l2_slot
+                .is_some_and(|s| self.l2.peek_slot(s).is_some_and(|l| l.meta[idx].is_some()));
             if sector_hit {
                 self.stats.l2_hits += 1;
                 self.stats.bus_data += 1;
@@ -1128,17 +1125,17 @@ mod tests {
         // Same accesses, both hierarchies — every observable must agree,
         // including the LRU ticks and stamps that drive replacement.
         let accesses: &[(u32, u64, AccessKind)] = &[
-            (0, 0x100, AccessKind::Read),   // cold miss
-            (0, 0x104, AccessKind::Read),   // same-line hit (memo)
-            (0, 0x108, AccessKind::Write),  // silent E→M on the memo path
-            (1, 0x100, AccessKind::Read),   // c2c transfer
-            (0, 0x100, AccessKind::Read),   // back to shared copy
-            (0, 0x100, AccessKind::Write),  // S→M upgrade (scan path)
-            (1, 0x100, AccessKind::Read),   // refetch after invalidate
-            (0, 0x000, AccessKind::Read),   // new set
-            (0, 0x080, AccessKind::Read),   // L2 set-0 conflict
-            (0, 0x100, AccessKind::Write),  // thrash
-            (0, 0x000, AccessKind::Read),   // refetch-after-loss path
+            (0, 0x100, AccessKind::Read),  // cold miss
+            (0, 0x104, AccessKind::Read),  // same-line hit (memo)
+            (0, 0x108, AccessKind::Write), // silent E→M on the memo path
+            (1, 0x100, AccessKind::Read),  // c2c transfer
+            (0, 0x100, AccessKind::Read),  // back to shared copy
+            (0, 0x100, AccessKind::Write), // S→M upgrade (scan path)
+            (1, 0x100, AccessKind::Read),  // refetch after invalidate
+            (0, 0x000, AccessKind::Read),  // new set
+            (0, 0x080, AccessKind::Read),  // L2 set-0 conflict
+            (0, 0x100, AccessKind::Write), // thrash
+            (0, 0x000, AccessKind::Read),  // refetch-after-loss path
         ];
         let mut scalar = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();
         let mut batched = Hierarchy::new(tiny_cfg(), StampFactory).unwrap();

@@ -135,7 +135,13 @@ impl DirectoryHardMachine {
     /// metadata lives in the directory, not the line), so the batched
     /// path goes through the hierarchy's single-probe
     /// [`Hierarchy::ensure_prepared`], never the two-probe fused path.
-    fn timed_ensure_prepared(&mut self, core: CoreId, line_addr: Addr, set: usize, kind: AccessKind) {
+    fn timed_ensure_prepared(
+        &mut self,
+        core: CoreId,
+        line_addr: Addr,
+        set: usize,
+        kind: AccessKind,
+    ) {
         let Ok(r) = self.hierarchy.ensure_prepared(core, line_addr, set, kind) else {
             // This machine injects no faults, so a coherence error is a
             // simulator bug; skip the access rather than unwind.

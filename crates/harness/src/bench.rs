@@ -351,7 +351,11 @@ mod tests {
                 "BENCH_b.json".to_string(),
                 // Two table2 rows; the larger-events one anchors the
                 // chain. Throughput may dip — only events are pinned.
-                format!("{}\n{}\n", row("table2-b-slow", 100, 50), row("table2-b", 120, 60)),
+                format!(
+                    "{}\n{}\n",
+                    row("table2-b-slow", 100, 50),
+                    row("table2-b", 120, 60)
+                ),
             ),
         ];
         let summary = validate_trajectory(&files).unwrap();
@@ -375,7 +379,9 @@ mod tests {
         assert!(err.starts_with("BENCH_d.json:1:"), "{err}");
         assert!(validate_trajectory(&[]).is_err());
         let empty = ("BENCH_e.json".to_string(), "\n\n".to_string());
-        assert!(validate_trajectory(&[empty]).unwrap_err().contains("no records"));
+        assert!(validate_trajectory(&[empty])
+            .unwrap_err()
+            .contains("no records"));
     }
 
     #[test]

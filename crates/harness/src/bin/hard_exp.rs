@@ -10,6 +10,7 @@
 //! hard-exp record --app <name> --file <path> [--inject SEED] [--scale F] [--packed]
 //! hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]
 //! hard-exp submit --addr HOST:PORT --file <path> [--detector NAME] [--clients N] [--repeat N]
+//! hard-exp serve-load [--clients N] [--repeat N] [--serve-cmd PATH] [--scale F]
 //! hard-exp obs-serve [--clients N] [--repeat N] [--retries N] [--seed N]
 //!          [--out DIR] [--serve-cmd PATH]
 //! hard-exp bench-check --file BENCH_x.json
@@ -51,7 +52,7 @@
 //! the payload through the detector without materialising it.
 
 use hard_harness::experiments::{
-    ablation, bloom_analysis, chaos, claims, cord, faults, fig8, obs, obs_serve, robustness,
+    ablation, bloom_analysis, chaos, claims, cord, faults, fig8, load, obs, obs_serve, robustness,
     server, table1, table2, table3, table45, table6, window, workload_stats,
 };
 use hard_harness::{
@@ -624,6 +625,37 @@ fn run_command(args: &Args, rep: &Reporter) -> Result<(), String> {
                  stage order intact, gauges drained, healthz ready",
             );
         }
+        "serve-load" => {
+            let mut lcfg = load::LoadConfig {
+                campaign: cfg,
+                ..load::LoadConfig::default()
+            };
+            if args.clients > 1 {
+                lcfg.sessions = args.clients;
+            }
+            if args.repeat > 1 {
+                lcfg.repeat = args.repeat;
+            }
+            lcfg.serve_cmd = args.serve_cmd.clone();
+            rep.section(&format!(
+                "Serve load — {} concurrent async session(s) x {} wave(s)",
+                lcfg.sessions, lcfg.repeat
+            ));
+            let study = load::run(&lcfg)?;
+            rep.table(&study.render());
+            rep.note(&format!(
+                "{} events/session; server VmHWM {} -> {} KiB ({} KiB/session)",
+                study.events_per_session,
+                study.server_baseline_rss.map_or(0, |b| b / 1024),
+                study.server_peak_rss.map_or(0, |b| b / 1024),
+                study.rss_per_session().map_or(0, |b| b / 1024),
+            ));
+            study.check()?;
+            rep.note(
+                "all load invariants held: full fleet concurrent, every report \
+                 byte-identical to offline replay, slots and bytes drained",
+            );
+        }
         "bench-check" => {
             // Chain mode: validate a committed sequence of bench files
             // as one trajectory (schema + the shared table2 sweep's
@@ -883,6 +915,7 @@ fn main() -> ExitCode {
                  hard-exp record --app <name> --file <path> [--inject SEED] [--packed]\n       \
                  hard-exp replay --file <path> [--detector hard|lockset-ideal|hb|hb-ideal]\n       \
                  hard-exp submit --addr HOST:PORT --file <path> [--detector NAME] [--clients N] [--repeat N]\n       \
+                 hard-exp serve-load [--clients N] [--repeat N] [--serve-cmd PATH] [--scale F]\n       \
                  hard-exp chaos [--rates PPM,PPM,...] [--clients N] [--repeat N] [--retries N] \
                  [--seed N] [--addr HOST:PORT] [--serve-cmd PATH]\n       \
                  hard-exp obs-serve [--clients N] [--repeat N] [--retries N] [--seed N] \
@@ -961,7 +994,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: hard-exp <table1|table2|table3|table4|table5|table6|fig8|bloom|\
                      ablation|window|server|robustness|faults|chaos|obs|obs-serve|verify|\
-                     record|replay|submit|all>"
+                     record|replay|submit|serve-load|all>"
                 );
             }
             ExitCode::FAILURE

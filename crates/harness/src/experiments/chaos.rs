@@ -377,6 +377,14 @@ impl ServeChild {
     }
 }
 
+impl ServeChild {
+    /// OS pid of the child — lets campaigns read its procfs entries
+    /// (e.g. `VmHWM` for the serve-load RSS claim).
+    pub(crate) fn pid(&self) -> u32 {
+        self.child.id()
+    }
+}
+
 impl Drop for ServeChild {
     fn drop(&mut self) {
         let _ = crate::service::request_shutdown(&self.addr);

@@ -50,7 +50,7 @@ pub use report::{OutputFormat, Reporter};
 pub use runner::{
     execute_hardened, execute_hardened_cell, execute_hardened_cell_observed,
     execute_hardened_observed, execute_hardened_packed, execute_hardened_packed_observed,
-    execute_streamed, RunLimits, RunMetrics, RunOutcome,
+    execute_streamed, RunLimits, RunMetrics, RunOutcome, StreamFeeder,
 };
 pub use service::{HealthSnapshot, ReportBody, RetryPolicy, RetryStats, Submission};
 pub use table::TextTable;

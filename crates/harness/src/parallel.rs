@@ -94,6 +94,13 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 ///
 /// Dropping the pool closes the queue, lets the workers drain what
 /// was already accepted, and joins them — the graceful-shutdown drain.
+/// The drain guarantee is unconditional: a panicking job is contained
+/// inside its worker, so every accepted job still *runs* (and can
+/// deliver its client an explicit verdict frame) before the pool
+/// exits. The async serve tier keeps the same contract in its own
+/// shutdown path: the stop signal wakes every open session task,
+/// which writes a `Bye` (idle) or shutdown `Error` (mid-upload) frame
+/// before the runtime is allowed to drop.
 ///
 /// [`submit`]: WorkerPool::submit
 /// [`try_submit`]: WorkerPool::try_submit
@@ -126,11 +133,22 @@ impl WorkerPool {
                         // Hold the lock only for the pull, not the run.
                         let job = match rx.lock() {
                             Ok(guard) => guard.recv(),
-                            Err(_) => return, // a sibling panicked mid-pull
+                            Err(_) => return, // a sibling poisoned the pull lock
                         };
                         match job {
                             Ok(job) => {
-                                job();
+                                // A job panic must not kill the worker:
+                                // with the old bare `job()` call, the
+                                // unwinding worker died holding nothing,
+                                // but the *next* sibling to pull found a
+                                // poisoned receiver lock and exited too,
+                                // so the drop-drain silently discarded
+                                // the queued backlog — queued serve
+                                // sessions hung with no Bye/Error frame.
+                                // Contain the panic, keep draining, and
+                                // always retire the job from the load
+                                // count so admission control recovers.
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                                 load.fetch_sub(1, Ordering::Release);
                             }
                             Err(_) => return, // queue closed: drain complete
@@ -157,9 +175,8 @@ impl WorkerPool {
     ///
     /// # Errors
     ///
-    /// Fails only when every worker has died (a worker panic tears the
-    /// receiver down); the job is returned undelivered inside the
-    /// error.
+    /// Fails only when every worker has died; job panics are contained
+    /// per-worker, so in practice this means the pool was torn down.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), String> {
         self.load.fetch_add(1, Ordering::Acquire);
         self.tx
@@ -352,6 +369,43 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_micros(100));
         }
         assert!(!pool.is_saturated());
+    }
+
+    #[test]
+    fn panicking_job_does_not_strand_the_queued_backlog() {
+        // Regression: one worker, a job that panics, and a backlog
+        // queued behind it. Before the catch_unwind fix the panic
+        // killed the worker and poisoned the pull lock, so the drop-
+        // drain silently discarded the backlog — in serve terms,
+        // queued clients hung with no Bye/Error verdict. Now every
+        // accepted job must still run and load must drain to zero.
+        let pool = WorkerPool::new(1, 8);
+        let ran = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("session blew up mid-detection"))
+            .unwrap();
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            pool.submit(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.load() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "load never drained after a job panic"
+            );
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        // The pool stays usable: the worker survived the panic.
+        let ran2 = Arc::clone(&ran);
+        pool.submit(move || {
+            ran2.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        drop(pool); // drain + join must not re-raise
+        assert_eq!(ran.load(Ordering::Relaxed), 6, "backlog ran past the panic");
     }
 
     #[test]

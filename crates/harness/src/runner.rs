@@ -531,6 +531,141 @@ pub fn execute_streamed(
     Ok((d.finish(&[]), events, fnv))
 }
 
+/// [`execute_streamed`], inverted into a push-style feeder for the
+/// async serve tier: the caller hands over packed-record bytes *as
+/// they arrive off the wire* — any chunking, record-aligned or not —
+/// and the detector consumes them incrementally, so a session's
+/// memory footprint is one wire chunk plus detector state, never the
+/// whole trace.
+///
+/// Equivalence contract: for the same byte sequence,
+/// [`StreamFeeder::finish`] returns exactly what [`execute_streamed`]
+/// returns — same reports, same event count, same payload FNV, same
+/// error strings at the same record indices — regardless of how the
+/// bytes were split across [`StreamFeeder::feed`] calls. The batched
+/// kernel's 256-event windows are buffered across chunk boundaries
+/// internally, which is what makes the result chunking-invariant.
+pub struct StreamFeeder {
+    d: AnyDetector,
+    obs: ObsHandle,
+    observing: bool,
+    batched: bool,
+    buf: Vec<TraceEvent>,
+    /// Partial record carried across a feed boundary.
+    carry: [u8; RECORD_BYTES],
+    carry_len: usize,
+    index: usize,
+    base: usize,
+    fnv: u64,
+}
+
+impl StreamFeeder {
+    /// Builds the detector for `kind` and an empty feed state. Kernel
+    /// mode is latched here, exactly as [`execute_streamed`] latches
+    /// it at entry.
+    #[must_use]
+    pub fn new(kind: &DetectorKind, num_threads: usize) -> StreamFeeder {
+        let obs = hard_obs::installed();
+        let observing = obs.is_on();
+        let batched = kernel::installed().is_batched() && !observing;
+        StreamFeeder {
+            d: AnyDetector::build(kind, num_threads, &obs),
+            obs,
+            observing,
+            batched,
+            buf: Vec::with_capacity(if batched { BATCH_EVENTS } else { 0 }),
+            carry: [0u8; RECORD_BYTES],
+            carry_len: 0,
+            index: 0,
+            base: 0,
+            fnv: codec::FNV1A_INIT,
+        }
+    }
+
+    /// Events dispatched so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.index as u64
+    }
+
+    fn dispatch(&mut self, rec: &[u8; RECORD_BYTES]) -> Result<(), String> {
+        let e = PackedEvent::from_bytes(rec)
+            .unpack()
+            .map_err(|e| format!("record {}: {e}", self.index))?;
+        if self.observing {
+            observe_event(&self.obs, &e);
+        }
+        if self.batched {
+            self.buf.push(e);
+            if self.buf.len() == BATCH_EVENTS {
+                self.d.on_batch(self.base, &self.buf);
+                self.base += self.buf.len();
+                self.buf.clear();
+            }
+        } else {
+            self.d.on_event(self.index, &e);
+        }
+        self.index += 1;
+        Ok(())
+    }
+
+    /// Consumes the next chunk of packed-record bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `record {index}: {cause}` for an undecodable record,
+    /// matching [`execute_streamed`]. After an error the feeder state
+    /// is spent; callers drop it.
+    pub fn feed(&mut self, mut bytes: &[u8]) -> Result<(), String> {
+        self.fnv = codec::fnv1a_update(self.fnv, bytes);
+        if self.carry_len > 0 {
+            let need = RECORD_BYTES - self.carry_len;
+            let take = need.min(bytes.len());
+            self.carry[self.carry_len..self.carry_len + take].copy_from_slice(&bytes[..take]);
+            self.carry_len += take;
+            bytes = &bytes[take..];
+            if self.carry_len < RECORD_BYTES {
+                return Ok(());
+            }
+            let rec = self.carry;
+            self.carry_len = 0;
+            self.dispatch(&rec)?;
+        }
+        let whole = bytes.len() - bytes.len() % RECORD_BYTES;
+        for rec in bytes[..whole].chunks_exact(RECORD_BYTES) {
+            self.dispatch(rec.try_into().expect("16-byte record"))?;
+        }
+        let tail = &bytes[whole..];
+        self.carry[..tail.len()].copy_from_slice(tail);
+        self.carry_len = tail.len();
+        Ok(())
+    }
+
+    /// Completes the stream: flushes the partial batch, accounts the
+    /// run, and returns `(run, events, payload_fnv)` exactly as
+    /// [`execute_streamed`] would.
+    ///
+    /// # Errors
+    ///
+    /// `stream ends mid-record (N bytes over)` when the byte total is
+    /// not a whole number of records — the same message the pull path
+    /// produces for a truncated stream.
+    pub fn finish(mut self) -> Result<(DetectorRun, u64, u64), String> {
+        if self.carry_len != 0 {
+            return Err(format!(
+                "stream ends mid-record ({} bytes over)",
+                self.carry_len
+            ));
+        }
+        if self.batched && !self.buf.is_empty() {
+            self.d.on_batch(self.base, &self.buf);
+        }
+        let events = self.index as u64;
+        crate::bench::account(events, self.d.cycles());
+        Ok((self.d.finish(&[]), events, self.fnv))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -776,6 +911,56 @@ mod tests {
         assert_eq!(sr.reports, br.reports);
         assert_eq!((se, sf), (be, bf), "event count and FNV must match");
         assert_eq!(sf, codec::fnv1a_update(codec::FNV1A_INIT, packed.bytes()));
+    }
+
+    #[test]
+    fn stream_feeder_matches_execute_streamed_for_any_chunking() {
+        use crate::kernel::KernelMode;
+        let trace = racy_trace();
+        let packed = PackedTrace::from_trace(&trace).unwrap();
+        for kind in [DetectorKind::hard_default(), DetectorKind::lockset_ideal()] {
+            for mode in [KernelMode::Scalar, KernelMode::Batch] {
+                let expected = with_kernel_mode(mode, || {
+                    let mut reader =
+                        ChunkedReader::spawn(std::io::Cursor::new(packed.bytes().to_vec()), 97);
+                    execute_streamed(&kind, trace.num_threads, &mut reader).unwrap()
+                });
+                // Chunk sizes that split records mid-way (7, 13), align
+                // (16), and straddle batch windows (4095) must all be
+                // invisible to the result.
+                for chunk in [7usize, 13, 16, 4095] {
+                    let got = with_kernel_mode(mode, || {
+                        let mut feeder = StreamFeeder::new(&kind, trace.num_threads);
+                        for piece in packed.bytes().chunks(chunk) {
+                            feeder.feed(piece).unwrap();
+                        }
+                        feeder.finish().unwrap()
+                    });
+                    assert_eq!(got.0.reports, expected.0.reports, "{kind} chunk={chunk}");
+                    assert_eq!(
+                        (got.1, got.2),
+                        (expected.1, expected.2),
+                        "{kind} chunk={chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_feeder_reports_truncation_like_the_pull_path() {
+        let trace = racy_trace();
+        let packed = PackedTrace::from_trace(&trace).unwrap();
+        let kind = DetectorKind::lockset_ideal();
+        let truncated = &packed.bytes()[..packed.bytes().len() - 5];
+        let mut feeder = StreamFeeder::new(&kind, trace.num_threads);
+        feeder.feed(truncated).unwrap();
+        let err = feeder.finish().expect_err("mid-record stream must fail");
+        let mut reader = ChunkedReader::spawn(std::io::Cursor::new(truncated.to_vec()), 1 << 14);
+        let pull_err = execute_streamed(&kind, trace.num_threads, &mut reader)
+            .expect_err("mid-record stream must fail");
+        assert_eq!(err, pull_err);
+        assert!(err.contains("mid-record"), "{err}");
     }
 
     #[test]

@@ -304,7 +304,7 @@ fn submit_on(
 /// `trace=<16hex>;` echo prefix off the payload first. The remaining
 /// body is byte-identical to what a pre-tracing server sent, which is
 /// what keeps served reports comparable to offline replays.
-fn decode_response(frame: &Frame) -> Result<Submission, String> {
+pub(crate) fn decode_response(frame: &Frame) -> Result<Submission, String> {
     let (trace, body) = split_traced(&frame.payload);
     match frame.kind {
         FrameKind::Report => ReportBody::decode(&String::from_utf8_lossy(body))

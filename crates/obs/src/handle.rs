@@ -123,6 +123,32 @@ impl ObsHandle {
         }
     }
 
+    /// Records a finished span whose wall time was measured *outside*
+    /// a [`SpanTimer`] — accumulated across async task polls, carried
+    /// over a channel, or replayed after the fact. `name` runs only
+    /// when the handle is on. This is the stage-instrumentation entry
+    /// point for async servers, where one logical stage (say, feeding
+    /// a session's chunks through detection) is spread over many
+    /// scheduler slices and no single timer brackets it.
+    #[inline]
+    pub fn span_external(
+        &self,
+        trace: Option<u64>,
+        name: impl FnOnce() -> String,
+        wall: std::time::Duration,
+        events: u64,
+    ) {
+        if let Some(r) = &self.inner {
+            r.event(&Event::SpanEnd {
+                name: name(),
+                wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                cycles: 0,
+                events,
+                trace,
+            });
+        }
+    }
+
     /// Finishes a span, attributing simulated `cycles` and trace
     /// `events` to it. A timer started on an off handle is ignored.
     pub fn span_end(&self, timer: SpanTimer, cycles: u64, events: u64) {
@@ -219,6 +245,31 @@ mod tests {
         assert_eq!(rec.snapshot().spans[1].trace, None);
         // Off-handle timers surface no elapsed time.
         assert_eq!(SpanTimer::inert().elapsed_us(), None);
+    }
+
+    #[test]
+    fn external_spans_record_deferred_wall_times() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let h = ObsHandle::new(rec.clone());
+        h.span_external(
+            Some(0xabc),
+            || "serve:queue-wait".to_string(),
+            std::time::Duration::from_micros(1500),
+            7,
+        );
+        let s = rec.snapshot();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].name, "serve:queue-wait");
+        assert_eq!(s.spans[0].trace, Some(0xabc));
+        assert_eq!(s.spans[0].wall_ns, 1_500_000);
+        assert_eq!(s.spans[0].events, 7);
+        // Off handle: the name closure must never run.
+        ObsHandle::off().span_external(
+            None,
+            || unreachable!("off handle must not name spans"),
+            std::time::Duration::ZERO,
+            0,
+        );
     }
 
     #[test]

@@ -58,6 +58,48 @@ struct Args {
     chaos_plan: NetFaultPlan,
 }
 
+/// The one source of truth for the flag surface. `--help` prints it,
+/// bad arguments echo it, and CI greps it against `OPERATIONS.md` so
+/// the runbook cannot drift from the binary.
+const USAGE: &str = "\
+usage: hard-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                  [--max-sessions N] [--max-session-bytes N] [--max-session-events N]
+                  [--max-inflight-bytes N] [--idle-timeout-ms N] [--no-report-cache]
+                  [--busy-retry-after-ms N] [--max-conns N]
+                  [--serve-metrics HOST:PORT] [--obs-jsonl PATH]
+                  [--slow-session-ms N] [--quiet]
+       hard-serve --chaos-proxy UPSTREAM [--addr HOST:PORT] [--chaos-ppm N]
+                  [--chaos-seed N] [--chaos-reset-ppm N] [--chaos-flip-ppm N]
+                  [--chaos-stall-ppm N] [--chaos-short-ppm N] [--chaos-stall-ms N]
+                  [--quiet]
+
+flags:
+  --addr HOST:PORT          listen address (default 127.0.0.1:7140)
+  --workers N               detection permits: chunks fed concurrently (default 2)
+  --queue-depth N           extra sessions allowed to wait on a permit (default 8)
+  --max-sessions N          concurrent session cap; excess get Busy (default 32)
+  --max-session-bytes N     per-session upload byte cap (default 268435456)
+  --max-session-events N    per-session trace event cap (default 67108864)
+  --max-inflight-bytes N    whole-server upload budget (default 1073741824)
+  --idle-timeout-ms N       per-read idle cutoff before the session errors (default 30000)
+  --no-report-cache         disable the payload-keyed report cache
+  --busy-retry-after-ms N   retry hint carried in Busy frames (default 250)
+  --max-conns N             exit after N accepted connections (CI smoke mode)
+  --serve-metrics HOST:PORT Prometheus /metrics + /healthz endpoint
+  --obs-jsonl PATH          stream every observability event as JSONL to PATH
+  --slow-session-ms N       log sessions slower than N ms to stderr by trace ID
+  --quiet                   suppress startup/exit chatter on stderr
+  --chaos-proxy UPSTREAM    run as a fault-injecting TCP proxy instead of a server
+  --chaos-seed N            deterministic fault schedule seed
+  --chaos-ppm N             set all four fault classes at once, parts per million
+  --chaos-reset-ppm N       connection-reset rate
+  --chaos-flip-ppm N        payload bit-flip rate
+  --chaos-stall-ppm N       stall-injection rate
+  --chaos-short-ppm N       short-transfer rate
+  --chaos-stall-ms N        duration of an injected stall
+  --help                    print this help and exit
+";
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cfg: ServeConfig::default(),
@@ -71,6 +113,10 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
         match a.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
             "--addr" => args.cfg.addr = value("--addr")?,
             "--workers" => {
                 args.cfg.workers = value("--workers")?
@@ -189,16 +235,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: hard-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-                 [--max-sessions N] [--max-session-bytes N] [--max-session-events N] \
-                 [--max-inflight-bytes N] [--idle-timeout-ms N] [--no-report-cache] \
-                 [--busy-retry-after-ms N] [--max-conns N] [--serve-metrics HOST:PORT] \
-                 [--obs-jsonl PATH] [--slow-session-ms N] [--quiet]\n       \
-                 hard-serve --chaos-proxy UPSTREAM [--addr HOST:PORT] [--chaos-ppm N] \
-                 [--chaos-seed N] [--chaos-reset-ppm N] [--chaos-flip-ppm N] \
-                 [--chaos-stall-ppm N] [--chaos-short-ppm N] [--chaos-stall-ms N] [--quiet]"
-            );
+            eprint!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };

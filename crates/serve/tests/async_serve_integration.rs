@@ -1,0 +1,271 @@
+//! The async rewrite's headline behaviors, proven end to end:
+//!
+//! 1. **No head-of-line blocking** — with a *single* detection permit,
+//!    a slow-loris uploader dribbling bytes must not delay concurrent
+//!    fast sessions. Under the old thread-per-session pool this exact
+//!    setup serialized everything behind the loris; incrementally fed
+//!    sessions only hold a permit while a chunk is actually being
+//!    detected, never while waiting for the network.
+//! 2. **Mid-`Data` disconnect frees budgets** — a client that uploads
+//!    real chunks and vanishes must release its session slot and its
+//!    in-flight byte charge, observed through [`Server::stats`].
+//! 3. **Shutdown-during-upload is explicit** — a `Shutdown` frame
+//!    arriving while another session is mid-upload must hand that
+//!    session a shutdown `Error` frame (never a silent close), then
+//!    drain cleanly.
+//! 4. **Serve-vs-replay byte-identity under `--kernel batch`** — the
+//!    served report for a batched-kernel server matches an offline
+//!    replay computed with the scalar reference kernel, byte for byte.
+//!
+//! Scenarios run sequentially inside one `#[test]` because the kernel
+//! mode (scenario 4) is process-global state.
+
+use hard_harness::corpus::{self, write_file};
+use hard_harness::service::{probe_health, request_shutdown, submit_bytes};
+use hard_harness::{
+    execute_streamed, injected_trace, CampaignConfig, DetectorKind, KernelMode, ReportBody,
+    Submission,
+};
+use hard_serve::{ServeConfig, Server};
+use hard_trace::wire::{
+    read_frame, read_handshake, write_frame, write_handshake, FrameKind, MAX_FRAME_BYTES,
+};
+use hard_trace::PackedTrace;
+use hard_workloads::App;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A corpus plus the offline-replay report every served report must
+/// match byte for byte. The replay runs under whatever kernel mode is
+/// currently installed.
+fn fixture(app: App, run_idx: usize, detector: &str, name: &str) -> (Vec<u8>, String) {
+    let cfg = CampaignConfig::reduced(0.05, 2);
+    let (trace, injection) = injected_trace(app, &cfg, run_idx);
+    let packed = PackedTrace::from_trace(&trace).expect("packable");
+    let mut path = std::env::temp_dir();
+    path.push(format!("hard-async-it-{}-{name}", std::process::id()));
+    write_file(&path, &packed, Some(&injection)).expect("write corpus");
+    let bytes = std::fs::read(&path).expect("read corpus back");
+    let kind = DetectorKind::parse(detector).expect("known detector");
+    let (header, mut reader) = corpus::open_streamed(&path).expect("open streamed");
+    let (run, events, fnv) =
+        execute_streamed(&kind, header.num_threads as usize, &mut reader).expect("offline replay");
+    assert_eq!(events, header.events);
+    assert_eq!(fnv, header.payload_fnv);
+    let _ = std::fs::remove_file(&path);
+    let expected = ReportBody {
+        label: kind.label().to_string(),
+        events,
+        reports: run.reports,
+    }
+    .encode();
+    (bytes, expected)
+}
+
+fn raw_client(addr: &str) -> (std::io::BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout");
+    let w = stream.try_clone().expect("clone");
+    (std::io::BufReader::new(stream), w)
+}
+
+/// Spins until `cond` holds or the deadline trips.
+fn await_cond(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let started = Instant::now();
+    while !cond() {
+        assert!(
+            started.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn async_serve_behaviors() {
+    let (bytes, expected) = fixture(App::WaterNsquared, 0, "hard", "main");
+
+    // --- 1. Slow-loris concurrent with fast sessions, ONE detection
+    // permit. The loris dribbles a promised Data payload one byte at a
+    // time; four fast clients submit complete corpora meanwhile. An
+    // architecture that parks a worker per connection deadlocks-by-
+    // -queueing here; the incremental design must finish every fast
+    // session while the loris is still dribbling.
+    {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_depth: 4,
+            idle_timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let stats = server.stats();
+        let thread = std::thread::spawn(move || server.run());
+
+        // The loris: handshake, Begin, then one byte of a 1 KiB Data
+        // payload every 50 ms. Every byte resets the idle clock, so
+        // the server must keep the session open without dedicating
+        // any detection capacity to it.
+        let loris_addr = addr.clone();
+        let loris_started = Instant::now();
+        let loris = std::thread::spawn(move || {
+            let (_r, mut w) = raw_client(&loris_addr);
+            write_handshake(&mut w).unwrap();
+            write_frame(&mut w, FrameKind::Begin, b"hard").unwrap();
+            w.write_all(&[FrameKind::Data as u8]).unwrap();
+            w.write_all(&1024u32.to_le_bytes()).unwrap();
+            for _ in 0..60 {
+                if w.write_all(&[0x41]).and_then(|()| w.flush()).is_err() {
+                    break; // server cut us off; the point is made
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            loris_started.elapsed()
+        });
+        // Let the loris establish its session before racing it.
+        await_cond("loris session to open", Duration::from_secs(5), || {
+            stats.active_sessions() >= 1
+        });
+
+        let fast: Vec<_> = (0..4)
+            .map(|i| {
+                let addr = addr.clone();
+                let bytes = bytes.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let started = Instant::now();
+                    match submit_bytes(&addr, &bytes, "hard", 32 << 10).expect("fast submit") {
+                        Submission::Report { body, .. } => {
+                            assert_eq!(body.encode(), expected, "fast client {i} diverged");
+                        }
+                        other => panic!("fast client {i} got {other:?}"),
+                    }
+                    started.elapsed()
+                })
+            })
+            .collect();
+        let slowest = fast
+            .into_iter()
+            .map(|h| h.join().expect("fast client"))
+            .max()
+            .expect("four clients");
+        let loris_lived = loris.join().expect("loris");
+        assert!(
+            slowest < Duration::from_secs(2),
+            "a fast session took {slowest:?} — it queued behind the loris"
+        );
+        assert!(
+            loris_lived > slowest,
+            "loris ended ({loris_lived:?}) before the slowest fast session \
+             ({slowest:?}); the head-of-line claim was not exercised"
+        );
+        await_cond("sessions to drain", Duration::from_secs(10), || {
+            stats.active_sessions() == 0 && stats.inflight_bytes() == 0
+        });
+        request_shutdown(&addr).expect("shutdown");
+        thread.join().expect("join").expect("clean drain");
+    }
+
+    // --- 2. Mid-Data disconnect: upload real chunks, confirm the
+    // byte budget is charged, vanish. Slot and budget must both free.
+    {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let stats = server.stats();
+        let thread = std::thread::spawn(move || server.run());
+        {
+            let (mut r, mut w) = raw_client(&addr);
+            write_handshake(&mut w).unwrap();
+            read_handshake(&mut r).unwrap();
+            write_frame(&mut w, FrameKind::Begin, b"hard").unwrap();
+            for chunk in bytes.chunks(8 << 10).take(3) {
+                write_frame(&mut w, FrameKind::Data, chunk).unwrap();
+            }
+            w.flush().unwrap();
+            await_cond("byte budget to charge", Duration::from_secs(5), || {
+                stats.inflight_bytes() > 0
+            });
+        } // both halves drop: TCP FIN mid-session
+        await_cond(
+            "slot and budget to free after disconnect",
+            Duration::from_secs(10),
+            || stats.active_sessions() == 0 && stats.inflight_bytes() == 0,
+        );
+        let health = probe_health(&addr, Duration::from_secs(5)).expect("health");
+        assert!(health.ready, "drained server must be ready again");
+        request_shutdown(&addr).expect("shutdown");
+        thread.join().expect("join").expect("clean drain");
+    }
+
+    // --- 3. Shutdown during an open upload: the mid-upload session
+    // gets an explicit shutdown Error frame, never a silent close.
+    {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let stats = server.stats();
+        let thread = std::thread::spawn(move || server.run());
+
+        let (mut r, mut w) = raw_client(&addr);
+        write_handshake(&mut w).unwrap();
+        read_handshake(&mut r).unwrap();
+        write_frame(&mut w, FrameKind::Begin, b"hard").unwrap();
+        write_frame(&mut w, FrameKind::Data, &bytes[..8 << 10]).unwrap();
+        w.flush().unwrap();
+        await_cond("upload session to open", Duration::from_secs(5), || {
+            stats.active_sessions() >= 1 && stats.inflight_bytes() > 0
+        });
+
+        request_shutdown(&addr).expect("shutdown accepted");
+        let f = read_frame(&mut r, MAX_FRAME_BYTES).expect("explicit shutdown verdict");
+        assert_eq!(f.kind, FrameKind::Error, "got {:?}", f.kind);
+        assert!(
+            f.text().contains("shutting down"),
+            "shutdown verdict must say so: {}",
+            f.text()
+        );
+        thread
+            .join()
+            .expect("join")
+            .expect("drain with open upload");
+    }
+
+    // --- 4. Byte-identity under the batched kernel: offline replay
+    // with the scalar reference kernel, serve with the batched one.
+    {
+        let prior = hard_harness::kernel::installed();
+        hard_harness::kernel::install(KernelMode::Scalar);
+        let (bytes, scalar_expected) = fixture(App::WaterNsquared, 1, "hard", "batch");
+        hard_harness::kernel::install(KernelMode::Batch);
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let thread = std::thread::spawn(move || server.run());
+        match submit_bytes(&addr, &bytes, "hard", 16 << 10).expect("batched submit") {
+            Submission::Report { body, .. } => assert_eq!(
+                body.encode(),
+                scalar_expected,
+                "batched-kernel serve diverged from scalar offline replay"
+            ),
+            other => panic!("batched submit got {other:?}"),
+        }
+        request_shutdown(&addr).expect("shutdown");
+        thread.join().expect("join").expect("clean drain");
+        hard_harness::kernel::install(prior);
+    }
+}

@@ -415,6 +415,83 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame, WireErro
     Ok(Frame { kind, payload })
 }
 
+/// An incremental (push-style) frame decoder for async readers.
+///
+/// [`read_frame`] pulls from a blocking [`Read`]; an async reader
+/// instead *pushes* whatever bytes the socket produced and asks for
+/// complete frames. The assembler buffers at most one frame head plus
+/// one payload, so memory per connection is bounded by the negotiated
+/// frame cap, never by upload size.
+///
+/// Validation matches [`read_frame`] byte for byte: the kind byte is
+/// only judged once all 5 head bytes are present (a lone garbage byte
+/// followed by silence is an idle timeout, not an `UnknownKind`), the
+/// length prefix is bounded before the payload is buffered, and the
+/// error values are the same [`WireError`] variants.
+#[derive(Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the tail.
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// A fresh assembler with no buffered bytes.
+    #[must_use]
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends received bytes to the internal buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start > 0 && self.start >= self.buf.len().saturating_sub(self.start) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decodes the next complete frame, bounding payloads at the
+    /// smaller of `max_payload` and [`MAX_FRAME_BYTES`]. `Ok(None)`
+    /// means more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownKind`] and [`WireError::TooLarge`] exactly
+    /// as [`read_frame`] reports them. The assembler is poisoned-free:
+    /// after an error the caller is expected to drop the connection,
+    /// matching the blocking reader's contract.
+    pub fn next_frame(&mut self, max_payload: u32) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 5 {
+            return Ok(None);
+        }
+        let kind = FrameKind::from_byte(avail[0]).ok_or(WireError::UnknownKind(avail[0]))?;
+        let len = u32::from_le_bytes(avail[1..5].try_into().expect("4 bytes"));
+        let max = max_payload.min(MAX_FRAME_BYTES);
+        if len > max {
+            return Err(WireError::TooLarge { len, max });
+        }
+        let total = 5 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[5..total].to_vec();
+        self.start += total;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(Frame { kind, payload }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,6 +677,50 @@ mod tests {
         let mut w = NoFlush(Vec::new());
         write_frame(&mut w, FrameKind::Data, b"abc").unwrap();
         assert_eq!(w.0.len(), 5 + 3);
+    }
+
+    #[test]
+    fn assembler_matches_read_frame_for_any_chunking() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Begin, b"hard;trace=00000000c11e0001").unwrap();
+        write_frame(&mut wire, FrameKind::Data, &[0xAB; 1000]).unwrap();
+        write_frame(&mut wire, FrameKind::Data, b"").unwrap();
+        write_frame(&mut wire, FrameKind::End, b"").unwrap();
+        let mut r = Cursor::new(wire.clone());
+        let expected: Vec<Frame> = (0..4).map(|_| read_frame(&mut r, 4096).unwrap()).collect();
+        for chunk in [1usize, 2, 3, 7, 64, 4096] {
+            let mut asm = FrameAssembler::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                asm.push(piece);
+                while let Some(f) = asm.next_frame(4096).unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, expected, "chunk={chunk}");
+            assert_eq!(asm.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_hostile_frames_like_read_frame() {
+        // Unknown kind: judged only once the full 5-byte head is in.
+        let mut asm = FrameAssembler::new();
+        asm.push(&[0x7F]);
+        assert!(matches!(asm.next_frame(1024), Ok(None)));
+        asm.push(&0u32.to_le_bytes());
+        assert!(matches!(
+            asm.next_frame(1024),
+            Err(WireError::UnknownKind(0x7F))
+        ));
+        // Oversized length prefix: rejected before buffering a payload.
+        let mut asm = FrameAssembler::new();
+        asm.push(&[FrameKind::Data as u8]);
+        asm.push(&u32::MAX.to_le_bytes());
+        let Err(WireError::TooLarge { len, max }) = asm.next_frame(1024) else {
+            panic!("a 4 GiB length prefix must be rejected");
+        };
+        assert_eq!((len, max), (u32::MAX, 1024));
     }
 
     #[test]
